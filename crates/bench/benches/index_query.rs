@@ -1,0 +1,46 @@
+//! E6 — findability: inverted-index build cost and query latency as the
+//! repository grows (the in-process analogue of "the wiki is google
+//! indexed").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bx_bench::scaled_repository;
+use bx_core::index::SearchIndex;
+
+fn bench_index(c: &mut Criterion) {
+    let mut build_group = c.benchmark_group("index_query/build");
+    for &extra in &[0usize, 90, 490] {
+        let snap = scaled_repository(extra).snapshot();
+        build_group.bench_with_input(
+            BenchmarkId::from_parameter(snap.records.len()),
+            &snap,
+            |b, snap| b.iter(|| SearchIndex::build(snap)),
+        );
+    }
+    build_group.finish();
+
+    let mut query_group = c.benchmark_group("index_query/query");
+    for &extra in &[0usize, 90, 490] {
+        let snap = scaled_repository(extra).snapshot();
+        let idx = SearchIndex::build(&snap);
+        query_group.bench_with_input(
+            BenchmarkId::new("single_term", snap.records.len()),
+            &idx,
+            |b, idx| b.iter(|| idx.query(&["lenses"])),
+        );
+        query_group.bench_with_input(
+            BenchmarkId::new("conjunctive", snap.records.len()),
+            &idx,
+            |b, idx| b.iter(|| idx.query(&["synthetic", "databases", "benchmarking"])),
+        );
+        query_group.bench_with_input(
+            BenchmarkId::new("miss", snap.records.len()),
+            &idx,
+            |b, idx| b.iter(|| idx.query(&["zzznonexistent"])),
+        );
+    }
+    query_group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E3 — the COMPOSERS law matrix: cost of machine-checking the paper's
+//! Properties field (Correct, Hippocratic, Not undoable) as the sample
+//! pool grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bx_examples::benchmark::{generate_composers, pairs_of, perturb_pairs};
+use bx_examples::composers::composers_bx;
+use bx_theory::{check_all_laws, Samples};
+
+fn bench_law_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("law_matrix/composers");
+    for &n in &[4usize, 8, 16] {
+        let b = composers_bx();
+        let mut pairs = Vec::new();
+        let mut extra_ms = Vec::new();
+        let mut extra_ns = Vec::new();
+        for seed in 0..n as u64 {
+            let m = generate_composers(8, seed);
+            let good = pairs_of(&m);
+            let bad = perturb_pairs(&good, 4, 2, seed);
+            pairs.push((m.clone(), good));
+            pairs.push((m.clone(), bad));
+            if seed % 2 == 0 {
+                extra_ms.push(m);
+            } else {
+                extra_ns.push(pairs_of(&generate_composers(4, seed + 100)));
+            }
+        }
+        let samples = Samples::new(pairs, extra_ms, extra_ns);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &samples, |bench, samples| {
+            bench.iter(|| {
+                let matrix = check_all_laws(&b, samples);
+                assert!(matrix.law_holds(bx_theory::Law::CorrectFwd));
+                matrix
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_law_matrix);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E10 — the COMPOSERS-AT-SCALE benchmark entry: restoration cost versus
+//! model size under the standard perturbation (drop every 10th entry,
+//! append n/10 fresh ones). Expected shape: O(n log n) from the sorted
+//! set operations, in both directions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bx_examples::benchmark::{generate_composers, pairs_of, perturb_pairs};
+use bx_examples::composers::composers_bx;
+use bx_theory::Bx;
+
+fn bench_scale(c: &mut Criterion) {
+    let b = composers_bx();
+    let mut group = c.benchmark_group("scale_restore/composers");
+    for &n in &[100usize, 400, 1600, 6400] {
+        let m = generate_composers(n, 11);
+        let good = pairs_of(&m);
+        let perturbed = perturb_pairs(&good, 10, n / 10, 11);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("fwd", n), &(), |bench, _| {
+            bench.iter(|| b.fwd(&m, &perturbed))
+        });
+        group.bench_with_input(BenchmarkId::new("bwd", n), &(), |bench, _| {
+            bench.iter(|| b.bwd(&m, &perturbed))
+        });
+        group.bench_with_input(BenchmarkId::new("consistency", n), &(), |bench, _| {
+            bench.iter(|| b.consistent(&m, &good))
+        });
+        group.bench_with_input(BenchmarkId::new("fwd_hippocratic", n), &(), |bench, _| {
+            bench.iter(|| b.fwd(&m, &good))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E9 — the Boomerang composers lens: get/put cost versus file size,
+//! positional star versus resourceful dictionary star.
+//!
+//! The engine's unambiguity checking is O(n·chunk) dynamic programming
+//! per iteration, so expect super-linear growth — the documented price of
+//! checking Boomerang's static types at run time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bx_examples::benchmark::{generate_composers, to_boomerang_source};
+use bx_examples::composers_boomerang::composers_lens;
+
+fn bench_string_lens(c: &mut Criterion) {
+    let lens = composers_lens();
+    let mut group = c.benchmark_group("string_lens");
+    group.sample_size(20);
+    for &n in &[10usize, 40, 160] {
+        let src = to_boomerang_source(&generate_composers(n, 3));
+        let view = lens.get(&src).expect("generated source parses");
+        // A reordered view: reverse the lines (worst case for positional,
+        // the showcase for resourceful alignment).
+        let mut lines: Vec<&str> = view.lines().collect();
+        lines.reverse();
+        let reordered = lines.join("\n") + "\n";
+
+        group.bench_with_input(BenchmarkId::new("get", n), &(), |b, _| {
+            b.iter(|| lens.get(&src).expect("parses"))
+        });
+        group.bench_with_input(BenchmarkId::new("put_identity", n), &(), |b, _| {
+            b.iter(|| lens.put(&src, &view).expect("parses"))
+        });
+        group.bench_with_input(BenchmarkId::new("put_reordered", n), &(), |b, _| {
+            b.iter(|| lens.put(&src, &reordered).expect("parses"))
+        });
+        group.bench_with_input(BenchmarkId::new("create", n), &(), |b, _| {
+            b.iter(|| lens.create(&view).expect("parses"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_string_lens);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E8 — UML2RDBMS restoration cost versus model size, in both
+//! directions, on clean and perturbed schemas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bx_bench::{drop_tables, schema_of, uml_of_size};
+use bx_examples::uml2rdbms::uml2rdbms_bx;
+use bx_theory::Bx;
+
+fn bench_uml(c: &mut Criterion) {
+    let b = uml2rdbms_bx();
+    let mut group = c.benchmark_group("uml_restore");
+    for &n in &[16usize, 64, 256] {
+        let uml = uml_of_size(n);
+        let rdb = schema_of(&uml);
+        let perturbed = drop_tables(&rdb, n / 8);
+
+        group.bench_with_input(BenchmarkId::new("fwd_clean", n), &(), |bench, _| {
+            bench.iter(|| b.fwd(&uml, &rdb))
+        });
+        group.bench_with_input(BenchmarkId::new("fwd_perturbed", n), &(), |bench, _| {
+            bench.iter(|| b.fwd(&uml, &perturbed))
+        });
+        group.bench_with_input(BenchmarkId::new("bwd_clean", n), &(), |bench, _| {
+            bench.iter(|| b.bwd(&uml, &rdb))
+        });
+        group.bench_with_input(BenchmarkId::new("bwd_perturbed", n), &(), |bench, _| {
+            bench.iter(|| b.bwd(&uml, &perturbed))
+        });
+        group.bench_with_input(BenchmarkId::new("consistency", n), &(), |bench, _| {
+            bench.iter(|| b.consistent(&uml, &rdb))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uml);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E4 — the Variants: restoration cost of the base COMPOSERS bx versus
+//! its three variation-point alternatives on identical perturbed
+//! workloads. The variants should track the base closely (same asymptotic
+//! shape); name-key backward restoration pays a per-miss name lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bx_examples::benchmark::{generate_composers, pairs_of, perturb_pairs};
+use bx_examples::composers::{
+    composers_bx, composers_name_key_bx, composers_prepend_bx, composers_with_date_policy,
+};
+use bx_theory::Bx;
+
+fn bench_variants(c: &mut Criterion) {
+    let n = 400usize;
+    let m = generate_composers(n, 7);
+    let good = pairs_of(&m);
+    let perturbed = perturb_pairs(&good, 10, n / 10, 7);
+
+    let base = composers_bx();
+    let name_key = composers_name_key_bx();
+    let prepend = composers_prepend_bx();
+    let dated = composers_with_date_policy("fl. ????");
+
+    let mut fwd_group = c.benchmark_group("variant_restore/fwd");
+    fwd_group.bench_with_input(BenchmarkId::new("base", n), &(), |b, _| {
+        b.iter(|| base.fwd(&m, &perturbed))
+    });
+    fwd_group.bench_with_input(BenchmarkId::new("prepend", n), &(), |b, _| {
+        b.iter(|| prepend.fwd(&m, &perturbed))
+    });
+    fwd_group.finish();
+
+    let mut bwd_group = c.benchmark_group("variant_restore/bwd");
+    bwd_group.bench_with_input(BenchmarkId::new("base", n), &(), |b, _| {
+        b.iter(|| base.bwd(&m, &perturbed))
+    });
+    bwd_group.bench_with_input(BenchmarkId::new("name_key", n), &(), |b, _| {
+        b.iter(|| name_key.bwd(&m, &perturbed))
+    });
+    bwd_group.bench_with_input(BenchmarkId::new("date_policy", n), &(), |b, _| {
+        b.iter(|| dated.bwd(&m, &perturbed))
+    });
+    bwd_group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

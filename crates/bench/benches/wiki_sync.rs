@@ -1,0 +1,46 @@
+//! E1/E7 — the wiki pipeline: per-entry render and parse cost, and the
+//! full-site §5.4 bidirectional synchronisation as the repository grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bx_bench::scaled_repository;
+use bx_core::wiki::{parse_entry, render_entry, WikiSite};
+use bx_core::wiki_bx::WikiBx;
+use bx_examples::composers::composers_entry;
+use bx_theory::Bx;
+
+fn bench_entry_roundtrip(c: &mut Criterion) {
+    let entry = composers_entry();
+    let text = render_entry(&entry);
+
+    c.bench_function("wiki_sync/render_composers", |b| b.iter(|| render_entry(&entry)));
+    c.bench_function("wiki_sync/parse_composers", |b| {
+        b.iter(|| parse_entry("examples:composers", &text).expect("canonical"))
+    });
+}
+
+fn bench_site_sync(c: &mut Criterion) {
+    let bx = WikiBx::new();
+    let mut group = c.benchmark_group("wiki_sync/site");
+    for &extra in &[0usize, 40, 90] {
+        let snap = scaled_repository(extra).snapshot();
+        let site = bx.fwd(&snap, &WikiSite::new());
+        group.bench_with_input(BenchmarkId::new("fwd", snap.records.len()), &snap, |b, snap| {
+            b.iter(|| bx.fwd(snap, &WikiSite::new()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bwd_unchanged", snap.records.len()),
+            &(&snap, &site),
+            |b, (snap, site)| b.iter(|| bx.bwd(snap, site)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("consistency_check", snap.records.len()),
+            &(&snap, &site),
+            |b, (snap, site)| b.iter(|| bx.consistent(snap, site)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entry_roundtrip, bench_site_sync);
+criterion_main!(benches);

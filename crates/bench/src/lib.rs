@@ -1,0 +1,113 @@
+//! # bx-bench
+//!
+//! Shared workload builders for the criterion benches. Each bench target
+//! regenerates one row/series of the experiment index in the workspace's
+//! EXPERIMENTS.md (E1–E10); this crate keeps the workload construction
+//! out of the measurement loops.
+
+use bx_core::{ExampleEntry, ExampleType, Principal, Repository};
+use bx_examples::benchmark::Lcg;
+use bx_examples::uml2rdbms::{RdbModel, UmlModel};
+
+/// A synthetic-but-valid repository entry, used to scale the repository
+/// beyond the 10 standard entries for index/wiki benches.
+pub fn synthetic_entry(i: usize, rng: &mut Lcg) -> ExampleEntry {
+    let topics = ["lenses", "triple graph grammars", "schema mappings", "spreadsheets", "provenance"];
+    let domains = ["databases", "model driven development", "programming languages"];
+    let topic = topics[rng.below(topics.len())];
+    let domain = domains[rng.below(domains.len())];
+    ExampleEntry::builder(&format!("SYNTH-{i:05}"))
+        .of_type(ExampleType::Precise)
+        .overview(&format!("A synthetic entry about {topic} for {domain}. Generated for benchmarking."))
+        .models(&format!("Two model classes drawn from {domain}, related through {topic}."))
+        .consistency(&format!("The usual consistency relation for {topic}."))
+        .restoration(
+            &format!("Forward restoration repairs the {domain} side."),
+            &format!("Backward restoration repairs the {topic} side."),
+        )
+        .discussion(&format!("Synthetic benchmark entry number {i}, mentioning {topic} and {domain}."))
+        .author("bench-bot")
+        .build()
+        .expect("synthetic entries are template-valid")
+}
+
+/// A repository with the 10 standard entries plus `extra` synthetic ones.
+pub fn scaled_repository(extra: usize) -> Repository {
+    let repo = bx_examples::standard_repository();
+    repo.register(Principal::member("bench-bot")).expect("fresh account");
+    let mut rng = Lcg::new(0xB01D);
+    for i in 0..extra {
+        let entry = synthetic_entry(i, &mut rng);
+        repo.contribute("bench-bot", entry).expect("synthetic entries are valid and distinct");
+    }
+    repo
+}
+
+/// A UML model with `n` persistent classes (plus `n / 4` transient ones),
+/// each with four attributes.
+pub fn uml_of_size(n: usize) -> UmlModel {
+    let mut m = UmlModel::default();
+    for i in 0..n {
+        m = m.with_class(
+            &format!("Class{i:04}"),
+            true,
+            &[
+                ("id", "Integer", true),
+                ("name", "String", false),
+                ("active", "Boolean", false),
+                ("rank", "Integer", false),
+            ],
+        );
+    }
+    for i in 0..n / 4 {
+        m = m.with_class(&format!("Transient{i:04}"), false, &[("token", "String", false)]);
+    }
+    m
+}
+
+/// The consistent schema of a UML model.
+pub fn schema_of(uml: &UmlModel) -> RdbModel {
+    use bx_theory::Bx;
+    bx_examples::uml2rdbms::uml2rdbms_bx().fwd(uml, &RdbModel::default())
+}
+
+/// Drop `k` tables from a schema (the perturbation for backward runs).
+pub fn drop_tables(rdb: &RdbModel, k: usize) -> RdbModel {
+    let mut out = rdb.clone();
+    let names: Vec<String> = out.tables.keys().take(k).cloned().collect();
+    for n in names {
+        out.tables.remove(&n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bx_theory::Bx;
+
+    #[test]
+    fn scaled_repository_has_standard_plus_extra() {
+        let repo = scaled_repository(25);
+        assert_eq!(repo.len(), 38);
+    }
+
+    #[test]
+    fn synthetic_entries_are_distinct_and_valid() {
+        let mut rng = Lcg::new(1);
+        let a = synthetic_entry(0, &mut rng);
+        let b = synthetic_entry(1, &mut rng);
+        assert_ne!(a.slug(), b.slug());
+        assert!(a.validate().is_empty());
+    }
+
+    #[test]
+    fn uml_workloads_are_consistent_with_their_schemas() {
+        let uml = uml_of_size(16);
+        let rdb = schema_of(&uml);
+        assert!(bx_examples::uml2rdbms::uml2rdbms_bx().consistent(&uml, &rdb));
+        assert_eq!(rdb.tables.len(), 16);
+        let dropped = drop_tables(&rdb, 4);
+        assert_eq!(dropped.tables.len(), 12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Citation formats (§5.2: "it seems like a good idea to recommend a
+//! format for citations to examples (including versions) or to the
+//! repository itself").
+
+use crate::error::RepoError;
+use crate::repo::{EntryId, Repository};
+use crate::template::ExampleEntry;
+use crate::version::Version;
+
+/// The canonical base URL of the repository (the Bx wiki examples area).
+pub const REPOSITORY_URL: &str = "http://bx-community.wikidot.com/examples:home";
+
+/// The recommended in-text citation for a specific entry version, e.g.
+///
+/// `COMPOSERS, version 0.1. In: The Bx Examples Repository.
+/// http://bx-community.wikidot.com/examples:composers`
+pub fn cite_entry(repo_name: &str, entry: &ExampleEntry) -> String {
+    let id = EntryId::from_title(&entry.title);
+    format!(
+        "{}, version {}. In: {}. http://bx-community.wikidot.com/{}",
+        entry.title,
+        entry.version,
+        repo_name,
+        id.page_name()
+    )
+}
+
+/// Citation for an entry in a live repository, latest or pinned version.
+pub fn cite(
+    repo: &Repository,
+    id: &EntryId,
+    version: Option<Version>,
+) -> Result<String, RepoError> {
+    let entry = match version {
+        None => repo.latest(id)?,
+        Some(v) => repo.at_version(id, v)?,
+    };
+    Ok(cite_entry(repo.name(), &entry))
+}
+
+/// A BibTeX record for an entry version (for the archival manuscript and
+/// for papers that prefer BibTeX).
+pub fn bibtex(repo_name: &str, entry: &ExampleEntry) -> String {
+    let id = EntryId::from_title(&entry.title);
+    let key = format!("bx-{}-{}", id.as_str(), entry.version).replace('.', "-");
+    let mut out = String::with_capacity(256);
+    out.push_str(&format!("@misc{{{key},\n"));
+    out.push_str(&format!("  title        = {{{{{}}} (version {})}},\n", entry.title, entry.version));
+    out.push_str(&format!("  author       = {{{}}},\n", entry.authors.join(" and ")));
+    out.push_str(&format!("  howpublished = {{{repo_name}}},\n"));
+    out.push_str(&format!(
+        "  url          = {{http://bx-community.wikidot.com/{}}},\n",
+        id.page_name()
+    ));
+    if !entry.reviewers.is_empty() {
+        out.push_str(&format!("  note         = {{reviewed by {}}},\n", entry.reviewers.join(", ")));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The recommended citation for the repository as a whole.
+pub fn cite_repository(repo_name: &str) -> String {
+    format!("{repo_name}. The Bx community. {REPOSITORY_URL}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principal::Principal;
+    use crate::template::ExampleType;
+
+    fn entry() -> ExampleEntry {
+        ExampleEntry::builder("COMPOSERS")
+            .of_type(ExampleType::Precise)
+            .overview("O.")
+            .models("M.")
+            .consistency("C.")
+            .restoration("F.", "B.")
+            .discussion("D.")
+            .author("Perdita Stevens")
+            .author("James McKinna")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn entry_citation_includes_version_and_url() {
+        let c = cite_entry("The Bx Examples Repository", &entry());
+        assert!(c.contains("COMPOSERS, version 0.1"));
+        assert!(c.contains("examples:composers"));
+        assert!(c.contains("The Bx Examples Repository"));
+    }
+
+    #[test]
+    fn live_citation_pins_versions() {
+        let r = Repository::found("The Bx Examples Repository", vec![Principal::curator("c")]);
+        r.register(Principal::member("Perdita Stevens")).unwrap();
+        let id = r.contribute("Perdita Stevens", entry()).unwrap();
+        let latest = cite(&r, &id, None).unwrap();
+        assert!(latest.contains("version 0.1"));
+        let pinned = cite(&r, &id, Some(crate::version::Version::new(0, 1))).unwrap();
+        assert_eq!(latest, pinned);
+        assert!(cite(&r, &id, Some(crate::version::Version::new(9, 9))).is_err());
+    }
+
+    #[test]
+    fn bibtex_is_well_formed() {
+        let b = bibtex("The Bx Examples Repository", &entry());
+        assert!(b.starts_with("@misc{bx-composers-0-1,"));
+        assert!(b.contains("Perdita Stevens and James McKinna"));
+        assert!(b.trim_end().ends_with('}'));
+        assert!(!b.contains("note"), "unreviewed entries carry no reviewer note");
+    }
+
+    #[test]
+    fn bibtex_notes_reviewers() {
+        let mut e = entry();
+        e.reviewers.push("Jeremy Gibbons".to_string());
+        let b = bibtex("R", &e);
+        assert!(b.contains("reviewed by Jeremy Gibbons"));
+    }
+
+    #[test]
+    fn repository_citation() {
+        let c = cite_repository("The Bx Examples Repository");
+        assert!(c.contains(REPOSITORY_URL));
+    }
+}

@@ -1,0 +1,78 @@
+//! The review workflow: entries are provisional until reviewed.
+//!
+//! "We intend that examples remain provisional (version 0.x) until
+//! reviewed (and approved, if necessary after modification) by other
+//! members of the wiki."
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lifecycle status of an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryStatus {
+    /// Contributed, version 0.x, free to revise.
+    Provisional,
+    /// A reviewer has been asked to look at it.
+    UnderReview,
+    /// Approved by at least one named reviewer (version ≥ 1.0). Further
+    /// edits start a new provisional revision.
+    Approved,
+}
+
+impl EntryStatus {
+    /// Which statuses an entry may move to from here, and by which action.
+    pub fn transitions(self) -> &'static [(EntryStatus, &'static str)] {
+        match self {
+            EntryStatus::Provisional => &[(EntryStatus::UnderReview, "request_review")],
+            EntryStatus::UnderReview => &[
+                (EntryStatus::Approved, "approve"),
+                (EntryStatus::Provisional, "request_changes"),
+            ],
+            EntryStatus::Approved => &[(EntryStatus::Provisional, "revise")],
+        }
+    }
+
+    /// Is the `to` status reachable in one step?
+    pub fn can_move_to(self, to: EntryStatus) -> bool {
+        self.transitions().iter().any(|(s, _)| *s == to)
+    }
+}
+
+impl fmt::Display for EntryStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntryStatus::Provisional => write!(f, "provisional"),
+            EntryStatus::UnderReview => write!(f, "under review"),
+            EntryStatus::Approved => write!(f, "approved"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workflow_shape() {
+        assert!(EntryStatus::Provisional.can_move_to(EntryStatus::UnderReview));
+        assert!(!EntryStatus::Provisional.can_move_to(EntryStatus::Approved));
+        assert!(EntryStatus::UnderReview.can_move_to(EntryStatus::Approved));
+        assert!(EntryStatus::UnderReview.can_move_to(EntryStatus::Provisional));
+        assert!(EntryStatus::Approved.can_move_to(EntryStatus::Provisional));
+        assert!(!EntryStatus::Approved.can_move_to(EntryStatus::UnderReview));
+    }
+
+    #[test]
+    fn transitions_are_labelled() {
+        for s in [EntryStatus::Provisional, EntryStatus::UnderReview, EntryStatus::Approved] {
+            for (_, action) in s.transitions() {
+                assert!(!action.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(EntryStatus::UnderReview.to_string(), "under review");
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for the repository.
+
+use std::fmt;
+
+/// Errors raised by repository operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepoError {
+    /// The acting account is not registered (the paper's "barrier to
+    /// entry": a wiki account is required even to comment).
+    UnknownAccount(String),
+    /// The account lacks the role the action requires.
+    PermissionDenied {
+        /// Who attempted the action.
+        who: String,
+        /// What was attempted.
+        action: String,
+        /// The role that would be needed.
+        needs: String,
+    },
+    /// No entry with the given identifier.
+    UnknownEntry(String),
+    /// No such version of the entry.
+    UnknownVersion {
+        /// The entry.
+        entry: String,
+        /// The requested version.
+        version: String,
+    },
+    /// An entry with this title already exists.
+    DuplicateEntry(String),
+    /// The entry failed template validation; all problems listed.
+    InvalidEntry(Vec<String>),
+    /// An account with this name already exists.
+    DuplicateAccount(String),
+    /// Wiki markup could not be parsed back into an entry.
+    MarkupParse {
+        /// Which page.
+        page: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Persistence failure (serialisation or I/O), stringified.
+    Persist(String),
+}
+
+impl fmt::Display for RepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoError::UnknownAccount(a) => write!(f, "no registered account `{a}`"),
+            RepoError::PermissionDenied { who, action, needs } => {
+                write!(f, "`{who}` may not {action} (requires {needs})")
+            }
+            RepoError::UnknownEntry(e) => write!(f, "no entry `{e}`"),
+            RepoError::UnknownVersion { entry, version } => {
+                write!(f, "entry `{entry}` has no version {version}")
+            }
+            RepoError::DuplicateEntry(t) => write!(f, "an entry titled `{t}` already exists"),
+            RepoError::InvalidEntry(problems) => {
+                write!(f, "entry fails template validation: {}", problems.join("; "))
+            }
+            RepoError::DuplicateAccount(a) => write!(f, "account `{a}` already exists"),
+            RepoError::MarkupParse { page, reason } => {
+                write!(f, "cannot parse wiki page `{page}`: {reason}")
+            }
+            RepoError::Persist(s) => write!(f, "persistence error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RepoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        let cases = vec![
+            RepoError::UnknownAccount("a".into()),
+            RepoError::PermissionDenied {
+                who: "a".into(),
+                action: "approve".into(),
+                needs: "Reviewer".into(),
+            },
+            RepoError::UnknownEntry("composers".into()),
+            RepoError::UnknownVersion { entry: "composers".into(), version: "9.9".into() },
+            RepoError::DuplicateEntry("COMPOSERS".into()),
+            RepoError::InvalidEntry(vec!["missing overview".into()]),
+            RepoError::DuplicateAccount("a".into()),
+            RepoError::MarkupParse { page: "p".into(), reason: "r".into() },
+            RepoError::Persist("io".into()),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Findability (§5.2): keyword search over entries plus type and property
+//! filters. "Ensuring that the wiki is google indexed goes a long way" —
+//! this is the in-process equivalent.
+
+use std::collections::BTreeMap;
+
+use bx_theory::{Claim, Property};
+
+use crate::repo::{EntryId, RepositorySnapshot};
+use crate::template::{ExampleEntry, ExampleType};
+
+/// An inverted index over the latest versions of all entries.
+#[derive(Debug, Clone, Default)]
+pub struct SearchIndex {
+    /// term → (entry → term frequency)
+    postings: BTreeMap<String, BTreeMap<EntryId, u32>>,
+    /// number of indexed entries
+    entries: usize,
+}
+
+/// Lowercase alphanumeric tokens of length ≥ 2.
+fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| t.len() >= 2)
+        .map(str::to_ascii_lowercase)
+}
+
+fn entry_text(entry: &ExampleEntry) -> String {
+    let mut text = String::with_capacity(512);
+    for part in [
+        entry.title.as_str(),
+        entry.overview.as_str(),
+        entry.models.as_str(),
+        entry.consistency.as_str(),
+        entry.restoration.forward.as_str(),
+        entry.restoration.backward.as_str(),
+        entry.discussion.as_str(),
+    ] {
+        text.push_str(part);
+        text.push(' ');
+    }
+    for v in &entry.variants {
+        text.push_str(&v.name);
+        text.push(' ');
+        text.push_str(&v.description);
+        text.push(' ');
+    }
+    text
+}
+
+impl SearchIndex {
+    /// Build from a repository snapshot (latest versions only).
+    pub fn build(snapshot: &RepositorySnapshot) -> SearchIndex {
+        let mut idx = SearchIndex::default();
+        for (id, record) in &snapshot.records {
+            idx.entries += 1;
+            for token in tokenize(&entry_text(record.latest())) {
+                *idx.postings.entry(token).or_default().entry(id.clone()).or_insert(0) += 1;
+            }
+        }
+        idx
+    }
+
+    /// Number of distinct indexed terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of indexed entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries
+    }
+
+    /// Conjunctive keyword query: entries containing *all* terms, scored
+    /// by summed term frequency, sorted by descending score then id.
+    pub fn query(&self, terms: &[&str]) -> Vec<(EntryId, u32)> {
+        let mut scores: Option<BTreeMap<EntryId, u32>> = None;
+        for term in terms {
+            let term = term.to_ascii_lowercase();
+            let posting = self.postings.get(&term).cloned().unwrap_or_default();
+            scores = Some(match scores {
+                None => posting,
+                Some(prev) => prev
+                    .into_iter()
+                    .filter_map(|(id, score)| {
+                        posting.get(&id).map(|tf| (id, score + tf))
+                    })
+                    .collect(),
+            });
+        }
+        let mut out: Vec<(EntryId, u32)> = scores.unwrap_or_default().into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Entries of a given type, in id order.
+pub fn entries_of_type(snapshot: &RepositorySnapshot, ty: ExampleType) -> Vec<EntryId> {
+    snapshot
+        .records
+        .iter()
+        .filter(|(_, r)| r.latest().types.contains(&ty))
+        .map(|(id, _)| id.clone())
+        .collect()
+}
+
+/// Entries claiming a property (with either polarity), in id order.
+pub fn entries_claiming(snapshot: &RepositorySnapshot, property: Property) -> Vec<EntryId> {
+    snapshot
+        .records
+        .iter()
+        .filter(|(_, r)| r.latest().properties.iter().any(|c| c.property == property))
+        .map(|(id, _)| id.clone())
+        .collect()
+}
+
+/// Entries with exactly the given claim (property + polarity).
+pub fn entries_with_claim(snapshot: &RepositorySnapshot, claim: Claim) -> Vec<EntryId> {
+    snapshot
+        .records
+        .iter()
+        .filter(|(_, r)| r.latest().properties.contains(&claim))
+        .map(|(id, _)| id.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principal::Principal;
+    use crate::repo::Repository;
+    use crate::template::ExampleEntry;
+    use bx_theory::Polarity;
+
+    fn snapshot() -> RepositorySnapshot {
+        let r = Repository::found("r", vec![Principal::curator("c")]);
+        r.register(Principal::member("a")).unwrap();
+        let composers = ExampleEntry::builder("COMPOSERS")
+            .of_type(ExampleType::Precise)
+            .overview("Composers with names and nationalities.")
+            .models("A set of composer objects; a list of pairs.")
+            .consistency("Same pairs both sides.")
+            .restoration("Delete and append composers.", "Delete and add composers.")
+            .discussion("Undoability is too strong for composers.")
+            .property(Claim::holds(Property::Correct))
+            .property(Claim::fails(Property::Undoable))
+            .author("a")
+            .build()
+            .unwrap();
+        let uml = ExampleEntry::builder("UML2RDBMS")
+            .of_type(ExampleType::Precise)
+            .of_type(ExampleType::Benchmark)
+            .overview("Class diagrams to database schemas.")
+            .models("UML class diagrams; RDBMS schemas.")
+            .consistency("Classes correspond to tables.")
+            .restoration("Regenerate tables.", "Regenerate classes.")
+            .discussion("The notorious example.")
+            .property(Claim::holds(Property::Correct))
+            .author("a")
+            .build()
+            .unwrap();
+        r.contribute("a", composers).unwrap();
+        r.contribute("a", uml).unwrap();
+        r.snapshot()
+    }
+
+    #[test]
+    fn single_term_query_scores_by_tf() {
+        let idx = SearchIndex::build(&snapshot());
+        let hits = idx.query(&["composers"]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0.as_str(), "composers");
+        assert!(hits[0].1 >= 3, "composers appears several times");
+    }
+
+    #[test]
+    fn conjunctive_query() {
+        let idx = SearchIndex::build(&snapshot());
+        // Both entries mention "classes"? Only UML does; "delete" only composers.
+        let both = idx.query(&["consistency"]); // not in overview text fields? it's in field names only
+        let _ = both;
+        let uml_only = idx.query(&["tables", "classes"]);
+        assert_eq!(uml_only.len(), 1);
+        assert_eq!(uml_only[0].0.as_str(), "uml2rdbms");
+        let none = idx.query(&["tables", "composers"]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn case_insensitive_queries() {
+        let idx = SearchIndex::build(&snapshot());
+        assert_eq!(idx.query(&["UML2RDBMS"]).len(), 1);
+        assert_eq!(idx.query(&["CoMpOsErS"]).len(), 1);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let idx = SearchIndex::build(&snapshot());
+        assert!(idx.query(&[]).is_empty());
+        assert!(idx.query(&["zzzznothing"]).is_empty());
+    }
+
+    #[test]
+    fn counts_exposed() {
+        let idx = SearchIndex::build(&snapshot());
+        assert_eq!(idx.entry_count(), 2);
+        assert!(idx.term_count() > 10);
+    }
+
+    #[test]
+    fn type_filter() {
+        let s = snapshot();
+        let precise = entries_of_type(&s, ExampleType::Precise);
+        assert_eq!(precise.len(), 2);
+        let bench = entries_of_type(&s, ExampleType::Benchmark);
+        assert_eq!(bench.len(), 1);
+        assert_eq!(bench[0].as_str(), "uml2rdbms");
+        assert!(entries_of_type(&s, ExampleType::Sketch).is_empty());
+    }
+
+    #[test]
+    fn property_filters() {
+        let s = snapshot();
+        let correct = entries_claiming(&s, Property::Correct);
+        assert_eq!(correct.len(), 2);
+        let not_undoable = entries_with_claim(&s, Claim::fails(Property::Undoable));
+        assert_eq!(not_undoable.len(), 1);
+        assert_eq!(not_undoable[0].as_str(), "composers");
+        assert!(entries_with_claim(&s, Claim::holds(Property::Undoable)).is_empty());
+        let _ = Polarity::Holds;
+    }
+}

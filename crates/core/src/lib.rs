@@ -1,0 +1,53 @@
+//! # bx-core — the curated repository of bx examples
+//!
+//! An executable realisation of Cheney, McKinna, Stevens & Gibbons,
+//! *"Towards a Repository of Bx Examples"* (BX 2014): the repository
+//! itself, as a library.
+//!
+//! * [`template`] — the standard entry template of §3 (Title, Version,
+//!   Type, Overview, Models, Consistency, Consistency Restoration,
+//!   Properties?, Variants?, Discussion, References?, Authors,
+//!   Reviewers?, Comments, Artefacts?), with validation of the paper's
+//!   side conditions (e.g. PRECISE and SKETCH are mutually exclusive);
+//! * [`version`] — linear version numbering: `0.x` while provisional,
+//!   `≥ 1.0` once reviewed; old versions are never discarded;
+//! * [`principal`] / [`curation`] — the three-level curatorial structure
+//!   of §5.1: registered members may comment, named reviewers approve,
+//!   curators control the repository;
+//! * [`repo`] — the repository: stable identifiers, full version history,
+//!   permission-checked workflows;
+//! * [`cite`] — citation formats for entries and the repository (§5.2);
+//! * [`index`] — keyword search with type/property filters (§5.2
+//!   findability);
+//! * [`wiki`] — the wiki hosting model: pages with retained revisions,
+//!   rendering entries to wiki markup and parsing them back;
+//! * [`wiki_bx`] — §5.4 dogfooded: consistency between the structured
+//!   repository and its wiki rendering maintained by a bidirectional
+//!   transformation built on `bx-theory`;
+//! * [`manuscript`] — the archival "citable technical report" export of
+//!   §5.2;
+//! * [`persist`] — the wiki-markup-independent persistent form (JSON).
+
+pub mod cite;
+pub mod curation;
+pub mod error;
+pub mod index;
+pub mod manuscript;
+pub mod persist;
+pub mod principal;
+pub mod repo;
+pub mod template;
+pub mod version;
+pub mod wiki;
+pub mod wiki_bx;
+
+pub use curation::EntryStatus;
+pub use error::RepoError;
+pub use principal::{Principal, Role};
+pub use repo::{EntryId, Repository};
+pub use template::{
+    Artefact, ArtefactKind, Comment, EntryBuilder, ExampleEntry, ExampleType, Reference,
+    RestorationSpec, VariantPoint,
+};
+pub use version::Version;
+pub use wiki::WikiSite;

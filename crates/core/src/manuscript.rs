@@ -1,0 +1,127 @@
+//! The archival manuscript export (§5.2): "it may make sense to collect
+//! the most recent versions of all of the examples in it into a manuscript
+//! (with all authors and reviewers named), and publish it formally as a
+//! citable, archival technical report."
+
+use std::collections::BTreeSet;
+
+use crate::cite::{bibtex, cite_repository};
+use crate::repo::RepositorySnapshot;
+use crate::wiki::render_entry;
+
+/// Options for the export.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ManuscriptOptions {
+    /// Include only reviewed (version ≥ 1.0) entries.
+    pub reviewed_only: bool,
+}
+
+/// Produce the archival technical report as plain text.
+pub fn export_manuscript(snapshot: &RepositorySnapshot, options: ManuscriptOptions) -> String {
+    let entries: Vec<_> = snapshot
+        .records
+        .values()
+        .map(|r| r.latest())
+        .filter(|e| !options.reviewed_only || e.version.is_reviewed())
+        .collect();
+
+    let mut authors: BTreeSet<&str> = BTreeSet::new();
+    let mut reviewers: BTreeSet<&str> = BTreeSet::new();
+    for e in &entries {
+        authors.extend(e.authors.iter().map(String::as_str));
+        reviewers.extend(e.reviewers.iter().map(String::as_str));
+    }
+
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!("{}\n", snapshot.name));
+    out.push_str(&"=".repeat(snapshot.name.len()));
+    out.push_str("\n\nAn archival technical report collecting the most recent versions of\n");
+    out.push_str("all examples in the repository, with all authors and reviewers named.\n\n");
+
+    out.push_str("Contributing authors:\n");
+    for a in &authors {
+        out.push_str(&format!("  - {a}\n"));
+    }
+    out.push_str("\nReviewers:\n");
+    if reviewers.is_empty() {
+        out.push_str("  (none yet)\n");
+    } else {
+        for r in &reviewers {
+            out.push_str(&format!("  - {r}\n"));
+        }
+    }
+    out.push_str(&format!("\nCanonical citation: {}\n", cite_repository(&snapshot.name)));
+    out.push_str(&format!("\nContents ({} entries):\n", entries.len()));
+    for e in &entries {
+        out.push_str(&format!("  - {} (version {})\n", e.title, e.version));
+    }
+    out.push_str("\n----\n\n");
+
+    for e in &entries {
+        out.push_str(&render_entry(e));
+        out.push_str("----\n\n");
+    }
+
+    out.push_str("Appendix: BibTeX records\n\n");
+    for e in &entries {
+        out.push_str(&bibtex(&snapshot.name, e));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principal::{Principal, Role};
+    use crate::repo::Repository;
+    use crate::template::{ExampleEntry, ExampleType};
+
+    fn repo() -> Repository {
+        let r = Repository::found("The Bx Examples Repository", vec![Principal::curator("cur")]);
+        r.register(Principal::member("alice")).unwrap();
+        r.register(Principal::member("rev")).unwrap();
+        r.grant_role("cur", "rev", Role::Reviewer).unwrap();
+        for title in ["COMPOSERS", "UML2RDBMS"] {
+            let e = ExampleEntry::builder(title)
+                .of_type(ExampleType::Precise)
+                .overview("O.")
+                .models("M.")
+                .consistency("C.")
+                .restoration("F.", "B.")
+                .discussion("D.")
+                .author("alice")
+                .build()
+                .unwrap();
+            r.contribute("alice", e).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn manuscript_names_everyone_and_lists_entries() {
+        let r = repo();
+        let text = export_manuscript(&r.snapshot(), ManuscriptOptions::default());
+        assert!(text.contains("The Bx Examples Repository"));
+        assert!(text.contains("- alice"));
+        assert!(text.contains("(none yet)"));
+        assert!(text.contains("Contents (2 entries):"));
+        assert!(text.contains("++ COMPOSERS"));
+        assert!(text.contains("++ UML2RDBMS"));
+        assert!(text.contains("@misc{bx-composers-0-1,"));
+    }
+
+    #[test]
+    fn reviewed_only_filters() {
+        let r = repo();
+        let id = crate::repo::EntryId("composers".to_string());
+        r.request_review("alice", &id).unwrap();
+        r.approve("rev", &id).unwrap();
+        let text =
+            export_manuscript(&r.snapshot(), ManuscriptOptions { reviewed_only: true });
+        assert!(text.contains("Contents (1 entries):"));
+        assert!(text.contains("++ COMPOSERS"));
+        assert!(!text.contains("++ UML2RDBMS"));
+        assert!(text.contains("- rev"), "reviewer named");
+    }
+}

@@ -1,0 +1,103 @@
+//! Principals and the three-level curatorial structure (§5.1).
+//!
+//! "Anyone with a wiki account will be able to comment … each example will
+//! also have one or more named reviewers … overall editorial control of
+//! the repository is the responsibility of a small group of curators."
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three curation levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// A registered wiki account: may contribute entries and comment.
+    Member,
+    /// A recognised community member whose name as reviewer indicates an
+    /// example is of usable quality; may approve entries.
+    Reviewer,
+    /// Editorial control: may grant roles and administer the repository.
+    Curator,
+}
+
+impl Role {
+    /// Does this role subsume `other`? (Curator ⊇ Reviewer ⊇ Member.)
+    pub fn at_least(self, other: Role) -> bool {
+        self >= other
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Member => write!(f, "Member"),
+            Role::Reviewer => write!(f, "Reviewer"),
+            Role::Curator => write!(f, "Curator"),
+        }
+    }
+}
+
+/// A registered account.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Principal {
+    /// Account name (unique).
+    pub name: String,
+    /// Optional affiliation, shown in author/reviewer lists.
+    pub affiliation: Option<String>,
+    /// Curation level.
+    pub role: Role,
+}
+
+impl Principal {
+    /// A member-level account.
+    pub fn member(name: &str) -> Principal {
+        Principal { name: name.to_string(), affiliation: None, role: Role::Member }
+    }
+
+    /// A reviewer-level account.
+    pub fn reviewer(name: &str) -> Principal {
+        Principal { name: name.to_string(), affiliation: None, role: Role::Reviewer }
+    }
+
+    /// A curator-level account.
+    pub fn curator(name: &str) -> Principal {
+        Principal { name: name.to_string(), affiliation: None, role: Role::Curator }
+    }
+
+    /// Set the affiliation.
+    pub fn with_affiliation(mut self, affiliation: &str) -> Principal {
+        self.affiliation = Some(affiliation.to_string());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_ordering_matches_subsumption() {
+        assert!(Role::Curator.at_least(Role::Reviewer));
+        assert!(Role::Curator.at_least(Role::Member));
+        assert!(Role::Reviewer.at_least(Role::Member));
+        assert!(!Role::Member.at_least(Role::Reviewer));
+        assert!(Role::Member.at_least(Role::Member));
+    }
+
+    #[test]
+    fn constructors_set_roles() {
+        assert_eq!(Principal::member("a").role, Role::Member);
+        assert_eq!(Principal::reviewer("b").role, Role::Reviewer);
+        assert_eq!(Principal::curator("c").role, Role::Curator);
+    }
+
+    #[test]
+    fn affiliation_builder() {
+        let p = Principal::member("Perdita Stevens").with_affiliation("University of Edinburgh");
+        assert_eq!(p.affiliation.as_deref(), Some("University of Edinburgh"));
+    }
+
+    #[test]
+    fn role_display() {
+        assert_eq!(Role::Reviewer.to_string(), "Reviewer");
+    }
+}

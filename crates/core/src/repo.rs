@@ -1,0 +1,590 @@
+//! The repository: stable identifiers, version history, permission-checked
+//! curation workflows.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::curation::EntryStatus;
+use crate::error::RepoError;
+use crate::principal::{Principal, Role};
+use crate::template::{Comment, ExampleEntry};
+use crate::version::Version;
+
+/// A stable entry identifier (the slug of the entry's title). "We need …
+/// a stable reference for each example … so that it can be referenced in
+/// a paper with some hope that that reference will persist."
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EntryId(pub String);
+
+impl EntryId {
+    /// Derive from a title.
+    pub fn from_title(title: &str) -> EntryId {
+        EntryId(crate::template::slug_of(title))
+    }
+
+    /// The slug text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The wiki page name for this entry ("examples:composers").
+    pub fn page_name(&self) -> String {
+        format!("examples:{}", self.0)
+    }
+}
+
+impl fmt::Display for EntryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One entry's full record: status plus every version ever published.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntryRecord {
+    /// Workflow status.
+    pub status: EntryStatus,
+    /// All versions, oldest first; "keep old versions of examples
+    /// available, so that old references can still be followed".
+    pub history: Vec<ExampleEntry>,
+}
+
+impl EntryRecord {
+    /// The latest version.
+    pub fn latest(&self) -> &ExampleEntry {
+        self.history.last().expect("records always hold at least one version")
+    }
+}
+
+/// A point-in-time, lock-free copy of the repository contents — the unit
+/// the wiki bx, the manuscript export and persistence all work over.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepositorySnapshot {
+    /// Repository name.
+    pub name: String,
+    /// All records, keyed by id.
+    pub records: BTreeMap<EntryId, EntryRecord>,
+    /// All registered accounts, keyed by name.
+    pub accounts: BTreeMap<String, Principal>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    records: BTreeMap<EntryId, EntryRecord>,
+    accounts: BTreeMap<String, Principal>,
+}
+
+/// The curated repository. Thread-safe: reads take a shared lock, curation
+/// actions an exclusive one.
+#[derive(Debug)]
+pub struct Repository {
+    name: String,
+    inner: RwLock<Inner>,
+}
+
+impl Repository {
+    /// Found a repository with its initial curators ("overall editorial
+    /// control … is the responsibility of a small group of curators,
+    /// initially ourselves").
+    pub fn found(name: &str, curators: Vec<Principal>) -> Repository {
+        let mut accounts = BTreeMap::new();
+        for mut c in curators {
+            c.role = Role::Curator;
+            accounts.insert(c.name.clone(), c);
+        }
+        Repository {
+            name: name.to_string(),
+            inner: RwLock::new(Inner { records: BTreeMap::new(), accounts }),
+        }
+    }
+
+    /// The repository's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn require_role(inner: &Inner, who: &str, needs: Role, action: &str) -> Result<(), RepoError> {
+        let p = inner
+            .accounts
+            .get(who)
+            .ok_or_else(|| RepoError::UnknownAccount(who.to_string()))?;
+        if p.role.at_least(needs) {
+            Ok(())
+        } else {
+            Err(RepoError::PermissionDenied {
+                who: who.to_string(),
+                action: action.to_string(),
+                needs: needs.to_string(),
+            })
+        }
+    }
+
+    /// Self-registration: anyone may obtain a member account (the
+    /// barrier-to-entry is registration itself).
+    pub fn register(&self, principal: Principal) -> Result<(), RepoError> {
+        let mut inner = self.inner.write();
+        if inner.accounts.contains_key(&principal.name) {
+            return Err(RepoError::DuplicateAccount(principal.name));
+        }
+        // Self-registration grants Member regardless of the requested role;
+        // higher roles come from curators via `grant_role`.
+        let name = principal.name.clone();
+        inner.accounts.insert(name, Principal { role: Role::Member, ..principal });
+        Ok(())
+    }
+
+    /// A curator grants a role to an existing account.
+    pub fn grant_role(&self, curator: &str, account: &str, role: Role) -> Result<(), RepoError> {
+        let mut inner = self.inner.write();
+        Self::require_role(&inner, curator, Role::Curator, "grant roles")?;
+        let p = inner
+            .accounts
+            .get_mut(account)
+            .ok_or_else(|| RepoError::UnknownAccount(account.to_string()))?;
+        p.role = role;
+        Ok(())
+    }
+
+    /// Look up an account.
+    pub fn account(&self, name: &str) -> Result<Principal, RepoError> {
+        self.inner
+            .read()
+            .accounts
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RepoError::UnknownAccount(name.to_string()))
+    }
+
+    /// Contribute a new entry. The contributor must be registered; the
+    /// entry must validate; the title must be fresh. The entry starts
+    /// provisional at version 0.1 regardless of what the draft said.
+    pub fn contribute(&self, who: &str, mut entry: ExampleEntry) -> Result<EntryId, RepoError> {
+        let mut inner = self.inner.write();
+        Self::require_role(&inner, who, Role::Member, "contribute entries")?;
+        let problems = entry.validate();
+        if !problems.is_empty() {
+            return Err(RepoError::InvalidEntry(problems));
+        }
+        let id = EntryId::from_title(&entry.title);
+        if inner.records.contains_key(&id) {
+            return Err(RepoError::DuplicateEntry(entry.title));
+        }
+        entry.version = Version::initial();
+        entry.reviewers.clear();
+        inner.records.insert(
+            id.clone(),
+            EntryRecord { status: EntryStatus::Provisional, history: vec![entry] },
+        );
+        Ok(id)
+    }
+
+    /// Revise an entry: publishes a new version (minor bump) and returns
+    /// to provisional status. "We do not wish to have uncontrolled
+    /// editing": only the entry's authors or a curator may revise.
+    pub fn revise(
+        &self,
+        who: &str,
+        id: &EntryId,
+        mut entry: ExampleEntry,
+    ) -> Result<Version, RepoError> {
+        let mut inner = self.inner.write();
+        Self::require_role(&inner, who, Role::Member, "revise entries")?;
+        let is_curator = inner
+            .accounts
+            .get(who)
+            .is_some_and(|p| p.role.at_least(Role::Curator));
+        let record = inner
+            .records
+            .get_mut(id)
+            .ok_or_else(|| RepoError::UnknownEntry(id.to_string()))?;
+        let latest = record.latest();
+        if !is_curator && !latest.authors.iter().any(|a| a == who) {
+            return Err(RepoError::PermissionDenied {
+                who: who.to_string(),
+                action: format!("revise `{id}`"),
+                needs: "authorship or Curator".to_string(),
+            });
+        }
+        let new_version = latest.version.next_revision();
+        entry.version = new_version;
+        // Comments accumulate across versions, and reviewers-of-record stay
+        // attached for traceability; carry both forward.
+        entry.comments = latest.comments.clone();
+        entry.reviewers = latest.reviewers.clone();
+        let problems = entry.validate();
+        if !problems.is_empty() {
+            return Err(RepoError::InvalidEntry(problems));
+        }
+        record.history.push(entry);
+        record.status = EntryStatus::Provisional;
+        Ok(new_version)
+    }
+
+    /// Any registered member may comment on an entry; comments attach to
+    /// the latest version and guide the next one.
+    pub fn comment(
+        &self,
+        who: &str,
+        id: &EntryId,
+        date: &str,
+        text: &str,
+    ) -> Result<(), RepoError> {
+        let mut inner = self.inner.write();
+        Self::require_role(&inner, who, Role::Member, "comment")?;
+        let record = inner
+            .records
+            .get_mut(id)
+            .ok_or_else(|| RepoError::UnknownEntry(id.to_string()))?;
+        let latest = record.history.last_mut().expect("non-empty history");
+        latest.comments.push(Comment {
+            author: who.to_string(),
+            date: date.to_string(),
+            text: text.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Ask for review (any member; typically an author).
+    pub fn request_review(&self, who: &str, id: &EntryId) -> Result<(), RepoError> {
+        let mut inner = self.inner.write();
+        Self::require_role(&inner, who, Role::Member, "request review")?;
+        let record = inner
+            .records
+            .get_mut(id)
+            .ok_or_else(|| RepoError::UnknownEntry(id.to_string()))?;
+        if !record.status.can_move_to(EntryStatus::UnderReview) {
+            return Err(RepoError::PermissionDenied {
+                who: who.to_string(),
+                action: format!("request review of `{id}` ({} already)", record.status),
+                needs: "provisional status".to_string(),
+            });
+        }
+        record.status = EntryStatus::UnderReview;
+        Ok(())
+    }
+
+    /// A reviewer approves the entry: the version is promoted (0.x → 1.0,
+    /// 1.x → 2.0) and the reviewer's name is recorded "in the interest of
+    /// traceability and credit".
+    pub fn approve(&self, reviewer: &str, id: &EntryId) -> Result<Version, RepoError> {
+        let mut inner = self.inner.write();
+        Self::require_role(&inner, reviewer, Role::Reviewer, "approve entries")?;
+        let record = inner
+            .records
+            .get_mut(id)
+            .ok_or_else(|| RepoError::UnknownEntry(id.to_string()))?;
+        if !record.status.can_move_to(EntryStatus::Approved) {
+            return Err(RepoError::PermissionDenied {
+                who: reviewer.to_string(),
+                action: format!("approve `{id}` ({})", record.status),
+                needs: "under-review status".to_string(),
+            });
+        }
+        let latest = record.latest();
+        if latest.authors.iter().any(|a| a == reviewer) {
+            return Err(RepoError::PermissionDenied {
+                who: reviewer.to_string(),
+                action: format!("approve own entry `{id}`"),
+                needs: "an independent reviewer".to_string(),
+            });
+        }
+        let mut approved = latest.clone();
+        approved.version = latest.version.promoted();
+        if !approved.reviewers.iter().any(|r| r == reviewer) {
+            approved.reviewers.push(reviewer.to_string());
+        }
+        let version = approved.version;
+        record.history.push(approved);
+        record.status = EntryStatus::Approved;
+        Ok(version)
+    }
+
+    /// A reviewer sends the entry back for changes.
+    pub fn request_changes(&self, reviewer: &str, id: &EntryId) -> Result<(), RepoError> {
+        let mut inner = self.inner.write();
+        Self::require_role(&inner, reviewer, Role::Reviewer, "request changes")?;
+        let record = inner
+            .records
+            .get_mut(id)
+            .ok_or_else(|| RepoError::UnknownEntry(id.to_string()))?;
+        if record.status != EntryStatus::UnderReview {
+            return Err(RepoError::PermissionDenied {
+                who: reviewer.to_string(),
+                action: format!("request changes on `{id}` ({})", record.status),
+                needs: "under-review status".to_string(),
+            });
+        }
+        record.status = EntryStatus::Provisional;
+        Ok(())
+    }
+
+    /// The latest version of an entry.
+    pub fn latest(&self, id: &EntryId) -> Result<ExampleEntry, RepoError> {
+        let inner = self.inner.read();
+        inner
+            .records
+            .get(id)
+            .map(|r| r.latest().clone())
+            .ok_or_else(|| RepoError::UnknownEntry(id.to_string()))
+    }
+
+    /// A specific version of an entry (old references must keep working).
+    pub fn at_version(&self, id: &EntryId, version: Version) -> Result<ExampleEntry, RepoError> {
+        let inner = self.inner.read();
+        let record = inner
+            .records
+            .get(id)
+            .ok_or_else(|| RepoError::UnknownEntry(id.to_string()))?;
+        record
+            .history
+            .iter()
+            .find(|e| e.version == version)
+            .cloned()
+            .ok_or_else(|| RepoError::UnknownVersion {
+                entry: id.to_string(),
+                version: version.to_string(),
+            })
+    }
+
+    /// All versions an entry has had, oldest first.
+    pub fn versions(&self, id: &EntryId) -> Result<Vec<Version>, RepoError> {
+        let inner = self.inner.read();
+        inner
+            .records
+            .get(id)
+            .map(|r| r.history.iter().map(|e| e.version).collect())
+            .ok_or_else(|| RepoError::UnknownEntry(id.to_string()))
+    }
+
+    /// Current workflow status.
+    pub fn status(&self, id: &EntryId) -> Result<EntryStatus, RepoError> {
+        let inner = self.inner.read();
+        inner
+            .records
+            .get(id)
+            .map(|r| r.status)
+            .ok_or_else(|| RepoError::UnknownEntry(id.to_string()))
+    }
+
+    /// All entry ids, sorted.
+    pub fn ids(&self) -> Vec<EntryId> {
+        self.inner.read().records.keys().cloned().collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().records.len()
+    }
+
+    /// True when the repository has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().records.is_empty()
+    }
+
+    /// A full point-in-time copy.
+    pub fn snapshot(&self) -> RepositorySnapshot {
+        let inner = self.inner.read();
+        RepositorySnapshot {
+            name: self.name.clone(),
+            records: inner.records.clone(),
+            accounts: inner.accounts.clone(),
+        }
+    }
+
+    /// Rebuild a repository from a snapshot (the restore direction of the
+    /// persistence story).
+    pub fn from_snapshot(snapshot: RepositorySnapshot) -> Repository {
+        Repository {
+            name: snapshot.name,
+            inner: RwLock::new(Inner { records: snapshot.records, accounts: snapshot.accounts }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::ExampleType;
+
+    fn entry(title: &str, author: &str) -> ExampleEntry {
+        ExampleEntry::builder(title)
+            .of_type(ExampleType::Precise)
+            .overview("An overview. Short.")
+            .models("Models described here.")
+            .consistency("Consistency described here.")
+            .restoration("Forward fix.", "Backward fix.")
+            .discussion("Some discussion.")
+            .author(author)
+            .build()
+            .expect("valid entry")
+    }
+
+    fn repo() -> Repository {
+        let r = Repository::found("bx-examples", vec![Principal::curator("curator")]);
+        r.register(Principal::member("alice")).unwrap();
+        r.register(Principal::member("bob")).unwrap();
+        r.grant_role("curator", "bob", Role::Reviewer).unwrap();
+        r
+    }
+
+    #[test]
+    fn contribute_and_fetch() {
+        let r = repo();
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        assert_eq!(id.as_str(), "composers");
+        assert_eq!(id.page_name(), "examples:composers");
+        let e = r.latest(&id).unwrap();
+        assert_eq!(e.version, Version::initial());
+        assert_eq!(r.status(&id).unwrap(), EntryStatus::Provisional);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn unregistered_cannot_contribute() {
+        let r = repo();
+        let e = r.contribute("mallory", entry("X Y", "mallory"));
+        assert!(matches!(e, Err(RepoError::UnknownAccount(_))));
+    }
+
+    #[test]
+    fn duplicate_titles_rejected() {
+        let r = repo();
+        r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        let e = r.contribute("bob", entry("Composers", "bob"));
+        assert!(matches!(e, Err(RepoError::DuplicateEntry(_))), "same slug must collide");
+    }
+
+    #[test]
+    fn invalid_entries_rejected_with_reasons() {
+        let r = repo();
+        let draft = ExampleEntry::builder("BAD").build_unchecked();
+        match r.contribute("alice", draft) {
+            Err(RepoError::InvalidEntry(problems)) => assert!(problems.len() >= 5),
+            other => panic!("expected InvalidEntry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn revision_bumps_version_and_keeps_history() {
+        let r = repo();
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        let mut e2 = entry("COMPOSERS", "alice");
+        e2.discussion = "Expanded discussion.".to_string();
+        let v2 = r.revise("alice", &id, e2).unwrap();
+        assert_eq!(v2, Version::new(0, 2));
+        assert_eq!(r.versions(&id).unwrap(), vec![Version::new(0, 1), Version::new(0, 2)]);
+        // The old version is still fetchable.
+        let old = r.at_version(&id, Version::new(0, 1)).unwrap();
+        assert_eq!(old.discussion, "Some discussion.");
+    }
+
+    #[test]
+    fn only_authors_or_curators_revise() {
+        let r = repo();
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        let e = r.revise("bob", &id, entry("COMPOSERS", "alice"));
+        assert!(matches!(e, Err(RepoError::PermissionDenied { .. })));
+        // Curators may.
+        assert!(r.revise("curator", &id, entry("COMPOSERS", "alice")).is_ok());
+    }
+
+    #[test]
+    fn comments_accumulate_across_versions() {
+        let r = repo();
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        r.comment("bob", &id, "2014-03-28", "What about name keys?").unwrap();
+        r.revise("alice", &id, entry("COMPOSERS", "alice")).unwrap();
+        let latest = r.latest(&id).unwrap();
+        assert_eq!(latest.comments.len(), 1);
+        assert_eq!(latest.comments[0].author, "bob");
+    }
+
+    #[test]
+    fn full_review_workflow() {
+        let r = repo();
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        // Cannot approve before review requested.
+        assert!(r.approve("bob", &id).is_err());
+        r.request_review("alice", &id).unwrap();
+        assert_eq!(r.status(&id).unwrap(), EntryStatus::UnderReview);
+        let v = r.approve("bob", &id).unwrap();
+        assert_eq!(v, Version::new(1, 0));
+        assert_eq!(r.status(&id).unwrap(), EntryStatus::Approved);
+        let e = r.latest(&id).unwrap();
+        assert!(e.version.is_reviewed());
+        assert_eq!(e.reviewers, vec!["bob".to_string()]);
+        // Old provisional version still available.
+        assert!(r.at_version(&id, Version::new(0, 1)).is_ok());
+    }
+
+    #[test]
+    fn members_cannot_approve() {
+        let r = repo();
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        r.request_review("alice", &id).unwrap();
+        let e = r.approve("alice", &id);
+        assert!(matches!(e, Err(RepoError::PermissionDenied { .. })));
+    }
+
+    #[test]
+    fn authors_cannot_review_own_entries() {
+        let r = repo();
+        r.register(Principal::member("carol")).unwrap();
+        r.grant_role("curator", "carol", Role::Reviewer).unwrap();
+        let id = r.contribute("carol", entry("SELFIE", "carol")).unwrap();
+        r.request_review("carol", &id).unwrap();
+        let e = r.approve("carol", &id);
+        assert!(matches!(e, Err(RepoError::PermissionDenied { .. })));
+    }
+
+    #[test]
+    fn request_changes_returns_to_provisional() {
+        let r = repo();
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        r.request_review("alice", &id).unwrap();
+        r.request_changes("bob", &id).unwrap();
+        assert_eq!(r.status(&id).unwrap(), EntryStatus::Provisional);
+    }
+
+    #[test]
+    fn self_registration_is_member_only() {
+        let r = repo();
+        r.register(Principal::curator("sneaky")).unwrap();
+        assert_eq!(r.account("sneaky").unwrap().role, Role::Member);
+    }
+
+    #[test]
+    fn only_curators_grant_roles() {
+        let r = repo();
+        let e = r.grant_role("bob", "alice", Role::Reviewer);
+        assert!(matches!(e, Err(RepoError::PermissionDenied { .. })));
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let r = repo();
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        let snap = r.snapshot();
+        let r2 = Repository::from_snapshot(snap.clone());
+        assert_eq!(r2.latest(&id).unwrap(), r.latest(&id).unwrap());
+        assert_eq!(r2.snapshot(), snap);
+    }
+
+    #[test]
+    fn approval_after_re_review_promotes_major() {
+        let r = repo();
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        r.request_review("alice", &id).unwrap();
+        r.approve("bob", &id).unwrap(); // 1.0
+        let mut e2 = entry("COMPOSERS", "alice");
+        e2.discussion = "Post-1.0 revision.".to_string();
+        let v = r.revise("alice", &id, e2).unwrap();
+        assert_eq!(v, Version::new(1, 1));
+        r.request_review("alice", &id).unwrap();
+        let v = r.approve("bob", &id).unwrap();
+        assert_eq!(v, Version::new(2, 0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Linear version numbers: `0.x` provisional, `≥ 1.0` reviewed.
+//!
+//! The paper: "Version 0.x for unreviewed examples" and "maintain a linear
+//! sequence of numbered versions"; old versions remain available so
+//! published references stay valid.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A two-component version number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Version {
+    /// Major component: `0` while provisional.
+    pub major: u32,
+    /// Minor component.
+    pub minor: u32,
+}
+
+impl Version {
+    /// The initial version of a freshly contributed example.
+    pub fn initial() -> Version {
+        Version { major: 0, minor: 1 }
+    }
+
+    /// Construct an arbitrary version.
+    pub fn new(major: u32, minor: u32) -> Version {
+        Version { major, minor }
+    }
+
+    /// Reviewed examples carry versions `≥ 1.0`.
+    pub fn is_reviewed(self) -> bool {
+        self.major >= 1
+    }
+
+    /// The next revision in the linear sequence (minor bump).
+    pub fn next_revision(self) -> Version {
+        Version { major: self.major, minor: self.minor + 1 }
+    }
+
+    /// The version assigned on review approval: `1.0` for a provisional
+    /// entry, next major for an already-reviewed one.
+    pub fn promoted(self) -> Version {
+        Version { major: self.major + 1, minor: 0 }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+impl FromStr for Version {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (maj, min) = s.split_once('.').ok_or_else(|| format!("bad version `{s}`"))?;
+        Ok(Version {
+            major: maj.trim().parse().map_err(|e| format!("bad major in `{s}`: {e}"))?,
+            minor: min.trim().parse().map_err(|e| format!("bad minor in `{s}`: {e}"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_is_provisional() {
+        let v = Version::initial();
+        assert_eq!(v.to_string(), "0.1");
+        assert!(!v.is_reviewed());
+    }
+
+    #[test]
+    fn revision_sequence_is_linear() {
+        let v = Version::initial().next_revision().next_revision();
+        assert_eq!(v, Version::new(0, 3));
+        assert!(Version::new(0, 2) < Version::new(0, 3));
+        assert!(Version::new(0, 9) < Version::new(1, 0));
+    }
+
+    #[test]
+    fn promotion() {
+        assert_eq!(Version::new(0, 4).promoted(), Version::new(1, 0));
+        assert!(Version::new(0, 4).promoted().is_reviewed());
+        assert_eq!(Version::new(1, 3).promoted(), Version::new(2, 0));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for v in [Version::initial(), Version::new(1, 0), Version::new(12, 34)] {
+            assert_eq!(v.to_string().parse::<Version>().unwrap(), v);
+        }
+        assert!("1".parse::<Version>().is_err());
+        assert!("a.b".parse::<Version>().is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Parsing canonical wiki markup back into entries — the other half of
+//! the §5.4 bx.
+
+use crate::error::RepoError;
+use crate::template::{
+    Artefact, Comment, ExampleEntry, Reference, RestorationSpec, VariantPoint,
+};
+use crate::version::Version;
+
+fn err(page: &str, reason: impl Into<String>) -> RepoError {
+    RepoError::MarkupParse { page: page.to_string(), reason: reason.into() }
+}
+
+/// Parse canonical markup (as produced by
+/// [`crate::wiki::render::render_entry`]) into an entry.
+///
+/// `page` is used only for error messages.
+pub fn parse_entry(page: &str, text: &str) -> Result<ExampleEntry, RepoError> {
+    let mut lines = text.lines().peekable();
+
+    // Title line.
+    let title_line = lines.next().ok_or_else(|| err(page, "empty page"))?;
+    let title = title_line
+        .strip_prefix("++ ")
+        .ok_or_else(|| err(page, "expected `++ TITLE` on the first line"))?
+        .to_string();
+
+    // Metadata table rows.
+    let version_line = lines.next().ok_or_else(|| err(page, "missing Version row"))?;
+    let version = parse_table_row(page, version_line, "Version")?
+        .parse::<Version>()
+        .map_err(|e| err(page, e))?;
+    let type_line = lines.next().ok_or_else(|| err(page, "missing Type row"))?;
+    let types_text = parse_table_row(page, type_line, "Type")?;
+    let mut types = Vec::new();
+    for t in types_text.split(',') {
+        types.push(t.trim().parse().map_err(|e: String| err(page, e))?);
+    }
+
+    // Remaining document: sections at `+++` level.
+    let mut sections: Vec<(String, Vec<String>)> = Vec::new();
+    for line in lines {
+        if let Some(h) = line.strip_prefix("+++ ") {
+            sections.push((h.to_string(), Vec::new()));
+        } else if let Some((_, body)) = sections.last_mut() {
+            body.push(line.to_string());
+        } else if !line.trim().is_empty() {
+            return Err(err(page, format!("content before first section: {line:?}")));
+        }
+    }
+
+    let mut entry = ExampleEntry::builder(&title).build_unchecked();
+    entry.version = version;
+    entry.types = types;
+
+    let free_text = |body: &[String]| -> String {
+        let mut s = body.join("\n");
+        while s.ends_with('\n') {
+            s.pop();
+        }
+        s
+    };
+    let bullets = |body: &[String]| -> Vec<String> {
+        body.iter()
+            .filter_map(|l| l.strip_prefix("* ").map(str::to_string))
+            .collect()
+    };
+
+    for (heading, body) in &sections {
+        match heading.as_str() {
+            "Overview" => entry.overview = free_text(body),
+            "Models" => entry.models = free_text(body),
+            "Consistency" => entry.consistency = free_text(body),
+            "Consistency Restoration" => {
+                entry.restoration = parse_restoration(page, body)?;
+            }
+            "Properties" => {
+                for b in bullets(body) {
+                    entry.properties.push(b.parse().map_err(
+                        |e: bx_theory::TheoryError| err(page, e.to_string()),
+                    )?);
+                }
+            }
+            "Variants" => {
+                for b in bullets(body) {
+                    let (name, description) = b
+                        .split_once(" :: ")
+                        .ok_or_else(|| err(page, format!("bad variant line {b:?}")))?;
+                    entry.variants.push(VariantPoint {
+                        name: name.to_string(),
+                        description: description.to_string(),
+                    });
+                }
+            }
+            "Discussion" => entry.discussion = free_text(body),
+            "References" => {
+                for b in bullets(body) {
+                    let (citation, doi) = match b.split_once(" :: ") {
+                        Some((c, d)) => (c.to_string(), Some(d.to_string())),
+                        None => (b, None),
+                    };
+                    entry.references.push(Reference { citation, doi });
+                }
+            }
+            "Authors" => entry.authors = bullets(body),
+            "Reviewers" => entry.reviewers = bullets(body),
+            "Comments" => {
+                for b in bullets(body) {
+                    let mut parts = b.splitn(3, " :: ");
+                    let author = parts.next().unwrap_or_default().to_string();
+                    let date = parts
+                        .next()
+                        .ok_or_else(|| err(page, format!("bad comment line {b:?}")))?
+                        .to_string();
+                    let text = parts
+                        .next()
+                        .ok_or_else(|| err(page, format!("bad comment line {b:?}")))?
+                        .to_string();
+                    entry.comments.push(Comment { author, date, text });
+                }
+            }
+            "Artefacts" => {
+                for b in bullets(body) {
+                    let mut parts = b.splitn(3, " :: ");
+                    let kind = parts
+                        .next()
+                        .unwrap_or_default()
+                        .parse()
+                        .map_err(|e: String| err(page, e))?;
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err(page, format!("bad artefact line {b:?}")))?
+                        .to_string();
+                    let location = parts
+                        .next()
+                        .ok_or_else(|| err(page, format!("bad artefact line {b:?}")))?
+                        .to_string();
+                    entry.artefacts.push(Artefact { name, kind, location });
+                }
+            }
+            other => return Err(err(page, format!("unknown section `{other}`"))),
+        }
+    }
+
+    Ok(entry)
+}
+
+fn parse_table_row(page: &str, line: &str, field: &str) -> Result<String, RepoError> {
+    let prefix = format!("||~ {field} || ");
+    line.strip_prefix(&prefix)
+        .and_then(|rest| rest.strip_suffix(" ||"))
+        .map(str::to_string)
+        .ok_or_else(|| err(page, format!("expected `{prefix}… ||`, found {line:?}")))
+}
+
+fn parse_restoration(page: &str, body: &[String]) -> Result<RestorationSpec, RepoError> {
+    let mut forward = Vec::new();
+    let mut backward = Vec::new();
+    let mut current: Option<&mut Vec<String>> = None;
+    for line in body {
+        if line == "++++ Forward" {
+            current = Some(&mut forward);
+        } else if line == "++++ Backward" {
+            current = Some(&mut backward);
+        } else if line.starts_with("++++ ") {
+            return Err(err(page, format!("unknown restoration direction {line:?}")));
+        } else if let Some(cur) = current.as_deref_mut() {
+            cur.push(line.clone());
+        } else if !line.trim().is_empty() {
+            return Err(err(page, "restoration text before a direction heading"));
+        }
+    }
+    let clean = |v: Vec<String>| -> String {
+        let mut s = v.join("\n");
+        while s.ends_with('\n') {
+            s.pop();
+        }
+        s
+    };
+    Ok(RestorationSpec { forward: clean(forward), backward: clean(backward) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{ArtefactKind, ExampleType};
+    use crate::wiki::render::render_entry;
+    use bx_theory::{Claim, Property};
+
+    fn full_entry() -> ExampleEntry {
+        let mut e = ExampleEntry::builder("COMPOSERS")
+            .of_type(ExampleType::Precise)
+            .overview("Two representations of the same data.\nConsistency is easy.")
+            .models("A set of composers.\n\nA list of pairs.")
+            .consistency("Same (name, nationality) pairs.")
+            .restoration(
+                "Delete stale entries.\nAppend missing pairs in order.",
+                "Delete stale composers.\nAdd new ones with ????-???? dates.",
+            )
+            .property(Claim::holds(Property::Correct))
+            .property(Claim::holds(Property::Hippocratic))
+            .property(Claim::fails(Property::Undoable))
+            .property(Claim::holds(Property::SimplyMatching))
+            .variant("keys", "is name a key, or (name, nationality)?")
+            .variant("insert position", "beginning or end of the list")
+            .discussion("Why undoability is too strong.")
+            .reference("Stevens, GTTSE 2008", Some("10.1007/978-3-540-75209-7_1"))
+            .reference("Bohannon et al., POPL 2008", None)
+            .author("Perdita Stevens")
+            .author("James McKinna")
+            .artefact("rust impl", ArtefactKind::Code, "bx_examples::composers")
+            .build()
+            .unwrap();
+        e.reviewers.push("Jeremy Gibbons".to_string());
+        e.comments.push(Comment {
+            author: "bob".to_string(),
+            date: "2014-03-28".to_string(),
+            text: "Nice example :: with tricky separator".to_string(),
+        });
+        e
+    }
+
+    #[test]
+    fn roundtrip_full_entry() {
+        let e = full_entry();
+        let text = render_entry(&e);
+        let parsed = parse_entry("examples:composers", &text).expect("canonical text parses");
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn roundtrip_minimal_entry() {
+        let e = ExampleEntry::builder("SKETCHY IDEA")
+            .of_type(ExampleType::Sketch)
+            .overview("O.")
+            .models("M.")
+            .consistency("C.")
+            .restoration("F.", "B.")
+            .discussion("D.")
+            .author("a")
+            .build()
+            .unwrap();
+        let text = render_entry(&e);
+        let parsed = parse_entry("p", &text).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn double_roundtrip_is_stable() {
+        let e = full_entry();
+        let text = render_entry(&e);
+        let text2 = render_entry(&parse_entry("p", &text).unwrap());
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_entry("p", "").is_err());
+        assert!(parse_entry("p", "not a title").is_err());
+        assert!(parse_entry("p", "++ T\nno version row").is_err());
+        assert!(parse_entry("p", "++ T\n||~ Version || x.y ||").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_bad_lines() {
+        let base = "++ T\n||~ Version || 0.1 ||\n||~ Type || PRECISE ||\n\n";
+        assert!(parse_entry("p", &format!("{base}+++ Banana\ntext\n")).is_err());
+        assert!(parse_entry("p", &format!("{base}+++ Variants\n* no separator here\n")).is_err());
+        assert!(parse_entry("p", &format!("{base}+++ Properties\n* Frobnication\n")).is_err());
+        assert!(parse_entry(
+            "p",
+            &format!("{base}+++ Consistency Restoration\n++++ Sideways\nx\n")
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn comment_text_may_contain_separator() {
+        let e = full_entry();
+        let parsed = parse_entry("p", &render_entry(&e)).unwrap();
+        assert_eq!(parsed.comments[0].text, "Nice example :: with tricky separator");
+    }
+
+    #[test]
+    fn multiline_fields_survive() {
+        let e = full_entry();
+        let parsed = parse_entry("p", &render_entry(&e)).unwrap();
+        assert!(parsed.models.contains("\n\n"), "blank line inside Models survives");
+        assert_eq!(parsed.restoration.forward, e.restoration.forward);
+        assert_eq!(parsed.restoration.backward, e.restoration.backward);
+    }
+}

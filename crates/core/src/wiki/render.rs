@@ -1,0 +1,247 @@
+//! Rendering entries to canonical wiki markup.
+//!
+//! The format is wikidot-flavoured and **canonical**: for any valid entry,
+//! `parse(render(entry)) == entry`, which is what makes the §5.4 wiki bx
+//! correct. Optional template sections are omitted when empty.
+//!
+//! Free-text fields must not contain lines beginning with `+` (headings)
+//! — the repository's validation path never produces such entries, and
+//! [`render_entry`] asserts this in debug builds.
+
+use crate::template::ExampleEntry;
+
+fn push_section(out: &mut String, heading: &str, body: &str) {
+    out.push_str("+++ ");
+    out.push_str(heading);
+    out.push('\n');
+    debug_assert!(
+        !body.lines().any(|l| l.starts_with('+')),
+        "free-text field contains a heading-like line"
+    );
+    out.push_str(body.trim_end());
+    out.push_str("\n\n");
+}
+
+/// Render an entry to canonical wiki markup.
+pub fn render_entry(entry: &ExampleEntry) -> String {
+    let mut out = String::with_capacity(2048);
+
+    out.push_str("++ ");
+    out.push_str(&entry.title);
+    out.push('\n');
+    out.push_str(&format!("||~ Version || {} ||\n", entry.version));
+    let types: Vec<String> = entry.types.iter().map(|t| t.to_string()).collect();
+    out.push_str(&format!("||~ Type || {} ||\n", types.join(", ")));
+    out.push('\n');
+
+    push_section(&mut out, "Overview", &entry.overview);
+    push_section(&mut out, "Models", &entry.models);
+    push_section(&mut out, "Consistency", &entry.consistency);
+
+    out.push_str("+++ Consistency Restoration\n");
+    out.push_str("++++ Forward\n");
+    out.push_str(entry.restoration.forward.trim_end());
+    out.push_str("\n++++ Backward\n");
+    out.push_str(entry.restoration.backward.trim_end());
+    out.push_str("\n\n");
+
+    if !entry.properties.is_empty() {
+        out.push_str("+++ Properties\n");
+        for claim in &entry.properties {
+            out.push_str(&format!("* {claim}\n"));
+        }
+        out.push('\n');
+    }
+
+    if !entry.variants.is_empty() {
+        out.push_str("+++ Variants\n");
+        for v in &entry.variants {
+            out.push_str(&format!("* {} :: {}\n", v.name, v.description));
+        }
+        out.push('\n');
+    }
+
+    push_section(&mut out, "Discussion", &entry.discussion);
+
+    if !entry.references.is_empty() {
+        out.push_str("+++ References\n");
+        for r in &entry.references {
+            match &r.doi {
+                Some(doi) => out.push_str(&format!("* {} :: {}\n", r.citation, doi)),
+                None => out.push_str(&format!("* {}\n", r.citation)),
+            }
+        }
+        out.push('\n');
+    }
+
+    out.push_str("+++ Authors\n");
+    for a in &entry.authors {
+        out.push_str(&format!("* {a}\n"));
+    }
+    out.push('\n');
+
+    if !entry.reviewers.is_empty() {
+        out.push_str("+++ Reviewers\n");
+        for r in &entry.reviewers {
+            out.push_str(&format!("* {r}\n"));
+        }
+        out.push('\n');
+    }
+
+    if !entry.comments.is_empty() {
+        out.push_str("+++ Comments\n");
+        for c in &entry.comments {
+            out.push_str(&format!("* {} :: {} :: {}\n", c.author, c.date, c.text));
+        }
+        out.push('\n');
+    }
+
+    if !entry.artefacts.is_empty() {
+        out.push_str("+++ Artefacts\n");
+        for a in &entry.artefacts {
+            out.push_str(&format!("* {} :: {} :: {}\n", a.kind, a.name, a.location));
+        }
+        out.push('\n');
+    }
+
+    out
+}
+
+/// Render the `examples:home` index page: one line per entry with its
+/// citation-ready identifier and overview hook.
+pub fn render_home(repo_name: &str, entries: &[&ExampleEntry]) -> String {
+    let mut out = String::with_capacity(256 + entries.len() * 96);
+    out.push_str(&format!("++ {repo_name}\n\n"));
+    for e in entries {
+        let id = crate::repo::EntryId::from_title(&e.title);
+        out.push_str(&format!(
+            "* [[[{}]]] {} (version {})\n",
+            id.page_name(),
+            e.title,
+            e.version
+        ));
+    }
+    out
+}
+
+/// Render the `glossary` page: one section per property term, with its
+/// definition, witnessing laws and provenance — the "separate glossary of
+/// terms such as 'hippocraticness'" the template's Properties field links
+/// to.
+pub fn render_glossary() -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("++ Glossary of bx properties\n\n");
+    for entry in bx_theory::glossary() {
+        out.push_str(&format!("+++ {}\n", entry.property));
+        out.push_str(entry.definition);
+        out.push('\n');
+        if entry.laws.is_empty() {
+            out.push_str("Laws: declared-only (verified by example-specific tests).\n");
+        } else {
+            out.push_str("Laws:\n");
+            for law in entry.laws {
+                out.push_str(&format!("* {law}: {}\n", law.statement()));
+            }
+        }
+        out.push_str(&format!("Provenance: {}\n\n", entry.provenance));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{ArtefactKind, ExampleType};
+    use bx_theory::{Claim, Property};
+
+    fn entry() -> ExampleEntry {
+        ExampleEntry::builder("COMPOSERS")
+            .of_type(ExampleType::Precise)
+            .overview("Two representations of the same data.")
+            .models("Sets of composers; lists of pairs.")
+            .consistency("Same (name, nationality) pairs.")
+            .restoration("Delete stale entries; append missing pairs.", "Delete stale composers; add new ones.")
+            .property(Claim::holds(Property::Correct))
+            .property(Claim::fails(Property::Undoable))
+            .variant("insert position", "beginning or end")
+            .discussion("Classic undoability counterexample.")
+            .reference("Stevens 2008", Some("10.1007/978-3-540-75209-7_1"))
+            .author("Perdita Stevens")
+            .artefact("rust impl", ArtefactKind::Code, "bx_examples::composers")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn renders_all_sections_in_template_order() {
+        let text = render_entry(&entry());
+        let order = [
+            "++ COMPOSERS",
+            "||~ Version || 0.1 ||",
+            "||~ Type || PRECISE ||",
+            "+++ Overview",
+            "+++ Models",
+            "+++ Consistency\n",
+            "+++ Consistency Restoration",
+            "++++ Forward",
+            "++++ Backward",
+            "+++ Properties",
+            "* Not undoable",
+            "+++ Variants",
+            "+++ Discussion",
+            "+++ References",
+            "+++ Authors",
+            "+++ Artefacts",
+        ];
+        let mut pos = 0;
+        for marker in order {
+            let found = text[pos..]
+                .find(marker)
+                .unwrap_or_else(|| panic!("missing `{marker}` after byte {pos} in:\n{text}"));
+            pos += found;
+        }
+    }
+
+    #[test]
+    fn optional_sections_omitted_when_empty() {
+        let mut e = entry();
+        e.properties.clear();
+        e.variants.clear();
+        e.references.clear();
+        e.artefacts.clear();
+        let text = render_entry(&e);
+        assert!(!text.contains("+++ Properties"));
+        assert!(!text.contains("+++ Variants"));
+        assert!(!text.contains("+++ References"));
+        assert!(!text.contains("+++ Artefacts"));
+        assert!(!text.contains("+++ Reviewers"));
+        assert!(!text.contains("+++ Comments"));
+    }
+
+    #[test]
+    fn multiple_types_joined() {
+        let mut e = entry();
+        e.types.push(ExampleType::Industrial);
+        let text = render_entry(&e);
+        assert!(text.contains("||~ Type || PRECISE, INDUSTRIAL ||"));
+    }
+
+    #[test]
+    fn home_page_lists_entries() {
+        let e = entry();
+        let home = render_home("The Bx Examples Repository", &[&e]);
+        assert!(home.contains("[[[examples:composers]]]"));
+        assert!(home.contains("version 0.1"));
+    }
+
+    #[test]
+    fn glossary_page_covers_all_properties() {
+        let g = render_glossary();
+        for p in Property::ALL {
+            assert!(g.contains(&format!("+++ {p}")), "glossary must define {p}");
+        }
+        assert!(g.contains("hippocratic"), "the paper's own example term appears");
+        assert!(g.contains("declared-only"), "uncheckable properties say so");
+        assert!(g.contains("CorrectFwd: "), "laws are spelled out");
+    }
+}

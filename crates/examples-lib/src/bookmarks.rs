@@ -1,0 +1,142 @@
+//! BOOKMARKS — the original tree-lens example: sharing a browser
+//! bookmarks file with the private folders pruned away (Foster et al.'s
+//! TOPLAS running example, which begat the whole lens programme).
+
+use bx_core::{ArtefactKind, ExampleEntry, ExampleType};
+use bx_lens::tree::{prune, Tree};
+use bx_lens::{Lens, LensBx};
+use bx_theory::{Claim, Property};
+
+/// The shared-bookmarks lens: everything except `private` subtrees.
+pub fn bookmarks_lens() -> impl Lens<Tree, Tree> {
+    prune("private")
+}
+
+/// The lens adapted into a state-based bx.
+pub fn bookmarks_bx() -> LensBx<impl Lens<Tree, Tree>> {
+    LensBx::new(bookmarks_lens())
+}
+
+/// A sample bookmarks file.
+pub fn sample_bookmarks() -> Tree {
+    Tree::node(
+        "root",
+        vec![
+            Tree::leaf("bookmark", "https://bx-community.wikidot.com"),
+            Tree::node(
+                "folder",
+                vec![
+                    Tree::leaf("bookmark", "https://doi.org/10.1145/1232420.1232424"),
+                    Tree::node("private", vec![Tree::leaf("bookmark", "https://bank.example")]),
+                ],
+            ),
+            Tree::node("private", vec![Tree::leaf("bookmark", "https://diary.example")]),
+        ],
+    )
+}
+
+/// The repository entry.
+pub fn bookmarks_entry() -> ExampleEntry {
+    ExampleEntry::builder("BOOKMARKS")
+        .of_type(ExampleType::Precise)
+        .overview(
+            "The original tree-lens example: a bookmarks tree shared with the \
+             private folders pruned. Editing the shared view and putting it \
+             back must not disturb the hidden folders.",
+        )
+        .models(
+            "A model m in M is a labelled rose tree of folders and bookmarks, \
+             possibly containing subtrees labelled private.\n\
+             A model n in N is such a tree containing no private subtree.",
+        )
+        .consistency("n equals m with every private subtree removed.")
+        .restoration(
+            "Prune the private subtrees.",
+            "Align surviving children positionally and re-insert each hidden \
+             private subtree at its original position among them; new view \
+             subtrees are adopted as-is.",
+        )
+        .property(Claim::holds(Property::Correct))
+        .property(Claim::holds(Property::Hippocratic))
+        .property(Claim::fails(Property::Undoable))
+        .variant(
+            "alignment",
+            "Positional (as here) versus keyed by folder name; the same dial \
+             as everywhere else in the collection.",
+        )
+        .variant(
+            "re-insertion position",
+            "Original position (as here) versus always-first or always-last — \
+             the tree-shaped echo of COMPOSERS' insert-position variant.",
+        )
+        .discussion(
+            "The example that started the lens programme: Foster et al.'s \
+             TOPLAS paper opens with bookmark synchronisation. Deleting a \
+             visible sibling and recreating it later loses the interleaving \
+             with hidden folders, so undoability fails in the usual way.",
+        )
+        .reference(
+            "J. Nathan Foster, Michael B. Greenwald, Jonathan T. Moore, \
+             Benjamin C. Pierce, Alan Schmitt. Combinators for bidirectional \
+             tree transformations. TOPLAS 29(3), 2007",
+            Some("10.1145/1232420.1232424"),
+        )
+        .author("Jeremy Gibbons")
+        .author("James Cheney")
+        .artefact("tree lens", ArtefactKind::Code, "bx_examples::bookmarks::bookmarks_lens")
+        .artefact("sample data", ArtefactKind::SampleData, "bx_examples::bookmarks::sample_bookmarks")
+        .build()
+        .expect("template-valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bx_theory::{check_all_laws, Bx, Law, Samples};
+
+    #[test]
+    fn shared_view_has_no_private_folders() {
+        let l = bookmarks_lens();
+        let v = l.get(&sample_bookmarks());
+        assert!(!v.labels().contains(&"private"));
+        assert!(v.to_string().contains("bx-community"));
+        assert!(!v.to_string().contains("diary"));
+    }
+
+    #[test]
+    fn edits_round_trip_without_disturbing_private_data() {
+        let l = bookmarks_lens();
+        let t = sample_bookmarks();
+        let mut v = l.get(&t);
+        v.children.push(Tree::leaf("bookmark", "https://added.example"));
+        let t2 = l.put(&t, &v);
+        assert!(t2.to_string().contains("diary.example"), "private data intact");
+        assert!(t2.to_string().contains("added.example"));
+        assert_eq!(l.get(&t2), v, "PutGet");
+    }
+
+    #[test]
+    fn claims_verified_against_the_artefact() {
+        let b = bookmarks_bx();
+        let m = sample_bookmarks();
+        let n = b.fwd(&m, &Tree::node("root", vec![]));
+        let samples = Samples::new(
+            vec![(m.clone(), n), (m, Tree::node("root", vec![]))],
+            vec![Tree::node("root", vec![])],
+            vec![Tree::node("root", vec![Tree::leaf("bookmark", "https://other.example")])],
+        );
+        let matrix = check_all_laws(&b, &samples);
+        for v in matrix.verify_claims(&bookmarks_entry().properties) {
+            assert!(v.confirmed(), "{v}\n{matrix}");
+        }
+        assert!(!matrix.law_holds(Law::UndoableBwd));
+    }
+
+    #[test]
+    fn entry_valid_and_roundtrips() {
+        let e = bookmarks_entry();
+        assert!(e.validate().is_empty());
+        let text = bx_core::wiki::render_entry(&e);
+        assert_eq!(bx_core::wiki::parse_entry("p", &text).unwrap(), e);
+    }
+}

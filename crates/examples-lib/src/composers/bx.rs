@@ -1,0 +1,251 @@
+//! The base COMPOSERS bx, implementing §4's Consistency and Consistency
+//! Restoration text to the letter.
+
+use std::collections::BTreeSet;
+
+use bx_theory::Bx;
+
+use super::model::{Composer, ComposerSet, Pair, PairList, UNKNOWN_DATES};
+
+/// The state-based COMPOSERS transformation.
+#[derive(Debug, Clone, Default)]
+pub struct ComposersBx;
+
+/// Construct the base COMPOSERS bx.
+pub fn composers_bx() -> ComposersBx {
+    ComposersBx
+}
+
+impl ComposersBx {
+    fn pairs_of_m(m: &ComposerSet) -> BTreeSet<Pair> {
+        m.iter().map(Composer::pair).collect()
+    }
+
+    fn pairs_of_n(n: &PairList) -> BTreeSet<Pair> {
+        n.iter().cloned().collect()
+    }
+}
+
+impl Bx<ComposerSet, PairList> for ComposersBx {
+    fn name(&self) -> &str {
+        "composers"
+    }
+
+    /// "Models m and n are consistent if they embody the same set of
+    /// (name, nationality) pairs": (i) every composer has at least one
+    /// matching entry, and (ii) every entry at least one matching composer
+    /// (there may be many such, each with distinct dates).
+    fn consistent(&self, m: &ComposerSet, n: &PairList) -> bool {
+        Self::pairs_of_m(m) == Self::pairs_of_n(n)
+    }
+
+    /// Forward: "produce a modified version of n by: deleting from n any
+    /// entry for which there is no element of m with the same name and
+    /// nationality; adding at the end of n an entry comprising each
+    /// (name, nationality) pair derivable from an element of m but not
+    /// already occurring in n. Such additional entries should be in
+    /// alphabetical order by name, and within name, by nationality; no
+    /// duplicates should be added."
+    fn fwd(&self, m: &ComposerSet, n: &PairList) -> PairList {
+        let m_pairs = Self::pairs_of_m(m);
+        let mut out: PairList =
+            n.iter().filter(|p| m_pairs.contains(*p)).cloned().collect();
+        let present: BTreeSet<Pair> = out.iter().cloned().collect();
+        // BTreeSet iteration is already (name, nationality)-sorted and
+        // duplicate-free, exactly the ordering the template prescribes.
+        for pair in m_pairs {
+            if !present.contains(&pair) {
+                out.push(pair);
+            }
+        }
+        out
+    }
+
+    /// Backward: "produce a modified version of m by: deleting from m any
+    /// composer for which there is no entry in n with the same name and
+    /// nationality; adding to m a new composer for each (name,
+    /// nationality) pair that occurs in n but is not derivable from an
+    /// element already occurring in m. The dates of any newly added
+    /// composer should be ????-????."
+    fn bwd(&self, m: &ComposerSet, n: &PairList) -> ComposerSet {
+        let n_pairs = Self::pairs_of_n(n);
+        let mut out: ComposerSet =
+            m.iter().filter(|c| n_pairs.contains(&c.pair())).cloned().collect();
+        let present: BTreeSet<Pair> = out.iter().map(Composer::pair).collect();
+        for (name, nationality) in n_pairs {
+            if !present.contains(&(name.clone(), nationality.clone())) {
+                out.insert(Composer::new(&name, UNKNOWN_DATES, &nationality));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composers::model::{composer_set, pair_list};
+    use bx_theory::{check_all_laws, Claim, Law, Property, Samples};
+
+    fn sample_m() -> ComposerSet {
+        composer_set(&[
+            ("Benjamin Britten", "1913-1976", "British"),
+            ("Jean Sibelius", "1865-1957", "Finnish"),
+            ("Aaron Copland", "1910-1990", "American"),
+        ])
+    }
+
+    fn sample_n() -> PairList {
+        pair_list(&[
+            ("Jean Sibelius", "Finnish"),
+            ("Aaron Copland", "American"),
+            ("Benjamin Britten", "British"),
+        ])
+    }
+
+    #[test]
+    fn consistency_matches_paper_definition() {
+        let b = composers_bx();
+        assert!(b.consistent(&sample_m(), &sample_n()));
+        // Order of n does not matter for consistency.
+        let mut shuffled = sample_n();
+        shuffled.reverse();
+        assert!(b.consistent(&sample_m(), &shuffled));
+        // Duplicates in n do not matter either (at-least-one semantics).
+        let mut dup = sample_n();
+        dup.push(dup[0].clone());
+        assert!(b.consistent(&sample_m(), &dup));
+        // Missing pair breaks it.
+        let mut short = sample_n();
+        short.pop();
+        assert!(!b.consistent(&sample_m(), &short));
+    }
+
+    #[test]
+    fn two_composers_same_pair_distinct_dates() {
+        // "(there may be many such, each with distinct dates)"
+        let b = composers_bx();
+        let m = composer_set(&[
+            ("Johann Strauss", "1804-1849", "Austrian"),
+            ("Johann Strauss", "1825-1899", "Austrian"),
+        ]);
+        let n = pair_list(&[("Johann Strauss", "Austrian")]);
+        assert!(b.consistent(&m, &n));
+        // Forward adds no duplicate entry.
+        assert_eq!(b.fwd(&m, &pair_list(&[])), n);
+    }
+
+    #[test]
+    fn fwd_deletes_then_appends_in_order() {
+        let b = composers_bx();
+        let m = sample_m();
+        // n has one stale entry and misses two pairs.
+        let n = pair_list(&[("Jean Sibelius", "Finnish"), ("Wolfgang Mozart", "Austrian")]);
+        let out = b.fwd(&m, &n);
+        assert_eq!(
+            out,
+            pair_list(&[
+                ("Jean Sibelius", "Finnish"),          // kept, original position
+                ("Aaron Copland", "American"),         // appended, alphabetical...
+                ("Benjamin Britten", "British"),       // ...by name
+            ])
+        );
+    }
+
+    #[test]
+    fn fwd_appends_sorted_by_name_then_nationality() {
+        let b = composers_bx();
+        let m = composer_set(&[
+            ("Same Name", "1-2", "Zulu"),
+            ("Same Name", "3-4", "Arab"),
+        ]);
+        let out = b.fwd(&m, &pair_list(&[]));
+        assert_eq!(out, pair_list(&[("Same Name", "Arab"), ("Same Name", "Zulu")]));
+    }
+
+    #[test]
+    fn bwd_deletes_and_adds_with_unknown_dates() {
+        let b = composers_bx();
+        let m = sample_m();
+        let n = pair_list(&[("Jean Sibelius", "Finnish"), ("Clara Schumann", "German")]);
+        let out = b.bwd(&m, &n);
+        assert!(out.contains(&Composer::new("Jean Sibelius", "1865-1957", "Finnish")));
+        assert!(out.contains(&Composer::new("Clara Schumann", UNKNOWN_DATES, "German")));
+        assert_eq!(out.len(), 2, "Britten and Copland deleted");
+    }
+
+    fn samples() -> Samples<ComposerSet, PairList> {
+        let m1 = sample_m();
+        let n1 = sample_n();
+        let m2 = composer_set(&[("Clara Schumann", "1819-1896", "German")]);
+        let n2 = pair_list(&[("Clara Schumann", "German")]);
+        Samples::new(
+            vec![
+                (m1.clone(), n1.clone()),
+                (m2.clone(), n2.clone()),
+                (m1.clone(), n2.clone()), // inconsistent pair
+                (composer_set(&[]), pair_list(&[])),
+                (m1, pair_list(&[("Jean Sibelius", "Finnish")])),
+            ],
+            vec![m2, composer_set(&[("Erik Satie", "1866-1925", "French")])],
+            vec![n2, pair_list(&[])],
+        )
+    }
+
+    #[test]
+    fn paper_property_claims_verified() {
+        // §4 Properties: Correct, Hippocratic, Not undoable, Simply matching.
+        let matrix = check_all_laws(&composers_bx(), &samples());
+        let verdicts = matrix.verify_claims(&[
+            Claim::holds(Property::Correct),
+            Claim::holds(Property::Hippocratic),
+            Claim::fails(Property::Undoable),
+        ]);
+        for v in &verdicts {
+            assert!(v.confirmed(), "claim not confirmed: {v}\n{matrix}");
+        }
+    }
+
+    #[test]
+    fn undoability_counterexample_from_discussion() {
+        // §4 Discussion, verbatim scenario: "Consider a composer currently
+        // present (just once) in both of a consistent pair of models. If
+        // we delete it from n, and enforce consistency on m, the
+        // representation of the composer in m, including this composer's
+        // dates, is lost. If we now restore it to n and re-enforce
+        // consistency on m, then … the dates cannot be restored, so m
+        // cannot return to exactly its original state."
+        let b = composers_bx();
+        let m0 = composer_set(&[("Jean Sibelius", "1865-1957", "Finnish")]);
+        let n0 = pair_list(&[("Jean Sibelius", "Finnish")]);
+        assert!(b.consistent(&m0, &n0));
+
+        // Delete from n, enforce on m.
+        let n1 = pair_list(&[]);
+        let m1 = b.bwd(&m0, &n1);
+        assert!(m1.is_empty(), "the composer, dates included, is lost");
+
+        // Restore n, re-enforce on m.
+        let m2 = b.bwd(&m1, &n0);
+        assert_ne!(m2, m0, "m cannot return to exactly its original state");
+        assert!(m2.contains(&Composer::new("Jean Sibelius", UNKNOWN_DATES, "Finnish")));
+    }
+
+    #[test]
+    fn not_history_ignorant_either() {
+        // The same information loss breaks history ignorance backward.
+        let matrix = check_all_laws(&composers_bx(), &samples());
+        assert!(!matrix.law_holds(Law::HistoryIgnorantBwd));
+    }
+
+    #[test]
+    fn fwd_hippocratic_preserves_user_order() {
+        // "we fail hippocraticness if we choose to reorder when nothing at
+        // all need be changed" — the user's non-alphabetical order stands.
+        let b = composers_bx();
+        let m = sample_m();
+        let mut n = sample_n();
+        n.reverse();
+        assert_eq!(b.fwd(&m, &n), n);
+    }
+}

@@ -1,0 +1,160 @@
+//! The COMPOSERS repository entry — §4 of the paper, field for field.
+
+use bx_core::{ArtefactKind, ExampleEntry, ExampleType};
+use bx_theory::{Claim, Property};
+
+/// Build the §4 COMPOSERS entry.
+pub fn composers_entry() -> ExampleEntry {
+    ExampleEntry::builder("COMPOSERS")
+        .of_type(ExampleType::Precise)
+        .overview(
+            "This example stands for many cases where two slightly, but \
+             significantly, different representations of the same real world \
+             data are needed. The definition of consistency is easy, but there \
+             is a choice of ways to restore consistency.",
+        )
+        .models(
+            "A model m in M comprises a set of (unrelated) objects of class \
+             Composer, representing musical composers, each with a name, dates \
+             and nationality.\n\
+             A model n in N is an ordered list of pairs, each comprising a name \
+             and a nationality.",
+        )
+        .consistency(
+            "Models m and n are consistent if they embody the same set of \
+             (name, nationality) pairs. That is, both: (i) for every composer \
+             in m, there is at least one entry in the list n with the same name \
+             and nationality; and (ii) for every entry in n, there is at least \
+             one element of m with the same name and nationality (there may be \
+             many such, each with distinct dates).",
+        )
+        .restoration(
+            "Produce a modified version of n by: deleting from n any entry for \
+             which there is no element of m with the same name and nationality; \
+             adding at the end of n an entry comprising each (name, nationality) \
+             pair derivable from an element of m but not already occurring in n. \
+             Such additional entries should be in alphabetical order by name, \
+             and within name, by nationality; no duplicates should be added \
+             (even if there are several composers in m with the same name and \
+             nationality).",
+            "Produce a modified version of m by: deleting from m any composer \
+             for which there is no entry in n with the same name and \
+             nationality; adding to m a new composer for each (name, \
+             nationality) pair that occurs in n but is not derivable from an \
+             element already occurring in m. The dates of any newly added \
+             composer should be ????-????.",
+        )
+        .property(Claim::holds(Property::Correct))
+        .property(Claim::holds(Property::Hippocratic))
+        .property(Claim::fails(Property::Undoable))
+        .property(Claim::holds(Property::SimplyMatching))
+        .variant(
+            "modify or create",
+            "Do we ever modify the name and/or nationality of an existing \
+             composer, or do we create a new composer in the event of any \
+             mismatch? E.g. if one side has Britten, British and the other has \
+             Britten, English, does consistency restoration involve changing one \
+             of the nationalities, or adding a second Britten? Of course, if \
+             name is a key in the models then there is no choice. Executable: \
+             bx_examples::composers::composers_name_key_bx.",
+        )
+        .variant(
+            "insert position",
+            "Where in the list n is a new composer added? Choices include: at \
+             the beginning; at the end. An alphabetically determined position \
+             would fail hippocraticness by reordering user-added composers when \
+             nothing at all need be changed. Executable: \
+             bx_examples::composers::composers_prepend_bx.",
+        )
+        .variant(
+            "dates for new composers",
+            "What dates are used for a newly added composer in m? The base \
+             example uses ????-????. Executable: \
+             bx_examples::composers::composers_with_date_policy.",
+        )
+        .discussion(
+            "This has been used as an example of why undoability is too strong. \
+             Consider a composer currently present (just once) in both of a \
+             consistent pair of models. If we delete it from n, and enforce \
+             consistency on m, the representation of the composer in m, \
+             including this composer's dates, is lost. If we now restore it to \
+             n and re-enforce consistency on m, then the absence of any extra \
+             information besides the models means that the dates cannot be \
+             restored, so m cannot return to exactly its original state.",
+        )
+        .reference(
+            "Perdita Stevens, \"A Landscape of Bidirectional Model \
+             Transformations\", in Generative and Transformational Techniques \
+             in Software Engineering II, 2008, Springer LNCS 5235, pp408-424",
+            Some("10.1007/978-3-540-75209-7_1"),
+        )
+        .reference(
+            "Aaron Bohannon, J. Nathan Foster, Benjamin C. Pierce, Alexandre \
+             Pilkiewicz, and Alan Schmitt. \"Boomerang: Resourceful Lenses for \
+             String Data\". In POPL, San Francisco, California, January 2008",
+            Some("10.1145/1328438.1328487"),
+        )
+        .author("Perdita Stevens")
+        .author("James McKinna")
+        .author("James Cheney")
+        .artefact("state-based bx", ArtefactKind::Code, "bx_examples::composers::composers_bx")
+        .artefact(
+            "string-lens variant",
+            ArtefactKind::Code,
+            "bx_examples::composers_boomerang::composers_lens",
+        )
+        .build()
+        .expect("the COMPOSERS entry is template-valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bx_core::Version;
+
+    #[test]
+    fn entry_matches_section_4_metadata() {
+        let e = composers_entry();
+        assert_eq!(e.title, "COMPOSERS");
+        assert_eq!(e.version, Version::new(0, 1));
+        assert_eq!(e.types, vec![ExampleType::Precise]);
+        assert!(e.reviewers.is_empty(), "Reviewer(s): None yet");
+        assert!(e.comments.is_empty(), "Comments: None yet");
+    }
+
+    #[test]
+    fn entry_lists_paper_properties_in_order() {
+        let e = composers_entry();
+        let rendered: Vec<String> = e.properties.iter().map(|c| c.to_string()).collect();
+        assert_eq!(rendered, vec!["Correct", "Hippocratic", "Not undoable", "Simply matching"]);
+    }
+
+    #[test]
+    fn entry_has_three_variation_points() {
+        let e = composers_entry();
+        assert_eq!(e.variants.len(), 3);
+        assert!(e.variants[0].description.contains("Britten"));
+    }
+
+    #[test]
+    fn entry_cites_both_papers_with_dois() {
+        let e = composers_entry();
+        assert_eq!(e.references.len(), 2);
+        assert!(e.references.iter().all(|r| r.doi.is_some()));
+    }
+
+    #[test]
+    fn entry_validates_and_slugs() {
+        let e = composers_entry();
+        assert!(e.validate().is_empty());
+        assert_eq!(e.slug(), "composers");
+    }
+
+    #[test]
+    fn entry_roundtrips_through_wiki_markup() {
+        let e = composers_entry();
+        let text = bx_core::wiki::render_entry(&e);
+        let parsed = bx_core::wiki::parse_entry("examples:composers", &text).unwrap();
+        assert_eq!(parsed, e);
+    }
+}

@@ -1,0 +1,18 @@
+//! COMPOSERS — the paper's §4 worked instance.
+//!
+//! "This example stands for many cases where two slightly, but
+//! significantly, different representations of the same real world data
+//! are needed. The definition of consistency is easy, but there is a
+//! choice of ways to restore consistency."
+
+pub mod bx;
+pub mod entry;
+pub mod model;
+pub mod variants;
+
+pub use bx::{composers_bx, ComposersBx};
+pub use entry::composers_entry;
+pub use model::{composer_set, pair_list, Composer, ComposerSet, Pair, PairList, UNKNOWN_DATES};
+pub use variants::{
+    composers_name_key_bx, composers_prepend_bx, composers_with_date_policy,
+};

@@ -1,0 +1,95 @@
+//! The two model classes of COMPOSERS.
+//!
+//! "A model m ∈ M comprises a set of (unrelated) objects of class
+//! Composer, representing musical composers, each with a name, dates and
+//! nationality. A model n ∈ N is an ordered list of pairs, each comprising
+//! a name and a nationality."
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The dates placeholder for composers whose dates are unknown:
+/// "The dates of any newly added composer should be ????-????."
+pub const UNKNOWN_DATES: &str = "????-????";
+
+/// A composer object: name, dates, nationality.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Composer {
+    /// Full name.
+    pub name: String,
+    /// Life dates, e.g. "1865-1957", or [`UNKNOWN_DATES`].
+    pub dates: String,
+    /// Nationality, e.g. "Finnish".
+    pub nationality: String,
+}
+
+impl Composer {
+    /// Construct a composer.
+    pub fn new(name: &str, dates: &str, nationality: &str) -> Composer {
+        Composer {
+            name: name.to_string(),
+            dates: dates.to_string(),
+            nationality: nationality.to_string(),
+        }
+    }
+
+    /// The (name, nationality) pair this composer contributes to the
+    /// consistency relation.
+    pub fn pair(&self) -> Pair {
+        (self.name.clone(), self.nationality.clone())
+    }
+}
+
+impl fmt::Display for Composer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {})", self.name, self.dates, self.nationality)
+    }
+}
+
+/// The `M` side: a set of composers.
+pub type ComposerSet = BTreeSet<Composer>;
+
+/// A (name, nationality) pair.
+pub type Pair = (String, String);
+
+/// The `N` side: an ordered list of pairs.
+pub type PairList = Vec<Pair>;
+
+/// Build a [`ComposerSet`] from `(name, dates, nationality)` triples.
+pub fn composer_set(triples: &[(&str, &str, &str)]) -> ComposerSet {
+    triples.iter().map(|(n, d, c)| Composer::new(n, d, c)).collect()
+}
+
+/// Build a [`PairList`] from `(name, nationality)` pairs.
+pub fn pair_list(pairs: &[(&str, &str)]) -> PairList {
+    pairs.iter().map(|(n, c)| (n.to_string(), c.to_string())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composer_pair_projection() {
+        let c = Composer::new("Jean Sibelius", "1865-1957", "Finnish");
+        assert_eq!(c.pair(), ("Jean Sibelius".to_string(), "Finnish".to_string()));
+        assert_eq!(c.to_string(), "Jean Sibelius (1865-1957, Finnish)");
+    }
+
+    #[test]
+    fn sets_dedup_identical_composers() {
+        let m = composer_set(&[
+            ("A", "1-2", "X"),
+            ("A", "1-2", "X"),
+            ("A", "3-4", "X"), // same pair, distinct dates: kept
+        ]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn pair_list_preserves_order_and_duplicates() {
+        let n = pair_list(&[("B", "Y"), ("A", "X"), ("B", "Y")]);
+        assert_eq!(n.len(), 3);
+        assert_eq!(n[0].0, "B");
+    }
+}

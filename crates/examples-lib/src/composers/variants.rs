@@ -1,0 +1,204 @@
+//! The §4 Variants, each implemented as an alternative executable bx.
+//!
+//! "Questions that the bx programmer still needs to resolve are: Do we
+//! ever modify the name and/or nationality of an existing composer …?
+//! Where in the list n is a new composer added? What dates are used for a
+//! newly added composer in m?"
+
+use std::collections::BTreeSet;
+
+use bx_theory::{Bx, BxFromFns};
+
+use super::bx::composers_bx;
+use super::model::{Composer, ComposerSet, Pair, PairList};
+
+/// Variant 1 — **name as key**: "if one side has Britten, British and the
+/// other has Britten, English, does consistency restoration involve
+/// changing one of the nationalities, or adding a second Britten? Of
+/// course, if name is a key in the models then there is no choice."
+///
+/// Here name *is* a key: backward restoration updates the nationality of
+/// an existing composer with a matching name (keeping its dates) rather
+/// than deleting and re-adding. Consistency itself is unchanged.
+pub fn composers_name_key_bx() -> impl Bx<ComposerSet, PairList> {
+    BxFromFns::new(
+        "composers/name-key",
+        {
+            let base = composers_bx();
+            move |m: &ComposerSet, n: &PairList| base.consistent(m, n)
+        },
+        {
+            let base = composers_bx();
+            move |m: &ComposerSet, n: &PairList| base.fwd(m, n)
+        },
+        move |m: &ComposerSet, n: &PairList| {
+            let n_pairs: BTreeSet<Pair> = n.iter().cloned().collect();
+            let n_names: BTreeSet<&String> = n.iter().map(|(name, _)| name).collect();
+            let mut out = ComposerSet::new();
+            let mut satisfied: BTreeSet<Pair> = BTreeSet::new();
+            for c in m {
+                if n_pairs.contains(&c.pair()) {
+                    satisfied.insert(c.pair());
+                    out.insert(c.clone());
+                } else if n_names.contains(&c.name) {
+                    // Name key matches: repair the nationality in place,
+                    // preserving the dates.
+                    let (_, nationality) = n
+                        .iter()
+                        .find(|(name, _)| *name == c.name)
+                        .expect("name present")
+                        .clone();
+                    let repaired = Composer::new(&c.name, &c.dates, &nationality);
+                    satisfied.insert(repaired.pair());
+                    out.insert(repaired);
+                }
+                // Otherwise: no entry with this name — delete.
+            }
+            for (name, nationality) in n_pairs {
+                if !satisfied.contains(&(name.clone(), nationality.clone())) {
+                    out.insert(Composer::new(&name, super::model::UNKNOWN_DATES, &nationality));
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Variant 2 — **insert position**: "Where in the list n is a new composer
+/// added? Choices include: at the beginning; at the end." The base
+/// example appends; this variant prepends (still in alphabetical order).
+pub fn composers_prepend_bx() -> impl Bx<ComposerSet, PairList> {
+    BxFromFns::new(
+        "composers/prepend",
+        {
+            let base = composers_bx();
+            move |m: &ComposerSet, n: &PairList| base.consistent(m, n)
+        },
+        |m: &ComposerSet, n: &PairList| {
+            let m_pairs: BTreeSet<Pair> = m.iter().map(Composer::pair).collect();
+            let kept: PairList = n.iter().filter(|p| m_pairs.contains(*p)).cloned().collect();
+            let present: BTreeSet<Pair> = kept.iter().cloned().collect();
+            let mut out: PairList =
+                m_pairs.into_iter().filter(|p| !present.contains(p)).collect();
+            out.extend(kept);
+            out
+        },
+        {
+            let base = composers_bx();
+            move |m: &ComposerSet, n: &PairList| base.bwd(m, n)
+        },
+    )
+}
+
+/// Variant 3 — **dates policy**: "What dates are used for a newly added
+/// composer in m?" The base example uses `????-????`; this constructor
+/// parameterises the placeholder.
+pub fn composers_with_date_policy(default_dates: &str) -> impl Bx<ComposerSet, PairList> {
+    let dates = default_dates.to_string();
+    BxFromFns::new(
+        format!("composers/dates={default_dates}"),
+        {
+            let base = composers_bx();
+            move |m: &ComposerSet, n: &PairList| base.consistent(m, n)
+        },
+        {
+            let base = composers_bx();
+            move |m: &ComposerSet, n: &PairList| base.fwd(m, n)
+        },
+        move |m: &ComposerSet, n: &PairList| {
+            let n_pairs: BTreeSet<Pair> = n.iter().cloned().collect();
+            let mut out: ComposerSet =
+                m.iter().filter(|c| n_pairs.contains(&c.pair())).cloned().collect();
+            let present: BTreeSet<Pair> = out.iter().map(Composer::pair).collect();
+            for (name, nationality) in n_pairs {
+                if !present.contains(&(name.clone(), nationality.clone())) {
+                    out.insert(Composer::new(&name, &dates, &nationality));
+                }
+            }
+            out
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composers::model::{composer_set, pair_list};
+    use bx_theory::{check_law, Law, Samples};
+
+    #[test]
+    fn name_key_repairs_nationality_in_place() {
+        // The paper's own example: Britten, British vs Britten, English.
+        let b = composers_name_key_bx();
+        let m = composer_set(&[("Benjamin Britten", "1913-1976", "British")]);
+        let n = pair_list(&[("Benjamin Britten", "English")]);
+        let out = b.bwd(&m, &n);
+        assert_eq!(out.len(), 1);
+        let c = out.iter().next().unwrap();
+        assert_eq!(c.nationality, "English");
+        assert_eq!(c.dates, "1913-1976", "dates preserved by the key-based repair");
+    }
+
+    #[test]
+    fn base_bx_adds_second_britten_instead() {
+        // Divergence from the base example on the same discriminating input.
+        let b = composers_bx();
+        let m = composer_set(&[("Benjamin Britten", "1913-1976", "British")]);
+        let n = pair_list(&[("Benjamin Britten", "English")]);
+        let out = b.bwd(&m, &n);
+        assert_eq!(out.len(), 1, "base deletes the British Britten (no matching entry)…");
+        assert_eq!(out.iter().next().unwrap().dates, super::super::model::UNKNOWN_DATES,
+            "…and creates a fresh English Britten with unknown dates");
+    }
+
+    #[test]
+    fn prepend_variant_diverges_on_insert_position() {
+        let m = composer_set(&[
+            ("Aaron Copland", "1910-1990", "American"),
+            ("Jean Sibelius", "1865-1957", "Finnish"),
+        ]);
+        let n = pair_list(&[("Jean Sibelius", "Finnish")]);
+        let appended = composers_bx().fwd(&m, &n);
+        let prepended = composers_prepend_bx().fwd(&m, &n);
+        assert_eq!(appended, pair_list(&[("Jean Sibelius", "Finnish"), ("Aaron Copland", "American")]));
+        assert_eq!(prepended, pair_list(&[("Aaron Copland", "American"), ("Jean Sibelius", "Finnish")]));
+    }
+
+    #[test]
+    fn date_policy_variant_uses_custom_placeholder() {
+        let b = composers_with_date_policy("fl. unknown");
+        let out = b.bwd(&composer_set(&[]), &pair_list(&[("X", "Y")]));
+        assert_eq!(out.iter().next().unwrap().dates, "fl. unknown");
+    }
+
+    #[test]
+    fn all_variants_remain_correct_and_hippocratic() {
+        let m = composer_set(&[
+            ("Aaron Copland", "1910-1990", "American"),
+            ("Jean Sibelius", "1865-1957", "Finnish"),
+        ]);
+        let n = pair_list(&[("Aaron Copland", "American"), ("Jean Sibelius", "Finnish")]);
+        let inconsistent_n = pair_list(&[("Clara Schumann", "German")]);
+        let samples = Samples::new(
+            vec![(m.clone(), n.clone()), (m, inconsistent_n)],
+            vec![composer_set(&[])],
+            vec![pair_list(&[])],
+        );
+        for law in [Law::CorrectFwd, Law::CorrectBwd, Law::HippocraticFwd, Law::HippocraticBwd] {
+            assert!(check_law(&composers_name_key_bx(), law, &samples).holds(), "name-key {law}");
+            assert!(check_law(&composers_prepend_bx(), law, &samples).holds(), "prepend {law}");
+            assert!(
+                check_law(&composers_with_date_policy("fl. ????"), law, &samples).holds(),
+                "dates {law}"
+            );
+        }
+    }
+
+    #[test]
+    fn name_key_variant_consistency_unchanged() {
+        let b = composers_name_key_bx();
+        let m = composer_set(&[("A", "1-2", "X")]);
+        assert!(b.consistent(&m, &pair_list(&[("A", "X")])));
+        assert!(!b.consistent(&m, &pair_list(&[("A", "Y")])));
+    }
+}

@@ -1,0 +1,182 @@
+//! COMPOSERS-BOOMERANG — the original asymmetric variant of COMPOSERS,
+//! from Bohannon et al., *"Boomerang: Resourceful Lenses for String
+//! Data"* (POPL 2008), §1 of which uses exactly this composers file.
+//!
+//! Source lines look like `Jean Sibelius, 1865-1957, Finnish` and the
+//! view elides the dates: `Jean Sibelius, Finnish`. The lens is a
+//! **dictionary star** keyed by composer name, so editing, deleting and
+//! *reordering* view lines carries each composer's hidden dates along —
+//! the "resourceful" behaviour that motivated the paper.
+
+use bx_core::{ArtefactKind, ExampleEntry, ExampleType};
+use bx_lens::string::{cat, copy, del, dict_star, txt, StringLens};
+use bx_theory::{Claim, Property};
+
+/// The name language: letters, spaces, dots (e.g. "J. S. Bach").
+const NAME: &str = "[A-Za-z][A-Za-z .]*";
+/// The dates language: `1865-1957` or `????-????`.
+const DATES: &str = "[0-9?]+-[0-9?]+";
+/// The nationality language.
+const NATIONALITY: &str = "[A-Za-z]+";
+
+/// Build the Boomerang composers lens.
+///
+/// Source type: `(NAME ", " DATES ", " NATIONALITY "\n")*`
+/// View type:   `(NAME ", " NATIONALITY "\n")*`
+pub fn composers_lens() -> StringLens {
+    let line = cat(vec![
+        copy(NAME).expect("static pattern"),
+        txt(", "),
+        del(&format!("{DATES}, "), "????-????, ").expect("static pattern"),
+        copy(NATIONALITY).expect("static pattern"),
+        txt("\n"),
+    ]);
+    dict_star(line, NAME).expect("static pattern").named("composers-boomerang")
+}
+
+/// The repository entry for the asymmetric variant.
+pub fn composers_boomerang_entry() -> ExampleEntry {
+    ExampleEntry::builder("COMPOSERS-BOOMERANG")
+        .of_type(ExampleType::Precise)
+        .overview(
+            "The original asymmetric variant of COMPOSERS, over concrete string \
+             syntax. Demonstrates resourceful (dictionary) alignment: reordering \
+             the view does not destroy hidden dates.",
+        )
+        .models(
+            "Source: a text file of lines \"name, dates, nationality\".\n\
+             View: a text file of lines \"name, nationality\".",
+        )
+        .consistency("The view equals the source with the dates field of every line elided.")
+        .restoration(
+            "Forward (get): delete the dates field from every line.",
+            "Backward (put): align view lines to source lines by composer name; \
+             matched lines keep their dates, new lines receive ????-????; \
+             source lines absent from the view are deleted.",
+        )
+        .property(Claim::holds(Property::Correct))
+        .property(Claim::holds(Property::Hippocratic))
+        .property(Claim::fails(Property::Undoable))
+        .discussion(
+            "The worked introductory example of the Boomerang paper; the \
+             state-based COMPOSERS entry abstracts its essence. The dictionary \
+             lens shows that resourcefulness repairs the worst of the \
+             information loss (reordering), but deletion and re-addition still \
+             lose dates, so undoability fails here too.",
+        )
+        .reference(
+            "Aaron Bohannon, J. Nathan Foster, Benjamin C. Pierce, Alexandre \
+             Pilkiewicz, and Alan Schmitt. \"Boomerang: Resourceful Lenses for \
+             String Data\". In POPL 2008",
+            Some("10.1145/1328438.1328487"),
+        )
+        .author("James Cheney")
+        .artefact("string lens", ArtefactKind::Code, "bx_examples::composers_boomerang::composers_lens")
+        .artefact(
+            "sample data",
+            ArtefactKind::SampleData,
+            "bx_examples::composers_boomerang::SAMPLE_SOURCE",
+        )
+        .build()
+        .expect("template-valid")
+}
+
+/// The sample composers file used in the Boomerang paper's introduction.
+pub const SAMPLE_SOURCE: &str = "Jean Sibelius, 1865-1957, Finnish\n\
+Aaron Copland, 1910-1990, American\n\
+Benjamin Britten, 1913-1976, English\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_elides_dates() {
+        let l = composers_lens();
+        assert_eq!(
+            l.get(SAMPLE_SOURCE).unwrap(),
+            "Jean Sibelius, Finnish\nAaron Copland, American\nBenjamin Britten, English\n"
+        );
+    }
+
+    #[test]
+    fn put_edit_nationality_keeps_dates() {
+        // The Boomerang paper's worked example: change Britten's
+        // nationality, delete Copland.
+        let l = composers_lens();
+        let view = "Jean Sibelius, Finnish\nBenjamin Britten, British\n";
+        let out = l.put(SAMPLE_SOURCE, view).unwrap();
+        assert_eq!(
+            out,
+            "Jean Sibelius, 1865-1957, Finnish\nBenjamin Britten, 1913-1976, British\n"
+        );
+    }
+
+    #[test]
+    fn put_reordering_is_resourceful() {
+        let l = composers_lens();
+        let view = "Benjamin Britten, English\nJean Sibelius, Finnish\nAaron Copland, American\n";
+        let out = l.put(SAMPLE_SOURCE, view).unwrap();
+        assert_eq!(
+            out,
+            "Benjamin Britten, 1913-1976, English\n\
+             Jean Sibelius, 1865-1957, Finnish\n\
+             Aaron Copland, 1910-1990, American\n",
+            "every composer keeps their own dates despite the reorder"
+        );
+    }
+
+    #[test]
+    fn put_new_composer_gets_unknown_dates() {
+        let l = composers_lens();
+        let view = "Jean Sibelius, Finnish\nClara Schumann, German\n";
+        let out = l.put(SAMPLE_SOURCE, view).unwrap();
+        assert!(out.contains("Clara Schumann, ????-????, German\n"));
+    }
+
+    #[test]
+    fn lens_laws_on_samples() {
+        let l = composers_lens();
+        // GetPut.
+        for src in ["", SAMPLE_SOURCE, "One Name, 1-2, X\n"] {
+            let v = l.get(src).unwrap();
+            assert_eq!(l.put(src, &v).unwrap(), src, "GetPut on {src:?}");
+        }
+        // PutGet.
+        for view in ["", "A, X\n", "B, Y\nA, X\n"] {
+            let s2 = l.put(SAMPLE_SOURCE, view).unwrap();
+            assert_eq!(l.get(&s2).unwrap(), view, "PutGet on {view:?}");
+        }
+        // CreateGet.
+        let v = "New Person, Somewhere\n";
+        assert_eq!(l.get(&l.create(v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn undoability_fails_for_the_lens_too() {
+        let l = composers_lens();
+        let v0 = l.get(SAMPLE_SOURCE).unwrap();
+        // Delete Sibelius, then restore the original view.
+        let v1 = "Aaron Copland, American\nBenjamin Britten, English\n";
+        let s1 = l.put(SAMPLE_SOURCE, v1).unwrap();
+        let s2 = l.put(&s1, &v0).unwrap();
+        assert_ne!(s2, SAMPLE_SOURCE, "Sibelius's dates are gone");
+        assert!(s2.contains("Jean Sibelius, ????-????, Finnish"));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let l = composers_lens();
+        assert!(l.get("no trailing newline").is_err());
+        assert!(l.get("Bad-Line\n").is_err());
+        assert!(l.put(SAMPLE_SOURCE, "no newline").is_err());
+    }
+
+    #[test]
+    fn entry_is_valid_and_wiki_roundtrips() {
+        let e = composers_boomerang_entry();
+        assert!(e.validate().is_empty());
+        let text = bx_core::wiki::render_entry(&e);
+        assert_eq!(bx_core::wiki::parse_entry("p", &text).unwrap(), e);
+    }
+}

@@ -1,0 +1,291 @@
+//! COMPOSERS-EDIT — the edit-based variant of COMPOSERS.
+//!
+//! The template (§3) allows restoration functions that "require as input
+//! extra information, e.g. concerning the edit that has been done"
+//! (edit-based bx). This entry shows why one would want that: with edit
+//! information and a complement that remembers deletions (a *graveyard*),
+//! the §4 Discussion's delete-then-restore scenario becomes **undoable** —
+//! re-inserting a deleted pair resurrects the composer, dates and all.
+//! The state-based COMPOSERS cannot do this; the edit-based one can.
+
+use std::collections::BTreeMap;
+
+use bx_core::{ArtefactKind, ExampleEntry, ExampleType};
+use bx_theory::{Claim, Property};
+
+use crate::composers::model::{Composer, ComposerSet, Pair, PairList, UNKNOWN_DATES};
+
+/// An edit on the pair-list side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairEdit {
+    /// Insert a pair at an index (clamped to the length).
+    Insert(usize, Pair),
+    /// Delete the pair at an index.
+    Delete(usize),
+    /// The identity edit.
+    Nop,
+}
+
+impl PairEdit {
+    /// Apply to a pair list.
+    pub fn apply(&self, n: &mut PairList) {
+        match self {
+            PairEdit::Insert(i, p) => n.insert((*i).min(n.len()), p.clone()),
+            PairEdit::Delete(i) => {
+                if *i < n.len() {
+                    n.remove(*i);
+                }
+            }
+            PairEdit::Nop => {}
+        }
+    }
+}
+
+/// The synchroniser state: the composer model plus the graveyard
+/// complement remembering composers deleted through this synchroniser.
+///
+/// The graveyard is keyed by (name, nationality); several composers may
+/// rest under one key (distinct dates), restored LIFO.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EditSync {
+    /// The live composer model.
+    pub composers: ComposerSet,
+    graveyard: BTreeMap<Pair, Vec<Composer>>,
+}
+
+impl EditSync {
+    /// Start from a composer model.
+    pub fn new(composers: ComposerSet) -> EditSync {
+        EditSync { composers, graveyard: BTreeMap::new() }
+    }
+
+    /// Number of composers resting in the graveyard.
+    pub fn buried(&self) -> usize {
+        self.graveyard.values().map(Vec::len).sum()
+    }
+
+    /// Propagate one edit on `n` into the composer model. Returns the
+    /// composers added or resurrected (for observability).
+    ///
+    /// * `Insert` of a pair with no live composer first checks the
+    ///   graveyard; a buried composer with that (name, nationality) is
+    ///   resurrected **with their dates**; otherwise a fresh composer with
+    ///   `????-????` is created. Inserting a pair that already has a live
+    ///   composer changes nothing (many entries may share a pair).
+    /// * `Delete` of the last `n`-occurrence of a pair buries every live
+    ///   composer with that pair (deleting one of several duplicate
+    ///   entries changes nothing — consistency is set-based).
+    pub fn apply_edit(&mut self, n_before: &PairList, edit: &PairEdit) -> Vec<Composer> {
+        match edit {
+            PairEdit::Nop => Vec::new(),
+            PairEdit::Insert(_, pair) => {
+                let alive = self.composers.iter().any(|c| &c.pair() == pair);
+                if alive {
+                    return Vec::new();
+                }
+                let resurrected = self
+                    .graveyard
+                    .get_mut(pair)
+                    .and_then(Vec::pop)
+                    .unwrap_or_else(|| Composer::new(&pair.0, UNKNOWN_DATES, &pair.1));
+                self.composers.insert(resurrected.clone());
+                vec![resurrected]
+            }
+            PairEdit::Delete(i) => {
+                let Some(pair) = n_before.get(*i) else { return Vec::new() };
+                let remaining =
+                    n_before.iter().enumerate().any(|(j, p)| j != *i && p == pair);
+                if remaining {
+                    return Vec::new();
+                }
+                let dead: Vec<Composer> = self
+                    .composers
+                    .iter()
+                    .filter(|c| &c.pair() == pair)
+                    .cloned()
+                    .collect();
+                for c in &dead {
+                    self.composers.remove(c);
+                    self.graveyard.entry(c.pair()).or_default().push(c.clone());
+                }
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// The repository entry.
+pub fn composers_edit_entry() -> ExampleEntry {
+    ExampleEntry::builder("COMPOSERS-EDIT")
+        .of_type(ExampleType::Precise)
+        .overview(
+            "COMPOSERS as an edit-based bx: restoration consumes the edit that \
+             was performed, and a graveyard complement remembers deletions. \
+             Demonstrates that the undoability failure of the state-based \
+             version is an artefact of statefulness, not of the example.",
+        )
+        .models(
+            "As COMPOSERS, plus synchroniser state: a graveyard mapping (name, \
+             nationality) pairs to the composers deleted under them.",
+        )
+        .consistency("As COMPOSERS (the graveyard is invisible to consistency).")
+        .restoration(
+            "Forward restoration is as COMPOSERS (the edit stream is only used \
+             backward in this entry).",
+            "Each edit on n is translated: inserting a pair resurrects a buried \
+             composer with their original dates, or creates one with ????-???? \
+             if none is buried; deleting the last occurrence of a pair buries \
+             all its composers.",
+        )
+        .property(Claim::holds(Property::Correct))
+        .property(Claim::holds(Property::Hippocratic))
+        .property(Claim::holds(Property::Undoable))
+        .variant(
+            "graveyard retention",
+            "Unbounded here; real systems bound it (LRU, session-scoped), \
+             trading undoability for memory.",
+        )
+        .discussion(
+            "The counterpoint to COMPOSERS' Discussion: \"the absence of any \
+             extra information besides the models means that the dates cannot \
+             be restored\". Edit lenses supply exactly that extra information. \
+             Compare Hofmann, Pierce and Wagner's edit lenses, where \
+             complements make round-trips lossless.",
+        )
+        .reference(
+            "Martin Hofmann, Benjamin C. Pierce, Daniel Wagner. Edit lenses. POPL 2012",
+            Some("10.1145/2103656.2103715"),
+        )
+        .author("James McKinna")
+        .author("James Cheney")
+        .artefact("edit synchroniser", ArtefactKind::Code, "bx_examples::composers_edit::EditSync")
+        .build()
+        .expect("template-valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composers::model::{composer_set, pair_list};
+    use crate::composers::composers_bx;
+    use bx_theory::Bx;
+
+    fn start() -> (EditSync, PairList) {
+        let m = composer_set(&[("Jean Sibelius", "1865-1957", "Finnish")]);
+        let n = pair_list(&[("Jean Sibelius", "Finnish")]);
+        (EditSync::new(m), n)
+    }
+
+    #[test]
+    fn the_discussion_scenario_is_now_undoable() {
+        // Exactly the §4 Discussion, with edits: delete from n, restore it
+        // — and this time m returns to exactly its original state.
+        let (mut sync, mut n) = start();
+        let m0 = sync.composers.clone();
+
+        let delete = PairEdit::Delete(0);
+        sync.apply_edit(&n, &delete);
+        delete.apply(&mut n);
+        assert!(sync.composers.is_empty());
+        assert_eq!(sync.buried(), 1);
+
+        let insert = PairEdit::Insert(0, ("Jean Sibelius".to_string(), "Finnish".to_string()));
+        let back = sync.apply_edit(&n, &insert);
+        insert.apply(&mut n);
+        assert_eq!(sync.composers, m0, "the dates came back from the graveyard");
+        assert_eq!(back[0].dates, "1865-1957");
+        assert_eq!(sync.buried(), 0);
+    }
+
+    #[test]
+    fn fresh_pairs_still_get_unknown_dates() {
+        let (mut sync, n) = start();
+        let insert = PairEdit::Insert(1, ("Clara Schumann".to_string(), "German".to_string()));
+        let added = sync.apply_edit(&n, &insert);
+        assert_eq!(added[0].dates, UNKNOWN_DATES);
+    }
+
+    #[test]
+    fn consistency_is_maintained_under_edit_streams() {
+        let b = composers_bx();
+        let (mut sync, mut n) = start();
+        let edits = [
+            PairEdit::Insert(0, ("Amy Beach".to_string(), "American".to_string())),
+            PairEdit::Delete(1),
+            PairEdit::Insert(1, ("Jean Sibelius".to_string(), "Finnish".to_string())),
+            PairEdit::Nop,
+            PairEdit::Delete(9),
+        ];
+        for e in &edits {
+            sync.apply_edit(&n, e);
+            e.apply(&mut n);
+            assert!(
+                b.consistent(&sync.composers, &n),
+                "inconsistent after {e:?}: {:?} vs {n:?}",
+                sync.composers
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_entries_do_not_bury_composers() {
+        // n holds the same pair twice; deleting one occurrence keeps the
+        // composer alive (set-based consistency still holds).
+        let m = composer_set(&[("A", "1-2", "X")]);
+        let mut n = pair_list(&[("A", "X"), ("A", "X")]);
+        let mut sync = EditSync::new(m.clone());
+        let delete = PairEdit::Delete(0);
+        sync.apply_edit(&n, &delete);
+        delete.apply(&mut n);
+        assert_eq!(sync.composers, m);
+        assert_eq!(sync.buried(), 0);
+    }
+
+    #[test]
+    fn several_composers_per_pair_all_cycle_through_graveyard() {
+        let m = composer_set(&[
+            ("Johann Strauss", "1804-1849", "Austrian"),
+            ("Johann Strauss", "1825-1899", "Austrian"),
+        ]);
+        let mut n = pair_list(&[("Johann Strauss", "Austrian")]);
+        let mut sync = EditSync::new(m.clone());
+
+        let delete = PairEdit::Delete(0);
+        sync.apply_edit(&n, &delete);
+        delete.apply(&mut n);
+        assert_eq!(sync.buried(), 2);
+
+        let insert = PairEdit::Insert(0, ("Johann Strauss".to_string(), "Austrian".to_string()));
+        sync.apply_edit(&n, &insert);
+        insert.apply(&mut n);
+        // One resurrected (the pair is alive again); one still buried.
+        assert_eq!(sync.composers.len(), 1);
+        assert_eq!(sync.buried(), 1);
+    }
+
+    #[test]
+    fn insert_on_live_pair_is_a_no_op() {
+        let (mut sync, n) = start();
+        let m0 = sync.composers.clone();
+        let insert = PairEdit::Insert(1, ("Jean Sibelius".to_string(), "Finnish".to_string()));
+        let added = sync.apply_edit(&n, &insert);
+        assert!(added.is_empty());
+        assert_eq!(sync.composers, m0);
+    }
+
+    #[test]
+    fn entry_claims_undoable_unlike_the_state_based_one() {
+        let e = composers_edit_entry();
+        assert!(e.validate().is_empty());
+        assert!(e.properties.contains(&Claim::holds(Property::Undoable)));
+        let state_based = crate::composers::composers_entry();
+        assert!(state_based.properties.contains(&Claim::fails(Property::Undoable)));
+    }
+
+    #[test]
+    fn entry_roundtrips_through_wiki() {
+        let e = composers_edit_entry();
+        let text = bx_core::wiki::render_entry(&e);
+        assert_eq!(bx_core::wiki::parse_entry("p", &text).unwrap(), e);
+    }
+}

@@ -1,0 +1,190 @@
+//! DATES — a small string-lens example: eliding the century from dates.
+//!
+//! Source lines `28 March 2014` display as `28 March 14`; putting an
+//! edited short date back restores the hidden century digits of the
+//! original line (positionally), and new lines get century `20`.
+
+use bx_core::{ArtefactKind, ExampleEntry, ExampleType};
+use bx_lens::string::{cat, copy, del, ins, star, swap, txt, StringLens};
+use bx_theory::{Claim, Property};
+
+/// Build the dates lens over `(DAY " " MONTH " " CENTURY YEAR "\n")*`.
+pub fn dates_lens() -> StringLens {
+    let line = cat(vec![
+        copy("[0-9]?[0-9] [A-Z][a-z]+ ").expect("static pattern"),
+        del("[0-9][0-9]", "20").expect("static pattern"),
+        copy("[0-9][0-9]").expect("static pattern"),
+        txt("\n"),
+    ]);
+    star(line).named("dates")
+}
+
+/// A bijective date-format lens built with the `swap` permutation
+/// combinator: ISO `YYYY-MM-DD` lines display as European `DD/MM/YYYY`.
+///
+/// Construction (separators travel with their fields):
+///
+/// ```text
+/// inner = swap( MM·del("-") ,  DD·ins("/") )      : "MM-DD"   <-> "DD/MM"
+/// line  = swap( YYYY·del("-"), inner·ins("/") )   : "YYYY-MM-DD" <-> "DD/MM/YYYY"
+/// ```
+pub fn iso_dates_lens() -> StringLens {
+    let two = || copy("[0-9][0-9]").expect("static pattern");
+    let inner = swap(
+        cat(vec![two(), del("-", "-").expect("static pattern")]),
+        cat(vec![two(), ins("/")]),
+    );
+    let line = swap(
+        cat(vec![copy("[0-9][0-9][0-9][0-9]").expect("static pattern"), del("-", "-").expect("static pattern")]),
+        cat(vec![inner, ins("/")]),
+    );
+    star(cat(vec![line, txt("\n")])).named("iso-dates")
+}
+
+/// The repository entry.
+pub fn dates_entry() -> ExampleEntry {
+    ExampleEntry::builder("DATES")
+        .of_type(ExampleType::Precise)
+        .overview(
+            "A miniature string lens: full dates versus dates with the century \
+             elided. The century digits are the hidden complement.",
+        )
+        .models(
+            "Source: lines \"day month year\" with four-digit years.\n\
+             View: the same lines with two-digit years.",
+        )
+        .consistency("Each view line is its source line with the century digits removed.")
+        .restoration(
+            "Delete the century digits from every line.",
+            "Restore each line's century from the corresponding source line \
+             (positional alignment); lines beyond the source get century 20.",
+        )
+        .property(Claim::holds(Property::Correct))
+        .property(Claim::holds(Property::Hippocratic))
+        .property(Claim::fails(Property::Undoable))
+        .variant(
+            "alignment",
+            "Positional star versus dictionary star keyed by the day-month \
+             prefix; positional alignment mis-assigns centuries when lines are \
+             reordered.",
+        )
+        .variant("default century", "20 here; 19 is the other obvious choice.")
+        .variant(
+            "format permutation",
+            "A bijective sibling converts ISO YYYY-MM-DD to European \
+             DD/MM/YYYY with the swap permutation combinator; see \
+             bx_examples::dates::iso_dates_lens.",
+        )
+        .discussion(
+            "The classic warm-up lens: small enough to verify by eye, yet it \
+             already exhibits hidden complements and create defaults.",
+        )
+        .reference(
+            "J. Nathan Foster et al. Combinators for bidirectional tree \
+             transformations. TOPLAS 29(3), 2007",
+            Some("10.1145/1232420.1232424"),
+        )
+        .author("James McKinna")
+        .artefact("string lens", ArtefactKind::Code, "bx_examples::dates::dates_lens")
+        .artefact("ISO permutation lens", ArtefactKind::Code, "bx_examples::dates::iso_dates_lens")
+        .build()
+        .expect("template-valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "28 March 2014\n5 April 1997\n";
+
+    #[test]
+    fn get_elides_century() {
+        assert_eq!(dates_lens().get(SRC).unwrap(), "28 March 14\n5 April 97\n");
+    }
+
+    #[test]
+    fn put_restores_century_positionally() {
+        let l = dates_lens();
+        // Change the second day-of-month; centuries restored per line.
+        let out = l.put(SRC, "28 March 14\n6 April 97\n").unwrap();
+        assert_eq!(out, "28 March 2014\n6 April 1997\n");
+    }
+
+    #[test]
+    fn new_lines_get_default_century() {
+        let l = dates_lens();
+        let out = l.put(SRC, "28 March 14\n5 April 97\n1 May 23\n").unwrap();
+        assert!(out.ends_with("1 May 2023\n"));
+    }
+
+    #[test]
+    fn reordering_misassigns_centuries() {
+        // The documented weakness of positional alignment (see Variants).
+        let l = dates_lens();
+        let out = l.put(SRC, "5 April 97\n28 March 14\n").unwrap();
+        assert_eq!(out, "5 April 2097\n28 March 1914\n");
+    }
+
+    #[test]
+    fn laws_on_samples() {
+        let l = dates_lens();
+        for src in ["", SRC, "1 January 1900\n"] {
+            let v = l.get(src).unwrap();
+            assert_eq!(l.put(src, &v).unwrap(), src, "GetPut {src:?}");
+        }
+        for view in ["", "3 June 01\n", "3 June 01\n4 July 02\n"] {
+            let s = l.put(SRC, view).unwrap();
+            assert_eq!(l.get(&s).unwrap(), view, "PutGet {view:?}");
+            let c = l.create(view).unwrap();
+            assert_eq!(l.get(&c).unwrap(), view, "CreateGet {view:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let l = dates_lens();
+        assert!(l.get("28 march 2014\n").is_err(), "lowercase month");
+        assert!(l.get("28 March 14\n").is_err(), "short year on the source side");
+        assert!(l.put(SRC, "28 March 2014\n").is_err(), "long year on the view side");
+    }
+
+    #[test]
+    fn entry_valid_and_roundtrips() {
+        let e = dates_entry();
+        assert!(e.validate().is_empty());
+        let text = bx_core::wiki::render_entry(&e);
+        assert_eq!(bx_core::wiki::parse_entry("p", &text).unwrap(), e);
+    }
+
+    #[test]
+    fn iso_lens_permutes_fields() {
+        let l = iso_dates_lens();
+        assert_eq!(l.get("2014-03-28\n").unwrap(), "28/03/2014\n");
+        assert_eq!(l.get("2014-03-28\n1997-04-05\n").unwrap(), "28/03/2014\n05/04/1997\n");
+        assert_eq!(l.create("28/03/2014\n").unwrap(), "2014-03-28\n");
+    }
+
+    #[test]
+    fn iso_lens_is_bijective_on_samples() {
+        // No hidden complement: put ignores the source entirely (modulo
+        // alignment), so GetPut, PutGet *and* both round trips hold.
+        let l = iso_dates_lens();
+        for src in ["", "2014-03-28\n", "2014-03-28\n1997-04-05\n"] {
+            let v = l.get(src).unwrap();
+            assert_eq!(l.put(src, &v).unwrap(), src, "GetPut {src:?}");
+            assert_eq!(l.create(&v).unwrap(), src, "CreateGet-inverse {src:?}");
+        }
+        for view in ["", "01/12/2020\n", "01/12/2020\n02/01/1999\n"] {
+            let s = l.create(view).unwrap();
+            assert_eq!(l.get(&s).unwrap(), view, "CreateGet {view:?}");
+        }
+    }
+
+    #[test]
+    fn iso_lens_rejects_wrong_formats() {
+        let l = iso_dates_lens();
+        assert!(l.get("28/03/2014\n").is_err(), "view format on the source side");
+        assert!(l.get("2014-3-28\n").is_err(), "short month");
+        assert!(l.put("2014-03-28\n", "2014-03-28\n").is_err(), "source format on the view side");
+    }
+}

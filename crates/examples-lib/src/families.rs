@@ -1,0 +1,356 @@
+//! FAMILIES2PERSONS — the classic MDE example (Anjorin et al. use it as
+//! the BenchmarX running case; it originates in the ATL zoo).
+//!
+//! A family model groups members into families with roles (father,
+//! mother, sons, daughters); a person model is a flat set of persons with
+//! genders. Synchronising the two exhibits the famous *parent-or-child*
+//! decision when new persons arrive — a variation point, exactly as the
+//! repository template's Variants field anticipates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bx_core::{ArtefactKind, ExampleEntry, ExampleType};
+use bx_theory::{Bx, Claim, Property};
+
+/// A person's gender (the persons metamodel's only distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Gender {
+    /// Male (father or son on the family side).
+    Male,
+    /// Female (mother or daughter on the family side).
+    Female,
+}
+
+/// A flat person: first name, last name, gender.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Person {
+    /// Family (last) name.
+    pub last_name: String,
+    /// Given (first) name.
+    pub first_name: String,
+    /// Gender.
+    pub gender: Gender,
+}
+
+impl Person {
+    /// Construct a person.
+    pub fn new(first: &str, last: &str, gender: Gender) -> Person {
+        Person { last_name: last.to_string(), first_name: first.to_string(), gender }
+    }
+}
+
+/// A family with role slots.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Family {
+    /// Father's first name, if any.
+    pub father: Option<String>,
+    /// Mother's first name, if any.
+    pub mother: Option<String>,
+    /// Sons' first names, sorted.
+    pub sons: BTreeSet<String>,
+    /// Daughters' first names, sorted.
+    pub daughters: BTreeSet<String>,
+}
+
+/// The `M` side: families keyed by last name.
+pub type FamilyModel = BTreeMap<String, Family>;
+
+/// The `N` side: a set of persons.
+pub type PersonModel = BTreeSet<Person>;
+
+/// The parent-or-child policy for newly arriving persons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NewMemberPolicy {
+    /// Fill the empty parent slot first (ATL's PREFER_CREATING_PARENT).
+    PreferParent,
+    /// Always add as a child.
+    PreferChild,
+}
+
+/// The Families↔Persons bx, parameterised by the new-member policy.
+#[derive(Debug, Clone)]
+pub struct FamiliesBx {
+    policy: NewMemberPolicy,
+    name: String,
+}
+
+/// Construct the transformation with the given policy.
+pub fn families_bx(policy: NewMemberPolicy) -> FamiliesBx {
+    let name = match policy {
+        NewMemberPolicy::PreferParent => "families2persons/prefer-parent",
+        NewMemberPolicy::PreferChild => "families2persons/prefer-child",
+    };
+    FamiliesBx { policy, name: name.to_string() }
+}
+
+fn members(families: &FamilyModel) -> PersonModel {
+    let mut out = PersonModel::new();
+    for (last, family) in families {
+        if let Some(f) = &family.father {
+            out.insert(Person::new(f, last, Gender::Male));
+        }
+        if let Some(m) = &family.mother {
+            out.insert(Person::new(m, last, Gender::Female));
+        }
+        for s in &family.sons {
+            out.insert(Person::new(s, last, Gender::Male));
+        }
+        for d in &family.daughters {
+            out.insert(Person::new(d, last, Gender::Female));
+        }
+    }
+    out
+}
+
+impl Bx<FamilyModel, PersonModel> for FamiliesBx {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Consistent when the persons are exactly the family members with
+    /// their role-implied genders.
+    fn consistent(&self, m: &FamilyModel, n: &PersonModel) -> bool {
+        members(m) == *n
+    }
+
+    /// Forward: the person set is fully determined by the families.
+    fn fwd(&self, m: &FamilyModel, _n: &PersonModel) -> PersonModel {
+        members(m)
+    }
+
+    /// Backward: keep existing members in their existing roles, drop
+    /// members no longer present, place new persons per the policy.
+    /// Families that end up empty are removed only if they were created
+    /// by this restoration; pre-existing empty families persist (they
+    /// contribute no persons, so consistency is unaffected).
+    fn bwd(&self, m: &FamilyModel, n: &PersonModel) -> FamilyModel {
+        let mut out = FamilyModel::new();
+        // Pass 1: retain surviving members in their current roles.
+        for (last, family) in m {
+            let mut kept = Family::default();
+            let has = |first: &str, gender: Gender| {
+                n.contains(&Person::new(first, last, gender))
+            };
+            if let Some(f) = &family.father {
+                if has(f, Gender::Male) {
+                    kept.father = Some(f.clone());
+                }
+            }
+            if let Some(mo) = &family.mother {
+                if has(mo, Gender::Female) {
+                    kept.mother = Some(mo.clone());
+                }
+            }
+            for s in &family.sons {
+                if has(s, Gender::Male) {
+                    kept.sons.insert(s.clone());
+                }
+            }
+            for d in &family.daughters {
+                if has(d, Gender::Female) {
+                    kept.daughters.insert(d.clone());
+                }
+            }
+            let was_empty = family.father.is_none()
+                && family.mother.is_none()
+                && family.sons.is_empty()
+                && family.daughters.is_empty();
+            let now_empty = kept.father.is_none()
+                && kept.mother.is_none()
+                && kept.sons.is_empty()
+                && kept.daughters.is_empty();
+            if !now_empty || was_empty {
+                out.insert(last.clone(), kept);
+            }
+        }
+        // Pass 2: place persons not yet accounted for.
+        let placed = members(&out);
+        for p in n.difference(&placed) {
+            let family = out.entry(p.last_name.clone()).or_default();
+            match (p.gender, self.policy) {
+                (Gender::Male, NewMemberPolicy::PreferParent) if family.father.is_none() => {
+                    family.father = Some(p.first_name.clone());
+                }
+                (Gender::Male, _) => {
+                    family.sons.insert(p.first_name.clone());
+                }
+                (Gender::Female, NewMemberPolicy::PreferParent) if family.mother.is_none() => {
+                    family.mother = Some(p.first_name.clone());
+                }
+                (Gender::Female, _) => {
+                    family.daughters.insert(p.first_name.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The repository entry.
+pub fn families_entry() -> ExampleEntry {
+    ExampleEntry::builder("FAMILIES2PERSONS")
+        .of_type(ExampleType::Precise)
+        .of_type(ExampleType::Benchmark)
+        .overview(
+            "The classic MDE example: families with parent/child roles versus a \
+             flat set of gendered persons. Demonstrates the parent-or-child \
+             placement decision for new persons.",
+        )
+        .models(
+            "A model m in M maps last names to families, each with optional \
+             father and mother and sets of sons and daughters (first names).\n\
+             A model n in N is a set of persons, each with first name, last \
+             name and gender.",
+        )
+        .consistency(
+            "The persons are exactly the family members: fathers and sons \
+             appear as male persons, mothers and daughters as female persons, \
+             under their family's last name.",
+        )
+        .restoration(
+            "Regenerate the person set from the family members.",
+            "Keep surviving members in their existing roles, drop the rest, and \
+             place genuinely new persons according to the chosen policy \
+             (prefer-parent or prefer-child); pre-existing empty families are \
+             retained.",
+        )
+        .property(Claim::holds(Property::Correct))
+        .property(Claim::holds(Property::Hippocratic))
+        .property(Claim::fails(Property::Undoable))
+        .variant(
+            "parent or child",
+            "When a new person arrives, do they fill an empty parent slot or \
+             become a child? Both policies are implemented \
+             (NewMemberPolicy::PreferParent / PreferChild).",
+        )
+        .discussion(
+            "Beloved of the MDE community (the ATL tutorial and the BenchmarX \
+             suite both use it) because the backward direction forces an \
+             explicit policy decision: person models simply do not record \
+             family roles.",
+        )
+        .reference("Anjorin, Cunha, Giese, Hermann, Rensink, Schürr. BenchmarX. Bx 2014", None)
+        .author("Jeremy Gibbons")
+        .artefact("state-based bx", ArtefactKind::Code, "bx_examples::families::families_bx")
+        .build()
+        .expect("template-valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bx_theory::{check_all_laws, Law, Samples};
+
+    fn sample_families() -> FamilyModel {
+        let mut m = FamilyModel::new();
+        m.insert(
+            "March".to_string(),
+            Family {
+                father: Some("Jim".to_string()),
+                mother: Some("Cindy".to_string()),
+                sons: BTreeSet::from(["Brandon".to_string()]),
+                daughters: BTreeSet::from(["Brenda".to_string()]),
+            },
+        );
+        m.insert(
+            "Sailor".to_string(),
+            Family { father: Some("Peter".to_string()), ..Family::default() },
+        );
+        m
+    }
+
+    fn sample_persons() -> PersonModel {
+        PersonModel::from([
+            Person::new("Jim", "March", Gender::Male),
+            Person::new("Cindy", "March", Gender::Female),
+            Person::new("Brandon", "March", Gender::Male),
+            Person::new("Brenda", "March", Gender::Female),
+            Person::new("Peter", "Sailor", Gender::Male),
+        ])
+    }
+
+    #[test]
+    fn members_projection_is_consistent() {
+        let b = families_bx(NewMemberPolicy::PreferChild);
+        assert!(b.consistent(&sample_families(), &sample_persons()));
+        assert_eq!(b.fwd(&sample_families(), &PersonModel::new()), sample_persons());
+    }
+
+    #[test]
+    fn policies_diverge_on_new_person() {
+        let mut persons = sample_persons();
+        persons.insert(Person::new("Mary", "Sailor", Gender::Female));
+        let parent = families_bx(NewMemberPolicy::PreferParent).bwd(&sample_families(), &persons);
+        let child = families_bx(NewMemberPolicy::PreferChild).bwd(&sample_families(), &persons);
+        assert_eq!(parent["Sailor"].mother.as_deref(), Some("Mary"));
+        assert!(parent["Sailor"].daughters.is_empty());
+        assert_eq!(child["Sailor"].mother, None);
+        assert!(child["Sailor"].daughters.contains("Mary"));
+    }
+
+    #[test]
+    fn existing_roles_survive_restoration() {
+        let b = families_bx(NewMemberPolicy::PreferChild);
+        let out = b.bwd(&sample_families(), &sample_persons());
+        assert_eq!(out, sample_families(), "hippocratic on consistent states");
+    }
+
+    #[test]
+    fn new_last_name_creates_family() {
+        let b = families_bx(NewMemberPolicy::PreferParent);
+        let mut persons = sample_persons();
+        persons.insert(Person::new("Ada", "Lovelace", Gender::Female));
+        let out = b.bwd(&sample_families(), &persons);
+        assert_eq!(out["Lovelace"].mother.as_deref(), Some("Ada"));
+    }
+
+    #[test]
+    fn role_information_is_lost_on_excursion() {
+        // Delete the father, then restore him: he comes back as a son
+        // under PreferChild — roles are the dates of this example.
+        let b = families_bx(NewMemberPolicy::PreferChild);
+        let m0 = sample_families();
+        let mut without_jim = sample_persons();
+        without_jim.remove(&Person::new("Jim", "March", Gender::Male));
+        let m1 = b.bwd(&m0, &without_jim);
+        assert_eq!(m1["March"].father, None);
+        let m2 = b.bwd(&m1, &sample_persons());
+        assert_ne!(m2, m0);
+        assert!(m2["March"].sons.contains("Jim"), "Jim returns as a son");
+    }
+
+    #[test]
+    fn laws_for_both_policies() {
+        let m2 = {
+            let mut m = FamilyModel::new();
+            m.insert("Empty".to_string(), Family::default());
+            m
+        };
+        let samples = Samples::new(
+            vec![
+                (sample_families(), sample_persons()),
+                (m2.clone(), PersonModel::new()),
+                (sample_families(), PersonModel::new()),
+            ],
+            vec![m2],
+            vec![PersonModel::from([Person::new("X", "Y", Gender::Male)])],
+        );
+        for policy in [NewMemberPolicy::PreferParent, NewMemberPolicy::PreferChild] {
+            let matrix = check_all_laws(&families_bx(policy), &samples);
+            for law in
+                [Law::CorrectFwd, Law::CorrectBwd, Law::HippocraticFwd, Law::HippocraticBwd]
+            {
+                assert!(matrix.law_holds(law), "{policy:?} {matrix}");
+            }
+            assert!(!matrix.law_holds(Law::UndoableBwd), "{policy:?} should not be undoable");
+        }
+    }
+
+    #[test]
+    fn entry_valid_and_roundtrips() {
+        let e = families_entry();
+        assert!(e.validate().is_empty());
+        let text = bx_core::wiki::render_entry(&e);
+        assert_eq!(bx_core::wiki::parse_entry("p", &text).unwrap(), e);
+    }
+}

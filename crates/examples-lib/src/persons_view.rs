@@ -1,0 +1,204 @@
+//! PERSONS-VIEW — an updatable database view built by composing
+//! relational lenses: select the Paris rows, then drop the phone column.
+//!
+//! The databases-community counterpart of COMPOSERS: the phone numbers
+//! play the dates' role (hidden information restored by key on `put`).
+
+use bx_core::{ArtefactKind, ExampleEntry, ExampleType};
+use bx_relational::algebra::Predicate;
+use bx_relational::{DropLens, RelError, RelLens, Relation, Schema, SelectLens, Value, ValueType};
+use bx_theory::{Claim, Property};
+
+/// The composed select-then-drop view lens.
+#[derive(Debug, Clone)]
+pub struct PersonsView {
+    select: SelectLens,
+    drop: DropLens,
+}
+
+/// Construct the view: `σ_{city = 'Paris'}` then drop `phone` (determined
+/// by `name`, default `""`).
+pub fn persons_view() -> PersonsView {
+    PersonsView {
+        select: SelectLens::new(Predicate::eq("city", "Paris")),
+        drop: DropLens::new("phone", &["name"], Value::str("")),
+    }
+}
+
+impl RelLens<Relation> for PersonsView {
+    fn name(&self) -> &str {
+        "persons-view"
+    }
+
+    fn get(&self, src: &Relation) -> Result<Relation, RelError> {
+        self.drop.get(&self.select.get(src)?)
+    }
+
+    fn put(&self, src: &Relation, view: &Relation) -> Result<Relation, RelError> {
+        let mid_old = self.select.get(src)?;
+        let mid_new = self.drop.put(&mid_old, view)?;
+        self.select.put(src, &mid_new)
+    }
+
+    fn create(&self, view: &Relation) -> Result<Relation, RelError> {
+        // Note: `create` synthesises the phone column at the end; the
+        // canonical schema puts it there too, so this matches `put`.
+        let mid = self.drop.create(view)?;
+        self.select.create(&mid)
+    }
+}
+
+/// The canonical source schema: people(name, city, phone).
+pub fn people_schema() -> Schema {
+    Schema::new(vec![
+        ("name", ValueType::Str),
+        ("city", ValueType::Str),
+        ("phone", ValueType::Str),
+    ])
+    .expect("static schema")
+}
+
+/// Sample data for the entry's artefacts and the examples.
+pub fn sample_people() -> Relation {
+    Relation::from_rows(
+        people_schema(),
+        vec![
+            vec![Value::str("Ana"), Value::str("Paris"), Value::str("+33-1")],
+            vec![Value::str("Bea"), Value::str("Lyon"), Value::str("+33-4")],
+            vec![Value::str("Carl"), Value::str("Paris"), Value::str("+33-2")],
+        ],
+    )
+    .expect("rows match schema")
+}
+
+/// The repository entry.
+pub fn persons_view_entry() -> ExampleEntry {
+    ExampleEntry::builder("PERSONS-VIEW")
+        .of_type(ExampleType::Precise)
+        .overview(
+            "An updatable database view: select the people in Paris, then hide \
+             their phone numbers. Composes two relational lenses; the phone \
+             numbers are restored by key on put.",
+        )
+        .models(
+            "A model m in M is a relation people(name, city, phone).\n\
+             A model n in N is a relation over (name, city) containing only \
+             Paris rows.",
+        )
+        .consistency(
+            "n equals the projection (dropping phone) of the selection \
+             (city = Paris) of m.",
+        )
+        .restoration(
+            "Recompute the view by selection then projection.",
+            "Put through the projection (phones restored by matching name, \
+             default empty for new people), then through the selection (non-\
+             Paris rows are the untouched complement; view rows must satisfy \
+             the predicate).",
+        )
+        .property(Claim::holds(Property::Correct))
+        .property(Claim::holds(Property::Hippocratic))
+        .property(Claim::fails(Property::Undoable))
+        .variant(
+            "default for new phones",
+            "The drop lens's default value for newly created rows: empty \
+             string, NULL-marker, or a sentinel.",
+        )
+        .discussion(
+            "The view-update problem in miniature, after Bohannon, Pierce and \
+             Vaughan's relational lenses: functional dependencies (name \
+             determines phone) make the backward direction well-defined.",
+        )
+        .reference(
+            "Aaron Bohannon, Benjamin C. Pierce, Jeffrey A. Vaughan. \
+             Relational lenses: a language for updatable views. PODS 2006",
+            Some("10.1145/1142351.1142399"),
+        )
+        .author("James Cheney")
+        .artefact("relational lens", ArtefactKind::Code, "bx_examples::persons_view::persons_view")
+        .artefact("sample data", ArtefactKind::SampleData, "bx_examples::persons_view::sample_people")
+        .build()
+        .expect("template-valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_selects_and_projects() {
+        let l = persons_view();
+        let v = l.get(&sample_people()).unwrap();
+        assert_eq!(v.schema().names(), vec!["name", "city"]);
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(&[Value::str("Ana"), Value::str("Paris")]));
+        assert!(!v.contains(&[Value::str("Bea"), Value::str("Lyon")]));
+    }
+
+    #[test]
+    fn getput_roundtrip() {
+        let l = persons_view();
+        let s = sample_people();
+        let v = l.get(&s).unwrap();
+        assert_eq!(l.put(&s, &v).unwrap(), s);
+    }
+
+    #[test]
+    fn put_restores_phones_by_name_and_keeps_complement() {
+        let l = persons_view();
+        let s = sample_people();
+        // Rename Carl out, add Dora in.
+        let v = Relation::from_rows(
+            l.get(&s).unwrap().schema().clone(),
+            vec![
+                vec![Value::str("Ana"), Value::str("Paris")],
+                vec![Value::str("Dora"), Value::str("Paris")],
+            ],
+        )
+        .unwrap();
+        let s2 = l.put(&s, &v).unwrap();
+        assert!(s2.contains(&[Value::str("Ana"), Value::str("Paris"), Value::str("+33-1")]),
+            "Ana keeps her phone");
+        assert!(s2.contains(&[Value::str("Dora"), Value::str("Paris"), Value::str("")]),
+            "Dora gets the default phone");
+        assert!(s2.contains(&[Value::str("Bea"), Value::str("Lyon"), Value::str("+33-4")]),
+            "non-Paris complement untouched");
+        assert!(!s2.contains(&[Value::str("Carl"), Value::str("Paris"), Value::str("+33-2")]));
+        // PutGet.
+        assert_eq!(l.get(&s2).unwrap(), v);
+    }
+
+    #[test]
+    fn put_rejects_non_paris_view_rows() {
+        let l = persons_view();
+        let s = sample_people();
+        let v = Relation::from_rows(
+            l.get(&s).unwrap().schema().clone(),
+            vec![vec![Value::str("Eve"), Value::str("Nice")]],
+        )
+        .unwrap();
+        assert!(matches!(l.put(&s, &v), Err(RelError::PredicateViolation { .. })));
+    }
+
+    #[test]
+    fn undoability_fails_via_phone_loss() {
+        let l = persons_view();
+        let s0 = sample_people();
+        let v0 = l.get(&s0).unwrap();
+        // Delete Ana from the view, then restore her.
+        let mut v1 = v0.clone();
+        v1.remove(&[Value::str("Ana"), Value::str("Paris")]);
+        let s1 = l.put(&s0, &v1).unwrap();
+        let s2 = l.put(&s1, &v0).unwrap();
+        assert_ne!(s2, s0, "Ana's phone number cannot come back");
+        assert!(s2.contains(&[Value::str("Ana"), Value::str("Paris"), Value::str("")]));
+    }
+
+    #[test]
+    fn entry_valid_and_roundtrips() {
+        let e = persons_view_entry();
+        assert!(e.validate().is_empty());
+        let text = bx_core::wiki::render_entry(&e);
+        assert_eq!(bx_core::wiki::parse_entry("p", &text).unwrap(), e);
+    }
+}

@@ -1,0 +1,168 @@
+//! Assembling the standard repository: every entry of the collection,
+//! contributed under the three-level curation model, with the founding
+//! curators of the paper.
+
+use bx_core::{Principal, Repository, Role};
+
+use crate::address_book::address_book_entry;
+use crate::benchmark::benchmark_entry;
+use crate::bookmarks::bookmarks_entry;
+use crate::composers::composers_entry;
+use crate::composers_boomerang::composers_boomerang_entry;
+use crate::composers_edit::composers_edit_entry;
+use crate::dates::dates_entry;
+use crate::families::families_entry;
+use crate::orders_join::orders_join_entry;
+use crate::persons_view::persons_view_entry;
+use crate::sketches::{schema_evolution_entry, spreadsheet_sketch_entry};
+use crate::uml2rdbms::uml2rdbms_entry;
+
+/// All entries of the standard collection, in contribution order.
+pub fn all_entries() -> Vec<bx_core::ExampleEntry> {
+    vec![
+        composers_entry(),
+        composers_boomerang_entry(),
+        composers_edit_entry(),
+        uml2rdbms_entry(),
+        families_entry(),
+        persons_view_entry(),
+        orders_join_entry(),
+        dates_entry(),
+        benchmark_entry(),
+        address_book_entry(),
+        bookmarks_entry(),
+        spreadsheet_sketch_entry(),
+        schema_evolution_entry(),
+    ]
+}
+
+/// Build the standard repository:
+///
+/// * founded by the paper's authors as curators ("initially ourselves");
+/// * every entry contributed by its first listed author;
+/// * DATES sent through the full review workflow (requested, approved by
+///   a reviewer who is not one of its authors) so the repository always
+///   contains both provisional (0.x) and reviewed (1.0) entries.
+pub fn standard_repository() -> Repository {
+    let repo = Repository::found(
+        "The Bx Examples Repository",
+        vec![
+            Principal::curator("James Cheney").with_affiliation("University of Edinburgh"),
+            Principal::curator("James McKinna").with_affiliation("University of Edinburgh"),
+            Principal::curator("Perdita Stevens").with_affiliation("University of Edinburgh"),
+        ],
+    );
+    repo.register(Principal::member("Jeremy Gibbons").with_affiliation("University of Oxford"))
+        .expect("fresh account");
+    repo.grant_role("James Cheney", "Jeremy Gibbons", Role::Reviewer)
+        .expect("curator grants reviewer");
+
+    for entry in all_entries() {
+        let contributor = entry.authors.first().expect("entries have authors").clone();
+        repo.contribute(&contributor, entry).expect("entries are valid and distinct");
+    }
+
+    // Exercise the review workflow on DATES (author: McKinna; reviewer:
+    // Gibbons — independent, as the workflow requires).
+    let dates = bx_core::EntryId::from_title("DATES");
+    repo.request_review("James McKinna", &dates).expect("provisional entry");
+    repo.approve("Jeremy Gibbons", &dates).expect("reviewer approval");
+
+    repo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bx_core::index::{entries_of_type, SearchIndex};
+    use bx_core::{EntryStatus, ExampleType, Version};
+    use bx_theory::Bx;
+
+    #[test]
+    fn repository_holds_all_entries() {
+        let repo = standard_repository();
+        assert_eq!(repo.len(), 13);
+        let ids: Vec<String> = repo.ids().iter().map(|i| i.to_string()).collect();
+        assert!(ids.contains(&"composers".to_string()));
+        assert!(ids.contains(&"uml2rdbms".to_string()));
+        assert!(ids.contains(&"schema-evolution".to_string()));
+    }
+
+    #[test]
+    fn dates_is_reviewed_everything_else_provisional() {
+        let repo = standard_repository();
+        for id in repo.ids() {
+            let status = repo.status(&id).unwrap();
+            let entry = repo.latest(&id).unwrap();
+            if id.as_str() == "dates" {
+                assert_eq!(status, EntryStatus::Approved);
+                assert_eq!(entry.version, Version::new(1, 0));
+                assert_eq!(entry.reviewers, vec!["Jeremy Gibbons".to_string()]);
+            } else {
+                assert_eq!(status, EntryStatus::Provisional);
+                assert_eq!(entry.version, Version::new(0, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn type_taxonomy_is_exercised() {
+        let snap = standard_repository().snapshot();
+        assert!(!entries_of_type(&snap, ExampleType::Precise).is_empty());
+        assert!(!entries_of_type(&snap, ExampleType::Benchmark).is_empty());
+        assert_eq!(entries_of_type(&snap, ExampleType::Sketch).len(), 1);
+        assert_eq!(entries_of_type(&snap, ExampleType::Industrial).len(), 1);
+    }
+
+    #[test]
+    fn search_finds_the_notorious_example() {
+        let idx = SearchIndex::build(&standard_repository().snapshot());
+        let hits = idx.query(&["notorious"]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0.as_str(), "uml2rdbms");
+        assert!(idx.query(&["composers"]).len() >= 2, "base entry and variants mention it");
+    }
+
+    #[test]
+    fn whole_repository_syncs_to_wiki_consistently() {
+        let repo = standard_repository();
+        let bx = bx_core::wiki_bx::WikiBx::new();
+        let snap = repo.snapshot();
+        let site = bx.fwd(&snap, &bx_core::WikiSite::new());
+        assert!(bx.consistent(&snap, &site));
+        assert_eq!(site.example_pages().len(), 13);
+        // And back, losslessly (all pages canonical).
+        let snap2 = bx.bwd(&snap, &site);
+        assert_eq!(snap2, snap);
+    }
+
+    #[test]
+    fn manuscript_covers_the_collection() {
+        let snap = standard_repository().snapshot();
+        let text = bx_core::manuscript::export_manuscript(
+            &snap,
+            bx_core::manuscript::ManuscriptOptions::default(),
+        );
+        assert!(text.contains("Contents (13 entries):"));
+        for title in ["COMPOSERS", "UML2RDBMS", "FAMILIES2PERSONS", "DATES"] {
+            assert!(text.contains(&format!("++ {title}")), "missing {title}");
+        }
+    }
+
+    #[test]
+    fn persisted_repository_reloads_identically() {
+        let repo = standard_repository();
+        let json = bx_core::persist::to_json(&repo.snapshot()).unwrap();
+        let back = bx_core::persist::from_json(&json).unwrap();
+        assert_eq!(back, repo.snapshot());
+    }
+
+    #[test]
+    fn citations_resolve_for_every_entry() {
+        let repo = standard_repository();
+        for id in repo.ids() {
+            let c = bx_core::cite::cite(&repo, &id, None).unwrap();
+            assert!(c.contains("http://bx-community.wikidot.com/examples:"));
+        }
+    }
+}

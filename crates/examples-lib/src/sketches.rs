@@ -1,0 +1,107 @@
+//! SKETCH- and INDUSTRIAL-class entries.
+//!
+//! "Other examples we have in mind are more like sketches: situations in
+//! which a certain bx would clearly have applicability, but where details
+//! have not been worked out. These might be of particular benefit to
+//! outsiders wondering whether bx are of interest to them."
+
+use bx_core::{ArtefactKind, ExampleEntry, ExampleType};
+
+/// A SKETCH entry: spreadsheet formulas versus computed values.
+pub fn spreadsheet_sketch_entry() -> ExampleEntry {
+    ExampleEntry::builder("SPREADSHEET-VALUES")
+        .of_type(ExampleType::Sketch)
+        .overview(
+            "A sketch: a spreadsheet's formula view and its computed-value view \
+             are plausibly related by a bx, so that edits to computed values \
+             could propagate back into formulas. Details not worked out.",
+        )
+        .models(
+            "One model is a grid of formulas; the other a grid of values. \
+             Meta-models deliberately unspecified at sketch stage.",
+        )
+        .consistency("Evaluating every formula yields the value grid.")
+        .restoration(
+            "Forward restoration is evaluation.",
+            "Backward restoration is the interesting open problem: which \
+             formula should absorb a value edit? Constant folding, coefficient \
+             adjustment and constraint solving are all candidates.",
+        )
+        .discussion(
+            "Included as an invitation: spreadsheet users perform manual \
+             backward restoration daily. A worked-out PRECISE descendant of \
+             this sketch would be a valuable contribution.",
+        )
+        .author("Jeremy Gibbons")
+        .build()
+        .expect("template-valid")
+}
+
+/// An INDUSTRIAL entry: database schema evolution with data migration.
+pub fn schema_evolution_entry() -> ExampleEntry {
+    ExampleEntry::builder("SCHEMA-EVOLUTION")
+        .of_type(ExampleType::Industrial)
+        .overview(
+            "An industrial-scale case: keeping a production database's schema \
+             and an application's object model consistent across releases, \
+             with data migration scripts as the restoration artefacts.",
+        )
+        .models(
+            "One model is a versioned SQL schema (hundreds of tables); the \
+             other an ORM object model. Cannot be explained with full precision \
+             separately from its artefacts.",
+        )
+        .consistency(
+            "Informally: the ORM mapping layer binds every entity to a table; \
+             CI checks generate both directions and diff them.",
+        )
+        .restoration(
+            "Schema migrations generated from object-model changes.",
+            "Reverse-engineering entities from legacy tables during adoption.",
+        )
+        .discussion(
+            "Industrial-scale examples, accompanied by appropriate artefacts, \
+             are clearly of interest, but equally clearly cannot be expected to \
+             be explained with full precision separately from their artefacts \
+             (section 2 of the repository paper).",
+        )
+        .author("James Cheney")
+        .artefact(
+            "anonymised migration corpus",
+            ArtefactKind::SampleData,
+            "external: available on request",
+        )
+        .artefact("VM with toolchain", ArtefactKind::VmImage, "external: archive link")
+        .build()
+        .expect("template-valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_is_sketch_class_only() {
+        let e = spreadsheet_sketch_entry();
+        assert!(e.validate().is_empty());
+        assert_eq!(e.types, vec![ExampleType::Sketch]);
+        assert!(e.properties.is_empty(), "sketches claim no properties");
+        assert!(e.artefacts.is_empty(), "nothing executable yet");
+    }
+
+    #[test]
+    fn industrial_carries_artefacts() {
+        let e = schema_evolution_entry();
+        assert!(e.validate().is_empty());
+        assert_eq!(e.types, vec![ExampleType::Industrial]);
+        assert_eq!(e.artefacts.len(), 2);
+    }
+
+    #[test]
+    fn entries_roundtrip_through_wiki() {
+        for e in [spreadsheet_sketch_entry(), schema_evolution_entry()] {
+            let text = bx_core::wiki::render_entry(&e);
+            assert_eq!(bx_core::wiki::parse_entry("p", &text).unwrap(), e);
+        }
+    }
+}

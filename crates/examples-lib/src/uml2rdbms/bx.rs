@@ -1,0 +1,259 @@
+//! The UML↔RDBMS state-based bx.
+//!
+//! Consistency: the tables are exactly the persistent classes, with
+//! columns matching attributes (names in order, SQL-translated types, key
+//! flags mirroring primary flags). Non-persistent classes are invisible to
+//! the database side — they are the forward direction's hidden complement,
+//! which is what makes the backward direction interesting.
+
+use bx_theory::Bx;
+
+use super::model::{sql_type_of, uml_type_of, Column, RdbModel, Table, UmlAttr, UmlClass, UmlModel};
+
+/// The UML↔RDBMS transformation.
+#[derive(Debug, Clone, Default)]
+pub struct Uml2RdbmsBx;
+
+/// Construct the transformation.
+pub fn uml2rdbms_bx() -> Uml2RdbmsBx {
+    Uml2RdbmsBx
+}
+
+fn table_of_class(class: &UmlClass) -> Table {
+    Table {
+        name: class.name.clone(),
+        columns: class
+            .attributes
+            .iter()
+            .map(|a| Column { name: a.name.clone(), ty: sql_type_of(&a.ty), key: a.primary })
+            .collect(),
+    }
+}
+
+fn class_of_table(table: &Table) -> UmlClass {
+    UmlClass {
+        name: table.name.clone(),
+        persistent: true,
+        attributes: table
+            .columns
+            .iter()
+            .map(|c| UmlAttr {
+                name: c.name.clone(),
+                ty: uml_type_of(&c.ty),
+                primary: c.key,
+                // The database stores no documentation: comments are lost
+                // on recreation — the undoability failure's root cause.
+                comment: String::new(),
+            })
+            .collect(),
+    }
+}
+
+impl Bx<UmlModel, RdbModel> for Uml2RdbmsBx {
+    fn name(&self) -> &str {
+        "uml2rdbms"
+    }
+
+    fn consistent(&self, uml: &UmlModel, rdb: &RdbModel) -> bool {
+        let persistent: Vec<&UmlClass> =
+            uml.classes.values().filter(|c| c.persistent).collect();
+        if persistent.len() != rdb.tables.len() {
+            return false;
+        }
+        persistent.iter().all(|class| {
+            rdb.tables
+                .get(&class.name)
+                .is_some_and(|table| *table == table_of_class(class))
+        })
+    }
+
+    /// Forward: regenerate the schema from the persistent classes —
+    /// create missing tables, repair drifted ones, drop orphans.
+    fn fwd(&self, uml: &UmlModel, rdb: &RdbModel) -> RdbModel {
+        let mut out = RdbModel::default();
+        for class in uml.classes.values().filter(|c| c.persistent) {
+            // Reuse the existing table when it already matches (pure
+            // hippocraticness; the value is equal either way).
+            let fresh = table_of_class(class);
+            let table = match rdb.tables.get(&class.name) {
+                Some(existing) if *existing == fresh => existing.clone(),
+                _ => fresh,
+            };
+            out.add_table(table);
+        }
+        out
+    }
+
+    /// Backward: the schema is authoritative for persistent classes —
+    /// delete persistent classes with no table, repair drifted ones,
+    /// create classes for new tables. Non-persistent classes pass through
+    /// untouched (they are invisible to the database).
+    fn bwd(&self, uml: &UmlModel, rdb: &RdbModel) -> UmlModel {
+        let mut out = UmlModel::default();
+        // Keep non-persistent classes verbatim.
+        for class in uml.classes.values().filter(|c| !c.persistent) {
+            // A new table may shadow a non-persistent class name; the
+            // table wins and the transient class is dropped to keep the
+            // result a function into consistent states.
+            if !rdb.tables.contains_key(&class.name) {
+                out.add_class(class.clone());
+            }
+        }
+        for table in rdb.tables.values() {
+            let repaired = match uml.classes.get(&table.name) {
+                Some(class) if class.persistent && table_of_class(class) == *table => {
+                    class.clone()
+                }
+                Some(class) if class.persistent => {
+                    // Repair attribute list from columns, preserving
+                    // nothing but the name (column data is authoritative).
+                    let mut c = class_of_table(table);
+                    c.name = class.name.clone();
+                    c
+                }
+                _ => class_of_table(table),
+            };
+            out.add_class(repaired);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bx_theory::{check_all_laws, Claim, Law, Property, Samples};
+
+    fn uml() -> UmlModel {
+        UmlModel::default()
+            .with_class(
+                "Person",
+                true,
+                &[("id", "Integer", true), ("name", "String", false)],
+            )
+            .with_class("Order", true, &[("number", "Integer", true)])
+            .with_class("Session", false, &[("token", "String", true)])
+            .document("Person", "name", "full legal name")
+    }
+
+    fn rdb() -> RdbModel {
+        RdbModel::default()
+            .with_table(
+                "Person",
+                &[("id", "INTEGER", true), ("name", "VARCHAR", false)],
+            )
+            .with_table("Order", &[("number", "INTEGER", true)])
+    }
+
+    #[test]
+    fn sample_pair_is_consistent() {
+        assert!(uml2rdbms_bx().consistent(&uml(), &rdb()));
+    }
+
+    #[test]
+    fn transient_classes_do_not_need_tables() {
+        let b = uml2rdbms_bx();
+        let mut r = rdb();
+        r.add_table(Table { name: "Session".to_string(), columns: vec![] });
+        assert!(!b.consistent(&uml(), &r), "extra table breaks consistency");
+    }
+
+    #[test]
+    fn fwd_creates_repairs_and_drops() {
+        let b = uml2rdbms_bx();
+        let mut stale = RdbModel::default()
+            .with_table("Person", &[("id", "VARCHAR", false)]) // drifted
+            .with_table("Legacy", &[("x", "VARCHAR", false)]); // orphan
+        stale.tables.remove("Order"); // (not present: missing)
+        let out = b.fwd(&uml(), &stale);
+        assert_eq!(out, rdb());
+    }
+
+    #[test]
+    fn bwd_preserves_transient_classes() {
+        let b = uml2rdbms_bx();
+        let mut r = rdb();
+        r.tables.remove("Order");
+        let out = b.bwd(&uml(), &r);
+        assert!(out.classes.contains_key("Session"), "transient class survives");
+        assert!(!out.classes.contains_key("Order"), "persistent class without table deleted");
+        assert_eq!(out.classes["Person"], uml().classes["Person"]);
+    }
+
+    #[test]
+    fn bwd_creates_classes_for_new_tables() {
+        let b = uml2rdbms_bx();
+        let mut r = rdb();
+        r.add_table(Table {
+            name: "Invoice".to_string(),
+            columns: vec![Column { name: "total".to_string(), ty: "INTEGER".to_string(), key: false }],
+        });
+        let out = b.bwd(&uml(), &r);
+        let invoice = &out.classes["Invoice"];
+        assert!(invoice.persistent);
+        assert_eq!(invoice.attributes[0].ty, "Integer");
+    }
+
+    #[test]
+    fn bwd_repairs_drifted_class_from_columns() {
+        let b = uml2rdbms_bx();
+        let mut r = rdb();
+        r.tables.get_mut("Person").expect("table").columns.push(Column {
+            name: "email".to_string(),
+            ty: "VARCHAR".to_string(),
+            key: false,
+        });
+        let out = b.bwd(&uml(), &r);
+        let person = &out.classes["Person"];
+        assert_eq!(person.attributes.len(), 3);
+        assert_eq!(person.attributes[2].name, "email");
+        assert_eq!(person.attributes[2].ty, "String");
+    }
+
+    fn samples() -> Samples<UmlModel, RdbModel> {
+        let m1 = uml();
+        let n1 = rdb();
+        let m2 = UmlModel::default().with_class("Invoice", true, &[("total", "Integer", false)]);
+        let n2 = RdbModel::default().with_table("Invoice", &[("total", "INTEGER", false)]);
+        Samples::new(
+            vec![
+                (m1.clone(), n1.clone()),
+                (m2.clone(), n2.clone()),
+                (m1.clone(), n2.clone()), // inconsistent
+                (UmlModel::default(), RdbModel::default()),
+            ],
+            vec![m2],
+            vec![n2, RdbModel::default()],
+        )
+    }
+
+    #[test]
+    fn claims_verified() {
+        let matrix = check_all_laws(&uml2rdbms_bx(), &samples());
+        let verdicts = matrix.verify_claims(&[
+            Claim::holds(Property::Correct),
+            Claim::holds(Property::Hippocratic),
+            Claim::fails(Property::Undoable),
+        ]);
+        for v in &verdicts {
+            assert!(v.confirmed(), "{v}\n{matrix}");
+        }
+    }
+
+    #[test]
+    fn backward_undoability_fails_via_comment_loss() {
+        // Excursion to an empty schema deletes the Person class (and its
+        // attribute documentation); restoring the original schema
+        // recreates the class from columns alone, so the comment is gone.
+        let b = uml2rdbms_bx();
+        let matrix = check_all_laws(&b, &samples());
+        assert!(!matrix.law_holds(Law::UndoableBwd), "{matrix}");
+
+        // The concrete scenario, mirroring the COMPOSERS discussion:
+        let m0 = uml();
+        let m1 = b.bwd(&m0, &RdbModel::default());
+        let m2 = b.bwd(&m1, &rdb());
+        assert_ne!(m2, m0);
+        assert_eq!(m2.classes["Person"].attributes[1].comment, "", "documentation lost");
+    }
+}

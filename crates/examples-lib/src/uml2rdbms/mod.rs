@@ -1,0 +1,17 @@
+//! UML2RDBMS — "the notorious UML class diagram to RDBMS schema example"
+//! (§1), which "has appeared in many variants in papers by many authors".
+//!
+//! Persistent UML classes correspond to database tables; attributes to
+//! columns; primary attributes to key columns. Non-persistent classes are
+//! the hidden complement of the forward direction.
+
+pub mod bx;
+pub mod entry;
+pub mod model;
+
+pub use bx::{uml2rdbms_bx, Uml2RdbmsBx};
+pub use entry::uml2rdbms_entry;
+pub use model::{
+    object_model_to_uml, rdbms_metamodel, uml_metamodel, uml_to_object_model, Column, RdbModel,
+    Table, UmlAttr, UmlClass, UmlModel,
+};

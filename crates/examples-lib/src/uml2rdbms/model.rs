@@ -1,0 +1,335 @@
+//! The two model classes of UML2RDBMS, plus their `bx-mde` metamodels.
+//!
+//! The bx itself works over typed Rust structs for clarity; conversion to
+//! `bx-mde` object models (with conformance checking) demonstrates that
+//! the structures really are models of the published metamodels.
+
+use std::collections::BTreeMap;
+
+use bx_mde::{AttrType, MetaModel, ObjectModel};
+
+/// A UML attribute.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct UmlAttr {
+    /// Attribute name.
+    pub name: String,
+    /// Primitive type name: "String", "Integer" or "Boolean".
+    pub ty: String,
+    /// Part of the class's primary key?
+    pub primary: bool,
+    /// Documentation comment — design information the database side does
+    /// not store, making the backward direction genuinely lossy (the
+    /// source of this example's undoability failure).
+    pub comment: String,
+}
+
+/// A UML class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UmlClass {
+    /// Class name.
+    pub name: String,
+    /// Persistent classes map to tables; transient ones do not.
+    pub persistent: bool,
+    /// Attributes, in declaration order.
+    pub attributes: Vec<UmlAttr>,
+}
+
+/// The `M` side: a class diagram (classes keyed by name).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UmlModel {
+    /// Classes, keyed by name for deterministic iteration.
+    pub classes: BTreeMap<String, UmlClass>,
+}
+
+impl UmlModel {
+    /// Add a class (replacing any class of the same name).
+    pub fn add_class(&mut self, class: UmlClass) {
+        self.classes.insert(class.name.clone(), class);
+    }
+
+    /// Convenience builder (attributes carry empty comments).
+    pub fn with_class(
+        mut self,
+        name: &str,
+        persistent: bool,
+        attrs: &[(&str, &str, bool)],
+    ) -> UmlModel {
+        self.add_class(UmlClass {
+            name: name.to_string(),
+            persistent,
+            attributes: attrs
+                .iter()
+                .map(|(n, t, p)| UmlAttr {
+                    name: n.to_string(),
+                    ty: t.to_string(),
+                    primary: *p,
+                    comment: String::new(),
+                })
+                .collect(),
+        });
+        self
+    }
+
+    /// Attach a documentation comment to an attribute.
+    pub fn document(mut self, class: &str, attr: &str, comment: &str) -> UmlModel {
+        if let Some(c) = self.classes.get_mut(class) {
+            if let Some(a) = c.attributes.iter_mut().find(|a| a.name == attr) {
+                a.comment = comment.to_string();
+            }
+        }
+        self
+    }
+}
+
+/// A database column.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// SQL type name: "VARCHAR", "INTEGER" or "BOOLEAN".
+    pub ty: String,
+    /// Part of the table's primary key?
+    pub key: bool,
+}
+
+/// A database table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Columns, in declaration order.
+    pub columns: Vec<Column>,
+}
+
+/// The `N` side: a relational schema (tables keyed by name).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RdbModel {
+    /// Tables, keyed by name.
+    pub tables: BTreeMap<String, Table>,
+}
+
+impl RdbModel {
+    /// Add a table (replacing any table of the same name).
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Convenience builder.
+    pub fn with_table(mut self, name: &str, columns: &[(&str, &str, bool)]) -> RdbModel {
+        self.add_table(Table {
+            name: name.to_string(),
+            columns: columns
+                .iter()
+                .map(|(n, t, k)| Column { name: n.to_string(), ty: t.to_string(), key: *k })
+                .collect(),
+        });
+        self
+    }
+}
+
+/// Translate a UML primitive type to its SQL counterpart.
+pub fn sql_type_of(uml_ty: &str) -> String {
+    match uml_ty {
+        "String" => "VARCHAR".to_string(),
+        "Integer" => "INTEGER".to_string(),
+        "Boolean" => "BOOLEAN".to_string(),
+        other => format!("VARCHAR /* {other} */"),
+    }
+}
+
+/// Translate an SQL type back to a UML primitive type.
+pub fn uml_type_of(sql_ty: &str) -> String {
+    match sql_ty {
+        "VARCHAR" => "String".to_string(),
+        "INTEGER" => "Integer".to_string(),
+        "BOOLEAN" => "Boolean".to_string(),
+        other => other
+            .strip_prefix("VARCHAR /* ")
+            .and_then(|s| s.strip_suffix(" */"))
+            .unwrap_or("String")
+            .to_string(),
+    }
+}
+
+/// The (simplified) UML metamodel as a `bx-mde` [`MetaModel`].
+pub fn uml_metamodel() -> MetaModel {
+    let mut m = MetaModel::new("SimpleUML");
+    m.add_class(
+        MetaModel::class("Class")
+            .attr("name", AttrType::Str)
+            .attr("persistent", AttrType::Bool)
+            .contains_many("attributes", "Attribute"),
+    )
+    .expect("fresh class");
+    m.add_class(
+        MetaModel::class("Attribute")
+            .attr("name", AttrType::Str)
+            .attr("type", AttrType::Str)
+            .attr("primary", AttrType::Bool),
+    )
+    .expect("fresh class");
+    m
+}
+
+/// The (simplified) RDBMS metamodel as a `bx-mde` [`MetaModel`].
+pub fn rdbms_metamodel() -> MetaModel {
+    let mut m = MetaModel::new("SimpleRDBMS");
+    m.add_class(
+        MetaModel::class("Table")
+            .attr("name", AttrType::Str)
+            .contains_many("columns", "Column"),
+    )
+    .expect("fresh class");
+    m.add_class(
+        MetaModel::class("Column")
+            .attr("name", AttrType::Str)
+            .attr("type", AttrType::Str)
+            .attr("key", AttrType::Bool),
+    )
+    .expect("fresh class");
+    m
+}
+
+/// Lower a typed [`UmlModel`] onto the `bx-mde` substrate; the result
+/// conforms to [`uml_metamodel`] (checked in tests).
+pub fn uml_to_object_model(uml: &UmlModel) -> ObjectModel {
+    let mut om = ObjectModel::new("SimpleUML");
+    for class in uml.classes.values() {
+        let c = om.add("Class");
+        om.set_attr(c, "name", class.name.as_str()).expect("fresh object");
+        om.set_attr(c, "persistent", class.persistent).expect("fresh object");
+        for attr in &class.attributes {
+            let a = om.add("Attribute");
+            om.set_attr(a, "name", attr.name.as_str()).expect("fresh object");
+            om.set_attr(a, "type", attr.ty.as_str()).expect("fresh object");
+            om.set_attr(a, "primary", attr.primary).expect("fresh object");
+            om.add_ref(c, "attributes", a).expect("both objects exist");
+        }
+    }
+    om
+}
+
+/// Raise a `bx-mde` object model (conforming to [`uml_metamodel`]) back
+/// into a typed [`UmlModel`] — the inverse of [`uml_to_object_model`].
+///
+/// Comments are not part of the metamodel and come back empty; a
+/// `comment` attribute extension would carry them (see the entry's
+/// discussion of what the substrate does and does not preserve).
+pub fn object_model_to_uml(om: &ObjectModel) -> Result<UmlModel, bx_mde::MdeError> {
+    let mut uml = UmlModel::default();
+    for class_obj in om.of_class("Class") {
+        let name = class_obj
+            .attr("name")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_string();
+        let persistent = class_obj
+            .attr("persistent")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false);
+        let mut attributes = Vec::new();
+        for &attr_id in class_obj.targets("attributes") {
+            let attr_obj = om.get(attr_id)?;
+            attributes.push(UmlAttr {
+                name: attr_obj
+                    .attr("name")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or_default()
+                    .to_string(),
+                ty: attr_obj
+                    .attr("type")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("String")
+                    .to_string(),
+                primary: attr_obj.attr("primary").and_then(|v| v.as_bool()).unwrap_or(false),
+                comment: String::new(),
+            });
+        }
+        uml.add_class(UmlClass { name, persistent, attributes });
+    }
+    Ok(uml)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bx_mde::check_conformance;
+
+    fn sample_uml() -> UmlModel {
+        UmlModel::default()
+            .with_class(
+                "Person",
+                true,
+                &[("id", "Integer", true), ("name", "String", false)],
+            )
+            .with_class("Session", false, &[("token", "String", true)])
+    }
+
+    #[test]
+    fn builders_populate_models() {
+        let uml = sample_uml();
+        assert_eq!(uml.classes.len(), 2);
+        assert!(uml.classes["Person"].persistent);
+        assert!(!uml.classes["Session"].persistent);
+        let rdb = RdbModel::default().with_table("Person", &[("id", "INTEGER", true)]);
+        assert_eq!(rdb.tables["Person"].columns.len(), 1);
+    }
+
+    #[test]
+    fn type_mapping_roundtrips() {
+        for t in ["String", "Integer", "Boolean"] {
+            assert_eq!(uml_type_of(&sql_type_of(t)), t);
+        }
+        // Unknown UML types survive via the comment trick.
+        assert_eq!(uml_type_of(&sql_type_of("Date")), "Date");
+    }
+
+    #[test]
+    fn lowered_uml_conforms_to_metamodel() {
+        let om = uml_to_object_model(&sample_uml());
+        let issues = check_conformance(&uml_metamodel(), &om);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(om.of_class("Class").count(), 2);
+        assert_eq!(om.of_class("Attribute").count(), 3);
+    }
+
+    #[test]
+    fn metamodels_have_expected_classes() {
+        assert!(uml_metamodel().class_def("Class").is_ok());
+        assert!(uml_metamodel().class_def("Attribute").is_ok());
+        assert!(rdbms_metamodel().class_def("Table").is_ok());
+        assert!(rdbms_metamodel().class_def("Column").is_ok());
+    }
+
+    #[test]
+    fn substrate_roundtrip_is_lossless_up_to_comments() {
+        let uml = sample_uml();
+        let om = uml_to_object_model(&uml);
+        let back = object_model_to_uml(&om).expect("well-formed object model");
+        assert_eq!(back, uml, "sample_uml has no comments, so the round trip is exact");
+    }
+
+    #[test]
+    fn substrate_roundtrip_drops_comments_only() {
+        let uml = sample_uml().document("Person", "name", "doc text");
+        let om = uml_to_object_model(&uml);
+        let back = object_model_to_uml(&om).expect("well-formed object model");
+        assert_ne!(back, uml);
+        let mut expected = uml;
+        for c in expected.classes.values_mut() {
+            for a in &mut c.attributes {
+                a.comment.clear();
+            }
+        }
+        assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn raising_reports_dangling_attribute_refs() {
+        let mut om = uml_to_object_model(&sample_uml());
+        // Remove an Attribute out from under its Class.
+        let victim = om.of_class("Attribute").next().expect("attributes exist").id;
+        om.remove(victim);
+        assert!(object_model_to_uml(&om).is_err());
+    }
+}

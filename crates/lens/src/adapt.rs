@@ -1,0 +1,121 @@
+//! Adapting lenses into state-based bx.
+//!
+//! The repository template asks each entry to state which framework it
+//! assumes. Lenses are the asymmetric special case of state-based bx:
+//! consistency is `get(s) = v`, forward restoration recomputes the view,
+//! backward restoration is `put`. This adapter lets the generic law
+//! checkers of `bx-theory` run over any lens.
+
+use bx_theory::Bx;
+
+use crate::lens::Lens;
+
+/// A state-based bx induced by an asymmetric lens.
+///
+/// * `consistent(s, v)` iff `get(s) = v`;
+/// * `fwd(s, _)` = `get(s)` (the source is authoritative);
+/// * `bwd(s, v)` = `put(s, v)` (the view is authoritative).
+///
+/// A well-behaved lens induces a correct, hippocratic bx; a very
+/// well-behaved (PutPut) lens additionally induces a history-ignorant one.
+pub struct LensBx<L> {
+    lens: L,
+    name: String,
+}
+
+impl<L> LensBx<L> {
+    /// Wrap a lens as a bx.
+    pub fn new<S, V>(lens: L) -> Self
+    where
+        L: Lens<S, V>,
+    {
+        let name = format!("bx({})", lens.name());
+        LensBx { lens, name }
+    }
+
+    /// The underlying lens.
+    pub fn lens(&self) -> &L {
+        &self.lens
+    }
+}
+
+impl<S, V, L> Bx<S, V> for LensBx<L>
+where
+    L: Lens<S, V>,
+    V: PartialEq,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn consistent(&self, s: &S, v: &V) -> bool {
+        self.lens.get(s) == *v
+    }
+
+    fn fwd(&self, s: &S, _v: &V) -> V {
+        self.lens.get(s)
+    }
+
+    fn bwd(&self, s: &S, v: &V) -> S {
+        self.lens.put(s, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lens::FnLens;
+    use bx_theory::{check_all_laws, Law, Samples};
+
+    fn fst_bx() -> LensBx<impl Lens<(i32, i32), i32>> {
+        LensBx::new(FnLens::new(
+            "fst",
+            |s: &(i32, i32)| s.0,
+            |s: &(i32, i32), v: &i32| (*v, s.1),
+            |v: &i32| (*v, 0),
+        ))
+    }
+
+    #[test]
+    fn lens_bx_roundtrip() {
+        let b = fst_bx();
+        assert_eq!(b.name(), "bx(fst)");
+        assert!(b.consistent(&(1, 2), &1));
+        assert!(!b.consistent(&(1, 2), &9));
+        assert_eq!(b.fwd(&(1, 2), &0), 1);
+        assert_eq!(b.bwd(&(1, 2), &9), (9, 2));
+    }
+
+    #[test]
+    fn well_behaved_lens_induces_correct_hippocratic_bx() {
+        let b = fst_bx();
+        let samples = Samples::new(
+            vec![((1, 10), 1), ((2, 20), 5), ((3, 30), 3)],
+            vec![(7, 70)],
+            vec![9],
+        );
+        let matrix = check_all_laws(&b, &samples);
+        assert!(matrix.law_holds(Law::CorrectFwd));
+        assert!(matrix.law_holds(Law::CorrectBwd));
+        assert!(matrix.law_holds(Law::HippocraticFwd));
+        assert!(matrix.law_holds(Law::HippocraticBwd));
+        // fst is very well behaved, so history ignorance holds too.
+        assert!(matrix.law_holds(Law::HistoryIgnorantFwd));
+        assert!(matrix.law_holds(Law::HistoryIgnorantBwd));
+    }
+
+    #[test]
+    fn lens_bx_is_not_bijective_when_complement_exists() {
+        // fwd collapses the complement, so BijectiveFwd must fail whenever
+        // two sources share a view.
+        let b = fst_bx();
+        // bwd(m, fwd(m, n)) keeps the complement — BijectiveFwd actually
+        // holds for fst; the failing one is BijectiveBwd on inconsistent n:
+        // fwd(bwd(m, n), n) = n holds as well for fst. So check explicitly
+        // that both hold here (fst's view determines the repair exactly).
+        let samples = Samples::from_pairs(vec![((1, 10), 4), ((2, 20), 2)]);
+        let matrix = check_all_laws(&b, &samples);
+        assert!(matrix.law_holds(Law::BijectiveFwd));
+        assert!(matrix.law_holds(Law::BijectiveBwd));
+    }
+}

@@ -1,0 +1,108 @@
+//! Sequential composition of lenses.
+
+use crate::lens::Lens;
+
+/// `Compose(l1, l2)`: a lens `S ↔ V` built from `l1 : S ↔ U` and
+/// `l2 : U ↔ V`.
+///
+/// `put` threads through the middle: the stale middle is recovered with
+/// `l1.get`, updated with `l2.put`, then pushed home with `l1.put`.
+/// Composition preserves well-behavedness.
+pub struct Compose<U, L1, L2> {
+    first: L1,
+    second: L2,
+    name: String,
+    _mid: std::marker::PhantomData<fn(&U)>,
+}
+
+impl<U, L1, L2> Compose<U, L1, L2> {
+    /// Compose `first : S ↔ U` with `second : U ↔ V`.
+    pub fn new<S, V>(first: L1, second: L2) -> Self
+    where
+        L1: Lens<S, U>,
+        L2: Lens<U, V>,
+    {
+        let name = format!("{};{}", first.name(), second.name());
+        Compose { first, second, name, _mid: std::marker::PhantomData }
+    }
+}
+
+impl<S, U, V, L1, L2> Lens<S, V> for Compose<U, L1, L2>
+where
+    L1: Lens<S, U>,
+    L2: Lens<U, V>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &S) -> V {
+        self.second.get(&self.first.get(src))
+    }
+
+    fn put(&self, src: &S, view: &V) -> S {
+        let mid = self.first.get(src);
+        let mid2 = self.second.put(&mid, view);
+        self.first.put(src, &mid2)
+    }
+
+    fn create(&self, view: &V) -> S {
+        self.first.create(&self.second.create(view))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{check_lens_laws, LensLaw};
+    use crate::lens::FnLens;
+
+    fn fst_of_pair() -> impl Lens<((i32, i32), i32), (i32, i32)> {
+        FnLens::new(
+            "outer-fst",
+            |s: &((i32, i32), i32)| s.0,
+            |s: &((i32, i32), i32), v: &(i32, i32)| (*v, s.1),
+            |v: &(i32, i32)| (*v, 0),
+        )
+    }
+
+    fn inner_fst() -> impl Lens<(i32, i32), i32> {
+        FnLens::new(
+            "inner-fst",
+            |s: &(i32, i32)| s.0,
+            |s: &(i32, i32), v: &i32| (*v, s.1),
+            |v: &i32| (*v, 0),
+        )
+    }
+
+    #[test]
+    fn compose_projections() {
+        let l = Compose::new(fst_of_pair(), inner_fst());
+        let s = ((1, 2), 3);
+        assert_eq!(l.get(&s), 1);
+        assert_eq!(l.put(&s, &9), ((9, 2), 3));
+        assert_eq!(l.create(&7), ((7, 0), 0));
+        assert_eq!(l.name(), "outer-fst;inner-fst");
+    }
+
+    #[test]
+    fn composition_preserves_laws() {
+        let l = Compose::new(fst_of_pair(), inner_fst());
+        let sources = [((1, 2), 3), ((4, 5), 6)];
+        let views = [7, 8];
+        for r in check_lens_laws(&l, &sources, &views) {
+            assert!(r.holds(), "{r}");
+        }
+        // And PutPut specifically, since composition of VWB lenses is VWB.
+        assert!(r_for(&l, LensLaw::PutPut, &sources, &views));
+    }
+
+    fn r_for<L: Lens<((i32, i32), i32), i32>>(
+        l: &L,
+        law: LensLaw,
+        ss: &[((i32, i32), i32)],
+        vs: &[i32],
+    ) -> bool {
+        crate::laws::check_lens_law(l, law, ss, vs).holds()
+    }
+}

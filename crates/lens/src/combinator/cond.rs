@@ -1,0 +1,122 @@
+//! Conditional lenses: choose between two lenses by predicates on source
+//! and view.
+
+use crate::lens::Lens;
+
+/// `Cond`: a lens `S ↔ V` that behaves like `then_lens` on sources
+/// satisfying `src_pred` (and views satisfying `view_pred`), and like
+/// `else_lens` otherwise.
+///
+/// When `put` crosses the branch boundary (the view belongs to the other
+/// branch than the source), the old source is unusable and the target
+/// branch's `create` is used — the standard `cond` semantics of Foster et
+/// al.
+pub struct Cond<L1, L2, PS, PV> {
+    then_lens: L1,
+    else_lens: L2,
+    src_pred: PS,
+    view_pred: PV,
+    name: String,
+}
+
+impl<L1, L2, PS, PV> Cond<L1, L2, PS, PV> {
+    /// Build a conditional lens.
+    pub fn new(
+        name: impl Into<String>,
+        src_pred: PS,
+        view_pred: PV,
+        then_lens: L1,
+        else_lens: L2,
+    ) -> Self {
+        Cond { then_lens, else_lens, src_pred, view_pred, name: name.into() }
+    }
+}
+
+impl<S, V, L1, L2, PS, PV> Lens<S, V> for Cond<L1, L2, PS, PV>
+where
+    L1: Lens<S, V>,
+    L2: Lens<S, V>,
+    PS: Fn(&S) -> bool,
+    PV: Fn(&V) -> bool,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &S) -> V {
+        if (self.src_pred)(src) {
+            self.then_lens.get(src)
+        } else {
+            self.else_lens.get(src)
+        }
+    }
+
+    fn put(&self, src: &S, view: &V) -> S {
+        match ((self.src_pred)(src), (self.view_pred)(view)) {
+            (true, true) => self.then_lens.put(src, view),
+            (false, false) => self.else_lens.put(src, view),
+            // Branch switch: create on the view's side.
+            (_, true) => self.then_lens.create(view),
+            (_, false) => self.else_lens.create(view),
+        }
+    }
+
+    fn create(&self, view: &V) -> S {
+        if (self.view_pred)(view) {
+            self.then_lens.create(view)
+        } else {
+            self.else_lens.create(view)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lens::FnLens;
+
+    /// Sources are (tag, payload); views mirror the payload. Negative
+    /// payloads go through a doubling branch to make branching observable.
+    fn sample() -> impl Lens<(i32, i32), i32> {
+        let then_l = FnLens::new(
+            "nonneg",
+            |s: &(i32, i32)| s.1,
+            |s: &(i32, i32), v: &i32| (s.0, *v),
+            |v: &i32| (0, *v),
+        );
+        let else_l = FnLens::new(
+            "neg",
+            |s: &(i32, i32)| s.1,
+            |s: &(i32, i32), v: &i32| (s.0, *v),
+            |v: &i32| (-1, *v),
+        );
+        Cond::new("signcond", |s: &(i32, i32)| s.1 >= 0, |v: &i32| *v >= 0, then_l, else_l)
+    }
+
+    #[test]
+    fn cond_same_branch_uses_put() {
+        let l = sample();
+        // Source in the nonneg branch, view stays nonneg: tag preserved.
+        assert_eq!(l.put(&(7, 3), &5), (7, 5));
+        // Source in the neg branch, view stays neg: tag preserved.
+        assert_eq!(l.put(&(7, -3), &-5), (7, -5));
+    }
+
+    #[test]
+    fn cond_branch_switch_uses_create() {
+        let l = sample();
+        // Crossing from neg source to nonneg view: tag reset by create.
+        assert_eq!(l.put(&(7, -3), &5), (0, 5));
+        // Crossing the other way.
+        assert_eq!(l.put(&(7, 3), &-5), (-1, -5));
+    }
+
+    #[test]
+    fn cond_get_and_create_branch() {
+        let l = sample();
+        assert_eq!(l.get(&(1, 4)), 4);
+        assert_eq!(l.get(&(1, -4)), -4);
+        assert_eq!(l.create(&9), (0, 9));
+        assert_eq!(l.create(&-9), (-1, -9));
+    }
+}

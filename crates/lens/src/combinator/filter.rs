@@ -1,0 +1,125 @@
+//! Filtering lenses: the view is the sub-sequence satisfying a predicate;
+//! the rejected elements form the hidden complement.
+
+use crate::lens::Lens;
+
+/// `FilterLens(p)`: a lens `Vec<T> ↔ Vec<T>` whose view keeps exactly the
+/// elements satisfying `p`, preserving order.
+///
+/// `put` splices the updated view back among the hidden (non-matching)
+/// elements: each matching slot in the source is replaced by the next view
+/// element; leftover view elements are appended at the end; surplus
+/// matching source elements are dropped. Hidden elements keep their
+/// positions.
+///
+/// **Partiality note:** the view elements are expected to satisfy `p`
+/// (they live in the view type). Putting a non-matching element through is
+/// permitted but breaks PutGet, exactly as in the string-lens world where
+/// it would be a type error.
+pub struct FilterLens<P> {
+    predicate: P,
+    name: String,
+}
+
+impl<P> FilterLens<P> {
+    /// Build a filter lens from a predicate.
+    pub fn new<T>(name: impl Into<String>, predicate: P) -> Self
+    where
+        P: Fn(&T) -> bool,
+    {
+        FilterLens { predicate, name: name.into() }
+    }
+}
+
+impl<T, P> Lens<Vec<T>, Vec<T>> for FilterLens<P>
+where
+    T: Clone,
+    P: Fn(&T) -> bool,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &Vec<T>) -> Vec<T> {
+        src.iter().filter(|t| (self.predicate)(t)).cloned().collect()
+    }
+
+    fn put(&self, src: &Vec<T>, view: &Vec<T>) -> Vec<T> {
+        let mut out = Vec::with_capacity(src.len().max(view.len()));
+        let mut vs = view.iter();
+        for t in src {
+            if (self.predicate)(t) {
+                // A matching slot: consume the next view element, or drop
+                // the slot if the view has shrunk.
+                if let Some(v) = vs.next() {
+                    out.push(v.clone());
+                }
+            } else {
+                out.push(t.clone());
+            }
+        }
+        // View grew: append the remainder.
+        out.extend(vs.cloned());
+        out
+    }
+
+    fn create(&self, view: &Vec<T>) -> Vec<T> {
+        view.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{check_lens_law, check_lens_laws, LensLaw};
+
+    fn evens() -> FilterLens<impl Fn(&i32) -> bool> {
+        FilterLens::new("evens", |t: &i32| t % 2 == 0)
+    }
+
+    #[test]
+    fn get_keeps_matching_in_order() {
+        let l = evens();
+        assert_eq!(l.get(&vec![1, 2, 3, 4, 5, 6]), vec![2, 4, 6]);
+        assert_eq!(l.get(&vec![1, 3]), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn put_preserves_hidden_positions() {
+        let l = evens();
+        let src = vec![1, 2, 3, 4];
+        // Replace the even elements, odds stay where they were.
+        assert_eq!(l.put(&src, &vec![20, 40]), vec![1, 20, 3, 40]);
+        // View shrank: the slot of 4 disappears.
+        assert_eq!(l.put(&src, &vec![20]), vec![1, 20, 3]);
+        // View grew: extra element appended.
+        assert_eq!(l.put(&src, &vec![20, 40, 60]), vec![1, 20, 3, 40, 60]);
+    }
+
+    #[test]
+    fn filter_laws_on_valid_views() {
+        let l = evens();
+        let sources = vec![vec![1, 2, 3, 4], vec![2, 4], vec![1, 3], vec![]];
+        // All views consist of elements satisfying the predicate.
+        let views = vec![vec![0, 2], vec![6], vec![]];
+        for r in check_lens_laws(&l, &sources, &views) {
+            if r.law == LensLaw::PutPut {
+                assert!(
+                    r.counterexample.is_some(),
+                    "filter drops slots on shrink, breaking PutPut: {r}"
+                );
+            } else {
+                assert!(r.holds(), "{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_view_breaks_putget() {
+        let l = evens();
+        let sources = vec![vec![2]];
+        let views = vec![vec![3]]; // odd element in the "evens" view
+        let r = check_lens_law(&l, LensLaw::PutGet, &sources, &views);
+        assert!(r.counterexample.is_some(), "{r}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Isomorphism and projection lenses.
+
+use crate::lens::{FnLens, Lens};
+
+/// A lens built from a bijection: `get = to`, `put = create = from`.
+/// Trivially very well behaved.
+pub struct Iso<To, From> {
+    to: To,
+    from: From,
+    name: String,
+}
+
+impl<To, From> Iso<To, From> {
+    /// Build an isomorphism lens from the two directions of a bijection.
+    pub fn new(name: impl Into<String>, to: To, from: From) -> Self {
+        Iso { to, from, name: name.into() }
+    }
+}
+
+impl<S, V, To, From> Lens<S, V> for Iso<To, From>
+where
+    To: Fn(&S) -> V,
+    From: Fn(&V) -> S,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &S) -> V {
+        (self.to)(src)
+    }
+
+    fn put(&self, _src: &S, view: &V) -> S {
+        (self.from)(view)
+    }
+
+    fn create(&self, view: &V) -> S {
+        (self.from)(view)
+    }
+}
+
+/// The first-projection lens on pairs: view is `.0`, `.1` is the hidden
+/// complement (default `D::default()` on create).
+pub fn fst<A: Clone, B: Clone + Default>() -> impl Lens<(A, B), A> {
+    FnLens::new(
+        "fst",
+        |s: &(A, B)| s.0.clone(),
+        |s: &(A, B), v: &A| (v.clone(), s.1.clone()),
+        |v: &A| (v.clone(), B::default()),
+    )
+}
+
+/// The second-projection lens on pairs.
+pub fn snd<A: Clone + Default, B: Clone>() -> impl Lens<(A, B), B> {
+    FnLens::new(
+        "snd",
+        |s: &(A, B)| s.1.clone(),
+        |s: &(A, B), v: &B| (s.0.clone(), v.clone()),
+        |v: &B| (A::default(), v.clone()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_lens_laws;
+
+    #[test]
+    fn iso_celsius_fahrenheit() {
+        // An affine bijection (on exactly-representable values).
+        let l = Iso::new("c2f", |c: &i64| c * 9 / 5 + 32, |f: &i64| (f - 32) * 5 / 9);
+        // Restrict samples to multiples of 5 so the integer iso is exact.
+        let sources = [0i64, 5, 100, -40];
+        let views = [32i64, 41, 212, -40];
+        for r in check_lens_laws(&l, &sources, &views) {
+            assert!(r.holds(), "{r}");
+        }
+    }
+
+    #[test]
+    fn fst_snd_projections() {
+        let f = fst::<i32, String>();
+        let s = (1, "h".to_string());
+        assert_eq!(f.get(&s), 1);
+        assert_eq!(f.put(&s, &2), (2, "h".to_string()));
+        assert_eq!(f.create(&3), (3, String::new()));
+
+        let g = snd::<i32, String>();
+        assert_eq!(g.get(&s), "h");
+        assert_eq!(g.put(&s, &"x".to_string()), (1, "x".to_string()));
+        assert_eq!(g.create(&"y".to_string()), (0, "y".to_string()));
+    }
+}

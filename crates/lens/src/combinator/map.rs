@@ -1,0 +1,115 @@
+//! Mapping a lens over sequences with positional alignment.
+
+use crate::lens::Lens;
+
+/// `MapLens(l)`: a lens `Vec<S> ↔ Vec<V>` applying `l` elementwise.
+///
+/// Alignment is **positional**: the i-th view element is put into the i-th
+/// source element. Extra view elements are `create`d; surplus source
+/// elements are dropped. Positional alignment is the classic list-lens
+/// behaviour and the reason resourceful (dictionary) lenses were invented —
+/// see the dictionary star of [`crate::string::StringLens`] for the by-key
+/// alternative.
+pub struct MapLens<L> {
+    inner: L,
+    name: String,
+}
+
+impl<L> MapLens<L> {
+    /// Map `inner` over sequences.
+    pub fn new<S, V>(inner: L) -> Self
+    where
+        L: Lens<S, V>,
+    {
+        let name = format!("map({})", inner.name());
+        MapLens { inner, name }
+    }
+}
+
+impl<S, V, L> Lens<Vec<S>, Vec<V>> for MapLens<L>
+where
+    L: Lens<S, V>,
+    S: Clone,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &Vec<S>) -> Vec<V> {
+        src.iter().map(|s| self.inner.get(s)).collect()
+    }
+
+    fn put(&self, src: &Vec<S>, view: &Vec<V>) -> Vec<S> {
+        let mut out = Vec::with_capacity(view.len());
+        for (i, v) in view.iter().enumerate() {
+            match src.get(i) {
+                Some(s) => out.push(self.inner.put(s, v)),
+                None => out.push(self.inner.create(v)),
+            }
+        }
+        out
+    }
+
+    fn create(&self, view: &Vec<V>) -> Vec<S> {
+        view.iter().map(|v| self.inner.create(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{check_lens_law, check_lens_laws, LensLaw};
+    use crate::lens::FnLens;
+
+    fn fst() -> impl Lens<(i32, i32), i32> {
+        FnLens::new(
+            "fst",
+            |s: &(i32, i32)| s.0,
+            |s: &(i32, i32), v: &i32| (*v, s.1),
+            |v: &i32| (*v, 0),
+        )
+    }
+
+    #[test]
+    fn map_elementwise() {
+        let l = MapLens::new(fst());
+        let src = vec![(1, 10), (2, 20)];
+        assert_eq!(l.get(&src), vec![1, 2]);
+        assert_eq!(l.put(&src, &vec![5, 6]), vec![(5, 10), (6, 20)]);
+    }
+
+    #[test]
+    fn put_grows_and_shrinks() {
+        let l = MapLens::new(fst());
+        let src = vec![(1, 10), (2, 20)];
+        // Growing: third element is created with default complement.
+        assert_eq!(l.put(&src, &vec![5, 6, 7]), vec![(5, 10), (6, 20), (7, 0)]);
+        // Shrinking: second source element is dropped.
+        assert_eq!(l.put(&src, &vec![5]), vec![(5, 10)]);
+    }
+
+    #[test]
+    fn map_is_well_behaved_but_not_putput() {
+        let l = MapLens::new(fst());
+        let sources = vec![vec![(1, 10), (2, 20)], vec![(3, 30)]];
+        let views = vec![vec![4], vec![5, 6]];
+        for r in check_lens_laws(&l, &sources, &views) {
+            if r.law == LensLaw::PutPut {
+                // Shrink-then-grow loses the dropped complement, so the
+                // positional map lens is not very well behaved.
+                assert!(r.counterexample.is_some(), "expected PutPut failure: {r}");
+            } else {
+                assert!(r.holds(), "{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn putput_holds_for_equal_lengths() {
+        let l = MapLens::new(fst());
+        let sources = vec![vec![(1, 10), (2, 20)]];
+        let views = vec![vec![4, 5], vec![6, 7]];
+        let r = check_lens_law(&l, LensLaw::PutPut, &sources, &views);
+        assert!(r.holds(), "{r}");
+    }
+}

@@ -1,0 +1,23 @@
+//! Lens combinators: ways of building bigger lenses from smaller ones.
+//!
+//! These mirror the combinator vocabulary of the lens literature (Foster et
+//! al., TOPLAS 2007): sequential [`compose`], parallel [`pair`], choice
+//! [`sum`] over [`Either`], primitive [`iso`] and projections, sequence
+//! [`map`]ping, [`filter`]ing with a hidden complement, and view-driven
+//! [`cond`]itionals.
+
+pub mod compose;
+pub mod cond;
+pub mod filter;
+pub mod iso;
+pub mod map;
+pub mod pair;
+pub mod sum;
+
+pub use compose::Compose;
+pub use cond::Cond;
+pub use filter::FilterLens;
+pub use iso::{Iso, fst, snd};
+pub use map::MapLens;
+pub use pair::Pair;
+pub use sum::{Either, Sum};

@@ -1,0 +1,79 @@
+//! Parallel (product) composition of lenses.
+
+use crate::lens::Lens;
+
+/// `Pair(l1, l2)`: a lens `(S1, S2) ↔ (V1, V2)` acting componentwise.
+pub struct Pair<L1, L2> {
+    left: L1,
+    right: L2,
+    name: String,
+}
+
+impl<L1, L2> Pair<L1, L2> {
+    /// Pair `left : S1 ↔ V1` with `right : S2 ↔ V2`.
+    pub fn new<S1, V1, S2, V2>(left: L1, right: L2) -> Self
+    where
+        L1: Lens<S1, V1>,
+        L2: Lens<S2, V2>,
+    {
+        let name = format!("({} * {})", left.name(), right.name());
+        Pair { left, right, name }
+    }
+}
+
+impl<S1, V1, S2, V2, L1, L2> Lens<(S1, S2), (V1, V2)> for Pair<L1, L2>
+where
+    L1: Lens<S1, V1>,
+    L2: Lens<S2, V2>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &(S1, S2)) -> (V1, V2) {
+        (self.left.get(&src.0), self.right.get(&src.1))
+    }
+
+    fn put(&self, src: &(S1, S2), view: &(V1, V2)) -> (S1, S2) {
+        (self.left.put(&src.0, &view.0), self.right.put(&src.1, &view.1))
+    }
+
+    fn create(&self, view: &(V1, V2)) -> (S1, S2) {
+        (self.left.create(&view.0), self.right.create(&view.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_lens_laws;
+    use crate::lens::FnLens;
+
+    fn fst() -> impl Lens<(i32, i32), i32> {
+        FnLens::new(
+            "fst",
+            |s: &(i32, i32)| s.0,
+            |s: &(i32, i32), v: &i32| (*v, s.1),
+            |v: &i32| (*v, 0),
+        )
+    }
+
+    #[test]
+    fn pair_acts_componentwise() {
+        let l = Pair::new(fst(), fst());
+        let s = ((1, 2), (3, 4));
+        assert_eq!(l.get(&s), (1, 3));
+        assert_eq!(l.put(&s, &(9, 8)), ((9, 2), (8, 4)));
+        assert_eq!(l.create(&(5, 6)), ((5, 0), (6, 0)));
+    }
+
+    #[test]
+    fn pair_preserves_laws() {
+        let l = Pair::new(fst(), fst());
+        let sources = [((1, 2), (3, 4)), ((5, 6), (7, 8))];
+        let views = [(9, 10), (11, 12)];
+        for r in check_lens_laws(&l, &sources, &views) {
+            assert!(r.holds(), "{r}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Choice (sum) composition of lenses.
+
+use crate::lens::Lens;
+
+/// A simple sum type for lens sums (avoids a dependency for `Either`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Either<A, B> {
+    /// The left injection.
+    Left(A),
+    /// The right injection.
+    Right(B),
+}
+
+impl<A, B> Either<A, B> {
+    /// True when `Left`.
+    pub fn is_left(&self) -> bool {
+        matches!(self, Either::Left(_))
+    }
+}
+
+/// `Sum(l1, l2)`: a lens `Either<S1, S2> ↔ Either<V1, V2>` acting on
+/// whichever side is present.
+///
+/// When `put` receives a view on the *opposite* side from the source, it
+/// falls back to `create` (the source carries no usable information for the
+/// other branch) — the standard treatment in the lens literature.
+pub struct Sum<L1, L2> {
+    left: L1,
+    right: L2,
+    name: String,
+}
+
+impl<L1, L2> Sum<L1, L2> {
+    /// Sum of `left : S1 ↔ V1` and `right : S2 ↔ V2`.
+    pub fn new<S1, V1, S2, V2>(left: L1, right: L2) -> Self
+    where
+        L1: Lens<S1, V1>,
+        L2: Lens<S2, V2>,
+    {
+        let name = format!("({} + {})", left.name(), right.name());
+        Sum { left, right, name }
+    }
+}
+
+impl<S1, V1, S2, V2, L1, L2> Lens<Either<S1, S2>, Either<V1, V2>> for Sum<L1, L2>
+where
+    L1: Lens<S1, V1>,
+    L2: Lens<S2, V2>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &Either<S1, S2>) -> Either<V1, V2> {
+        match src {
+            Either::Left(s) => Either::Left(self.left.get(s)),
+            Either::Right(s) => Either::Right(self.right.get(s)),
+        }
+    }
+
+    fn put(&self, src: &Either<S1, S2>, view: &Either<V1, V2>) -> Either<S1, S2> {
+        match (src, view) {
+            (Either::Left(s), Either::Left(v)) => Either::Left(self.left.put(s, v)),
+            (Either::Right(s), Either::Right(v)) => Either::Right(self.right.put(s, v)),
+            // Side switch: the old source is useless, create afresh.
+            (_, Either::Left(v)) => Either::Left(self.left.create(v)),
+            (_, Either::Right(v)) => Either::Right(self.right.create(v)),
+        }
+    }
+
+    fn create(&self, view: &Either<V1, V2>) -> Either<S1, S2> {
+        match view {
+            Either::Left(v) => Either::Left(self.left.create(v)),
+            Either::Right(v) => Either::Right(self.right.create(v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_lens_laws;
+    use crate::lens::FnLens;
+
+    fn fst() -> impl Lens<(i32, i32), i32> {
+        FnLens::new(
+            "fst",
+            |s: &(i32, i32)| s.0,
+            |s: &(i32, i32), v: &i32| (*v, s.1),
+            |v: &i32| (*v, 0),
+        )
+    }
+
+    fn id_str() -> impl Lens<String, String> {
+        FnLens::new(
+            "id",
+            |s: &String| s.clone(),
+            |_s: &String, v: &String| v.clone(),
+            |v: &String| v.clone(),
+        )
+    }
+
+    #[test]
+    fn sum_routes_by_side() {
+        let l = Sum::new(fst(), id_str());
+        let s: Either<(i32, i32), String> = Either::Left((1, 2));
+        assert_eq!(l.get(&s), Either::Left(1));
+        assert_eq!(l.put(&s, &Either::Left(9)), Either::Left((9, 2)));
+        // Side switch falls back to create: hidden 2 is lost.
+        assert_eq!(l.put(&s, &Either::Right("x".into())), Either::Right("x".to_string()));
+    }
+
+    #[test]
+    fn sum_preserves_laws_on_same_side() {
+        let l = Sum::new(fst(), id_str());
+        let sources: Vec<Either<(i32, i32), String>> =
+            vec![Either::Left((1, 2)), Either::Right("a".into())];
+        let views: Vec<Either<i32, String>> = vec![Either::Left(3), Either::Right("b".into())];
+        // GetPut, PutGet, CreateGet hold; PutPut fails in general for sums
+        // (an excursion to the other side loses the complement).
+        let reports = check_lens_laws(&l, &sources, &views);
+        for r in &reports {
+            if r.law == crate::laws::LensLaw::PutPut {
+                assert!(r.counterexample.is_some(), "sum should break PutPut: {r}");
+            } else {
+                assert!(r.holds(), "{r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Edit lenses: propagating *edits* rather than whole states.
+//!
+//! The BX 2014 template notes that restoration "might require as input
+//! extra information, e.g. concerning the edit that has been done". This
+//! module provides that flavour for list-structured models: a
+//! [`ListEditLens`] translates edits on a source list into edits on its
+//! view list (and back) through an element lens, so that applying the
+//! translated edit commutes with `get`.
+
+use crate::lens::Lens;
+
+/// An edit on a list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListEdit<T> {
+    /// Insert an element at an index (index may equal the length).
+    Insert(usize, T),
+    /// Delete the element at an index.
+    Delete(usize),
+    /// Replace the element at an index.
+    Modify(usize, T),
+    /// The identity edit.
+    Nop,
+}
+
+impl<T: Clone> ListEdit<T> {
+    /// Apply the edit to a list, clamping out-of-range indices to no-ops
+    /// (edits are advisory; robust application is part of the model).
+    pub fn apply(&self, xs: &mut Vec<T>) {
+        match self {
+            ListEdit::Insert(i, t) => {
+                let i = (*i).min(xs.len());
+                xs.insert(i, t.clone());
+            }
+            ListEdit::Delete(i) => {
+                if *i < xs.len() {
+                    xs.remove(*i);
+                }
+            }
+            ListEdit::Modify(i, t) => {
+                if let Some(slot) = xs.get_mut(*i) {
+                    *slot = t.clone();
+                }
+            }
+            ListEdit::Nop => {}
+        }
+    }
+
+    /// True when applying the edit can change a list of the given length.
+    pub fn effective(&self, len: usize) -> bool {
+        match self {
+            ListEdit::Insert(i, _) => *i <= len,
+            ListEdit::Delete(i) | ListEdit::Modify(i, _) => *i < len,
+            ListEdit::Nop => false,
+        }
+    }
+}
+
+/// An edit lens over lists, parameterised by an element lens `L : S ↔ V`.
+///
+/// The *complement* is the current source list itself, which callers keep
+/// alongside the lens; translation functions take it by reference.
+pub struct ListEditLens<L> {
+    inner: L,
+    name: String,
+}
+
+impl<L> ListEditLens<L> {
+    /// Build from an element lens.
+    pub fn new<S, V>(inner: L) -> Self
+    where
+        L: Lens<S, V>,
+    {
+        let name = format!("edit-map({})", inner.name());
+        ListEditLens { inner, name }
+    }
+
+    /// The lens's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Translate a source edit into the corresponding view edit, given the
+    /// current source list (before the edit).
+    pub fn propagate_fwd<S, V>(&self, src: &[S], edit: &ListEdit<S>) -> ListEdit<V>
+    where
+        L: Lens<S, V>,
+    {
+        match edit {
+            ListEdit::Insert(i, s) => ListEdit::Insert((*i).min(src.len()), self.inner.get(s)),
+            ListEdit::Delete(i) => {
+                if *i < src.len() {
+                    ListEdit::Delete(*i)
+                } else {
+                    ListEdit::Nop
+                }
+            }
+            ListEdit::Modify(i, s) => {
+                if *i < src.len() {
+                    ListEdit::Modify(*i, self.inner.get(s))
+                } else {
+                    ListEdit::Nop
+                }
+            }
+            ListEdit::Nop => ListEdit::Nop,
+        }
+    }
+
+    /// Translate a view edit back into a source edit, given the current
+    /// source list (before the edit). Modifications `put` through the
+    /// existing element, preserving its hidden information; insertions
+    /// `create`.
+    pub fn propagate_bwd<S, V>(&self, src: &[S], edit: &ListEdit<V>) -> ListEdit<S>
+    where
+        L: Lens<S, V>,
+    {
+        match edit {
+            ListEdit::Insert(i, v) => ListEdit::Insert((*i).min(src.len()), self.inner.create(v)),
+            ListEdit::Delete(i) => {
+                if *i < src.len() {
+                    ListEdit::Delete(*i)
+                } else {
+                    ListEdit::Nop
+                }
+            }
+            ListEdit::Modify(i, v) => match src.get(*i) {
+                Some(s) => ListEdit::Modify(*i, self.inner.put(s, v)),
+                None => ListEdit::Nop,
+            },
+            ListEdit::Nop => ListEdit::Nop,
+        }
+    }
+}
+
+/// Check the edit-lens coherence law on concrete data:
+/// `get(apply(e, src)) = apply(propagate_fwd(e), get(src))`.
+pub fn fwd_coherent<S, V, L>(lens: &ListEditLens<L>, src: &[S], edit: &ListEdit<S>) -> bool
+where
+    S: Clone,
+    V: Clone + PartialEq,
+    L: Lens<S, V>,
+{
+    let mut edited_src = src.to_vec();
+    edit.apply(&mut edited_src);
+    let lhs: Vec<V> = edited_src.iter().map(|s| lens.inner.get(s)).collect();
+
+    let mut view: Vec<V> = src.iter().map(|s| lens.inner.get(s)).collect();
+    lens.propagate_fwd(src, edit).apply(&mut view);
+    lhs == view
+}
+
+/// Check the backward coherence law:
+/// `get(apply(propagate_bwd(e), src)) = apply(e, get(src))`.
+pub fn bwd_coherent<S, V, L>(lens: &ListEditLens<L>, src: &[S], edit: &ListEdit<V>) -> bool
+where
+    S: Clone,
+    V: Clone + PartialEq,
+    L: Lens<S, V>,
+{
+    let mut edited_src = src.to_vec();
+    lens.propagate_bwd(src, edit).apply(&mut edited_src);
+    let lhs: Vec<V> = edited_src.iter().map(|s| lens.inner.get(s)).collect();
+
+    let mut view: Vec<V> = src.iter().map(|s| lens.inner.get(s)).collect();
+    edit.apply(&mut view);
+    lhs == view
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lens::FnLens;
+
+    fn fst() -> impl Lens<(i32, i32), i32> {
+        FnLens::new(
+            "fst",
+            |s: &(i32, i32)| s.0,
+            |s: &(i32, i32), v: &i32| (*v, s.1),
+            |v: &i32| (*v, 0),
+        )
+    }
+
+    #[test]
+    fn apply_clamps_indices() {
+        let mut xs = vec![1, 2];
+        ListEdit::Insert(99, 3).apply(&mut xs);
+        assert_eq!(xs, vec![1, 2, 3]);
+        ListEdit::Delete(99).apply(&mut xs);
+        assert_eq!(xs, vec![1, 2, 3]);
+        ListEdit::Modify(99, 0).apply(&mut xs);
+        assert_eq!(xs, vec![1, 2, 3]);
+        ListEdit::Nop.apply(&mut xs);
+        assert_eq!(xs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fwd_propagation_coherent() {
+        let l = ListEditLens::new(fst());
+        let src = vec![(1, 10), (2, 20), (3, 30)];
+        let edits = [
+            ListEdit::Insert(1, (9, 90)),
+            ListEdit::Delete(0),
+            ListEdit::Modify(2, (7, 70)),
+            ListEdit::Nop,
+            ListEdit::Insert(99, (5, 50)),
+            ListEdit::Delete(99),
+        ];
+        for e in &edits {
+            assert!(fwd_coherent(&l, &src, e), "incoherent on {e:?}");
+        }
+    }
+
+    #[test]
+    fn bwd_propagation_coherent() {
+        let l = ListEditLens::new(fst());
+        let src = vec![(1, 10), (2, 20), (3, 30)];
+        let edits = [
+            ListEdit::Insert(0, 9),
+            ListEdit::Delete(1),
+            ListEdit::Modify(2, 7),
+            ListEdit::Nop,
+            ListEdit::Modify(99, 8),
+        ];
+        for e in &edits {
+            assert!(bwd_coherent(&l, &src, e), "incoherent on {e:?}");
+        }
+    }
+
+    #[test]
+    fn bwd_modify_preserves_hidden_complement() {
+        let l = ListEditLens::new(fst());
+        let src = vec![(1, 10), (2, 20)];
+        let e = l.propagate_bwd(&src, &ListEdit::Modify(1, 9));
+        assert_eq!(e, ListEdit::Modify(1, (9, 20)), "hidden 20 must survive");
+    }
+
+    #[test]
+    fn effective_predicate() {
+        assert!(ListEdit::Insert(2, 0).effective(2));
+        assert!(!ListEdit::Insert(3, 0).effective(2));
+        assert!(ListEdit::<i32>::Delete(1).effective(2));
+        assert!(!ListEdit::<i32>::Nop.effective(2));
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type shared by the lens frameworks.
+
+use std::fmt;
+
+/// Errors raised by partial lens operations (string lenses are partial:
+/// inputs must belong to the lens's source/view languages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LensError {
+    /// The input did not belong to the expected language.
+    NoParse {
+        /// Which lens rejected the input.
+        lens: String,
+        /// The offending input (possibly truncated).
+        input: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The input could be interpreted in more than one way, so the lens
+    /// cannot act deterministically (ambiguous concatenation/iteration).
+    Ambiguous {
+        /// Which lens found the ambiguity.
+        lens: String,
+        /// The offending input (possibly truncated).
+        input: String,
+        /// What was ambiguous.
+        reason: String,
+    },
+    /// A regular expression failed to parse.
+    BadRegex {
+        /// The pattern text.
+        pattern: String,
+        /// Parse failure description.
+        reason: String,
+    },
+}
+
+fn trunc(s: &str) -> String {
+    const LIMIT: usize = 80;
+    if s.len() <= LIMIT {
+        s.to_string()
+    } else {
+        let mut end = LIMIT;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+impl LensError {
+    /// Construct a [`LensError::NoParse`], truncating long inputs.
+    pub fn no_parse(lens: impl Into<String>, input: &str, reason: impl Into<String>) -> Self {
+        LensError::NoParse { lens: lens.into(), input: trunc(input), reason: reason.into() }
+    }
+
+    /// Construct a [`LensError::Ambiguous`], truncating long inputs.
+    pub fn ambiguous(lens: impl Into<String>, input: &str, reason: impl Into<String>) -> Self {
+        LensError::Ambiguous { lens: lens.into(), input: trunc(input), reason: reason.into() }
+    }
+}
+
+impl fmt::Display for LensError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LensError::NoParse { lens, input, reason } => {
+                write!(f, "lens `{lens}` cannot parse {input:?}: {reason}")
+            }
+            LensError::Ambiguous { lens, input, reason } => {
+                write!(f, "lens `{lens}` is ambiguous on {input:?}: {reason}")
+            }
+            LensError::BadRegex { pattern, reason } => {
+                write!(f, "bad regular expression {pattern:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LensError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_no_parse() {
+        let e = LensError::no_parse("copy", "abc", "not in language");
+        assert!(e.to_string().contains("copy"));
+        assert!(e.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn long_inputs_truncated() {
+        let long = "x".repeat(500);
+        let e = LensError::no_parse("l", &long, "r");
+        match e {
+            LensError::NoParse { input, .. } => {
+                assert!(input.len() < 100, "input should be truncated, got {}", input.len())
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let long = "é".repeat(100);
+        let e = LensError::ambiguous("l", &long, "r");
+        match e {
+            LensError::Ambiguous { input, .. } => assert!(input.ends_with('…')),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Lens law checking: GetPut, PutGet, PutPut, CreateGet.
+
+use std::fmt;
+use std::fmt::Debug;
+
+use bx_theory::report::Counterexample;
+
+use crate::lens::Lens;
+
+/// The classic asymmetric-lens laws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LensLaw {
+    /// `put s (get s) = s` — putting back an unchanged view changes nothing.
+    GetPut,
+    /// `get (put s v) = v` — a put view is faithfully reflected.
+    PutGet,
+    /// `put (put s v1) v2 = put s v2` — the last put wins (very well
+    /// behavedness; fails for lenses that accumulate history).
+    PutPut,
+    /// `get (create v) = v` — created sources reflect their view.
+    CreateGet,
+}
+
+impl LensLaw {
+    /// All lens laws in display order.
+    pub const ALL: [LensLaw; 4] = [LensLaw::GetPut, LensLaw::PutGet, LensLaw::PutPut, LensLaw::CreateGet];
+
+    /// The formal statement of the law.
+    pub fn statement(self) -> &'static str {
+        match self {
+            LensLaw::GetPut => "put s (get s) = s",
+            LensLaw::PutGet => "get (put s v) = v",
+            LensLaw::PutPut => "put (put s v1) v2 = put s v2",
+            LensLaw::CreateGet => "get (create v) = v",
+        }
+    }
+}
+
+impl fmt::Display for LensLaw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LensLaw::GetPut => "GetPut",
+            LensLaw::PutGet => "PutGet",
+            LensLaw::PutPut => "PutPut",
+            LensLaw::CreateGet => "CreateGet",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Report of checking one lens law over sampled sources and views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LensLawReport {
+    /// Name of the checked lens.
+    pub lens_name: String,
+    /// Which law.
+    pub law: LensLaw,
+    /// Number of cases evaluated.
+    pub cases: usize,
+    /// `None` when the law held everywhere; otherwise the first witness.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl LensLawReport {
+    /// True when the law held on every case and at least one case ran.
+    pub fn holds(&self) -> bool {
+        self.counterexample.is_none() && self.cases > 0
+    }
+}
+
+impl fmt::Display for LensLawReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} ({} cases): ", self.lens_name, self.law, self.cases)?;
+        match &self.counterexample {
+            None => write!(f, "holds"),
+            Some(cx) => write!(f, "VIOLATED — {cx}"),
+        }
+    }
+}
+
+/// Check one lens law over the given sources and views.
+pub fn check_lens_law<S, V, L>(
+    lens: &L,
+    law: LensLaw,
+    sources: &[S],
+    views: &[V],
+) -> LensLawReport
+where
+    S: Clone + PartialEq + Debug,
+    V: Clone + PartialEq + Debug,
+    L: Lens<S, V> + ?Sized,
+{
+    let name = lens.name().to_string();
+    let mut cases = 0usize;
+    let counterexample = 'search: {
+        match law {
+            LensLaw::GetPut => {
+                for (i, s) in sources.iter().enumerate() {
+                    cases += 1;
+                    let back = lens.put(s, &lens.get(s));
+                    if back != *s {
+                        break 'search Some(Counterexample {
+                            case_index: i,
+                            description: format!(
+                                "put(s, get(s)) = {back:?} differs from s = {s:?}"
+                            ),
+                        });
+                    }
+                }
+                None
+            }
+            LensLaw::PutGet => {
+                for (i, s) in sources.iter().enumerate() {
+                    for v in views {
+                        cases += 1;
+                        let got = lens.get(&lens.put(s, v));
+                        if got != *v {
+                            break 'search Some(Counterexample {
+                                case_index: i,
+                                description: format!(
+                                    "get(put({s:?}, {v:?})) = {got:?} differs from the view"
+                                ),
+                            });
+                        }
+                    }
+                }
+                None
+            }
+            LensLaw::PutPut => {
+                for (i, s) in sources.iter().enumerate() {
+                    for v1 in views {
+                        for v2 in views {
+                            cases += 1;
+                            let twice = lens.put(&lens.put(s, v1), v2);
+                            let once = lens.put(s, v2);
+                            if twice != once {
+                                break 'search Some(Counterexample {
+                                    case_index: i,
+                                    description: format!(
+                                        "put(put(s, {v1:?}), {v2:?}) = {twice:?} \
+                                         but put(s, {v2:?}) = {once:?} for s = {s:?}"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                None
+            }
+            LensLaw::CreateGet => {
+                for (i, v) in views.iter().enumerate() {
+                    cases += 1;
+                    let got = lens.get(&lens.create(v));
+                    if got != *v {
+                        break 'search Some(Counterexample {
+                            case_index: i,
+                            description: format!(
+                                "get(create({v:?})) = {got:?} differs from the view"
+                            ),
+                        });
+                    }
+                }
+                None
+            }
+        }
+    };
+    LensLawReport { lens_name: name, law, cases, counterexample }
+}
+
+/// Check all four laws, returning one report per law.
+pub fn check_lens_laws<S, V, L>(lens: &L, sources: &[S], views: &[V]) -> Vec<LensLawReport>
+where
+    S: Clone + PartialEq + Debug,
+    V: Clone + PartialEq + Debug,
+    L: Lens<S, V> + ?Sized,
+{
+    LensLaw::ALL.iter().map(|&law| check_lens_law(lens, law, sources, views)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lens::FnLens;
+
+    fn fst() -> impl Lens<(i32, i32), i32> {
+        FnLens::new(
+            "fst",
+            |s: &(i32, i32)| s.0,
+            |s: &(i32, i32), v: &i32| (*v, s.1),
+            |v: &i32| (*v, 0),
+        )
+    }
+
+    /// A lens that breaks PutPut by counting puts in the complement.
+    fn counting() -> impl Lens<(i32, i32), i32> {
+        FnLens::new(
+            "counting",
+            |s: &(i32, i32)| s.0,
+            |s: &(i32, i32), v: &i32| (*v, s.1 + 1),
+            |v: &i32| (*v, 0),
+        )
+    }
+
+    #[test]
+    fn fst_is_very_well_behaved() {
+        let reports = check_lens_laws(&fst(), &[(1, 10), (2, 20)], &[5, 6]);
+        for r in &reports {
+            assert!(r.holds(), "{r}");
+        }
+    }
+
+    #[test]
+    fn counting_breaks_putput_only() {
+        let sources = [(1, 0), (2, 3)];
+        let views = [5, 6];
+        let l = counting();
+        assert!(check_lens_law(&l, LensLaw::GetPut, &sources, &views).counterexample.is_some(),
+            "counting also breaks GetPut (the count bumps even on identity put)");
+        assert!(check_lens_law(&l, LensLaw::PutGet, &sources, &views).holds());
+        let pp = check_lens_law(&l, LensLaw::PutPut, &sources, &views);
+        assert!(pp.counterexample.is_some(), "{pp}");
+        assert!(check_lens_law(&l, LensLaw::CreateGet, &sources, &views).holds());
+    }
+
+    #[test]
+    fn empty_samples_do_not_hold() {
+        let r = check_lens_law(&fst(), LensLaw::GetPut, &[], &[1]);
+        assert!(!r.holds());
+        assert_eq!(r.cases, 0);
+    }
+
+    #[test]
+    fn law_statements_nonempty() {
+        for law in LensLaw::ALL {
+            assert!(!law.statement().is_empty());
+        }
+    }
+
+    #[test]
+    fn report_display_mentions_law() {
+        let r = check_lens_law(&fst(), LensLaw::PutGet, &[(1, 2)], &[3]);
+        assert!(r.to_string().contains("PutGet"));
+        assert!(r.to_string().contains("holds"));
+    }
+}

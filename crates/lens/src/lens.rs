@@ -1,0 +1,112 @@
+//! The asymmetric lens trait.
+
+/// An asymmetric lens between a source type `S` and a view type `V`.
+///
+/// * [`Lens::get`] extracts the view from a source;
+/// * [`Lens::put`] pushes a possibly-updated view back into a source,
+///   using the old source to restore information the view lacks;
+/// * [`Lens::create`] builds a source from a view alone, filling hidden
+///   fields with defaults (the `missing`/`create` of Boomerang).
+///
+/// Total lenses only — the string-lens sublanguage, whose operations are
+/// partial, has its own interface in [`crate::string`].
+pub trait Lens<S, V> {
+    /// A short stable name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Extract the view of `src`.
+    fn get(&self, src: &S) -> V;
+
+    /// Push `view` back into `src`, preserving hidden information.
+    fn put(&self, src: &S, view: &V) -> S;
+
+    /// Build a source from a view alone (defaults for hidden fields).
+    fn create(&self, view: &V) -> S;
+}
+
+/// A lens assembled from closures.
+pub struct FnLens<S, V, G, P, C>
+where
+    G: Fn(&S) -> V,
+    P: Fn(&S, &V) -> S,
+    C: Fn(&V) -> S,
+{
+    name: String,
+    get: G,
+    put: P,
+    create: C,
+    _marker: std::marker::PhantomData<fn(&S) -> V>,
+}
+
+impl<S, V, G, P, C> FnLens<S, V, G, P, C>
+where
+    G: Fn(&S) -> V,
+    P: Fn(&S, &V) -> S,
+    C: Fn(&V) -> S,
+{
+    /// Build a lens from a name and the three operations.
+    pub fn new(name: impl Into<String>, get: G, put: P, create: C) -> Self {
+        FnLens { name: name.into(), get, put, create, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<S, V, G, P, C> Lens<S, V> for FnLens<S, V, G, P, C>
+where
+    G: Fn(&S) -> V,
+    P: Fn(&S, &V) -> S,
+    C: Fn(&V) -> S,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &S) -> V {
+        (self.get)(src)
+    }
+
+    fn put(&self, src: &S, view: &V) -> S {
+        (self.put)(src, view)
+    }
+
+    fn create(&self, view: &V) -> S {
+        (self.create)(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic first-projection lens: source is a pair, view its first
+    /// component; the second component is the hidden complement.
+    fn fst() -> impl Lens<(i32, String), i32> {
+        FnLens::new(
+            "fst",
+            |s: &(i32, String)| s.0,
+            |s: &(i32, String), v: &i32| (*v, s.1.clone()),
+            |v: &i32| (*v, String::new()),
+        )
+    }
+
+    #[test]
+    fn fst_get_put_create() {
+        let l = fst();
+        let s = (3, "hidden".to_string());
+        assert_eq!(l.get(&s), 3);
+        assert_eq!(l.put(&s, &9), (9, "hidden".to_string()));
+        assert_eq!(l.create(&5), (5, String::new()));
+        assert_eq!(l.name(), "fst");
+    }
+
+    #[test]
+    fn fst_satisfies_getput_putget_informally() {
+        let l = fst();
+        let s = (3, "h".to_string());
+        // GetPut
+        assert_eq!(l.put(&s, &l.get(&s)), s);
+        // PutGet
+        assert_eq!(l.get(&l.put(&s, &42)), 42);
+        // CreateGet
+        assert_eq!(l.get(&l.create(&7)), 7);
+    }
+}

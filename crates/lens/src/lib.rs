@@ -1,0 +1,41 @@
+//! # bx-lens
+//!
+//! Lens frameworks for the bx example repository:
+//!
+//! * **Asymmetric lenses** ([`Lens`]): `get : S → V`, `put : S × V → S`,
+//!   `create : V → S`, with the classic GetPut / PutGet / PutPut /
+//!   CreateGet laws checkable via [`laws`].
+//! * **Combinators** ([`combinator`]): composition, products, sums,
+//!   isomorphisms, mapping over sequences, filtering with a hidden
+//!   complement, conditionals.
+//! * **Symmetric lenses** ([`symmetric`]): complement-carrying lenses
+//!   `putr : A × C → B × C`, `putl : B × C → A × C` (Hofmann, Pierce,
+//!   Wagner, POPL 2011 style).
+//! * **Edit lenses** ([`edit`]): propagation of edit operations rather than
+//!   whole states.
+//! * **Tree lenses** ([`tree`]): labelled rose trees with prune /
+//!   hide-value / relabel / map combinators — the TOPLAS 2007 bookmark
+//!   domain.
+//! * **String lenses** ([`string`]): a Boomerang-style combinator language
+//!   over a from-scratch regular-expression engine, including resourceful
+//!   dictionary alignment — enough to express the original asymmetric
+//!   COMPOSERS lens of Bohannon et al. (POPL 2008).
+//!
+//! Every lens adapts into a state-based [`bx_theory::Bx`] via
+//! [`adapt::LensBx`], so the repository's generic law checkers apply.
+
+pub mod adapt;
+pub mod combinator;
+pub mod edit;
+pub mod error;
+pub mod laws;
+pub mod lens;
+pub mod string;
+pub mod symmetric;
+pub mod tree;
+
+pub use adapt::LensBx;
+pub use error::LensError;
+pub use laws::{check_lens_law, check_lens_laws, LensLaw, LensLawReport};
+pub use lens::{FnLens, Lens};
+pub use symmetric::{SymLens, SymLensFromLens};

@@ -1,0 +1,158 @@
+//! Builder API for string lenses, mirroring Boomerang's surface syntax.
+//!
+//! ```
+//! use bx_lens::string::{cat, copy, del, star, txt};
+//!
+//! // Source lines "word,word\n"; view keeps only the first word per line.
+//! let line = cat(vec![
+//!     copy("[a-z]+").unwrap(),
+//!     del(",[a-z]+", ",hidden").unwrap(),
+//!     txt("\n"),
+//! ]);
+//! let l = star(line);
+//! assert_eq!(l.get("ab,xy\ncd,zw\n").unwrap(), "ab\ncd\n");
+//! assert_eq!(l.put("ab,xy\n", "qq\n").unwrap(), "qq,xy\n");
+//! ```
+
+use crate::error::LensError;
+
+use super::lens::StringLens;
+use super::regex::Regex;
+
+/// Identity lens on the language of `pattern`.
+pub fn copy(pattern: &str) -> Result<StringLens, LensError> {
+    Ok(StringLens::copy(Regex::parse(pattern)?))
+}
+
+/// Identity lens on exactly the literal string `text` (both sides).
+pub fn txt(text: &str) -> StringLens {
+    StringLens::copy(Regex::literal(text))
+}
+
+/// Constant lens: sources matching `src_pattern` display as `view_text`;
+/// `create` produces `default_src`.
+pub fn replace(
+    src_pattern: &str,
+    view_text: &str,
+    default_src: &str,
+) -> Result<StringLens, LensError> {
+    StringLens::constant(Regex::parse(src_pattern)?, view_text, default_src)
+}
+
+/// Deletion lens: sources matching `pattern` vanish from the view;
+/// `create` resurrects them as `default_src`.
+pub fn del(pattern: &str, default_src: &str) -> Result<StringLens, LensError> {
+    StringLens::constant(Regex::parse(pattern)?, "", default_src)
+}
+
+/// Insertion lens: the view always shows `text`, the source is empty.
+pub fn ins(text: &str) -> StringLens {
+    StringLens::constant(Regex::Eps, text, "")
+        .expect("empty default always belongs to the Eps language")
+}
+
+/// Sequential concatenation.
+pub fn cat(parts: Vec<StringLens>) -> StringLens {
+    StringLens::concat(parts)
+}
+
+/// Binary union.
+pub fn or(left: StringLens, right: StringLens) -> StringLens {
+    StringLens::union(vec![left, right])
+}
+
+/// Kleene star with positional alignment.
+pub fn star(inner: StringLens) -> StringLens {
+    StringLens::star(inner)
+}
+
+/// Swapped concatenation: source `first . second`, view `second . first`.
+pub fn swap(first: StringLens, second: StringLens) -> StringLens {
+    StringLens::swap(first, second)
+}
+
+/// Kleene star with resourceful alignment by key: the key of a chunk is
+/// its longest prefix matching `key_pattern` (used on both sides).
+pub fn dict_star(inner: StringLens, key_pattern: &str) -> Result<StringLens, LensError> {
+    let key = Regex::parse(key_pattern)?;
+    Ok(StringLens::dict_star(inner, key.clone(), key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txt_is_identity_on_literal() {
+        let l = txt("::");
+        assert_eq!(l.get("::").unwrap(), "::");
+        assert!(l.get(":").is_err());
+    }
+
+    #[test]
+    fn ins_adds_view_text_from_nothing() {
+        let l = ins(">> ");
+        assert_eq!(l.get("").unwrap(), ">> ");
+        assert_eq!(l.create(">> ").unwrap(), "");
+        assert!(l.get("x").is_err());
+    }
+
+    #[test]
+    fn ins_in_concat_decorates_view() {
+        let l = cat(vec![ins("* "), copy("[a-z]+").unwrap()]);
+        assert_eq!(l.get("item").unwrap(), "* item");
+        assert_eq!(l.put("item", "* other").unwrap(), "other");
+        assert_eq!(l.create("* fresh").unwrap(), "fresh");
+    }
+
+    #[test]
+    fn del_removes_and_restores() {
+        let l = cat(vec![copy("[a-z]+").unwrap(), del(" #[0-9]+", " #0").unwrap()]);
+        assert_eq!(l.get("abc #42").unwrap(), "abc");
+        assert_eq!(l.put("abc #42", "xyz").unwrap(), "xyz #42");
+        assert_eq!(l.create("xyz").unwrap(), "xyz #0");
+    }
+
+    #[test]
+    fn or_picks_branch() {
+        let l = or(copy("[a-z]+").unwrap(), copy("[0-9]+").unwrap());
+        assert_eq!(l.get("abc").unwrap(), "abc");
+        assert_eq!(l.get("42").unwrap(), "42");
+    }
+
+    #[test]
+    fn dict_star_uses_same_key_both_sides() {
+        let entry = cat(vec![
+            copy("[a-z]+").unwrap(),
+            del(":[0-9]+", ":0").unwrap(),
+            txt(";"),
+        ]);
+        let l = dict_star(entry, "[a-z]+").unwrap();
+        assert_eq!(l.get("ab:1;cd:2;").unwrap(), "ab;cd;");
+        assert_eq!(l.put("ab:1;cd:2;", "cd;ab;").unwrap(), "cd:2;ab:1;");
+    }
+
+    #[test]
+    fn swap_reorders_fields() {
+        // source "key=value", view "value key" — with a swapped separator.
+        let l = swap(
+            cat(vec![copy("[a-z]+").unwrap(), del("=", "=").unwrap()]),
+            cat(vec![copy("[0-9]+").unwrap(), ins(" ")]),
+        );
+        assert_eq!(l.get("abc=42").unwrap(), "42 abc");
+        assert_eq!(l.put("abc=42", "99 xyz").unwrap(), "xyz=99");
+        assert_eq!(l.create("7 k").unwrap(), "k=7");
+        // GetPut / PutGet on the swap.
+        let v = l.get("abc=42").unwrap();
+        assert_eq!(l.put("abc=42", &v).unwrap(), "abc=42");
+        let s2 = l.put("abc=42", "1 z").unwrap();
+        assert_eq!(l.get(&s2).unwrap(), "1 z");
+    }
+
+    #[test]
+    fn bad_patterns_propagate_errors() {
+        assert!(copy("(").is_err());
+        assert!(del("[", "x").is_err());
+        assert!(dict_star(txt("a"), "(").is_err());
+    }
+}

@@ -1,0 +1,635 @@
+//! The string-lens combinator tree.
+//!
+//! A [`StringLens`] denotes a lens between two regular string languages:
+//! its **source type** (`stype`) and **view type** (`vtype`). Operations
+//! are partial — inputs outside the expected language are rejected with
+//! [`LensError::NoParse`]; inputs admitting several parses are rejected
+//! with [`LensError::Ambiguous`] (the dynamic counterpart of Boomerang's
+//! static unambiguity typing).
+
+use crate::error::LensError;
+
+use super::nfa::Matcher;
+use super::regex::Regex;
+use super::split::{iterate_unique, split_unique};
+
+/// The node variants of a string lens.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Identity on a regular language.
+    Copy,
+    /// Map any source in `stype` to a constant view; `put` keeps the
+    /// source, `create` produces `default_src`.
+    Const {
+        view_text: String,
+        default_src: String,
+    },
+    /// Sequential concatenation.
+    Concat(Vec<StringLens>),
+    /// Branching by language membership.
+    Union(Vec<StringLens>),
+    /// Kleene star with **positional** chunk alignment.
+    Star(Box<StringLens>),
+    /// Kleene star with **resourceful** chunk alignment: chunks are
+    /// matched up by a key (the longest prefix of the chunk matching the
+    /// key regex), so reordering the view does not destroy the hidden
+    /// parts of source chunks — the heart of Boomerang's dictionary
+    /// lenses.
+    DictStar {
+        inner: Box<StringLens>,
+        key_src: Matcher,
+        key_view: Matcher,
+    },
+    /// Swapped concatenation: the source reads `l1 · l2` but the view
+    /// reads `l2 · l1` — the permutation combinator that makes field
+    /// reordering (e.g. date formats) expressible.
+    Swap(Box<StringLens>, Box<StringLens>),
+}
+
+/// A lens between regular string languages. Construct via
+/// [`super::combinators`] or the associated functions.
+#[derive(Debug, Clone)]
+pub struct StringLens {
+    node: Node,
+    name: String,
+    stype: Matcher,
+    vtype: Matcher,
+}
+
+impl StringLens {
+    /// The identity lens on the language of `re`.
+    pub fn copy(re: Regex) -> StringLens {
+        let m = Matcher::new(re);
+        StringLens {
+            name: format!("copy({})", m.regex().to_pattern()),
+            node: Node::Copy,
+            vtype: m.clone(),
+            stype: m,
+        }
+    }
+
+    /// The constant lens: sources in `src` language all display as
+    /// `view_text`; `create` produces `default_src`.
+    pub fn constant(
+        src: Regex,
+        view_text: impl Into<String>,
+        default_src: impl Into<String>,
+    ) -> Result<StringLens, LensError> {
+        let view_text = view_text.into();
+        let default_src = default_src.into();
+        let stype = Matcher::new(src);
+        if !stype.matches_str(&default_src) {
+            return Err(LensError::no_parse(
+                "const",
+                &default_src,
+                "default source must belong to the source language",
+            ));
+        }
+        let vtype = Matcher::new(Regex::literal(&view_text));
+        Ok(StringLens {
+            name: format!("const({} -> {:?})", stype.regex().to_pattern(), view_text),
+            node: Node::Const { view_text, default_src },
+            stype,
+            vtype,
+        })
+    }
+
+    /// Concatenate lenses in sequence.
+    pub fn concat(parts: Vec<StringLens>) -> StringLens {
+        let stype = Matcher::new(
+            parts.iter().fold(Regex::Eps, |acc, l| acc.then(l.stype.regex().clone())),
+        );
+        let vtype = Matcher::new(
+            parts.iter().fold(Regex::Eps, |acc, l| acc.then(l.vtype.regex().clone())),
+        );
+        let name = format!(
+            "cat[{}]",
+            parts.iter().map(|l| l.name.as_str()).collect::<Vec<_>>().join(" . ")
+        );
+        StringLens { node: Node::Concat(parts), name, stype, vtype }
+    }
+
+    /// Union (choice) of lenses.
+    pub fn union(arms: Vec<StringLens>) -> StringLens {
+        let stype = Matcher::new(
+            arms.iter().fold(Regex::Empty, |acc, l| acc.or(l.stype.regex().clone())),
+        );
+        let vtype = Matcher::new(
+            arms.iter().fold(Regex::Empty, |acc, l| acc.or(l.vtype.regex().clone())),
+        );
+        let name = format!(
+            "union[{}]",
+            arms.iter().map(|l| l.name.as_str()).collect::<Vec<_>>().join(" | ")
+        );
+        StringLens { node: Node::Union(arms), name, stype, vtype }
+    }
+
+    /// Kleene star with positional alignment.
+    pub fn star(inner: StringLens) -> StringLens {
+        let stype = Matcher::new(inner.stype.regex().clone().star());
+        let vtype = Matcher::new(inner.vtype.regex().clone().star());
+        let name = format!("star({})", inner.name);
+        StringLens { node: Node::Star(Box::new(inner)), name, stype, vtype }
+    }
+
+    /// Kleene star with resourceful (by-key) alignment. The key of a chunk
+    /// is its longest prefix matching the given key regex (empty if none).
+    pub fn dict_star(inner: StringLens, key_src: Regex, key_view: Regex) -> StringLens {
+        let stype = Matcher::new(inner.stype.regex().clone().star());
+        let vtype = Matcher::new(inner.vtype.regex().clone().star());
+        let name = format!("dict_star({})", inner.name);
+        StringLens {
+            node: Node::DictStar {
+                inner: Box::new(inner),
+                key_src: Matcher::new(key_src),
+                key_view: Matcher::new(key_view),
+            },
+            name,
+            stype,
+            vtype,
+        }
+    }
+
+    /// Swapped concatenation: source `first · second`, view
+    /// `second · first`.
+    pub fn swap(first: StringLens, second: StringLens) -> StringLens {
+        let stype = Matcher::new(
+            first.stype.regex().clone().then(second.stype.regex().clone()),
+        );
+        let vtype = Matcher::new(
+            second.vtype.regex().clone().then(first.vtype.regex().clone()),
+        );
+        let name = format!("swap({}, {})", first.name, second.name);
+        StringLens { node: Node::Swap(Box::new(first), Box::new(second)), name, stype, vtype }
+    }
+
+    /// The lens's name (structural description).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the lens (names get long; examples give them short ones).
+    pub fn named(mut self, name: impl Into<String>) -> StringLens {
+        self.name = name.into();
+        self
+    }
+
+    /// The source-language regex.
+    pub fn stype(&self) -> &Regex {
+        self.stype.regex()
+    }
+
+    /// The view-language regex.
+    pub fn vtype(&self) -> &Regex {
+        self.vtype.regex()
+    }
+
+    /// Does `s` belong to the source language?
+    pub fn source_matches(&self, s: &str) -> bool {
+        self.stype.matches_str(s)
+    }
+
+    /// Does `s` belong to the view language?
+    pub fn view_matches(&self, s: &str) -> bool {
+        self.vtype.matches_str(s)
+    }
+
+    /// Extract the view of a source string.
+    pub fn get(&self, src: &str) -> Result<String, LensError> {
+        let chars: Vec<char> = src.chars().collect();
+        self.get_chars(&chars)
+    }
+
+    /// Push an updated view back into a source string.
+    pub fn put(&self, src: &str, view: &str) -> Result<String, LensError> {
+        let s: Vec<char> = src.chars().collect();
+        let v: Vec<char> = view.chars().collect();
+        self.put_chars(&s, &v)
+    }
+
+    /// Build a source from a view alone.
+    pub fn create(&self, view: &str) -> Result<String, LensError> {
+        let v: Vec<char> = view.chars().collect();
+        self.create_chars(&v)
+    }
+
+    fn get_chars(&self, src: &[char]) -> Result<String, LensError> {
+        match &self.node {
+            Node::Copy => {
+                if self.stype.matches(src) {
+                    Ok(src.iter().collect())
+                } else {
+                    Err(LensError::no_parse(
+                        &self.name,
+                        &src.iter().collect::<String>(),
+                        "source not in the copy language",
+                    ))
+                }
+            }
+            Node::Const { view_text, .. } => {
+                if self.stype.matches(src) {
+                    Ok(view_text.clone())
+                } else {
+                    Err(LensError::no_parse(
+                        &self.name,
+                        &src.iter().collect::<String>(),
+                        "source not in the const source language",
+                    ))
+                }
+            }
+            Node::Concat(parts) => {
+                let types: Vec<&Matcher> = parts.iter().map(|l| &l.stype).collect();
+                let bounds = split_unique(&types, src, &self.name)?;
+                let mut out = String::new();
+                for (part, (i, j)) in parts.iter().zip(bounds) {
+                    out.push_str(&part.get_chars(&src[i..j])?);
+                }
+                Ok(out)
+            }
+            Node::Union(arms) => {
+                let hits: Vec<&StringLens> =
+                    arms.iter().filter(|l| l.stype.matches(src)).collect();
+                match hits.as_slice() {
+                    [] => Err(LensError::no_parse(
+                        &self.name,
+                        &src.iter().collect::<String>(),
+                        "no union arm accepts the source",
+                    )),
+                    [one] => one.get_chars(src),
+                    _ => Err(LensError::ambiguous(
+                        &self.name,
+                        &src.iter().collect::<String>(),
+                        "several union arms accept the source",
+                    )),
+                }
+            }
+            Node::Star(inner) => {
+                let bounds = iterate_unique(&inner.stype, src, &self.name)?;
+                let mut out = String::new();
+                for (i, j) in bounds {
+                    out.push_str(&inner.get_chars(&src[i..j])?);
+                }
+                Ok(out)
+            }
+            Node::DictStar { inner, .. } => {
+                let bounds = iterate_unique(&inner.stype, src, &self.name)?;
+                let mut out = String::new();
+                for (i, j) in bounds {
+                    out.push_str(&inner.get_chars(&src[i..j])?);
+                }
+                Ok(out)
+            }
+            Node::Swap(first, second) => {
+                let types = [&first.stype, &second.stype];
+                let bounds = split_unique(&types, src, &self.name)?;
+                let (f, s) = (bounds[0], bounds[1]);
+                let mut out = second.get_chars(&src[s.0..s.1])?;
+                out.push_str(&first.get_chars(&src[f.0..f.1])?);
+                Ok(out)
+            }
+        }
+    }
+
+    fn put_chars(&self, src: &[char], view: &[char]) -> Result<String, LensError> {
+        match &self.node {
+            Node::Copy => {
+                if self.vtype.matches(view) {
+                    Ok(view.iter().collect())
+                } else {
+                    Err(LensError::no_parse(
+                        &self.name,
+                        &view.iter().collect::<String>(),
+                        "view not in the copy language",
+                    ))
+                }
+            }
+            Node::Const { view_text, .. } => {
+                let v: String = view.iter().collect();
+                if v != *view_text {
+                    return Err(LensError::no_parse(
+                        &self.name,
+                        &v,
+                        format!("const view must be {view_text:?}"),
+                    ));
+                }
+                if self.stype.matches(src) {
+                    Ok(src.iter().collect())
+                } else {
+                    Err(LensError::no_parse(
+                        &self.name,
+                        &src.iter().collect::<String>(),
+                        "source not in the const source language",
+                    ))
+                }
+            }
+            Node::Concat(parts) => {
+                let stypes: Vec<&Matcher> = parts.iter().map(|l| &l.stype).collect();
+                let vtypes: Vec<&Matcher> = parts.iter().map(|l| &l.vtype).collect();
+                let sb = split_unique(&stypes, src, &self.name)?;
+                let vb = split_unique(&vtypes, view, &self.name)?;
+                let mut out = String::new();
+                for ((part, &(si, sj)), &(vi, vj)) in parts.iter().zip(&sb).zip(&vb) {
+                    out.push_str(&part.put_chars(&src[si..sj], &view[vi..vj])?);
+                }
+                Ok(out)
+            }
+            Node::Union(arms) => {
+                let v_hits: Vec<&StringLens> =
+                    arms.iter().filter(|l| l.vtype.matches(view)).collect();
+                let arm = match v_hits.as_slice() {
+                    [] => {
+                        return Err(LensError::no_parse(
+                            &self.name,
+                            &view.iter().collect::<String>(),
+                            "no union arm accepts the view",
+                        ))
+                    }
+                    [one] => *one,
+                    _ => {
+                        return Err(LensError::ambiguous(
+                            &self.name,
+                            &view.iter().collect::<String>(),
+                            "several union arms accept the view",
+                        ))
+                    }
+                };
+                if arm.stype.matches(src) {
+                    arm.put_chars(src, view)
+                } else {
+                    // Branch switch: the old source belongs to another arm.
+                    arm.create_chars(view)
+                }
+            }
+            Node::Star(inner) => {
+                let sb = iterate_unique(&inner.stype, src, &self.name)?;
+                let vb = iterate_unique(&inner.vtype, view, &self.name)?;
+                let mut out = String::new();
+                for (k, &(vi, vj)) in vb.iter().enumerate() {
+                    match sb.get(k) {
+                        Some(&(si, sj)) => {
+                            out.push_str(&inner.put_chars(&src[si..sj], &view[vi..vj])?)
+                        }
+                        None => out.push_str(&inner.create_chars(&view[vi..vj])?),
+                    }
+                }
+                Ok(out)
+            }
+            Node::DictStar { inner, key_src, key_view } => {
+                let sb = iterate_unique(&inner.stype, src, &self.name)?;
+                let vb = iterate_unique(&inner.vtype, view, &self.name)?;
+                // FIFO queues of source chunks per key — "resourceful"
+                // alignment survives view reordering.
+                let mut dict: std::collections::BTreeMap<String, std::collections::VecDeque<(usize, usize)>> =
+                    std::collections::BTreeMap::new();
+                for &(si, sj) in &sb {
+                    let key = key_of(key_src, &src[si..sj]);
+                    dict.entry(key).or_default().push_back((si, sj));
+                }
+                let mut out = String::new();
+                for &(vi, vj) in &vb {
+                    let key = key_of(key_view, &view[vi..vj]);
+                    match dict.get_mut(&key).and_then(|q| q.pop_front()) {
+                        Some((si, sj)) => {
+                            out.push_str(&inner.put_chars(&src[si..sj], &view[vi..vj])?)
+                        }
+                        None => out.push_str(&inner.create_chars(&view[vi..vj])?),
+                    }
+                }
+                Ok(out)
+            }
+            Node::Swap(first, second) => {
+                let stypes = [&first.stype, &second.stype];
+                let sb = split_unique(&stypes, src, &self.name)?;
+                // View order is second-then-first.
+                let vtypes = [&second.vtype, &first.vtype];
+                let vb = split_unique(&vtypes, view, &self.name)?;
+                let mut out =
+                    first.put_chars(&src[sb[0].0..sb[0].1], &view[vb[1].0..vb[1].1])?;
+                out.push_str(
+                    &second.put_chars(&src[sb[1].0..sb[1].1], &view[vb[0].0..vb[0].1])?,
+                );
+                Ok(out)
+            }
+        }
+    }
+
+    fn create_chars(&self, view: &[char]) -> Result<String, LensError> {
+        match &self.node {
+            Node::Copy => {
+                if self.vtype.matches(view) {
+                    Ok(view.iter().collect())
+                } else {
+                    Err(LensError::no_parse(
+                        &self.name,
+                        &view.iter().collect::<String>(),
+                        "view not in the copy language",
+                    ))
+                }
+            }
+            Node::Const { view_text, default_src } => {
+                let v: String = view.iter().collect();
+                if v == *view_text {
+                    Ok(default_src.clone())
+                } else {
+                    Err(LensError::no_parse(
+                        &self.name,
+                        &v,
+                        format!("const view must be {view_text:?}"),
+                    ))
+                }
+            }
+            Node::Concat(parts) => {
+                let vtypes: Vec<&Matcher> = parts.iter().map(|l| &l.vtype).collect();
+                let vb = split_unique(&vtypes, view, &self.name)?;
+                let mut out = String::new();
+                for (part, (vi, vj)) in parts.iter().zip(vb) {
+                    out.push_str(&part.create_chars(&view[vi..vj])?);
+                }
+                Ok(out)
+            }
+            Node::Union(arms) => {
+                let hits: Vec<&StringLens> =
+                    arms.iter().filter(|l| l.vtype.matches(view)).collect();
+                match hits.as_slice() {
+                    [] => Err(LensError::no_parse(
+                        &self.name,
+                        &view.iter().collect::<String>(),
+                        "no union arm accepts the view",
+                    )),
+                    [one] => one.create_chars(view),
+                    _ => Err(LensError::ambiguous(
+                        &self.name,
+                        &view.iter().collect::<String>(),
+                        "several union arms accept the view",
+                    )),
+                }
+            }
+            Node::Star(inner) | Node::DictStar { inner, .. } => {
+                let vb = iterate_unique(&inner.vtype, view, &self.name)?;
+                let mut out = String::new();
+                for (vi, vj) in vb {
+                    out.push_str(&inner.create_chars(&view[vi..vj])?);
+                }
+                Ok(out)
+            }
+            Node::Swap(first, second) => {
+                let vtypes = [&second.vtype, &first.vtype];
+                let vb = split_unique(&vtypes, view, &self.name)?;
+                let mut out = first.create_chars(&view[vb[1].0..vb[1].1])?;
+                out.push_str(&second.create_chars(&view[vb[0].0..vb[0].1])?);
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// The key of a chunk: its longest prefix matching `key`, or `""`.
+fn key_of(key: &Matcher, chunk: &[char]) -> String {
+    key.ends_from(chunk, 0)
+        .last()
+        .map(|&end| chunk[..end].iter().collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word() -> Regex {
+        Regex::parse("[a-z]+").unwrap()
+    }
+
+    #[test]
+    fn copy_is_identity_on_language() {
+        let l = StringLens::copy(word());
+        assert_eq!(l.get("abc").unwrap(), "abc");
+        assert_eq!(l.put("abc", "xy").unwrap(), "xy");
+        assert_eq!(l.create("zz").unwrap(), "zz");
+        assert!(l.get("ABC").is_err());
+        assert!(l.put("abc", "123").is_err());
+    }
+
+    #[test]
+    fn const_hides_source() {
+        let l = StringLens::constant(word(), "X", "def").unwrap();
+        assert_eq!(l.get("hello").unwrap(), "X");
+        // put keeps the original source.
+        assert_eq!(l.put("hello", "X").unwrap(), "hello");
+        assert_eq!(l.create("X").unwrap(), "def");
+        assert!(l.put("hello", "Y").is_err());
+        assert!(StringLens::constant(word(), "X", "123").is_err(), "bad default rejected");
+    }
+
+    #[test]
+    fn concat_splits_both_sides() {
+        // source: word "," word ; view: word (second word deleted).
+        let comma = StringLens::copy(Regex::literal(","));
+        let l = StringLens::concat(vec![
+            StringLens::copy(word()),
+            StringLens::constant(Regex::literal(",").then(word()), "", ",def").unwrap(),
+        ]);
+        let _ = comma;
+        assert_eq!(l.get("abc,xyz").unwrap(), "abc");
+        assert_eq!(l.put("abc,xyz", "q").unwrap(), "q,xyz");
+        assert_eq!(l.create("q").unwrap(), "q,def");
+    }
+
+    #[test]
+    fn union_branches_by_language() {
+        let digits = Regex::parse("[0-9]+").unwrap();
+        let l = StringLens::union(vec![StringLens::copy(word()), StringLens::copy(digits)]);
+        assert_eq!(l.get("abc").unwrap(), "abc");
+        assert_eq!(l.get("123").unwrap(), "123");
+        // Branch switch in put falls back to create.
+        assert_eq!(l.put("abc", "456").unwrap(), "456");
+        assert!(l.get("a1").is_err());
+    }
+
+    #[test]
+    fn star_positional_alignment() {
+        // chunks: word ";" — view keeps word, hides trailing marker digit.
+        let chunk_src = Regex::parse("[a-z]+[0-9];").unwrap();
+        let chunk = StringLens::concat(vec![
+            StringLens::copy(word()),
+            StringLens::constant(Regex::parse("[0-9];").unwrap(), ";", "0;").unwrap(),
+        ]);
+        assert_eq!(chunk.stype().to_pattern(), Matcher::new(chunk_src).regex().to_pattern());
+        let l = StringLens::star(chunk);
+        assert_eq!(l.get("ab1;cd2;").unwrap(), "ab;cd;");
+        // Positional: swapping view chunks migrates the hidden digits.
+        assert_eq!(l.put("ab1;cd2;", "cd;ab;").unwrap(), "cd1;ab2;");
+        // Extra chunk gets the default digit.
+        assert_eq!(l.put("ab1;", "ab;zz;").unwrap(), "ab1;zz0;");
+    }
+
+    #[test]
+    fn dict_star_resourceful_alignment() {
+        let chunk = StringLens::concat(vec![
+            StringLens::copy(word()),
+            StringLens::constant(Regex::parse("[0-9];").unwrap(), ";", "0;").unwrap(),
+        ]);
+        let l = StringLens::dict_star(chunk, word(), word());
+        // Reordering the view chunks carries the hidden digits along —
+        // unlike the positional star.
+        assert_eq!(l.put("ab1;cd2;", "cd;ab;").unwrap(), "cd2;ab1;");
+        // Deleting and re-adding in a different position keeps cd's digit.
+        assert_eq!(l.put("ab1;cd2;", "cd;").unwrap(), "cd2;");
+        // A genuinely new key is created.
+        assert_eq!(l.put("ab1;", "ab;new;").unwrap(), "ab1;new0;");
+    }
+
+    #[test]
+    fn get_put_law_on_samples() {
+        let chunk = StringLens::concat(vec![
+            StringLens::copy(word()),
+            StringLens::constant(Regex::parse("[0-9];").unwrap(), ";", "0;").unwrap(),
+        ]);
+        let l = StringLens::star(chunk);
+        for src in ["", "ab1;", "ab1;cd2;ef3;"] {
+            let v = l.get(src).unwrap();
+            assert_eq!(l.put(src, &v).unwrap(), src, "GetPut on {src:?}");
+        }
+    }
+
+    #[test]
+    fn put_get_law_on_samples() {
+        let chunk = StringLens::concat(vec![
+            StringLens::copy(word()),
+            StringLens::constant(Regex::parse("[0-9];").unwrap(), ";", "0;").unwrap(),
+        ]);
+        let l = StringLens::dict_star(chunk, word(), word());
+        let src = "ab1;cd2;";
+        for view in ["", "cd;", "cd;ab;", "x;y;z;"] {
+            let s2 = l.put(src, view).unwrap();
+            assert_eq!(l.get(&s2).unwrap(), view, "PutGet on {view:?}");
+        }
+    }
+
+    #[test]
+    fn create_get_law_on_samples() {
+        let chunk = StringLens::concat(vec![
+            StringLens::copy(word()),
+            StringLens::constant(Regex::parse("[0-9];").unwrap(), ";", "0;").unwrap(),
+        ]);
+        let l = StringLens::star(chunk);
+        for view in ["", "ab;", "ab;cd;"] {
+            let s = l.create(view).unwrap();
+            assert_eq!(l.get(&s).unwrap(), view, "CreateGet on {view:?}");
+        }
+    }
+
+    #[test]
+    fn named_renames() {
+        let l = StringLens::copy(word()).named("w");
+        assert_eq!(l.name(), "w");
+    }
+
+    #[test]
+    fn key_of_longest_prefix() {
+        let m = Matcher::parse("[a-z]+").unwrap();
+        let chunk: Vec<char> = "abc12".chars().collect();
+        assert_eq!(key_of(&m, &chunk), "abc");
+        let nochunk: Vec<char> = "123".chars().collect();
+        assert_eq!(key_of(&m, &nochunk), "");
+    }
+}

@@ -1,0 +1,30 @@
+//! Boomerang-style string lenses (Bohannon, Foster, Pierce, Pilkiewicz,
+//! Schmitt: *"Boomerang: Resourceful Lenses for String Data"*, POPL 2008).
+//!
+//! A string lens relates a **source language** and a **view language**,
+//! both regular. The module stack:
+//!
+//! * [`regex`] — a from-scratch regular-expression AST and pattern parser
+//!   (literals, classes, `|`, `*`, `+`, `?`, grouping, escapes);
+//! * [`nfa`] — Thompson construction and simulation, including the
+//!   all-accepting-endpoints query that powers unambiguous splitting;
+//! * [`split`] — unique splitting of a string by a sequence of languages
+//!   and unique iteration by one language, with ambiguity *detection* (a
+//!   dynamic analogue of Boomerang's static unambiguity types);
+//! * [`lens`] — the [`StringLens`] combinator tree: `copy`, `const`,
+//!   concatenation, union, Kleene star with positional alignment, the
+//!   resourceful **dictionary star** that aligns chunks by key, and the
+//!   **swap** permutation combinator;
+//! * [`combinators`] — the builder API (`copy`, `txt`, `del`, `ins`,
+//!   `cat`, `or`, `star`, `dict_star`).
+
+pub mod combinators;
+pub mod lens;
+pub mod nfa;
+pub mod regex;
+pub mod split;
+
+pub use combinators::{cat, copy, del, dict_star, ins, or, replace, star, swap, txt};
+pub use lens::StringLens;
+pub use nfa::{Matcher, Nfa};
+pub use regex::{CharClass, Regex};

@@ -1,0 +1,320 @@
+//! Thompson NFA construction and simulation.
+//!
+//! The simulation exposes the query the lens layer needs:
+//! [`Nfa::ends_from`] returns *every* position at which a match starting
+//! at a given position may end — the raw material for unambiguous
+//! splitting in [`super::split`].
+
+use super::regex::{CharClass, Regex};
+
+/// A transition out of an NFA state.
+#[derive(Debug, Clone)]
+enum Trans {
+    /// ε-transition.
+    Eps(usize),
+    /// Consume one character from a class.
+    Class(CharClass, usize),
+}
+
+/// A Thompson NFA with a single start and a single accepting state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    states: Vec<Vec<Trans>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    /// Compile a regex into an NFA.
+    pub fn compile(re: &Regex) -> Nfa {
+        let mut nfa = Nfa { states: Vec::new(), start: 0, accept: 0 };
+        let (s, a) = nfa.build(re);
+        nfa.start = s;
+        nfa.accept = a;
+        nfa
+    }
+
+    /// Number of states (for cost estimates and tests).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    fn fresh(&mut self) -> usize {
+        self.states.push(Vec::new());
+        self.states.len() - 1
+    }
+
+    fn build(&mut self, re: &Regex) -> (usize, usize) {
+        match re {
+            Regex::Empty => {
+                let s = self.fresh();
+                let a = self.fresh();
+                (s, a) // no path from s to a
+            }
+            Regex::Eps => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.states[s].push(Trans::Eps(a));
+                (s, a)
+            }
+            Regex::Class(c) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.states[s].push(Trans::Class(c.clone(), a));
+                (s, a)
+            }
+            Regex::Concat(parts) => {
+                let mut cur: Option<(usize, usize)> = None;
+                for p in parts {
+                    let (ps, pa) = self.build(p);
+                    cur = Some(match cur {
+                        None => (ps, pa),
+                        Some((s, a)) => {
+                            self.states[a].push(Trans::Eps(ps));
+                            (s, pa)
+                        }
+                    });
+                }
+                cur.unwrap_or_else(|| {
+                    let s = self.fresh();
+                    let a = self.fresh();
+                    self.states[s].push(Trans::Eps(a));
+                    (s, a)
+                })
+            }
+            Regex::Union(parts) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                for p in parts {
+                    let (ps, pa) = self.build(p);
+                    self.states[s].push(Trans::Eps(ps));
+                    self.states[pa].push(Trans::Eps(a));
+                }
+                (s, a)
+            }
+            Regex::Star(inner) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                let (is, ia) = self.build(inner);
+                self.states[s].push(Trans::Eps(a));
+                self.states[s].push(Trans::Eps(is));
+                self.states[ia].push(Trans::Eps(is));
+                self.states[ia].push(Trans::Eps(a));
+                (s, a)
+            }
+        }
+    }
+
+    fn closure(&self, set: &mut [bool]) {
+        let mut stack: Vec<usize> =
+            set.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        while let Some(s) = stack.pop() {
+            for t in &self.states[s] {
+                if let Trans::Eps(next) = t {
+                    if !set[*next] {
+                        set[*next] = true;
+                        stack.push(*next);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All end positions `j ≥ start` such that `chars[start..j]` is in the
+    /// language, in increasing order.
+    pub fn ends_from(&self, chars: &[char], start: usize) -> Vec<usize> {
+        let n = self.states.len();
+        let mut set = vec![false; n];
+        set[self.start] = true;
+        self.closure(&mut set);
+        let mut ends = Vec::new();
+        let mut pos = start;
+        loop {
+            if set[self.accept] {
+                ends.push(pos);
+            }
+            if pos >= chars.len() {
+                break;
+            }
+            let c = chars[pos];
+            let mut next = vec![false; n];
+            let mut any = false;
+            for (s, on) in set.iter().enumerate() {
+                if !on {
+                    continue;
+                }
+                for t in &self.states[s] {
+                    if let Trans::Class(class, to) = t {
+                        if class.contains(c) {
+                            next[*to] = true;
+                            any = true;
+                        }
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            self.closure(&mut next);
+            set = next;
+            pos += 1;
+        }
+        ends
+    }
+
+    /// Does the NFA accept exactly `chars[start..end]`?
+    pub fn matches_range(&self, chars: &[char], start: usize, end: usize) -> bool {
+        self.ends_from(&chars[..end], start).contains(&end)
+    }
+
+    /// Does the NFA accept the whole string?
+    pub fn matches(&self, chars: &[char]) -> bool {
+        self.ends_from(chars, 0).contains(&chars.len())
+    }
+}
+
+/// A compiled regex: the AST plus its NFA, cloneable and reusable.
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    re: Regex,
+    nfa: Nfa,
+}
+
+impl Matcher {
+    /// Compile a regex.
+    pub fn new(re: Regex) -> Matcher {
+        let nfa = Nfa::compile(&re);
+        Matcher { re, nfa }
+    }
+
+    /// Compile a pattern string.
+    pub fn parse(pattern: &str) -> Result<Matcher, crate::error::LensError> {
+        Ok(Matcher::new(Regex::parse(pattern)?))
+    }
+
+    /// The underlying regex.
+    pub fn regex(&self) -> &Regex {
+        &self.re
+    }
+
+    /// The underlying NFA.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// Whole-string match on a `&str`.
+    pub fn matches_str(&self, s: &str) -> bool {
+        let chars: Vec<char> = s.chars().collect();
+        self.nfa.matches(&chars)
+    }
+
+    /// Whole-slice match.
+    pub fn matches(&self, chars: &[char]) -> bool {
+        self.nfa.matches(chars)
+    }
+
+    /// All end positions of matches starting at `start`.
+    pub fn ends_from(&self, chars: &[char], start: usize) -> Vec<usize> {
+        self.nfa.ends_from(chars, start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str) -> Matcher {
+        Matcher::parse(pat).expect("pattern must parse")
+    }
+
+    #[test]
+    fn literal_match() {
+        let x = m("abc");
+        assert!(x.matches_str("abc"));
+        assert!(!x.matches_str("ab"));
+        assert!(!x.matches_str("abcd"));
+        assert!(!x.matches_str(""));
+    }
+
+    #[test]
+    fn star_and_plus() {
+        let x = m("a*");
+        assert!(x.matches_str(""));
+        assert!(x.matches_str("aaaa"));
+        assert!(!x.matches_str("ab"));
+        let y = m("a+");
+        assert!(!y.matches_str(""));
+        assert!(y.matches_str("a"));
+    }
+
+    #[test]
+    fn union_and_group() {
+        let x = m("(ab|cd)+");
+        assert!(x.matches_str("ab"));
+        assert!(x.matches_str("abcdab"));
+        assert!(!x.matches_str("abc"));
+    }
+
+    #[test]
+    fn classes() {
+        let x = m("[a-z]+[0-9]?");
+        assert!(x.matches_str("hello"));
+        assert!(x.matches_str("hello5"));
+        assert!(!x.matches_str("Hello"));
+        let neg = m("[^,\\n]+");
+        assert!(neg.matches_str("no commas here"));
+        assert!(!neg.matches_str("a,b"));
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let x = m(".+");
+        assert!(x.matches_str("ab c"));
+        assert!(!x.matches_str("a\nb"));
+    }
+
+    #[test]
+    fn empty_language() {
+        let nfa = Nfa::compile(&Regex::Empty);
+        assert!(!nfa.matches(&[]));
+        assert!(!nfa.matches(&['a']));
+    }
+
+    #[test]
+    fn ends_from_enumerates_prefix_matches() {
+        let x = m("a*");
+        let chars: Vec<char> = "aaab".chars().collect();
+        assert_eq!(x.ends_from(&chars, 0), vec![0, 1, 2, 3]);
+        assert_eq!(x.ends_from(&chars, 3), vec![3]); // only the empty match
+    }
+
+    #[test]
+    fn ends_from_mid_string() {
+        let x = m("ab");
+        let chars: Vec<char> = "xabx".chars().collect();
+        assert_eq!(x.ends_from(&chars, 1), vec![3]);
+        assert!(x.ends_from(&chars, 0).is_empty());
+    }
+
+    #[test]
+    fn matches_range_works() {
+        let x = m("b+");
+        let chars: Vec<char> = "abba".chars().collect();
+        assert!(x.nfa().matches_range(&chars, 1, 3));
+        assert!(!x.nfa().matches_range(&chars, 0, 3));
+    }
+
+    #[test]
+    fn state_count_reasonable() {
+        let x = m("(ab|cd)*ef");
+        assert!(x.nfa().state_count() > 4);
+        assert!(x.nfa().state_count() < 64);
+    }
+
+    #[test]
+    fn unicode_chars() {
+        let x = m("[é-ü]+");
+        assert!(x.matches_str("éü"));
+        assert!(!x.matches_str("a"));
+    }
+}

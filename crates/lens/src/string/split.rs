@@ -1,0 +1,209 @@
+//! Unambiguous splitting and iteration.
+//!
+//! Boomerang guarantees unambiguity *statically* via a type system over
+//! regular languages. We enforce the same discipline *dynamically*: every
+//! concatenation split and star iteration counts the number of possible
+//! parses (saturating at 2) and rejects inputs with zero parses
+//! ([`crate::LensError::NoParse`]) or more than one
+//! ([`crate::LensError::Ambiguous`]). The repro trade-off is recorded in
+//! the workspace DESIGN.md.
+
+use crate::error::LensError;
+
+use super::nfa::Matcher;
+
+/// Split `chars` into `types.len()` consecutive parts with part `i`
+/// belonging to `types[i]`'s language. Returns the part boundaries
+/// `(start, end)`; errors if there is no split or more than one.
+#[allow(clippy::needless_range_loop)]
+pub fn split_unique(
+    types: &[&Matcher],
+    chars: &[char],
+    lens_name: &str,
+) -> Result<Vec<(usize, usize)>, LensError> {
+    let n = chars.len();
+    let k = types.len();
+    let input: String = chars.iter().collect();
+
+    // ways[t][i] = number of ways (saturated at 2) to match types[t..]
+    // against chars[i..]; edges[t][i] = valid next positions.
+    let mut ways = vec![vec![0u8; n + 1]; k + 1];
+    ways[k][n] = 1;
+    let mut edges: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n + 1]; k];
+    for t in (0..k).rev() {
+        for i in 0..=n {
+            let ends = types[t].ends_from(chars, i);
+            let mut total = 0u8;
+            for &j in &ends {
+                if ways[t + 1][j] > 0 {
+                    edges[t][i].push(j);
+                    total = total.saturating_add(ways[t + 1][j]);
+                }
+            }
+            ways[t][i] = total.min(2);
+        }
+    }
+
+    match ways[0][0] {
+        0 => Err(LensError::no_parse(
+            lens_name,
+            &input,
+            format!("no way to split into {k} consecutive parts"),
+        )),
+        1 => {
+            let mut out = Vec::with_capacity(k);
+            let mut i = 0;
+            for t in 0..k {
+                // Exactly one global parse: at each step exactly one edge
+                // leads into a sub-problem with ways > 0.
+                let j = *edges[t][i].first().expect("unique parse must have an edge");
+                out.push((i, j));
+                i = j;
+            }
+            Ok(out)
+        }
+        _ => Err(LensError::ambiguous(
+            lens_name,
+            &input,
+            format!("more than one way to split into {k} parts"),
+        )),
+    }
+}
+
+/// Split `chars` into zero or more non-empty chunks, each in `inner`'s
+/// language, unambiguously. An empty input yields zero chunks.
+pub fn iterate_unique(
+    inner: &Matcher,
+    chars: &[char],
+    lens_name: &str,
+) -> Result<Vec<(usize, usize)>, LensError> {
+    let n = chars.len();
+    let input: String = chars.iter().collect();
+
+    let mut ways = vec![0u8; n + 1];
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    ways[n] = 1;
+    for i in (0..n).rev() {
+        let mut total = 0u8;
+        for j in inner.ends_from(chars, i) {
+            if j > i && ways[j] > 0 {
+                edges[i].push(j);
+                total = total.saturating_add(ways[j]);
+            }
+        }
+        ways[i] = total.min(2);
+    }
+
+    match ways[0] {
+        0 => Err(LensError::no_parse(lens_name, &input, "input is not an iteration of chunks")),
+        1 => {
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < n {
+                let j = *edges[i].first().expect("unique parse must have an edge");
+                out.push((i, j));
+                i = j;
+            }
+            Ok(out)
+        }
+        _ => Err(LensError::ambiguous(lens_name, &input, "chunking is ambiguous")),
+    }
+}
+
+/// Extract chunk strings given boundaries.
+pub fn chunk_strings(chars: &[char], bounds: &[(usize, usize)]) -> Vec<String> {
+    bounds.iter().map(|&(i, j)| chars[i..j].iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str) -> Matcher {
+        Matcher::parse(pat).expect("pattern must parse")
+    }
+
+    fn cs(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn split_two_parts() {
+        let a = m("[a-z]+");
+        let b = m("[0-9]+");
+        let chars = cs("abc123");
+        let parts = split_unique(&[&a, &b], &chars, "t").unwrap();
+        assert_eq!(parts, vec![(0, 3), (3, 6)]);
+        assert_eq!(chunk_strings(&chars, &parts), vec!["abc", "123"]);
+    }
+
+    #[test]
+    fn split_rejects_no_parse() {
+        let a = m("[a-z]+");
+        let b = m("[0-9]+");
+        let e = split_unique(&[&a, &b], &cs("abc"), "t");
+        assert!(matches!(e, Err(LensError::NoParse { .. })), "{e:?}");
+    }
+
+    #[test]
+    fn split_rejects_ambiguity() {
+        // a+ · a+ on "aaa" splits as 1+2 or 2+1.
+        let a = m("a+");
+        let e = split_unique(&[&a, &a], &cs("aaa"), "t");
+        assert!(matches!(e, Err(LensError::Ambiguous { .. })), "{e:?}");
+    }
+
+    #[test]
+    fn split_zero_parts_needs_empty_input() {
+        assert!(split_unique(&[], &cs(""), "t").unwrap().is_empty());
+        assert!(matches!(split_unique(&[], &cs("x"), "t"), Err(LensError::NoParse { .. })));
+    }
+
+    #[test]
+    fn split_with_separator_disambiguates() {
+        let word = m("[a-z]+");
+        let comma = m(",");
+        let chars = cs("ab,cd");
+        let parts = split_unique(&[&word, &comma, &word], &chars, "t").unwrap();
+        assert_eq!(chunk_strings(&chars, &parts), vec!["ab", ",", "cd"]);
+    }
+
+    #[test]
+    fn iterate_lines() {
+        let line = m("[a-z]+\\n");
+        let chars = cs("ab\ncd\n");
+        let chunks = iterate_unique(&line, &chars, "t").unwrap();
+        assert_eq!(chunk_strings(&chars, &chunks), vec!["ab\n", "cd\n"]);
+    }
+
+    #[test]
+    fn iterate_empty_is_zero_chunks() {
+        let line = m("[a-z]+\\n");
+        assert!(iterate_unique(&line, &cs(""), "t").unwrap().is_empty());
+    }
+
+    #[test]
+    fn iterate_rejects_ambiguous_chunking() {
+        // Chunk language a|aa: "aaa" = a·a·a or a·aa or aa·a.
+        let e = iterate_unique(&m("a|aa"), &cs("aaa"), "t");
+        assert!(matches!(e, Err(LensError::Ambiguous { .. })), "{e:?}");
+    }
+
+    #[test]
+    fn iterate_rejects_non_member() {
+        let e = iterate_unique(&m("[a-z]+\\n"), &cs("ab\ncd"), "t");
+        assert!(matches!(e, Err(LensError::NoParse { .. })), "{e:?}");
+    }
+
+    #[test]
+    fn empty_chunks_are_never_produced() {
+        // Even though a* matches "", iteration uses non-empty chunks only,
+        // so "a" is exactly one chunk (not "a" preceded by infinitely many
+        // empty chunks).
+        let chunks = iterate_unique(&m("a*"), &cs("a"), "t").unwrap();
+        assert_eq!(chunk_strings(&cs("a"), &chunks), vec!["a"]);
+        // And multi-character iterations of a* are ambiguous, as they
+        // should be: "aa" = a·a or aa.
+        assert!(matches!(iterate_unique(&m("a*"), &cs("aa"), "t"), Err(LensError::Ambiguous { .. })));
+    }
+}

@@ -1,0 +1,271 @@
+//! Symmetric lenses with complements (Hofmann, Pierce, Wagner, POPL 2011).
+//!
+//! A symmetric lens between `A` and `B` carries a complement `C` holding
+//! the information private to each side. `putr` pushes an `A` across to a
+//! `B` (updating the complement); `putl` goes the other way.
+
+use std::fmt::Debug;
+
+/// A symmetric lens between `A` and `B` with complement type `C`.
+pub trait SymLens<A, B> {
+    /// The complement: private information of both sides.
+    type C: Clone;
+
+    /// A short stable name.
+    fn name(&self) -> &str;
+
+    /// The initial "missing" complement used before any synchronisation.
+    fn missing(&self) -> Self::C;
+
+    /// Push left-to-right: from an updated `A` and the current complement,
+    /// produce the corresponding `B` and updated complement.
+    fn putr(&self, a: &A, c: &Self::C) -> (B, Self::C);
+
+    /// Push right-to-left.
+    fn putl(&self, b: &B, c: &Self::C) -> (A, Self::C);
+}
+
+/// The symmetric lens induced by an asymmetric lens `l : S ↔ V`, with
+/// complement `Option<S>` remembering the last whole source.
+///
+/// * `putr(s, _)` publishes `get(s)` and remembers `s`;
+/// * `putl(v, Some(s))` is `put(s, v)`; `putl(v, None)` is `create(v)`.
+pub struct SymLensFromLens<L> {
+    lens: L,
+    name: String,
+}
+
+impl<L> SymLensFromLens<L> {
+    /// Wrap an asymmetric lens.
+    pub fn new<S, V>(lens: L) -> Self
+    where
+        L: crate::lens::Lens<S, V>,
+    {
+        let name = format!("sym({})", lens.name());
+        SymLensFromLens { lens, name }
+    }
+}
+
+impl<S, V, L> SymLens<S, V> for SymLensFromLens<L>
+where
+    L: crate::lens::Lens<S, V>,
+    S: Clone,
+{
+    type C = Option<S>;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn missing(&self) -> Option<S> {
+        None
+    }
+
+    fn putr(&self, a: &S, _c: &Option<S>) -> (V, Option<S>) {
+        (self.lens.get(a), Some(a.clone()))
+    }
+
+    fn putl(&self, b: &V, c: &Option<S>) -> (S, Option<S>) {
+        let s = match c {
+            Some(prev) => self.lens.put(prev, b),
+            None => self.lens.create(b),
+        };
+        (s.clone(), Some(s))
+    }
+}
+
+/// Sequential composition of symmetric lenses, complement = pair of
+/// complements.
+pub struct SymCompose<B, L1, L2> {
+    first: L1,
+    second: L2,
+    name: String,
+    _mid: std::marker::PhantomData<fn(&B)>,
+}
+
+impl<B, L1, L2> SymCompose<B, L1, L2> {
+    /// Compose `first : A ↔ B` with `second : B ↔ C_`.
+    pub fn new<A, C_>(first: L1, second: L2) -> Self
+    where
+        L1: SymLens<A, B>,
+        L2: SymLens<B, C_>,
+    {
+        let name = format!("{};{}", first.name(), second.name());
+        SymCompose { first, second, name, _mid: std::marker::PhantomData }
+    }
+}
+
+impl<A, B, C_, L1, L2> SymLens<A, C_> for SymCompose<B, L1, L2>
+where
+    L1: SymLens<A, B>,
+    L2: SymLens<B, C_>,
+{
+    type C = (L1::C, L2::C);
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn missing(&self) -> Self::C {
+        (self.first.missing(), self.second.missing())
+    }
+
+    fn putr(&self, a: &A, c: &Self::C) -> (C_, Self::C) {
+        let (b, c1) = self.first.putr(a, &c.0);
+        let (out, c2) = self.second.putr(&b, &c.1);
+        (out, (c1, c2))
+    }
+
+    fn putl(&self, out: &C_, c: &Self::C) -> (A, Self::C) {
+        let (b, c2) = self.second.putl(out, &c.1);
+        let (a, c1) = self.first.putl(&b, &c.0);
+        (a, (c1, c2))
+    }
+}
+
+/// Report of checking the two symmetric-lens round-trip laws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymLawReport {
+    /// Name of the checked lens.
+    pub lens_name: String,
+    /// Number of (value, complement) cases exercised.
+    pub cases: usize,
+    /// First PutRL violation, rendered, if any.
+    pub putrl_violation: Option<String>,
+    /// First PutLR violation, rendered, if any.
+    pub putlr_violation: Option<String>,
+}
+
+impl SymLawReport {
+    /// True when both laws held on every exercised case.
+    pub fn holds(&self) -> bool {
+        self.cases > 0 && self.putrl_violation.is_none() && self.putlr_violation.is_none()
+    }
+}
+
+/// Check the round-trip laws of a symmetric lens:
+///
+/// * **PutRL**: if `putr(a, c) = (b, c')` then `putl(b, c') = (a, c')`;
+/// * **PutLR**: if `putl(b, c) = (a, c')` then `putr(a, c') = (b, c')`.
+///
+/// Complements are explored by starting from `missing()` and evolving it
+/// through the sampled values.
+pub fn check_sym_laws<A, B, L>(lens: &L, as_: &[A], bs: &[B]) -> SymLawReport
+where
+    A: Clone + PartialEq + Debug,
+    B: Clone + PartialEq + Debug,
+    L: SymLens<A, B>,
+    L::C: PartialEq + Debug,
+{
+    let mut report = SymLawReport {
+        lens_name: lens.name().to_string(),
+        cases: 0,
+        putrl_violation: None,
+        putlr_violation: None,
+    };
+
+    // Evolve a set of reachable complements from `missing`.
+    let mut complements: Vec<L::C> = vec![lens.missing()];
+    for a in as_ {
+        let (_, c) = lens.putr(a, &lens.missing());
+        complements.push(c);
+    }
+    for b in bs {
+        let (_, c) = lens.putl(b, &lens.missing());
+        complements.push(c);
+    }
+
+    for c in &complements {
+        for a in as_ {
+            report.cases += 1;
+            let (b, c1) = lens.putr(a, c);
+            let (a2, c2) = lens.putl(&b, &c1);
+            if (a2 != *a || c2 != c1) && report.putrl_violation.is_none() {
+                report.putrl_violation = Some(format!(
+                    "putr({a:?}) gave ({b:?}, {c1:?}) but putl returned ({a2:?}, {c2:?})"
+                ));
+            }
+        }
+        for b in bs {
+            report.cases += 1;
+            let (a, c1) = lens.putl(b, c);
+            let (b2, c2) = lens.putr(&a, &c1);
+            if (b2 != *b || c2 != c1) && report.putlr_violation.is_none() {
+                report.putlr_violation = Some(format!(
+                    "putl({b:?}) gave ({a:?}, {c1:?}) but putr returned ({b2:?}, {c2:?})"
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lens::FnLens;
+
+    fn fst_sym() -> SymLensFromLens<impl crate::lens::Lens<(i32, i32), i32>> {
+        SymLensFromLens::new(FnLens::new(
+            "fst",
+            |s: &(i32, i32)| s.0,
+            |s: &(i32, i32), v: &i32| (*v, s.1),
+            |v: &i32| (*v, 0),
+        ))
+    }
+
+    #[test]
+    fn putr_then_putl_roundtrips() {
+        let l = fst_sym();
+        let (v, c) = l.putr(&(3, 7), &l.missing());
+        assert_eq!(v, 3);
+        let (s, _c2) = l.putl(&9, &c);
+        assert_eq!(s, (9, 7), "hidden 7 must survive the round trip");
+    }
+
+    #[test]
+    fn putl_with_missing_creates() {
+        let l = fst_sym();
+        let (s, c) = l.putl(&5, &l.missing());
+        assert_eq!(s, (5, 0));
+        assert_eq!(c, Some((5, 0)));
+    }
+
+    #[test]
+    fn sym_laws_hold_for_induced_lens() {
+        let l = fst_sym();
+        let report = check_sym_laws(&l, &[(1, 2), (3, 4)], &[5, 6]);
+        assert!(report.holds(), "{report:?}");
+    }
+
+    #[test]
+    fn composition_threads_complements() {
+        // fst : (i32, i32) <-> i32, then the trivial identity sym lens via
+        // an asymmetric identity.
+        let id = SymLensFromLens::new(FnLens::new(
+            "id",
+            |s: &i32| *s,
+            |_s: &i32, v: &i32| *v,
+            |v: &i32| *v,
+        ));
+        let comp = SymCompose::new(fst_sym(), id);
+        assert_eq!(comp.name(), "sym(fst);sym(id)");
+        let (v, c) = comp.putr(&(3, 7), &comp.missing());
+        assert_eq!(v, 3);
+        let (s, _) = comp.putl(&10, &c);
+        assert_eq!(s, (10, 7));
+    }
+
+    #[test]
+    fn composed_sym_laws_hold() {
+        let id = SymLensFromLens::new(FnLens::new(
+            "id",
+            |s: &i32| *s,
+            |_s: &i32, v: &i32| *v,
+            |v: &i32| *v,
+        ));
+        let comp = SymCompose::new(fst_sym(), id);
+        let report = check_sym_laws(&comp, &[(1, 2), (3, 4)], &[5, 6]);
+        assert!(report.holds(), "{report:?}");
+    }
+}

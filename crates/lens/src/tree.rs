@@ -1,0 +1,397 @@
+//! Tree lenses: the original domain of the lens combinators (Foster,
+//! Greenwald, Moore, Pierce, Schmitt: *"Combinators for bidirectional
+//! tree transformations"*, TOPLAS 2007, whose running example is
+//! synchronising browser bookmarks).
+//!
+//! [`Tree`] is a labelled rose tree; the combinators here are the
+//! tree-shaped counterparts of the string and typed combinators
+//! elsewhere in this crate:
+//!
+//! * [`prune`] — hide every subtree with a given label (the hidden
+//!   complement is restored positionally by `put`);
+//! * [`hide_value`] — blank the values of nodes with a given label,
+//!   keeping structure;
+//! * [`relabel`] — bijectively rename labels;
+//! * [`TreeMap`] — apply a lens to every child of the root.
+//!
+//! All are total [`Lens`]es on `Tree`, so the generic law checkers and
+//! the [`crate::adapt::LensBx`] adapter apply unchanged.
+
+use std::fmt;
+
+use crate::lens::{FnLens, Lens};
+
+/// A labelled rose tree with an optional value at every node.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tree {
+    /// The node's label (e.g. "folder", "bookmark").
+    pub label: String,
+    /// The node's value (e.g. a URL), empty when structural.
+    pub value: String,
+    /// Ordered children.
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// A leaf node with a value.
+    pub fn leaf(label: &str, value: &str) -> Tree {
+        Tree { label: label.to_string(), value: value.to_string(), children: Vec::new() }
+    }
+
+    /// An internal node.
+    pub fn node(label: &str, children: Vec<Tree>) -> Tree {
+        Tree { label: label.to_string(), value: String::new(), children }
+    }
+
+    /// Total number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Tree::size).sum::<usize>()
+    }
+
+    /// Depth-first preorder iterator over labels (for tests and search).
+    pub fn labels(&self) -> Vec<&str> {
+        let mut out = vec![self.label.as_str()];
+        for c in &self.children {
+            out.extend(c.labels());
+        }
+        out
+    }
+
+    /// Find the first node with the given label, preorder.
+    pub fn find(&self, label: &str) -> Option<&Tree> {
+        if self.label == label {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(label))
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(t: &Tree, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            for _ in 0..depth {
+                write!(f, "  ")?;
+            }
+            if t.value.is_empty() {
+                writeln!(f, "{}", t.label)?;
+            } else {
+                writeln!(f, "{} = {}", t.label, t.value)?;
+            }
+            for c in &t.children {
+                go(c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        go(self, 0, f)
+    }
+}
+
+fn prune_tree(t: &Tree, label: &str) -> Tree {
+    Tree {
+        label: t.label.clone(),
+        value: t.value.clone(),
+        children: t
+            .children
+            .iter()
+            .filter(|c| c.label != label)
+            .map(|c| prune_tree(c, label))
+            .collect(),
+    }
+}
+
+/// Restore pruned subtrees from `src` into the updated `view`, walking
+/// both trees in parallel: hidden (pruned-label) children of `src` are
+/// re-inserted at their original positions among the surviving children,
+/// which are aligned positionally.
+fn unprune(src: &Tree, view: &Tree, label: &str) -> Tree {
+    let mut out_children = Vec::with_capacity(src.children.len().max(view.children.len()));
+    let mut visible_src: Vec<&Tree> = Vec::new();
+    for c in &src.children {
+        if c.label != label {
+            visible_src.push(c);
+        }
+    }
+    let mut vi = 0usize; // index into view.children
+    let mut si = 0usize; // index into visible_src
+    for c in &src.children {
+        if c.label == label {
+            // A hidden subtree: keep it, positioned after the visible
+            // children consumed so far.
+            out_children.push(c.clone());
+        } else if vi < view.children.len() {
+            out_children.push(unprune(c, &view.children[vi], label));
+            vi += 1;
+            si += 1;
+        } else {
+            // View shrank: this visible subtree was deleted.
+            si += 1;
+        }
+    }
+    let _ = si;
+    // View grew: remaining view children are new subtrees, taken as-is.
+    out_children.extend(view.children[vi..].iter().cloned());
+    Tree { label: view.label.clone(), value: view.value.clone(), children: out_children }
+}
+
+/// A lens hiding every subtree labelled `label`. The hidden subtrees are
+/// the complement; `put` re-inserts them at their original positions.
+pub fn prune(label: &str) -> impl Lens<Tree, Tree> {
+    let l1 = label.to_string();
+    let l2 = label.to_string();
+    FnLens::new(
+        format!("prune({label})"),
+        move |s: &Tree| prune_tree(s, &l1),
+        move |s: &Tree, v: &Tree| unprune(s, v, &l2),
+        |v: &Tree| v.clone(),
+    )
+}
+
+fn hide_values(t: &Tree, label: &str) -> Tree {
+    Tree {
+        label: t.label.clone(),
+        value: if t.label == label { String::new() } else { t.value.clone() },
+        children: t.children.iter().map(|c| hide_values(c, label)).collect(),
+    }
+}
+
+fn restore_values(src: &Tree, view: &Tree, label: &str) -> Tree {
+    Tree {
+        label: view.label.clone(),
+        value: if view.label == label && view.value.is_empty() {
+            // Positionally aligned original value, if shapes agree.
+            if src.label == label {
+                src.value.clone()
+            } else {
+                String::new()
+            }
+        } else {
+            view.value.clone()
+        },
+        children: view
+            .children
+            .iter()
+            .enumerate()
+            .map(|(i, vc)| match src.children.get(i) {
+                Some(sc) => restore_values(sc, vc, label),
+                None => vc.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// A lens blanking the values of nodes labelled `label` (structure kept);
+/// `put` restores the blanked values positionally.
+pub fn hide_value(label: &str) -> impl Lens<Tree, Tree> {
+    let l1 = label.to_string();
+    let l2 = label.to_string();
+    FnLens::new(
+        format!("hide_value({label})"),
+        move |s: &Tree| hide_values(s, &l1),
+        move |s: &Tree, v: &Tree| restore_values(s, v, &l2),
+        |v: &Tree| v.clone(),
+    )
+}
+
+fn relabel_tree(t: &Tree, from: &str, to: &str) -> Tree {
+    Tree {
+        label: if t.label == from { to.to_string() } else { t.label.clone() },
+        value: t.value.clone(),
+        children: t.children.iter().map(|c| relabel_tree(c, from, to)).collect(),
+    }
+}
+
+/// A bijective relabelling lens (`from` must not collide with existing
+/// `to` labels for true bijectivity; callers pick fresh names).
+pub fn relabel(from: &str, to: &str) -> impl Lens<Tree, Tree> {
+    let (f1, t1) = (from.to_string(), to.to_string());
+    let (f2, t2) = (from.to_string(), to.to_string());
+    let (f3, t3) = (from.to_string(), to.to_string());
+    FnLens::new(
+        format!("relabel({from} -> {to})"),
+        move |s: &Tree| relabel_tree(s, &f1, &t1),
+        move |_s: &Tree, v: &Tree| relabel_tree(v, &t2, &f2),
+        move |v: &Tree| relabel_tree(v, &t3, &f3),
+    )
+}
+
+/// Apply an inner lens to every child of the root (positional; extra view
+/// children are `create`d, surplus source children dropped).
+pub struct TreeMap<L> {
+    inner: L,
+    name: String,
+}
+
+impl<L: Lens<Tree, Tree>> TreeMap<L> {
+    /// Map `inner` over the root's children.
+    pub fn new(inner: L) -> Self {
+        let name = format!("tree_map({})", inner.name());
+        TreeMap { inner, name }
+    }
+}
+
+impl<L: Lens<Tree, Tree>> Lens<Tree, Tree> for TreeMap<L> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &Tree) -> Tree {
+        Tree {
+            label: src.label.clone(),
+            value: src.value.clone(),
+            children: src.children.iter().map(|c| self.inner.get(c)).collect(),
+        }
+    }
+
+    fn put(&self, src: &Tree, view: &Tree) -> Tree {
+        Tree {
+            label: view.label.clone(),
+            value: view.value.clone(),
+            children: view
+                .children
+                .iter()
+                .enumerate()
+                .map(|(i, vc)| match src.children.get(i) {
+                    Some(sc) => self.inner.put(sc, vc),
+                    None => self.inner.create(vc),
+                })
+                .collect(),
+        }
+    }
+
+    fn create(&self, view: &Tree) -> Tree {
+        Tree {
+            label: view.label.clone(),
+            value: view.value.clone(),
+            children: view.children.iter().map(|c| self.inner.create(c)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{check_lens_law, check_lens_laws, LensLaw};
+
+    fn bookmarks() -> Tree {
+        Tree::node(
+            "root",
+            vec![
+                Tree::leaf("bookmark", "https://bx-community.wikidot.com"),
+                Tree::node(
+                    "folder",
+                    vec![
+                        Tree::leaf("bookmark", "https://example.org/a"),
+                        Tree::node("private", vec![Tree::leaf("bookmark", "secret://x")]),
+                        Tree::leaf("bookmark", "https://example.org/b"),
+                    ],
+                ),
+                Tree::node("private", vec![Tree::leaf("bookmark", "secret://y")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn tree_basics() {
+        let t = bookmarks();
+        assert_eq!(t.size(), 8);
+        assert!(t.labels().contains(&"private"));
+        assert!(t.find("folder").is_some());
+        assert!(t.find("nonexistent").is_none());
+        assert!(t.to_string().contains("bookmark = https://example.org/a"));
+    }
+
+    #[test]
+    fn prune_hides_and_restores() {
+        let l = prune("private");
+        let t = bookmarks();
+        let v = l.get(&t);
+        assert!(!v.labels().contains(&"private"));
+        assert_eq!(v.size(), 4);
+        // GetPut: unchanged view restores the private subtrees in place.
+        assert_eq!(l.put(&t, &v), t);
+    }
+
+    #[test]
+    fn prune_put_with_edits_keeps_hidden_subtrees() {
+        let l = prune("private");
+        let t = bookmarks();
+        let mut v = l.get(&t);
+        // Edit a visible bookmark.
+        v.children[1].children[0].value = "https://example.org/edited".to_string();
+        let t2 = l.put(&t, &v);
+        assert_eq!(
+            t2.children[1].children[0].value,
+            "https://example.org/edited"
+        );
+        assert!(t2.labels().contains(&"private"), "hidden subtree survives");
+        assert_eq!(t2.find("private").expect("kept").children[0].value, "secret://x");
+    }
+
+    #[test]
+    fn prune_put_grow_and_shrink() {
+        let l = prune("private");
+        let t = bookmarks();
+        let mut v = l.get(&t);
+        // Delete the folder, add a new top-level bookmark.
+        v.children.remove(1);
+        v.children.push(Tree::leaf("bookmark", "https://new.example"));
+        let t2 = l.put(&t, &v);
+        let labels = t2.labels();
+        assert!(labels.contains(&"private"), "top-level private kept");
+        assert!(t2.to_string().contains("https://new.example"));
+        // PutGet.
+        assert_eq!(l.get(&t2), v);
+    }
+
+    #[test]
+    fn hide_value_laws() {
+        let l = hide_value("bookmark");
+        let t = bookmarks();
+        let v = l.get(&t);
+        assert!(v.find("bookmark").expect("structure kept").value.is_empty());
+        assert_eq!(l.put(&t, &v), t, "GetPut restores every URL");
+        // PutGet for a structural edit.
+        let mut v2 = v.clone();
+        v2.children.push(Tree::leaf("bookmark", ""));
+        let t2 = l.put(&t, &v2);
+        assert_eq!(l.get(&t2), v2);
+    }
+
+    #[test]
+    fn relabel_is_bijective() {
+        let l = relabel("folder", "directory");
+        let sources = [bookmarks(), Tree::node("root", vec![])];
+        let views: Vec<Tree> = sources.iter().map(|s| l.get(s)).collect();
+        assert!(views[0].labels().contains(&"directory"));
+        for r in check_lens_laws(&l, &sources, &views) {
+            assert!(r.holds(), "{r}");
+        }
+    }
+
+    #[test]
+    fn tree_map_applies_to_children() {
+        let l = TreeMap::new(prune("private"));
+        let t = bookmarks();
+        let v = l.get(&t);
+        // Children pruned one level down; the root's own private child is
+        // NOT removed (it is mapped over, pruning *its* children).
+        assert_eq!(v.children.len(), 3);
+        assert!(v.children[1].labels() == vec!["folder", "bookmark", "bookmark"]);
+        assert_eq!(l.put(&t, &v), t, "GetPut through the map");
+    }
+
+    #[test]
+    fn composed_bookmark_pipeline() {
+        use crate::combinator::Compose;
+        // Prune private folders, then blank remaining bookmark URLs: the
+        // shareable skeleton of a bookmarks file.
+        let l = Compose::new(prune("private"), hide_value("bookmark"));
+        let t = bookmarks();
+        let v = l.get(&t);
+        assert!(!v.labels().contains(&"private"));
+        assert!(v.find("bookmark").expect("kept").value.is_empty());
+        assert_eq!(l.put(&t, &v), t, "GetPut through the composition");
+        let gp = check_lens_law(&l, LensLaw::GetPut, &[t], &[v]);
+        assert!(gp.holds(), "{gp}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based cross-validation of the regex engine: the Thompson-NFA
+//! matcher is checked against an independent Brzozowski-derivative
+//! reference implementation on generated patterns and inputs, and the
+//! printer/parser pair is checked for stability.
+
+use bx_lens::string::{CharClass, Matcher, Regex};
+use proptest::prelude::*;
+
+/// Reference matcher via Brzozowski derivatives — deliberately naive and
+/// structurally unrelated to the NFA simulation.
+fn derivative(re: &Regex, c: char) -> Regex {
+    match re {
+        Regex::Empty | Regex::Eps => Regex::Empty,
+        Regex::Class(class) => {
+            if class.contains(c) {
+                Regex::Eps
+            } else {
+                Regex::Empty
+            }
+        }
+        Regex::Concat(parts) => match parts.split_first() {
+            None => Regex::Empty,
+            Some((head, tail)) => {
+                let tail_re = if tail.len() == 1 {
+                    tail[0].clone()
+                } else {
+                    Regex::Concat(tail.to_vec())
+                };
+                let left = derivative(head, c).then(tail_re.clone());
+                if head.nullable() {
+                    left.or(derivative(&tail_re, c))
+                } else {
+                    left
+                }
+            }
+        },
+        Regex::Union(parts) => parts
+            .iter()
+            .map(|p| derivative(p, c))
+            .fold(Regex::Empty, Regex::or),
+        Regex::Star(inner) => derivative(inner, c).then(re.clone()),
+    }
+}
+
+fn reference_matches(re: &Regex, s: &str) -> bool {
+    let mut cur = re.clone();
+    for c in s.chars() {
+        cur = derivative(&cur, c);
+        if cur == Regex::Empty {
+            return false;
+        }
+    }
+    cur.nullable()
+}
+
+/// Strategy for small regexes over the alphabet {a, b, c}.
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Eps),
+        Just(Regex::Class(CharClass::single('a'))),
+        Just(Regex::Class(CharClass::single('b'))),
+        Just(Regex::Class(CharClass::ranges(vec![('a', 'b')], false))),
+        Just(Regex::Class(CharClass::ranges(vec![('a', 'a')], true))),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nfa_agrees_with_derivative_reference(re in arb_regex(), input in "[abc]{0,8}") {
+        let nfa = Matcher::new(re.clone());
+        prop_assert_eq!(
+            nfa.matches_str(&input),
+            reference_matches(&re, &input),
+            "disagreement on {:?} vs {:?}",
+            re,
+            input
+        );
+    }
+
+    #[test]
+    fn printed_patterns_reparse_and_stabilise(re in arb_regex()) {
+        let printed = re.to_pattern();
+        let reparsed = Regex::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed pattern {printed:?} failed to parse: {e}"));
+        // Second round trip is a fixed point.
+        prop_assert_eq!(reparsed.to_pattern(), printed);
+    }
+
+    #[test]
+    fn reparsed_patterns_match_the_same_language(re in arb_regex(), input in "[abc]{0,6}") {
+        let printed = re.to_pattern();
+        let reparsed = Regex::parse(&printed).expect("printed patterns parse");
+        prop_assert_eq!(
+            Matcher::new(re).matches_str(&input),
+            Matcher::new(reparsed).matches_str(&input)
+        );
+    }
+
+    #[test]
+    fn nullable_agrees_with_empty_match(re in arb_regex()) {
+        prop_assert_eq!(re.nullable(), Matcher::new(re.clone()).matches_str(""));
+    }
+
+    #[test]
+    fn sample_is_always_a_member(re in arb_regex()) {
+        if let Some(s) = re.sample() {
+            prop_assert!(Matcher::new(re).matches_str(&s), "sample {s:?} not in language");
+        }
+    }
+}

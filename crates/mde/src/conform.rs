@@ -1,0 +1,345 @@
+//! Conformance checking: does an object model conform to a metamodel?
+
+use std::fmt;
+
+use crate::meta::MetaModel;
+use crate::object::{ObjectModel, ObjId};
+
+/// One conformance violation. The checker reports *all* issues rather than
+/// stopping at the first, so reviewers (human or mechanical) see the whole
+/// picture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConformanceIssue {
+    /// The object's class is not defined in the metamodel.
+    UnknownClass { object: ObjId, class: String },
+    /// The object's class is abstract.
+    AbstractClass { object: ObjId, class: String },
+    /// A required attribute is unset.
+    MissingAttribute { object: ObjId, attribute: String },
+    /// An attribute has the wrong type.
+    WrongAttributeType { object: ObjId, attribute: String, expected: String, found: String },
+    /// An attribute not declared on the class (or its supers) is set.
+    UndeclaredAttribute { object: ObjId, attribute: String },
+    /// A reference not declared on the class is set.
+    UndeclaredReference { object: ObjId, reference: String },
+    /// A reference target does not exist in the model.
+    DanglingReference { object: ObjId, reference: String, target: ObjId },
+    /// A reference target's class is incompatible.
+    WrongTargetClass { object: ObjId, reference: String, target: ObjId, expected: String },
+    /// A single-valued reference holds several targets.
+    TooManyTargets { object: ObjId, reference: String, count: usize },
+    /// An object is contained by more than one container.
+    MultipleContainers { object: ObjId },
+}
+
+impl fmt::Display for ConformanceIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformanceIssue::UnknownClass { object, class } => {
+                write!(f, "{object}: unknown class `{class}`")
+            }
+            ConformanceIssue::AbstractClass { object, class } => {
+                write!(f, "{object}: class `{class}` is abstract")
+            }
+            ConformanceIssue::MissingAttribute { object, attribute } => {
+                write!(f, "{object}: required attribute `{attribute}` unset")
+            }
+            ConformanceIssue::WrongAttributeType { object, attribute, expected, found } => {
+                write!(f, "{object}: attribute `{attribute}` is {found}, expected {expected}")
+            }
+            ConformanceIssue::UndeclaredAttribute { object, attribute } => {
+                write!(f, "{object}: attribute `{attribute}` is not declared")
+            }
+            ConformanceIssue::UndeclaredReference { object, reference } => {
+                write!(f, "{object}: reference `{reference}` is not declared")
+            }
+            ConformanceIssue::DanglingReference { object, reference, target } => {
+                write!(f, "{object}: reference `{reference}` targets missing {target}")
+            }
+            ConformanceIssue::WrongTargetClass { object, reference, target, expected } => {
+                write!(f, "{object}: `{reference}` target {target} is not a {expected}")
+            }
+            ConformanceIssue::TooManyTargets { object, reference, count } => {
+                write!(f, "{object}: single-valued `{reference}` holds {count} targets")
+            }
+            ConformanceIssue::MultipleContainers { object } => {
+                write!(f, "{object}: contained by more than one container")
+            }
+        }
+    }
+}
+
+/// Check conformance, returning every violation found (empty = conforms).
+pub fn check_conformance(meta: &MetaModel, model: &ObjectModel) -> Vec<ConformanceIssue> {
+    let mut issues = Vec::new();
+    let mut containment_counts: std::collections::BTreeMap<ObjId, usize> =
+        std::collections::BTreeMap::new();
+
+    for obj in model.objects() {
+        let class = match meta.class_def(&obj.class) {
+            Err(_) => {
+                issues.push(ConformanceIssue::UnknownClass {
+                    object: obj.id,
+                    class: obj.class.clone(),
+                });
+                continue;
+            }
+            Ok(c) => c,
+        };
+        if class.is_abstract {
+            issues.push(ConformanceIssue::AbstractClass {
+                object: obj.id,
+                class: obj.class.clone(),
+            });
+        }
+
+        let attrs = match meta.all_attributes(&obj.class) {
+            Ok(a) => a,
+            Err(_) => continue, // inheritance problem reported via class lookup
+        };
+        let refs = match meta.all_references(&obj.class) {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+
+        // Declared attributes: presence and type.
+        for attr in &attrs {
+            match obj.attr(&attr.name) {
+                None if attr.required => issues.push(ConformanceIssue::MissingAttribute {
+                    object: obj.id,
+                    attribute: attr.name.clone(),
+                }),
+                Some(v) if v.type_of() != attr.ty => {
+                    issues.push(ConformanceIssue::WrongAttributeType {
+                        object: obj.id,
+                        attribute: attr.name.clone(),
+                        expected: attr.ty.to_string(),
+                        found: v.type_of().to_string(),
+                    })
+                }
+                _ => {}
+            }
+        }
+        // Undeclared attributes.
+        for name in obj.attrs.keys() {
+            if !attrs.iter().any(|a| a.name == *name) {
+                issues.push(ConformanceIssue::UndeclaredAttribute {
+                    object: obj.id,
+                    attribute: name.clone(),
+                });
+            }
+        }
+
+        // References.
+        for (name, targets) in &obj.refs {
+            let decl = refs.iter().find(|r| r.name == *name);
+            let Some(decl) = decl else {
+                issues.push(ConformanceIssue::UndeclaredReference {
+                    object: obj.id,
+                    reference: name.clone(),
+                });
+                continue;
+            };
+            if !decl.many && targets.len() > 1 {
+                issues.push(ConformanceIssue::TooManyTargets {
+                    object: obj.id,
+                    reference: name.clone(),
+                    count: targets.len(),
+                });
+            }
+            for &t in targets {
+                match model.get(t) {
+                    Err(_) => issues.push(ConformanceIssue::DanglingReference {
+                        object: obj.id,
+                        reference: name.clone(),
+                        target: t,
+                    }),
+                    Ok(target_obj) => {
+                        let compatible = meta
+                            .is_subclass(&target_obj.class, &decl.target)
+                            .unwrap_or(false);
+                        if !compatible {
+                            issues.push(ConformanceIssue::WrongTargetClass {
+                                object: obj.id,
+                                reference: name.clone(),
+                                target: t,
+                                expected: decl.target.clone(),
+                            });
+                        }
+                        if decl.containment {
+                            *containment_counts.entry(t).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for (object, count) in containment_counts {
+        if count > 1 {
+            issues.push(ConformanceIssue::MultipleContainers { object });
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::AttrType;
+    use crate::object::ObjectModel;
+
+    fn mm() -> MetaModel {
+        let mut m = MetaModel::new("uml");
+        m.add_class(
+            MetaModel::class("NamedElement").abstract_class().attr("name", AttrType::Str),
+        )
+        .unwrap();
+        m.add_class(
+            MetaModel::class("Class")
+                .extends("NamedElement")
+                .attr("persistent", AttrType::Bool)
+                .contains_many("attributes", "Attribute"),
+        )
+        .unwrap();
+        m.add_class(
+            MetaModel::class("Attribute")
+                .extends("NamedElement")
+                .optional_attr("primary", AttrType::Bool)
+                .reference("type", "Class"),
+        )
+        .unwrap();
+        m
+    }
+
+    fn good_model() -> ObjectModel {
+        let mut model = ObjectModel::new("uml");
+        let c = model.add("Class");
+        model.set_attr(c, "name", "Person").unwrap();
+        model.set_attr(c, "persistent", true).unwrap();
+        let a = model.add("Attribute");
+        model.set_attr(a, "name", "age").unwrap();
+        model.add_ref(c, "attributes", a).unwrap();
+        model.add_ref(a, "type", c).unwrap();
+        model
+    }
+
+    #[test]
+    fn conforming_model_has_no_issues() {
+        assert!(check_conformance(&mm(), &good_model()).is_empty());
+    }
+
+    #[test]
+    fn missing_required_attribute() {
+        let mut model = good_model();
+        let c = model.add("Class"); // no name, no persistent
+        let issues = check_conformance(&mm(), &model);
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            ConformanceIssue::MissingAttribute { object, attribute }
+                if *object == c && attribute == "name"
+        )));
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            ConformanceIssue::MissingAttribute { attribute, .. } if attribute == "persistent"
+        )));
+    }
+
+    #[test]
+    fn wrong_attribute_type() {
+        let mut model = good_model();
+        let c = model.add("Class");
+        model.set_attr(c, "name", 42i64).unwrap();
+        model.set_attr(c, "persistent", true).unwrap();
+        let issues = check_conformance(&mm(), &model);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ConformanceIssue::WrongAttributeType { .. })));
+    }
+
+    #[test]
+    fn undeclared_features_flagged() {
+        let mut model = good_model();
+        let c = model.objects().next().unwrap().id;
+        model.set_attr(c, "colour", "red").unwrap();
+        let other = model.add("Attribute");
+        model.set_attr(other, "name", "x").unwrap();
+        model.add_ref(c, "enemies", other).unwrap();
+        let issues = check_conformance(&mm(), &model);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ConformanceIssue::UndeclaredAttribute { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ConformanceIssue::UndeclaredReference { .. })));
+    }
+
+    #[test]
+    fn abstract_instantiation_flagged() {
+        let mut model = ObjectModel::new("uml");
+        let n = model.add("NamedElement");
+        model.set_attr(n, "name", "x").unwrap();
+        let issues = check_conformance(&mm(), &model);
+        assert!(issues.iter().any(|i| matches!(i, ConformanceIssue::AbstractClass { .. })));
+    }
+
+    #[test]
+    fn unknown_class_flagged() {
+        let mut model = ObjectModel::new("uml");
+        model.add("Banana");
+        let issues = check_conformance(&mm(), &model);
+        assert_eq!(issues.len(), 1);
+        assert!(matches!(issues[0], ConformanceIssue::UnknownClass { .. }));
+    }
+
+    #[test]
+    fn dangling_and_wrong_class_targets() {
+        let mut model = good_model();
+        let a = model.add("Attribute");
+        model.set_attr(a, "name", "y").unwrap();
+        // "type" must point at a Class, not an Attribute.
+        model.add_ref(a, "type", a).unwrap();
+        let issues = check_conformance(&mm(), &model);
+        assert!(issues.iter().any(|i| matches!(i, ConformanceIssue::WrongTargetClass { .. })));
+
+        // Dangle: remove the class out from under the good attribute.
+        let c = model.objects().find(|o| o.class == "Class").unwrap().id;
+        model.remove(c);
+        let issues = check_conformance(&mm(), &model);
+        assert!(issues.iter().any(|i| matches!(i, ConformanceIssue::DanglingReference { .. })));
+    }
+
+    #[test]
+    fn single_valued_multiplicity_enforced() {
+        let mut model = good_model();
+        let a = model.objects().find(|o| o.class == "Attribute").unwrap().id;
+        let c = model.objects().find(|o| o.class == "Class").unwrap().id;
+        model.add_ref(a, "type", c).unwrap(); // second target on single-valued ref
+        let issues = check_conformance(&mm(), &model);
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            ConformanceIssue::TooManyTargets { count: 2, .. }
+        )));
+    }
+
+    #[test]
+    fn multiple_containers_flagged() {
+        let mut model = good_model();
+        let a = model.objects().find(|o| o.class == "Attribute").unwrap().id;
+        let c2 = model.add("Class");
+        model.set_attr(c2, "name", "Other").unwrap();
+        model.set_attr(c2, "persistent", false).unwrap();
+        model.add_ref(c2, "attributes", a).unwrap(); // a now contained twice
+        let issues = check_conformance(&mm(), &model);
+        assert!(issues.iter().any(|i| matches!(i, ConformanceIssue::MultipleContainers { .. })));
+    }
+
+    #[test]
+    fn issues_render() {
+        let mut model = ObjectModel::new("uml");
+        model.add("Banana");
+        for i in check_conformance(&mm(), &model) {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the MDE substrate.
+
+use std::fmt;
+
+/// Errors raised when building or manipulating (meta)models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdeError {
+    /// A class name was not found in the metamodel.
+    UnknownClass(String),
+    /// A feature (attribute or reference) was not found on a class.
+    UnknownFeature {
+        /// The class.
+        class: String,
+        /// The feature.
+        feature: String,
+    },
+    /// An object id was not found in the model.
+    UnknownObject(u64),
+    /// A class or feature was defined twice.
+    Duplicate(String),
+    /// Inheritance forms a cycle.
+    InheritanceCycle(String),
+}
+
+impl fmt::Display for MdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdeError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            MdeError::UnknownFeature { class, feature } => {
+                write!(f, "class `{class}` has no feature `{feature}`")
+            }
+            MdeError::UnknownObject(id) => write!(f, "unknown object #{id}"),
+            MdeError::Duplicate(what) => write!(f, "duplicate definition of `{what}`"),
+            MdeError::InheritanceCycle(c) => {
+                write!(f, "inheritance cycle through class `{c}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MdeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(MdeError::UnknownClass("C".into()).to_string().contains("C"));
+        assert!(MdeError::UnknownFeature { class: "C".into(), feature: "f".into() }
+            .to_string()
+            .contains("f"));
+        assert!(MdeError::UnknownObject(3).to_string().contains("#3"));
+        assert!(MdeError::Duplicate("x".into()).to_string().contains("x"));
+        assert!(MdeError::InheritanceCycle("A".into()).to_string().contains("A"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # bx-mde
+//!
+//! A miniature model-driven-engineering substrate: enough of a
+//! metamodel/model framework to host the MDE-flavoured bx examples the BX
+//! 2014 repository paper draws from (the "notorious" UML-class-diagram to
+//! RDBMS-schema transformation, Families↔Persons, …) without pulling in an
+//! actual EMF.
+//!
+//! * [`meta`] — metamodels: classes with single inheritance, typed
+//!   attributes, references with containment and multiplicity;
+//! * [`object`] — object models: identified objects with attribute values
+//!   and reference slots;
+//! * [`conform`] — conformance checking of an object model against a
+//!   metamodel, reporting all violations.
+
+pub mod conform;
+pub mod error;
+pub mod meta;
+pub mod object;
+
+pub use conform::{check_conformance, ConformanceIssue};
+pub use error::MdeError;
+pub use meta::{AttrDef, AttrType, ClassDef, MetaModel, RefDef};
+pub use object::{AttrValue, ObjId, Object, ObjectModel};

@@ -1,0 +1,298 @@
+//! Metamodels: classes, attributes, references, single inheritance.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::MdeError;
+
+/// The type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// UTF-8 string.
+    Str,
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Str => write!(f, "Str"),
+            AttrType::Int => write!(f, "Int"),
+            AttrType::Bool => write!(f, "Bool"),
+        }
+    }
+}
+
+/// An attribute definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Feature name.
+    pub name: String,
+    /// Value type.
+    pub ty: AttrType,
+    /// Must every conforming object set it?
+    pub required: bool,
+}
+
+/// A reference definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefDef {
+    /// Feature name.
+    pub name: String,
+    /// Class the reference points to (subclasses allowed).
+    pub target: String,
+    /// Containment (ownership) reference?
+    pub containment: bool,
+    /// May it hold more than one target?
+    pub many: bool,
+}
+
+/// A class definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: String,
+    /// Direct superclass, if any (single inheritance).
+    pub superclass: Option<String>,
+    /// Abstract classes cannot be instantiated.
+    pub is_abstract: bool,
+    /// Own (non-inherited) attributes.
+    pub attributes: Vec<AttrDef>,
+    /// Own (non-inherited) references.
+    pub references: Vec<RefDef>,
+}
+
+/// A metamodel: a named set of class definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaModel {
+    name: String,
+    classes: BTreeMap<String, ClassDef>,
+}
+
+/// Fluent builder for classes.
+pub struct ClassBuilder {
+    def: ClassDef,
+}
+
+impl ClassBuilder {
+    /// Mark abstract.
+    pub fn abstract_class(mut self) -> Self {
+        self.def.is_abstract = true;
+        self
+    }
+
+    /// Set the superclass.
+    pub fn extends(mut self, superclass: &str) -> Self {
+        self.def.superclass = Some(superclass.to_string());
+        self
+    }
+
+    /// Add a required attribute.
+    pub fn attr(mut self, name: &str, ty: AttrType) -> Self {
+        self.def.attributes.push(AttrDef { name: name.to_string(), ty, required: true });
+        self
+    }
+
+    /// Add an optional attribute.
+    pub fn optional_attr(mut self, name: &str, ty: AttrType) -> Self {
+        self.def.attributes.push(AttrDef { name: name.to_string(), ty, required: false });
+        self
+    }
+
+    /// Add a single-valued reference.
+    pub fn reference(mut self, name: &str, target: &str) -> Self {
+        self.def.references.push(RefDef {
+            name: name.to_string(),
+            target: target.to_string(),
+            containment: false,
+            many: false,
+        });
+        self
+    }
+
+    /// Add a many-valued containment reference.
+    pub fn contains_many(mut self, name: &str, target: &str) -> Self {
+        self.def.references.push(RefDef {
+            name: name.to_string(),
+            target: target.to_string(),
+            containment: true,
+            many: true,
+        });
+        self
+    }
+
+    /// Add a many-valued non-containment reference.
+    pub fn references_many(mut self, name: &str, target: &str) -> Self {
+        self.def.references.push(RefDef {
+            name: name.to_string(),
+            target: target.to_string(),
+            containment: false,
+            many: true,
+        });
+        self
+    }
+}
+
+impl MetaModel {
+    /// An empty metamodel.
+    pub fn new(name: &str) -> MetaModel {
+        MetaModel { name: name.to_string(), classes: BTreeMap::new() }
+    }
+
+    /// Start building a class.
+    pub fn class(name: &str) -> ClassBuilder {
+        ClassBuilder {
+            def: ClassDef {
+                name: name.to_string(),
+                superclass: None,
+                is_abstract: false,
+                attributes: Vec::new(),
+                references: Vec::new(),
+            },
+        }
+    }
+
+    /// Add a built class, rejecting duplicates.
+    pub fn add_class(&mut self, builder: ClassBuilder) -> Result<(), MdeError> {
+        let def = builder.def;
+        if self.classes.contains_key(&def.name) {
+            return Err(MdeError::Duplicate(def.name));
+        }
+        self.classes.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// The metamodel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Look up a class.
+    pub fn class_def(&self, name: &str) -> Result<&ClassDef, MdeError> {
+        self.classes.get(name).ok_or_else(|| MdeError::UnknownClass(name.to_string()))
+    }
+
+    /// All class definitions, sorted by name.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassDef> {
+        self.classes.values()
+    }
+
+    /// The inheritance chain from `name` up to the root (inclusive),
+    /// erroring on cycles or unknown classes.
+    pub fn ancestry(&self, name: &str) -> Result<Vec<&ClassDef>, MdeError> {
+        let mut chain = Vec::new();
+        let mut cur = Some(name.to_string());
+        while let Some(c) = cur {
+            if chain.iter().any(|d: &&ClassDef| d.name == c) {
+                return Err(MdeError::InheritanceCycle(c));
+            }
+            let def = self.class_def(&c)?;
+            chain.push(def);
+            cur = def.superclass.clone();
+        }
+        Ok(chain)
+    }
+
+    /// All attributes of a class including inherited ones, supers first.
+    pub fn all_attributes(&self, class: &str) -> Result<Vec<&AttrDef>, MdeError> {
+        let mut chain = self.ancestry(class)?;
+        chain.reverse();
+        Ok(chain.iter().flat_map(|d| d.attributes.iter()).collect())
+    }
+
+    /// All references of a class including inherited ones, supers first.
+    pub fn all_references(&self, class: &str) -> Result<Vec<&RefDef>, MdeError> {
+        let mut chain = self.ancestry(class)?;
+        chain.reverse();
+        Ok(chain.iter().flat_map(|d| d.references.iter()).collect())
+    }
+
+    /// Is `sub` the same as or a (transitive) subclass of `sup`?
+    pub fn is_subclass(&self, sub: &str, sup: &str) -> Result<bool, MdeError> {
+        Ok(self.ancestry(sub)?.iter().any(|d| d.name == sup))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm() -> MetaModel {
+        let mut m = MetaModel::new("uml");
+        m.add_class(
+            MetaModel::class("NamedElement").abstract_class().attr("name", AttrType::Str),
+        )
+        .unwrap();
+        m.add_class(
+            MetaModel::class("Class")
+                .extends("NamedElement")
+                .attr("persistent", AttrType::Bool)
+                .contains_many("attributes", "Attribute"),
+        )
+        .unwrap();
+        m.add_class(
+            MetaModel::class("Attribute")
+                .extends("NamedElement")
+                .attr("primary", AttrType::Bool)
+                .reference("type", "Class"),
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut m = mm();
+        assert!(matches!(
+            m.add_class(MetaModel::class("Class")),
+            Err(MdeError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn ancestry_and_inheritance() {
+        let m = mm();
+        let chain: Vec<&str> =
+            m.ancestry("Class").unwrap().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(chain, vec!["Class", "NamedElement"]);
+        assert!(m.is_subclass("Class", "NamedElement").unwrap());
+        assert!(!m.is_subclass("NamedElement", "Class").unwrap());
+        assert!(m.is_subclass("Class", "Class").unwrap());
+    }
+
+    #[test]
+    fn inherited_features_collected() {
+        let m = mm();
+        let attrs: Vec<&str> =
+            m.all_attributes("Class").unwrap().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(attrs, vec!["name", "persistent"]);
+        let refs: Vec<&str> =
+            m.all_references("Attribute").unwrap().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(refs, vec!["type"]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut m = MetaModel::new("cyclic");
+        m.add_class(MetaModel::class("A").extends("B")).unwrap();
+        m.add_class(MetaModel::class("B").extends("A")).unwrap();
+        assert!(matches!(m.ancestry("A"), Err(MdeError::InheritanceCycle(_))));
+    }
+
+    #[test]
+    fn unknown_class_error() {
+        let m = mm();
+        assert!(matches!(m.class_def("Nope"), Err(MdeError::UnknownClass(_))));
+        assert!(m.ancestry("Nope").is_err());
+    }
+
+    #[test]
+    fn classes_iterate_sorted() {
+        let m = mm();
+        let names: Vec<&str> = m.classes().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["Attribute", "Class", "NamedElement"]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Object models: identified objects with attribute values and references.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::MdeError;
+use crate::meta::AttrType;
+
+/// An object identifier, unique within one [`ObjectModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u64);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttrValue {
+    /// String value.
+    Str(String),
+    /// Integer value.
+    Int(i64),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// The value's type.
+    pub fn type_of(&self) -> AttrType {
+        match self {
+            AttrValue::Str(_) => AttrType::Str,
+            AttrValue::Int(_) => AttrType::Int,
+            AttrValue::Bool(_) => AttrType::Bool,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer accessor.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(i: i64) -> Self {
+        AttrValue::Int(i)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+
+/// An object: a class instance with attribute and reference slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    /// The object's identity.
+    pub id: ObjId,
+    /// Its (concrete) class name.
+    pub class: String,
+    /// Attribute slots.
+    pub attrs: BTreeMap<String, AttrValue>,
+    /// Reference slots (ordered target lists).
+    pub refs: BTreeMap<String, Vec<ObjId>>,
+}
+
+impl Object {
+    /// Attribute lookup.
+    pub fn attr(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs.get(name)
+    }
+
+    /// Reference targets (empty slice when unset).
+    pub fn targets(&self, name: &str) -> &[ObjId] {
+        self.refs.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// A model: a bag of objects conforming (one hopes) to some metamodel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectModel {
+    meta_name: String,
+    objects: BTreeMap<ObjId, Object>,
+    next_id: u64,
+}
+
+impl ObjectModel {
+    /// An empty model claiming conformance to the named metamodel.
+    pub fn new(meta_name: &str) -> ObjectModel {
+        ObjectModel { meta_name: meta_name.to_string(), objects: BTreeMap::new(), next_id: 1 }
+    }
+
+    /// The metamodel this model claims to conform to.
+    pub fn meta_name(&self) -> &str {
+        &self.meta_name
+    }
+
+    /// Create an object of a class, returning its id.
+    pub fn add(&mut self, class: &str) -> ObjId {
+        let id = ObjId(self.next_id);
+        self.next_id += 1;
+        self.objects.insert(
+            id,
+            Object {
+                id,
+                class: class.to_string(),
+                attrs: BTreeMap::new(),
+                refs: BTreeMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Set an attribute.
+    pub fn set_attr(
+        &mut self,
+        id: ObjId,
+        name: &str,
+        value: impl Into<AttrValue>,
+    ) -> Result<(), MdeError> {
+        let obj = self.objects.get_mut(&id).ok_or(MdeError::UnknownObject(id.0))?;
+        obj.attrs.insert(name.to_string(), value.into());
+        Ok(())
+    }
+
+    /// Append a reference target.
+    pub fn add_ref(&mut self, id: ObjId, name: &str, target: ObjId) -> Result<(), MdeError> {
+        if !self.objects.contains_key(&target) {
+            return Err(MdeError::UnknownObject(target.0));
+        }
+        let obj = self.objects.get_mut(&id).ok_or(MdeError::UnknownObject(id.0))?;
+        obj.refs.entry(name.to_string()).or_default().push(target);
+        Ok(())
+    }
+
+    /// Remove an object (dangling references are left for conformance
+    /// checking to flag).
+    pub fn remove(&mut self, id: ObjId) -> Option<Object> {
+        self.objects.remove(&id)
+    }
+
+    /// Object lookup.
+    pub fn get(&self, id: ObjId) -> Result<&Object, MdeError> {
+        self.objects.get(&id).ok_or(MdeError::UnknownObject(id.0))
+    }
+
+    /// All objects, in id order.
+    pub fn objects(&self) -> impl Iterator<Item = &Object> {
+        self.objects.values()
+    }
+
+    /// Objects of exactly the given class, in id order.
+    pub fn of_class<'m>(&'m self, class: &'m str) -> impl Iterator<Item = &'m Object> + 'm {
+        self.objects.values().filter(move |o| o.class == class)
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when there are no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_objects() {
+        let mut m = ObjectModel::new("uml");
+        let a = m.add("Class");
+        let b = m.add("Class");
+        assert_ne!(a, b);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.of_class("Class").count(), 2);
+        assert_eq!(m.of_class("Attribute").count(), 0);
+    }
+
+    #[test]
+    fn attrs_and_refs() {
+        let mut m = ObjectModel::new("uml");
+        let c = m.add("Class");
+        let a = m.add("Attribute");
+        m.set_attr(c, "name", "Person").unwrap();
+        m.set_attr(c, "persistent", true).unwrap();
+        m.add_ref(c, "attributes", a).unwrap();
+        let obj = m.get(c).unwrap();
+        assert_eq!(obj.attr("name").unwrap().as_str(), Some("Person"));
+        assert_eq!(obj.attr("persistent").unwrap().as_bool(), Some(true));
+        assert_eq!(obj.targets("attributes"), &[a]);
+        assert!(obj.targets("unset").is_empty());
+    }
+
+    #[test]
+    fn unknown_object_errors() {
+        let mut m = ObjectModel::new("uml");
+        let ghost = ObjId(99);
+        assert!(m.set_attr(ghost, "x", 1i64).is_err());
+        assert!(m.get(ghost).is_err());
+        let c = m.add("Class");
+        assert!(m.add_ref(c, "r", ghost).is_err());
+        assert!(m.add_ref(ghost, "r", c).is_err());
+    }
+
+    #[test]
+    fn remove_returns_object() {
+        let mut m = ObjectModel::new("uml");
+        let c = m.add("Class");
+        let obj = m.remove(c).unwrap();
+        assert_eq!(obj.class, "Class");
+        assert!(m.remove(c).is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn attr_value_accessors() {
+        assert_eq!(AttrValue::from("x").as_str(), Some("x"));
+        assert_eq!(AttrValue::from(3i64).as_int(), Some(3));
+        assert_eq!(AttrValue::from(true).as_bool(), Some(true));
+        assert_eq!(AttrValue::from("x").as_int(), None);
+        assert_eq!(AttrValue::from(3i64).type_of(), AttrType::Int);
+    }
+
+    #[test]
+    fn ids_are_stable_and_ordered() {
+        let mut m = ObjectModel::new("uml");
+        let ids: Vec<ObjId> = (0..5).map(|_| m.add("Class")).collect();
+        let listed: Vec<ObjId> = m.objects().map(|o| o.id).collect();
+        assert_eq!(ids, listed);
+        assert_eq!(ObjId(3).to_string(), "#3");
+    }
+}

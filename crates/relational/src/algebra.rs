@@ -1,0 +1,342 @@
+//! Relational algebra: selection, projection, natural join, union,
+//! difference, rename — all schema-checked.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::RelError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A selection predicate over rows of a known schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `column = value`
+    Eq(String, Value),
+    /// `column < value` (values of the same type; strings lexicographic)
+    Lt(String, Value),
+    /// `column_a = column_b`
+    ColEq(String, String),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Always true.
+    True,
+}
+
+impl Predicate {
+    /// `column = value`, with conversions.
+    pub fn eq(column: &str, value: impl Into<Value>) -> Predicate {
+        Predicate::Eq(column.to_string(), value.into())
+    }
+
+    /// `column < value`.
+    pub fn lt(column: &str, value: impl Into<Value>) -> Predicate {
+        Predicate::Lt(column.to_string(), value.into())
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluate against a row of the given schema.
+    pub fn eval(&self, schema: &Schema, row: &[Value]) -> Result<bool, RelError> {
+        match self {
+            Predicate::Eq(col, v) => Ok(&row[schema.index_of(col)?] == v),
+            Predicate::Lt(col, v) => {
+                let cell = &row[schema.index_of(col)?];
+                if cell.type_of() != v.type_of() {
+                    return Err(RelError::TypeMismatch {
+                        expected: v.type_of().to_string(),
+                        found: cell.type_of().to_string(),
+                    });
+                }
+                Ok(cell < v)
+            }
+            Predicate::ColEq(a, b) => {
+                Ok(row[schema.index_of(a)?] == row[schema.index_of(b)?])
+            }
+            Predicate::And(l, r) => Ok(l.eval(schema, row)? && r.eval(schema, row)?),
+            Predicate::Or(l, r) => Ok(l.eval(schema, row)? || r.eval(schema, row)?),
+            Predicate::Not(p) => Ok(!p.eval(schema, row)?),
+            Predicate::True => Ok(true),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Eq(c, v) => write!(f, "{c} = {v}"),
+            Predicate::Lt(c, v) => write!(f, "{c} < {v}"),
+            Predicate::ColEq(a, b) => write!(f, "{a} = {b}"),
+            Predicate::And(l, r) => write!(f, "({l} and {r})"),
+            Predicate::Or(l, r) => write!(f, "({l} or {r})"),
+            Predicate::Not(p) => write!(f, "not {p}"),
+            Predicate::True => write!(f, "true"),
+        }
+    }
+}
+
+/// σ — keep rows satisfying the predicate.
+pub fn select(rel: &Relation, pred: &Predicate) -> Result<Relation, RelError> {
+    let mut out = Relation::empty(rel.schema().clone());
+    for row in rel.rows() {
+        if pred.eval(rel.schema(), row)? {
+            out.insert(row.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// π — keep the named columns, in the order given (set semantics: duplicate
+/// result rows collapse).
+pub fn project(rel: &Relation, columns: &[&str]) -> Result<Relation, RelError> {
+    let idx = rel.schema().indices_of(columns)?;
+    let schema = rel.schema().project(columns)?;
+    let mut out = Relation::empty(schema);
+    for row in rel.rows() {
+        out.insert(idx.iter().map(|&i| row[i].clone()).collect())?;
+    }
+    Ok(out)
+}
+
+/// ⋈ — natural join on all shared column names.
+pub fn join(left: &Relation, right: &Relation) -> Result<Relation, RelError> {
+    let shared = left.schema().shared_with(right.schema())?;
+    let shared_refs: Vec<&str> = shared.iter().map(String::as_str).collect();
+    let li = left.schema().indices_of(&shared_refs)?;
+    let ri = right.schema().indices_of(&shared_refs)?;
+
+    // Result schema: left columns, then right columns not shared.
+    let mut cols: Vec<(&str, crate::value::ValueType)> =
+        left.schema().columns().iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let extra: Vec<usize> = (0..right.schema().arity())
+        .filter(|i| !ri.contains(i))
+        .collect();
+    for &i in &extra {
+        let (n, t) = &right.schema().columns()[i];
+        cols.push((n.as_str(), *t));
+    }
+    let schema = Schema::new(cols)?;
+
+    // Hash the right side by its shared-key values.
+    let mut index: BTreeMap<Vec<Value>, Vec<&Vec<Value>>> = BTreeMap::new();
+    for row in right.rows() {
+        let key: Vec<Value> = ri.iter().map(|&i| row[i].clone()).collect();
+        index.entry(key).or_default().push(row);
+    }
+
+    let mut out = Relation::empty(schema);
+    for lrow in left.rows() {
+        let key: Vec<Value> = li.iter().map(|&i| lrow[i].clone()).collect();
+        if let Some(matches) = index.get(&key) {
+            for rrow in matches {
+                let mut row = lrow.clone();
+                row.extend(extra.iter().map(|&i| rrow[i].clone()));
+                out.insert(row)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// ∪ — union of relations over the same schema.
+pub fn union(a: &Relation, b: &Relation) -> Result<Relation, RelError> {
+    require_same_schema(a, b)?;
+    let mut out = a.clone();
+    for row in b.rows() {
+        out.insert(row.clone())?;
+    }
+    Ok(out)
+}
+
+/// \ — set difference of relations over the same schema.
+pub fn difference(a: &Relation, b: &Relation) -> Result<Relation, RelError> {
+    require_same_schema(a, b)?;
+    let mut out = a.clone();
+    out.retain(|row| !b.contains(row));
+    Ok(out)
+}
+
+/// ρ — rename a column.
+pub fn rename(rel: &Relation, from: &str, to: &str) -> Result<Relation, RelError> {
+    let schema = rel.schema().rename(from, to)?;
+    let mut out = Relation::empty(schema);
+    for row in rel.rows() {
+        out.insert(row.clone())?;
+    }
+    Ok(out)
+}
+
+fn require_same_schema(a: &Relation, b: &Relation) -> Result<(), RelError> {
+    if a.schema() != b.schema() {
+        return Err(RelError::SchemaMismatch {
+            detail: format!("{} vs {}", a.schema(), b.schema()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn employees() -> Relation {
+        let schema = Schema::new(vec![
+            ("name", ValueType::Str),
+            ("dept", ValueType::Str),
+            ("salary", ValueType::Int),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("ada"), Value::str("eng"), Value::Int(100)],
+                vec![Value::str("bob"), Value::str("eng"), Value::Int(80)],
+                vec![Value::str("cyd"), Value::str("ops"), Value::Int(90)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn depts() -> Relation {
+        let schema =
+            Schema::new(vec![("dept", ValueType::Str), ("floor", ValueType::Int)]).unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("eng"), Value::Int(3)],
+                vec![Value::str("ops"), Value::Int(1)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_by_predicate() {
+        let r = select(&employees(), &Predicate::eq("dept", "eng")).unwrap();
+        assert_eq!(r.len(), 2);
+        let r = select(&employees(), &Predicate::lt("salary", 90)).unwrap();
+        assert_eq!(r.len(), 1);
+        let r = select(
+            &employees(),
+            &Predicate::eq("dept", "eng").and(Predicate::lt("salary", 90)),
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        let r = select(&employees(), &Predicate::eq("dept", "eng").not()).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn select_type_errors_surface() {
+        let e = select(&employees(), &Predicate::lt("salary", "high"));
+        assert!(matches!(e, Err(RelError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn project_collapses_duplicates() {
+        let r = project(&employees(), &["dept"]).unwrap();
+        assert_eq!(r.len(), 2, "eng appears twice, collapses");
+        assert_eq!(r.schema().names(), vec!["dept"]);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let r = project(&employees(), &["salary", "name"]).unwrap();
+        assert_eq!(r.schema().names(), vec!["salary", "name"]);
+        assert!(r.contains(&[Value::Int(100), Value::str("ada")]));
+    }
+
+    #[test]
+    fn natural_join() {
+        let r = join(&employees(), &depts()).unwrap();
+        assert_eq!(r.schema().names(), vec!["name", "dept", "salary", "floor"]);
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&[
+            Value::str("ada"),
+            Value::str("eng"),
+            Value::Int(100),
+            Value::Int(3)
+        ]));
+    }
+
+    #[test]
+    fn join_drops_unmatched() {
+        let mut d = depts();
+        d.remove(&[Value::str("ops"), Value::Int(1)]);
+        let r = join(&employees(), &d).unwrap();
+        assert_eq!(r.len(), 2, "cyd has no dept row");
+    }
+
+    #[test]
+    fn join_disagreeing_types_rejected() {
+        let bad = Relation::empty(Schema::new(vec![("dept", ValueType::Int)]).unwrap());
+        assert!(join(&employees(), &bad).is_err());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = employees();
+        let mut b = Relation::empty(a.schema().clone());
+        b.insert(vec![Value::str("dan"), Value::str("eng"), Value::Int(70)]).unwrap();
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.len(), 4);
+        let d = difference(&u, &a).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&[Value::str("dan"), Value::str("eng"), Value::Int(70)]));
+    }
+
+    #[test]
+    fn union_schema_mismatch_rejected() {
+        let other = Relation::empty(Schema::new(vec![("x", ValueType::Int)]).unwrap());
+        assert!(matches!(union(&employees(), &other), Err(RelError::SchemaMismatch { .. })));
+    }
+
+    #[test]
+    fn rename_column() {
+        let r = rename(&employees(), "dept", "department").unwrap();
+        assert_eq!(r.schema().names(), vec!["name", "department", "salary"]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn predicate_display() {
+        let p = Predicate::eq("a", 1).and(Predicate::lt("b", 2).not());
+        assert_eq!(p.to_string(), "(a = 1 and not b < 2)");
+    }
+
+    #[test]
+    fn col_eq_predicate() {
+        let schema =
+            Schema::new(vec![("a", ValueType::Int), ("b", ValueType::Int)]).unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(1)],
+                vec![Value::Int(1), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let r = select(&rel, &Predicate::ColEq("a".into(), "b".into())).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+}

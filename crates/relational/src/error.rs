@@ -1,0 +1,91 @@
+//! Error type for the relational engine.
+
+use std::fmt;
+
+/// Errors raised by relational operations and relational lenses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A column name was not found in a schema.
+    UnknownColumn {
+        /// The missing column.
+        column: String,
+        /// The schema's column names.
+        schema: String,
+    },
+    /// A row's arity or value types did not match the schema.
+    TypeMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// Two schemas that had to agree did not.
+    SchemaMismatch {
+        /// Description of the disagreement.
+        detail: String,
+    },
+    /// A view row violated the lens's defining predicate.
+    PredicateViolation {
+        /// The lens.
+        lens: String,
+        /// Rendered offending row.
+        row: String,
+    },
+    /// A relation violated a functional dependency the operation requires.
+    FdViolation {
+        /// The dependency.
+        fd: String,
+        /// Rendered witness rows.
+        witness: String,
+    },
+    /// A duplicate column would result (e.g. in rename).
+    DuplicateColumn {
+        /// The column.
+        column: String,
+    },
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownColumn { column, schema } => {
+                write!(f, "unknown column `{column}` (schema: {schema})")
+            }
+            RelError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            RelError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            RelError::PredicateViolation { lens, row } => {
+                write!(f, "lens `{lens}`: view row {row} violates the selection predicate")
+            }
+            RelError::FdViolation { fd, witness } => {
+                write!(f, "functional dependency {fd} violated: {witness}")
+            }
+            RelError::DuplicateColumn { column } => {
+                write!(f, "duplicate column `{column}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<RelError> = vec![
+            RelError::UnknownColumn { column: "x".into(), schema: "a, b".into() },
+            RelError::TypeMismatch { expected: "Int".into(), found: "Str".into() },
+            RelError::SchemaMismatch { detail: "arity 2 vs 3".into() },
+            RelError::PredicateViolation { lens: "l".into(), row: "(1)".into() },
+            RelError::FdViolation { fd: "a -> b".into(), witness: "(1, 2) vs (1, 3)".into() },
+            RelError::DuplicateColumn { column: "a".into() },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

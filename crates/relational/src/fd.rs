@@ -1,0 +1,204 @@
+//! Functional dependencies and record revision.
+//!
+//! Relational-lens `put` semantics (Bohannon, Pierce, Vaughan, PODS 2006)
+//! lean on functional dependencies: a dependency `X → Y` licenses *record
+//! revision*, where updated `Y`-values are merged into a relation by
+//! matching on `X`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::RelError;
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// A functional dependency `lhs → rhs` over column names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    lhs: Vec<String>,
+    rhs: Vec<String>,
+}
+
+impl Fd {
+    /// Build a dependency.
+    pub fn new(lhs: &[&str], rhs: &[&str]) -> Fd {
+        Fd {
+            lhs: lhs.iter().map(|s| s.to_string()).collect(),
+            rhs: rhs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Determinant columns.
+    pub fn lhs(&self) -> Vec<&str> {
+        self.lhs.iter().map(String::as_str).collect()
+    }
+
+    /// Dependent columns.
+    pub fn rhs(&self) -> Vec<&str> {
+        self.rhs.iter().map(String::as_str).collect()
+    }
+
+    /// Check the dependency holds on a relation.
+    pub fn check(&self, rel: &Relation) -> Result<(), RelError> {
+        let li = rel.schema().indices_of(&self.lhs())?;
+        let ri = rel.schema().indices_of(&self.rhs())?;
+        let mut seen: BTreeMap<Vec<Value>, (Vec<Value>, Vec<Value>)> = BTreeMap::new();
+        for row in rel.rows() {
+            let key: Vec<Value> = li.iter().map(|&i| row[i].clone()).collect();
+            let dep: Vec<Value> = ri.iter().map(|&i| row[i].clone()).collect();
+            match seen.get(&key) {
+                None => {
+                    seen.insert(key, (dep, row.clone()));
+                }
+                Some((prev_dep, prev_row)) => {
+                    if *prev_dep != dep {
+                        return Err(RelError::FdViolation {
+                            fd: self.to_string(),
+                            witness: format!("rows {prev_row:?} and {row:?}"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the dependency holds.
+    pub fn holds_on(&self, rel: &Relation) -> bool {
+        self.check(rel).is_ok()
+    }
+
+    /// **Record revision**: produce a copy of `target` whose `rhs` values
+    /// are overwritten from `source` wherever `lhs` values match. Both
+    /// relations must share a schema containing the FD's columns.
+    pub fn revise(&self, target: &Relation, source: &Relation) -> Result<Relation, RelError> {
+        if target.schema() != source.schema() {
+            return Err(RelError::SchemaMismatch {
+                detail: format!("{} vs {}", target.schema(), source.schema()),
+            });
+        }
+        let li = target.schema().indices_of(&self.lhs())?;
+        let ri = target.schema().indices_of(&self.rhs())?;
+
+        // Last-writer-wins per key from the (sorted) source; relational
+        // lens usage checks the FD on `source` first, making this
+        // deterministic and order-independent.
+        let mut revisions: BTreeMap<Vec<Value>, Vec<Value>> = BTreeMap::new();
+        for row in source.rows() {
+            let key: Vec<Value> = li.iter().map(|&i| row[i].clone()).collect();
+            let dep: Vec<Value> = ri.iter().map(|&i| row[i].clone()).collect();
+            revisions.insert(key, dep);
+        }
+
+        let mut out = Relation::empty(target.schema().clone());
+        for row in target.rows() {
+            let key: Vec<Value> = li.iter().map(|&i| row[i].clone()).collect();
+            let mut new_row = row.clone();
+            if let Some(dep) = revisions.get(&key) {
+                for (slot, v) in ri.iter().zip(dep) {
+                    new_row[*slot] = v.clone();
+                }
+            }
+            out.insert(new_row)?;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.lhs.join(" "), self.rhs.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn albums() -> Relation {
+        let schema = Schema::new(vec![
+            ("album", ValueType::Str),
+            ("quantity", ValueType::Int),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("Galore"), Value::Int(1)],
+                vec![Value::str("Disintegration"), Value::Int(6)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fd_holds_and_fails() {
+        let fd = Fd::new(&["album"], &["quantity"]);
+        let mut r = albums();
+        assert!(fd.holds_on(&r));
+        r.insert(vec![Value::str("Galore"), Value::Int(7)]).unwrap();
+        assert!(!fd.holds_on(&r));
+        let err = fd.check(&r).unwrap_err();
+        assert!(matches!(err, RelError::FdViolation { .. }));
+    }
+
+    #[test]
+    fn fd_unknown_column_error() {
+        let fd = Fd::new(&["missing"], &["quantity"]);
+        assert!(fd.check(&albums()).is_err());
+    }
+
+    #[test]
+    fn revise_overwrites_matching_keys() {
+        let fd = Fd::new(&["album"], &["quantity"]);
+        let target = albums();
+        let source = Relation::from_rows(
+            target.schema().clone(),
+            vec![vec![Value::str("Galore"), Value::Int(99)]],
+        )
+        .unwrap();
+        let out = fd.revise(&target, &source).unwrap();
+        assert!(out.contains(&[Value::str("Galore"), Value::Int(99)]));
+        assert!(out.contains(&[Value::str("Disintegration"), Value::Int(6)]));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn revise_requires_same_schema() {
+        let fd = Fd::new(&["album"], &["quantity"]);
+        let other = Relation::empty(
+            Schema::new(vec![("album", ValueType::Str)]).unwrap(),
+        );
+        assert!(fd.revise(&albums(), &other).is_err());
+    }
+
+    #[test]
+    fn revise_can_merge_rows() {
+        // Two rows that agree after revision collapse (set semantics).
+        let fd = Fd::new(&["album"], &["quantity"]);
+        let schema = albums().schema().clone();
+        let target = Relation::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::str("Galore"), Value::Int(1)],
+                vec![Value::str("Galore"), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let source = Relation::from_rows(
+            schema,
+            vec![vec![Value::str("Galore"), Value::Int(5)]],
+        )
+        .unwrap();
+        let out = fd.revise(&target, &source).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&[Value::str("Galore"), Value::Int(5)]));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Fd::new(&["a", "b"], &["c"]).to_string(), "a b -> c");
+    }
+}

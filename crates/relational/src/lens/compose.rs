@@ -1,0 +1,177 @@
+//! Sequential composition of relational lenses over a single relation.
+
+use crate::error::RelError;
+use crate::lens::RelLens;
+use crate::relation::Relation;
+
+/// `ComposedRelLens(l1, l2)`: a lens whose view is `l2.get(l1.get(src))`.
+///
+/// `put` threads the stale middle view through, exactly as asymmetric
+/// lens composition does; well-behavedness is preserved when both parts
+/// are well behaved on the relevant schemas.
+#[derive(Debug, Clone)]
+pub struct ComposedRelLens<L1, L2> {
+    first: L1,
+    second: L2,
+    name: String,
+}
+
+impl<L1, L2> ComposedRelLens<L1, L2>
+where
+    L1: RelLens<Relation>,
+    L2: RelLens<Relation>,
+{
+    /// Compose `first` then `second`.
+    pub fn new(first: L1, second: L2) -> Self {
+        let name = format!("{};{}", first.name(), second.name());
+        ComposedRelLens { first, second, name }
+    }
+}
+
+impl<L1, L2> RelLens<Relation> for ComposedRelLens<L1, L2>
+where
+    L1: RelLens<Relation>,
+    L2: RelLens<Relation>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &Relation) -> Result<Relation, RelError> {
+        self.second.get(&self.first.get(src)?)
+    }
+
+    fn put(&self, src: &Relation, view: &Relation) -> Result<Relation, RelError> {
+        let mid_old = self.first.get(src)?;
+        let mid_new = self.second.put(&mid_old, view)?;
+        self.first.put(src, &mid_new)
+    }
+
+    fn create(&self, view: &Relation) -> Result<Relation, RelError> {
+        self.first.create(&self.second.create(view)?)
+    }
+}
+
+/// ρ as an updatable view: renaming a column is a bijection, hence very
+/// well behaved.
+#[derive(Debug, Clone)]
+pub struct RenameLens {
+    from: String,
+    to: String,
+    name: String,
+}
+
+impl RenameLens {
+    /// Rename `from` to `to` in the view.
+    pub fn new(from: &str, to: &str) -> RenameLens {
+        RenameLens {
+            from: from.to_string(),
+            to: to.to_string(),
+            name: format!("rename({from} -> {to})"),
+        }
+    }
+}
+
+impl RelLens<Relation> for RenameLens {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &Relation) -> Result<Relation, RelError> {
+        crate::algebra::rename(src, &self.from, &self.to)
+    }
+
+    fn put(&self, _src: &Relation, view: &Relation) -> Result<Relation, RelError> {
+        crate::algebra::rename(view, &self.to, &self.from)
+    }
+
+    fn create(&self, view: &Relation) -> Result<Relation, RelError> {
+        crate::algebra::rename(view, &self.to, &self.from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Predicate;
+    use crate::lens::{DropLens, SelectLens};
+    use crate::schema::Schema;
+    use crate::value::{Value, ValueType};
+
+    fn people() -> Relation {
+        let schema = Schema::new(vec![
+            ("name", ValueType::Str),
+            ("city", ValueType::Str),
+            ("phone", ValueType::Str),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("ana"), Value::str("Paris"), Value::str("1")],
+                vec![Value::str("bea"), Value::str("Lyon"), Value::str("2")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn composed() -> ComposedRelLens<SelectLens, DropLens> {
+        ComposedRelLens::new(
+            SelectLens::new(Predicate::eq("city", "Paris")),
+            DropLens::new("phone", &["name"], Value::str("")),
+        )
+    }
+
+    #[test]
+    fn composition_matches_manual_pipeline() {
+        let l = composed();
+        let v = l.get(&people()).unwrap();
+        assert_eq!(v.schema().names(), vec!["name", "city"]);
+        assert_eq!(v.len(), 1);
+        assert!(l.name().contains("select"));
+        assert!(l.name().contains("drop"));
+    }
+
+    #[test]
+    fn composition_getput_putget() {
+        let l = composed();
+        let s = people();
+        let v = l.get(&s).unwrap();
+        assert_eq!(l.put(&s, &v).unwrap(), s, "GetPut");
+        let mut v2 = v.clone();
+        v2.insert(vec![Value::str("cyd"), Value::str("Paris")]).unwrap();
+        let s2 = l.put(&s, &v2).unwrap();
+        assert_eq!(l.get(&s2).unwrap(), v2, "PutGet");
+        assert!(s2.contains(&[Value::str("bea"), Value::str("Lyon"), Value::str("2")]));
+    }
+
+    #[test]
+    fn rename_is_bijective() {
+        let l = RenameLens::new("city", "location");
+        let s = people();
+        let v = l.get(&s).unwrap();
+        assert_eq!(v.schema().names(), vec!["name", "location", "phone"]);
+        assert_eq!(l.put(&s, &v).unwrap(), s);
+        assert_eq!(l.create(&v).unwrap(), s);
+    }
+
+    #[test]
+    fn rename_composes_with_select() {
+        let l = ComposedRelLens::new(
+            RenameLens::new("city", "location"),
+            SelectLens::new(Predicate::eq("location", "Paris")),
+        );
+        let v = l.get(&people()).unwrap();
+        assert_eq!(v.len(), 1);
+        let s2 = l.put(&people(), &v).unwrap();
+        assert_eq!(s2, people());
+    }
+
+    #[test]
+    fn composition_propagates_errors() {
+        let l = composed();
+        let bad_view =
+            Relation::empty(Schema::new(vec![("x", ValueType::Int)]).unwrap());
+        assert!(l.put(&people(), &bad_view).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! The drop lens: projection away of one column, determined by a key.
+
+use std::collections::BTreeMap;
+
+use crate::error::RelError;
+use crate::fd::Fd;
+use crate::lens::RelLens;
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// An updatable projection that drops one column.
+///
+/// `DropLens { column, key, default }` requires the functional dependency
+/// `key → column` on the source (otherwise dropping the column loses
+/// information no key could restore).
+///
+/// * `get(S) = π_{cols − column}(S)`;
+/// * `put(S, V)`: each view row is completed with the dropped value taken
+///   from the source row with the same key values, or `default` for new
+///   keys;
+/// * `create(V)`: every row gets `default`.
+#[derive(Debug, Clone)]
+pub struct DropLens {
+    column: String,
+    key: Vec<String>,
+    default: Value,
+    name: String,
+}
+
+impl DropLens {
+    /// Build a drop lens.
+    pub fn new(column: &str, key: &[&str], default: Value) -> DropLens {
+        let name = format!("drop({column} determined by {})", key.join(" "));
+        DropLens {
+            column: column.to_string(),
+            key: key.iter().map(|s| s.to_string()).collect(),
+            default,
+            name,
+        }
+    }
+
+    fn key_refs(&self) -> Vec<&str> {
+        self.key.iter().map(String::as_str).collect()
+    }
+
+    /// The functional dependency the lens relies on.
+    pub fn required_fd(&self) -> Fd {
+        Fd::new(&self.key_refs(), &[self.column.as_str()])
+    }
+
+    fn view_columns<'s>(&self, src: &'s Relation) -> Vec<&'s str> {
+        src.schema()
+            .names()
+            .into_iter()
+            .filter(|n| *n != self.column)
+            .collect()
+    }
+}
+
+impl RelLens<Relation> for DropLens {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &Relation) -> Result<Relation, RelError> {
+        let cols = self.view_columns(src);
+        crate::algebra::project(src, &cols)
+    }
+
+    fn put(&self, src: &Relation, view: &Relation) -> Result<Relation, RelError> {
+        // The dependency must hold or the reconstruction is ill-defined.
+        self.required_fd().check(src)?;
+
+        let expected_schema = src.schema().without(&self.column)?;
+        if *view.schema() != expected_schema {
+            return Err(RelError::SchemaMismatch {
+                detail: format!("view {} vs expected {expected_schema}", view.schema()),
+            });
+        }
+
+        // Index the source's dropped values by key.
+        let src_key_idx = src.schema().indices_of(&self.key_refs())?;
+        let drop_idx = src.schema().index_of(&self.column)?;
+        let mut dropped: BTreeMap<Vec<Value>, Value> = BTreeMap::new();
+        for row in src.rows() {
+            let k: Vec<Value> = src_key_idx.iter().map(|&i| row[i].clone()).collect();
+            dropped.insert(k, row[drop_idx].clone());
+        }
+
+        // Rebuild each view row into a full source row.
+        let view_key_idx = view.schema().indices_of(&self.key_refs())?;
+        let mut out = Relation::empty(src.schema().clone());
+        for vrow in view.rows() {
+            let k: Vec<Value> = view_key_idx.iter().map(|&i| vrow[i].clone()).collect();
+            let value = dropped.get(&k).cloned().unwrap_or_else(|| self.default.clone());
+            let mut full = Vec::with_capacity(src.schema().arity());
+            let mut viter = 0usize;
+            for i in 0..src.schema().arity() {
+                if i == drop_idx {
+                    full.push(value.clone());
+                } else {
+                    full.push(vrow[viter].clone());
+                    viter += 1;
+                }
+            }
+            out.insert(full)?;
+        }
+        Ok(out)
+    }
+
+    fn create(&self, view: &Relation) -> Result<Relation, RelError> {
+        // Synthesise the source schema by inserting the dropped column at
+        // the end (schema position is unknown without a source; `put`
+        // against a real source preserves positions).
+        let mut cols: Vec<(&str, crate::value::ValueType)> = view
+            .schema()
+            .columns()
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect();
+        let col_name = self.column.clone();
+        cols.push((col_name.as_str(), self.default.type_of()));
+        let schema = crate::schema::Schema::new(cols)?;
+        let mut out = Relation::empty(schema);
+        for vrow in view.rows() {
+            let mut row = vrow.clone();
+            row.push(self.default.clone());
+            out.insert(row)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn albums() -> Relation {
+        let schema = Schema::new(vec![
+            ("album", ValueType::Str),
+            ("quantity", ValueType::Int),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("Galore"), Value::Int(1)],
+                vec![Value::str("Paris"), Value::Int(4)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn lens() -> DropLens {
+        DropLens::new("quantity", &["album"], Value::Int(0))
+    }
+
+    #[test]
+    fn get_drops_column() {
+        let v = lens().get(&albums()).unwrap();
+        assert_eq!(v.schema().names(), vec!["album"]);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn getput_roundtrip() {
+        let l = lens();
+        let s = albums();
+        let v = l.get(&s).unwrap();
+        assert_eq!(l.put(&s, &v).unwrap(), s);
+    }
+
+    #[test]
+    fn put_restores_dropped_values_by_key() {
+        let l = lens();
+        let s = albums();
+        let v = Relation::from_rows(
+            s.schema().without("quantity").unwrap(),
+            vec![vec![Value::str("Galore")], vec![Value::str("Wish")]],
+        )
+        .unwrap();
+        let s2 = l.put(&s, &v).unwrap();
+        // Existing key keeps its quantity; new key gets the default.
+        assert!(s2.contains(&[Value::str("Galore"), Value::Int(1)]));
+        assert!(s2.contains(&[Value::str("Wish"), Value::Int(0)]));
+        assert!(!s2.contains(&[Value::str("Paris"), Value::Int(4)]));
+    }
+
+    #[test]
+    fn putget_roundtrip() {
+        let l = lens();
+        let s = albums();
+        let v = Relation::from_rows(
+            s.schema().without("quantity").unwrap(),
+            vec![vec![Value::str("Paris")], vec![Value::str("Wild")]],
+        )
+        .unwrap();
+        let s2 = l.put(&s, &v).unwrap();
+        assert_eq!(l.get(&s2).unwrap(), v);
+    }
+
+    #[test]
+    fn put_requires_fd() {
+        let l = DropLens::new("quantity", &["album"], Value::Int(0));
+        let schema = albums().schema().clone();
+        let bad = Relation::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::str("Galore"), Value::Int(1)],
+                vec![Value::str("Galore"), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let v = Relation::from_rows(
+            schema.without("quantity").unwrap(),
+            vec![vec![Value::str("Galore")]],
+        )
+        .unwrap();
+        assert!(matches!(l.put(&bad, &v), Err(RelError::FdViolation { .. })));
+    }
+
+    #[test]
+    fn put_checks_view_schema() {
+        let l = lens();
+        let wrong = Relation::empty(Schema::new(vec![("x", ValueType::Int)]).unwrap());
+        assert!(matches!(l.put(&albums(), &wrong), Err(RelError::SchemaMismatch { .. })));
+    }
+
+    #[test]
+    fn create_appends_default_column() {
+        let l = lens();
+        let v = Relation::from_rows(
+            Schema::new(vec![("album", ValueType::Str)]).unwrap(),
+            vec![vec![Value::str("Wish")]],
+        )
+        .unwrap();
+        let s = l.create(&v).unwrap();
+        assert_eq!(s.schema().names(), vec!["album", "quantity"]);
+        assert!(s.contains(&[Value::str("Wish"), Value::Int(0)]));
+    }
+
+    #[test]
+    fn composite_keys_work() {
+        let schema = Schema::new(vec![
+            ("artist", ValueType::Str),
+            ("album", ValueType::Str),
+            ("year", ValueType::Int),
+        ])
+        .unwrap();
+        let s = Relation::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::str("Cure"), Value::str("Wish"), Value::Int(1992)],
+                vec![Value::str("Cure"), Value::str("Paris"), Value::Int(1993)],
+            ],
+        )
+        .unwrap();
+        let l = DropLens::new("year", &["artist", "album"], Value::Int(0));
+        let v = l.get(&s).unwrap();
+        assert_eq!(l.put(&s, &v).unwrap(), s);
+    }
+}

@@ -1,0 +1,44 @@
+//! Relational lenses: updatable views with explicit update policies.
+//!
+//! Following Bohannon, Pierce and Vaughan (PODS 2006):
+//!
+//! * [`SelectLens`] — `σ_P` as an updatable view;
+//! * [`DropLens`] — projection that drops one column determined by a key,
+//!   with a default for re-creation;
+//! * [`JoinLens`] — natural join with the *delete-left* policy;
+//! * [`ComposedRelLens`] / [`RenameLens`] — sequential composition and
+//!   the bijective column rename.
+//!
+//! Relational lens operations are partial (schemas and dependencies must
+//! line up), so the trait returns `Result` rather than reusing the total
+//! `bx-lens`-style total lens trait; examples adapt them into state-based bx
+//! with validated model spaces.
+
+pub mod compose;
+pub mod drop;
+pub mod join;
+pub mod select;
+
+pub use compose::{ComposedRelLens, RenameLens};
+pub use drop::DropLens;
+pub use join::JoinLens;
+pub use select::SelectLens;
+
+use crate::error::RelError;
+use crate::relation::Relation;
+
+/// An updatable relational view over a source of type `S` (a [`Relation`]
+/// or a pair of relations).
+pub trait RelLens<S> {
+    /// A short stable name.
+    fn name(&self) -> &str;
+
+    /// Compute the view.
+    fn get(&self, src: &S) -> Result<Relation, RelError>;
+
+    /// Translate an updated view back to an updated source.
+    fn put(&self, src: &S, view: &Relation) -> Result<S, RelError>;
+
+    /// Build a source from a view alone.
+    fn create(&self, view: &Relation) -> Result<S, RelError>;
+}

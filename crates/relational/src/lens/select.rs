@@ -1,0 +1,176 @@
+//! The selection lens: `σ_P` as an updatable view.
+
+use crate::algebra::{select, Predicate};
+use crate::error::RelError;
+use crate::lens::RelLens;
+use crate::relation::Relation;
+
+/// An updatable selection view.
+///
+/// * `get(S) = σ_P(S)`;
+/// * `put(S, V)`: every row of `V` must satisfy `P`; the updated source is
+///   the rows of `S` *failing* `P` (the hidden complement) plus `V`;
+/// * `create(V) = V`.
+///
+/// With the predicate-membership side condition, the lens is well behaved:
+/// GetPut and PutGet hold by construction.
+#[derive(Debug, Clone)]
+pub struct SelectLens {
+    predicate: Predicate,
+    name: String,
+}
+
+impl SelectLens {
+    /// Build from a predicate.
+    pub fn new(predicate: Predicate) -> SelectLens {
+        let name = format!("select({predicate})");
+        SelectLens { predicate, name }
+    }
+
+    /// The defining predicate.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    fn check_view(&self, view: &Relation) -> Result<(), RelError> {
+        for row in view.rows() {
+            if !self.predicate.eval(view.schema(), row)? {
+                return Err(RelError::PredicateViolation {
+                    lens: self.name.clone(),
+                    row: format!("{row:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl RelLens<Relation> for SelectLens {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, src: &Relation) -> Result<Relation, RelError> {
+        select(src, &self.predicate)
+    }
+
+    fn put(&self, src: &Relation, view: &Relation) -> Result<Relation, RelError> {
+        if src.schema() != view.schema() {
+            return Err(RelError::SchemaMismatch {
+                detail: format!("{} vs {}", src.schema(), view.schema()),
+            });
+        }
+        self.check_view(view)?;
+        // Complement: rows of src failing the predicate.
+        let mut out = Relation::empty(src.schema().clone());
+        for row in src.rows() {
+            if !self.predicate.eval(src.schema(), row)? {
+                out.insert(row.clone())?;
+            }
+        }
+        for row in view.rows() {
+            out.insert(row.clone())?;
+        }
+        Ok(out)
+    }
+
+    fn create(&self, view: &Relation) -> Result<Relation, RelError> {
+        self.check_view(view)?;
+        Ok(view.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::{Value, ValueType};
+
+    fn tracks() -> Relation {
+        let schema = Schema::new(vec![
+            ("track", ValueType::Str),
+            ("rating", ValueType::Int),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("Lullaby"), Value::Int(3)],
+                vec![Value::str("Lovesong"), Value::Int(5)],
+                vec![Value::str("Trust"), Value::Int(4)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn lens() -> SelectLens {
+        SelectLens::new(Predicate::lt("rating", 5).not())
+    }
+
+    #[test]
+    fn get_selects() {
+        let v = lens().get(&tracks()).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(v.contains(&[Value::str("Lovesong"), Value::Int(5)]));
+    }
+
+    #[test]
+    fn getput_roundtrip() {
+        let l = lens();
+        let s = tracks();
+        let v = l.get(&s).unwrap();
+        assert_eq!(l.put(&s, &v).unwrap(), s);
+    }
+
+    #[test]
+    fn putget_roundtrip() {
+        let l = lens();
+        let s = tracks();
+        let mut v = l.get(&s).unwrap();
+        v.insert(vec![Value::str("Plainsong"), Value::Int(5)]).unwrap();
+        let s2 = l.put(&s, &v).unwrap();
+        assert_eq!(l.get(&s2).unwrap(), v);
+        // Hidden low-rated rows survived.
+        assert!(s2.contains(&[Value::str("Lullaby"), Value::Int(3)]));
+    }
+
+    #[test]
+    fn put_rejects_predicate_violations() {
+        let l = lens();
+        let s = tracks();
+        let v = Relation::from_rows(
+            s.schema().clone(),
+            vec![vec![Value::str("Bad"), Value::Int(1)]],
+        )
+        .unwrap();
+        assert!(matches!(l.put(&s, &v), Err(RelError::PredicateViolation { .. })));
+    }
+
+    #[test]
+    fn put_deletes_view_rows() {
+        let l = lens();
+        let s = tracks();
+        let empty = Relation::empty(s.schema().clone());
+        let s2 = l.put(&s, &empty).unwrap();
+        assert_eq!(s2.len(), 2, "only the complement remains");
+        assert!(!s2.contains(&[Value::str("Lovesong"), Value::Int(5)]));
+    }
+
+    #[test]
+    fn create_is_view() {
+        let l = lens();
+        let v = Relation::from_rows(
+            tracks().schema().clone(),
+            vec![vec![Value::str("X"), Value::Int(5)]],
+        )
+        .unwrap();
+        assert_eq!(l.create(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn put_schema_mismatch_rejected() {
+        let l = lens();
+        let other = Relation::empty(Schema::new(vec![("x", ValueType::Int)]).unwrap());
+        assert!(l.put(&tracks(), &other).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # bx-relational
+//!
+//! A small, from-scratch, in-memory typed relational engine and the
+//! **relational lenses** of Bohannon, Pierce and Vaughan (*"Relational
+//! Lenses: A Language for Updatable Views"*, PODS 2006) — the
+//! databases-community face of bidirectional transformations that the BX
+//! 2014 repository paper aims to bring together with the MDE and PL
+//! communities.
+//!
+//! Layers:
+//!
+//! * [`value`] / [`schema`] / [`relation`] — typed tuples, named and typed
+//!   columns, set-semantics relations with deterministic iteration;
+//! * [`algebra`] — selection, projection, natural join, union, difference,
+//!   renaming, with schema checking;
+//! * [`fd`] — functional dependencies: validation and the *record
+//!   revision* operation relational-lens `put` is built on;
+//! * [`lens`] — updatable views: [`lens::SelectLens`], [`lens::DropLens`],
+//!   [`lens::JoinLens`], each with `get` / `put` / `create` and documented
+//!   update policies.
+
+pub mod algebra;
+pub mod error;
+pub mod fd;
+pub mod lens;
+pub mod relation;
+pub mod schema;
+pub mod value;
+
+pub use error::RelError;
+pub use fd::Fd;
+pub use lens::{ComposedRelLens, DropLens, JoinLens, RelLens, RenameLens, SelectLens};
+pub use relation::Relation;
+pub use schema::Schema;
+pub use value::{Value, ValueType};

@@ -1,0 +1,172 @@
+//! Relations: schema plus a set of typed rows.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::RelError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A relation with set semantics and deterministic (sorted) iteration
+/// order — determinism matters because restoration functions must be
+/// functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    rows: BTreeSet<Vec<Value>>,
+}
+
+impl Relation {
+    /// An empty relation over a schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation { schema, rows: BTreeSet::new() }
+    }
+
+    /// Build from rows, validating each against the schema.
+    pub fn from_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Result<Relation, RelError> {
+        let mut rel = Relation::empty(schema);
+        for row in rows {
+            rel.insert(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a row (validated). Duplicate rows are absorbed (set
+    /// semantics). Returns whether the row was new.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<bool, RelError> {
+        self.schema.check_row(&row)?;
+        Ok(self.rows.insert(row))
+    }
+
+    /// Remove a row; returns whether it was present.
+    pub fn remove(&mut self, row: &[Value]) -> bool {
+        self.rows.remove(row)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.rows.contains(row)
+    }
+
+    /// Iterate rows in sorted order.
+    pub fn rows(&self) -> impl Iterator<Item = &Vec<Value>> {
+        self.rows.iter()
+    }
+
+    /// The value of a named column in a row of this relation.
+    pub fn value<'r>(&self, row: &'r [Value], column: &str) -> Result<&'r Value, RelError> {
+        Ok(&row[self.schema.index_of(column)?])
+    }
+
+    /// Keep only rows satisfying the predicate (in-place filter).
+    pub fn retain<F: FnMut(&[Value]) -> bool>(&mut self, mut pred: F) {
+        self.rows.retain(|r| pred(r));
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for row in &self.rows {
+            write!(f, "  (")?;
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn people() -> Relation {
+        let schema =
+            Schema::new(vec![("id", ValueType::Int), ("name", ValueType::Str)]).unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::str("ada")],
+                vec![Value::Int(2), Value::str("bob")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_validates_and_dedups() {
+        let mut r = people();
+        assert_eq!(r.len(), 2);
+        // Duplicate insert absorbed.
+        assert!(!r.insert(vec![Value::Int(1), Value::str("ada")]).unwrap());
+        assert_eq!(r.len(), 2);
+        // Type error rejected.
+        assert!(r.insert(vec![Value::str("x"), Value::str("y")]).is_err());
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut r = people();
+        assert!(r.contains(&[Value::Int(1), Value::str("ada")]));
+        assert!(r.remove(&[Value::Int(1), Value::str("ada")]));
+        assert!(!r.contains(&[Value::Int(1), Value::str("ada")]));
+        assert!(!r.remove(&[Value::Int(1), Value::str("ada")]));
+    }
+
+    #[test]
+    fn rows_iterate_sorted() {
+        let r = people();
+        let ids: Vec<i64> = r
+            .rows()
+            .map(|row| match &row[0] {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn value_lookup_by_column() {
+        let r = people();
+        let row = r.rows().next().unwrap().clone();
+        assert_eq!(r.value(&row, "name").unwrap(), &Value::str("ada"));
+        assert!(r.value(&row, "missing").is_err());
+    }
+
+    #[test]
+    fn retain_filters_in_place() {
+        let mut r = people();
+        r.retain(|row| row[0] == Value::Int(2));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[Value::Int(2), Value::str("bob")]));
+    }
+
+    #[test]
+    fn display_shows_schema_and_rows() {
+        let text = people().to_string();
+        assert!(text.contains("id: Int"));
+        assert!(text.contains("\"ada\""));
+    }
+}

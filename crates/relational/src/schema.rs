@@ -1,0 +1,200 @@
+//! Relation schemas: ordered, named, typed columns.
+
+use std::fmt;
+
+use crate::error::RelError;
+use crate::value::{Value, ValueType};
+
+/// An ordered list of `(name, type)` columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Schema {
+    columns: Vec<(String, ValueType)>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<(&str, ValueType)>) -> Result<Schema, RelError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for (name, _) in &columns {
+            if !seen.insert(*name) {
+                return Err(RelError::DuplicateColumn { column: (*name).to_string() });
+            }
+        }
+        Ok(Schema {
+            columns: columns.into_iter().map(|(n, t)| (n.to_string(), t)).collect(),
+        })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[(String, ValueType)] {
+        &self.columns
+    }
+
+    /// Column names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize, RelError> {
+        self.columns.iter().position(|(n, _)| n == name).ok_or_else(|| {
+            RelError::UnknownColumn { column: name.to_string(), schema: self.to_string() }
+        })
+    }
+
+    /// The type of a named column.
+    pub fn type_of(&self, name: &str) -> Result<ValueType, RelError> {
+        Ok(self.columns[self.index_of(name)?].1)
+    }
+
+    /// Indices of several columns, in the order given.
+    pub fn indices_of(&self, names: &[&str]) -> Result<Vec<usize>, RelError> {
+        names.iter().map(|n| self.index_of(n)).collect()
+    }
+
+    /// Validate a row against the schema.
+    pub fn check_row(&self, row: &[Value]) -> Result<(), RelError> {
+        if row.len() != self.arity() {
+            return Err(RelError::TypeMismatch {
+                expected: format!("arity {}", self.arity()),
+                found: format!("arity {}", row.len()),
+            });
+        }
+        for ((name, ty), v) in self.columns.iter().zip(row) {
+            if v.type_of() != *ty {
+                return Err(RelError::TypeMismatch {
+                    expected: format!("{ty} for column `{name}`"),
+                    found: format!("{} ({v})", v.type_of()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The sub-schema keeping the named columns, in the order given.
+    pub fn project(&self, names: &[&str]) -> Result<Schema, RelError> {
+        let idx = self.indices_of(names)?;
+        Ok(Schema { columns: idx.into_iter().map(|i| self.columns[i].clone()).collect() })
+    }
+
+    /// The sub-schema dropping one named column.
+    pub fn without(&self, name: &str) -> Result<Schema, RelError> {
+        let i = self.index_of(name)?;
+        let mut cols = self.columns.clone();
+        cols.remove(i);
+        Ok(Schema { columns: cols })
+    }
+
+    /// Rename a column.
+    pub fn rename(&self, from: &str, to: &str) -> Result<Schema, RelError> {
+        let i = self.index_of(from)?;
+        if from != to && self.index_of(to).is_ok() {
+            return Err(RelError::DuplicateColumn { column: to.to_string() });
+        }
+        let mut cols = self.columns.clone();
+        cols[i].0 = to.to_string();
+        Ok(Schema { columns: cols })
+    }
+
+    /// Column names shared with another schema (join attributes), in this
+    /// schema's order, requiring agreeing types.
+    pub fn shared_with(&self, other: &Schema) -> Result<Vec<String>, RelError> {
+        let mut shared = Vec::new();
+        for (name, ty) in &self.columns {
+            if let Ok(other_ty) = other.type_of(name) {
+                if other_ty != *ty {
+                    return Err(RelError::SchemaMismatch {
+                        detail: format!("column `{name}` has type {ty} vs {other_ty}"),
+                    });
+                }
+                shared.push(name.clone());
+            }
+        }
+        Ok(shared)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (n, t)) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}: {t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Schema {
+        Schema::new(vec![
+            ("id", ValueType::Int),
+            ("name", ValueType::Str),
+            ("active", ValueType::Bool),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let e = Schema::new(vec![("a", ValueType::Int), ("a", ValueType::Str)]);
+        assert!(matches!(e, Err(RelError::DuplicateColumn { .. })));
+    }
+
+    #[test]
+    fn index_and_type_lookup() {
+        let s = s();
+        assert_eq!(s.index_of("name").unwrap(), 1);
+        assert_eq!(s.type_of("active").unwrap(), ValueType::Bool);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn check_row_validates() {
+        let s = s();
+        assert!(s.check_row(&[Value::Int(1), Value::str("x"), Value::Bool(true)]).is_ok());
+        assert!(s.check_row(&[Value::Int(1), Value::str("x")]).is_err());
+        assert!(s.check_row(&[Value::str("1"), Value::str("x"), Value::Bool(true)]).is_err());
+    }
+
+    #[test]
+    fn project_and_without() {
+        let s = s();
+        let p = s.project(&["name", "id"]).unwrap();
+        assert_eq!(p.names(), vec!["name", "id"]);
+        let w = s.without("name").unwrap();
+        assert_eq!(w.names(), vec!["id", "active"]);
+    }
+
+    #[test]
+    fn rename_guards_duplicates() {
+        let s = s();
+        assert_eq!(s.rename("id", "key").unwrap().names(), vec!["key", "name", "active"]);
+        assert!(matches!(s.rename("id", "name"), Err(RelError::DuplicateColumn { .. })));
+        assert!(s.rename("id", "id").is_ok());
+    }
+
+    #[test]
+    fn shared_with_checks_types() {
+        let s = s();
+        let t = Schema::new(vec![("name", ValueType::Str), ("age", ValueType::Int)]).unwrap();
+        assert_eq!(s.shared_with(&t).unwrap(), vec!["name".to_string()]);
+        let bad = Schema::new(vec![("name", ValueType::Int)]).unwrap();
+        assert!(s.shared_with(&bad).is_err());
+    }
+
+    #[test]
+    fn display_lists_columns() {
+        assert_eq!(s().to_string(), "(id: Int, name: Str, active: Bool)");
+    }
+}

@@ -1,0 +1,133 @@
+//! Typed values for relational tuples.
+
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Int => write!(f, "Int"),
+            ValueType::Str => write!(f, "Str"),
+            ValueType::Bool => write!(f, "Bool"),
+        }
+    }
+}
+
+/// A single value in a tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn type_of(&self) -> ValueType {
+        match self {
+            Value::Int(_) => ValueType::Int,
+            Value::Str(_) => ValueType::Str,
+            Value::Bool(_) => ValueType::Bool,
+        }
+    }
+
+    /// A convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// The default value of a type (used by drop-lens `create`).
+    pub fn default_of(ty: ValueType) -> Value {
+        match ty {
+            ValueType::Int => Value::Int(0),
+            ValueType::Str => Value::Str(String::new()),
+            ValueType::Bool => Value::Bool(false),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_of_matches_variant() {
+        assert_eq!(Value::Int(1).type_of(), ValueType::Int);
+        assert_eq!(Value::str("x").type_of(), ValueType::Str);
+        assert_eq!(Value::Bool(true).type_of(), ValueType::Bool);
+    }
+
+    #[test]
+    fn defaults_have_right_types() {
+        for ty in [ValueType::Int, ValueType::Str, ValueType::Bool] {
+            assert_eq!(Value::default_of(ty).type_of(), ty);
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("a"), Value::Str("a".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn ordering_is_total_within_type() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based law checking for the relational lenses on generated
+//! relations: GetPut and PutGet for select, drop, rename and their
+//! composition, plus FD preservation.
+
+use bx_relational::algebra::Predicate;
+use bx_relational::{
+    ComposedRelLens, DropLens, Fd, RelLens, Relation, RenameLens, Schema, SelectLens, Value,
+    ValueType,
+};
+use proptest::prelude::*;
+
+fn people_schema() -> Schema {
+    Schema::new(vec![
+        ("name", ValueType::Str),
+        ("city", ValueType::Str),
+        ("phone", ValueType::Str),
+    ])
+    .expect("static schema")
+}
+
+/// Relations over (name, city, phone) with unique names so `name → phone`
+/// and `name → city` both hold.
+fn arb_people() -> impl Strategy<Value = Relation> {
+    prop::collection::btree_map(
+        "[a-z]{2,6}",
+        (prop::sample::select(vec!["Paris", "Lyon"]), "[0-9]{1,5}"),
+        0..8,
+    )
+    .prop_map(|rows| {
+        let mut rel = Relation::empty(people_schema());
+        for (name, (city, phone)) in rows {
+            rel.insert(vec![Value::str(name), Value::str(city), Value::str(phone)])
+                .expect("row matches schema");
+        }
+        rel
+    })
+}
+
+/// Paris-only views over (name, city) with unique names.
+fn arb_paris_view() -> impl Strategy<Value = Relation> {
+    prop::collection::btree_set("[a-z]{2,6}", 0..6).prop_map(|names| {
+        let schema =
+            Schema::new(vec![("name", ValueType::Str), ("city", ValueType::Str)]).unwrap();
+        let mut rel = Relation::empty(schema);
+        for name in names {
+            rel.insert(vec![Value::str(name), Value::str("Paris")]).expect("row matches");
+        }
+        rel
+    })
+}
+
+fn select_paris() -> SelectLens {
+    SelectLens::new(Predicate::eq("city", "Paris"))
+}
+
+fn drop_phone() -> DropLens {
+    DropLens::new("phone", &["name"], Value::str(""))
+}
+
+fn pipeline() -> ComposedRelLens<SelectLens, DropLens> {
+    ComposedRelLens::new(select_paris(), drop_phone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn select_getput_putget(src in arb_people()) {
+        let l = select_paris();
+        let v = l.get(&src).expect("schemas line up");
+        prop_assert_eq!(l.put(&src, &v).expect("valid view"), src.clone());
+        prop_assert_eq!(l.get(&l.put(&src, &v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn drop_getput(src in arb_people()) {
+        let l = drop_phone();
+        let v = l.get(&src).expect("schemas line up");
+        prop_assert_eq!(l.put(&src, &v).expect("FD holds by construction"), src);
+    }
+
+    #[test]
+    fn rename_bijective(src in arb_people()) {
+        let l = RenameLens::new("phone", "telephone");
+        let v = l.get(&src).expect("column exists");
+        prop_assert_eq!(l.put(&src, &v).expect("reverse rename"), src.clone());
+        prop_assert_eq!(l.create(&v).expect("reverse rename"), src);
+    }
+
+    #[test]
+    fn pipeline_getput(src in arb_people()) {
+        let l = pipeline();
+        let v = l.get(&src).expect("pipeline composes");
+        prop_assert_eq!(l.put(&src, &v).expect("identity put"), src);
+    }
+
+    #[test]
+    fn pipeline_putget(src in arb_people(), view in arb_paris_view()) {
+        let l = pipeline();
+        let s2 = l.put(&src, &view).expect("valid Paris view with unique names");
+        prop_assert_eq!(l.get(&s2).expect("result is well-formed"), view);
+        // The put result still satisfies the drop lens's FD.
+        prop_assert!(Fd::new(&["name"], &["phone"]).holds_on(&s2));
+    }
+
+    #[test]
+    fn pipeline_preserves_complement(src in arb_people(), view in arb_paris_view()) {
+        // Non-Paris rows of the source survive any view update verbatim.
+        let l = pipeline();
+        let s2 = l.put(&src, &view).expect("valid view");
+        for row in src.rows() {
+            if src.value(row, "city").unwrap() != &Value::str("Paris") {
+                prop_assert!(s2.contains(row), "complement row {row:?} was lost");
+            }
+        }
+    }
+}

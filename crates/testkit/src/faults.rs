@@ -1,0 +1,204 @@
+//! Fault injection: wrappers that deliberately break one law of an inner
+//! bx. Used to test the law checkers themselves — a checker that cannot
+//! catch a planted violation is worse than no checker.
+
+use bx_theory::Bx;
+
+/// Breaks CorrectFwd by corrupting the forward restoration with a caller-
+/// supplied perturbation (which must produce an inconsistent `n`).
+pub struct BreakCorrectFwd<B, F> {
+    inner: B,
+    corrupt: F,
+    name: String,
+}
+
+impl<B, F> BreakCorrectFwd<B, F> {
+    /// Wrap `inner`; `corrupt` perturbs every fwd result.
+    pub fn new<M, N>(inner: B, corrupt: F) -> Self
+    where
+        B: Bx<M, N>,
+        F: Fn(N) -> N,
+    {
+        let name = format!("{}+break-correct-fwd", inner.name());
+        BreakCorrectFwd { inner, corrupt, name }
+    }
+}
+
+impl<M, N, B, F> Bx<M, N> for BreakCorrectFwd<B, F>
+where
+    B: Bx<M, N>,
+    F: Fn(N) -> N,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn consistent(&self, m: &M, n: &N) -> bool {
+        self.inner.consistent(m, n)
+    }
+
+    fn fwd(&self, m: &M, n: &N) -> N {
+        (self.corrupt)(self.inner.fwd(m, n))
+    }
+
+    fn bwd(&self, m: &M, n: &N) -> M {
+        self.inner.bwd(m, n)
+    }
+}
+
+/// Breaks HippocraticFwd: when the pair is already consistent, the fwd
+/// result is perturbed anyway (but kept consistent by using a perturbation
+/// that preserves consistency, e.g. reordering a list).
+pub struct BreakHippocraticFwd<B, F> {
+    inner: B,
+    meddle: F,
+    name: String,
+}
+
+impl<B, F> BreakHippocraticFwd<B, F> {
+    /// Wrap `inner`; `meddle` gratuitously rewrites consistent views.
+    pub fn new<M, N>(inner: B, meddle: F) -> Self
+    where
+        B: Bx<M, N>,
+        F: Fn(N) -> N,
+    {
+        let name = format!("{}+break-hippocratic-fwd", inner.name());
+        BreakHippocraticFwd { inner, meddle, name }
+    }
+}
+
+impl<M, N, B, F> Bx<M, N> for BreakHippocraticFwd<B, F>
+where
+    B: Bx<M, N>,
+    F: Fn(N) -> N,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn consistent(&self, m: &M, n: &N) -> bool {
+        self.inner.consistent(m, n)
+    }
+
+    fn fwd(&self, m: &M, n: &N) -> N {
+        if self.inner.consistent(m, n) {
+            (self.meddle)(self.inner.fwd(m, n))
+        } else {
+            self.inner.fwd(m, n)
+        }
+    }
+
+    fn bwd(&self, m: &M, n: &N) -> M {
+        self.inner.bwd(m, n)
+    }
+}
+
+/// Breaks HippocraticBwd symmetrically.
+pub struct BreakHippocraticBwd<B, F> {
+    inner: B,
+    meddle: F,
+    name: String,
+}
+
+impl<B, F> BreakHippocraticBwd<B, F> {
+    /// Wrap `inner`; `meddle` gratuitously rewrites consistent sources.
+    pub fn new<M, N>(inner: B, meddle: F) -> Self
+    where
+        B: Bx<M, N>,
+        F: Fn(M) -> M,
+    {
+        let name = format!("{}+break-hippocratic-bwd", inner.name());
+        BreakHippocraticBwd { inner, meddle, name }
+    }
+}
+
+impl<M, N, B, F> Bx<M, N> for BreakHippocraticBwd<B, F>
+where
+    B: Bx<M, N>,
+    F: Fn(M) -> M,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn consistent(&self, m: &M, n: &N) -> bool {
+        self.inner.consistent(m, n)
+    }
+
+    fn fwd(&self, m: &M, n: &N) -> N {
+        self.inner.fwd(m, n)
+    }
+
+    fn bwd(&self, m: &M, n: &N) -> M {
+        if self.inner.consistent(m, n) {
+            (self.meddle)(self.inner.bwd(m, n))
+        } else {
+            self.inner.bwd(m, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bx_examples::composers::{composers_bx, Composer, ComposerSet, PairList};
+    use bx_theory::{check_law, Law, Samples};
+
+    fn consistent_sample() -> (ComposerSet, PairList) {
+        let m: ComposerSet =
+            [Composer::new("A", "1-2", "X"), Composer::new("B", "3-4", "Y")].into_iter().collect();
+        let n = vec![("A".to_string(), "X".to_string()), ("B".to_string(), "Y".to_string())];
+        (m, n)
+    }
+
+    #[test]
+    fn planted_correctness_fault_is_caught() {
+        let (m, n) = consistent_sample();
+        let faulty = BreakCorrectFwd::new(composers_bx(), |mut out: PairList| {
+            out.push(("Ghost".to_string(), "Nowhere".to_string()));
+            out
+        });
+        let samples = Samples::from_pairs(vec![(m, n)]);
+        let report = check_law(&faulty, Law::CorrectFwd, &samples);
+        assert!(report.violated(), "{report}");
+    }
+
+    #[test]
+    fn planted_hippocratic_fwd_fault_is_caught() {
+        let (m, n) = consistent_sample();
+        // Reversal keeps the pair-set, so the result stays consistent —
+        // CorrectFwd survives while HippocraticFwd dies, isolating the law.
+        let faulty = BreakHippocraticFwd::new(composers_bx(), |mut out: PairList| {
+            out.reverse();
+            out
+        });
+        let samples = Samples::from_pairs(vec![(m, n)]);
+        assert!(check_law(&faulty, Law::CorrectFwd, &samples).holds());
+        assert!(check_law(&faulty, Law::HippocraticFwd, &samples).violated());
+    }
+
+    #[test]
+    fn planted_hippocratic_bwd_fault_is_caught() {
+        let (m, n) = consistent_sample();
+        let faulty = BreakHippocraticBwd::new(composers_bx(), |mut out: ComposerSet| {
+            // Replace dates of every composer: pair-set preserved.
+            out = out
+                .into_iter()
+                .map(|c| Composer::new(&c.name, "0-0", &c.nationality))
+                .collect();
+            out
+        });
+        let samples = Samples::from_pairs(vec![(m, n)]);
+        assert!(check_law(&faulty, Law::CorrectBwd, &samples).holds());
+        assert!(check_law(&faulty, Law::HippocraticBwd, &samples).violated());
+    }
+
+    #[test]
+    fn unbroken_inner_bx_still_passes_through_wrappers() {
+        // A wrapper with an identity perturbation must not change verdicts.
+        let (m, n) = consistent_sample();
+        let wrapped = BreakHippocraticFwd::new(composers_bx(), |out: PairList| out);
+        let samples = Samples::from_pairs(vec![(m, n)]);
+        assert!(check_law(&wrapped, Law::HippocraticFwd, &samples).holds());
+    }
+}

@@ -1,0 +1,94 @@
+//! Harness glue: build [`Samples`] from generated models and assert law
+//! bundles with readable failures.
+
+use std::fmt::Debug;
+
+use bx_theory::{check_all_laws, Bx, Law, LawMatrix, Samples};
+
+/// Build a sample set from loose models: every `(m, n)` cross pair plus a
+/// consistent pair manufactured with `fwd` for each `m` (so hippocratic
+/// laws are never vacuous).
+pub fn samples_from_models<M, N, B>(bx: &B, ms: Vec<M>, ns: Vec<N>) -> Samples<M, N>
+where
+    M: Clone + PartialEq + Debug,
+    N: Clone + PartialEq + Debug,
+    B: Bx<M, N>,
+{
+    let mut pairs = Vec::with_capacity(ms.len() * (ns.len() + 1));
+    for m in &ms {
+        for n in &ns {
+            pairs.push((m.clone(), n.clone()));
+            pairs.push((m.clone(), bx.fwd(m, n)));
+        }
+        if ns.is_empty() {
+            // Still manufacture a consistent pair from a default-ish n?
+            // Without any n we cannot call fwd; skip.
+        }
+    }
+    Samples::new(pairs, ms, ns)
+}
+
+/// The four laws that constitute well-behavedness for state-based bx.
+pub const WELL_BEHAVED: [Law; 4] =
+    [Law::CorrectFwd, Law::CorrectBwd, Law::HippocraticFwd, Law::HippocraticBwd];
+
+/// Assert that a bx is correct and hippocratic on the samples, returning
+/// the full matrix for further assertions.
+pub fn assert_well_behaved<M, N, B>(bx: &B, samples: &Samples<M, N>) -> LawMatrix
+where
+    M: Clone + PartialEq + Debug,
+    N: Clone + PartialEq + Debug,
+    B: Bx<M, N>,
+{
+    let matrix = check_all_laws(bx, samples);
+    for law in WELL_BEHAVED {
+        assert!(
+            matrix.law_holds(law),
+            "bx `{}` violates {law}:\n{matrix}",
+            matrix.bx_name
+        );
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bx_examples::composers::{composers_bx, Composer, ComposerSet};
+    use bx_theory::BxFromFns;
+
+    #[test]
+    fn samples_include_manufactured_consistent_pairs() {
+        let b = composers_bx();
+        let m: ComposerSet = [Composer::new("A", "1-2", "X")].into_iter().collect();
+        let samples = samples_from_models(&b, vec![m], vec![vec![]]);
+        // At least one pair must be consistent thanks to fwd-manufacture.
+        assert!(samples.pairs().iter().any(|(m, n)| b.consistent(m, n)));
+    }
+
+    #[test]
+    fn assert_well_behaved_passes_for_composers() {
+        let b = composers_bx();
+        let m: ComposerSet = [Composer::new("A", "1-2", "X")].into_iter().collect();
+        let samples = samples_from_models(
+            &b,
+            vec![m, ComposerSet::new()],
+            vec![vec![], vec![("A".to_string(), "X".to_string())]],
+        );
+        let matrix = assert_well_behaved(&b, &samples);
+        assert!(!matrix.law_holds(Law::UndoableBwd));
+    }
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn assert_well_behaved_panics_for_broken_bx() {
+        let broken = BxFromFns::new(
+            "broken",
+            |m: &i32, n: &i32| m == n,
+            |m: &i32, _: &i32| m + 1,
+            |_: &i32, n: &i32| *n,
+        );
+        let samples = samples_from_models(&broken, vec![1, 2], vec![3]);
+        assert_well_behaved(&broken, &samples);
+    }
+}

@@ -1,0 +1,18 @@
+//! # bx-testkit
+//!
+//! Test substrate for the bx workspace:
+//!
+//! * [`strategies`] — proptest strategies generating models of every
+//!   example domain (composer sets, pair lists, relations, family
+//!   models, wiki-safe text);
+//! * [`harness`] — glue turning generated models into
+//!   [`bx_theory::Samples`] and asserting law bundles;
+//! * [`faults`] — deliberately broken bx wrappers used to verify that the
+//!   law checkers actually catch violations (testing the testers).
+
+pub mod faults;
+pub mod harness;
+pub mod strategies;
+
+pub use faults::{BreakCorrectFwd, BreakHippocraticBwd, BreakHippocraticFwd};
+pub use harness::{assert_well_behaved, samples_from_models};

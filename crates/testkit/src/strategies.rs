@@ -1,0 +1,165 @@
+//! Proptest strategies for the example model domains.
+
+use proptest::prelude::*;
+
+use bx_examples::composers::{Composer, ComposerSet, PairList};
+use bx_examples::families::{FamilyModel, Gender, Person, PersonModel};
+use bx_relational::{Relation, Schema, Value, ValueType};
+
+/// A plausible composer name.
+pub fn arb_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "Jean Sibelius",
+        "Aaron Copland",
+        "Clara Schumann",
+        "Benjamin Britten",
+        "Erik Satie",
+        "Amy Beach",
+        "Lili Boulanger",
+    ])
+    .prop_map(str::to_string)
+}
+
+/// A nationality.
+pub fn arb_nationality() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["Finnish", "American", "German", "British", "French"])
+        .prop_map(str::to_string)
+}
+
+/// Life dates, including the unknown placeholder.
+pub fn arb_dates() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (1500u32..1950, 30u32..90).prop_map(|(b, span)| format!("{b}-{}", b + span)),
+        Just(bx_examples::composers::UNKNOWN_DATES.to_string()),
+    ]
+}
+
+/// A single composer.
+pub fn arb_composer() -> impl Strategy<Value = Composer> {
+    (arb_name(), arb_dates(), arb_nationality()).prop_map(|(name, dates, nationality)| {
+        Composer { name, dates, nationality }
+    })
+}
+
+/// A composer set of up to `max` composers.
+pub fn arb_composer_set(max: usize) -> impl Strategy<Value = ComposerSet> {
+    prop::collection::btree_set(arb_composer(), 0..=max)
+}
+
+/// A pair list of up to `max` pairs (possibly with duplicates — the `N`
+/// side is an ordered list).
+pub fn arb_pair_list(max: usize) -> impl Strategy<Value = PairList> {
+    prop::collection::vec((arb_name(), arb_nationality()), 0..=max)
+}
+
+/// A person for the Families↔Persons domain.
+pub fn arb_person() -> impl Strategy<Value = Person> {
+    (
+        prop::sample::select(vec!["Jim", "Cindy", "Brandon", "Brenda", "Peter", "Mary"]),
+        prop::sample::select(vec!["March", "Sailor", "Lovelace"]),
+        prop::bool::ANY,
+    )
+        .prop_map(|(first, last, male)| {
+            Person::new(first, last, if male { Gender::Male } else { Gender::Female })
+        })
+}
+
+/// A person model of up to `max` persons.
+pub fn arb_person_model(max: usize) -> impl Strategy<Value = PersonModel> {
+    prop::collection::btree_set(arb_person(), 0..=max)
+}
+
+/// A family model derived from a person model (always well-formed):
+/// persons are grouped by last name and placed as children.
+pub fn arb_family_model(max_people: usize) -> impl Strategy<Value = FamilyModel> {
+    arb_person_model(max_people).prop_map(|persons| {
+        let mut m = FamilyModel::new();
+        for p in persons {
+            let fam = m.entry(p.last_name.clone()).or_default();
+            match p.gender {
+                Gender::Male => fam.sons.insert(p.first_name),
+                Gender::Female => fam.daughters.insert(p.first_name),
+            };
+        }
+        m
+    })
+}
+
+/// The schema used by the generated people relations.
+pub fn people_schema() -> Schema {
+    Schema::new(vec![
+        ("name", ValueType::Str),
+        ("city", ValueType::Str),
+        ("phone", ValueType::Str),
+    ])
+    .expect("static schema")
+}
+
+/// A people relation with unique names (so `name → phone` holds, as the
+/// drop lens requires).
+pub fn arb_people_relation(max: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::btree_set(
+        (
+            "[a-z]{2,8}",
+            prop::sample::select(vec!["Paris", "Lyon", "Nice"]),
+            "[0-9+-]{0,8}",
+        ),
+        0..=max,
+    )
+    .prop_map(|rows| {
+        let mut rel = Relation::empty(people_schema());
+        let mut seen = std::collections::BTreeSet::new();
+        for (name, city, phone) in rows {
+            if seen.insert(name.clone()) {
+                rel.insert(vec![Value::str(name), Value::str(city), Value::str(phone)])
+                    .expect("row matches schema");
+            }
+        }
+        rel
+    })
+}
+
+/// Text safe for wiki free-text fields: no lines starting with `+`, no
+/// `::` separators, non-empty.
+pub fn arb_wiki_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 ,.()-]{1,60}".prop_map(|s| {
+        let t = s.trim().to_string();
+        if t.is_empty() {
+            "text".to_string()
+        } else {
+            t
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn composer_sets_respect_bound(set in arb_composer_set(6)) {
+            prop_assert!(set.len() <= 6);
+        }
+
+        #[test]
+        fn people_relations_have_unique_names(rel in arb_people_relation(8)) {
+            let fd = bx_relational::Fd::new(&["name"], &["phone"]);
+            prop_assert!(fd.holds_on(&rel));
+        }
+
+        #[test]
+        fn family_models_are_child_only(m in arb_family_model(6)) {
+            for fam in m.values() {
+                prop_assert!(fam.father.is_none() && fam.mother.is_none());
+            }
+        }
+
+        #[test]
+        fn wiki_text_is_heading_free(t in arb_wiki_text()) {
+            prop_assert!(!t.lines().any(|l| l.starts_with('+')));
+            prop_assert!(!t.contains("::"));
+            prop_assert!(!t.is_empty());
+        }
+    }
+}

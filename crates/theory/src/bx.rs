@@ -1,0 +1,329 @@
+//! The core [`Bx`] trait: consistency plus restoration in both directions.
+
+use std::fmt;
+
+/// Which side of a bx is authoritative during a restoration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// The `M` (left/source) side is authoritative; `fwd` modifies `N`.
+    Forward,
+    /// The `N` (right/target) side is authoritative; `bwd` modifies `M`.
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Forward => write!(f, "forward"),
+            Direction::Backward => write!(f, "backward"),
+        }
+    }
+}
+
+/// A state-based bidirectional transformation between model classes `M` and
+/// `N`, in the style of Stevens' landscape papers.
+///
+/// An implementation supplies:
+///
+/// * [`Bx::consistent`] — the consistency relation `R ⊆ M × N`;
+/// * [`Bx::fwd`] — forward restoration `M × N → N`: given authoritative `m`
+///   and stale `n`, produce a modified `n'` consistent with `m`;
+/// * [`Bx::bwd`] — backward restoration `M × N → M`, symmetrically.
+///
+/// Restoration functions are *total*: they always return a model, and the
+/// laws in [`crate::laws`] check whether the returned model is actually
+/// consistent (correctness), unchanged when nothing needed changing
+/// (hippocraticness), and so on.
+///
+/// Implementations that need extra input beyond the two states (e.g. edit
+/// information) should adapt through an edit-lens wrapper rather than
+/// implement this trait directly; the repository template records which
+/// framework an example assumes.
+pub trait Bx<M, N> {
+    /// A short stable name for diagnostics and reports.
+    fn name(&self) -> &str;
+
+    /// The consistency relation: does `(m, n) ∈ R`?
+    fn consistent(&self, m: &M, n: &N) -> bool;
+
+    /// Forward restoration: `m` is authoritative, produce a repaired `N`.
+    fn fwd(&self, m: &M, n: &N) -> N;
+
+    /// Backward restoration: `n` is authoritative, produce a repaired `M`.
+    fn bwd(&self, m: &M, n: &N) -> M;
+
+    /// Restore in the given [`Direction`], returning the repaired pair.
+    fn restore(&self, dir: Direction, m: &M, n: &N) -> (M, N)
+    where
+        M: Clone,
+        N: Clone,
+    {
+        match dir {
+            Direction::Forward => (m.clone(), self.fwd(m, n)),
+            Direction::Backward => (self.bwd(m, n), n.clone()),
+        }
+    }
+}
+
+/// A bx assembled from three closures. The workhorse constructor used by
+/// most examples in the repository.
+pub struct BxFromFns<M, N, C, F, B>
+where
+    C: Fn(&M, &N) -> bool,
+    F: Fn(&M, &N) -> N,
+    B: Fn(&M, &N) -> M,
+{
+    name: String,
+    consistent: C,
+    fwd: F,
+    bwd: B,
+    _marker: std::marker::PhantomData<fn(&M, &N)>,
+}
+
+impl<M, N, C, F, B> BxFromFns<M, N, C, F, B>
+where
+    C: Fn(&M, &N) -> bool,
+    F: Fn(&M, &N) -> N,
+    B: Fn(&M, &N) -> M,
+{
+    /// Build a bx from a name, a consistency predicate, and the two
+    /// restoration functions.
+    pub fn new(name: impl Into<String>, consistent: C, fwd: F, bwd: B) -> Self {
+        BxFromFns {
+            name: name.into(),
+            consistent,
+            fwd,
+            bwd,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M, N, C, F, B> Bx<M, N> for BxFromFns<M, N, C, F, B>
+where
+    C: Fn(&M, &N) -> bool,
+    F: Fn(&M, &N) -> N,
+    B: Fn(&M, &N) -> M,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn consistent(&self, m: &M, n: &N) -> bool {
+        (self.consistent)(m, n)
+    }
+
+    fn fwd(&self, m: &M, n: &N) -> N {
+        (self.fwd)(m, n)
+    }
+
+    fn bwd(&self, m: &M, n: &N) -> M {
+        (self.bwd)(m, n)
+    }
+}
+
+/// The same bx viewed from the other side: swaps the roles of `M` and `N`.
+///
+/// `SwapBx(b).fwd == b.bwd` (modulo argument order). Useful when an example
+/// is naturally described with the opposite orientation from the one a
+/// client needs.
+pub struct SwapBx<B> {
+    inner: B,
+    name: String,
+}
+
+impl<B> SwapBx<B> {
+    /// Wrap `inner`, swapping its orientation.
+    pub fn new<M, N>(inner: B) -> Self
+    where
+        B: Bx<M, N>,
+    {
+        let name = format!("swap({})", inner.name());
+        SwapBx { inner, name }
+    }
+
+    /// The wrapped bx.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<M, N, B> Bx<N, M> for SwapBx<B>
+where
+    B: Bx<M, N>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn consistent(&self, n: &N, m: &M) -> bool {
+        self.inner.consistent(m, n)
+    }
+
+    fn fwd(&self, n: &N, m: &M) -> M {
+        self.inner.bwd(m, n)
+    }
+
+    fn bwd(&self, n: &N, m: &M) -> N {
+        self.inner.fwd(m, n)
+    }
+}
+
+/// Composition of two bx through a *canonical middle*.
+///
+/// State-based bx do not compose in general: restoring `M ↔ K ↔ N` needs a
+/// `K` state to thread through, which neither endpoint stores. Following
+/// common practice we compose via a caller-supplied canonical middle
+/// constructor `mid : M → K` (used when no better `K` is available), which
+/// is sound whenever the left bx is *correct* and `mid(m)` is consistent
+/// with `m`. The repository's UML↔RDBMS entry discusses the pitfalls.
+pub struct ComposeViaMid<BL, BR, K, MidM>
+where
+    MidM: Fn(&K) -> K,
+{
+    left: BL,
+    right: BR,
+    name: String,
+    normalize_mid: MidM,
+    _marker: std::marker::PhantomData<fn(&K)>,
+}
+
+impl<BL, BR, K, MidM> ComposeViaMid<BL, BR, K, MidM>
+where
+    MidM: Fn(&K) -> K,
+{
+    /// Compose `left : Bx<M, K>` with `right : Bx<K, N>`.
+    ///
+    /// `normalize_mid` canonicalises a middle state before it is threaded
+    /// onward (identity is a fine default).
+    pub fn new(name: impl Into<String>, left: BL, right: BR, normalize_mid: MidM) -> Self {
+        ComposeViaMid {
+            left,
+            right,
+            name: name.into(),
+            normalize_mid,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M, K, N, BL, BR, MidM> Bx<M, N> for ComposeViaMid<BL, BR, K, MidM>
+where
+    BL: Bx<M, K>,
+    BR: Bx<K, N>,
+    K: Default,
+    MidM: Fn(&K) -> K,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn consistent(&self, m: &M, n: &N) -> bool {
+        // (m, n) are consistent iff some canonical middle witnesses both.
+        let k = (self.normalize_mid)(&self.left.fwd(m, &K::default()));
+        self.left.consistent(m, &k) && self.right.consistent(&k, n)
+    }
+
+    fn fwd(&self, m: &M, n: &N) -> N {
+        let k = (self.normalize_mid)(&self.left.fwd(m, &K::default()));
+        self.right.fwd(&k, n)
+    }
+
+    fn bwd(&self, m: &M, n: &N) -> M {
+        let k0 = (self.normalize_mid)(&self.left.fwd(m, &K::default()));
+        let k = self.right.bwd(&k0, n);
+        self.left.bwd(m, &k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replica() -> impl Bx<i32, i32> {
+        BxFromFns::new(
+            "replica",
+            |m: &i32, n: &i32| m == n,
+            |m: &i32, _n: &i32| *m,
+            |_m: &i32, n: &i32| *n,
+        )
+    }
+
+    #[test]
+    fn direction_opposite() {
+        assert_eq!(Direction::Forward.opposite(), Direction::Backward);
+        assert_eq!(Direction::Backward.opposite(), Direction::Forward);
+        assert_eq!(Direction::Forward.to_string(), "forward");
+    }
+
+    #[test]
+    fn from_fns_basic() {
+        let b = replica();
+        assert_eq!(b.name(), "replica");
+        assert!(b.consistent(&3, &3));
+        assert!(!b.consistent(&3, &4));
+        assert_eq!(b.fwd(&3, &9), 3);
+        assert_eq!(b.bwd(&3, &9), 9);
+    }
+
+    #[test]
+    fn restore_both_directions() {
+        let b = replica();
+        assert_eq!(b.restore(Direction::Forward, &1, &2), (1, 1));
+        assert_eq!(b.restore(Direction::Backward, &1, &2), (2, 2));
+    }
+
+    #[test]
+    fn swap_reverses_roles() {
+        let s = SwapBx::new(replica());
+        assert_eq!(s.name(), "swap(replica)");
+        assert!(s.consistent(&5, &5));
+        // fwd of the swap is bwd of the original: copies the (new) left side.
+        assert_eq!(s.fwd(&7, &1), 7);
+        assert_eq!(s.bwd(&7, &1), 1);
+    }
+
+    #[test]
+    fn double_swap_is_original() {
+        let s = SwapBx::new(SwapBx::new(replica()));
+        assert_eq!(s.fwd(&7, &1), 7);
+        assert!(s.consistent(&2, &2));
+    }
+
+    #[test]
+    fn compose_via_mid_replicas() {
+        // replica ; replica == replica (with identity normalisation).
+        let c = ComposeViaMid::new("replica2", replica(), replica(), |k: &i32| *k);
+        assert!(c.consistent(&4, &4));
+        assert!(!c.consistent(&4, &5));
+        assert_eq!(c.fwd(&4, &9), 4);
+        assert_eq!(c.bwd(&4, &9), 9);
+        assert_eq!(c.name(), "replica2");
+    }
+
+    #[test]
+    fn compose_with_doubling_iso() {
+        // left: m consistent with k iff k == 2m. right: replica on i32.
+        let double = BxFromFns::new(
+            "double",
+            |m: &i32, k: &i32| *k == 2 * *m,
+            |m: &i32, _k: &i32| 2 * *m,
+            |_m: &i32, k: &i32| *k / 2,
+        );
+        let c = ComposeViaMid::new("double;replica", double, replica(), |k: &i32| *k);
+        assert!(c.consistent(&3, &6));
+        assert!(!c.consistent(&3, &7));
+        assert_eq!(c.fwd(&3, &0), 6);
+        assert_eq!(c.bwd(&0, &8), 4);
+    }
+}

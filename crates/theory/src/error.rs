@@ -1,0 +1,61 @@
+//! Error type for the theory layer.
+
+use std::fmt;
+
+/// Errors arising while manipulating bx descriptions or checking laws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TheoryError {
+    /// A law was asked about a property that is declared-only and cannot be
+    /// checked mechanically (e.g. *simply matching*).
+    Uncheckable(String),
+    /// A law check was invoked with an empty sample set, which would
+    /// vacuously hold and mislead.
+    EmptySamples { law: String },
+    /// A property name could not be parsed.
+    UnknownProperty(String),
+}
+
+impl fmt::Display for TheoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TheoryError::Uncheckable(what) => {
+                write!(f, "property `{what}` is declared-only and cannot be machine-checked")
+            }
+            TheoryError::EmptySamples { law } => {
+                write!(f, "law `{law}` was checked against an empty sample set")
+            }
+            TheoryError::UnknownProperty(name) => write!(f, "unknown property name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for TheoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uncheckable() {
+        let e = TheoryError::Uncheckable("simply matching".into());
+        assert!(e.to_string().contains("simply matching"));
+    }
+
+    #[test]
+    fn display_empty_samples() {
+        let e = TheoryError::EmptySamples { law: "CorrectFwd".into() };
+        assert!(e.to_string().contains("CorrectFwd"));
+    }
+
+    #[test]
+    fn display_unknown_property() {
+        let e = TheoryError::UnknownProperty("frobnicating".into());
+        assert!(e.to_string().contains("frobnicating"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(TheoryError::UnknownProperty("x".into()));
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! The glossary of bx property terms.
+//!
+//! The paper's template says property values "will link to a separate
+//! glossary of terms such as 'hippocraticness'". This module *is* that
+//! glossary: one entry per [`Property`], with a definition, the formal laws
+//! that witness it, and pointers into the literature.
+
+use crate::property::Property;
+use crate::report::Law;
+
+/// A glossary entry: the community definition of one property term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlossaryEntry {
+    /// The property being defined.
+    pub property: Property,
+    /// Informal, natural-language definition (the primary text, per the
+    /// paper's "broad church" precision-in-English policy).
+    pub definition: &'static str,
+    /// The laws that witness the property mechanically, if any.
+    pub laws: &'static [Law],
+    /// Where the term comes from in the literature.
+    pub provenance: &'static str,
+}
+
+/// Look up the glossary entry for a property.
+pub fn glossary_entry(property: Property) -> GlossaryEntry {
+    let (definition, provenance) = match property {
+        Property::Correct => (
+            "A bx is correct when consistency restoration really does restore \
+             consistency: after running fwd (resp. bwd), the resulting pair of \
+             models is in the consistency relation.",
+            "Stevens, 'Bidirectional model transformations in QVT' (SoSyM 2010).",
+        ),
+        Property::Hippocratic => (
+            "A bx is hippocratic ('first, do no harm') when restoration changes \
+             nothing if the models are already consistent: fwd(m, n) = n and \
+             bwd(m, n) = m whenever (m, n) is consistent.",
+            "Stevens, 'A Landscape of Bidirectional Model Transformations' (GTTSE 2008).",
+        ),
+        Property::Undoable => (
+            "A bx is undoable when a change that is propagated and then reverted \
+             leaves no trace: from a consistent (m, n), an excursion through any \
+             m' (resp. n') followed by restoring the original authoritative model \
+             returns the other model to exactly its original state. The COMPOSERS \
+             example is the classic witness that undoability is too strong.",
+            "Stevens (GTTSE 2008); discussed for COMPOSERS in Cheney et al. (BX 2014), section 4.",
+        ),
+        Property::HistoryIgnorant => (
+            "A bx is history ignorant when the outcome of restoration depends only \
+             on the final authoritative model, not on intermediate states passed \
+             through on the way: fwd(m2, fwd(m1, n)) = fwd(m2, n). This is the \
+             state-based reading of the lens PutPut law.",
+            "Foster et al., 'Combinators for bidirectional tree transformations' (TOPLAS 2007).",
+        ),
+        Property::SimplyMatching => (
+            "A bx is simply matching when restoration proceeds by matching up \
+             corresponding elements of the two models (by key, e.g. (name, \
+             nationality) pairs in COMPOSERS) and then repairing per-element, with \
+             no further global dependence on model structure. Declared-only: \
+             witnessed by example-specific tests rather than a generic law.",
+            "Terminology from the Least Change project; used in Cheney et al. (BX 2014), section 4.",
+        ),
+        Property::Bijective => (
+            "A bx is bijective when the two model classes are in one-to-one \
+             correspondence on consistent states, so restoration in either \
+             direction loses nothing: bwd(m, fwd(m, n)) = m and fwd(bwd(m, n), n) = n.",
+            "Folklore; the degenerate case where a bx is a pair of inverse functions.",
+        ),
+        Property::NonDestructive => (
+            "A bx is non-destructive when restoration never deletes information \
+             from the model being repaired, only adds to it. Declared-only.",
+            "Informal safety property used by some repository entries.",
+        ),
+    };
+    GlossaryEntry { property, definition, laws: property.laws(), provenance }
+}
+
+/// The complete glossary, in [`Property::ALL`] order.
+pub fn glossary() -> Vec<GlossaryEntry> {
+    Property::ALL.iter().map(|&p| glossary_entry(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glossary_covers_every_property() {
+        let g = glossary();
+        assert_eq!(g.len(), Property::ALL.len());
+        for (entry, &p) in g.iter().zip(Property::ALL.iter()) {
+            assert_eq!(entry.property, p);
+            assert!(!entry.definition.is_empty());
+            assert!(!entry.provenance.is_empty());
+        }
+    }
+
+    #[test]
+    fn glossary_laws_match_property_laws() {
+        for entry in glossary() {
+            assert_eq!(entry.laws, entry.property.laws());
+        }
+    }
+
+    #[test]
+    fn undoable_entry_mentions_composers() {
+        let e = glossary_entry(Property::Undoable);
+        assert!(e.definition.contains("COMPOSERS"));
+    }
+
+    #[test]
+    fn declared_only_entries_say_so() {
+        for p in [Property::SimplyMatching, Property::NonDestructive] {
+            let e = glossary_entry(p);
+            assert!(e.definition.contains("Declared-only"));
+            assert!(e.laws.is_empty());
+        }
+    }
+}

@@ -1,0 +1,631 @@
+//! Law checking: evaluate bx laws against sampled model pairs and produce
+//! structured reports.
+//!
+//! The checkers are *testing*, not proof: they evaluate each law over a
+//! caller-supplied [`Samples`] set (typically produced by hand-picked cases
+//! plus proptest generators from `bx-testkit`). A law that `holds()` held on
+//! every exercised case; a violation carries a rendered counterexample.
+
+use std::fmt;
+use std::fmt::Debug;
+
+use crate::bx::Bx;
+use crate::property::{Claim, Polarity};
+use crate::report::{Counterexample, Law, LawReport, Outcome};
+
+/// Sampled models for law checking: a set of `(M, N)` pairs plus extra
+/// standalone models of each side used for the quantifiers that range over
+/// "any other" model (undoability, history ignorance).
+#[derive(Debug, Clone)]
+pub struct Samples<M, N> {
+    pairs: Vec<(M, N)>,
+    extra_ms: Vec<M>,
+    extra_ns: Vec<N>,
+}
+
+impl<M: Clone, N: Clone> Samples<M, N> {
+    /// Build a sample set from pairs and extra one-sided models.
+    pub fn new(pairs: Vec<(M, N)>, extra_ms: Vec<M>, extra_ns: Vec<N>) -> Self {
+        Samples { pairs, extra_ms, extra_ns }
+    }
+
+    /// Build from pairs only.
+    pub fn from_pairs(pairs: Vec<(M, N)>) -> Self {
+        Samples::new(pairs, Vec::new(), Vec::new())
+    }
+
+    /// The `(M, N)` pairs.
+    pub fn pairs(&self) -> &[(M, N)] {
+        &self.pairs
+    }
+
+    /// All `M`-side models: those in pairs plus the extras.
+    pub fn all_ms(&self) -> Vec<M> {
+        let mut out = Vec::with_capacity(self.pairs.len() + self.extra_ms.len());
+        out.extend(self.pairs.iter().map(|(m, _)| m.clone()));
+        out.extend(self.extra_ms.iter().cloned());
+        out
+    }
+
+    /// All `N`-side models: those in pairs plus the extras.
+    pub fn all_ns(&self) -> Vec<N> {
+        let mut out = Vec::with_capacity(self.pairs.len() + self.extra_ns.len());
+        out.extend(self.pairs.iter().map(|(_, n)| n.clone()));
+        out.extend(self.extra_ns.iter().cloned());
+        out
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when there are no pairs at all.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Cap counterexample descriptions so reports stay readable; the case
+/// index lets callers regenerate the full models deterministically.
+const COUNTEREXAMPLE_LIMIT: usize = 480;
+
+fn violated(bx_name: &str, law: Law, exercised: usize, total: usize, mut cx: Counterexample) -> LawReport {
+    if cx.description.len() > COUNTEREXAMPLE_LIMIT {
+        let mut end = COUNTEREXAMPLE_LIMIT;
+        while !cx.description.is_char_boundary(end) {
+            end -= 1;
+        }
+        cx.description.truncate(end);
+        cx.description.push('…');
+    }
+    LawReport {
+        bx_name: bx_name.to_string(),
+        law,
+        cases_exercised: exercised,
+        cases_total: total,
+        outcome: Outcome::Violated(cx),
+    }
+}
+
+fn verdict(bx_name: &str, law: Law, exercised: usize, total: usize) -> LawReport {
+    LawReport {
+        bx_name: bx_name.to_string(),
+        law,
+        cases_exercised: exercised,
+        cases_total: total,
+        outcome: if exercised == 0 { Outcome::Vacuous } else { Outcome::Holds },
+    }
+}
+
+/// Check a single [`Law`] of `bx` against `samples`.
+pub fn check_law<M, N, B>(bx: &B, law: Law, samples: &Samples<M, N>) -> LawReport
+where
+    M: Clone + PartialEq + Debug,
+    N: Clone + PartialEq + Debug,
+    B: Bx<M, N> + ?Sized,
+{
+    let name = bx.name().to_string();
+    match law {
+        Law::CorrectFwd => {
+            let total = samples.len();
+            for (i, (m, n)) in samples.pairs().iter().enumerate() {
+                let n2 = bx.fwd(m, n);
+                if !bx.consistent(m, &n2) {
+                    return violated(
+                        &name,
+                        law,
+                        i + 1,
+                        total,
+                        Counterexample {
+                            case_index: i,
+                            description: format!(
+                                "fwd({m:?}, {n:?}) = {n2:?} is not consistent with m"
+                            ),
+                        },
+                    );
+                }
+            }
+            verdict(&name, law, total, total)
+        }
+        Law::CorrectBwd => {
+            let total = samples.len();
+            for (i, (m, n)) in samples.pairs().iter().enumerate() {
+                let m2 = bx.bwd(m, n);
+                if !bx.consistent(&m2, n) {
+                    return violated(
+                        &name,
+                        law,
+                        i + 1,
+                        total,
+                        Counterexample {
+                            case_index: i,
+                            description: format!(
+                                "bwd({m:?}, {n:?}) = {m2:?} is not consistent with n"
+                            ),
+                        },
+                    );
+                }
+            }
+            verdict(&name, law, total, total)
+        }
+        Law::HippocraticFwd => {
+            let total = samples.len();
+            let mut exercised = 0;
+            for (i, (m, n)) in samples.pairs().iter().enumerate() {
+                if !bx.consistent(m, n) {
+                    continue;
+                }
+                exercised += 1;
+                let n2 = bx.fwd(m, n);
+                if n2 != *n {
+                    return violated(
+                        &name,
+                        law,
+                        exercised,
+                        total,
+                        Counterexample {
+                            case_index: i,
+                            description: format!(
+                                "(m, n) already consistent but fwd changed n: {n:?} -> {n2:?}"
+                            ),
+                        },
+                    );
+                }
+            }
+            verdict(&name, law, exercised, total)
+        }
+        Law::HippocraticBwd => {
+            let total = samples.len();
+            let mut exercised = 0;
+            for (i, (m, n)) in samples.pairs().iter().enumerate() {
+                if !bx.consistent(m, n) {
+                    continue;
+                }
+                exercised += 1;
+                let m2 = bx.bwd(m, n);
+                if m2 != *m {
+                    return violated(
+                        &name,
+                        law,
+                        exercised,
+                        total,
+                        Counterexample {
+                            case_index: i,
+                            description: format!(
+                                "(m, n) already consistent but bwd changed m: {m:?} -> {m2:?}"
+                            ),
+                        },
+                    );
+                }
+            }
+            verdict(&name, law, exercised, total)
+        }
+        Law::UndoableFwd => {
+            // For consistent (m, n) and any other m': excursion through m'
+            // and back must restore n exactly.
+            let ms = samples.all_ms();
+            let total = samples.len() * ms.len().max(1);
+            let mut exercised = 0;
+            for (i, (m, n)) in samples.pairs().iter().enumerate() {
+                if !bx.consistent(m, n) {
+                    continue;
+                }
+                for m_prime in &ms {
+                    exercised += 1;
+                    let n_excursion = bx.fwd(m_prime, n);
+                    let n_back = bx.fwd(m, &n_excursion);
+                    if n_back != *n {
+                        return violated(
+                            &name,
+                            law,
+                            exercised,
+                            total,
+                            Counterexample {
+                                case_index: i,
+                                description: format!(
+                                    "excursion m -> {m_prime:?} -> m did not restore n: \
+                                     started {n:?}, came back {n_back:?}"
+                                ),
+                            },
+                        );
+                    }
+                }
+            }
+            verdict(&name, law, exercised, total)
+        }
+        Law::UndoableBwd => {
+            let ns = samples.all_ns();
+            let total = samples.len() * ns.len().max(1);
+            let mut exercised = 0;
+            for (i, (m, n)) in samples.pairs().iter().enumerate() {
+                if !bx.consistent(m, n) {
+                    continue;
+                }
+                for n_prime in &ns {
+                    exercised += 1;
+                    let m_excursion = bx.bwd(m, n_prime);
+                    let m_back = bx.bwd(&m_excursion, n);
+                    if m_back != *m {
+                        return violated(
+                            &name,
+                            law,
+                            exercised,
+                            total,
+                            Counterexample {
+                                case_index: i,
+                                description: format!(
+                                    "excursion n -> {n_prime:?} -> n did not restore m: \
+                                     started {m:?}, came back {m_back:?}"
+                                ),
+                            },
+                        );
+                    }
+                }
+            }
+            verdict(&name, law, exercised, total)
+        }
+        Law::HistoryIgnorantFwd => {
+            let ms = samples.all_ms();
+            let ns = samples.all_ns();
+            let total = ns.len() * ms.len() * ms.len();
+            let mut exercised = 0;
+            for (i, n) in ns.iter().enumerate() {
+                for m1 in &ms {
+                    for m2 in &ms {
+                        exercised += 1;
+                        let via = bx.fwd(m2, &bx.fwd(m1, n));
+                        let direct = bx.fwd(m2, n);
+                        if via != direct {
+                            return violated(
+                                &name,
+                                law,
+                                exercised,
+                                total,
+                                Counterexample {
+                                    case_index: i,
+                                    description: format!(
+                                        "fwd({m2:?}, fwd({m1:?}, {n:?})) = {via:?} \
+                                         but fwd({m2:?}, {n:?}) = {direct:?}"
+                                    ),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            verdict(&name, law, exercised, total)
+        }
+        Law::HistoryIgnorantBwd => {
+            let ms = samples.all_ms();
+            let ns = samples.all_ns();
+            let total = ms.len() * ns.len() * ns.len();
+            let mut exercised = 0;
+            for (i, m) in ms.iter().enumerate() {
+                for n1 in &ns {
+                    for n2 in &ns {
+                        exercised += 1;
+                        let via = bx.bwd(&bx.bwd(m, n1), n2);
+                        let direct = bx.bwd(m, n2);
+                        if via != direct {
+                            return violated(
+                                &name,
+                                law,
+                                exercised,
+                                total,
+                                Counterexample {
+                                    case_index: i,
+                                    description: format!(
+                                        "bwd(bwd({m:?}, {n1:?}), {n2:?}) = {via:?} \
+                                         but bwd({m:?}, {n2:?}) = {direct:?}"
+                                    ),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            verdict(&name, law, exercised, total)
+        }
+        Law::BijectiveFwd => {
+            let total = samples.len();
+            for (i, (m, n)) in samples.pairs().iter().enumerate() {
+                let m_back = bx.bwd(m, &bx.fwd(m, n));
+                if m_back != *m {
+                    return violated(
+                        &name,
+                        law,
+                        i + 1,
+                        total,
+                        Counterexample {
+                            case_index: i,
+                            description: format!(
+                                "bwd(m, fwd(m, n)) = {m_back:?} differs from m = {m:?}"
+                            ),
+                        },
+                    );
+                }
+            }
+            verdict(&name, law, total, total)
+        }
+        Law::BijectiveBwd => {
+            let total = samples.len();
+            for (i, (m, n)) in samples.pairs().iter().enumerate() {
+                let n_back = bx.fwd(&bx.bwd(m, n), n);
+                if n_back != *n {
+                    return violated(
+                        &name,
+                        law,
+                        i + 1,
+                        total,
+                        Counterexample {
+                            case_index: i,
+                            description: format!(
+                                "fwd(bwd(m, n), n) = {n_back:?} differs from n = {n:?}"
+                            ),
+                        },
+                    );
+                }
+            }
+            verdict(&name, law, total, total)
+        }
+    }
+}
+
+/// Check every law of [`Law::ALL`] and collect the reports.
+pub fn check_all_laws<M, N, B>(bx: &B, samples: &Samples<M, N>) -> LawMatrix
+where
+    M: Clone + PartialEq + Debug,
+    N: Clone + PartialEq + Debug,
+    B: Bx<M, N> + ?Sized,
+{
+    LawMatrix {
+        bx_name: bx.name().to_string(),
+        reports: Law::ALL.iter().map(|&law| check_law(bx, law, samples)).collect(),
+    }
+}
+
+/// The verdict on a single repository property claim, obtained by comparing
+/// the claim against the checked law reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimVerdict {
+    /// Every law backing the claim agreed with the claimed polarity.
+    Confirmed(Claim),
+    /// At least one law contradicted the claimed polarity.
+    Refuted { claim: Claim, evidence: String },
+    /// The property has no generic law (declared-only) or every backing law
+    /// was vacuous on these samples.
+    Unverifiable(Claim),
+}
+
+impl ClaimVerdict {
+    /// True when the verdict confirms the claim.
+    pub fn confirmed(&self) -> bool {
+        matches!(self, ClaimVerdict::Confirmed(_))
+    }
+}
+
+impl fmt::Display for ClaimVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClaimVerdict::Confirmed(c) => write!(f, "{c}: confirmed"),
+            ClaimVerdict::Refuted { claim, evidence } => {
+                write!(f, "{claim}: REFUTED — {evidence}")
+            }
+            ClaimVerdict::Unverifiable(c) => write!(f, "{c}: unverifiable (declared-only or vacuous)"),
+        }
+    }
+}
+
+/// All law reports for one bx — the "law matrix" that reproduces an entry's
+/// Properties field mechanically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LawMatrix {
+    /// Name of the checked bx.
+    pub bx_name: String,
+    /// One report per law in [`Law::ALL`] order.
+    pub reports: Vec<LawReport>,
+}
+
+impl LawMatrix {
+    /// The report for a specific law.
+    pub fn report(&self, law: Law) -> Option<&LawReport> {
+        self.reports.iter().find(|r| r.law == law)
+    }
+
+    /// True when the given law held on at least one exercised case.
+    pub fn law_holds(&self, law: Law) -> bool {
+        self.report(law).is_some_and(LawReport::holds)
+    }
+
+    /// Compare the matrix against a set of claims from a repository entry,
+    /// realising the paper's reviewer role mechanically: a claimed property
+    /// must have all its backing laws hold; a claimed *non*-property must
+    /// have at least one backing law violated.
+    pub fn verify_claims(&self, claims: &[Claim]) -> Vec<ClaimVerdict> {
+        claims
+            .iter()
+            .map(|&claim| {
+                let laws = claim.property.laws();
+                if laws.is_empty() {
+                    return ClaimVerdict::Unverifiable(claim);
+                }
+                let reports: Vec<&LawReport> =
+                    laws.iter().filter_map(|&l| self.report(l)).collect();
+                if reports.iter().all(|r| matches!(r.outcome, Outcome::Vacuous)) {
+                    return ClaimVerdict::Unverifiable(claim);
+                }
+                match claim.polarity {
+                    Polarity::Holds => {
+                        if let Some(bad) = reports.iter().find(|r| r.violated()) {
+                            ClaimVerdict::Refuted { claim, evidence: bad.to_string() }
+                        } else {
+                            ClaimVerdict::Confirmed(claim)
+                        }
+                    }
+                    Polarity::Fails => {
+                        if reports.iter().any(|r| r.violated()) {
+                            ClaimVerdict::Confirmed(claim)
+                        } else {
+                            ClaimVerdict::Refuted {
+                                claim,
+                                evidence: format!(
+                                    "all backing laws held on {} sampled cases",
+                                    reports.iter().map(|r| r.cases_exercised).sum::<usize>()
+                                ),
+                            }
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for LawMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "law matrix for `{}`:", self.bx_name)?;
+        for r in &self.reports {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bx::BxFromFns;
+    use crate::property::Property;
+
+    /// The canonical well-behaved toy: consistency is equality, restoration
+    /// copies the authoritative side. Correct, hippocratic, undoable,
+    /// history-ignorant, bijective.
+    fn replica() -> impl Bx<i32, i32> {
+        BxFromFns::new(
+            "replica",
+            |m: &i32, n: &i32| m == n,
+            |m: &i32, _n: &i32| *m,
+            |_m: &i32, n: &i32| *n,
+        )
+    }
+
+    /// A lossy bx: `n` mirrors only the absolute value of `m`; `bwd`
+    /// reconstructs a non-negative `m`. Correct + hippocratic (on the
+    /// non-negative fragment) but not undoable: sign information is lost.
+    fn abs_view() -> impl Bx<i32, i32> {
+        BxFromFns::new(
+            "abs-view",
+            |m: &i32, n: &i32| m.abs() == *n,
+            |m: &i32, _n: &i32| m.abs(),
+            |m: &i32, n: &i32| {
+                if m.abs() == *n {
+                    *m
+                } else {
+                    *n
+                }
+            },
+        )
+    }
+
+    /// A broken bx whose fwd returns a value inconsistent with m.
+    fn broken() -> impl Bx<i32, i32> {
+        BxFromFns::new(
+            "broken",
+            |m: &i32, n: &i32| m == n,
+            |m: &i32, _n: &i32| m + 1,
+            |_m: &i32, n: &i32| *n,
+        )
+    }
+
+    fn samples() -> Samples<i32, i32> {
+        Samples::new(vec![(1, 1), (2, 2), (3, 7), (-4, 4)], vec![5, -6], vec![8, 0])
+    }
+
+    #[test]
+    fn replica_satisfies_everything() {
+        let matrix = check_all_laws(&replica(), &samples());
+        for law in Law::ALL {
+            assert!(matrix.law_holds(law), "replica should satisfy {law}");
+        }
+    }
+
+    #[test]
+    fn broken_violates_correct_fwd_with_counterexample() {
+        let r = check_law(&broken(), Law::CorrectFwd, &samples());
+        assert!(r.violated());
+        match r.outcome {
+            Outcome::Violated(cx) => assert!(cx.description.contains("not consistent")),
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abs_view_not_undoable_bwd() {
+        // Start with consistent (m, n) = (-4, 4). Excursion: n' = 8 forces
+        // m to 8 (sign lost); coming back to n = 4 yields m = 4 ≠ -4.
+        let s = Samples::new(vec![(-4, 4)], vec![], vec![8]);
+        let r = check_law(&abs_view(), Law::UndoableBwd, &s);
+        assert!(r.violated(), "sign loss must break backward undoability: {r}");
+    }
+
+    #[test]
+    fn hippocratic_vacuous_when_no_consistent_pairs() {
+        let s = Samples::from_pairs(vec![(1, 2), (3, 4)]);
+        let r = check_law(&replica(), Law::HippocraticFwd, &s);
+        assert_eq!(r.outcome, Outcome::Vacuous);
+        assert!(!r.holds());
+    }
+
+    #[test]
+    fn claim_verification_confirms_replica() {
+        let matrix = check_all_laws(&replica(), &samples());
+        let claims = [
+            Claim::holds(Property::Correct),
+            Claim::holds(Property::Hippocratic),
+            Claim::holds(Property::Undoable),
+        ];
+        let verdicts = matrix.verify_claims(&claims);
+        assert!(verdicts.iter().all(ClaimVerdict::confirmed), "{verdicts:?}");
+    }
+
+    #[test]
+    fn claim_verification_confirms_negative_claim() {
+        let s = Samples::new(vec![(-4, 4), (3, 3)], vec![5], vec![8, 3]);
+        let matrix = check_all_laws(&abs_view(), &s);
+        let verdicts = matrix.verify_claims(&[Claim::fails(Property::Undoable)]);
+        assert!(verdicts[0].confirmed(), "{:?}", verdicts[0]);
+    }
+
+    #[test]
+    fn claim_verification_refutes_false_positive_claim() {
+        let s = Samples::new(vec![(-4, 4), (3, 3)], vec![5], vec![8, 3]);
+        let matrix = check_all_laws(&abs_view(), &s);
+        let verdicts = matrix.verify_claims(&[Claim::holds(Property::Undoable)]);
+        assert!(matches!(verdicts[0], ClaimVerdict::Refuted { .. }), "{:?}", verdicts[0]);
+    }
+
+    #[test]
+    fn declared_only_property_is_unverifiable() {
+        let matrix = check_all_laws(&replica(), &samples());
+        let verdicts = matrix.verify_claims(&[Claim::holds(Property::SimplyMatching)]);
+        assert!(matches!(verdicts[0], ClaimVerdict::Unverifiable(_)));
+    }
+
+    #[test]
+    fn matrix_display_lists_all_laws() {
+        let matrix = check_all_laws(&replica(), &samples());
+        let text = matrix.to_string();
+        for law in Law::ALL {
+            assert!(text.contains(&law.to_string()), "display must mention {law}");
+        }
+    }
+
+    #[test]
+    fn samples_pools_include_pair_sides() {
+        let s = samples();
+        assert_eq!(s.all_ms().len(), s.len() + 2);
+        assert_eq!(s.all_ns().len(), s.len() + 2);
+        assert!(!s.is_empty());
+    }
+}

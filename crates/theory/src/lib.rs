@@ -1,0 +1,59 @@
+//! # bx-theory
+//!
+//! The state-based bidirectional-transformation (bx) formalism that underpins
+//! the bx example repository, following the description of bx given by
+//! Stevens in *"Bidirectional model transformations in QVT: Semantic issues
+//! and open questions"* (SoSyM 9(1), 2010) — the kernel that the repository
+//! template of Cheney, McKinna, Stevens and Gibbons, *"Towards a Repository
+//! of Bx Examples"* (BX 2014), builds on.
+//!
+//! A bx relates two classes of models `M` and `N` through:
+//!
+//! * a **consistency relation** `R ⊆ M × N`, and
+//! * **consistency restoration functions** `fwd : M × N → N` (the `M` side
+//!   is authoritative) and `bwd : M × N → M` (the `N` side is
+//!   authoritative).
+//!
+//! The crate provides:
+//!
+//! * the [`Bx`] trait and constructors ([`BxFromFns`], [`SwapBx`],
+//!   [`ComposeViaMid`]);
+//! * the paper's property vocabulary as data ([`Property`], [`Claim`],
+//!   [`mod@glossary`]);
+//! * machine-checkable **laws** ([`Law`], [`laws`]) producing structured
+//!   [`LawReport`]s with counterexamples, so that an example's claimed
+//!   properties ("Correct", "Hippocratic", "Not undoable", …) can be
+//!   verified or refuted mechanically against sampled model pairs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bx_theory::{Bx, BxFromFns, Law, laws::check_law, laws::Samples};
+//!
+//! // A trivial bx: two integer "models" are consistent when equal;
+//! // restoration copies the authoritative side.
+//! let replica = BxFromFns::new(
+//!     "replica",
+//!     |m: &i32, n: &i32| m == n,
+//!     |m: &i32, _n: &i32| *m,
+//!     |_m: &i32, n: &i32| *n,
+//! );
+//!
+//! let samples = Samples::new(vec![(1, 1), (2, 5)], vec![7], vec![9]);
+//! let report = check_law(&replica, Law::CorrectFwd, &samples);
+//! assert!(report.holds());
+//! ```
+
+pub mod bx;
+pub mod error;
+pub mod glossary;
+pub mod laws;
+pub mod property;
+pub mod report;
+
+pub use bx::{Bx, BxFromFns, ComposeViaMid, Direction, SwapBx};
+pub use error::TheoryError;
+pub use glossary::{glossary, glossary_entry, GlossaryEntry};
+pub use laws::{check_all_laws, check_law, LawMatrix, Samples};
+pub use property::{Claim, Polarity, Property};
+pub use report::{Counterexample, Law, LawReport, Outcome};

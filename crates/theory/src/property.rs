@@ -1,0 +1,234 @@
+//! The property vocabulary used by repository entries.
+//!
+//! The BX 2014 paper's template has a `Properties` field whose values
+//! ("Correct", "Hippocratic", "Not undoable", "Simply matching" for
+//! COMPOSERS) "will link to a separate glossary of terms". [`Property`] is
+//! that vocabulary; [`Claim`] is a property with a polarity so entries can
+//! assert *non*-properties ("Not undoable") just as the paper does.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::TheoryError;
+use crate::report::Law;
+
+/// A named property of a bx, as used in repository entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Property {
+    /// Restoration always produces a consistent pair.
+    Correct,
+    /// Restoration changes nothing when the pair is already consistent.
+    Hippocratic,
+    /// A change propagated and then reverted restores the original state.
+    Undoable,
+    /// The result of restoration depends only on the final authoritative
+    /// state, not on the sequence of intermediate states ("PutPut" in the
+    /// lens world).
+    HistoryIgnorant,
+    /// Restoration works by matching corresponding elements by key and has
+    /// no further dependence on the incidental structure of the models.
+    /// Declared-only: checked by example-specific tests, not a generic law.
+    SimplyMatching,
+    /// The two restoration functions are inverse to each other on
+    /// consistent states (a bijective correspondence).
+    Bijective,
+    /// Restoration never deletes information from the non-authoritative
+    /// model, only adds (a safety property some entries claim).
+    NonDestructive,
+}
+
+impl Property {
+    /// All properties, in display order.
+    pub const ALL: [Property; 7] = [
+        Property::Correct,
+        Property::Hippocratic,
+        Property::Undoable,
+        Property::HistoryIgnorant,
+        Property::SimplyMatching,
+        Property::Bijective,
+        Property::NonDestructive,
+    ];
+
+    /// The laws that mechanically witness this property, if any.
+    ///
+    /// Properties with an empty law set (e.g. [`Property::SimplyMatching`],
+    /// [`Property::NonDestructive`]) are *declared-only*: the repository
+    /// records them but verification is example-specific.
+    pub fn laws(self) -> &'static [Law] {
+        match self {
+            Property::Correct => &[Law::CorrectFwd, Law::CorrectBwd],
+            Property::Hippocratic => &[Law::HippocraticFwd, Law::HippocraticBwd],
+            Property::Undoable => &[Law::UndoableFwd, Law::UndoableBwd],
+            Property::HistoryIgnorant => &[Law::HistoryIgnorantFwd, Law::HistoryIgnorantBwd],
+            Property::Bijective => &[Law::BijectiveFwd, Law::BijectiveBwd],
+            Property::SimplyMatching | Property::NonDestructive => &[],
+        }
+    }
+
+    /// Whether the property has at least one generic machine-checkable law.
+    pub fn checkable(self) -> bool {
+        !self.laws().is_empty()
+    }
+
+    /// Canonical lowercase name used in wiki markup and citations.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Property::Correct => "correct",
+            Property::Hippocratic => "hippocratic",
+            Property::Undoable => "undoable",
+            Property::HistoryIgnorant => "history-ignorant",
+            Property::SimplyMatching => "simply-matching",
+            Property::Bijective => "bijective",
+            Property::NonDestructive => "non-destructive",
+        }
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Property::Correct => "Correct",
+            Property::Hippocratic => "Hippocratic",
+            Property::Undoable => "Undoable",
+            Property::HistoryIgnorant => "History ignorant",
+            Property::SimplyMatching => "Simply matching",
+            Property::Bijective => "Bijective",
+            Property::NonDestructive => "Non-destructive",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl FromStr for Property {
+    type Err = TheoryError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase().replace([' ', '_'], "-");
+        match norm.as_str() {
+            "correct" => Ok(Property::Correct),
+            "hippocratic" => Ok(Property::Hippocratic),
+            "undoable" => Ok(Property::Undoable),
+            "history-ignorant" => Ok(Property::HistoryIgnorant),
+            "simply-matching" => Ok(Property::SimplyMatching),
+            "bijective" => Ok(Property::Bijective),
+            "non-destructive" => Ok(Property::NonDestructive),
+            _ => Err(TheoryError::UnknownProperty(s.to_string())),
+        }
+    }
+}
+
+/// Whether a claim asserts that a property holds or that it fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Polarity {
+    /// The property is claimed to hold.
+    Holds,
+    /// The property is claimed *not* to hold (e.g. "Not undoable").
+    Fails,
+}
+
+/// A property claim as it appears in a repository entry's `Properties`
+/// field: a property plus polarity, e.g. `Not undoable`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Claim {
+    /// The property being claimed.
+    pub property: Property,
+    /// Whether it is claimed to hold or to fail.
+    pub polarity: Polarity,
+}
+
+impl Claim {
+    /// A positive claim.
+    pub fn holds(property: Property) -> Claim {
+        Claim { property, polarity: Polarity::Holds }
+    }
+
+    /// A negative claim ("Not …").
+    pub fn fails(property: Property) -> Claim {
+        Claim { property, polarity: Polarity::Fails }
+    }
+}
+
+impl fmt::Display for Claim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.polarity {
+            Polarity::Holds => write!(f, "{}", self.property),
+            Polarity::Fails => {
+                let s = self.property.to_string();
+                let mut c = s.chars();
+                let lowered = match c.next() {
+                    Some(first) => first.to_lowercase().collect::<String>() + c.as_str(),
+                    None => s,
+                };
+                write!(f, "Not {lowered}")
+            }
+        }
+    }
+}
+
+impl FromStr for Claim {
+    type Err = TheoryError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        if let Some(rest) = t.strip_prefix("Not ").or_else(|| t.strip_prefix("not ")) {
+            Ok(Claim::fails(rest.parse()?))
+        } else {
+            Ok(Claim::holds(t.parse()?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_properties() {
+        for p in Property::ALL {
+            let parsed: Property = p.to_string().parse().expect("display must parse back");
+            assert_eq!(parsed, p);
+            let parsed_slug: Property = p.slug().parse().expect("slug must parse back");
+            assert_eq!(parsed_slug, p);
+        }
+    }
+
+    #[test]
+    fn unknown_property_rejected() {
+        assert!(matches!("frobnication".parse::<Property>(), Err(TheoryError::UnknownProperty(_))));
+    }
+
+    #[test]
+    fn claim_display_matches_paper_style() {
+        assert_eq!(Claim::holds(Property::Correct).to_string(), "Correct");
+        assert_eq!(Claim::fails(Property::Undoable).to_string(), "Not undoable");
+        assert_eq!(Claim::holds(Property::SimplyMatching).to_string(), "Simply matching");
+    }
+
+    #[test]
+    fn claim_parse_both_polarities() {
+        let c: Claim = "Not undoable".parse().unwrap();
+        assert_eq!(c, Claim::fails(Property::Undoable));
+        let c: Claim = "Hippocratic".parse().unwrap();
+        assert_eq!(c, Claim::holds(Property::Hippocratic));
+    }
+
+    #[test]
+    fn checkability_partition() {
+        assert!(Property::Correct.checkable());
+        assert!(Property::Hippocratic.checkable());
+        assert!(Property::Undoable.checkable());
+        assert!(Property::HistoryIgnorant.checkable());
+        assert!(Property::Bijective.checkable());
+        assert!(!Property::SimplyMatching.checkable());
+        assert!(!Property::NonDestructive.checkable());
+    }
+
+    #[test]
+    fn laws_are_paired_by_direction() {
+        for p in Property::ALL {
+            let laws = p.laws();
+            assert!(laws.is_empty() || laws.len() == 2, "{p} should have 0 or 2 laws");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Structured results of law checking: laws, outcomes, counterexamples.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A machine-checkable law of a state-based bx.
+///
+/// Each law is directional; properties in the repository vocabulary
+/// ([`crate::Property`]) typically bundle a forward and a backward law.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Law {
+    /// `∀ m, n. consistent(m, fwd(m, n))`
+    CorrectFwd,
+    /// `∀ m, n. consistent(bwd(m, n), n)`
+    CorrectBwd,
+    /// `∀ m, n. consistent(m, n) ⇒ fwd(m, n) = n`
+    HippocraticFwd,
+    /// `∀ m, n. consistent(m, n) ⇒ bwd(m, n) = m`
+    HippocraticBwd,
+    /// `∀ consistent (m, n), ∀ m'. fwd(m, fwd(m', n)) = n`
+    ///
+    /// Propagating a change of `m` to `m'` and then reverting it restores
+    /// the original `n`.
+    UndoableFwd,
+    /// `∀ consistent (m, n), ∀ n'. bwd(bwd(m, n'), n)`-side analogue:
+    /// `bwd` after an excursion through `n'` and back restores `m`.
+    UndoableBwd,
+    /// `∀ m₁, m₂, n. fwd(m₂, fwd(m₁, n)) = fwd(m₂, n)` — the state-based
+    /// reading of PutPut.
+    HistoryIgnorantFwd,
+    /// `∀ n₁, n₂, m. bwd(bwd(m, n₁), n₂)`-side analogue of PutPut.
+    HistoryIgnorantBwd,
+    /// `∀ m, n. bwd(m, fwd(m, n)) = m` — forward restoration loses nothing
+    /// about `m`.
+    BijectiveFwd,
+    /// `∀ m, n. fwd(bwd(m, n), n) = n` — backward restoration loses nothing
+    /// about `n`.
+    BijectiveBwd,
+}
+
+impl Law {
+    /// All laws in display order.
+    pub const ALL: [Law; 10] = [
+        Law::CorrectFwd,
+        Law::CorrectBwd,
+        Law::HippocraticFwd,
+        Law::HippocraticBwd,
+        Law::UndoableFwd,
+        Law::UndoableBwd,
+        Law::HistoryIgnorantFwd,
+        Law::HistoryIgnorantBwd,
+        Law::BijectiveFwd,
+        Law::BijectiveBwd,
+    ];
+
+    /// The formal statement of the law, for reports and documentation.
+    pub fn statement(self) -> &'static str {
+        match self {
+            Law::CorrectFwd => "for all m, n: consistent(m, fwd(m, n))",
+            Law::CorrectBwd => "for all m, n: consistent(bwd(m, n), n)",
+            Law::HippocraticFwd => "for all m, n: consistent(m, n) implies fwd(m, n) = n",
+            Law::HippocraticBwd => "for all m, n: consistent(m, n) implies bwd(m, n) = m",
+            Law::UndoableFwd => {
+                "for all consistent (m, n) and any m': fwd(m, fwd(m', n)) = n"
+            }
+            Law::UndoableBwd => {
+                "for all consistent (m, n) and any n': bwd(bwd(m, n'), n) = m"
+            }
+            Law::HistoryIgnorantFwd => "for all m1, m2, n: fwd(m2, fwd(m1, n)) = fwd(m2, n)",
+            Law::HistoryIgnorantBwd => "for all n1, n2, m: bwd(bwd(m, n1), n2) = bwd(m, n2)",
+            Law::BijectiveFwd => "for all m, n: bwd(m, fwd(m, n)) = m",
+            Law::BijectiveBwd => "for all m, n: fwd(bwd(m, n), n) = n",
+        }
+    }
+}
+
+impl fmt::Display for Law {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Law::CorrectFwd => "CorrectFwd",
+            Law::CorrectBwd => "CorrectBwd",
+            Law::HippocraticFwd => "HippocraticFwd",
+            Law::HippocraticBwd => "HippocraticBwd",
+            Law::UndoableFwd => "UndoableFwd",
+            Law::UndoableBwd => "UndoableBwd",
+            Law::HistoryIgnorantFwd => "HistoryIgnorantFwd",
+            Law::HistoryIgnorantBwd => "HistoryIgnorantBwd",
+            Law::BijectiveFwd => "BijectiveFwd",
+            Law::BijectiveBwd => "BijectiveBwd",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A human-readable witness that a law failed on specific models.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counterexample {
+    /// Which sampled case produced the violation (index into the sample
+    /// enumeration, for reproducibility).
+    pub case_index: usize,
+    /// Rendered description of the offending models and what went wrong.
+    pub description: String,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "case #{}: {}", self.case_index, self.description)
+    }
+}
+
+/// The outcome of checking one law against a sample set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Every sampled case satisfied the law.
+    Holds,
+    /// At least one sampled case violated the law.
+    Violated(Counterexample),
+    /// No sampled case exercised the law's precondition (e.g. no consistent
+    /// pairs for a hippocraticness check); the check says nothing.
+    Vacuous,
+}
+
+impl Outcome {
+    /// True when the outcome is [`Outcome::Holds`].
+    pub fn holds(&self) -> bool {
+        matches!(self, Outcome::Holds)
+    }
+}
+
+/// The report produced by checking one [`Law`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LawReport {
+    /// The bx that was checked.
+    pub bx_name: String,
+    /// Which law was checked.
+    pub law: Law,
+    /// How many cases actually exercised the law (satisfied any
+    /// precondition).
+    pub cases_exercised: usize,
+    /// Total sampled cases considered.
+    pub cases_total: usize,
+    /// The verdict.
+    pub outcome: Outcome,
+}
+
+impl LawReport {
+    /// True when the law held on every exercised case (and at least one
+    /// case was exercised).
+    pub fn holds(&self) -> bool {
+        self.outcome.holds() && self.cases_exercised > 0
+    }
+
+    /// True when the law was violated.
+    pub fn violated(&self) -> bool {
+        matches!(self.outcome, Outcome::Violated(_))
+    }
+}
+
+impl fmt::Display for LawReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} ({}/{} cases): ",
+            self.bx_name, self.law, self.cases_exercised, self.cases_total
+        )?;
+        match &self.outcome {
+            Outcome::Holds => write!(f, "holds"),
+            Outcome::Violated(cx) => write!(f, "VIOLATED — {cx}"),
+            Outcome::Vacuous => write!(f, "vacuous (no case exercised the precondition)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_law_has_a_statement() {
+        for law in Law::ALL {
+            assert!(!law.statement().is_empty());
+            assert!(!law.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn law_display_is_unique() {
+        let mut names: Vec<String> = Law::ALL.iter().map(|l| l.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Law::ALL.len());
+    }
+
+    #[test]
+    fn report_holds_requires_exercised_cases() {
+        let vacuous_hold = LawReport {
+            bx_name: "b".into(),
+            law: Law::CorrectFwd,
+            cases_exercised: 0,
+            cases_total: 10,
+            outcome: Outcome::Holds,
+        };
+        assert!(!vacuous_hold.holds());
+
+        let real_hold = LawReport { cases_exercised: 10, ..vacuous_hold.clone() };
+        assert!(real_hold.holds());
+    }
+
+    #[test]
+    fn report_display_shows_counterexample() {
+        let r = LawReport {
+            bx_name: "composers".into(),
+            law: Law::UndoableBwd,
+            cases_exercised: 3,
+            cases_total: 5,
+            outcome: Outcome::Violated(Counterexample {
+                case_index: 2,
+                description: "dates were lost".into(),
+            }),
+        };
+        let s = r.to_string();
+        assert!(s.contains("VIOLATED"));
+        assert!(s.contains("dates were lost"));
+        assert!(s.contains("UndoableBwd"));
+    }
+
+    #[test]
+    fn outcome_holds_predicate() {
+        assert!(Outcome::Holds.holds());
+        assert!(!Outcome::Vacuous.holds());
+        assert!(!Outcome::Violated(Counterexample { case_index: 0, description: String::new() })
+            .holds());
+    }
+}

@@ -1,0 +1,61 @@
+//! A full COMPOSERS session: walks the §4 example end to end — the base
+//! bx, the undoability counterexample from the paper's Discussion, every
+//! variation point, and the Boomerang string-lens variant.
+//!
+//! Run with: `cargo run --example composers_session`
+
+use bx::examples::composers::{
+    composer_set, composers_bx, composers_name_key_bx, composers_prepend_bx,
+    composers_with_date_policy, pair_list, UNKNOWN_DATES,
+};
+use bx::examples::composers_boomerang::{composers_lens, SAMPLE_SOURCE};
+use bx::theory::Bx;
+
+fn main() {
+    let b = composers_bx();
+
+    println!("== the undoability counterexample (paper §4, Discussion) ==");
+    let m0 = composer_set(&[("Jean Sibelius", "1865-1957", "Finnish")]);
+    let n0 = pair_list(&[("Jean Sibelius", "Finnish")]);
+    println!("start (consistent): m = {m0:?}");
+    let n1 = pair_list(&[]); // delete from n
+    let m1 = b.bwd(&m0, &n1);
+    println!("after deleting the entry and restoring m: m = {m1:?}");
+    let m2 = b.bwd(&m1, &n0); // restore n, re-enforce
+    println!("after restoring the entry and re-enforcing: m = {m2:?}");
+    assert_ne!(m2, m0);
+    println!("the dates are gone ({UNKNOWN_DATES}); undoability fails.\n");
+
+    println!("== variation point 1: modify-or-create (Britten) ==");
+    let m = composer_set(&[("Benjamin Britten", "1913-1976", "British")]);
+    let n = pair_list(&[("Benjamin Britten", "English")]);
+    println!("base:     {:?}", b.bwd(&m, &n));
+    println!("name-key: {:?}", composers_name_key_bx().bwd(&m, &n));
+    println!();
+
+    println!("== variation point 2: insert position ==");
+    let m = composer_set(&[
+        ("Aaron Copland", "1910-1990", "American"),
+        ("Jean Sibelius", "1865-1957", "Finnish"),
+    ]);
+    let n = pair_list(&[("Jean Sibelius", "Finnish")]);
+    println!("append (base): {:?}", b.fwd(&m, &n));
+    println!("prepend:       {:?}", composers_prepend_bx().fwd(&m, &n));
+    println!();
+
+    println!("== variation point 3: dates policy ==");
+    let custom = composers_with_date_policy("fl. c1700");
+    let created = custom.bwd(&composer_set(&[]), &pair_list(&[("Anon", "Unknown")]));
+    println!("with policy 'fl. c1700': {created:?}");
+    println!();
+
+    println!("== the Boomerang asymmetric variant (string lens) ==");
+    let lens = composers_lens();
+    println!("source file:\n{SAMPLE_SOURCE}");
+    let view = lens.get(SAMPLE_SOURCE).expect("sample source is well-formed");
+    println!("view (dates elided):\n{view}");
+    let edited = "Benjamin Britten, English\nJean Sibelius, Finnish\n";
+    let put_back = lens.put(SAMPLE_SOURCE, edited).expect("edited view is well-formed");
+    println!("after reordering + deleting + editing the view, put back:\n{put_back}");
+    assert!(put_back.contains("1913-1976"), "resourcefulness kept Britten's dates");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: open the standard repository, look an example up, run its
+//! executable artefact, and verify a claimed property.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bx::core::{cite, EntryId};
+use bx::examples::composers::{composers_bx, composer_set, pair_list};
+use bx::examples::standard_repository;
+use bx::theory::{check_all_laws, Bx, Samples};
+
+fn main() {
+    // 1. The repository.
+    let repo = standard_repository();
+    println!("repository `{}` holds {} entries:", repo.name(), repo.len());
+    for id in repo.ids() {
+        let e = repo.latest(&id).expect("listed id resolves");
+        println!("  - {:<22} v{} {:?}", e.title, e.version, e.types);
+    }
+
+    // 2. A stable reference you could put in a paper.
+    let id = EntryId::from_title("COMPOSERS");
+    println!("\ncite it as:\n  {}", cite::cite(&repo, &id, None).expect("entry exists"));
+
+    // 3. The executable artefact: restore consistency forward.
+    let b = composers_bx();
+    let m = composer_set(&[
+        ("Jean Sibelius", "1865-1957", "Finnish"),
+        ("Aaron Copland", "1910-1990", "American"),
+    ]);
+    let n = pair_list(&[("Jean Sibelius", "Finnish"), ("Wolfgang Mozart", "Austrian")]);
+    println!("\nbefore: consistent = {}", b.consistent(&m, &n));
+    let repaired = b.fwd(&m, &n);
+    println!("after fwd: {repaired:?}");
+    println!("after: consistent = {}", b.consistent(&m, &repaired));
+
+    // 4. Machine-check the entry's Properties field.
+    let entry = repo.latest(&id).expect("entry exists");
+    let samples = Samples::new(
+        vec![(m.clone(), repaired.clone()), (m, n)],
+        vec![composer_set(&[])],
+        vec![pair_list(&[])],
+    );
+    let matrix = check_all_laws(&b, &samples);
+    println!("\nverifying the entry's claimed properties:");
+    for verdict in matrix.verify_claims(&entry.properties) {
+        println!("  {verdict}");
+    }
+}

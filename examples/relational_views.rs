@@ -1,0 +1,42 @@
+//! The databases-community face: updatable views via relational lenses —
+//! select-then-drop and join with delete-left.
+//!
+//! Run with: `cargo run --example relational_views`
+
+use bx::examples::orders_join::{albums_join, sample_albums, sample_years};
+use bx::examples::persons_view::{persons_view, sample_people};
+use bx::relational::{RelLens, Relation, Value};
+
+fn main() {
+    println!("== PERSONS-VIEW: select Paris, drop phone ==");
+    let lens = persons_view();
+    let source = sample_people();
+    println!("source:\n{source}");
+    let view = lens.get(&source).expect("schemas line up");
+    println!("view:\n{view}");
+
+    // Edit the view: keep Ana, add Dora.
+    let edited = Relation::from_rows(
+        view.schema().clone(),
+        vec![
+            vec![Value::str("Ana"), Value::str("Paris")],
+            vec![Value::str("Dora"), Value::str("Paris")],
+        ],
+    )
+    .expect("rows match view schema");
+    let put_back = lens.put(&source, &edited).expect("view rows satisfy the predicate");
+    println!("after put (Ana keeps +33-1, Dora defaults, Lyon row untouched):\n{put_back}");
+
+    println!("== ALBUMS-JOIN: delete-left ==");
+    let join = albums_join();
+    let src = (sample_albums(), sample_years());
+    let joined = join.get(&src).expect("shared album column");
+    println!("join view:\n{joined}");
+
+    let mut v = joined.clone();
+    v.remove(&[Value::str("Galore"), Value::Int(1), Value::Int(1997)]);
+    let (albums, years) = join.put(&src, &v).expect("key determines left attributes");
+    println!("after deleting Galore from the view:");
+    println!("albums (row deleted):\n{albums}");
+    println!("years (row retained as complement):\n{years}");
+}

@@ -1,0 +1,62 @@
+//! The notorious example, live: synchronise a UML class diagram with a
+//! relational schema in both directions, and check conformance of the
+//! lowered model against its metamodel.
+//!
+//! Run with: `cargo run --example uml_sync`
+
+use bx::examples::uml2rdbms::{
+    uml2rdbms_bx, uml_metamodel, uml_to_object_model, RdbModel, UmlModel,
+};
+use bx::mde::check_conformance;
+use bx::theory::Bx;
+
+fn main() {
+    let b = uml2rdbms_bx();
+
+    let uml = UmlModel::default()
+        .with_class("Person", true, &[("id", "Integer", true), ("name", "String", false)])
+        .with_class("Session", false, &[("token", "String", true)])
+        .document("Person", "name", "full legal name");
+
+    println!("== forward: generate the schema ==");
+    let rdb = b.fwd(&uml, &RdbModel::default());
+    for table in rdb.tables.values() {
+        println!("table {}:", table.name);
+        for c in &table.columns {
+            println!("  {} {} {}", c.name, c.ty, if c.key { "KEY" } else { "" });
+        }
+    }
+    println!("(Session is transient: no table)");
+    assert!(b.consistent(&uml, &rdb));
+
+    println!("\n== backward: the DBA adds a column ==");
+    let mut edited = rdb.clone();
+    edited.tables.get_mut("Person").expect("table exists").columns.push(
+        bx::examples::uml2rdbms::Column {
+            name: "email".to_string(),
+            ty: "VARCHAR".to_string(),
+            key: false,
+        },
+    );
+    let uml2 = b.bwd(&uml, &edited);
+    let person = &uml2.classes["Person"];
+    println!(
+        "Person attributes now: {:?}",
+        person.attributes.iter().map(|a| a.name.as_str()).collect::<Vec<_>>()
+    );
+    assert!(uml2.classes.contains_key("Session"), "transient class survived");
+    assert!(b.consistent(&uml2, &edited));
+
+    println!("\n== the cost: documentation does not round-trip ==");
+    let gone = b.bwd(&b.bwd(&uml, &RdbModel::default()), &rdb);
+    println!(
+        "after delete-all + restore, Person.name comment = {:?} (was \"full legal name\")",
+        gone.classes["Person"].attributes[1].comment
+    );
+
+    println!("\n== conformance against the metamodel ==");
+    let om = uml_to_object_model(&uml2);
+    let issues = check_conformance(&uml_metamodel(), &om);
+    println!("lowered model: {} objects, {} conformance issues", om.len(), issues.len());
+    assert!(issues.is_empty());
+}

@@ -1,0 +1,37 @@
+//! # bx — a repository of bx examples, executable
+//!
+//! The facade crate of the workspace reproducing Cheney, McKinna, Stevens
+//! & Gibbons, *"Towards a Repository of Bx Examples"* (BX 2014): the
+//! curated repository itself ([`core`]), the bx formalisms it rests on
+//! ([`theory`], [`lens`]), the substrates its examples need
+//! ([`relational`], [`mde`]), and the curated collection ([`examples`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bx::examples::standard_repository;
+//! use bx::core::EntryId;
+//!
+//! let repo = standard_repository();
+//! let composers = repo.latest(&EntryId::from_title("COMPOSERS")).unwrap();
+//! assert_eq!(composers.title, "COMPOSERS");
+//! println!("{}", bx::core::wiki::render_entry(&composers));
+//! ```
+//!
+//! See the `examples/` directory for runnable walkthroughs:
+//! `quickstart`, `composers_session`, `repository_tour`, `uml_sync`,
+//! `relational_views`.
+
+/// The curated repository (entry template, versioning, curation, wiki,
+/// citations, search, persistence).
+pub use bx_core as core;
+/// The curated example collection.
+pub use bx_examples as examples;
+/// Lens frameworks: asymmetric, symmetric, edit, and string lenses.
+pub use bx_lens as lens;
+/// The miniature MDE substrate.
+pub use bx_mde as mde;
+/// The relational engine and relational lenses.
+pub use bx_relational as relational;
+/// The state-based bx formalism and law checkers.
+pub use bx_theory as theory;

@@ -1,0 +1,99 @@
+//! E2 end to end: the §4 COMPOSERS entry flows through every part of the
+//! system — repository, wiki, search, citation, manuscript, law check —
+//! in one scenario.
+
+use bx::core::index::SearchIndex;
+use bx::core::wiki_bx::WikiBx;
+use bx::core::{cite, EntryId, WikiSite};
+use bx::examples::composers::{composer_set, composers_bx, pair_list};
+use bx::examples::standard_repository;
+use bx::theory::{check_all_laws, Bx, Samples};
+
+#[test]
+fn the_whole_story() {
+    // 1. An author finds the entry by search.
+    let repo = standard_repository();
+    let index = SearchIndex::build(&repo.snapshot());
+    let hits = index.query(&["nationality", "composer"]);
+    assert!(!hits.is_empty());
+    let id = hits[0].0.clone();
+    assert_eq!(id, EntryId::from_title("COMPOSERS"));
+
+    // 2. They cite it in their paper, pinned to the version they read.
+    let entry = repo.latest(&id).unwrap();
+    let citation = cite::cite(&repo, &id, Some(entry.version)).unwrap();
+    assert!(citation.contains("COMPOSERS, version 0.1"));
+    assert!(citation.contains("examples:composers"));
+
+    // 3. They run the executable artefact on their own data.
+    let b = composers_bx();
+    let m = composer_set(&[
+        ("Hildegard von Bingen", "1098-1179", "German"),
+        ("Erik Satie", "1866-1925", "French"),
+    ]);
+    let n = pair_list(&[("Erik Satie", "French")]);
+    let repaired = b.fwd(&m, &n);
+    assert!(b.consistent(&m, &repaired));
+    assert_eq!(repaired.len(), 2);
+    assert_eq!(repaired[0], ("Erik Satie".to_string(), "French".to_string()), "kept in place");
+    assert_eq!(repaired[1].0, "Hildegard von Bingen", "appended alphabetically");
+
+    // 4. As reviewers, they machine-check the claimed properties.
+    let samples = Samples::new(
+        vec![(m.clone(), repaired), (m, n)],
+        vec![composer_set(&[])],
+        vec![pair_list(&[]), pair_list(&[("Erik Satie", "French")])],
+    );
+    let matrix = check_all_laws(&b, &samples);
+    for verdict in matrix.verify_claims(&entry.properties) {
+        if let bx::theory::laws::ClaimVerdict::Refuted { claim, evidence } = verdict {
+            panic!("published claim {claim} refuted: {evidence}")
+        }
+    }
+
+    // 5. The repository publishes to the wiki; the entry's page carries
+    //    exactly the reviewed content.
+    let bx = WikiBx::new();
+    let snap = repo.snapshot();
+    let site = bx.fwd(&snap, &WikiSite::new());
+    let page = site.current(&id.page_name()).expect("page published");
+    assert!(page.starts_with("++ COMPOSERS\n"));
+    assert!(page.contains("* Not undoable"));
+    assert!(page.contains("????-????"));
+
+    // 6. The archival manuscript names the §4 authors.
+    let manuscript = bx::core::manuscript::export_manuscript(
+        &snap,
+        bx::core::manuscript::ManuscriptOptions::default(),
+    );
+    for author in ["Perdita Stevens", "James McKinna", "James Cheney"] {
+        assert!(manuscript.contains(author), "manuscript must credit {author}");
+    }
+}
+
+#[test]
+fn the_paper_discussion_scenario_as_a_session() {
+    // The §4 Discussion narrated as repository usage: a user deletes an
+    // entry pair on the list side, syncs, regrets it, syncs back.
+    let b = composers_bx();
+    let m0 = composer_set(&[
+        ("Jean Sibelius", "1865-1957", "Finnish"),
+        ("Erik Satie", "1866-1925", "French"),
+    ]);
+    let n0 = b.fwd(&m0, &pair_list(&[]));
+    assert!(b.consistent(&m0, &n0));
+
+    // Delete Sibelius from n, enforce on m.
+    let n1: Vec<_> = n0.iter().filter(|(name, _)| name != "Jean Sibelius").cloned().collect();
+    let m1 = b.bwd(&m0, &n1);
+    assert_eq!(m1.len(), 1);
+
+    // Regret: restore n, re-enforce on m — dates are gone.
+    let m2 = b.bwd(&m1, &n0);
+    assert_ne!(m2, m0);
+    let sibelius = m2.iter().find(|c| c.name == "Jean Sibelius").expect("recreated");
+    assert_eq!(sibelius.dates, bx::examples::composers::UNKNOWN_DATES);
+    // Satie, untouched throughout, still has his dates.
+    let satie = m2.iter().find(|c| c.name == "Erik Satie").expect("kept");
+    assert_eq!(satie.dates, "1866-1925");
+}

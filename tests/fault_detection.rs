@@ -1,0 +1,99 @@
+//! Testing the testers at collection scale: planted faults in real
+//! example bx must be caught by the law checkers, and must be caught by
+//! the *right* law (fault isolation).
+
+use bx::examples::composers::{composer_set, composers_bx, pair_list, ComposerSet, PairList};
+use bx::examples::uml2rdbms::{uml2rdbms_bx, RdbModel, UmlModel};
+use bx::theory::{check_all_laws, check_law, Bx, Law, Samples};
+use bx_testkit::{BreakCorrectFwd, BreakHippocraticBwd, BreakHippocraticFwd};
+
+fn composers_samples() -> Samples<ComposerSet, PairList> {
+    let m = composer_set(&[
+        ("Jean Sibelius", "1865-1957", "Finnish"),
+        ("Amy Beach", "1867-1944", "American"),
+    ]);
+    let n = pair_list(&[("Amy Beach", "American"), ("Jean Sibelius", "Finnish")]);
+    Samples::new(
+        vec![(m.clone(), n), (m, pair_list(&[("Erik Satie", "French")]))],
+        vec![composer_set(&[])],
+        vec![pair_list(&[])],
+    )
+}
+
+#[test]
+fn planted_correctness_fault_in_composers_is_isolated() {
+    let faulty = BreakCorrectFwd::new(composers_bx(), |mut n: PairList| {
+        n.push(("Phantom".to_string(), "Nowhere".to_string()));
+        n
+    });
+    let samples = composers_samples();
+    assert!(check_law(&faulty, Law::CorrectFwd, &samples).violated());
+    // The backward direction is untouched.
+    assert!(check_law(&faulty, Law::CorrectBwd, &samples).holds());
+    assert!(check_law(&faulty, Law::HippocraticBwd, &samples).holds());
+}
+
+#[test]
+fn planted_hippocratic_fault_in_composers_is_isolated() {
+    // Reordering a consistent list keeps correctness, kills hippocraticness.
+    let faulty = BreakHippocraticFwd::new(composers_bx(), |mut n: PairList| {
+        n.reverse();
+        n
+    });
+    let samples = composers_samples();
+    assert!(check_law(&faulty, Law::CorrectFwd, &samples).holds());
+    assert!(check_law(&faulty, Law::HippocraticFwd, &samples).violated());
+    assert!(check_law(&faulty, Law::HippocraticBwd, &samples).holds());
+}
+
+#[test]
+fn planted_fault_in_uml2rdbms_is_caught() {
+    // Gratuitously bump every attribute comment on consistent bwd: the
+    // schemas still match (correct) but the model changed (hippocratic).
+    let faulty = BreakHippocraticBwd::new(uml2rdbms_bx(), |mut m: UmlModel| {
+        for class in m.classes.values_mut() {
+            for attr in &mut class.attributes {
+                attr.comment.push('!');
+            }
+        }
+        m
+    });
+    let uml = UmlModel::default()
+        .with_class("A", true, &[("x", "Integer", true)])
+        .document("A", "x", "doc");
+    let rdb = uml2rdbms_bx().fwd(&uml, &RdbModel::default());
+    let samples = Samples::new(
+        vec![(uml, rdb)],
+        vec![UmlModel::default()],
+        vec![RdbModel::default()],
+    );
+    assert!(check_law(&faulty, Law::CorrectBwd, &samples).holds());
+    assert!(check_law(&faulty, Law::HippocraticBwd, &samples).violated());
+}
+
+#[test]
+fn claim_verification_refutes_faulty_artefacts() {
+    // A repository reviewer running the claims of the COMPOSERS entry
+    // against a buggy artefact must see refutation, not confirmation.
+    let entry = bx::examples::composers::composers_entry();
+    let faulty = BreakCorrectFwd::new(composers_bx(), |mut n: PairList| {
+        n.push(("Phantom".to_string(), "Nowhere".to_string()));
+        n
+    });
+    let matrix = check_all_laws(&faulty, &composers_samples());
+    let verdicts = matrix.verify_claims(&entry.properties);
+    assert!(
+        verdicts.iter().any(|v| matches!(v, bx::theory::laws::ClaimVerdict::Refuted { .. })),
+        "a correctness bug must refute at least one published claim: {verdicts:?}"
+    );
+}
+
+#[test]
+fn fault_free_artefacts_still_pass_after_wrapping() {
+    // Identity perturbations: the wrappers themselves add no failures.
+    let wrapped = BreakHippocraticFwd::new(composers_bx(), |n: PairList| n);
+    let matrix = check_all_laws(&wrapped, &composers_samples());
+    for law in [Law::CorrectFwd, Law::CorrectBwd, Law::HippocraticFwd, Law::HippocraticBwd] {
+        assert!(matrix.law_holds(law), "{matrix}");
+    }
+}

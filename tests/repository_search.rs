@@ -1,0 +1,107 @@
+//! E6 at collection scale: discovery — search, type/property filters,
+//! the published home and glossary pages — over the standard collection.
+
+use bx::core::index::{entries_claiming, entries_of_type, entries_with_claim, SearchIndex};
+use bx::core::wiki_bx::WikiBx;
+use bx::core::{ExampleType, WikiSite};
+use bx::examples::standard_repository;
+use bx::theory::{Claim, Property};
+
+#[test]
+fn search_surfaces_the_right_entries() {
+    let idx = SearchIndex::build(&standard_repository().snapshot());
+    // Domain vocabulary routes to the right entries.
+    let cases: &[(&[&str], &str)] = &[
+        (&["notorious"], "uml2rdbms"),
+        (&["graveyard"], "composers-edit"),
+        (&["resourceful", "dates"], "composers-boomerang"),
+        (&["spreadsheet"], "spreadsheet-values"),
+        (&["phone", "combinators"], "address-book"),
+    ];
+    for (terms, expected) in cases {
+        let hits = idx.query(terms);
+        assert!(
+            hits.iter().any(|(id, _)| id.as_str() == *expected),
+            "query {terms:?} should surface {expected}, got {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn type_filters_partition_sensibly() {
+    let snap = standard_repository().snapshot();
+    let precise = entries_of_type(&snap, ExampleType::Precise);
+    let sketch = entries_of_type(&snap, ExampleType::Sketch);
+    let industrial = entries_of_type(&snap, ExampleType::Industrial);
+    let benchmark = entries_of_type(&snap, ExampleType::Benchmark);
+    assert!(precise.len() >= 8);
+    assert_eq!(sketch.len(), 1);
+    assert_eq!(industrial.len(), 1);
+    assert!(benchmark.len() >= 3, "uml2rdbms, families, composers-at-scale");
+    // PRECISE and SKETCH never co-occur (validated at contribution).
+    for id in &sketch {
+        assert!(!precise.contains(id));
+    }
+}
+
+#[test]
+fn property_filters_find_the_undoability_story() {
+    let snap = standard_repository().snapshot();
+    let not_undoable = entries_with_claim(&snap, Claim::fails(Property::Undoable));
+    let undoable = entries_with_claim(&snap, Claim::holds(Property::Undoable));
+    assert!(not_undoable.len() >= 5, "most of the collection loses information");
+    assert_eq!(undoable.len(), 1, "only the edit-based variant is undoable");
+    assert_eq!(undoable[0].as_str(), "composers-edit");
+    // Every entry claiming anything about undoability also claims Correct.
+    for id in not_undoable.iter().chain(&undoable) {
+        let claims = &snap.records[id].latest().properties;
+        assert!(claims.contains(&Claim::holds(Property::Correct)), "{id}");
+    }
+    let _ = entries_claiming(&snap, Property::Undoable);
+}
+
+#[test]
+fn published_site_navigates_the_collection() {
+    let bx = WikiBx::new();
+    let snap = standard_repository().snapshot();
+    let site = bx.publish(&snap, &WikiSite::new());
+
+    // Home links every entry page with its version.
+    let home = site.current("examples:home").expect("home published");
+    for id in snap.records.keys() {
+        assert!(home.contains(&format!("[[[{}]]]", id.page_name())), "home must link {id}");
+    }
+    assert!(home.contains("(version 1.0)"), "the reviewed DATES entry shows 1.0");
+
+    // The glossary defines every property any entry claims.
+    let glossary = site.current("glossary").expect("glossary published");
+    for record in snap.records.values() {
+        for claim in &record.latest().properties {
+            assert!(
+                glossary.contains(&format!("+++ {}", claim.property)),
+                "glossary must define {}",
+                claim.property
+            );
+        }
+    }
+
+    // Publication is consistent with the structured form.
+    use bx::theory::Bx;
+    assert!(bx.consistent(&snap, &site));
+}
+
+#[test]
+fn reviewed_only_manuscript_is_a_strict_subset() {
+    let snap = standard_repository().snapshot();
+    let all = bx::core::manuscript::export_manuscript(
+        &snap,
+        bx::core::manuscript::ManuscriptOptions::default(),
+    );
+    let reviewed = bx::core::manuscript::export_manuscript(
+        &snap,
+        bx::core::manuscript::ManuscriptOptions { reviewed_only: true },
+    );
+    assert!(reviewed.len() < all.len());
+    assert!(reviewed.contains("++ DATES"));
+    assert!(!reviewed.contains("++ COMPOSERS\n"), "provisional entries excluded");
+}

@@ -1,0 +1,125 @@
+//! E1: the §3 template — every field of every entry in the standard
+//! collection survives the wiki markup round trip and the JSON round
+//! trip, including property-based exploration of generated entries.
+
+use bx::core::wiki::{parse_entry, render_entry};
+use bx::core::{ExampleEntry, ExampleType};
+use bx::examples::all_entries;
+use bx::theory::{Claim, Property};
+use proptest::prelude::*;
+
+#[test]
+fn every_standard_entry_roundtrips_through_wiki_markup() {
+    for entry in all_entries() {
+        let text = render_entry(&entry);
+        let parsed = parse_entry(&entry.slug(), &text)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.title));
+        assert_eq!(parsed, entry, "wiki round trip must be lossless for {}", entry.title);
+    }
+}
+
+#[test]
+fn every_standard_entry_roundtrips_through_json() {
+    for entry in all_entries() {
+        let json = serde_json::to_string(&entry).expect("entries serialise");
+        let back: ExampleEntry = serde_json::from_str(&json).expect("entries deserialise");
+        assert_eq!(back, entry, "JSON round trip must be lossless for {}", entry.title);
+    }
+}
+
+#[test]
+fn every_standard_entry_satisfies_the_template() {
+    for entry in all_entries() {
+        let problems = entry.validate();
+        assert!(problems.is_empty(), "{}: {problems:?}", entry.title);
+    }
+}
+
+#[test]
+fn template_field_order_matches_the_paper() {
+    // §3 lists: Title, Version, Type, Overview, Models, Consistency,
+    // Consistency Restoration, Properties?, Variants?, Discussion,
+    // References?, Authors, Reviewers?, Comments, Artefacts?.
+    let entry = bx::examples::composers::composers_entry();
+    let text = render_entry(&entry);
+    let order = [
+        "++ COMPOSERS",
+        "||~ Version",
+        "||~ Type",
+        "+++ Overview",
+        "+++ Models",
+        "+++ Consistency\n",
+        "+++ Consistency Restoration",
+        "+++ Properties",
+        "+++ Variants",
+        "+++ Discussion",
+        "+++ References",
+        "+++ Authors",
+    ];
+    let mut pos = 0;
+    for marker in order {
+        let found = text[pos..]
+            .find(marker)
+            .unwrap_or_else(|| panic!("`{marker}` missing or out of order"));
+        pos += found + marker.len();
+    }
+}
+
+fn arb_claim() -> impl Strategy<Value = Claim> {
+    (prop::sample::select(Property::ALL.to_vec()), prop::bool::ANY).prop_map(|(p, holds)| {
+        if holds {
+            Claim::holds(p)
+        } else {
+            Claim::fails(p)
+        }
+    })
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 ,.()-]{1,60}".prop_map(|s| {
+        let t = s.trim().to_string();
+        if t.is_empty() {
+            "text".to_string()
+        } else {
+            t
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_entries_roundtrip_through_wiki(
+        title in "[A-Z][A-Z0-9-]{1,14}",
+        overview in arb_text(),
+        models in arb_text(),
+        consistency in arb_text(),
+        fwd in arb_text(),
+        bwd in arb_text(),
+        discussion in arb_text(),
+        author in "[A-Za-z][a-z]{1,10}",
+        claims in prop::collection::vec(arb_claim(), 0..4),
+        industrial in prop::bool::ANY,
+    ) {
+        let mut builder = ExampleEntry::builder(&title)
+            .of_type(ExampleType::Precise)
+            .overview(&overview)
+            .models(&models)
+            .consistency(&consistency)
+            .restoration(&fwd, &bwd)
+            .discussion(&discussion)
+            .author(&author);
+        if industrial {
+            builder = builder.of_type(ExampleType::Industrial);
+        }
+        for c in claims {
+            builder = builder.property(c);
+        }
+        let entry = builder.build_unchecked();
+        prop_assume!(entry.validate().is_empty());
+        let text = render_entry(&entry);
+        let parsed = parse_entry("p", &text).expect("canonical text parses");
+        prop_assert_eq!(parsed, entry);
+    }
+}

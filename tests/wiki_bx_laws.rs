@@ -1,0 +1,124 @@
+//! E7: the §5.4 repository↔wiki bidirectional transformation, law-checked
+//! over the real collection and over adversarial sites.
+
+use bx::core::wiki::{render_entry, WikiSite};
+use bx::core::wiki_bx::WikiBx;
+use bx::core::EntryId;
+use bx::examples::standard_repository;
+use bx::theory::{check_all_laws, Bx, Claim, Law, Property, Samples};
+
+#[test]
+fn wiki_bx_claims_over_the_real_collection() {
+    let bx = WikiBx::new();
+    let full = standard_repository().snapshot();
+    let mut small = full.clone();
+    let removed: Vec<EntryId> = small.records.keys().skip(5).cloned().collect();
+    for id in removed {
+        small.records.remove(&id);
+    }
+    let empty = {
+        let mut s = full.clone();
+        s.records.clear();
+        s
+    };
+
+    let site_full = bx.fwd(&full, &WikiSite::new());
+    let site_small = bx.fwd(&small, &WikiSite::new());
+
+    let samples = Samples::new(
+        vec![
+            (full.clone(), site_full.clone()),
+            (small.clone(), site_small.clone()),
+            (empty.clone(), WikiSite::new()),
+            (full.clone(), site_small.clone()),  // repository ahead of wiki
+            (small.clone(), site_full.clone()),  // wiki ahead of repository
+            (empty, site_full.clone()),
+        ],
+        vec![small],
+        vec![site_small, WikiSite::new()],
+    );
+    let matrix = check_all_laws(&bx, &samples);
+    let verdicts = matrix.verify_claims(&[
+        Claim::holds(Property::Correct),
+        Claim::holds(Property::Hippocratic),
+    ]);
+    for v in &verdicts {
+        assert!(v.confirmed(), "{v}\n{matrix}");
+    }
+}
+
+#[test]
+fn fwd_then_bwd_is_lossless_for_canonical_sites() {
+    let bx = WikiBx::new();
+    let snap = standard_repository().snapshot();
+    let site = bx.fwd(&snap, &WikiSite::new());
+    assert_eq!(bx.bwd(&snap, &site), snap);
+}
+
+#[test]
+fn wiki_edits_flow_back_as_new_versions() {
+    let bx = WikiBx::new();
+    let snap = standard_repository().snapshot();
+    let mut site = bx.fwd(&snap, &WikiSite::new());
+
+    let id = EntryId::from_title("DATES");
+    let mut edited = snap.records[&id].latest().clone();
+    edited.overview = "Edited directly on the wiki.".to_string();
+    edited.version = edited.version.next_revision();
+    site.set_page(&id.page_name(), render_entry(&edited));
+
+    let snap2 = bx.bwd(&snap, &site);
+    let record = &snap2.records[&id];
+    assert_eq!(record.latest().overview, "Edited directly on the wiki.");
+    assert_eq!(
+        record.history.len(),
+        snap.records[&id].history.len() + 1,
+        "the wiki edit appended a version; history retained"
+    );
+    // Untouched entries kept their records (status included) verbatim.
+    let other = EntryId::from_title("COMPOSERS");
+    assert_eq!(snap2.records[&other], snap.records[&other]);
+}
+
+#[test]
+fn vandalism_is_quarantined_not_destructive() {
+    let bx = WikiBx::new();
+    let snap = standard_repository().snapshot();
+    let mut site = bx.fwd(&snap, &WikiSite::new());
+    site.set_page("examples:composers", "ALL YOUR BX ARE BELONG TO US".to_string());
+    site.set_page("examples:garbage-page", "+++ not even a title".to_string());
+
+    let (snap2, errors) = bx.try_bwd(&snap, &site);
+    assert_eq!(errors.len(), 2, "both bad pages reported");
+    assert_eq!(
+        snap2.records[&EntryId::from_title("COMPOSERS")],
+        snap.records[&EntryId::from_title("COMPOSERS")],
+        "the vandalised entry's record survives"
+    );
+    assert!(
+        !snap2.records.contains_key(&EntryId("garbage-page".to_string())),
+        "a new page that never parsed creates nothing"
+    );
+}
+
+#[test]
+fn bijectivity_fails_as_expected() {
+    // The wiki stores no workflow status, so the bx is *not* bijective —
+    // documenting the boundary of what §5.4's sync can preserve.
+    let bx = WikiBx::new();
+    let snap = standard_repository().snapshot();
+    let site = bx.fwd(&snap, &WikiSite::new());
+    let mut under_review = snap.clone();
+    let id = EntryId::from_title("COMPOSERS");
+    under_review.records.get_mut(&id).expect("entry exists").status =
+        bx::core::EntryStatus::UnderReview;
+
+    // fwd renders identically for both statuses: information the site
+    // cannot represent.
+    assert_eq!(bx.fwd(&under_review, &WikiSite::new()), site);
+    let matrix = check_all_laws(
+        &bx,
+        &Samples::new(vec![(snap, site.clone())], vec![under_review], vec![site]),
+    );
+    assert!(matrix.law_holds(Law::CorrectFwd));
+}
