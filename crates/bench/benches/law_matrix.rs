@@ -28,13 +28,17 @@ fn bench_law_matrix(c: &mut Criterion) {
             }
         }
         let samples = Samples::new(pairs, extra_ms, extra_ns);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &samples, |bench, samples| {
-            bench.iter(|| {
-                let matrix = check_all_laws(&b, samples);
-                assert!(matrix.law_holds(bx_theory::Law::CorrectFwd));
-                matrix
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &samples,
+            |bench, samples| {
+                bench.iter(|| {
+                    let matrix = check_all_laws(&b, samples);
+                    assert!(matrix.law_holds(bx_theory::Law::CorrectFwd));
+                    matrix
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -13,7 +13,9 @@ fn bench_entry_roundtrip(c: &mut Criterion) {
     let entry = composers_entry();
     let text = render_entry(&entry);
 
-    c.bench_function("wiki_sync/render_composers", |b| b.iter(|| render_entry(&entry)));
+    c.bench_function("wiki_sync/render_composers", |b| {
+        b.iter(|| render_entry(&entry))
+    });
     c.bench_function("wiki_sync/parse_composers", |b| {
         b.iter(|| parse_entry("examples:composers", &text).expect("canonical"))
     });
@@ -25,9 +27,11 @@ fn bench_site_sync(c: &mut Criterion) {
     for &extra in &[0usize, 40, 90] {
         let snap = scaled_repository(extra).snapshot();
         let site = bx.fwd(&snap, &WikiSite::new());
-        group.bench_with_input(BenchmarkId::new("fwd", snap.records.len()), &snap, |b, snap| {
-            b.iter(|| bx.fwd(snap, &WikiSite::new()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fwd", snap.records.len()),
+            &snap,
+            |b, snap| b.iter(|| bx.fwd(snap, &WikiSite::new())),
+        );
         group.bench_with_input(
             BenchmarkId::new("bwd_unchanged", snap.records.len()),
             &(&snap, &site),

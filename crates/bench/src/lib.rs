@@ -12,20 +12,36 @@ use bx_examples::uml2rdbms::{RdbModel, UmlModel};
 /// A synthetic-but-valid repository entry, used to scale the repository
 /// beyond the 10 standard entries for index/wiki benches.
 pub fn synthetic_entry(i: usize, rng: &mut Lcg) -> ExampleEntry {
-    let topics = ["lenses", "triple graph grammars", "schema mappings", "spreadsheets", "provenance"];
-    let domains = ["databases", "model driven development", "programming languages"];
+    let topics = [
+        "lenses",
+        "triple graph grammars",
+        "schema mappings",
+        "spreadsheets",
+        "provenance",
+    ];
+    let domains = [
+        "databases",
+        "model driven development",
+        "programming languages",
+    ];
     let topic = topics[rng.below(topics.len())];
     let domain = domains[rng.below(domains.len())];
     ExampleEntry::builder(&format!("SYNTH-{i:05}"))
         .of_type(ExampleType::Precise)
-        .overview(&format!("A synthetic entry about {topic} for {domain}. Generated for benchmarking."))
-        .models(&format!("Two model classes drawn from {domain}, related through {topic}."))
+        .overview(&format!(
+            "A synthetic entry about {topic} for {domain}. Generated for benchmarking."
+        ))
+        .models(&format!(
+            "Two model classes drawn from {domain}, related through {topic}."
+        ))
         .consistency(&format!("The usual consistency relation for {topic}."))
         .restoration(
             &format!("Forward restoration repairs the {domain} side."),
             &format!("Backward restoration repairs the {topic} side."),
         )
-        .discussion(&format!("Synthetic benchmark entry number {i}, mentioning {topic} and {domain}."))
+        .discussion(&format!(
+            "Synthetic benchmark entry number {i}, mentioning {topic} and {domain}."
+        ))
         .author("bench-bot")
         .build()
         .expect("synthetic entries are template-valid")
@@ -34,11 +50,13 @@ pub fn synthetic_entry(i: usize, rng: &mut Lcg) -> ExampleEntry {
 /// A repository with the 10 standard entries plus `extra` synthetic ones.
 pub fn scaled_repository(extra: usize) -> Repository {
     let repo = bx_examples::standard_repository();
-    repo.register(Principal::member("bench-bot")).expect("fresh account");
+    repo.register(Principal::member("bench-bot"))
+        .expect("fresh account");
     let mut rng = Lcg::new(0xB01D);
     for i in 0..extra {
         let entry = synthetic_entry(i, &mut rng);
-        repo.contribute("bench-bot", entry).expect("synthetic entries are valid and distinct");
+        repo.contribute("bench-bot", entry)
+            .expect("synthetic entries are valid and distinct");
     }
     repo
 }
@@ -60,7 +78,11 @@ pub fn uml_of_size(n: usize) -> UmlModel {
         );
     }
     for i in 0..n / 4 {
-        m = m.with_class(&format!("Transient{i:04}"), false, &[("token", "String", false)]);
+        m = m.with_class(
+            &format!("Transient{i:04}"),
+            false,
+            &[("token", "String", false)],
+        );
     }
     m
 }

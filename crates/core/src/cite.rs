@@ -45,15 +45,24 @@ pub fn bibtex(repo_name: &str, entry: &ExampleEntry) -> String {
     let key = format!("bx-{}-{}", id.as_str(), entry.version).replace('.', "-");
     let mut out = String::with_capacity(256);
     out.push_str(&format!("@misc{{{key},\n"));
-    out.push_str(&format!("  title        = {{{{{}}} (version {})}},\n", entry.title, entry.version));
-    out.push_str(&format!("  author       = {{{}}},\n", entry.authors.join(" and ")));
+    out.push_str(&format!(
+        "  title        = {{{{{}}} (version {})}},\n",
+        entry.title, entry.version
+    ));
+    out.push_str(&format!(
+        "  author       = {{{}}},\n",
+        entry.authors.join(" and ")
+    ));
     out.push_str(&format!("  howpublished = {{{repo_name}}},\n"));
     out.push_str(&format!(
         "  url          = {{http://bx-community.wikidot.com/{}}},\n",
         id.page_name()
     ));
     if !entry.reviewers.is_empty() {
-        out.push_str(&format!("  note         = {{reviewed by {}}},\n", entry.reviewers.join(", ")));
+        out.push_str(&format!(
+            "  note         = {{reviewed by {}}},\n",
+            entry.reviewers.join(", ")
+        ));
     }
     out.push_str("}\n");
     out
@@ -110,7 +119,10 @@ mod tests {
         assert!(b.starts_with("@misc{bx-composers-0-1,"));
         assert!(b.contains("Perdita Stevens and James McKinna"));
         assert!(b.trim_end().ends_with('}'));
-        assert!(!b.contains("note"), "unreviewed entries carry no reviewer note");
+        assert!(
+            !b.contains("note"),
+            "unreviewed entries carry no reviewer note"
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ mod tests {
 
     #[test]
     fn transitions_are_labelled() {
-        for s in [EntryStatus::Provisional, EntryStatus::UnderReview, EntryStatus::Approved] {
+        for s in [
+            EntryStatus::Provisional,
+            EntryStatus::UnderReview,
+            EntryStatus::Approved,
+        ] {
             for (_, action) in s.transitions() {
                 assert!(!action.is_empty());
             }

@@ -56,7 +56,11 @@ impl fmt::Display for RepoError {
             }
             RepoError::DuplicateEntry(t) => write!(f, "an entry titled `{t}` already exists"),
             RepoError::InvalidEntry(problems) => {
-                write!(f, "entry fails template validation: {}", problems.join("; "))
+                write!(
+                    f,
+                    "entry fails template validation: {}",
+                    problems.join("; ")
+                )
             }
             RepoError::DuplicateAccount(a) => write!(f, "account `{a}` already exists"),
             RepoError::MarkupParse { page, reason } => {
@@ -83,11 +87,17 @@ mod tests {
                 needs: "Reviewer".into(),
             },
             RepoError::UnknownEntry("composers".into()),
-            RepoError::UnknownVersion { entry: "composers".into(), version: "9.9".into() },
+            RepoError::UnknownVersion {
+                entry: "composers".into(),
+                version: "9.9".into(),
+            },
             RepoError::DuplicateEntry("COMPOSERS".into()),
             RepoError::InvalidEntry(vec!["missing overview".into()]),
             RepoError::DuplicateAccount("a".into()),
-            RepoError::MarkupParse { page: "p".into(), reason: "r".into() },
+            RepoError::MarkupParse {
+                page: "p".into(),
+                reason: "r".into(),
+            },
             RepoError::Persist("io".into()),
         ];
         for e in cases {

@@ -55,7 +55,11 @@ impl SearchIndex {
         for (id, record) in &snapshot.records {
             idx.entries += 1;
             for token in tokenize(&entry_text(record.latest())) {
-                *idx.postings.entry(token).or_default().entry(id.clone()).or_insert(0) += 1;
+                *idx.postings
+                    .entry(token)
+                    .or_default()
+                    .entry(id.clone())
+                    .or_insert(0) += 1;
             }
         }
         idx
@@ -82,9 +86,7 @@ impl SearchIndex {
                 None => posting,
                 Some(prev) => prev
                     .into_iter()
-                    .filter_map(|(id, score)| {
-                        posting.get(&id).map(|tf| (id, score + tf))
-                    })
+                    .filter_map(|(id, score)| posting.get(&id).map(|tf| (id, score + tf)))
                     .collect(),
             });
         }

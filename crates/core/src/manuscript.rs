@@ -50,7 +50,10 @@ pub fn export_manuscript(snapshot: &RepositorySnapshot, options: ManuscriptOptio
             out.push_str(&format!("  - {r}\n"));
         }
     }
-    out.push_str(&format!("\nCanonical citation: {}\n", cite_repository(&snapshot.name)));
+    out.push_str(&format!(
+        "\nCanonical citation: {}\n",
+        cite_repository(&snapshot.name)
+    ));
     out.push_str(&format!("\nContents ({} entries):\n", entries.len()));
     for e in &entries {
         out.push_str(&format!("  - {} (version {})\n", e.title, e.version));
@@ -78,7 +81,10 @@ mod tests {
     use crate::template::{ExampleEntry, ExampleType};
 
     fn repo() -> Repository {
-        let r = Repository::found("The Bx Examples Repository", vec![Principal::curator("cur")]);
+        let r = Repository::found(
+            "The Bx Examples Repository",
+            vec![Principal::curator("cur")],
+        );
         r.register(Principal::member("alice")).unwrap();
         r.register(Principal::member("rev")).unwrap();
         r.grant_role("cur", "rev", Role::Reviewer).unwrap();
@@ -117,8 +123,12 @@ mod tests {
         let id = crate::repo::EntryId("composers".to_string());
         r.request_review("alice", &id).unwrap();
         r.approve("rev", &id).unwrap();
-        let text =
-            export_manuscript(&r.snapshot(), ManuscriptOptions { reviewed_only: true });
+        let text = export_manuscript(
+            &r.snapshot(),
+            ManuscriptOptions {
+                reviewed_only: true,
+            },
+        );
         assert!(text.contains("Contents (1 entries):"));
         assert!(text.contains("++ COMPOSERS"));
         assert!(!text.contains("++ UML2RDBMS"));

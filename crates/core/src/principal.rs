@@ -50,17 +50,29 @@ pub struct Principal {
 impl Principal {
     /// A member-level account.
     pub fn member(name: &str) -> Principal {
-        Principal { name: name.to_string(), affiliation: None, role: Role::Member }
+        Principal {
+            name: name.to_string(),
+            affiliation: None,
+            role: Role::Member,
+        }
     }
 
     /// A reviewer-level account.
     pub fn reviewer(name: &str) -> Principal {
-        Principal { name: name.to_string(), affiliation: None, role: Role::Reviewer }
+        Principal {
+            name: name.to_string(),
+            affiliation: None,
+            role: Role::Reviewer,
+        }
     }
 
     /// A curator-level account.
     pub fn curator(name: &str) -> Principal {
-        Principal { name: name.to_string(), affiliation: None, role: Role::Curator }
+        Principal {
+            name: name.to_string(),
+            affiliation: None,
+            role: Role::Curator,
+        }
     }
 
     /// Set the affiliation.

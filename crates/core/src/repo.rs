@@ -55,7 +55,9 @@ pub struct EntryRecord {
 impl EntryRecord {
     /// The latest version.
     pub fn latest(&self) -> &ExampleEntry {
-        self.history.last().expect("records always hold at least one version")
+        self.history
+            .last()
+            .expect("records always hold at least one version")
     }
 }
 
@@ -97,7 +99,10 @@ impl Repository {
         }
         Repository {
             name: name.to_string(),
-            inner: RwLock::new(Inner { records: BTreeMap::new(), accounts }),
+            inner: RwLock::new(Inner {
+                records: BTreeMap::new(),
+                accounts,
+            }),
         }
     }
 
@@ -132,7 +137,13 @@ impl Repository {
         // Self-registration grants Member regardless of the requested role;
         // higher roles come from curators via `grant_role`.
         let name = principal.name.clone();
-        inner.accounts.insert(name, Principal { role: Role::Member, ..principal });
+        inner.accounts.insert(
+            name,
+            Principal {
+                role: Role::Member,
+                ..principal
+            },
+        );
         Ok(())
     }
 
@@ -176,7 +187,10 @@ impl Repository {
         entry.reviewers.clear();
         inner.records.insert(
             id.clone(),
-            EntryRecord { status: EntryStatus::Provisional, history: vec![entry] },
+            EntryRecord {
+                status: EntryStatus::Provisional,
+                history: vec![entry],
+            },
         );
         Ok(id)
     }
@@ -399,7 +413,10 @@ impl Repository {
     pub fn from_snapshot(snapshot: RepositorySnapshot) -> Repository {
         Repository {
             name: snapshot.name,
-            inner: RwLock::new(Inner { records: snapshot.records, accounts: snapshot.accounts }),
+            inner: RwLock::new(Inner {
+                records: snapshot.records,
+                accounts: snapshot.accounts,
+            }),
         }
     }
 }
@@ -454,7 +471,10 @@ mod tests {
         let r = repo();
         r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
         let e = r.contribute("bob", entry("Composers", "bob"));
-        assert!(matches!(e, Err(RepoError::DuplicateEntry(_))), "same slug must collide");
+        assert!(
+            matches!(e, Err(RepoError::DuplicateEntry(_))),
+            "same slug must collide"
+        );
     }
 
     #[test]
@@ -475,7 +495,10 @@ mod tests {
         e2.discussion = "Expanded discussion.".to_string();
         let v2 = r.revise("alice", &id, e2).unwrap();
         assert_eq!(v2, Version::new(0, 2));
-        assert_eq!(r.versions(&id).unwrap(), vec![Version::new(0, 1), Version::new(0, 2)]);
+        assert_eq!(
+            r.versions(&id).unwrap(),
+            vec![Version::new(0, 1), Version::new(0, 2)]
+        );
         // The old version is still fetchable.
         let old = r.at_version(&id, Version::new(0, 1)).unwrap();
         assert_eq!(old.discussion, "Some discussion.");
@@ -488,14 +511,17 @@ mod tests {
         let e = r.revise("bob", &id, entry("COMPOSERS", "alice"));
         assert!(matches!(e, Err(RepoError::PermissionDenied { .. })));
         // Curators may.
-        assert!(r.revise("curator", &id, entry("COMPOSERS", "alice")).is_ok());
+        assert!(r
+            .revise("curator", &id, entry("COMPOSERS", "alice"))
+            .is_ok());
     }
 
     #[test]
     fn comments_accumulate_across_versions() {
         let r = repo();
         let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
-        r.comment("bob", &id, "2014-03-28", "What about name keys?").unwrap();
+        r.comment("bob", &id, "2014-03-28", "What about name keys?")
+            .unwrap();
         r.revise("alice", &id, entry("COMPOSERS", "alice")).unwrap();
         let latest = r.latest(&id).unwrap();
         assert_eq!(latest.comments.len(), 1);

@@ -233,9 +233,7 @@ impl ExampleEntry {
         if self.types.is_empty() {
             problems.push("at least one Type is required".to_string());
         }
-        if self.types.contains(&ExampleType::Precise)
-            && self.types.contains(&ExampleType::Sketch)
-        {
+        if self.types.contains(&ExampleType::Precise) && self.types.contains(&ExampleType::Sketch) {
             problems.push("PRECISE and SKETCH are mutually exclusive".to_string());
         }
         if self.overview.trim().is_empty() {
@@ -255,8 +253,7 @@ impl ExampleEntry {
         if self.consistency.trim().is_empty() {
             problems.push("consistency description must be present".to_string());
         }
-        if self.restoration.forward.trim().is_empty()
-            && self.restoration.backward.trim().is_empty()
+        if self.restoration.forward.trim().is_empty() && self.restoration.backward.trim().is_empty()
         {
             problems.push("consistency restoration must be described".to_string());
         }
@@ -329,8 +326,10 @@ impl EntryBuilder {
 
     /// Set the restoration descriptions.
     pub fn restoration(mut self, forward: &str, backward: &str) -> Self {
-        self.entry.restoration =
-            RestorationSpec { forward: forward.to_string(), backward: backward.to_string() };
+        self.entry.restoration = RestorationSpec {
+            forward: forward.to_string(),
+            backward: backward.to_string(),
+        };
         self
     }
 
@@ -342,9 +341,10 @@ impl EntryBuilder {
 
     /// Add a variation point.
     pub fn variant(mut self, name: &str, description: &str) -> Self {
-        self.entry
-            .variants
-            .push(VariantPoint { name: name.to_string(), description: description.to_string() });
+        self.entry.variants.push(VariantPoint {
+            name: name.to_string(),
+            description: description.to_string(),
+        });
         self
     }
 
@@ -356,9 +356,10 @@ impl EntryBuilder {
 
     /// Add a reference.
     pub fn reference(mut self, citation: &str, doi: Option<&str>) -> Self {
-        self.entry
-            .references
-            .push(Reference { citation: citation.to_string(), doi: doi.map(str::to_string) });
+        self.entry.references.push(Reference {
+            citation: citation.to_string(),
+            doi: doi.map(str::to_string),
+        });
         self
     }
 
@@ -403,10 +404,15 @@ mod tests {
     fn minimal() -> EntryBuilder {
         ExampleEntry::builder("COMPOSERS")
             .of_type(ExampleType::Precise)
-            .overview("Two representations of composers. Consistency is easy; restoration has choices.")
+            .overview(
+                "Two representations of composers. Consistency is easy; restoration has choices.",
+            )
             .models("A set of composers vs an ordered list of (name, nationality) pairs.")
             .consistency("Same set of (name, nationality) pairs on both sides.")
-            .restoration("Delete stale entries, append missing pairs.", "Delete stale composers, add new ones with unknown dates.")
+            .restoration(
+                "Delete stale entries, append missing pairs.",
+                "Delete stale composers, add new ones with unknown dates.",
+            )
             .discussion("Classic witness that undoability is too strong.")
             .author("Perdita Stevens")
     }
@@ -435,7 +441,10 @@ mod tests {
     #[test]
     fn precise_and_sketch_exclusive() {
         let e = minimal().of_type(ExampleType::Sketch).build_unchecked();
-        assert!(e.validate().iter().any(|p| p.contains("mutually exclusive")));
+        assert!(e
+            .validate()
+            .iter()
+            .any(|p| p.contains("mutually exclusive")));
         // But PRECISE + INDUSTRIAL is fine.
         let e = minimal().of_type(ExampleType::Industrial).build_unchecked();
         assert!(e.validate().is_empty());

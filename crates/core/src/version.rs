@@ -35,13 +35,19 @@ impl Version {
 
     /// The next revision in the linear sequence (minor bump).
     pub fn next_revision(self) -> Version {
-        Version { major: self.major, minor: self.minor + 1 }
+        Version {
+            major: self.major,
+            minor: self.minor + 1,
+        }
     }
 
     /// The version assigned on review approval: `1.0` for a provisional
     /// entry, next major for an already-reviewed one.
     pub fn promoted(self) -> Version {
-        Version { major: self.major + 1, minor: 0 }
+        Version {
+            major: self.major + 1,
+            minor: 0,
+        }
     }
 }
 
@@ -55,10 +61,18 @@ impl FromStr for Version {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (maj, min) = s.split_once('.').ok_or_else(|| format!("bad version `{s}`"))?;
+        let (maj, min) = s
+            .split_once('.')
+            .ok_or_else(|| format!("bad version `{s}`"))?;
         Ok(Version {
-            major: maj.trim().parse().map_err(|e| format!("bad major in `{s}`: {e}"))?,
-            minor: min.trim().parse().map_err(|e| format!("bad minor in `{s}`: {e}"))?,
+            major: maj
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad major in `{s}`: {e}"))?,
+            minor: min
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad minor in `{s}`: {e}"))?,
         })
     }
 }

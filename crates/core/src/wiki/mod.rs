@@ -34,7 +34,10 @@ impl WikiSite {
 
     /// The current content of a page.
     pub fn current(&self, page: &str) -> Option<&str> {
-        self.pages.get(page).and_then(|revs| revs.last()).map(String::as_str)
+        self.pages
+            .get(page)
+            .and_then(|revs| revs.last())
+            .map(String::as_str)
     }
 
     /// All revisions of a page, oldest first.
@@ -91,7 +94,10 @@ mod tests {
         w.set_page("examples:composers", "v1".to_string());
         w.set_page("examples:composers", "v2".to_string());
         assert_eq!(w.current("examples:composers"), Some("v2"));
-        assert_eq!(w.revisions("examples:composers"), &["v1".to_string(), "v2".to_string()]);
+        assert_eq!(
+            w.revisions("examples:composers"),
+            &["v1".to_string(), "v2".to_string()]
+        );
     }
 
     #[test]

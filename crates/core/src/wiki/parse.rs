@@ -2,13 +2,14 @@
 //! the §5.4 bx.
 
 use crate::error::RepoError;
-use crate::template::{
-    Artefact, Comment, ExampleEntry, Reference, RestorationSpec, VariantPoint,
-};
+use crate::template::{Artefact, Comment, ExampleEntry, Reference, RestorationSpec, VariantPoint};
 use crate::version::Version;
 
 fn err(page: &str, reason: impl Into<String>) -> RepoError {
-    RepoError::MarkupParse { page: page.to_string(), reason: reason.into() }
+    RepoError::MarkupParse {
+        page: page.to_string(),
+        reason: reason.into(),
+    }
 }
 
 /// Parse canonical markup (as produced by
@@ -26,7 +27,9 @@ pub fn parse_entry(page: &str, text: &str) -> Result<ExampleEntry, RepoError> {
         .to_string();
 
     // Metadata table rows.
-    let version_line = lines.next().ok_or_else(|| err(page, "missing Version row"))?;
+    let version_line = lines
+        .next()
+        .ok_or_else(|| err(page, "missing Version row"))?;
     let version = parse_table_row(page, version_line, "Version")?
         .parse::<Version>()
         .map_err(|e| err(page, e))?;
@@ -76,9 +79,10 @@ pub fn parse_entry(page: &str, text: &str) -> Result<ExampleEntry, RepoError> {
             }
             "Properties" => {
                 for b in bullets(body) {
-                    entry.properties.push(b.parse().map_err(
-                        |e: bx_theory::TheoryError| err(page, e.to_string()),
-                    )?);
+                    entry.properties.push(
+                        b.parse()
+                            .map_err(|e: bx_theory::TheoryError| err(page, e.to_string()))?,
+                    );
                 }
             }
             "Variants" => {
@@ -135,7 +139,11 @@ pub fn parse_entry(page: &str, text: &str) -> Result<ExampleEntry, RepoError> {
                         .next()
                         .ok_or_else(|| err(page, format!("bad artefact line {b:?}")))?
                         .to_string();
-                    entry.artefacts.push(Artefact { name, kind, location });
+                    entry.artefacts.push(Artefact {
+                        name,
+                        kind,
+                        location,
+                    });
                 }
             }
             other => return Err(err(page, format!("unknown section `{other}`"))),
@@ -177,7 +185,10 @@ fn parse_restoration(page: &str, body: &[String]) -> Result<RestorationSpec, Rep
         }
         s
     };
-    Ok(RestorationSpec { forward: clean(forward), backward: clean(backward) })
+    Ok(RestorationSpec {
+        forward: clean(forward),
+        backward: clean(backward),
+    })
 }
 
 #[cfg(test)]
@@ -278,14 +289,20 @@ mod tests {
     fn comment_text_may_contain_separator() {
         let e = full_entry();
         let parsed = parse_entry("p", &render_entry(&e)).unwrap();
-        assert_eq!(parsed.comments[0].text, "Nice example :: with tricky separator");
+        assert_eq!(
+            parsed.comments[0].text,
+            "Nice example :: with tricky separator"
+        );
     }
 
     #[test]
     fn multiline_fields_survive() {
         let e = full_entry();
         let parsed = parse_entry("p", &render_entry(&e)).unwrap();
-        assert!(parsed.models.contains("\n\n"), "blank line inside Models survives");
+        assert!(
+            parsed.models.contains("\n\n"),
+            "blank line inside Models survives"
+        );
         assert_eq!(parsed.restoration.forward, e.restoration.forward);
         assert_eq!(parsed.restoration.backward, e.restoration.backward);
     }

@@ -160,7 +160,10 @@ mod tests {
             .overview("Two representations of the same data.")
             .models("Sets of composers; lists of pairs.")
             .consistency("Same (name, nationality) pairs.")
-            .restoration("Delete stale entries; append missing pairs.", "Delete stale composers; add new ones.")
+            .restoration(
+                "Delete stale entries; append missing pairs.",
+                "Delete stale composers; add new ones.",
+            )
             .property(Claim::holds(Property::Correct))
             .property(Claim::fails(Property::Undoable))
             .variant("insert position", "beginning or end")
@@ -240,7 +243,10 @@ mod tests {
         for p in Property::ALL {
             assert!(g.contains(&format!("+++ {p}")), "glossary must define {p}");
         }
-        assert!(g.contains("hippocratic"), "the paper's own example term appears");
+        assert!(
+            g.contains("hippocratic"),
+            "the paper's own example term appears"
+        );
         assert!(g.contains("declared-only"), "uncheckable properties say so");
         assert!(g.contains("CorrectFwd: "), "laws are spelled out");
     }

@@ -49,7 +49,9 @@ impl WikiBx {
         let mut errors = Vec::new();
 
         for page in site.example_pages() {
-            let Some(content) = site.current(page) else { continue };
+            let Some(content) = site.current(page) else {
+                continue;
+            };
             let slug = page.trim_start_matches("examples:").to_string();
             let id = EntryId(slug);
             let old = snapshot.records.get(&id);
@@ -252,7 +254,11 @@ mod tests {
         site.set_page("examples:composers", "vandalised!!".to_string());
         let (snap2, errors) = bx.try_bwd(&snap, &site);
         assert_eq!(errors.len(), 1);
-        assert_eq!(snap2.records.len(), 1, "vandalism does not destroy the entry");
+        assert_eq!(
+            snap2.records.len(),
+            1,
+            "vandalism does not destroy the entry"
+        );
     }
 
     #[test]
@@ -260,11 +266,17 @@ mod tests {
         let bx = WikiBx::new();
         let snap = snapshot_with(&[("COMPOSERS", "O."), ("UML2RDBMS", "O.")]);
         let site = bx.publish(&snap, &WikiSite::new());
-        assert!(bx.consistent(&snap, &site), "extra pages are outside the relation");
+        assert!(
+            bx.consistent(&snap, &site),
+            "extra pages are outside the relation"
+        );
         let home = site.current("examples:home").expect("home page published");
         assert!(home.contains("[[[examples:composers]]]"));
         assert!(home.contains("[[[examples:uml2rdbms]]]"));
-        assert!(site.current("glossary").expect("glossary published").contains("Hippocratic"));
+        assert!(site
+            .current("glossary")
+            .expect("glossary published")
+            .contains("Hippocratic"));
         // Republishing identical content adds no revisions.
         let site2 = bx.publish(&snap, &site);
         assert_eq!(site2.revisions("examples:home").len(), 1);
@@ -289,7 +301,12 @@ mod tests {
         let extra_sites = vec![bx.fwd(&snaps[1], &WikiSite::new())];
         let samples = Samples::new(pairs, vec![snaps[2].clone()], extra_sites);
         let matrix = check_all_laws(&bx, &samples);
-        for law in [Law::CorrectFwd, Law::CorrectBwd, Law::HippocraticFwd, Law::HippocraticBwd] {
+        for law in [
+            Law::CorrectFwd,
+            Law::CorrectBwd,
+            Law::HippocraticFwd,
+            Law::HippocraticBwd,
+        ] {
             assert!(matrix.law_holds(law), "{}", matrix);
         }
     }

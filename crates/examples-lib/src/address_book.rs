@@ -53,8 +53,14 @@ pub fn address_book_bx() -> LensBx<impl Lens<Vec<Contact>, Vec<ContactView>>> {
 /// Sample data for artefacts and tests.
 pub fn sample_book() -> Vec<Contact> {
     vec![
-        ("Ada".to_string(), ("+44-1".to_string(), "ada@example.org".to_string())),
-        ("Grace".to_string(), ("+1-2".to_string(), "grace@example.org".to_string())),
+        (
+            "Ada".to_string(),
+            ("+44-1".to_string(), "ada@example.org".to_string()),
+        ),
+        (
+            "Grace".to_string(),
+            ("+1-2".to_string(), "grace@example.org".to_string()),
+        ),
     ]
 }
 
@@ -104,7 +110,11 @@ pub fn address_book_entry() -> ExampleEntry {
             Some("10.1145/1232420.1232424"),
         )
         .author("Perdita Stevens")
-        .artefact("combinator lens", ArtefactKind::Code, "bx_examples::address_book::address_book_lens")
+        .artefact(
+            "combinator lens",
+            ArtefactKind::Code,
+            "bx_examples::address_book::address_book_lens",
+        )
         .build()
         .expect("template-valid")
 }
@@ -136,7 +146,13 @@ mod tests {
             ("Alan".to_string(), "alan@example.org".to_string()),
         ];
         let book = l.put(&sample_book(), &view);
-        assert_eq!(book[0], ("Ada L.".to_string(), ("+44-1".to_string(), "ada@new.org".to_string())));
+        assert_eq!(
+            book[0],
+            (
+                "Ada L.".to_string(),
+                ("+44-1".to_string(), "ada@new.org".to_string())
+            )
+        );
         assert_eq!(book[2].1 .0, "", "new contact gets an empty phone");
     }
 
@@ -144,21 +160,27 @@ mod tests {
     fn combinator_lens_laws() {
         let l = address_book_lens();
         let sources = vec![sample_book(), vec![]];
-        let views = vec![
-            vec![("X".to_string(), "x@e".to_string())],
-            vec![],
-        ];
+        let views = vec![vec![("X".to_string(), "x@e".to_string())], vec![]];
         for r in check_lens_laws(&l, &sources, &views) {
             if r.law == LensLaw::PutPut {
-                assert!(r.counterexample.is_some(), "positional map breaks PutPut: {r}");
+                assert!(
+                    r.counterexample.is_some(),
+                    "positional map breaks PutPut: {r}"
+                );
             } else {
                 assert!(r.holds(), "{r}");
             }
         }
         // PutPut holds when lengths are stable.
         let stable_views = vec![
-            vec![("A".to_string(), "a@e".to_string()), ("B".to_string(), "b@e".to_string())],
-            vec![("C".to_string(), "c@e".to_string()), ("D".to_string(), "d@e".to_string())],
+            vec![
+                ("A".to_string(), "a@e".to_string()),
+                ("B".to_string(), "b@e".to_string()),
+            ],
+            vec![
+                ("C".to_string(), "c@e".to_string()),
+                ("D".to_string(), "d@e".to_string()),
+            ],
         ];
         assert!(check_lens_law(&l, LensLaw::PutPut, &[sample_book()], &stable_views).holds());
     }

@@ -19,13 +19,18 @@ pub struct Lcg(u64);
 impl Lcg {
     /// Seeded generator.
     pub fn new(seed: u64) -> Lcg {
-        Lcg(seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+        Lcg(seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493))
     }
 
     /// Next pseudo-random value.
     pub fn next_u64(&mut self) -> u64 {
         // Numerical Recipes LCG constants.
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 11
     }
 
@@ -35,11 +40,22 @@ impl Lcg {
     }
 }
 
-const FIRST: [&str; 8] =
-    ["Jean", "Aaron", "Clara", "Benjamin", "Erik", "Amy", "Lili", "Ralph"];
-const LAST: [&str; 8] =
-    ["Sibelius", "Copland", "Schumann", "Britten", "Satie", "Beach", "Boulanger", "Vaughan"];
-const NATION: [&str; 6] = ["Finnish", "American", "German", "British", "French", "Austrian"];
+const FIRST: [&str; 8] = [
+    "Jean", "Aaron", "Clara", "Benjamin", "Erik", "Amy", "Lili", "Ralph",
+];
+const LAST: [&str; 8] = [
+    "Sibelius",
+    "Copland",
+    "Schumann",
+    "Britten",
+    "Satie",
+    "Beach",
+    "Boulanger",
+    "Vaughan",
+];
+const NATION: [&str; 6] = [
+    "Finnish", "American", "German", "British", "French", "Austrian",
+];
 
 /// Generate `n` distinct composers, deterministically from `seed`.
 pub fn generate_composers(n: usize, seed: u64) -> ComposerSet {
@@ -97,7 +113,13 @@ pub fn to_boomerang_source(composers: &ComposerSet) -> String {
         let name: String = c
             .name
             .chars()
-            .map(|ch| if ch.is_ascii_digit() { (b'a' + (ch as u8 - b'0')) as char } else { ch })
+            .map(|ch| {
+                if ch.is_ascii_digit() {
+                    (b'a' + (ch as u8 - b'0')) as char
+                } else {
+                    ch
+                }
+            })
             .collect();
         out.push_str(&format!("{}, {}, {}\n", name, c.dates, c.nationality));
     }
@@ -135,11 +157,22 @@ pub fn benchmark_entry() -> ExampleEntry {
              volume): what is specified is not just the bx but the workload \
              and the measured quantities.",
         )
-        .reference("Anjorin, Cunha, Giese, Hermann, Rensink, Schürr. BenchmarX. Bx 2014", None)
+        .reference(
+            "Anjorin, Cunha, Giese, Hermann, Rensink, Schürr. BenchmarX. Bx 2014",
+            None,
+        )
         .author("James Cheney")
         .author("Perdita Stevens")
-        .artefact("generators", ArtefactKind::Code, "bx_examples::benchmark::generate_composers")
-        .artefact("bench harness", ArtefactKind::Code, "bx-bench/benches/scale_restore.rs")
+        .artefact(
+            "generators",
+            ArtefactKind::Code,
+            "bx_examples::benchmark::generate_composers",
+        )
+        .artefact(
+            "bench harness",
+            ArtefactKind::Code,
+            "bx-bench/benches/scale_restore.rs",
+        )
         .build()
         .expect("template-valid")
 }
@@ -187,7 +220,9 @@ mod tests {
         let m = generate_composers(30, 5);
         let src = to_boomerang_source(&m);
         let lens = crate::composers_boomerang::composers_lens();
-        let view = lens.get(&src).expect("generated source is in the lens language");
+        let view = lens
+            .get(&src)
+            .expect("generated source is in the lens language");
         assert_eq!(lens.put(&src, &view).expect("GetPut"), src);
     }
 

@@ -27,10 +27,16 @@ pub fn sample_bookmarks() -> Tree {
                 "folder",
                 vec![
                     Tree::leaf("bookmark", "https://doi.org/10.1145/1232420.1232424"),
-                    Tree::node("private", vec![Tree::leaf("bookmark", "https://bank.example")]),
+                    Tree::node(
+                        "private",
+                        vec![Tree::leaf("bookmark", "https://bank.example")],
+                    ),
                 ],
             ),
-            Tree::node("private", vec![Tree::leaf("bookmark", "https://diary.example")]),
+            Tree::node(
+                "private",
+                vec![Tree::leaf("bookmark", "https://diary.example")],
+            ),
         ],
     )
 }
@@ -83,8 +89,16 @@ pub fn bookmarks_entry() -> ExampleEntry {
         )
         .author("Jeremy Gibbons")
         .author("James Cheney")
-        .artefact("tree lens", ArtefactKind::Code, "bx_examples::bookmarks::bookmarks_lens")
-        .artefact("sample data", ArtefactKind::SampleData, "bx_examples::bookmarks::sample_bookmarks")
+        .artefact(
+            "tree lens",
+            ArtefactKind::Code,
+            "bx_examples::bookmarks::bookmarks_lens",
+        )
+        .artefact(
+            "sample data",
+            ArtefactKind::SampleData,
+            "bx_examples::bookmarks::sample_bookmarks",
+        )
         .build()
         .expect("template-valid")
 }
@@ -108,9 +122,13 @@ mod tests {
         let l = bookmarks_lens();
         let t = sample_bookmarks();
         let mut v = l.get(&t);
-        v.children.push(Tree::leaf("bookmark", "https://added.example"));
+        v.children
+            .push(Tree::leaf("bookmark", "https://added.example"));
         let t2 = l.put(&t, &v);
-        assert!(t2.to_string().contains("diary.example"), "private data intact");
+        assert!(
+            t2.to_string().contains("diary.example"),
+            "private data intact"
+        );
         assert!(t2.to_string().contains("added.example"));
         assert_eq!(l.get(&t2), v, "PutGet");
     }
@@ -123,7 +141,10 @@ mod tests {
         let samples = Samples::new(
             vec![(m.clone(), n), (m, Tree::node("root", vec![]))],
             vec![Tree::node("root", vec![])],
-            vec![Tree::node("root", vec![Tree::leaf("bookmark", "https://other.example")])],
+            vec![Tree::node(
+                "root",
+                vec![Tree::leaf("bookmark", "https://other.example")],
+            )],
         );
         let matrix = check_all_laws(&b, &samples);
         for v in matrix.verify_claims(&bookmarks_entry().properties) {

@@ -48,8 +48,7 @@ impl Bx<ComposerSet, PairList> for ComposersBx {
     /// duplicates should be added."
     fn fwd(&self, m: &ComposerSet, n: &PairList) -> PairList {
         let m_pairs = Self::pairs_of_m(m);
-        let mut out: PairList =
-            n.iter().filter(|p| m_pairs.contains(*p)).cloned().collect();
+        let mut out: PairList = n.iter().filter(|p| m_pairs.contains(*p)).cloned().collect();
         let present: BTreeSet<Pair> = out.iter().cloned().collect();
         // BTreeSet iteration is already (name, nationality)-sorted and
         // duplicate-free, exactly the ordering the template prescribes.
@@ -69,8 +68,11 @@ impl Bx<ComposerSet, PairList> for ComposersBx {
     /// composer should be ????-????."
     fn bwd(&self, m: &ComposerSet, n: &PairList) -> ComposerSet {
         let n_pairs = Self::pairs_of_n(n);
-        let mut out: ComposerSet =
-            m.iter().filter(|c| n_pairs.contains(&c.pair())).cloned().collect();
+        let mut out: ComposerSet = m
+            .iter()
+            .filter(|c| n_pairs.contains(&c.pair()))
+            .cloned()
+            .collect();
         let present: BTreeSet<Pair> = out.iter().map(Composer::pair).collect();
         for (name, nationality) in n_pairs {
             if !present.contains(&(name.clone(), nationality.clone())) {
@@ -140,14 +142,17 @@ mod tests {
         let b = composers_bx();
         let m = sample_m();
         // n has one stale entry and misses two pairs.
-        let n = pair_list(&[("Jean Sibelius", "Finnish"), ("Wolfgang Mozart", "Austrian")]);
+        let n = pair_list(&[
+            ("Jean Sibelius", "Finnish"),
+            ("Wolfgang Mozart", "Austrian"),
+        ]);
         let out = b.fwd(&m, &n);
         assert_eq!(
             out,
             pair_list(&[
-                ("Jean Sibelius", "Finnish"),          // kept, original position
-                ("Aaron Copland", "American"),         // appended, alphabetical...
-                ("Benjamin Britten", "British"),       // ...by name
+                ("Jean Sibelius", "Finnish"),    // kept, original position
+                ("Aaron Copland", "American"),   // appended, alphabetical...
+                ("Benjamin Britten", "British"), // ...by name
             ])
         );
     }
@@ -155,12 +160,12 @@ mod tests {
     #[test]
     fn fwd_appends_sorted_by_name_then_nationality() {
         let b = composers_bx();
-        let m = composer_set(&[
-            ("Same Name", "1-2", "Zulu"),
-            ("Same Name", "3-4", "Arab"),
-        ]);
+        let m = composer_set(&[("Same Name", "1-2", "Zulu"), ("Same Name", "3-4", "Arab")]);
         let out = b.fwd(&m, &pair_list(&[]));
-        assert_eq!(out, pair_list(&[("Same Name", "Arab"), ("Same Name", "Zulu")]));
+        assert_eq!(
+            out,
+            pair_list(&[("Same Name", "Arab"), ("Same Name", "Zulu")])
+        );
     }
 
     #[test]

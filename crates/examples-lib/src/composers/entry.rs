@@ -97,7 +97,11 @@ pub fn composers_entry() -> ExampleEntry {
         .author("Perdita Stevens")
         .author("James McKinna")
         .author("James Cheney")
-        .artefact("state-based bx", ArtefactKind::Code, "bx_examples::composers::composers_bx")
+        .artefact(
+            "state-based bx",
+            ArtefactKind::Code,
+            "bx_examples::composers::composers_bx",
+        )
         .artefact(
             "string-lens variant",
             ArtefactKind::Code,
@@ -126,7 +130,10 @@ mod tests {
     fn entry_lists_paper_properties_in_order() {
         let e = composers_entry();
         let rendered: Vec<String> = e.properties.iter().map(|c| c.to_string()).collect();
-        assert_eq!(rendered, vec!["Correct", "Hippocratic", "Not undoable", "Simply matching"]);
+        assert_eq!(
+            rendered,
+            vec!["Correct", "Hippocratic", "Not undoable", "Simply matching"]
+        );
     }
 
     #[test]

@@ -13,6 +13,4 @@ pub mod variants;
 pub use bx::{composers_bx, ComposersBx};
 pub use entry::composers_entry;
 pub use model::{composer_set, pair_list, Composer, ComposerSet, Pair, PairList, UNKNOWN_DATES};
-pub use variants::{
-    composers_name_key_bx, composers_prepend_bx, composers_with_date_policy,
-};
+pub use variants::{composers_name_key_bx, composers_prepend_bx, composers_with_date_policy};

@@ -57,12 +57,18 @@ pub type PairList = Vec<Pair>;
 
 /// Build a [`ComposerSet`] from `(name, dates, nationality)` triples.
 pub fn composer_set(triples: &[(&str, &str, &str)]) -> ComposerSet {
-    triples.iter().map(|(n, d, c)| Composer::new(n, d, c)).collect()
+    triples
+        .iter()
+        .map(|(n, d, c)| Composer::new(n, d, c))
+        .collect()
 }
 
 /// Build a [`PairList`] from `(name, nationality)` pairs.
 pub fn pair_list(pairs: &[(&str, &str)]) -> PairList {
-    pairs.iter().map(|(n, c)| (n.to_string(), c.to_string())).collect()
+    pairs
+        .iter()
+        .map(|(n, c)| (n.to_string(), c.to_string()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -72,7 +78,10 @@ mod tests {
     #[test]
     fn composer_pair_projection() {
         let c = Composer::new("Jean Sibelius", "1865-1957", "Finnish");
-        assert_eq!(c.pair(), ("Jean Sibelius".to_string(), "Finnish".to_string()));
+        assert_eq!(
+            c.pair(),
+            ("Jean Sibelius".to_string(), "Finnish".to_string())
+        );
         assert_eq!(c.to_string(), "Jean Sibelius (1865-1957, Finnish)");
     }
 

@@ -56,7 +56,11 @@ pub fn composers_name_key_bx() -> impl Bx<ComposerSet, PairList> {
             }
             for (name, nationality) in n_pairs {
                 if !satisfied.contains(&(name.clone(), nationality.clone())) {
-                    out.insert(Composer::new(&name, super::model::UNKNOWN_DATES, &nationality));
+                    out.insert(Composer::new(
+                        &name,
+                        super::model::UNKNOWN_DATES,
+                        &nationality,
+                    ));
                 }
             }
             out
@@ -78,8 +82,10 @@ pub fn composers_prepend_bx() -> impl Bx<ComposerSet, PairList> {
             let m_pairs: BTreeSet<Pair> = m.iter().map(Composer::pair).collect();
             let kept: PairList = n.iter().filter(|p| m_pairs.contains(*p)).cloned().collect();
             let present: BTreeSet<Pair> = kept.iter().cloned().collect();
-            let mut out: PairList =
-                m_pairs.into_iter().filter(|p| !present.contains(p)).collect();
+            let mut out: PairList = m_pairs
+                .into_iter()
+                .filter(|p| !present.contains(p))
+                .collect();
             out.extend(kept);
             out
         },
@@ -107,8 +113,11 @@ pub fn composers_with_date_policy(default_dates: &str) -> impl Bx<ComposerSet, P
         },
         move |m: &ComposerSet, n: &PairList| {
             let n_pairs: BTreeSet<Pair> = n.iter().cloned().collect();
-            let mut out: ComposerSet =
-                m.iter().filter(|c| n_pairs.contains(&c.pair())).cloned().collect();
+            let mut out: ComposerSet = m
+                .iter()
+                .filter(|c| n_pairs.contains(&c.pair()))
+                .cloned()
+                .collect();
             let present: BTreeSet<Pair> = out.iter().map(Composer::pair).collect();
             for (name, nationality) in n_pairs {
                 if !present.contains(&(name.clone(), nationality.clone())) {
@@ -136,7 +145,10 @@ mod tests {
         assert_eq!(out.len(), 1);
         let c = out.iter().next().unwrap();
         assert_eq!(c.nationality, "English");
-        assert_eq!(c.dates, "1913-1976", "dates preserved by the key-based repair");
+        assert_eq!(
+            c.dates, "1913-1976",
+            "dates preserved by the key-based repair"
+        );
     }
 
     #[test]
@@ -146,9 +158,16 @@ mod tests {
         let m = composer_set(&[("Benjamin Britten", "1913-1976", "British")]);
         let n = pair_list(&[("Benjamin Britten", "English")]);
         let out = b.bwd(&m, &n);
-        assert_eq!(out.len(), 1, "base deletes the British Britten (no matching entry)…");
-        assert_eq!(out.iter().next().unwrap().dates, super::super::model::UNKNOWN_DATES,
-            "…and creates a fresh English Britten with unknown dates");
+        assert_eq!(
+            out.len(),
+            1,
+            "base deletes the British Britten (no matching entry)…"
+        );
+        assert_eq!(
+            out.iter().next().unwrap().dates,
+            super::super::model::UNKNOWN_DATES,
+            "…and creates a fresh English Britten with unknown dates"
+        );
     }
 
     #[test]
@@ -160,8 +179,14 @@ mod tests {
         let n = pair_list(&[("Jean Sibelius", "Finnish")]);
         let appended = composers_bx().fwd(&m, &n);
         let prepended = composers_prepend_bx().fwd(&m, &n);
-        assert_eq!(appended, pair_list(&[("Jean Sibelius", "Finnish"), ("Aaron Copland", "American")]));
-        assert_eq!(prepended, pair_list(&[("Aaron Copland", "American"), ("Jean Sibelius", "Finnish")]));
+        assert_eq!(
+            appended,
+            pair_list(&[("Jean Sibelius", "Finnish"), ("Aaron Copland", "American")])
+        );
+        assert_eq!(
+            prepended,
+            pair_list(&[("Aaron Copland", "American"), ("Jean Sibelius", "Finnish")])
+        );
     }
 
     #[test]
@@ -184,9 +209,20 @@ mod tests {
             vec![composer_set(&[])],
             vec![pair_list(&[])],
         );
-        for law in [Law::CorrectFwd, Law::CorrectBwd, Law::HippocraticFwd, Law::HippocraticBwd] {
-            assert!(check_law(&composers_name_key_bx(), law, &samples).holds(), "name-key {law}");
-            assert!(check_law(&composers_prepend_bx(), law, &samples).holds(), "prepend {law}");
+        for law in [
+            Law::CorrectFwd,
+            Law::CorrectBwd,
+            Law::HippocraticFwd,
+            Law::HippocraticBwd,
+        ] {
+            assert!(
+                check_law(&composers_name_key_bx(), law, &samples).holds(),
+                "name-key {law}"
+            );
+            assert!(
+                check_law(&composers_prepend_bx(), law, &samples).holds(),
+                "prepend {law}"
+            );
             assert!(
                 check_law(&composers_with_date_policy("fl. ????"), law, &samples).holds(),
                 "dates {law}"

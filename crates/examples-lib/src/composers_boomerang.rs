@@ -31,7 +31,9 @@ pub fn composers_lens() -> StringLens {
         copy(NATIONALITY).expect("static pattern"),
         txt("\n"),
     ]);
-    dict_star(line, NAME).expect("static pattern").named("composers-boomerang")
+    dict_star(line, NAME)
+        .expect("static pattern")
+        .named("composers-boomerang")
 }
 
 /// The repository entry for the asymmetric variant.
@@ -71,7 +73,11 @@ pub fn composers_boomerang_entry() -> ExampleEntry {
             Some("10.1145/1328438.1328487"),
         )
         .author("James Cheney")
-        .artefact("string lens", ArtefactKind::Code, "bx_examples::composers_boomerang::composers_lens")
+        .artefact(
+            "string lens",
+            ArtefactKind::Code,
+            "bx_examples::composers_boomerang::composers_lens",
+        )
         .artefact(
             "sample data",
             ArtefactKind::SampleData,

@@ -56,7 +56,10 @@ pub struct EditSync {
 impl EditSync {
     /// Start from a composer model.
     pub fn new(composers: ComposerSet) -> EditSync {
-        EditSync { composers, graveyard: BTreeMap::new() }
+        EditSync {
+            composers,
+            graveyard: BTreeMap::new(),
+        }
     }
 
     /// Number of composers resting in the graveyard.
@@ -92,9 +95,13 @@ impl EditSync {
                 vec![resurrected]
             }
             PairEdit::Delete(i) => {
-                let Some(pair) = n_before.get(*i) else { return Vec::new() };
-                let remaining =
-                    n_before.iter().enumerate().any(|(j, p)| j != *i && p == pair);
+                let Some(pair) = n_before.get(*i) else {
+                    return Vec::new();
+                };
+                let remaining = n_before
+                    .iter()
+                    .enumerate()
+                    .any(|(j, p)| j != *i && p == pair);
                 if remaining {
                     return Vec::new();
                 }
@@ -158,7 +165,11 @@ pub fn composers_edit_entry() -> ExampleEntry {
         )
         .author("James McKinna")
         .author("James Cheney")
-        .artefact("edit synchroniser", ArtefactKind::Code, "bx_examples::composers_edit::EditSync")
+        .artefact(
+            "edit synchroniser",
+            ArtefactKind::Code,
+            "bx_examples::composers_edit::EditSync",
+        )
         .build()
         .expect("template-valid")
 }
@@ -166,8 +177,8 @@ pub fn composers_edit_entry() -> ExampleEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::composers::model::{composer_set, pair_list};
     use crate::composers::composers_bx;
+    use crate::composers::model::{composer_set, pair_list};
     use bx_theory::Bx;
 
     fn start() -> (EditSync, PairList) {
@@ -279,7 +290,9 @@ mod tests {
         assert!(e.validate().is_empty());
         assert!(e.properties.contains(&Claim::holds(Property::Undoable)));
         let state_based = crate::composers::composers_entry();
-        assert!(state_based.properties.contains(&Claim::fails(Property::Undoable)));
+        assert!(state_based
+            .properties
+            .contains(&Claim::fails(Property::Undoable)));
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub fn iso_dates_lens() -> StringLens {
         cat(vec![two(), ins("/")]),
     );
     let line = swap(
-        cat(vec![copy("[0-9][0-9][0-9][0-9]").expect("static pattern"), del("-", "-").expect("static pattern")]),
+        cat(vec![
+            copy("[0-9][0-9][0-9][0-9]").expect("static pattern"),
+            del("-", "-").expect("static pattern"),
+        ]),
         cat(vec![inner, ins("/")]),
     );
     star(cat(vec![line, txt("\n")])).named("iso-dates")
@@ -68,7 +71,10 @@ pub fn dates_entry() -> ExampleEntry {
              prefix; positional alignment mis-assigns centuries when lines are \
              reordered.",
         )
-        .variant("default century", "20 here; 19 is the other obvious choice.")
+        .variant(
+            "default century",
+            "20 here; 19 is the other obvious choice.",
+        )
         .variant(
             "format permutation",
             "A bijective sibling converts ISO YYYY-MM-DD to European \
@@ -85,8 +91,16 @@ pub fn dates_entry() -> ExampleEntry {
             Some("10.1145/1232420.1232424"),
         )
         .author("James McKinna")
-        .artefact("string lens", ArtefactKind::Code, "bx_examples::dates::dates_lens")
-        .artefact("ISO permutation lens", ArtefactKind::Code, "bx_examples::dates::iso_dates_lens")
+        .artefact(
+            "string lens",
+            ArtefactKind::Code,
+            "bx_examples::dates::dates_lens",
+        )
+        .artefact(
+            "ISO permutation lens",
+            ArtefactKind::Code,
+            "bx_examples::dates::iso_dates_lens",
+        )
         .build()
         .expect("template-valid")
 }
@@ -144,8 +158,14 @@ mod tests {
     fn invalid_inputs_rejected() {
         let l = dates_lens();
         assert!(l.get("28 march 2014\n").is_err(), "lowercase month");
-        assert!(l.get("28 March 14\n").is_err(), "short year on the source side");
-        assert!(l.put(SRC, "28 March 2014\n").is_err(), "long year on the view side");
+        assert!(
+            l.get("28 March 14\n").is_err(),
+            "short year on the source side"
+        );
+        assert!(
+            l.put(SRC, "28 March 2014\n").is_err(),
+            "long year on the view side"
+        );
     }
 
     #[test]
@@ -160,7 +180,10 @@ mod tests {
     fn iso_lens_permutes_fields() {
         let l = iso_dates_lens();
         assert_eq!(l.get("2014-03-28\n").unwrap(), "28/03/2014\n");
-        assert_eq!(l.get("2014-03-28\n1997-04-05\n").unwrap(), "28/03/2014\n05/04/1997\n");
+        assert_eq!(
+            l.get("2014-03-28\n1997-04-05\n").unwrap(),
+            "28/03/2014\n05/04/1997\n"
+        );
         assert_eq!(l.create("28/03/2014\n").unwrap(), "2014-03-28\n");
     }
 
@@ -183,8 +206,14 @@ mod tests {
     #[test]
     fn iso_lens_rejects_wrong_formats() {
         let l = iso_dates_lens();
-        assert!(l.get("28/03/2014\n").is_err(), "view format on the source side");
+        assert!(
+            l.get("28/03/2014\n").is_err(),
+            "view format on the source side"
+        );
         assert!(l.get("2014-3-28\n").is_err(), "short month");
-        assert!(l.put("2014-03-28\n", "2014-03-28\n").is_err(), "source format on the view side");
+        assert!(
+            l.put("2014-03-28\n", "2014-03-28\n").is_err(),
+            "source format on the view side"
+        );
     }
 }

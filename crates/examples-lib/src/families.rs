@@ -35,7 +35,11 @@ pub struct Person {
 impl Person {
     /// Construct a person.
     pub fn new(first: &str, last: &str, gender: Gender) -> Person {
-        Person { last_name: last.to_string(), first_name: first.to_string(), gender }
+        Person {
+            last_name: last.to_string(),
+            first_name: first.to_string(),
+            gender,
+        }
     }
 }
 
@@ -80,7 +84,10 @@ pub fn families_bx(policy: NewMemberPolicy) -> FamiliesBx {
         NewMemberPolicy::PreferParent => "families2persons/prefer-parent",
         NewMemberPolicy::PreferChild => "families2persons/prefer-child",
     };
-    FamiliesBx { policy, name: name.to_string() }
+    FamiliesBx {
+        policy,
+        name: name.to_string(),
+    }
 }
 
 fn members(families: &FamilyModel) -> PersonModel {
@@ -128,9 +135,7 @@ impl Bx<FamilyModel, PersonModel> for FamiliesBx {
         // Pass 1: retain surviving members in their current roles.
         for (last, family) in m {
             let mut kept = Family::default();
-            let has = |first: &str, gender: Gender| {
-                n.contains(&Person::new(first, last, gender))
-            };
+            let has = |first: &str, gender: Gender| n.contains(&Person::new(first, last, gender));
             if let Some(f) = &family.father {
                 if has(f, Gender::Male) {
                     kept.father = Some(f.clone());
@@ -229,9 +234,16 @@ pub fn families_entry() -> ExampleEntry {
              explicit policy decision: person models simply do not record \
              family roles.",
         )
-        .reference("Anjorin, Cunha, Giese, Hermann, Rensink, Schürr. BenchmarX. Bx 2014", None)
+        .reference(
+            "Anjorin, Cunha, Giese, Hermann, Rensink, Schürr. BenchmarX. Bx 2014",
+            None,
+        )
         .author("Jeremy Gibbons")
-        .artefact("state-based bx", ArtefactKind::Code, "bx_examples::families::families_bx")
+        .artefact(
+            "state-based bx",
+            ArtefactKind::Code,
+            "bx_examples::families::families_bx",
+        )
         .build()
         .expect("template-valid")
 }
@@ -254,7 +266,10 @@ mod tests {
         );
         m.insert(
             "Sailor".to_string(),
-            Family { father: Some("Peter".to_string()), ..Family::default() },
+            Family {
+                father: Some("Peter".to_string()),
+                ..Family::default()
+            },
         );
         m
     }
@@ -273,7 +288,10 @@ mod tests {
     fn members_projection_is_consistent() {
         let b = families_bx(NewMemberPolicy::PreferChild);
         assert!(b.consistent(&sample_families(), &sample_persons()));
-        assert_eq!(b.fwd(&sample_families(), &PersonModel::new()), sample_persons());
+        assert_eq!(
+            b.fwd(&sample_families(), &PersonModel::new()),
+            sample_persons()
+        );
     }
 
     #[test]
@@ -337,12 +355,18 @@ mod tests {
         );
         for policy in [NewMemberPolicy::PreferParent, NewMemberPolicy::PreferChild] {
             let matrix = check_all_laws(&families_bx(policy), &samples);
-            for law in
-                [Law::CorrectFwd, Law::CorrectBwd, Law::HippocraticFwd, Law::HippocraticBwd]
-            {
+            for law in [
+                Law::CorrectFwd,
+                Law::CorrectBwd,
+                Law::HippocraticFwd,
+                Law::HippocraticBwd,
+            ] {
                 assert!(matrix.law_holds(law), "{policy:?} {matrix}");
             }
-            assert!(!matrix.law_holds(Law::UndoableBwd), "{policy:?} should not be undoable");
+            assert!(
+                !matrix.law_holds(Law::UndoableBwd),
+                "{policy:?} should not be undoable"
+            );
         }
     }
 

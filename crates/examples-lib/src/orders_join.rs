@@ -7,14 +7,16 @@ use bx_theory::{Claim, Property};
 
 /// albums(album, quantity) — the left source.
 pub fn albums_schema() -> Schema {
-    Schema::new(vec![("album", ValueType::Str), ("quantity", ValueType::Int)])
-        .expect("static schema")
+    Schema::new(vec![
+        ("album", ValueType::Str),
+        ("quantity", ValueType::Int),
+    ])
+    .expect("static schema")
 }
 
 /// years(album, year) — the right source.
 pub fn years_schema() -> Schema {
-    Schema::new(vec![("album", ValueType::Str), ("year", ValueType::Int)])
-        .expect("static schema")
+    Schema::new(vec![("album", ValueType::Str), ("year", ValueType::Int)]).expect("static schema")
 }
 
 /// Sample left relation.
@@ -90,8 +92,16 @@ pub fn orders_join_entry() -> ExampleEntry {
         )
         .author("James Cheney")
         .author("Jeremy Gibbons")
-        .artefact("join lens", ArtefactKind::Code, "bx_examples::orders_join::albums_join")
-        .artefact("sample data", ArtefactKind::SampleData, "bx_examples::orders_join::sample_albums")
+        .artefact(
+            "join lens",
+            ArtefactKind::Code,
+            "bx_examples::orders_join::albums_join",
+        )
+        .artefact(
+            "sample data",
+            ArtefactKind::SampleData,
+            "bx_examples::orders_join::sample_albums",
+        )
         .build()
         .expect("template-valid")
 }
@@ -117,7 +127,8 @@ mod tests {
         assert_eq!(l.put(&src, &v).unwrap(), src);
 
         let mut v2 = v.clone();
-        v2.insert(vec![Value::str("Wish"), Value::Int(5), Value::Int(1992)]).unwrap();
+        v2.insert(vec![Value::str("Wish"), Value::Int(5), Value::Int(1992)])
+            .unwrap();
         let src2 = l.put(&src, &v2).unwrap();
         assert_eq!(l.get(&src2).unwrap(), v2);
         assert!(src2.0.contains(&[Value::str("Wish"), Value::Int(5)]));
@@ -146,7 +157,8 @@ mod tests {
         let v0 = l.get(&src).unwrap();
         let mut v1 = v0.clone();
         v1.remove(&[Value::str("Paris"), Value::Int(4), Value::Int(1993)]);
-        v1.insert(vec![Value::str("Paris"), Value::Int(4), Value::Int(2001)]).unwrap();
+        v1.insert(vec![Value::str("Paris"), Value::Int(4), Value::Int(2001)])
+            .unwrap();
         let src1 = l.put(&src, &v1).unwrap();
         let src2 = l.put(&src1, &v0).unwrap();
         assert_eq!(src2, src, "this excursion happens to undo cleanly…");
@@ -154,7 +166,8 @@ mod tests {
         // …but an excursion that drops Wish's key from the complement and
         // brings it back via the view does not restore the original pair.
         let mut v3 = v0.clone();
-        v3.insert(vec![Value::str("Wish"), Value::Int(9), Value::Int(2020)]).unwrap();
+        v3.insert(vec![Value::str("Wish"), Value::Int(9), Value::Int(2020)])
+            .unwrap();
         let src3 = l.put(&src, &v3).unwrap();
         let src4 = l.put(&src3, &v0).unwrap();
         assert_ne!(src4, src, "Wish's original 1992 year was overwritten");

@@ -115,8 +115,16 @@ pub fn persons_view_entry() -> ExampleEntry {
             Some("10.1145/1142351.1142399"),
         )
         .author("James Cheney")
-        .artefact("relational lens", ArtefactKind::Code, "bx_examples::persons_view::persons_view")
-        .artefact("sample data", ArtefactKind::SampleData, "bx_examples::persons_view::sample_people")
+        .artefact(
+            "relational lens",
+            ArtefactKind::Code,
+            "bx_examples::persons_view::persons_view",
+        )
+        .artefact(
+            "sample data",
+            ArtefactKind::SampleData,
+            "bx_examples::persons_view::sample_people",
+        )
         .build()
         .expect("template-valid")
 }
@@ -157,12 +165,18 @@ mod tests {
         )
         .unwrap();
         let s2 = l.put(&s, &v).unwrap();
-        assert!(s2.contains(&[Value::str("Ana"), Value::str("Paris"), Value::str("+33-1")]),
-            "Ana keeps her phone");
-        assert!(s2.contains(&[Value::str("Dora"), Value::str("Paris"), Value::str("")]),
-            "Dora gets the default phone");
-        assert!(s2.contains(&[Value::str("Bea"), Value::str("Lyon"), Value::str("+33-4")]),
-            "non-Paris complement untouched");
+        assert!(
+            s2.contains(&[Value::str("Ana"), Value::str("Paris"), Value::str("+33-1")]),
+            "Ana keeps her phone"
+        );
+        assert!(
+            s2.contains(&[Value::str("Dora"), Value::str("Paris"), Value::str("")]),
+            "Dora gets the default phone"
+        );
+        assert!(
+            s2.contains(&[Value::str("Bea"), Value::str("Lyon"), Value::str("+33-4")]),
+            "non-Paris complement untouched"
+        );
         assert!(!s2.contains(&[Value::str("Carl"), Value::str("Paris"), Value::str("+33-2")]));
         // PutGet.
         assert_eq!(l.get(&s2).unwrap(), v);
@@ -177,7 +191,10 @@ mod tests {
             vec![vec![Value::str("Eve"), Value::str("Nice")]],
         )
         .unwrap();
-        assert!(matches!(l.put(&s, &v), Err(RelError::PredicateViolation { .. })));
+        assert!(matches!(
+            l.put(&s, &v),
+            Err(RelError::PredicateViolation { .. })
+        ));
     }
 
     #[test]

@@ -59,14 +59,17 @@ pub fn standard_repository() -> Repository {
 
     for entry in all_entries() {
         let contributor = entry.authors.first().expect("entries have authors").clone();
-        repo.contribute(&contributor, entry).expect("entries are valid and distinct");
+        repo.contribute(&contributor, entry)
+            .expect("entries are valid and distinct");
     }
 
     // Exercise the review workflow on DATES (author: McKinna; reviewer:
     // Gibbons — independent, as the workflow requires).
     let dates = bx_core::EntryId::from_title("DATES");
-    repo.request_review("James McKinna", &dates).expect("provisional entry");
-    repo.approve("Jeremy Gibbons", &dates).expect("reviewer approval");
+    repo.request_review("James McKinna", &dates)
+        .expect("provisional entry");
+    repo.approve("Jeremy Gibbons", &dates)
+        .expect("reviewer approval");
 
     repo
 }
@@ -120,7 +123,10 @@ mod tests {
         let hits = idx.query(&["notorious"]);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].0.as_str(), "uml2rdbms");
-        assert!(idx.query(&["composers"]).len() >= 2, "base entry and variants mention it");
+        assert!(
+            idx.query(&["composers"]).len() >= 2,
+            "base entry and variants mention it"
+        );
     }
 
     #[test]

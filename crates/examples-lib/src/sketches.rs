@@ -71,7 +71,11 @@ pub fn schema_evolution_entry() -> ExampleEntry {
             ArtefactKind::SampleData,
             "external: available on request",
         )
-        .artefact("VM with toolchain", ArtefactKind::VmImage, "external: archive link")
+        .artefact(
+            "VM with toolchain",
+            ArtefactKind::VmImage,
+            "external: archive link",
+        )
         .build()
         .expect("template-valid")
 }

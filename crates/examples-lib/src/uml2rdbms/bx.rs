@@ -8,7 +8,9 @@
 
 use bx_theory::Bx;
 
-use super::model::{sql_type_of, uml_type_of, Column, RdbModel, Table, UmlAttr, UmlClass, UmlModel};
+use super::model::{
+    sql_type_of, uml_type_of, Column, RdbModel, Table, UmlAttr, UmlClass, UmlModel,
+};
 
 /// The UML↔RDBMS transformation.
 #[derive(Debug, Clone, Default)]
@@ -25,7 +27,11 @@ fn table_of_class(class: &UmlClass) -> Table {
         columns: class
             .attributes
             .iter()
-            .map(|a| Column { name: a.name.clone(), ty: sql_type_of(&a.ty), key: a.primary })
+            .map(|a| Column {
+                name: a.name.clone(),
+                ty: sql_type_of(&a.ty),
+                key: a.primary,
+            })
             .collect(),
     }
 }
@@ -55,8 +61,7 @@ impl Bx<UmlModel, RdbModel> for Uml2RdbmsBx {
     }
 
     fn consistent(&self, uml: &UmlModel, rdb: &RdbModel) -> bool {
-        let persistent: Vec<&UmlClass> =
-            uml.classes.values().filter(|c| c.persistent).collect();
+        let persistent: Vec<&UmlClass> = uml.classes.values().filter(|c| c.persistent).collect();
         if persistent.len() != rdb.tables.len() {
             return false;
         }
@@ -101,9 +106,7 @@ impl Bx<UmlModel, RdbModel> for Uml2RdbmsBx {
         }
         for table in rdb.tables.values() {
             let repaired = match uml.classes.get(&table.name) {
-                Some(class) if class.persistent && table_of_class(class) == *table => {
-                    class.clone()
-                }
+                Some(class) if class.persistent && table_of_class(class) == *table => class.clone(),
                 Some(class) if class.persistent => {
                     // Repair attribute list from columns, preserving
                     // nothing but the name (column data is authoritative).
@@ -154,7 +157,10 @@ mod tests {
     fn transient_classes_do_not_need_tables() {
         let b = uml2rdbms_bx();
         let mut r = rdb();
-        r.add_table(Table { name: "Session".to_string(), columns: vec![] });
+        r.add_table(Table {
+            name: "Session".to_string(),
+            columns: vec![],
+        });
         assert!(!b.consistent(&uml(), &r), "extra table breaks consistency");
     }
 
@@ -175,8 +181,14 @@ mod tests {
         let mut r = rdb();
         r.tables.remove("Order");
         let out = b.bwd(&uml(), &r);
-        assert!(out.classes.contains_key("Session"), "transient class survives");
-        assert!(!out.classes.contains_key("Order"), "persistent class without table deleted");
+        assert!(
+            out.classes.contains_key("Session"),
+            "transient class survives"
+        );
+        assert!(
+            !out.classes.contains_key("Order"),
+            "persistent class without table deleted"
+        );
         assert_eq!(out.classes["Person"], uml().classes["Person"]);
     }
 
@@ -186,7 +198,11 @@ mod tests {
         let mut r = rdb();
         r.add_table(Table {
             name: "Invoice".to_string(),
-            columns: vec![Column { name: "total".to_string(), ty: "INTEGER".to_string(), key: false }],
+            columns: vec![Column {
+                name: "total".to_string(),
+                ty: "INTEGER".to_string(),
+                key: false,
+            }],
         });
         let out = b.bwd(&uml(), &r);
         let invoice = &out.classes["Invoice"];
@@ -198,11 +214,15 @@ mod tests {
     fn bwd_repairs_drifted_class_from_columns() {
         let b = uml2rdbms_bx();
         let mut r = rdb();
-        r.tables.get_mut("Person").expect("table").columns.push(Column {
-            name: "email".to_string(),
-            ty: "VARCHAR".to_string(),
-            key: false,
-        });
+        r.tables
+            .get_mut("Person")
+            .expect("table")
+            .columns
+            .push(Column {
+                name: "email".to_string(),
+                ty: "VARCHAR".to_string(),
+                key: false,
+            });
         let out = b.bwd(&uml(), &r);
         let person = &out.classes["Person"];
         assert_eq!(person.attributes.len(), 3);
@@ -254,6 +274,9 @@ mod tests {
         let m1 = b.bwd(&m0, &RdbModel::default());
         let m2 = b.bwd(&m1, &rdb());
         assert_ne!(m2, m0);
-        assert_eq!(m2.classes["Person"].attributes[1].comment, "", "documentation lost");
+        assert_eq!(
+            m2.classes["Person"].attributes[1].comment, "",
+            "documentation lost"
+        );
     }
 }

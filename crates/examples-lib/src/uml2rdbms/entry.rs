@@ -64,8 +64,16 @@ pub fn uml2rdbms_entry() -> ExampleEntry {
         )
         .author("James McKinna")
         .author("Perdita Stevens")
-        .artefact("state-based bx", ArtefactKind::Code, "bx_examples::uml2rdbms::uml2rdbms_bx")
-        .artefact("metamodels", ArtefactKind::Code, "bx_examples::uml2rdbms::uml_metamodel")
+        .artefact(
+            "state-based bx",
+            ArtefactKind::Code,
+            "bx_examples::uml2rdbms::uml2rdbms_bx",
+        )
+        .artefact(
+            "metamodels",
+            ArtefactKind::Code,
+            "bx_examples::uml2rdbms::uml_metamodel",
+        )
         .build()
         .expect("template-valid")
 }

@@ -120,7 +120,11 @@ impl RdbModel {
             name: name.to_string(),
             columns: columns
                 .iter()
-                .map(|(n, t, k)| Column { name: n.to_string(), ty: t.to_string(), key: *k })
+                .map(|(n, t, k)| Column {
+                    name: n.to_string(),
+                    ty: t.to_string(),
+                    key: *k,
+                })
                 .collect(),
         });
         self
@@ -196,13 +200,18 @@ pub fn uml_to_object_model(uml: &UmlModel) -> ObjectModel {
     let mut om = ObjectModel::new("SimpleUML");
     for class in uml.classes.values() {
         let c = om.add("Class");
-        om.set_attr(c, "name", class.name.as_str()).expect("fresh object");
-        om.set_attr(c, "persistent", class.persistent).expect("fresh object");
+        om.set_attr(c, "name", class.name.as_str())
+            .expect("fresh object");
+        om.set_attr(c, "persistent", class.persistent)
+            .expect("fresh object");
         for attr in &class.attributes {
             let a = om.add("Attribute");
-            om.set_attr(a, "name", attr.name.as_str()).expect("fresh object");
-            om.set_attr(a, "type", attr.ty.as_str()).expect("fresh object");
-            om.set_attr(a, "primary", attr.primary).expect("fresh object");
+            om.set_attr(a, "name", attr.name.as_str())
+                .expect("fresh object");
+            om.set_attr(a, "type", attr.ty.as_str())
+                .expect("fresh object");
+            om.set_attr(a, "primary", attr.primary)
+                .expect("fresh object");
             om.add_ref(c, "attributes", a).expect("both objects exist");
         }
     }
@@ -241,11 +250,18 @@ pub fn object_model_to_uml(om: &ObjectModel) -> Result<UmlModel, bx_mde::MdeErro
                     .and_then(|v| v.as_str())
                     .unwrap_or("String")
                     .to_string(),
-                primary: attr_obj.attr("primary").and_then(|v| v.as_bool()).unwrap_or(false),
+                primary: attr_obj
+                    .attr("primary")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false),
                 comment: String::new(),
             });
         }
-        uml.add_class(UmlClass { name, persistent, attributes });
+        uml.add_class(UmlClass {
+            name,
+            persistent,
+            attributes,
+        });
     }
     Ok(uml)
 }
@@ -306,7 +322,10 @@ mod tests {
         let uml = sample_uml();
         let om = uml_to_object_model(&uml);
         let back = object_model_to_uml(&om).expect("well-formed object model");
-        assert_eq!(back, uml, "sample_uml has no comments, so the round trip is exact");
+        assert_eq!(
+            back, uml,
+            "sample_uml has no comments, so the round trip is exact"
+        );
     }
 
     #[test]
@@ -328,7 +347,11 @@ mod tests {
     fn raising_reports_dangling_attribute_refs() {
         let mut om = uml_to_object_model(&sample_uml());
         // Remove an Attribute out from under its Class.
-        let victim = om.of_class("Attribute").next().expect("attributes exist").id;
+        let victim = om
+            .of_class("Attribute")
+            .next()
+            .expect("attributes exist")
+            .id;
         om.remove(victim);
         assert!(object_model_to_uml(&om).is_err());
     }

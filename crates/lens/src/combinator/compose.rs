@@ -23,7 +23,12 @@ impl<U, L1, L2> Compose<U, L1, L2> {
         L2: Lens<U, V>,
     {
         let name = format!("{};{}", first.name(), second.name());
-        Compose { first, second, name, _mid: std::marker::PhantomData }
+        Compose {
+            first,
+            second,
+            name,
+            _mid: std::marker::PhantomData,
+        }
     }
 }
 

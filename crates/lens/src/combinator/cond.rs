@@ -28,7 +28,13 @@ impl<L1, L2, PS, PV> Cond<L1, L2, PS, PV> {
         then_lens: L1,
         else_lens: L2,
     ) -> Self {
-        Cond { then_lens, else_lens, src_pred, view_pred, name: name.into() }
+        Cond {
+            then_lens,
+            else_lens,
+            src_pred,
+            view_pred,
+            name: name.into(),
+        }
     }
 }
 
@@ -90,7 +96,13 @@ mod tests {
             |s: &(i32, i32), v: &i32| (s.0, *v),
             |v: &i32| (-1, *v),
         );
-        Cond::new("signcond", |s: &(i32, i32)| s.1 >= 0, |v: &i32| *v >= 0, then_l, else_l)
+        Cond::new(
+            "signcond",
+            |s: &(i32, i32)| s.1 >= 0,
+            |v: &i32| *v >= 0,
+            then_l,
+            else_l,
+        )
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl<P> FilterLens<P> {
     where
         P: Fn(&T) -> bool,
     {
-        FilterLens { predicate, name: name.into() }
+        FilterLens {
+            predicate,
+            name: name.into(),
+        }
     }
 }
 
@@ -41,7 +44,10 @@ where
     }
 
     fn get(&self, src: &Vec<T>) -> Vec<T> {
-        src.iter().filter(|t| (self.predicate)(t)).cloned().collect()
+        src.iter()
+            .filter(|t| (self.predicate)(t))
+            .cloned()
+            .collect()
     }
 
     fn put(&self, src: &Vec<T>, view: &Vec<T>) -> Vec<T> {

@@ -13,7 +13,11 @@ pub struct Iso<To, From> {
 impl<To, From> Iso<To, From> {
     /// Build an isomorphism lens from the two directions of a bijection.
     pub fn new(name: impl Into<String>, to: To, from: From) -> Self {
-        Iso { to, from, name: name.into() }
+        Iso {
+            to,
+            from,
+            name: name.into(),
+        }
     }
 }
 

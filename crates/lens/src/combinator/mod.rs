@@ -17,7 +17,7 @@ pub mod sum;
 pub use compose::Compose;
 pub use cond::Cond;
 pub use filter::FilterLens;
-pub use iso::{Iso, fst, snd};
+pub use iso::{fst, snd, Iso};
 pub use map::MapLens;
 pub use pair::Pair;
 pub use sum::{Either, Sum};

@@ -35,7 +35,10 @@ where
     }
 
     fn put(&self, src: &(S1, S2), view: &(V1, V2)) -> (S1, S2) {
-        (self.left.put(&src.0, &view.0), self.right.put(&src.1, &view.1))
+        (
+            self.left.put(&src.0, &view.0),
+            self.right.put(&src.1, &view.1),
+        )
     }
 
     fn create(&self, view: &(V1, V2)) -> (S1, S2) {

@@ -107,7 +107,10 @@ mod tests {
         assert_eq!(l.get(&s), Either::Left(1));
         assert_eq!(l.put(&s, &Either::Left(9)), Either::Left((9, 2)));
         // Side switch falls back to create: hidden 2 is lost.
-        assert_eq!(l.put(&s, &Either::Right("x".into())), Either::Right("x".to_string()));
+        assert_eq!(
+            l.put(&s, &Either::Right("x".into())),
+            Either::Right("x".to_string())
+        );
     }
 
     #[test]

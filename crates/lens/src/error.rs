@@ -50,22 +50,38 @@ fn trunc(s: &str) -> String {
 impl LensError {
     /// Construct a [`LensError::NoParse`], truncating long inputs.
     pub fn no_parse(lens: impl Into<String>, input: &str, reason: impl Into<String>) -> Self {
-        LensError::NoParse { lens: lens.into(), input: trunc(input), reason: reason.into() }
+        LensError::NoParse {
+            lens: lens.into(),
+            input: trunc(input),
+            reason: reason.into(),
+        }
     }
 
     /// Construct a [`LensError::Ambiguous`], truncating long inputs.
     pub fn ambiguous(lens: impl Into<String>, input: &str, reason: impl Into<String>) -> Self {
-        LensError::Ambiguous { lens: lens.into(), input: trunc(input), reason: reason.into() }
+        LensError::Ambiguous {
+            lens: lens.into(),
+            input: trunc(input),
+            reason: reason.into(),
+        }
     }
 }
 
 impl fmt::Display for LensError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LensError::NoParse { lens, input, reason } => {
+            LensError::NoParse {
+                lens,
+                input,
+                reason,
+            } => {
                 write!(f, "lens `{lens}` cannot parse {input:?}: {reason}")
             }
-            LensError::Ambiguous { lens, input, reason } => {
+            LensError::Ambiguous {
+                lens,
+                input,
+                reason,
+            } => {
                 write!(f, "lens `{lens}` is ambiguous on {input:?}: {reason}")
             }
             LensError::BadRegex { pattern, reason } => {
@@ -94,7 +110,11 @@ mod tests {
         let e = LensError::no_parse("l", &long, "r");
         match e {
             LensError::NoParse { input, .. } => {
-                assert!(input.len() < 100, "input should be truncated, got {}", input.len())
+                assert!(
+                    input.len() < 100,
+                    "input should be truncated, got {}",
+                    input.len()
+                )
             }
             _ => unreachable!(),
         }

@@ -23,7 +23,12 @@ pub enum LensLaw {
 
 impl LensLaw {
     /// All lens laws in display order.
-    pub const ALL: [LensLaw; 4] = [LensLaw::GetPut, LensLaw::PutGet, LensLaw::PutPut, LensLaw::CreateGet];
+    pub const ALL: [LensLaw; 4] = [
+        LensLaw::GetPut,
+        LensLaw::PutGet,
+        LensLaw::PutPut,
+        LensLaw::CreateGet,
+    ];
 
     /// The formal statement of the law.
     pub fn statement(self) -> &'static str {
@@ -70,7 +75,11 @@ impl LensLawReport {
 
 impl fmt::Display for LensLawReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} ({} cases): ", self.lens_name, self.law, self.cases)?;
+        write!(
+            f,
+            "[{}] {} ({} cases): ",
+            self.lens_name, self.law, self.cases
+        )?;
         match &self.counterexample {
             None => write!(f, "holds"),
             Some(cx) => write!(f, "VIOLATED — {cx}"),
@@ -79,12 +88,7 @@ impl fmt::Display for LensLawReport {
 }
 
 /// Check one lens law over the given sources and views.
-pub fn check_lens_law<S, V, L>(
-    lens: &L,
-    law: LensLaw,
-    sources: &[S],
-    views: &[V],
-) -> LensLawReport
+pub fn check_lens_law<S, V, L>(lens: &L, law: LensLaw, sources: &[S], views: &[V]) -> LensLawReport
 where
     S: Clone + PartialEq + Debug,
     V: Clone + PartialEq + Debug,
@@ -164,7 +168,12 @@ where
             }
         }
     };
-    LensLawReport { lens_name: name, law, cases, counterexample }
+    LensLawReport {
+        lens_name: name,
+        law,
+        cases,
+        counterexample,
+    }
 }
 
 /// Check all four laws, returning one report per law.
@@ -174,7 +183,10 @@ where
     V: Clone + PartialEq + Debug,
     L: Lens<S, V> + ?Sized,
 {
-    LensLaw::ALL.iter().map(|&law| check_lens_law(lens, law, sources, views)).collect()
+    LensLaw::ALL
+        .iter()
+        .map(|&law| check_lens_law(lens, law, sources, views))
+        .collect()
 }
 
 #[cfg(test)]
@@ -214,8 +226,12 @@ mod tests {
         let sources = [(1, 0), (2, 3)];
         let views = [5, 6];
         let l = counting();
-        assert!(check_lens_law(&l, LensLaw::GetPut, &sources, &views).counterexample.is_some(),
-            "counting also breaks GetPut (the count bumps even on identity put)");
+        assert!(
+            check_lens_law(&l, LensLaw::GetPut, &sources, &views)
+                .counterexample
+                .is_some(),
+            "counting also breaks GetPut (the count bumps even on identity put)"
+        );
         assert!(check_lens_law(&l, LensLaw::PutGet, &sources, &views).holds());
         let pp = check_lens_law(&l, LensLaw::PutPut, &sources, &views);
         assert!(pp.counterexample.is_some(), "{pp}");

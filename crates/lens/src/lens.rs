@@ -46,7 +46,13 @@ where
 {
     /// Build a lens from a name and the three operations.
     pub fn new(name: impl Into<String>, get: G, put: P, create: C) -> Self {
-        FnLens { name: name.into(), get, put, create, _marker: std::marker::PhantomData }
+        FnLens {
+            name: name.into(),
+            get,
+            put,
+            create,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 

@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn del_removes_and_restores() {
-        let l = cat(vec![copy("[a-z]+").unwrap(), del(" #[0-9]+", " #0").unwrap()]);
+        let l = cat(vec![
+            copy("[a-z]+").unwrap(),
+            del(" #[0-9]+", " #0").unwrap(),
+        ]);
         assert_eq!(l.get("abc #42").unwrap(), "abc");
         assert_eq!(l.put("abc #42", "xyz").unwrap(), "xyz #42");
         assert_eq!(l.create("xyz").unwrap(), "xyz #0");

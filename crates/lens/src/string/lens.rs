@@ -88,7 +88,10 @@ impl StringLens {
         let vtype = Matcher::new(Regex::literal(&view_text));
         Ok(StringLens {
             name: format!("const({} -> {:?})", stype.regex().to_pattern(), view_text),
-            node: Node::Const { view_text, default_src },
+            node: Node::Const {
+                view_text,
+                default_src,
+            },
             stype,
             vtype,
         })
@@ -97,31 +100,54 @@ impl StringLens {
     /// Concatenate lenses in sequence.
     pub fn concat(parts: Vec<StringLens>) -> StringLens {
         let stype = Matcher::new(
-            parts.iter().fold(Regex::Eps, |acc, l| acc.then(l.stype.regex().clone())),
+            parts
+                .iter()
+                .fold(Regex::Eps, |acc, l| acc.then(l.stype.regex().clone())),
         );
         let vtype = Matcher::new(
-            parts.iter().fold(Regex::Eps, |acc, l| acc.then(l.vtype.regex().clone())),
+            parts
+                .iter()
+                .fold(Regex::Eps, |acc, l| acc.then(l.vtype.regex().clone())),
         );
         let name = format!(
             "cat[{}]",
-            parts.iter().map(|l| l.name.as_str()).collect::<Vec<_>>().join(" . ")
+            parts
+                .iter()
+                .map(|l| l.name.as_str())
+                .collect::<Vec<_>>()
+                .join(" . ")
         );
-        StringLens { node: Node::Concat(parts), name, stype, vtype }
+        StringLens {
+            node: Node::Concat(parts),
+            name,
+            stype,
+            vtype,
+        }
     }
 
     /// Union (choice) of lenses.
     pub fn union(arms: Vec<StringLens>) -> StringLens {
         let stype = Matcher::new(
-            arms.iter().fold(Regex::Empty, |acc, l| acc.or(l.stype.regex().clone())),
+            arms.iter()
+                .fold(Regex::Empty, |acc, l| acc.or(l.stype.regex().clone())),
         );
         let vtype = Matcher::new(
-            arms.iter().fold(Regex::Empty, |acc, l| acc.or(l.vtype.regex().clone())),
+            arms.iter()
+                .fold(Regex::Empty, |acc, l| acc.or(l.vtype.regex().clone())),
         );
         let name = format!(
             "union[{}]",
-            arms.iter().map(|l| l.name.as_str()).collect::<Vec<_>>().join(" | ")
+            arms.iter()
+                .map(|l| l.name.as_str())
+                .collect::<Vec<_>>()
+                .join(" | ")
         );
-        StringLens { node: Node::Union(arms), name, stype, vtype }
+        StringLens {
+            node: Node::Union(arms),
+            name,
+            stype,
+            vtype,
+        }
     }
 
     /// Kleene star with positional alignment.
@@ -129,7 +155,12 @@ impl StringLens {
         let stype = Matcher::new(inner.stype.regex().clone().star());
         let vtype = Matcher::new(inner.vtype.regex().clone().star());
         let name = format!("star({})", inner.name);
-        StringLens { node: Node::Star(Box::new(inner)), name, stype, vtype }
+        StringLens {
+            node: Node::Star(Box::new(inner)),
+            name,
+            stype,
+            vtype,
+        }
     }
 
     /// Kleene star with resourceful (by-key) alignment. The key of a chunk
@@ -154,13 +185,26 @@ impl StringLens {
     /// `second · first`.
     pub fn swap(first: StringLens, second: StringLens) -> StringLens {
         let stype = Matcher::new(
-            first.stype.regex().clone().then(second.stype.regex().clone()),
+            first
+                .stype
+                .regex()
+                .clone()
+                .then(second.stype.regex().clone()),
         );
         let vtype = Matcher::new(
-            second.vtype.regex().clone().then(first.vtype.regex().clone()),
+            second
+                .vtype
+                .regex()
+                .clone()
+                .then(first.vtype.regex().clone()),
         );
         let name = format!("swap({}, {})", first.name, second.name);
-        StringLens { node: Node::Swap(Box::new(first), Box::new(second)), name, stype, vtype }
+        StringLens {
+            node: Node::Swap(Box::new(first), Box::new(second)),
+            name,
+            stype,
+            vtype,
+        }
     }
 
     /// The lens's name (structural description).
@@ -247,8 +291,7 @@ impl StringLens {
                 Ok(out)
             }
             Node::Union(arms) => {
-                let hits: Vec<&StringLens> =
-                    arms.iter().filter(|l| l.stype.matches(src)).collect();
+                let hits: Vec<&StringLens> = arms.iter().filter(|l| l.stype.matches(src)).collect();
                 match hits.as_slice() {
                     [] => Err(LensError::no_parse(
                         &self.name,
@@ -374,13 +417,19 @@ impl StringLens {
                 }
                 Ok(out)
             }
-            Node::DictStar { inner, key_src, key_view } => {
+            Node::DictStar {
+                inner,
+                key_src,
+                key_view,
+            } => {
                 let sb = iterate_unique(&inner.stype, src, &self.name)?;
                 let vb = iterate_unique(&inner.vtype, view, &self.name)?;
                 // FIFO queues of source chunks per key — "resourceful"
                 // alignment survives view reordering.
-                let mut dict: std::collections::BTreeMap<String, std::collections::VecDeque<(usize, usize)>> =
-                    std::collections::BTreeMap::new();
+                let mut dict: std::collections::BTreeMap<
+                    String,
+                    std::collections::VecDeque<(usize, usize)>,
+                > = std::collections::BTreeMap::new();
                 for &(si, sj) in &sb {
                     let key = key_of(key_src, &src[si..sj]);
                     dict.entry(key).or_default().push_back((si, sj));
@@ -403,11 +452,8 @@ impl StringLens {
                 // View order is second-then-first.
                 let vtypes = [&second.vtype, &first.vtype];
                 let vb = split_unique(&vtypes, view, &self.name)?;
-                let mut out =
-                    first.put_chars(&src[sb[0].0..sb[0].1], &view[vb[1].0..vb[1].1])?;
-                out.push_str(
-                    &second.put_chars(&src[sb[1].0..sb[1].1], &view[vb[0].0..vb[0].1])?,
-                );
+                let mut out = first.put_chars(&src[sb[0].0..sb[0].1], &view[vb[1].0..vb[1].1])?;
+                out.push_str(&second.put_chars(&src[sb[1].0..sb[1].1], &view[vb[0].0..vb[0].1])?);
                 Ok(out)
             }
         }
@@ -426,7 +472,10 @@ impl StringLens {
                     ))
                 }
             }
-            Node::Const { view_text, default_src } => {
+            Node::Const {
+                view_text,
+                default_src,
+            } => {
                 let v: String = view.iter().collect();
                 if v == *view_text {
                     Ok(default_src.clone())
@@ -517,7 +566,10 @@ mod tests {
         assert_eq!(l.put("hello", "X").unwrap(), "hello");
         assert_eq!(l.create("X").unwrap(), "def");
         assert!(l.put("hello", "Y").is_err());
-        assert!(StringLens::constant(word(), "X", "123").is_err(), "bad default rejected");
+        assert!(
+            StringLens::constant(word(), "X", "123").is_err(),
+            "bad default rejected"
+        );
     }
 
     #[test]
@@ -553,7 +605,10 @@ mod tests {
             StringLens::copy(word()),
             StringLens::constant(Regex::parse("[0-9];").unwrap(), ";", "0;").unwrap(),
         ]);
-        assert_eq!(chunk.stype().to_pattern(), Matcher::new(chunk_src).regex().to_pattern());
+        assert_eq!(
+            chunk.stype().to_pattern(),
+            Matcher::new(chunk_src).regex().to_pattern()
+        );
         let l = StringLens::star(chunk);
         assert_eq!(l.get("ab1;cd2;").unwrap(), "ab;cd;");
         // Positional: swapping view chunks migrates the hidden digits.

@@ -27,7 +27,11 @@ pub struct Nfa {
 impl Nfa {
     /// Compile a regex into an NFA.
     pub fn compile(re: &Regex) -> Nfa {
-        let mut nfa = Nfa { states: Vec::new(), start: 0, accept: 0 };
+        let mut nfa = Nfa {
+            states: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
         let (s, a) = nfa.build(re);
         nfa.start = s;
         nfa.accept = a;
@@ -106,8 +110,12 @@ impl Nfa {
     }
 
     fn closure(&self, set: &mut [bool]) {
-        let mut stack: Vec<usize> =
-            set.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        let mut stack: Vec<usize> = set
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
         while let Some(s) = stack.pop() {
             for t in &self.states[s] {
                 if let Trans::Eps(next) = t {

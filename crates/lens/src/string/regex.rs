@@ -17,7 +17,10 @@ pub struct CharClass {
 impl CharClass {
     /// A class containing exactly one character.
     pub fn single(c: char) -> Self {
-        CharClass { ranges: vec![(c, c)], negated: false }
+        CharClass {
+            ranges: vec![(c, c)],
+            negated: false,
+        }
     }
 
     /// A class from inclusive ranges.
@@ -27,7 +30,10 @@ impl CharClass {
 
     /// Any character except `\n` (the meaning of `.`).
     pub fn dot() -> Self {
-        CharClass { ranges: vec![('\n', '\n')], negated: true }
+        CharClass {
+            ranges: vec![('\n', '\n')],
+            negated: true,
+        }
     }
 
     /// Does the class contain `c`?
@@ -68,7 +74,10 @@ pub enum Regex {
 impl Regex {
     /// The regex matching exactly the literal string `s`.
     pub fn literal(s: &str) -> Regex {
-        let parts: Vec<Regex> = s.chars().map(|c| Regex::Class(CharClass::single(c))).collect();
+        let parts: Vec<Regex> = s
+            .chars()
+            .map(|c| Regex::Class(CharClass::single(c)))
+            .collect();
         match parts.len() {
             0 => Regex::Eps,
             1 => parts.into_iter().next().expect("len checked"),
@@ -168,7 +177,11 @@ impl Regex {
     /// Parse a pattern string.
     pub fn parse(pattern: &str) -> Result<Regex, LensError> {
         let chars: Vec<char> = pattern.chars().collect();
-        let mut p = Parser { pattern, chars, pos: 0 };
+        let mut p = Parser {
+            pattern,
+            chars,
+            pos: 0,
+        };
         let re = p.parse_alt()?;
         if p.pos != p.chars.len() {
             return Err(p.err(format!("unexpected `{}`", p.chars[p.pos])));
@@ -356,7 +369,9 @@ impl Parser<'_> {
             Some('[') => self.parse_class(),
             Some('.') => Ok(Regex::Class(CharClass::dot())),
             Some('\\') => {
-                let c = self.bump().ok_or_else(|| self.err("dangling escape".into()))?;
+                let c = self
+                    .bump()
+                    .ok_or_else(|| self.err("dangling escape".into()))?;
                 Ok(Regex::Class(CharClass::single(unescape(c))))
             }
             Some(c @ ('*' | '+' | '?')) => Err(self.err(format!("`{c}` needs a preceding atom"))),
@@ -381,18 +396,25 @@ impl Parser<'_> {
                 Some(mut lo) => {
                     if lo == '\\' {
                         lo = unescape(
-                            self.bump().ok_or_else(|| self.err("dangling escape".into()))?,
+                            self.bump()
+                                .ok_or_else(|| self.err("dangling escape".into()))?,
                         );
                     }
                     if self.peek() == Some('-')
-                        && self.chars.get(self.pos + 1).copied().is_some_and(|c| c != ']')
+                        && self
+                            .chars
+                            .get(self.pos + 1)
+                            .copied()
+                            .is_some_and(|c| c != ']')
                     {
                         self.bump(); // the '-'
-                        let mut hi =
-                            self.bump().ok_or_else(|| self.err("unterminated range".into()))?;
+                        let mut hi = self
+                            .bump()
+                            .ok_or_else(|| self.err("unterminated range".into()))?;
                         if hi == '\\' {
                             hi = unescape(
-                                self.bump().ok_or_else(|| self.err("dangling escape".into()))?,
+                                self.bump()
+                                    .ok_or_else(|| self.err("dangling escape".into()))?,
                             );
                         }
                         if hi < lo {

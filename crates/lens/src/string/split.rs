@@ -95,7 +95,11 @@ pub fn iterate_unique(
     }
 
     match ways[0] {
-        0 => Err(LensError::no_parse(lens_name, &input, "input is not an iteration of chunks")),
+        0 => Err(LensError::no_parse(
+            lens_name,
+            &input,
+            "input is not an iteration of chunks",
+        )),
         1 => {
             let mut out = Vec::new();
             let mut i = 0;
@@ -106,13 +110,20 @@ pub fn iterate_unique(
             }
             Ok(out)
         }
-        _ => Err(LensError::ambiguous(lens_name, &input, "chunking is ambiguous")),
+        _ => Err(LensError::ambiguous(
+            lens_name,
+            &input,
+            "chunking is ambiguous",
+        )),
     }
 }
 
 /// Extract chunk strings given boundaries.
 pub fn chunk_strings(chars: &[char], bounds: &[(usize, usize)]) -> Vec<String> {
-    bounds.iter().map(|&(i, j)| chars[i..j].iter().collect()).collect()
+    bounds
+        .iter()
+        .map(|&(i, j)| chars[i..j].iter().collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -156,7 +167,10 @@ mod tests {
     #[test]
     fn split_zero_parts_needs_empty_input() {
         assert!(split_unique(&[], &cs(""), "t").unwrap().is_empty());
-        assert!(matches!(split_unique(&[], &cs("x"), "t"), Err(LensError::NoParse { .. })));
+        assert!(matches!(
+            split_unique(&[], &cs("x"), "t"),
+            Err(LensError::NoParse { .. })
+        ));
     }
 
     #[test]
@@ -204,6 +218,9 @@ mod tests {
         assert_eq!(chunk_strings(&cs("a"), &chunks), vec!["a"]);
         // And multi-character iterations of a* are ambiguous, as they
         // should be: "aa" = a·a or aa.
-        assert!(matches!(iterate_unique(&m("a*"), &cs("aa"), "t"), Err(LensError::Ambiguous { .. })));
+        assert!(matches!(
+            iterate_unique(&m("a*"), &cs("aa"), "t"),
+            Err(LensError::Ambiguous { .. })
+        ));
     }
 }

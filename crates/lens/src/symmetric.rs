@@ -91,7 +91,12 @@ impl<B, L1, L2> SymCompose<B, L1, L2> {
         L2: SymLens<B, C_>,
     {
         let name = format!("{};{}", first.name(), second.name());
-        SymCompose { first, second, name, _mid: std::marker::PhantomData }
+        SymCompose {
+            first,
+            second,
+            name,
+            _mid: std::marker::PhantomData,
+        }
     }
 }
 

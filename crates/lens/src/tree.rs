@@ -35,12 +35,20 @@ pub struct Tree {
 impl Tree {
     /// A leaf node with a value.
     pub fn leaf(label: &str, value: &str) -> Tree {
-        Tree { label: label.to_string(), value: value.to_string(), children: Vec::new() }
+        Tree {
+            label: label.to_string(),
+            value: value.to_string(),
+            children: Vec::new(),
+        }
     }
 
     /// An internal node.
     pub fn node(label: &str, children: Vec<Tree>) -> Tree {
-        Tree { label: label.to_string(), value: String::new(), children }
+        Tree {
+            label: label.to_string(),
+            value: String::new(),
+            children,
+        }
     }
 
     /// Total number of nodes.
@@ -130,7 +138,11 @@ fn unprune(src: &Tree, view: &Tree, label: &str) -> Tree {
     let _ = si;
     // View grew: remaining view children are new subtrees, taken as-is.
     out_children.extend(view.children[vi..].iter().cloned());
-    Tree { label: view.label.clone(), value: view.value.clone(), children: out_children }
+    Tree {
+        label: view.label.clone(),
+        value: view.value.clone(),
+        children: out_children,
+    }
 }
 
 /// A lens hiding every subtree labelled `label`. The hidden subtrees are
@@ -149,7 +161,11 @@ pub fn prune(label: &str) -> impl Lens<Tree, Tree> {
 fn hide_values(t: &Tree, label: &str) -> Tree {
     Tree {
         label: t.label.clone(),
-        value: if t.label == label { String::new() } else { t.value.clone() },
+        value: if t.label == label {
+            String::new()
+        } else {
+            t.value.clone()
+        },
         children: t.children.iter().map(|c| hide_values(c, label)).collect(),
     }
 }
@@ -194,9 +210,17 @@ pub fn hide_value(label: &str) -> impl Lens<Tree, Tree> {
 
 fn relabel_tree(t: &Tree, from: &str, to: &str) -> Tree {
     Tree {
-        label: if t.label == from { to.to_string() } else { t.label.clone() },
+        label: if t.label == from {
+            to.to_string()
+        } else {
+            t.label.clone()
+        },
         value: t.value.clone(),
-        children: t.children.iter().map(|c| relabel_tree(c, from, to)).collect(),
+        children: t
+            .children
+            .iter()
+            .map(|c| relabel_tree(c, from, to))
+            .collect(),
     }
 }
 
@@ -293,7 +317,7 @@ mod tests {
     #[test]
     fn tree_basics() {
         let t = bookmarks();
-        assert_eq!(t.size(), 8);
+        assert_eq!(t.size(), 9);
         assert!(t.labels().contains(&"private"));
         assert!(t.find("folder").is_some());
         assert!(t.find("nonexistent").is_none());
@@ -306,7 +330,7 @@ mod tests {
         let t = bookmarks();
         let v = l.get(&t);
         assert!(!v.labels().contains(&"private"));
-        assert_eq!(v.size(), 4);
+        assert_eq!(v.size(), 5);
         // GetPut: unchanged view restores the private subtrees in place.
         assert_eq!(l.put(&t, &v), t);
     }
@@ -324,7 +348,10 @@ mod tests {
             "https://example.org/edited"
         );
         assert!(t2.labels().contains(&"private"), "hidden subtree survives");
-        assert_eq!(t2.find("private").expect("kept").children[0].value, "secret://x");
+        assert_eq!(
+            t2.find("private").expect("kept").children[0].value,
+            "secret://x"
+        );
     }
 
     #[test]
@@ -334,7 +361,8 @@ mod tests {
         let mut v = l.get(&t);
         // Delete the folder, add a new top-level bookmark.
         v.children.remove(1);
-        v.children.push(Tree::leaf("bookmark", "https://new.example"));
+        v.children
+            .push(Tree::leaf("bookmark", "https://new.example"));
         let t2 = l.put(&t, &v);
         let labels = t2.labels();
         assert!(labels.contains(&"private"), "top-level private kept");

@@ -2,7 +2,7 @@
 //! Boomerang-style lens laws (GetPut, PutGet, CreateGet) over generated
 //! well-typed inputs for a representative lens zoo.
 
-use bx_lens::string::{cat, copy, del, dict_star, ins, star, swap, StringLens, txt};
+use bx_lens::string::{cat, copy, del, dict_star, ins, star, swap, txt, StringLens};
 use proptest::prelude::*;
 
 /// The lens zoo: each paired with strategies for members of its source
@@ -30,14 +30,21 @@ fn record_dict_lens() -> StringLens {
 
 fn swap_lens() -> StringLens {
     swap(
-        cat(vec![copy("[a-z]+").expect("static"), del("=", "=").expect("static")]),
+        cat(vec![
+            copy("[a-z]+").expect("static"),
+            del("=", "=").expect("static"),
+        ]),
         cat(vec![copy("[0-9]+").expect("static"), ins(" ")]),
     )
 }
 
 fn arb_record_source() -> impl Strategy<Value = String> {
-    prop::collection::vec(("[a-z]{1,6}", "[0-9]{1,4}"), 0..6)
-        .prop_map(|pairs| pairs.into_iter().map(|(w, d)| format!("{w}:{d};")).collect())
+    prop::collection::vec(("[a-z]{1,6}", "[0-9]{1,4}"), 0..6).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(w, d)| format!("{w}:{d};"))
+            .collect()
+    })
 }
 
 fn arb_record_view() -> impl Strategy<Value = String> {

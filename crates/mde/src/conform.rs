@@ -3,7 +3,7 @@
 use std::fmt;
 
 use crate::meta::MetaModel;
-use crate::object::{ObjectModel, ObjId};
+use crate::object::{ObjId, ObjectModel};
 
 /// One conformance violation. The checker reports *all* issues rather than
 /// stopping at the first, so reviewers (human or mechanical) see the whole
@@ -17,17 +17,35 @@ pub enum ConformanceIssue {
     /// A required attribute is unset.
     MissingAttribute { object: ObjId, attribute: String },
     /// An attribute has the wrong type.
-    WrongAttributeType { object: ObjId, attribute: String, expected: String, found: String },
+    WrongAttributeType {
+        object: ObjId,
+        attribute: String,
+        expected: String,
+        found: String,
+    },
     /// An attribute not declared on the class (or its supers) is set.
     UndeclaredAttribute { object: ObjId, attribute: String },
     /// A reference not declared on the class is set.
     UndeclaredReference { object: ObjId, reference: String },
     /// A reference target does not exist in the model.
-    DanglingReference { object: ObjId, reference: String, target: ObjId },
+    DanglingReference {
+        object: ObjId,
+        reference: String,
+        target: ObjId,
+    },
     /// A reference target's class is incompatible.
-    WrongTargetClass { object: ObjId, reference: String, target: ObjId, expected: String },
+    WrongTargetClass {
+        object: ObjId,
+        reference: String,
+        target: ObjId,
+        expected: String,
+    },
     /// A single-valued reference holds several targets.
-    TooManyTargets { object: ObjId, reference: String, count: usize },
+    TooManyTargets {
+        object: ObjId,
+        reference: String,
+        count: usize,
+    },
     /// An object is contained by more than one container.
     MultipleContainers { object: ObjId },
 }
@@ -44,8 +62,16 @@ impl fmt::Display for ConformanceIssue {
             ConformanceIssue::MissingAttribute { object, attribute } => {
                 write!(f, "{object}: required attribute `{attribute}` unset")
             }
-            ConformanceIssue::WrongAttributeType { object, attribute, expected, found } => {
-                write!(f, "{object}: attribute `{attribute}` is {found}, expected {expected}")
+            ConformanceIssue::WrongAttributeType {
+                object,
+                attribute,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{object}: attribute `{attribute}` is {found}, expected {expected}"
+                )
             }
             ConformanceIssue::UndeclaredAttribute { object, attribute } => {
                 write!(f, "{object}: attribute `{attribute}` is not declared")
@@ -53,14 +79,36 @@ impl fmt::Display for ConformanceIssue {
             ConformanceIssue::UndeclaredReference { object, reference } => {
                 write!(f, "{object}: reference `{reference}` is not declared")
             }
-            ConformanceIssue::DanglingReference { object, reference, target } => {
-                write!(f, "{object}: reference `{reference}` targets missing {target}")
+            ConformanceIssue::DanglingReference {
+                object,
+                reference,
+                target,
+            } => {
+                write!(
+                    f,
+                    "{object}: reference `{reference}` targets missing {target}"
+                )
             }
-            ConformanceIssue::WrongTargetClass { object, reference, target, expected } => {
-                write!(f, "{object}: `{reference}` target {target} is not a {expected}")
+            ConformanceIssue::WrongTargetClass {
+                object,
+                reference,
+                target,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "{object}: `{reference}` target {target} is not a {expected}"
+                )
             }
-            ConformanceIssue::TooManyTargets { object, reference, count } => {
-                write!(f, "{object}: single-valued `{reference}` holds {count} targets")
+            ConformanceIssue::TooManyTargets {
+                object,
+                reference,
+                count,
+            } => {
+                write!(
+                    f,
+                    "{object}: single-valued `{reference}` holds {count} targets"
+                )
             }
             ConformanceIssue::MultipleContainers { object } => {
                 write!(f, "{object}: contained by more than one container")
@@ -192,7 +240,9 @@ mod tests {
     fn mm() -> MetaModel {
         let mut m = MetaModel::new("uml");
         m.add_class(
-            MetaModel::class("NamedElement").abstract_class().attr("name", AttrType::Str),
+            MetaModel::class("NamedElement")
+                .abstract_class()
+                .attr("name", AttrType::Str),
         )
         .unwrap();
         m.add_class(
@@ -280,7 +330,9 @@ mod tests {
         let n = model.add("NamedElement");
         model.set_attr(n, "name", "x").unwrap();
         let issues = check_conformance(&mm(), &model);
-        assert!(issues.iter().any(|i| matches!(i, ConformanceIssue::AbstractClass { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ConformanceIssue::AbstractClass { .. })));
     }
 
     #[test]
@@ -300,13 +352,17 @@ mod tests {
         // "type" must point at a Class, not an Attribute.
         model.add_ref(a, "type", a).unwrap();
         let issues = check_conformance(&mm(), &model);
-        assert!(issues.iter().any(|i| matches!(i, ConformanceIssue::WrongTargetClass { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ConformanceIssue::WrongTargetClass { .. })));
 
         // Dangle: remove the class out from under the good attribute.
         let c = model.objects().find(|o| o.class == "Class").unwrap().id;
         model.remove(c);
         let issues = check_conformance(&mm(), &model);
-        assert!(issues.iter().any(|i| matches!(i, ConformanceIssue::DanglingReference { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ConformanceIssue::DanglingReference { .. })));
     }
 
     #[test]
@@ -316,10 +372,9 @@ mod tests {
         let c = model.objects().find(|o| o.class == "Class").unwrap().id;
         model.add_ref(a, "type", c).unwrap(); // second target on single-valued ref
         let issues = check_conformance(&mm(), &model);
-        assert!(issues.iter().any(|i| matches!(
-            i,
-            ConformanceIssue::TooManyTargets { count: 2, .. }
-        )));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ConformanceIssue::TooManyTargets { count: 2, .. })));
     }
 
     #[test]
@@ -331,7 +386,9 @@ mod tests {
         model.set_attr(c2, "persistent", false).unwrap();
         model.add_ref(c2, "attributes", a).unwrap(); // a now contained twice
         let issues = check_conformance(&mm(), &model);
-        assert!(issues.iter().any(|i| matches!(i, ConformanceIssue::MultipleContainers { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ConformanceIssue::MultipleContainers { .. })));
     }
 
     #[test]

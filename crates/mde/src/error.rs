@@ -47,11 +47,16 @@ mod tests {
     #[test]
     fn displays() {
         assert!(MdeError::UnknownClass("C".into()).to_string().contains("C"));
-        assert!(MdeError::UnknownFeature { class: "C".into(), feature: "f".into() }
-            .to_string()
-            .contains("f"));
+        assert!(MdeError::UnknownFeature {
+            class: "C".into(),
+            feature: "f".into()
+        }
+        .to_string()
+        .contains("f"));
         assert!(MdeError::UnknownObject(3).to_string().contains("#3"));
         assert!(MdeError::Duplicate("x".into()).to_string().contains("x"));
-        assert!(MdeError::InheritanceCycle("A".into()).to_string().contains("A"));
+        assert!(MdeError::InheritanceCycle("A".into())
+            .to_string()
+            .contains("A"));
     }
 }

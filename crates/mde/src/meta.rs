@@ -92,13 +92,21 @@ impl ClassBuilder {
 
     /// Add a required attribute.
     pub fn attr(mut self, name: &str, ty: AttrType) -> Self {
-        self.def.attributes.push(AttrDef { name: name.to_string(), ty, required: true });
+        self.def.attributes.push(AttrDef {
+            name: name.to_string(),
+            ty,
+            required: true,
+        });
         self
     }
 
     /// Add an optional attribute.
     pub fn optional_attr(mut self, name: &str, ty: AttrType) -> Self {
-        self.def.attributes.push(AttrDef { name: name.to_string(), ty, required: false });
+        self.def.attributes.push(AttrDef {
+            name: name.to_string(),
+            ty,
+            required: false,
+        });
         self
     }
 
@@ -139,7 +147,10 @@ impl ClassBuilder {
 impl MetaModel {
     /// An empty metamodel.
     pub fn new(name: &str) -> MetaModel {
-        MetaModel { name: name.to_string(), classes: BTreeMap::new() }
+        MetaModel {
+            name: name.to_string(),
+            classes: BTreeMap::new(),
+        }
     }
 
     /// Start building a class.
@@ -172,7 +183,9 @@ impl MetaModel {
 
     /// Look up a class.
     pub fn class_def(&self, name: &str) -> Result<&ClassDef, MdeError> {
-        self.classes.get(name).ok_or_else(|| MdeError::UnknownClass(name.to_string()))
+        self.classes
+            .get(name)
+            .ok_or_else(|| MdeError::UnknownClass(name.to_string()))
     }
 
     /// All class definitions, sorted by name.
@@ -223,7 +236,9 @@ mod tests {
     fn mm() -> MetaModel {
         let mut m = MetaModel::new("uml");
         m.add_class(
-            MetaModel::class("NamedElement").abstract_class().attr("name", AttrType::Str),
+            MetaModel::class("NamedElement")
+                .abstract_class()
+                .attr("name", AttrType::Str),
         )
         .unwrap();
         m.add_class(
@@ -255,8 +270,12 @@ mod tests {
     #[test]
     fn ancestry_and_inheritance() {
         let m = mm();
-        let chain: Vec<&str> =
-            m.ancestry("Class").unwrap().iter().map(|d| d.name.as_str()).collect();
+        let chain: Vec<&str> = m
+            .ancestry("Class")
+            .unwrap()
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect();
         assert_eq!(chain, vec!["Class", "NamedElement"]);
         assert!(m.is_subclass("Class", "NamedElement").unwrap());
         assert!(!m.is_subclass("NamedElement", "Class").unwrap());
@@ -266,11 +285,19 @@ mod tests {
     #[test]
     fn inherited_features_collected() {
         let m = mm();
-        let attrs: Vec<&str> =
-            m.all_attributes("Class").unwrap().iter().map(|a| a.name.as_str()).collect();
+        let attrs: Vec<&str> = m
+            .all_attributes("Class")
+            .unwrap()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         assert_eq!(attrs, vec!["name", "persistent"]);
-        let refs: Vec<&str> =
-            m.all_references("Attribute").unwrap().iter().map(|r| r.name.as_str()).collect();
+        let refs: Vec<&str> = m
+            .all_references("Attribute")
+            .unwrap()
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
         assert_eq!(refs, vec!["type"]);
     }
 
@@ -279,13 +306,19 @@ mod tests {
         let mut m = MetaModel::new("cyclic");
         m.add_class(MetaModel::class("A").extends("B")).unwrap();
         m.add_class(MetaModel::class("B").extends("A")).unwrap();
-        assert!(matches!(m.ancestry("A"), Err(MdeError::InheritanceCycle(_))));
+        assert!(matches!(
+            m.ancestry("A"),
+            Err(MdeError::InheritanceCycle(_))
+        ));
     }
 
     #[test]
     fn unknown_class_error() {
         let m = mm();
-        assert!(matches!(m.class_def("Nope"), Err(MdeError::UnknownClass(_))));
+        assert!(matches!(
+            m.class_def("Nope"),
+            Err(MdeError::UnknownClass(_))
+        ));
         assert!(m.ancestry("Nope").is_err());
     }
 

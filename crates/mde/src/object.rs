@@ -122,7 +122,11 @@ pub struct ObjectModel {
 impl ObjectModel {
     /// An empty model claiming conformance to the named metamodel.
     pub fn new(meta_name: &str) -> ObjectModel {
-        ObjectModel { meta_name: meta_name.to_string(), objects: BTreeMap::new(), next_id: 1 }
+        ObjectModel {
+            meta_name: meta_name.to_string(),
+            objects: BTreeMap::new(),
+            next_id: 1,
+        }
     }
 
     /// The metamodel this model claims to conform to.
@@ -153,7 +157,10 @@ impl ObjectModel {
         name: &str,
         value: impl Into<AttrValue>,
     ) -> Result<(), MdeError> {
-        let obj = self.objects.get_mut(&id).ok_or(MdeError::UnknownObject(id.0))?;
+        let obj = self
+            .objects
+            .get_mut(&id)
+            .ok_or(MdeError::UnknownObject(id.0))?;
         obj.attrs.insert(name.to_string(), value.into());
         Ok(())
     }
@@ -163,7 +170,10 @@ impl ObjectModel {
         if !self.objects.contains_key(&target) {
             return Err(MdeError::UnknownObject(target.0));
         }
-        let obj = self.objects.get_mut(&id).ok_or(MdeError::UnknownObject(id.0))?;
+        let obj = self
+            .objects
+            .get_mut(&id)
+            .ok_or(MdeError::UnknownObject(id.0))?;
         obj.refs.entry(name.to_string()).or_default().push(target);
         Ok(())
     }

@@ -69,9 +69,7 @@ impl Predicate {
                 }
                 Ok(cell < v)
             }
-            Predicate::ColEq(a, b) => {
-                Ok(row[schema.index_of(a)?] == row[schema.index_of(b)?])
-            }
+            Predicate::ColEq(a, b) => Ok(row[schema.index_of(a)?] == row[schema.index_of(b)?]),
             Predicate::And(l, r) => Ok(l.eval(schema, row)? && r.eval(schema, row)?),
             Predicate::Or(l, r) => Ok(l.eval(schema, row)? || r.eval(schema, row)?),
             Predicate::Not(p) => Ok(!p.eval(schema, row)?),
@@ -125,8 +123,12 @@ pub fn join(left: &Relation, right: &Relation) -> Result<Relation, RelError> {
     let ri = right.schema().indices_of(&shared_refs)?;
 
     // Result schema: left columns, then right columns not shared.
-    let mut cols: Vec<(&str, crate::value::ValueType)> =
-        left.schema().columns().iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let mut cols: Vec<(&str, crate::value::ValueType)> = left
+        .schema()
+        .columns()
+        .iter()
+        .map(|(n, t)| (n.as_str(), *t))
+        .collect();
     let extra: Vec<usize> = (0..right.schema().arity())
         .filter(|i| !ri.contains(i))
         .collect();
@@ -297,7 +299,8 @@ mod tests {
     fn union_and_difference() {
         let a = employees();
         let mut b = Relation::empty(a.schema().clone());
-        b.insert(vec![Value::str("dan"), Value::str("eng"), Value::Int(70)]).unwrap();
+        b.insert(vec![Value::str("dan"), Value::str("eng"), Value::Int(70)])
+            .unwrap();
         let u = union(&a, &b).unwrap();
         assert_eq!(u.len(), 4);
         let d = difference(&u, &a).unwrap();
@@ -308,7 +311,10 @@ mod tests {
     #[test]
     fn union_schema_mismatch_rejected() {
         let other = Relation::empty(Schema::new(vec![("x", ValueType::Int)]).unwrap());
-        assert!(matches!(union(&employees(), &other), Err(RelError::SchemaMismatch { .. })));
+        assert!(matches!(
+            union(&employees(), &other),
+            Err(RelError::SchemaMismatch { .. })
+        ));
     }
 
     #[test]
@@ -326,8 +332,7 @@ mod tests {
 
     #[test]
     fn col_eq_predicate() {
-        let schema =
-            Schema::new(vec![("a", ValueType::Int), ("b", ValueType::Int)]).unwrap();
+        let schema = Schema::new(vec![("a", ValueType::Int), ("b", ValueType::Int)]).unwrap();
         let rel = Relation::from_rows(
             schema,
             vec![

@@ -56,7 +56,10 @@ impl fmt::Display for RelError {
             }
             RelError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
             RelError::PredicateViolation { lens, row } => {
-                write!(f, "lens `{lens}`: view row {row} violates the selection predicate")
+                write!(
+                    f,
+                    "lens `{lens}`: view row {row} violates the selection predicate"
+                )
             }
             RelError::FdViolation { fd, witness } => {
                 write!(f, "functional dependency {fd} violated: {witness}")
@@ -77,11 +80,25 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         let cases: Vec<RelError> = vec![
-            RelError::UnknownColumn { column: "x".into(), schema: "a, b".into() },
-            RelError::TypeMismatch { expected: "Int".into(), found: "Str".into() },
-            RelError::SchemaMismatch { detail: "arity 2 vs 3".into() },
-            RelError::PredicateViolation { lens: "l".into(), row: "(1)".into() },
-            RelError::FdViolation { fd: "a -> b".into(), witness: "(1, 2) vs (1, 3)".into() },
+            RelError::UnknownColumn {
+                column: "x".into(),
+                schema: "a, b".into(),
+            },
+            RelError::TypeMismatch {
+                expected: "Int".into(),
+                found: "Str".into(),
+            },
+            RelError::SchemaMismatch {
+                detail: "arity 2 vs 3".into(),
+            },
+            RelError::PredicateViolation {
+                lens: "l".into(),
+                row: "(1)".into(),
+            },
+            RelError::FdViolation {
+                fd: "a -> b".into(),
+                witness: "(1, 2) vs (1, 3)".into(),
+            },
             RelError::DuplicateColumn { column: "a".into() },
         ];
         for e in cases {

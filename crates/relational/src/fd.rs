@@ -168,9 +168,7 @@ mod tests {
     #[test]
     fn revise_requires_same_schema() {
         let fd = Fd::new(&["album"], &["quantity"]);
-        let other = Relation::empty(
-            Schema::new(vec![("album", ValueType::Str)]).unwrap(),
-        );
+        let other = Relation::empty(Schema::new(vec![("album", ValueType::Str)]).unwrap());
         assert!(fd.revise(&albums(), &other).is_err());
     }
 
@@ -187,11 +185,8 @@ mod tests {
             ],
         )
         .unwrap();
-        let source = Relation::from_rows(
-            schema,
-            vec![vec![Value::str("Galore"), Value::Int(5)]],
-        )
-        .unwrap();
+        let source =
+            Relation::from_rows(schema, vec![vec![Value::str("Galore"), Value::Int(5)]]).unwrap();
         let out = fd.revise(&target, &source).unwrap();
         assert_eq!(out.len(), 1);
         assert!(out.contains(&[Value::str("Galore"), Value::Int(5)]));

@@ -24,7 +24,11 @@ where
     /// Compose `first` then `second`.
     pub fn new(first: L1, second: L2) -> Self {
         let name = format!("{};{}", first.name(), second.name());
-        ComposedRelLens { first, second, name }
+        ComposedRelLens {
+            first,
+            second,
+            name,
+        }
     }
 }
 
@@ -139,7 +143,8 @@ mod tests {
         let v = l.get(&s).unwrap();
         assert_eq!(l.put(&s, &v).unwrap(), s, "GetPut");
         let mut v2 = v.clone();
-        v2.insert(vec![Value::str("cyd"), Value::str("Paris")]).unwrap();
+        v2.insert(vec![Value::str("cyd"), Value::str("Paris")])
+            .unwrap();
         let s2 = l.put(&s, &v2).unwrap();
         assert_eq!(l.get(&s2).unwrap(), v2, "PutGet");
         assert!(s2.contains(&[Value::str("bea"), Value::str("Lyon"), Value::str("2")]));
@@ -170,8 +175,7 @@ mod tests {
     #[test]
     fn composition_propagates_errors() {
         let l = composed();
-        let bad_view =
-            Relation::empty(Schema::new(vec![("x", ValueType::Int)]).unwrap());
+        let bad_view = Relation::empty(Schema::new(vec![("x", ValueType::Int)]).unwrap());
         assert!(l.put(&people(), &bad_view).is_err());
     }
 }

@@ -92,7 +92,10 @@ impl RelLens<Relation> for DropLens {
         let mut out = Relation::empty(src.schema().clone());
         for vrow in view.rows() {
             let k: Vec<Value> = view_key_idx.iter().map(|&i| vrow[i].clone()).collect();
-            let value = dropped.get(&k).cloned().unwrap_or_else(|| self.default.clone());
+            let value = dropped
+                .get(&k)
+                .cloned()
+                .unwrap_or_else(|| self.default.clone());
             let mut full = Vec::with_capacity(src.schema().arity());
             let mut viter = 0usize;
             for i in 0..src.schema().arity() {
@@ -225,7 +228,10 @@ mod tests {
     fn put_checks_view_schema() {
         let l = lens();
         let wrong = Relation::empty(Schema::new(vec![("x", ValueType::Int)]).unwrap());
-        assert!(matches!(l.put(&albums(), &wrong), Err(RelError::SchemaMismatch { .. })));
+        assert!(matches!(
+            l.put(&albums(), &wrong),
+            Err(RelError::SchemaMismatch { .. })
+        ));
     }
 
     #[test]

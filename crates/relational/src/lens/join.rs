@@ -32,7 +32,9 @@ pub struct JoinLens {
 impl JoinLens {
     /// Build a join lens.
     pub fn new() -> JoinLens {
-        JoinLens { name: "join_dl".to_string() }
+        JoinLens {
+            name: "join_dl".to_string(),
+        }
     }
 }
 
@@ -79,7 +81,9 @@ impl RelLens<(Relation, Relation)> for JoinLens {
         let mut new_right = project(view, &right_names)?;
         let view_keys: BTreeSet<Vec<Value>> = {
             let key_idx = view.schema().indices_of(&shared_refs)?;
-            view.rows().map(|r| key_idx.iter().map(|&i| r[i].clone()).collect()).collect()
+            view.rows()
+                .map(|r| key_idx.iter().map(|&i| r[i].clone()).collect())
+                .collect()
         };
         let right_key_idx = right.schema().indices_of(&shared_refs)?;
         for row in right.rows() {
@@ -169,8 +173,10 @@ mod tests {
         let mut v = l.get(&src).unwrap();
         // Change a quantity and add a whole new joined row.
         v.remove(&[Value::str("Galore"), Value::Int(1), Value::Int(1997)]);
-        v.insert(vec![Value::str("Galore"), Value::Int(7), Value::Int(1997)]).unwrap();
-        v.insert(vec![Value::str("Torn"), Value::Int(2), Value::Int(2001)]).unwrap();
+        v.insert(vec![Value::str("Galore"), Value::Int(7), Value::Int(1997)])
+            .unwrap();
+        v.insert(vec![Value::str("Torn"), Value::Int(2), Value::Int(2001)])
+            .unwrap();
         let src2 = l.put(&src, &v).unwrap();
         assert_eq!(l.get(&src2).unwrap(), v);
     }
@@ -183,7 +189,10 @@ mod tests {
         v.remove(&[Value::str("Paris"), Value::Int(4), Value::Int(1993)]);
         let (l2, r2) = l.put(&src, &v).unwrap();
         assert!(!l2.contains(&[Value::str("Paris"), Value::Int(4)]));
-        assert!(r2.contains(&[Value::str("Paris"), Value::Int(1993)]), "right row survives");
+        assert!(
+            r2.contains(&[Value::str("Paris"), Value::Int(1993)]),
+            "right row survives"
+        );
     }
 
     #[test]
@@ -192,7 +201,8 @@ mod tests {
         let src = (left(), right());
         let mut v = l.get(&src).unwrap();
         // Two different quantities for the same album key.
-        v.insert(vec![Value::str("Galore"), Value::Int(9), Value::Int(1997)]).unwrap();
+        v.insert(vec![Value::str("Galore"), Value::Int(9), Value::Int(1997)])
+            .unwrap();
         assert!(matches!(l.put(&src, &v), Err(RelError::FdViolation { .. })));
     }
 

@@ -87,11 +87,8 @@ mod tests {
     use crate::value::{Value, ValueType};
 
     fn tracks() -> Relation {
-        let schema = Schema::new(vec![
-            ("track", ValueType::Str),
-            ("rating", ValueType::Int),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![("track", ValueType::Str), ("rating", ValueType::Int)]).unwrap();
         Relation::from_rows(
             schema,
             vec![
@@ -127,7 +124,8 @@ mod tests {
         let l = lens();
         let s = tracks();
         let mut v = l.get(&s).unwrap();
-        v.insert(vec![Value::str("Plainsong"), Value::Int(5)]).unwrap();
+        v.insert(vec![Value::str("Plainsong"), Value::Int(5)])
+            .unwrap();
         let s2 = l.put(&s, &v).unwrap();
         assert_eq!(l.get(&s2).unwrap(), v);
         // Hidden low-rated rows survived.
@@ -143,7 +141,10 @@ mod tests {
             vec![vec![Value::str("Bad"), Value::Int(1)]],
         )
         .unwrap();
-        assert!(matches!(l.put(&s, &v), Err(RelError::PredicateViolation { .. })));
+        assert!(matches!(
+            l.put(&s, &v),
+            Err(RelError::PredicateViolation { .. })
+        ));
     }
 
     #[test]

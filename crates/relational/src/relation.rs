@@ -19,7 +19,10 @@ pub struct Relation {
 impl Relation {
     /// An empty relation over a schema.
     pub fn empty(schema: Schema) -> Relation {
-        Relation { schema, rows: BTreeSet::new() }
+        Relation {
+            schema,
+            rows: BTreeSet::new(),
+        }
     }
 
     /// Build from rows, validating each against the schema.
@@ -102,8 +105,7 @@ mod tests {
     use crate::value::ValueType;
 
     fn people() -> Relation {
-        let schema =
-            Schema::new(vec![("id", ValueType::Int), ("name", ValueType::Str)]).unwrap();
+        let schema = Schema::new(vec![("id", ValueType::Int), ("name", ValueType::Str)]).unwrap();
         Relation::from_rows(
             schema,
             vec![

@@ -17,11 +17,16 @@ impl Schema {
         let mut seen = std::collections::BTreeSet::new();
         for (name, _) in &columns {
             if !seen.insert(*name) {
-                return Err(RelError::DuplicateColumn { column: (*name).to_string() });
+                return Err(RelError::DuplicateColumn {
+                    column: (*name).to_string(),
+                });
             }
         }
         Ok(Schema {
-            columns: columns.into_iter().map(|(n, t)| (n.to_string(), t)).collect(),
+            columns: columns
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
         })
     }
 
@@ -42,9 +47,13 @@ impl Schema {
 
     /// Index of a column by name.
     pub fn index_of(&self, name: &str) -> Result<usize, RelError> {
-        self.columns.iter().position(|(n, _)| n == name).ok_or_else(|| {
-            RelError::UnknownColumn { column: name.to_string(), schema: self.to_string() }
-        })
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| RelError::UnknownColumn {
+                column: name.to_string(),
+                schema: self.to_string(),
+            })
     }
 
     /// The type of a named column.
@@ -79,7 +88,9 @@ impl Schema {
     /// The sub-schema keeping the named columns, in the order given.
     pub fn project(&self, names: &[&str]) -> Result<Schema, RelError> {
         let idx = self.indices_of(names)?;
-        Ok(Schema { columns: idx.into_iter().map(|i| self.columns[i].clone()).collect() })
+        Ok(Schema {
+            columns: idx.into_iter().map(|i| self.columns[i].clone()).collect(),
+        })
     }
 
     /// The sub-schema dropping one named column.
@@ -94,7 +105,9 @@ impl Schema {
     pub fn rename(&self, from: &str, to: &str) -> Result<Schema, RelError> {
         let i = self.index_of(from)?;
         if from != to && self.index_of(to).is_ok() {
-            return Err(RelError::DuplicateColumn { column: to.to_string() });
+            return Err(RelError::DuplicateColumn {
+                column: to.to_string(),
+            });
         }
         let mut cols = self.columns.clone();
         cols[i].0 = to.to_string();
@@ -162,9 +175,13 @@ mod tests {
     #[test]
     fn check_row_validates() {
         let s = s();
-        assert!(s.check_row(&[Value::Int(1), Value::str("x"), Value::Bool(true)]).is_ok());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::str("x"), Value::Bool(true)])
+            .is_ok());
         assert!(s.check_row(&[Value::Int(1), Value::str("x")]).is_err());
-        assert!(s.check_row(&[Value::str("1"), Value::str("x"), Value::Bool(true)]).is_err());
+        assert!(s
+            .check_row(&[Value::str("1"), Value::str("x"), Value::Bool(true)])
+            .is_err());
     }
 
     #[test]
@@ -179,8 +196,14 @@ mod tests {
     #[test]
     fn rename_guards_duplicates() {
         let s = s();
-        assert_eq!(s.rename("id", "key").unwrap().names(), vec!["key", "name", "active"]);
-        assert!(matches!(s.rename("id", "name"), Err(RelError::DuplicateColumn { .. })));
+        assert_eq!(
+            s.rename("id", "key").unwrap().names(),
+            vec!["key", "name", "active"]
+        );
+        assert!(matches!(
+            s.rename("id", "name"),
+            Err(RelError::DuplicateColumn { .. })
+        ));
         assert!(s.rename("id", "id").is_ok());
     }
 

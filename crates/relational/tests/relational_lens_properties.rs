@@ -39,11 +39,11 @@ fn arb_people() -> impl Strategy<Value = Relation> {
 /// Paris-only views over (name, city) with unique names.
 fn arb_paris_view() -> impl Strategy<Value = Relation> {
     prop::collection::btree_set("[a-z]{2,6}", 0..6).prop_map(|names| {
-        let schema =
-            Schema::new(vec![("name", ValueType::Str), ("city", ValueType::Str)]).unwrap();
+        let schema = Schema::new(vec![("name", ValueType::Str), ("city", ValueType::Str)]).unwrap();
         let mut rel = Relation::empty(schema);
         for name in names {
-            rel.insert(vec![Value::str(name), Value::str("Paris")]).expect("row matches");
+            rel.insert(vec![Value::str(name), Value::str("Paris")])
+                .expect("row matches");
         }
         rel
     })

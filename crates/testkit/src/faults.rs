@@ -20,7 +20,11 @@ impl<B, F> BreakCorrectFwd<B, F> {
         F: Fn(N) -> N,
     {
         let name = format!("{}+break-correct-fwd", inner.name());
-        BreakCorrectFwd { inner, corrupt, name }
+        BreakCorrectFwd {
+            inner,
+            corrupt,
+            name,
+        }
     }
 }
 
@@ -63,7 +67,11 @@ impl<B, F> BreakHippocraticFwd<B, F> {
         F: Fn(N) -> N,
     {
         let name = format!("{}+break-hippocratic-fwd", inner.name());
-        BreakHippocraticFwd { inner, meddle, name }
+        BreakHippocraticFwd {
+            inner,
+            meddle,
+            name,
+        }
     }
 }
 
@@ -108,7 +116,11 @@ impl<B, F> BreakHippocraticBwd<B, F> {
         F: Fn(M) -> M,
     {
         let name = format!("{}+break-hippocratic-bwd", inner.name());
-        BreakHippocraticBwd { inner, meddle, name }
+        BreakHippocraticBwd {
+            inner,
+            meddle,
+            name,
+        }
     }
 }
 
@@ -145,9 +157,16 @@ mod tests {
     use bx_theory::{check_law, Law, Samples};
 
     fn consistent_sample() -> (ComposerSet, PairList) {
-        let m: ComposerSet =
-            [Composer::new("A", "1-2", "X"), Composer::new("B", "3-4", "Y")].into_iter().collect();
-        let n = vec![("A".to_string(), "X".to_string()), ("B".to_string(), "Y".to_string())];
+        let m: ComposerSet = [
+            Composer::new("A", "1-2", "X"),
+            Composer::new("B", "3-4", "Y"),
+        ]
+        .into_iter()
+        .collect();
+        let n = vec![
+            ("A".to_string(), "X".to_string()),
+            ("B".to_string(), "Y".to_string()),
+        ];
         (m, n)
     }
 

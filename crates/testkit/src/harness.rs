@@ -29,8 +29,12 @@ where
 }
 
 /// The four laws that constitute well-behavedness for state-based bx.
-pub const WELL_BEHAVED: [Law; 4] =
-    [Law::CorrectFwd, Law::CorrectBwd, Law::HippocraticFwd, Law::HippocraticBwd];
+pub const WELL_BEHAVED: [Law; 4] = [
+    Law::CorrectFwd,
+    Law::CorrectBwd,
+    Law::HippocraticFwd,
+    Law::HippocraticBwd,
+];
 
 /// Assert that a bx is correct and hippocratic on the samples, returning
 /// the full matrix for further assertions.

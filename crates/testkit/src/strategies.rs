@@ -36,8 +36,10 @@ pub fn arb_dates() -> impl Strategy<Value = String> {
 
 /// A single composer.
 pub fn arb_composer() -> impl Strategy<Value = Composer> {
-    (arb_name(), arb_dates(), arb_nationality()).prop_map(|(name, dates, nationality)| {
-        Composer { name, dates, nationality }
+    (arb_name(), arb_dates(), arb_nationality()).prop_map(|(name, dates, nationality)| Composer {
+        name,
+        dates,
+        nationality,
     })
 }
 
@@ -60,7 +62,11 @@ pub fn arb_person() -> impl Strategy<Value = Person> {
         prop::bool::ANY,
     )
         .prop_map(|(first, last, male)| {
-            Person::new(first, last, if male { Gender::Male } else { Gender::Female })
+            Person::new(
+                first,
+                last,
+                if male { Gender::Male } else { Gender::Female },
+            )
         })
 }
 

@@ -19,7 +19,10 @@ impl fmt::Display for TheoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TheoryError::Uncheckable(what) => {
-                write!(f, "property `{what}` is declared-only and cannot be machine-checked")
+                write!(
+                    f,
+                    "property `{what}` is declared-only and cannot be machine-checked"
+                )
             }
             TheoryError::EmptySamples { law } => {
                 write!(f, "law `{law}` was checked against an empty sample set")
@@ -43,7 +46,9 @@ mod tests {
 
     #[test]
     fn display_empty_samples() {
-        let e = TheoryError::EmptySamples { law: "CorrectFwd".into() };
+        let e = TheoryError::EmptySamples {
+            law: "CorrectFwd".into(),
+        };
         assert!(e.to_string().contains("CorrectFwd"));
     }
 

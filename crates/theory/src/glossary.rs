@@ -72,7 +72,12 @@ pub fn glossary_entry(property: Property) -> GlossaryEntry {
             "Informal safety property used by some repository entries.",
         ),
     };
-    GlossaryEntry { property, definition, laws: property.laws(), provenance }
+    GlossaryEntry {
+        property,
+        definition,
+        laws: property.laws(),
+        provenance,
+    }
 }
 
 /// The complete glossary, in [`Property::ALL`] order.

@@ -26,7 +26,11 @@ pub struct Samples<M, N> {
 impl<M: Clone, N: Clone> Samples<M, N> {
     /// Build a sample set from pairs and extra one-sided models.
     pub fn new(pairs: Vec<(M, N)>, extra_ms: Vec<M>, extra_ns: Vec<N>) -> Self {
-        Samples { pairs, extra_ms, extra_ns }
+        Samples {
+            pairs,
+            extra_ms,
+            extra_ns,
+        }
     }
 
     /// Build from pairs only.
@@ -70,7 +74,13 @@ impl<M: Clone, N: Clone> Samples<M, N> {
 /// index lets callers regenerate the full models deterministically.
 const COUNTEREXAMPLE_LIMIT: usize = 480;
 
-fn violated(bx_name: &str, law: Law, exercised: usize, total: usize, mut cx: Counterexample) -> LawReport {
+fn violated(
+    bx_name: &str,
+    law: Law,
+    exercised: usize,
+    total: usize,
+    mut cx: Counterexample,
+) -> LawReport {
     if cx.description.len() > COUNTEREXAMPLE_LIMIT {
         let mut end = COUNTEREXAMPLE_LIMIT;
         while !cx.description.is_char_boundary(end) {
@@ -94,7 +104,11 @@ fn verdict(bx_name: &str, law: Law, exercised: usize, total: usize) -> LawReport
         law,
         cases_exercised: exercised,
         cases_total: total,
-        outcome: if exercised == 0 { Outcome::Vacuous } else { Outcome::Holds },
+        outcome: if exercised == 0 {
+            Outcome::Vacuous
+        } else {
+            Outcome::Holds
+        },
     }
 }
 
@@ -381,7 +395,10 @@ where
 {
     LawMatrix {
         bx_name: bx.name().to_string(),
-        reports: Law::ALL.iter().map(|&law| check_law(bx, law, samples)).collect(),
+        reports: Law::ALL
+            .iter()
+            .map(|&law| check_law(bx, law, samples))
+            .collect(),
     }
 }
 
@@ -412,7 +429,9 @@ impl fmt::Display for ClaimVerdict {
             ClaimVerdict::Refuted { claim, evidence } => {
                 write!(f, "{claim}: REFUTED — {evidence}")
             }
-            ClaimVerdict::Unverifiable(c) => write!(f, "{c}: unverifiable (declared-only or vacuous)"),
+            ClaimVerdict::Unverifiable(c) => {
+                write!(f, "{c}: unverifiable (declared-only or vacuous)")
+            }
         }
     }
 }
@@ -452,13 +471,19 @@ impl LawMatrix {
                 }
                 let reports: Vec<&LawReport> =
                     laws.iter().filter_map(|&l| self.report(l)).collect();
-                if reports.iter().all(|r| matches!(r.outcome, Outcome::Vacuous)) {
+                if reports
+                    .iter()
+                    .all(|r| matches!(r.outcome, Outcome::Vacuous))
+                {
                     return ClaimVerdict::Unverifiable(claim);
                 }
                 match claim.polarity {
                     Polarity::Holds => {
                         if let Some(bad) = reports.iter().find(|r| r.violated()) {
-                            ClaimVerdict::Refuted { claim, evidence: bad.to_string() }
+                            ClaimVerdict::Refuted {
+                                claim,
+                                evidence: bad.to_string(),
+                            }
                         } else {
                             ClaimVerdict::Confirmed(claim)
                         }
@@ -539,7 +564,11 @@ mod tests {
     }
 
     fn samples() -> Samples<i32, i32> {
-        Samples::new(vec![(1, 1), (2, 2), (3, 7), (-4, 4)], vec![5, -6], vec![8, 0])
+        Samples::new(
+            vec![(1, 1), (2, 2), (3, 7), (-4, 4)],
+            vec![5, -6],
+            vec![8, 0],
+        )
     }
 
     #[test]
@@ -566,7 +595,10 @@ mod tests {
         // m to 8 (sign lost); coming back to n = 4 yields m = 4 ≠ -4.
         let s = Samples::new(vec![(-4, 4)], vec![], vec![8]);
         let r = check_law(&abs_view(), Law::UndoableBwd, &s);
-        assert!(r.violated(), "sign loss must break backward undoability: {r}");
+        assert!(
+            r.violated(),
+            "sign loss must break backward undoability: {r}"
+        );
     }
 
     #[test]
@@ -602,7 +634,11 @@ mod tests {
         let s = Samples::new(vec![(-4, 4), (3, 3)], vec![5], vec![8, 3]);
         let matrix = check_all_laws(&abs_view(), &s);
         let verdicts = matrix.verify_claims(&[Claim::holds(Property::Undoable)]);
-        assert!(matches!(verdicts[0], ClaimVerdict::Refuted { .. }), "{:?}", verdicts[0]);
+        assert!(
+            matches!(verdicts[0], ClaimVerdict::Refuted { .. }),
+            "{:?}",
+            verdicts[0]
+        );
     }
 
     #[test]
@@ -617,7 +653,10 @@ mod tests {
         let matrix = check_all_laws(&replica(), &samples());
         let text = matrix.to_string();
         for law in Law::ALL {
-            assert!(text.contains(&law.to_string()), "display must mention {law}");
+            assert!(
+                text.contains(&law.to_string()),
+                "display must mention {law}"
+            );
         }
     }
 

@@ -140,12 +140,18 @@ pub struct Claim {
 impl Claim {
     /// A positive claim.
     pub fn holds(property: Property) -> Claim {
-        Claim { property, polarity: Polarity::Holds }
+        Claim {
+            property,
+            polarity: Polarity::Holds,
+        }
     }
 
     /// A negative claim ("Not …").
     pub fn fails(property: Property) -> Claim {
-        Claim { property, polarity: Polarity::Fails }
+        Claim {
+            property,
+            polarity: Polarity::Fails,
+        }
     }
 }
 
@@ -195,14 +201,20 @@ mod tests {
 
     #[test]
     fn unknown_property_rejected() {
-        assert!(matches!("frobnication".parse::<Property>(), Err(TheoryError::UnknownProperty(_))));
+        assert!(matches!(
+            "frobnication".parse::<Property>(),
+            Err(TheoryError::UnknownProperty(_))
+        ));
     }
 
     #[test]
     fn claim_display_matches_paper_style() {
         assert_eq!(Claim::holds(Property::Correct).to_string(), "Correct");
         assert_eq!(Claim::fails(Property::Undoable).to_string(), "Not undoable");
-        assert_eq!(Claim::holds(Property::SimplyMatching).to_string(), "Simply matching");
+        assert_eq!(
+            Claim::holds(Property::SimplyMatching).to_string(),
+            "Simply matching"
+        );
     }
 
     #[test]
@@ -228,7 +240,10 @@ mod tests {
     fn laws_are_paired_by_direction() {
         for p in Property::ALL {
             let laws = p.laws();
-            assert!(laws.is_empty() || laws.len() == 2, "{p} should have 0 or 2 laws");
+            assert!(
+                laws.is_empty() || laws.len() == 2,
+                "{p} should have 0 or 2 laws"
+            );
         }
     }
 }

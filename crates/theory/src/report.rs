@@ -60,12 +60,8 @@ impl Law {
             Law::CorrectBwd => "for all m, n: consistent(bwd(m, n), n)",
             Law::HippocraticFwd => "for all m, n: consistent(m, n) implies fwd(m, n) = n",
             Law::HippocraticBwd => "for all m, n: consistent(m, n) implies bwd(m, n) = m",
-            Law::UndoableFwd => {
-                "for all consistent (m, n) and any m': fwd(m, fwd(m', n)) = n"
-            }
-            Law::UndoableBwd => {
-                "for all consistent (m, n) and any n': bwd(bwd(m, n'), n) = m"
-            }
+            Law::UndoableFwd => "for all consistent (m, n) and any m': fwd(m, fwd(m', n)) = n",
+            Law::UndoableBwd => "for all consistent (m, n) and any n': bwd(bwd(m, n'), n) = m",
             Law::HistoryIgnorantFwd => "for all m1, m2, n: fwd(m2, fwd(m1, n)) = fwd(m2, n)",
             Law::HistoryIgnorantBwd => "for all n1, n2, m: bwd(bwd(m, n1), n2) = bwd(m, n2)",
             Law::BijectiveFwd => "for all m, n: bwd(m, fwd(m, n)) = m",
@@ -202,7 +198,10 @@ mod tests {
         };
         assert!(!vacuous_hold.holds());
 
-        let real_hold = LawReport { cases_exercised: 10, ..vacuous_hold.clone() };
+        let real_hold = LawReport {
+            cases_exercised: 10,
+            ..vacuous_hold.clone()
+        };
         assert!(real_hold.holds());
     }
 
@@ -228,7 +227,10 @@ mod tests {
     fn outcome_holds_predicate() {
         assert!(Outcome::Holds.holds());
         assert!(!Outcome::Vacuous.holds());
-        assert!(!Outcome::Violated(Counterexample { case_index: 0, description: String::new() })
-            .holds());
+        assert!(!Outcome::Violated(Counterexample {
+            case_index: 0,
+            description: String::new()
+        })
+        .holds());
     }
 }

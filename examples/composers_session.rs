@@ -52,10 +52,17 @@ fn main() {
     println!("== the Boomerang asymmetric variant (string lens) ==");
     let lens = composers_lens();
     println!("source file:\n{SAMPLE_SOURCE}");
-    let view = lens.get(SAMPLE_SOURCE).expect("sample source is well-formed");
+    let view = lens
+        .get(SAMPLE_SOURCE)
+        .expect("sample source is well-formed");
     println!("view (dates elided):\n{view}");
     let edited = "Benjamin Britten, English\nJean Sibelius, Finnish\n";
-    let put_back = lens.put(SAMPLE_SOURCE, edited).expect("edited view is well-formed");
+    let put_back = lens
+        .put(SAMPLE_SOURCE, edited)
+        .expect("edited view is well-formed");
     println!("after reordering + deleting + editing the view, put back:\n{put_back}");
-    assert!(put_back.contains("1913-1976"), "resourcefulness kept Britten's dates");
+    assert!(
+        put_back.contains("1913-1976"),
+        "resourcefulness kept Britten's dates"
+    );
 }

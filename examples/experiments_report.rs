@@ -43,7 +43,11 @@ fn composers_samples() -> Samples<ComposerSet, PairList> {
     let bad = perturb_pairs(&n1, 3, 2, 1);
     let m2 = generate_composers(4, 2);
     Samples::new(
-        vec![(m1.clone(), n1.clone()), (m1, bad), (m2.clone(), pairs_of(&m2))],
+        vec![
+            (m1.clone(), n1.clone()),
+            (m1, bad),
+            (m2.clone(), pairs_of(&m2)),
+        ],
         vec![ComposerSet::new(), m2],
         vec![PairList::new()],
     )
@@ -52,7 +56,11 @@ fn composers_samples() -> Samples<ComposerSet, PairList> {
 fn uml_samples() -> Samples<UmlModel, RdbModel> {
     let b = uml2rdbms_bx();
     let m1 = UmlModel::default()
-        .with_class("Person", true, &[("id", "Integer", true), ("name", "String", false)])
+        .with_class(
+            "Person",
+            true,
+            &[("id", "Integer", true), ("name", "String", false)],
+        )
         .with_class("Session", false, &[("token", "String", true)])
         .document("Person", "name", "full legal name");
     let n1 = b.fwd(&m1, &RdbModel::default());
@@ -88,8 +96,18 @@ fn family_samples() -> Samples<FamilyModel, PersonModel> {
 fn main() {
     println!("bx-repo experiments report — law matrices & claim verdicts\n");
 
-    report("E2/E3 COMPOSERS (paper section 4)", &composers_bx(), &composers_samples(), &entry_claims("COMPOSERS"));
-    report("E8 UML2RDBMS", &uml2rdbms_bx(), &uml_samples(), &entry_claims("UML2RDBMS"));
+    report(
+        "E2/E3 COMPOSERS (paper section 4)",
+        &composers_bx(),
+        &composers_samples(),
+        &entry_claims("COMPOSERS"),
+    );
+    report(
+        "E8 UML2RDBMS",
+        &uml2rdbms_bx(),
+        &uml_samples(),
+        &entry_claims("UML2RDBMS"),
+    );
     report(
         "FAMILIES2PERSONS (prefer-child)",
         &families_bx(NewMemberPolicy::PreferChild),
@@ -110,7 +128,11 @@ fn main() {
             let site = bx.fwd(&snap, &bx::core::WikiSite::new());
             let small_site = bx.fwd(&small, &bx::core::WikiSite::new());
             Samples::new(
-                vec![(snap.clone(), site.clone()), (small.clone(), site), (snap, small_site)],
+                vec![
+                    (snap.clone(), site.clone()),
+                    (small.clone(), site),
+                    (snap, small_site),
+                ],
                 vec![small],
                 vec![bx::core::WikiSite::new()],
             )

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use bx::core::{cite, EntryId};
-use bx::examples::composers::{composers_bx, composer_set, pair_list};
+use bx::examples::composers::{composer_set, composers_bx, pair_list};
 use bx::examples::standard_repository;
 use bx::theory::{check_all_laws, Bx, Samples};
 
@@ -19,7 +19,10 @@ fn main() {
 
     // 2. A stable reference you could put in a paper.
     let id = EntryId::from_title("COMPOSERS");
-    println!("\ncite it as:\n  {}", cite::cite(&repo, &id, None).expect("entry exists"));
+    println!(
+        "\ncite it as:\n  {}",
+        cite::cite(&repo, &id, None).expect("entry exists")
+    );
 
     // 3. The executable artefact: restore consistency forward.
     let b = composers_bx();
@@ -27,7 +30,10 @@ fn main() {
         ("Jean Sibelius", "1865-1957", "Finnish"),
         ("Aaron Copland", "1910-1990", "American"),
     ]);
-    let n = pair_list(&[("Jean Sibelius", "Finnish"), ("Wolfgang Mozart", "Austrian")]);
+    let n = pair_list(&[
+        ("Jean Sibelius", "Finnish"),
+        ("Wolfgang Mozart", "Austrian"),
+    ]);
     println!("\nbefore: consistent = {}", b.consistent(&m, &n));
     let repaired = b.fwd(&m, &n);
     println!("after fwd: {repaired:?}");

@@ -24,7 +24,9 @@ fn main() {
         ],
     )
     .expect("rows match view schema");
-    let put_back = lens.put(&source, &edited).expect("view rows satisfy the predicate");
+    let put_back = lens
+        .put(&source, &edited)
+        .expect("view rows satisfy the predicate");
     println!("after put (Ana keeps +33-1, Dora defaults, Lyon row untouched):\n{put_back}");
 
     println!("== ALBUMS-JOIN: delete-left ==");

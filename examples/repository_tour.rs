@@ -16,9 +16,13 @@ fn main() {
 
     println!("== curation ==");
     let composers = EntryId::from_title("COMPOSERS");
-    println!("COMPOSERS status: {}", repo.status(&composers).expect("entry exists"));
+    println!(
+        "COMPOSERS status: {}",
+        repo.status(&composers).expect("entry exists")
+    );
     // A newcomer registers, comments, and the authors revise.
-    repo.register(Principal::member("newcomer")).expect("fresh account");
+    repo.register(Principal::member("newcomer"))
+        .expect("fresh account");
     repo.comment(
         "newcomer",
         &composers,
@@ -28,7 +32,10 @@ fn main() {
     .expect("members may comment");
     println!(
         "comments on COMPOSERS: {}",
-        repo.latest(&composers).expect("entry exists").comments.len()
+        repo.latest(&composers)
+            .expect("entry exists")
+            .comments
+            .len()
     );
 
     println!("\n== versioning ==");

@@ -14,7 +14,11 @@ fn main() {
     let b = uml2rdbms_bx();
 
     let uml = UmlModel::default()
-        .with_class("Person", true, &[("id", "Integer", true), ("name", "String", false)])
+        .with_class(
+            "Person",
+            true,
+            &[("id", "Integer", true), ("name", "String", false)],
+        )
         .with_class("Session", false, &[("token", "String", true)])
         .document("Person", "name", "full legal name");
 
@@ -31,20 +35,30 @@ fn main() {
 
     println!("\n== backward: the DBA adds a column ==");
     let mut edited = rdb.clone();
-    edited.tables.get_mut("Person").expect("table exists").columns.push(
-        bx::examples::uml2rdbms::Column {
+    edited
+        .tables
+        .get_mut("Person")
+        .expect("table exists")
+        .columns
+        .push(bx::examples::uml2rdbms::Column {
             name: "email".to_string(),
             ty: "VARCHAR".to_string(),
             key: false,
-        },
-    );
+        });
     let uml2 = b.bwd(&uml, &edited);
     let person = &uml2.classes["Person"];
     println!(
         "Person attributes now: {:?}",
-        person.attributes.iter().map(|a| a.name.as_str()).collect::<Vec<_>>()
+        person
+            .attributes
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect::<Vec<_>>()
     );
-    assert!(uml2.classes.contains_key("Session"), "transient class survived");
+    assert!(
+        uml2.classes.contains_key("Session"),
+        "transient class survived"
+    );
     assert!(b.consistent(&uml2, &edited));
 
     println!("\n== the cost: documentation does not round-trip ==");
@@ -57,6 +71,10 @@ fn main() {
     println!("\n== conformance against the metamodel ==");
     let om = uml_to_object_model(&uml2);
     let issues = check_conformance(&uml_metamodel(), &om);
-    println!("lowered model: {} objects, {} conformance issues", om.len(), issues.len());
+    println!(
+        "lowered model: {} objects, {} conformance issues",
+        om.len(),
+        issues.len()
+    );
     assert!(issues.is_empty());
 }

@@ -35,8 +35,15 @@ fn the_whole_story() {
     let repaired = b.fwd(&m, &n);
     assert!(b.consistent(&m, &repaired));
     assert_eq!(repaired.len(), 2);
-    assert_eq!(repaired[0], ("Erik Satie".to_string(), "French".to_string()), "kept in place");
-    assert_eq!(repaired[1].0, "Hildegard von Bingen", "appended alphabetically");
+    assert_eq!(
+        repaired[0],
+        ("Erik Satie".to_string(), "French".to_string()),
+        "kept in place"
+    );
+    assert_eq!(
+        repaired[1].0, "Hildegard von Bingen",
+        "appended alphabetically"
+    );
 
     // 4. As reviewers, they machine-check the claimed properties.
     let samples = Samples::new(
@@ -67,7 +74,10 @@ fn the_whole_story() {
         bx::core::manuscript::ManuscriptOptions::default(),
     );
     for author in ["Perdita Stevens", "James McKinna", "James Cheney"] {
-        assert!(manuscript.contains(author), "manuscript must credit {author}");
+        assert!(
+            manuscript.contains(author),
+            "manuscript must credit {author}"
+        );
     }
 }
 
@@ -84,14 +94,21 @@ fn the_paper_discussion_scenario_as_a_session() {
     assert!(b.consistent(&m0, &n0));
 
     // Delete Sibelius from n, enforce on m.
-    let n1: Vec<_> = n0.iter().filter(|(name, _)| name != "Jean Sibelius").cloned().collect();
+    let n1: Vec<_> = n0
+        .iter()
+        .filter(|(name, _)| name != "Jean Sibelius")
+        .cloned()
+        .collect();
     let m1 = b.bwd(&m0, &n1);
     assert_eq!(m1.len(), 1);
 
     // Regret: restore n, re-enforce on m — dates are gone.
     let m2 = b.bwd(&m1, &n0);
     assert_ne!(m2, m0);
-    let sibelius = m2.iter().find(|c| c.name == "Jean Sibelius").expect("recreated");
+    let sibelius = m2
+        .iter()
+        .find(|c| c.name == "Jean Sibelius")
+        .expect("recreated");
     assert_eq!(sibelius.dates, bx::examples::composers::UNKNOWN_DATES);
     // Satie, untouched throughout, still has his dates.
     let satie = m2.iter().find(|c| c.name == "Erik Satie").expect("kept");

@@ -69,11 +69,15 @@ fn composers_negative_claim_needs_the_right_samples() {
     // trivially small samples and *confirmed* once a witness excursion is
     // in range — the repository's reviewer guidance in miniature.
     let b = composers_bx();
-    let m: ComposerSet =
-        [bx::examples::composers::Composer::new("A", "1-2", "X")].into_iter().collect();
+    let m: ComposerSet = [bx::examples::composers::Composer::new("A", "1-2", "X")]
+        .into_iter()
+        .collect();
     let n: PairList = vec![("A".to_string(), "X".to_string())];
-    let witness_samples =
-        Samples::new(vec![(m.clone(), n)], vec![ComposerSet::new()], vec![PairList::new()]);
+    let witness_samples = Samples::new(
+        vec![(m.clone(), n)],
+        vec![ComposerSet::new()],
+        vec![PairList::new()],
+    );
     let matrix = check_all_laws(&b, &witness_samples);
     let verdicts = matrix.verify_claims(&[Claim::fails(Property::Undoable)]);
     assert!(verdicts[0].confirmed(), "{:?}", verdicts[0]);

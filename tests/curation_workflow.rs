@@ -25,16 +25,22 @@ fn members_comment_reviewers_approve_curators_govern() {
     let id = EntryId::from_title("FAMILIES2PERSONS");
 
     // A member can comment but not approve.
-    repo.register(Principal::member("student")).expect("fresh account");
-    repo.comment("student", &id, "2014-03-28", "love this example").expect("members comment");
-    repo.request_review("Jeremy Gibbons", &id).expect("members request review");
+    repo.register(Principal::member("student"))
+        .expect("fresh account");
+    repo.comment("student", &id, "2014-03-28", "love this example")
+        .expect("members comment");
+    repo.request_review("Jeremy Gibbons", &id)
+        .expect("members request review");
     assert!(matches!(
         repo.approve("student", &id),
         Err(RepoError::PermissionDenied { .. })
     ));
 
     // The entry's own author cannot approve it, even as a reviewer.
-    assert!(matches!(repo.approve("Jeremy Gibbons", &id), Err(RepoError::PermissionDenied { .. })));
+    assert!(matches!(
+        repo.approve("Jeremy Gibbons", &id),
+        Err(RepoError::PermissionDenied { .. })
+    ));
 
     // A curator promotes the student; the student still cannot approve
     // until granted Reviewer.
@@ -42,8 +48,11 @@ fn members_comment_reviewers_approve_curators_govern() {
         repo.grant_role("student", "student", Role::Reviewer),
         Err(RepoError::PermissionDenied { .. })
     ));
-    repo.grant_role("Perdita Stevens", "student", Role::Reviewer).expect("curators grant");
-    let v = repo.approve("student", &id).expect("independent reviewer approves");
+    repo.grant_role("Perdita Stevens", "student", Role::Reviewer)
+        .expect("curators grant");
+    let v = repo
+        .approve("student", &id)
+        .expect("independent reviewer approves");
     assert_eq!(v, Version::new(1, 0));
     assert_eq!(repo.status(&id).unwrap(), EntryStatus::Approved);
 
@@ -59,11 +68,15 @@ fn old_references_keep_working_across_revisions() {
 
     let mut revised = composers_entry();
     revised.discussion.push_str(" Now with an extra remark.");
-    let v2 = repo.revise("Perdita Stevens", &id, revised).expect("author revises");
+    let v2 = repo
+        .revise("Perdita Stevens", &id, revised)
+        .expect("author revises");
     assert_eq!(v2, Version::new(0, 2));
 
     // The version cited in a 2014 paper still resolves, verbatim.
-    let old = repo.at_version(&id, Version::new(0, 1)).expect("old versions retained");
+    let old = repo
+        .at_version(&id, Version::new(0, 1))
+        .expect("old versions retained");
     assert_eq!(old.discussion, composers_entry().discussion);
     let citation = bx::core::cite::cite(&repo, &id, Some(Version::new(0, 1))).unwrap();
     assert!(citation.contains("version 0.1"));
@@ -73,19 +86,31 @@ fn old_references_keep_working_across_revisions() {
 fn comments_guide_later_versions() {
     let repo = standard_repository();
     let id = EntryId::from_title("DATES");
-    repo.comment("Jeremy Gibbons", &id, "2014-04-02", "what about ISO dates?").unwrap();
+    repo.comment("Jeremy Gibbons", &id, "2014-04-02", "what about ISO dates?")
+        .unwrap();
     let mut revised = repo.latest(&id).unwrap();
-    revised.discussion.push_str(" ISO variant under discussion.");
-    repo.revise("James McKinna", &id, revised).expect("author revises post-approval");
+    revised
+        .discussion
+        .push_str(" ISO variant under discussion.");
+    repo.revise("James McKinna", &id, revised)
+        .expect("author revises post-approval");
     let latest = repo.latest(&id).unwrap();
     assert_eq!(latest.version, Version::new(1, 1));
-    assert_eq!(latest.comments.len(), 1, "comment carried to the new version");
+    assert_eq!(
+        latest.comments.len(),
+        1,
+        "comment carried to the new version"
+    );
     assert_eq!(
         latest.reviewers,
         vec!["Jeremy Gibbons".to_string()],
         "reviewer-of-record carried for traceability"
     );
-    assert_eq!(repo.status(&id).unwrap(), EntryStatus::Provisional, "revisions re-open review");
+    assert_eq!(
+        repo.status(&id).unwrap(),
+        EntryStatus::Provisional,
+        "revisions re-open review"
+    );
 }
 
 #[test]
@@ -93,7 +118,8 @@ fn rejected_reviews_return_to_provisional() {
     let repo = standard_repository();
     let id = EntryId::from_title("PERSONS-VIEW");
     repo.request_review("James Cheney", &id).unwrap();
-    repo.request_changes("Jeremy Gibbons", &id).expect("reviewers send back");
+    repo.request_changes("Jeremy Gibbons", &id)
+        .expect("reviewers send back");
     assert_eq!(repo.status(&id).unwrap(), EntryStatus::Provisional);
     // And the cycle can repeat.
     repo.request_review("James Cheney", &id).unwrap();

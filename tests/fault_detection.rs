@@ -83,7 +83,9 @@ fn claim_verification_refutes_faulty_artefacts() {
     let matrix = check_all_laws(&faulty, &composers_samples());
     let verdicts = matrix.verify_claims(&entry.properties);
     assert!(
-        verdicts.iter().any(|v| matches!(v, bx::theory::laws::ClaimVerdict::Refuted { .. })),
+        verdicts
+            .iter()
+            .any(|v| matches!(v, bx::theory::laws::ClaimVerdict::Refuted { .. })),
         "a correctness bug must refute at least one published claim: {verdicts:?}"
     );
 }
@@ -93,7 +95,12 @@ fn fault_free_artefacts_still_pass_after_wrapping() {
     // Identity perturbations: the wrappers themselves add no failures.
     let wrapped = BreakHippocraticFwd::new(composers_bx(), |n: PairList| n);
     let matrix = check_all_laws(&wrapped, &composers_samples());
-    for law in [Law::CorrectFwd, Law::CorrectBwd, Law::HippocraticFwd, Law::HippocraticBwd] {
+    for law in [
+        Law::CorrectFwd,
+        Law::CorrectBwd,
+        Law::HippocraticFwd,
+        Law::HippocraticBwd,
+    ] {
         assert!(matrix.law_holds(law), "{matrix}");
     }
 }

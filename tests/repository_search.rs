@@ -37,7 +37,10 @@ fn type_filters_partition_sensibly() {
     assert!(precise.len() >= 8);
     assert_eq!(sketch.len(), 1);
     assert_eq!(industrial.len(), 1);
-    assert!(benchmark.len() >= 3, "uml2rdbms, families, composers-at-scale");
+    assert!(
+        benchmark.len() >= 3,
+        "uml2rdbms, families, composers-at-scale"
+    );
     // PRECISE and SKETCH never co-occur (validated at contribution).
     for id in &sketch {
         assert!(!precise.contains(id));
@@ -49,7 +52,10 @@ fn property_filters_find_the_undoability_story() {
     let snap = standard_repository().snapshot();
     let not_undoable = entries_with_claim(&snap, Claim::fails(Property::Undoable));
     let undoable = entries_with_claim(&snap, Claim::holds(Property::Undoable));
-    assert!(not_undoable.len() >= 5, "most of the collection loses information");
+    assert!(
+        not_undoable.len() >= 5,
+        "most of the collection loses information"
+    );
     assert_eq!(undoable.len(), 1, "only the edit-based variant is undoable");
     assert_eq!(undoable[0].as_str(), "composers-edit");
     // Every entry claiming anything about undoability also claims Correct.
@@ -69,9 +75,15 @@ fn published_site_navigates_the_collection() {
     // Home links every entry page with its version.
     let home = site.current("examples:home").expect("home published");
     for id in snap.records.keys() {
-        assert!(home.contains(&format!("[[[{}]]]", id.page_name())), "home must link {id}");
+        assert!(
+            home.contains(&format!("[[[{}]]]", id.page_name())),
+            "home must link {id}"
+        );
     }
-    assert!(home.contains("(version 1.0)"), "the reviewed DATES entry shows 1.0");
+    assert!(
+        home.contains("(version 1.0)"),
+        "the reviewed DATES entry shows 1.0"
+    );
 
     // The glossary defines every property any entry claims.
     let glossary = site.current("glossary").expect("glossary published");
@@ -99,9 +111,14 @@ fn reviewed_only_manuscript_is_a_strict_subset() {
     );
     let reviewed = bx::core::manuscript::export_manuscript(
         &snap,
-        bx::core::manuscript::ManuscriptOptions { reviewed_only: true },
+        bx::core::manuscript::ManuscriptOptions {
+            reviewed_only: true,
+        },
     );
     assert!(reviewed.len() < all.len());
     assert!(reviewed.contains("++ DATES"));
-    assert!(!reviewed.contains("++ COMPOSERS\n"), "provisional entries excluded");
+    assert!(
+        !reviewed.contains("++ COMPOSERS\n"),
+        "provisional entries excluded"
+    );
 }

@@ -12,9 +12,13 @@ use proptest::prelude::*;
 fn every_standard_entry_roundtrips_through_wiki_markup() {
     for entry in all_entries() {
         let text = render_entry(&entry);
-        let parsed = parse_entry(&entry.slug(), &text)
-            .unwrap_or_else(|e| panic!("{}: {e}", entry.title));
-        assert_eq!(parsed, entry, "wiki round trip must be lossless for {}", entry.title);
+        let parsed =
+            parse_entry(&entry.slug(), &text).unwrap_or_else(|e| panic!("{}: {e}", entry.title));
+        assert_eq!(
+            parsed, entry,
+            "wiki round trip must be lossless for {}",
+            entry.title
+        );
     }
 }
 
@@ -23,7 +27,11 @@ fn every_standard_entry_roundtrips_through_json() {
     for entry in all_entries() {
         let json = serde_json::to_string(&entry).expect("entries serialise");
         let back: ExampleEntry = serde_json::from_str(&json).expect("entries deserialise");
-        assert_eq!(back, entry, "JSON round trip must be lossless for {}", entry.title);
+        assert_eq!(
+            back, entry,
+            "JSON round trip must be lossless for {}",
+            entry.title
+        );
     }
 }
 
@@ -66,13 +74,17 @@ fn template_field_order_matches_the_paper() {
 }
 
 fn arb_claim() -> impl Strategy<Value = Claim> {
-    (prop::sample::select(Property::ALL.to_vec()), prop::bool::ANY).prop_map(|(p, holds)| {
-        if holds {
-            Claim::holds(p)
-        } else {
-            Claim::fails(p)
-        }
-    })
+    (
+        prop::sample::select(Property::ALL.to_vec()),
+        prop::bool::ANY,
+    )
+        .prop_map(|(p, holds)| {
+            if holds {
+                Claim::holds(p)
+            } else {
+                Claim::fails(p)
+            }
+        })
 }
 
 fn arb_text() -> impl Strategy<Value = String> {

@@ -30,8 +30,8 @@ fn wiki_bx_claims_over_the_real_collection() {
             (full.clone(), site_full.clone()),
             (small.clone(), site_small.clone()),
             (empty.clone(), WikiSite::new()),
-            (full.clone(), site_small.clone()),  // repository ahead of wiki
-            (small.clone(), site_full.clone()),  // wiki ahead of repository
+            (full.clone(), site_small.clone()), // repository ahead of wiki
+            (small.clone(), site_full.clone()), // wiki ahead of repository
             (empty, site_full.clone()),
         ],
         vec![small],
@@ -85,7 +85,10 @@ fn vandalism_is_quarantined_not_destructive() {
     let bx = WikiBx::new();
     let snap = standard_repository().snapshot();
     let mut site = bx.fwd(&snap, &WikiSite::new());
-    site.set_page("examples:composers", "ALL YOUR BX ARE BELONG TO US".to_string());
+    site.set_page(
+        "examples:composers",
+        "ALL YOUR BX ARE BELONG TO US".to_string(),
+    );
     site.set_page("examples:garbage-page", "+++ not even a title".to_string());
 
     let (snap2, errors) = bx.try_bwd(&snap, &site);
@@ -96,7 +99,9 @@ fn vandalism_is_quarantined_not_destructive() {
         "the vandalised entry's record survives"
     );
     assert!(
-        !snap2.records.contains_key(&EntryId("garbage-page".to_string())),
+        !snap2
+            .records
+            .contains_key(&EntryId("garbage-page".to_string())),
         "a new page that never parsed creates nothing"
     );
 }
@@ -110,8 +115,11 @@ fn bijectivity_fails_as_expected() {
     let site = bx.fwd(&snap, &WikiSite::new());
     let mut under_review = snap.clone();
     let id = EntryId::from_title("COMPOSERS");
-    under_review.records.get_mut(&id).expect("entry exists").status =
-        bx::core::EntryStatus::UnderReview;
+    under_review
+        .records
+        .get_mut(&id)
+        .expect("entry exists")
+        .status = bx::core::EntryStatus::UnderReview;
 
     // fwd renders identically for both statuses: information the site
     // cannot represent.

@@ -1,0 +1,45 @@
+//! Workspace smoke test: the facade re-exports resolve, the standard
+//! repository is populated, and the quickstart path from the crate docs
+//! works end to end. This is the first test to fail if the workspace
+//! wiring (crate names, re-exports, path dependencies) regresses.
+
+use bx::core::wiki::render_entry;
+use bx::core::EntryId;
+use bx::examples::standard_repository;
+
+#[test]
+fn facade_reexports_resolve() {
+    // One symbol through every facade module proves the re-export wiring.
+    let _ = bx::core::EntryId::from_title("SMOKE");
+    let _ = bx::theory::Law::ALL;
+    let _ = bx::lens::tree::Tree::leaf("label", "value");
+    let _ = bx::relational::ValueType::Str;
+    let _ = bx::mde::MetaModel::new("smoke");
+    let _ = bx::examples::all_entries();
+}
+
+#[test]
+fn standard_repository_is_populated() {
+    let repo = standard_repository();
+    assert!(!repo.is_empty(), "standard repository must have entries");
+    assert!(
+        repo.len() >= 6,
+        "expected the curated collection, got {} entries",
+        repo.len()
+    );
+    for id in repo.ids() {
+        let entry = repo.latest(&id).expect("listed id resolves");
+        assert!(!entry.title.is_empty(), "{id:?} has a title");
+    }
+}
+
+#[test]
+fn quickstart_path_works() {
+    let repo = standard_repository();
+    let composers = repo
+        .latest(&EntryId::from_title("COMPOSERS"))
+        .expect("COMPOSERS entry exists");
+    assert_eq!(composers.title, "COMPOSERS");
+    let page = render_entry(&composers);
+    assert!(page.contains("COMPOSERS"), "rendered page names the entry");
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of criterion's API its benches use: `Criterion`,
+//! `bench_function`, `benchmark_group` (+ `bench_with_input`, `throughput`,
+//! `sample_size`, `finish`), `BenchmarkId`, `Throughput`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple mean over a fixed number of timed iterations after a short
+//! warm-up — enough to compare orders of magnitude locally, not a
+//! statistical benchmark.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const DEFAULT_SAMPLES: u64 = 30;
+
+/// Entry point handed to each bench target.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(name, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+}
+
+/// A named benchmark group with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(
+            &format!("{}/{}", self.name, id.render()),
+            self.throughput.as_ref(),
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(
+            &format!("{}/{}", self.name, id.render()),
+            self.throughput.as_ref(),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the closure under test and records a mean per-iteration time.
+pub struct Bencher {
+    samples: u64,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            mean: None,
+        }
+    }
+
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean = Some(start.elapsed() / self.samples.max(1) as u32);
+    }
+
+    fn report(&self, name: &str, throughput: Option<&Throughput>) {
+        let Some(mean) = self.mean else {
+            println!("{name:<50} (no measurement)");
+            return;
+        };
+        let mut line = format!("{name:<50} {:>12}", format_duration(mean));
+        if let Some(tp) = throughput {
+            let elems = match tp {
+                Throughput::Elements(n) | Throughput::Bytes(n) => *n,
+            };
+            if mean.as_nanos() > 0 && elems > 0 {
+                let per_sec = elems as f64 / mean.as_secs_f64();
+                let unit = match tp {
+                    Throughput::Elements(_) => "elem/s",
+                    Throughput::Bytes(_) => "B/s",
+                };
+                let _ = write!(line, "  {per_sec:>14.0} {unit}");
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Work-size annotation used for throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

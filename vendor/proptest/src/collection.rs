@@ -1,0 +1,169 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive size window for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range {r:?}");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range {r:?}");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.size.min, self.size.max);
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = rng.usize_in(self.size.min, self.size.max);
+        let mut out = BTreeSet::new();
+        // Duplicates shrink the set; retry a bounded number of times, as
+        // real proptest does, and accept a smaller set if values run out.
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 10 + 16 {
+            out.insert(self.elem.sample(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = rng.usize_in(self.size.min, self.size.max);
+        let mut out = BTreeMap::new();
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 10 + 16 {
+            out.insert(self.key.sample(rng), self.value.sample(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_bounds() {
+        let mut rng = TestRng::deterministic("vec");
+        let s = vec(0u32..10, 2..5);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn set_respects_upper_bound() {
+        let mut rng = TestRng::deterministic("set");
+        let s = btree_set(0u32..100, 0..=6usize);
+        for _ in 0..100 {
+            assert!(s.sample(&mut rng).len() <= 6);
+        }
+    }
+
+    #[test]
+    fn map_pairs_keys_and_values() {
+        let mut rng = TestRng::deterministic("map");
+        let s = btree_map("[a-z]{1,4}", 0u32..5, 1..4);
+        for _ in 0..50 {
+            let m = s.sample(&mut rng);
+            assert!(!m.is_empty() && m.len() <= 3);
+            assert!(m.values().all(|&v| v < 5));
+        }
+    }
+}

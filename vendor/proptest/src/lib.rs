@@ -1,0 +1,80 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! miniature property-testing harness with proptest's spelling: the
+//! [`strategy::Strategy`] trait (`prop_map`, `prop_recursive`, `boxed`),
+//! `Just`, `prop_oneof!`, regex-ish `&str` strategies (`"[a-z]{2,8}"`),
+//! numeric ranges, tuples, `sample::select`, `collection::{vec, btree_set,
+//! btree_map}`, `bool::ANY`, and the `proptest!`/`prop_assert!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * cases are sampled from a deterministic per-test RNG (seeded by test
+//!   name), so runs are reproducible but not configurable via env vars;
+//! * there is **no shrinking** — a failing case panics with its inputs via
+//!   the ordinary assert message;
+//! * `prop_assume!` discards the case without tracking rejection quotas.
+
+pub mod collection;
+mod macros;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// `prop::bool::ANY`, a strategy for both booleans.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Numeric strategies; ranges themselves implement `Strategy`, this module
+/// exists so `prop::num::u32::ANY`-style paths resolve.
+pub mod num {
+    macro_rules! any_mod {
+        ($($m:ident : $t:ty),*) => {$(
+            pub mod $m {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                #[derive(Clone, Copy, Debug)]
+                pub struct Any;
+
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize, i8: i8, i16: i16, i32: i32, i64: i64, isize: isize);
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` module alias the real prelude exposes.
+    pub mod prop {
+        pub use crate::{bool, collection, num, sample, strategy, string};
+    }
+}

@@ -1,0 +1,21 @@
+//! `prop::sample::select` — uniform choice from a fixed list.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "sample::select needs at least one item");
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.items[rng.usize_in(0, self.items.len() - 1)].clone()
+    }
+}

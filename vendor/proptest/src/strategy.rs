@@ -1,0 +1,317 @@
+//! The `Strategy` trait and core combinators for the stand-in proptest.
+//!
+//! A strategy is just a pure sampler: `sample(&self, rng) -> Value`. No
+//! shrinking state is threaded through, which keeps every combinator a
+//! few lines and is enough for the law-checking style of test this
+//! workspace runs.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            reason,
+        }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `depth` levels of `f` stacked over the leaf,
+    /// with shallower levels more likely. `_desired_size` and
+    /// `_expected_branch` are accepted for signature compatibility.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            // Weight the leaf higher so sampled sizes stay small.
+            current = Union::weighted(vec![(2, current.clone()), (1, f(current).boxed())]).boxed();
+        }
+        current
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.sample(rng)))
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Clone, F: Clone> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?}: no accepted value in 1000 draws",
+            self.reason
+        );
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Choice between strategies of one value type (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Union::weighted(arms.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.u64_in(0, self.total_weight - 1);
+        for (weight, arm) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return arm.sample(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights covered the draw range")
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                let lo = self.start as i128;
+                let hi = self.end as i128 - 1;
+                (lo + (rng.u64_in(0, (hi - lo) as u64) as i128)) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy {self:?}");
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                (lo + (rng.u64_in(0, (hi - lo) as u64) as i128)) as $t
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `&str` literals are regex-ish string strategies, as in real proptest.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        crate::string::sample_pattern(self, rng)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::deterministic("ranges");
+        let s = (10u32..20).prop_map(|n| n * 2);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((20..40).contains(&v) && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn unions_hit_every_arm() {
+        let mut rng = TestRng::deterministic("union");
+        let s = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(s.sample(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>),
+        }
+        let mut rng = TestRng::deterministic("rec");
+        let s = Just(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+            inner.prop_map(|t| Tree::Node(Box::new(t)))
+        });
+        for _ in 0..50 {
+            let mut depth = 0;
+            let mut t = s.sample(&mut rng);
+            while let Tree::Node(next) = t {
+                t = *next;
+                depth += 1;
+            }
+            assert!(depth <= 3);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Sampling strings from the tiny regex dialect the workspace's `&str`
+//! strategies use: literal characters, `[...]` classes (ranges, literals,
+//! leading `^` negation, trailing `-` literal), and the quantifiers
+//! `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 8 repeats).
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Literal(char),
+    /// Sorted, deduplicated alternatives.
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = rng.usize_in(piece.min, piece.max);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(choices) => {
+                    out.push(choices[rng.usize_in(0, choices.len() - 1)]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let atom = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                atom
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                match c {
+                    'd' => Atom::Class(('0'..='9').collect()),
+                    'w' => Atom::Class(
+                        ('a'..='z')
+                            .chain('A'..='Z')
+                            .chain('0'..='9')
+                            .chain(['_'])
+                            .collect(),
+                    ),
+                    's' => Atom::Class(vec![' ', '\t']),
+                    other => Atom::Literal(other),
+                }
+            }
+            '.' => {
+                i += 1;
+                Atom::Class((' '..='~').collect())
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Every arm above advanced `i` past the atom; next comes an
+        // optional quantifier.
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let parse_n = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad repeat count {s:?} in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                None => {
+                    let n = parse_n(&body);
+                    (n, n)
+                }
+                Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Atom {
+    let (negated, body) = match body.first() {
+        Some('^') => (true, &body[1..]),
+        _ => (false, body),
+    };
+    let mut set = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < body.len() {
+        let c = body[i];
+        if c == '\\' {
+            let next = *body
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("dangling escape in class in {pattern:?}"));
+            match next {
+                'd' => set.extend('0'..='9'),
+                'w' => {
+                    set.extend('a'..='z');
+                    set.extend('A'..='Z');
+                    set.extend('0'..='9');
+                    set.insert('_');
+                }
+                other => {
+                    set.insert(other);
+                }
+            }
+            i += 2;
+        } else if i + 2 < body.len() && body[i + 1] == '-' {
+            let hi = body[i + 2];
+            assert!(c <= hi, "inverted class range {c}-{hi} in {pattern:?}");
+            set.extend(c..=hi);
+            i += 3;
+        } else {
+            // Includes '-' in trailing (or leading-before-nothing) position.
+            set.insert(c);
+            i += 1;
+        }
+    }
+    let choices: Vec<char> = if negated {
+        (' '..='~').filter(|c| !set.contains(c)).collect()
+    } else {
+        set.into_iter().collect()
+    };
+    assert!(
+        !choices.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    Atom::Class(choices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::deterministic(pattern);
+        (0..n).map(|_| sample_pattern(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_counted_repeat() {
+        for s in samples("[a-z]{2,8}", 200) {
+            assert!((2..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        for s in samples("[0-9+-]{0,8}", 200) {
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_digit() || c == '+' || c == '-'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_class_covers_spaces_and_punctuation() {
+        let all: String = samples("[a-zA-Z0-9 ,.()-]{1,60}", 300).concat();
+        assert!(all.contains(' '));
+        assert!(all
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || " ,.()-".contains(c)));
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        for s in samples("ab?c*d+", 100) {
+            assert!(s.starts_with('a'), "{s:?}");
+            assert!(s.contains('d'), "{s:?}");
+        }
+        assert_eq!(samples("xyz", 1), vec!["xyz".to_string()]);
+    }
+
+    #[test]
+    fn dot_matches_printable_and_terminates() {
+        for s in samples("a.c{2}", 100) {
+            assert_eq!(s.chars().count(), 4, "{s:?}");
+            assert!(s.starts_with('a'), "{s:?}");
+            let dot = s.chars().nth(1).unwrap();
+            assert!((' '..='~').contains(&dot), "{s:?}");
+            assert!(s.ends_with("cc"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        for s in samples("[^a-z]{1,5}", 100) {
+            assert!(s.chars().all(|c| !c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The owned value tree the stand-in serde serializes through, plus the
+//! deserialization error type shared with the derive output.
+
+use std::fmt;
+
+/// A JSON-shaped value tree. Object entries preserve insertion order so
+/// serialized output is deterministic and mirrors field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Look up a field in an object's entry list; absent fields read as
+/// `Null`, which lets `Option` fields tolerate missing keys the way
+/// serde's `missing_field` fallback does.
+pub fn field<'a>(entries: &'a [(String, Value)], name: &str) -> &'a Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Null)
+}
+
+/// Deserialization failure: a message describing the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    pub fn mismatch(expected: &str, got: &Value) -> Self {
+        DeError {
+            message: format!("expected {expected}, got {}", got.kind()),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

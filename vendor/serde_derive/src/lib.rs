@@ -1,0 +1,325 @@
+//! Offline stand-in for `serde_derive`, written against the bare
+//! `proc_macro` API (the environment has no syn/quote). It supports the
+//! shapes this workspace actually derives:
+//!
+//! * structs with named fields          → JSON object, declaration order
+//! * one-field tuple structs (newtypes) → the inner value, transparent
+//! * enums of unit variants             → the variant name as a string
+//! * enums mixing unit/newtype variants → `"Unit"` or `{"Newtype": inner}`
+//!
+//! Generics, struct variants, and wider tuples are rejected with a
+//! compile-time panic naming the offending item, so drift is loud.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T);`
+    Newtype,
+    /// `enum E { Unit, Newtype(T) }` — (variant name, has payload).
+    Enum(Vec<(String, bool)>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match ident_at(&tokens, i) {
+        Some(k @ ("struct" | "enum")) => k.to_string(),
+        _ => panic!("serde_derive: expected `struct` or `enum`"),
+    };
+    i += 1;
+
+    let name = ident_at(&tokens, i)
+        .unwrap_or_else(|| panic!("serde_derive: expected a name after `{kind}`"))
+        .to_string();
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the offline stand-in");
+    }
+
+    let shape = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Shape::NamedStruct(parse_named_fields(&body, &name))
+            } else {
+                Shape::Enum(parse_variants(&body, &name))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_top_level_fields(&g.stream().into_iter().collect::<Vec<_>>());
+            if kind != "struct" || arity != 1 {
+                panic!("serde_derive: `{name}`: only 1-field tuple structs are supported (got {arity} fields)");
+            }
+            Shape::Newtype
+        }
+        other => panic!("serde_derive: `{name}`: unexpected token {other:?} after name"),
+    };
+
+    Item { name, shape }
+}
+
+fn ident_at<'a>(tokens: &'a [TokenTree], i: usize) -> Option<&'a str> {
+    // Ident has no accessor for its text; round-trip through Display.
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(Box::leak(id.to_string().into_boxed_str())),
+        _ => None,
+    }
+}
+
+/// Advance past `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` out of a brace body, tracking `<...>` depth so
+/// commas inside generic arguments don't split fields.
+fn parse_named_fields(body: &[TokenTree], owner: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let field = ident_at(body, i)
+            .unwrap_or_else(|| {
+                panic!(
+                    "serde_derive: `{owner}`: expected field name, got {:?}",
+                    body[i]
+                )
+            })
+            .to_string();
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: `{owner}.{field}`: expected `:`, got {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Parse `Unit, Newtype(T), ...` out of an enum's brace body.
+fn parse_variants(body: &[TokenTree], owner: &str) -> Vec<(String, bool)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let variant = ident_at(body, i)
+            .unwrap_or_else(|| {
+                panic!(
+                    "serde_derive: `{owner}`: expected variant name, got {:?}",
+                    body[i]
+                )
+            })
+            .to_string();
+        i += 1;
+        let mut has_payload = false;
+        match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(&g.stream().into_iter().collect::<Vec<_>>());
+                if arity != 1 {
+                    panic!("serde_derive: `{owner}::{variant}`: only newtype variants are supported (got {arity} fields)");
+                }
+                has_payload = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive: `{owner}::{variant}`: struct variants are not supported");
+            }
+            _ => {}
+        }
+        if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((variant, has_payload));
+    }
+    variants
+}
+
+/// Count comma-separated fields at angle-bracket depth 0 (1 field has no
+/// top-level comma; a trailing comma does not add a field).
+fn count_top_level_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut fields = 1;
+    for (idx, t) in body.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx + 1 < body.len() {
+                    fields += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__obj.push((\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::value::Value::Object(__obj)"
+            )
+        }
+        Shape::Newtype => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, has_payload) in variants {
+                if *has_payload {
+                    arms.push_str(&format!(
+                        "{name}::{v}(__inner) => ::serde::value::Value::Object(::std::vec![(\"{v}\".to_string(), ::serde::Serialize::serialize_value(__inner))]),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::value::Value::Str(\"{v}\".to_string()),\n"
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize_value(::serde::value::field(__obj, \"{f}\"))\
+                     .map_err(|e| ::serde::value::DeError::custom(::std::format!(\"{name}.{f}: {{e}}\")))?,\n"
+                ));
+            }
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::value::DeError::mismatch(\"object for {name}\", __v))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Newtype => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (v, has_payload) in variants {
+                if *has_payload {
+                    payload_arms.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}(::serde::Deserialize::deserialize_value(__inner)?)),\n"
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"
+                    ));
+                }
+            }
+            let payload_match = if payload_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::value::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n{payload_arms}\
+                             __other => ::core::result::Result::Err(::serde::value::DeError::custom(::std::format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n"
+                )
+            };
+            format!(
+                "match __v {{\n\
+                     ::serde::value::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                         __other => ::core::result::Result::Err(::serde::value::DeError::custom(::std::format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                     }},\n\
+                     {payload_match}\
+                     __other => ::core::result::Result::Err(::serde::value::DeError::mismatch(\"{name} variant\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::value::Value) -> ::core::result::Result<Self, ::serde::value::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
