@@ -1,0 +1,108 @@
+//! E11 — the delta-driven core: incremental maintenance vs full rebuild
+//! as the repository grows.
+//!
+//! Three rows: (a) index `apply` of one revise event vs `build` from the
+//! whole snapshot; (b) dirty-tracked `sync_changed` of one page vs the
+//! total `fwd`; (c) the borrowing conjunctive query vs the old
+//! posting-map-cloning baseline ([`bx_bench::CloningIndex`]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bx_bench::{scaled_repository, CloningIndex};
+use bx_core::event::{dirty_set, RepoEvent};
+use bx_core::index::SearchIndex;
+use bx_core::wiki_bx::WikiBx;
+use bx_core::{EntryId, WikiSite};
+use bx_theory::Bx;
+
+/// One revise of one synthetic entry, returned as (snapshot, events).
+fn one_revise(repo: &bx_core::Repository) -> Vec<RepoEvent> {
+    repo.drain_events();
+    let id = EntryId::from_title("SYNTH-00000");
+    let mut entry = repo.latest(&id).expect("synthetic entry exists");
+    entry.discussion = format!("{} Revised for the incremental bench.", entry.discussion);
+    repo.revise("bench-bot", &id, entry)
+        .expect("author revises");
+    repo.drain_events()
+}
+
+fn bench_index_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental/index");
+    group.sample_size(10);
+    for &extra in &[90usize, 490] {
+        let repo = scaled_repository(extra);
+        let events = one_revise(&repo);
+        let snap = repo.snapshot();
+        group.bench_with_input(
+            BenchmarkId::new("full_build", snap.records.len()),
+            &snap,
+            |b, snap| b.iter(|| SearchIndex::build(snap)),
+        );
+        let mut idx = SearchIndex::build(&snap);
+        group.bench_with_input(
+            BenchmarkId::new("apply_revise", snap.records.len()),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    // Re-applying the same applied delta is idempotent, so
+                    // every iteration does the same work.
+                    for e in events {
+                        idx.apply(e);
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_wiki_incremental(c: &mut Criterion) {
+    let bx = WikiBx::new();
+    let mut group = c.benchmark_group("incremental/wiki");
+    group.sample_size(10);
+    let repo = scaled_repository(90);
+    let mut site = bx.fwd(&repo.snapshot(), &WikiSite::new());
+    let events = one_revise(&repo);
+    let dirty = dirty_set(&events);
+    let snap = repo.snapshot();
+    group.bench_with_input(
+        BenchmarkId::new("full_fwd", snap.records.len()),
+        &(&snap, &site.clone()),
+        |b, (snap, site)| b.iter(|| bx.fwd(snap, site)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("sync_changed", snap.records.len()),
+        &snap,
+        |b, snap| b.iter(|| bx.sync_changed(snap, &mut site, &dirty)),
+    );
+    group.finish();
+}
+
+fn bench_query_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental/query");
+    group.sample_size(10);
+    let repo = scaled_repository(490);
+    let snap = repo.snapshot();
+    let borrowing = SearchIndex::build(&snap);
+    let cloning = CloningIndex::build(&snap);
+    let terms: &[&str] = &["synthetic", "databases", "benchmarking"];
+    group.bench_with_input(
+        BenchmarkId::new("borrowing", snap.records.len()),
+        &borrowing,
+        |b, idx| b.iter(|| idx.query(terms)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("cloning_baseline", snap.records.len()),
+        &cloning,
+        |b, idx| b.iter(|| idx.query(terms)),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_incremental,
+    bench_wiki_incremental,
+    bench_query_baselines
+);
+criterion_main!(benches);

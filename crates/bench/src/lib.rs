@@ -5,7 +5,10 @@
 //! EXPERIMENTS.md (E1–E10); this crate keeps the workload construction
 //! out of the measurement loops.
 
-use bx_core::{ExampleEntry, ExampleType, Principal, Repository};
+use std::collections::BTreeMap;
+
+use bx_core::repo::RepositorySnapshot;
+use bx_core::{EntryId, ExampleEntry, ExampleType, Principal, Repository};
 use bx_examples::benchmark::Lcg;
 use bx_examples::uml2rdbms::{RdbModel, UmlModel};
 
@@ -61,6 +64,76 @@ pub fn scaled_repository(extra: usize) -> Repository {
     repo
 }
 
+/// The pre-refactor `SearchIndex::query` as a measurable baseline: it
+/// cloned one whole posting map per query term. The `index_incremental`
+/// bench pits this against the borrowing intersection that replaced it.
+/// Same tokenisation, same scoring, same ordering — only the per-term
+/// clone differs.
+#[derive(Debug, Clone, Default)]
+pub struct CloningIndex {
+    postings: BTreeMap<String, BTreeMap<EntryId, u32>>,
+}
+
+impl CloningIndex {
+    /// Build from a snapshot, mirroring `SearchIndex::build`'s postings.
+    pub fn build(snapshot: &RepositorySnapshot) -> CloningIndex {
+        let mut idx = CloningIndex::default();
+        for (id, record) in &snapshot.records {
+            let e = record.latest();
+            let mut text = String::new();
+            for part in [
+                e.title.as_str(),
+                e.overview.as_str(),
+                e.models.as_str(),
+                e.consistency.as_str(),
+                e.restoration.forward.as_str(),
+                e.restoration.backward.as_str(),
+                e.discussion.as_str(),
+            ] {
+                text.push_str(part);
+                text.push(' ');
+            }
+            for v in &e.variants {
+                text.push_str(&v.name);
+                text.push(' ');
+                text.push_str(&v.description);
+                text.push(' ');
+            }
+            for token in text
+                .split(|c: char| !c.is_ascii_alphanumeric())
+                .filter(|t| t.len() >= 2)
+                .map(str::to_ascii_lowercase)
+            {
+                *idx.postings
+                    .entry(token)
+                    .or_default()
+                    .entry(id.clone())
+                    .or_insert(0) += 1;
+            }
+        }
+        idx
+    }
+
+    /// The old conjunctive query: clones each term's full posting map.
+    pub fn query(&self, terms: &[&str]) -> Vec<(EntryId, u32)> {
+        let mut scores: Option<BTreeMap<EntryId, u32>> = None;
+        for term in terms {
+            let term = term.to_ascii_lowercase();
+            let posting = self.postings.get(&term).cloned().unwrap_or_default();
+            scores = Some(match scores {
+                None => posting,
+                Some(prev) => prev
+                    .into_iter()
+                    .filter_map(|(id, score)| posting.get(&id).map(|tf| (id, score + tf)))
+                    .collect(),
+            });
+        }
+        let mut out: Vec<(EntryId, u32)> = scores.unwrap_or_default().into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
 /// A UML model with `n` persistent classes (plus `n / 4` transient ones),
 /// each with four attributes.
 pub fn uml_of_size(n: usize) -> UmlModel {
@@ -112,6 +185,21 @@ mod tests {
     fn scaled_repository_has_standard_plus_extra() {
         let repo = scaled_repository(25);
         assert_eq!(repo.len(), 38);
+    }
+
+    #[test]
+    fn cloning_baseline_agrees_with_search_index() {
+        let snap = scaled_repository(25).snapshot();
+        let new = bx_core::index::SearchIndex::build(&snap);
+        let old = CloningIndex::build(&snap);
+        for terms in [
+            &["lenses"][..],
+            &["synthetic", "databases"][..],
+            &["synthetic", "databases", "benchmarking"][..],
+            &["zzznonexistent"][..],
+        ] {
+            assert_eq!(old.query(terms), new.query(terms), "terms {terms:?}");
+        }
     }
 
     #[test]

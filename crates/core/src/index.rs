@@ -1,21 +1,48 @@
 //! Findability (§5.2): keyword search over entries plus type and property
 //! filters. "Ensuring that the wiki is google indexed goes a long way" —
 //! this is the in-process equivalent.
+//!
+//! The index is maintainable two ways: [`SearchIndex::build`] from a full
+//! snapshot, or incrementally via [`SearchIndex::apply`] over the
+//! repository's [`RepoEvent`] delta stream. The two are equivalent: for
+//! any mutation sequence, applying its events to the previous index gives
+//! exactly the index built from the resulting snapshot (property-tested in
+//! `tests/delta_equivalence.rs`). Incremental maintenance only re-tokenises
+//! the touched entry, so its cost scales with the change, not the
+//! repository.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use bx_theory::{Claim, Property};
 
+use crate::event::RepoEvent;
 use crate::repo::{EntryId, RepositorySnapshot};
 use crate::template::{ExampleEntry, ExampleType};
 
-/// An inverted index over the latest versions of all entries.
-#[derive(Debug, Clone, Default)]
+thread_local! {
+    /// Test/bench instrumentation: how many entries this thread has
+    /// tokenised. Lets tests assert that the incremental path really does
+    /// skip untouched entries.
+    static ENTRIES_TOKENIZED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of entries tokenised by this thread so far (build and apply
+/// both count). Instrumentation for tests and benches.
+pub fn entries_tokenized() -> u64 {
+    ENTRIES_TOKENIZED.with(Cell::get)
+}
+
+/// An inverted index over the latest versions of all entries, plus the
+/// forward index (entry → term frequencies) that makes exact incremental
+/// removal possible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SearchIndex {
     /// term → (entry → term frequency)
     postings: BTreeMap<String, BTreeMap<EntryId, u32>>,
-    /// number of indexed entries
-    entries: usize,
+    /// entry → (term → term frequency): what `apply` must retract when an
+    /// entry's text changes.
+    terms_of: BTreeMap<EntryId, BTreeMap<String, u32>>,
 }
 
 /// Lowercase alphanumeric tokens of length ≥ 2.
@@ -48,21 +75,71 @@ fn entry_text(entry: &ExampleEntry) -> String {
     text
 }
 
+fn term_frequencies(entry: &ExampleEntry) -> BTreeMap<String, u32> {
+    ENTRIES_TOKENIZED.with(|c| c.set(c.get() + 1));
+    let mut terms = BTreeMap::new();
+    for token in tokenize(&entry_text(entry)) {
+        *terms.entry(token).or_insert(0) += 1;
+    }
+    terms
+}
+
 impl SearchIndex {
     /// Build from a repository snapshot (latest versions only).
     pub fn build(snapshot: &RepositorySnapshot) -> SearchIndex {
         let mut idx = SearchIndex::default();
         for (id, record) in &snapshot.records {
-            idx.entries += 1;
-            for token in tokenize(&entry_text(record.latest())) {
-                *idx.postings
-                    .entry(token)
-                    .or_default()
-                    .entry(id.clone())
-                    .or_insert(0) += 1;
-            }
+            idx.upsert(id, record.latest());
         }
         idx
+    }
+
+    /// Incrementally maintain the index from one repository delta. Only
+    /// events that change an entry's indexed text (contribute / revise)
+    /// do any work; approvals (which bump only version and reviewers,
+    /// neither indexed), comments, status moves and account changes are
+    /// no-ops. Equivalent to rebuilding from the post-event snapshot.
+    pub fn apply(&mut self, event: &RepoEvent) {
+        match event {
+            RepoEvent::Contributed(d) | RepoEvent::Revised(d) => {
+                self.upsert(&d.id, &d.entry);
+            }
+            RepoEvent::Founded(_)
+            | RepoEvent::Registered(_)
+            | RepoEvent::RoleGranted(_)
+            | RepoEvent::Approved(_)
+            | RepoEvent::Commented(_)
+            | RepoEvent::ReviewRequested(_)
+            | RepoEvent::ChangesRequested(_) => {}
+        }
+    }
+
+    /// Replace (or first-index) one entry's postings.
+    fn upsert(&mut self, id: &EntryId, entry: &ExampleEntry) {
+        self.remove(id);
+        let terms = term_frequencies(entry);
+        for (term, tf) in &terms {
+            self.postings
+                .entry(term.clone())
+                .or_default()
+                .insert(id.clone(), *tf);
+        }
+        self.terms_of.insert(id.clone(), terms);
+    }
+
+    /// Retract one entry's postings (no-op if it was never indexed).
+    fn remove(&mut self, id: &EntryId) {
+        let Some(terms) = self.terms_of.remove(id) else {
+            return;
+        };
+        for term in terms.keys() {
+            if let Some(posting) = self.postings.get_mut(term) {
+                posting.remove(id);
+                if posting.is_empty() {
+                    self.postings.remove(term);
+                }
+            }
+        }
     }
 
     /// Number of distinct indexed terms.
@@ -72,25 +149,39 @@ impl SearchIndex {
 
     /// Number of indexed entries.
     pub fn entry_count(&self) -> usize {
-        self.entries
+        self.terms_of.len()
     }
 
     /// Conjunctive keyword query: entries containing *all* terms, scored
     /// by summed term frequency, sorted by descending score then id.
+    ///
+    /// Intersects borrowed posting lists (driven from the smallest one)
+    /// without cloning any posting map; only the result ids are cloned.
     pub fn query(&self, terms: &[&str]) -> Vec<(EntryId, u32)> {
-        let mut scores: Option<BTreeMap<EntryId, u32>> = None;
-        for term in terms {
-            let term = term.to_ascii_lowercase();
-            let posting = self.postings.get(&term).cloned().unwrap_or_default();
-            scores = Some(match scores {
-                None => posting,
-                Some(prev) => prev
-                    .into_iter()
-                    .filter_map(|(id, score)| posting.get(&id).map(|tf| (id, score + tf)))
-                    .collect(),
-            });
+        if terms.is_empty() {
+            return Vec::new();
         }
-        let mut out: Vec<(EntryId, u32)> = scores.unwrap_or_default().into_iter().collect();
+        let mut postings: Vec<&BTreeMap<EntryId, u32>> = Vec::with_capacity(terms.len());
+        for term in terms {
+            match self.postings.get(&term.to_ascii_lowercase()) {
+                Some(posting) => postings.push(posting),
+                // One absent term empties the conjunction.
+                None => return Vec::new(),
+            }
+        }
+        postings.sort_by_key(|p| p.len());
+        let (smallest, rest) = postings.split_first().expect("terms is non-empty");
+        let mut out: Vec<(EntryId, u32)> = Vec::new();
+        'candidates: for (id, tf) in *smallest {
+            let mut score = *tf;
+            for posting in rest {
+                match posting.get(id) {
+                    Some(tf) => score += tf,
+                    None => continue 'candidates,
+                }
+            }
+            out.push((id.clone(), score));
+        }
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
@@ -134,7 +225,7 @@ mod tests {
     use crate::template::ExampleEntry;
     use bx_theory::Polarity;
 
-    fn snapshot() -> RepositorySnapshot {
+    fn repository() -> Repository {
         let r = Repository::found("r", vec![Principal::curator("c")]);
         r.register(Principal::member("a")).unwrap();
         let composers = ExampleEntry::builder("COMPOSERS")
@@ -163,7 +254,11 @@ mod tests {
             .unwrap();
         r.contribute("a", composers).unwrap();
         r.contribute("a", uml).unwrap();
-        r.snapshot()
+        r
+    }
+
+    fn snapshot() -> RepositorySnapshot {
+        repository().snapshot()
     }
 
     #[test]
@@ -178,9 +273,10 @@ mod tests {
     #[test]
     fn conjunctive_query() {
         let idx = SearchIndex::build(&snapshot());
-        // Both entries mention "classes"? Only UML does; "delete" only composers.
-        let both = idx.query(&["consistency"]); // not in overview text fields? it's in field names only
-        let _ = both;
+        // "consistency" names a template *field*, not body text of either
+        // entry, so it must hit nothing — the index covers content only.
+        let both = idx.query(&["consistency"]);
+        assert!(both.is_empty(), "field names are not indexed: {both:?}");
         let uml_only = idx.query(&["tables", "classes"]);
         assert_eq!(uml_only.len(), 1);
         assert_eq!(uml_only[0].0.as_str(), "uml2rdbms");
@@ -207,6 +303,53 @@ mod tests {
         let idx = SearchIndex::build(&snapshot());
         assert_eq!(idx.entry_count(), 2);
         assert!(idx.term_count() > 10);
+    }
+
+    #[test]
+    fn apply_tracks_contribute_and_revise() {
+        let r = repository();
+        let mut idx = SearchIndex::build(&r.snapshot());
+        r.drain_events(); // already reflected by the build
+
+        let id = EntryId::from_title("COMPOSERS");
+        let mut edited = r.latest(&id).unwrap();
+        edited.discussion = "Now mentioning zygohistomorphic prepromorphisms.".to_string();
+        r.revise("a", &id, edited).unwrap();
+
+        for event in r.drain_events() {
+            idx.apply(&event);
+        }
+        assert_eq!(idx, SearchIndex::build(&r.snapshot()));
+        assert_eq!(idx.query(&["zygohistomorphic"]).len(), 1);
+        assert!(
+            idx.query(&["undoability"]).is_empty(),
+            "postings of the replaced version are retracted"
+        );
+    }
+
+    #[test]
+    fn apply_only_tokenizes_touched_entries() {
+        let r = repository();
+        let mut idx = SearchIndex::build(&r.snapshot());
+        r.drain_events();
+
+        let id = EntryId::from_title("UML2RDBMS");
+        let mut edited = r.latest(&id).unwrap();
+        edited.overview = "Schemas, regenerated incrementally.".to_string();
+        r.revise("a", &id, edited).unwrap();
+        r.comment("a", &id, "2014-01-01", "status-only traffic")
+            .unwrap();
+
+        let before = entries_tokenized();
+        for event in r.drain_events() {
+            idx.apply(&event);
+        }
+        assert_eq!(
+            entries_tokenized() - before,
+            1,
+            "one revise = one entry re-tokenised; the comment is free"
+        );
+        assert_eq!(idx, SearchIndex::build(&r.snapshot()));
     }
 
     #[test]

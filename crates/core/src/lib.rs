@@ -15,7 +15,9 @@
 //!   of §5.1: registered members may comment, named reviewers approve,
 //!   curators control the repository;
 //! * [`repo`] — the repository: stable identifiers, full version history,
-//!   permission-checked workflows;
+//!   permission-checked workflows over a lock-striped sharded store;
+//! * [`event`] — the typed change-event stream every mutation records;
+//!   downstream layers consume these deltas instead of whole snapshots;
 //! * [`cite`] — citation formats for entries and the repository (§5.2);
 //! * [`index`] — keyword search with type/property filters (§5.2
 //!   findability);
@@ -26,16 +28,21 @@
 //!   transformation built on `bx-theory`;
 //! * [`manuscript`] — the archival "citable technical report" export of
 //!   §5.2;
-//! * [`persist`] — the wiki-markup-independent persistent form (JSON).
+//! * [`persist`] — the wiki-markup-independent persistent form (JSON);
+//! * [`storage`] — pluggable persistence behind [`storage::StorageBackend`]:
+//!   in-memory, legacy JSON file, and an append-only event log with
+//!   snapshot+replay recovery.
 
 pub mod cite;
 pub mod curation;
 pub mod error;
+pub mod event;
 pub mod index;
 pub mod manuscript;
 pub mod persist;
 pub mod principal;
 pub mod repo;
+pub mod storage;
 pub mod template;
 pub mod version;
 pub mod wiki;
@@ -43,8 +50,10 @@ pub mod wiki_bx;
 
 pub use curation::EntryStatus;
 pub use error::RepoError;
+pub use event::RepoEvent;
 pub use principal::{Principal, Role};
 pub use repo::{EntryId, Repository};
+pub use storage::{EventLogBackend, JsonFileBackend, MemoryBackend, StorageBackend};
 pub use template::{
     Artefact, ArtefactKind, Comment, EntryBuilder, ExampleEntry, ExampleType, Reference,
     RestorationSpec, VariantPoint,

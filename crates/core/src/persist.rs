@@ -5,6 +5,10 @@
 //! Snapshots serialise to JSON via serde. JSON is the archival format;
 //! the wiki markup of [`crate::wiki`] is the presentation format; the bx
 //! of [`crate::wiki_bx`] keeps the two consistent.
+//!
+//! These free functions are the whole-snapshot convenience layer; the
+//! pluggable, delta-aware persistence story lives in [`crate::storage`]
+//! (whose [`crate::storage::JsonFileBackend`] writes exactly this format).
 
 use std::path::Path;
 
@@ -82,14 +86,16 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let dir = std::env::temp_dir().join("bx-core-persist-test");
+        // Per-process path: parallel test runs (or stale files from an
+        // aborted one) must not collide.
+        let dir = std::env::temp_dir().join(format!("bx-core-persist-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("snapshot.json");
         let r = repo();
         save_file(&r, &path).unwrap();
         let r2 = load_file(&path).unwrap();
         assert_eq!(r2.snapshot(), r.snapshot());
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,488 @@
+//! Pluggable persistence: the [`StorageBackend`] trait and its three
+//! implementations.
+//!
+//! * [`MemoryBackend`] — snapshot + event log held in memory; the unit-test
+//!   and caching substrate.
+//! * [`JsonFileBackend`] — one pretty-printed JSON snapshot file, the
+//!   format [`crate::persist`] has always written (archives stay
+//!   readable). Recording deltas rewrites the whole file, so its cost
+//!   scales with repository size — it is the compatibility backend.
+//! * [`EventLogBackend`] — an append-only generation log of [`RepoEvent`]
+//!   lines next to an optional checkpoint manifest; recording a delta
+//!   batch is O(batch), and recovery is checkpoint + replay. This is the
+//!   scaling backend.
+//!
+//! All three observe the same contract, checked in
+//! `tests/storage_backends.rs` and property-tested in
+//! `tests/delta_equivalence.rs`: after `record`ing a repository's drained
+//! events (or `checkpoint`ing its snapshot), `restore` returns exactly
+//! [`crate::repo::Repository::snapshot`].
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RepoError;
+use crate::event::{replay, RepoEvent};
+use crate::persist;
+use crate::repo::RepositorySnapshot;
+
+/// Where a repository's state lives between processes (or merely between
+/// drops). Deltas arrive in batches via `record`; `checkpoint` compacts;
+/// `restore` recovers the latest state.
+pub trait StorageBackend {
+    /// A short human-readable backend name ("memory", "json-file", …).
+    fn kind(&self) -> &'static str;
+
+    /// Durably append a batch of deltas (typically
+    /// [`crate::repo::Repository::drain_events`] output).
+    fn record(&mut self, events: &[RepoEvent]) -> Result<(), RepoError>;
+
+    /// Write a full checkpoint of `snapshot`, superseding recorded deltas.
+    fn checkpoint(&mut self, snapshot: &RepositorySnapshot) -> Result<(), RepoError>;
+
+    /// Recover the latest persisted state.
+    fn restore(&self) -> Result<RepositorySnapshot, RepoError>;
+}
+
+fn io_err(e: std::io::Error) -> RepoError {
+    RepoError::Persist(e.to_string())
+}
+
+/// In-memory backend: a base snapshot plus the deltas since.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryBackend {
+    base: RepositorySnapshot,
+    log: Vec<RepoEvent>,
+}
+
+impl MemoryBackend {
+    /// A fresh, empty backend.
+    pub fn new() -> MemoryBackend {
+        MemoryBackend::default()
+    }
+
+    /// How many deltas are pending since the last checkpoint.
+    pub fn pending_events(&self) -> usize {
+        self.log.len()
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn kind(&self) -> &'static str {
+        "memory"
+    }
+
+    fn record(&mut self, events: &[RepoEvent]) -> Result<(), RepoError> {
+        self.log.extend_from_slice(events);
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, snapshot: &RepositorySnapshot) -> Result<(), RepoError> {
+        self.base = snapshot.clone();
+        self.log.clear();
+        Ok(())
+    }
+
+    fn restore(&self) -> Result<RepositorySnapshot, RepoError> {
+        Ok(replay(self.base.clone(), &self.log))
+    }
+}
+
+/// The legacy single-file JSON backend: exactly the format
+/// [`persist::save_file`] writes, so existing archives load unchanged.
+#[derive(Debug, Clone)]
+pub struct JsonFileBackend {
+    path: PathBuf,
+}
+
+impl JsonFileBackend {
+    /// Persist to (and restore from) `path`.
+    pub fn new(path: impl Into<PathBuf>) -> JsonFileBackend {
+        JsonFileBackend { path: path.into() }
+    }
+
+    /// The snapshot file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl StorageBackend for JsonFileBackend {
+    fn kind(&self) -> &'static str {
+        "json-file"
+    }
+
+    /// A snapshot file has no incremental representation: fold the deltas
+    /// into the current state and rewrite the whole file.
+    fn record(&mut self, events: &[RepoEvent]) -> Result<(), RepoError> {
+        let base = if self.path.exists() {
+            self.restore()?
+        } else {
+            RepositorySnapshot::empty("")
+        };
+        self.checkpoint(&replay(base, events))
+    }
+
+    fn checkpoint(&mut self, snapshot: &RepositorySnapshot) -> Result<(), RepoError> {
+        std::fs::write(&self.path, persist::to_json(snapshot)?).map_err(io_err)
+    }
+
+    fn restore(&self) -> Result<RepositorySnapshot, RepoError> {
+        let json = std::fs::read_to_string(&self.path).map_err(io_err)?;
+        persist::from_json(&json)
+    }
+}
+
+/// The checkpoint manifest an [`EventLogBackend`] persists: the base
+/// state plus the name of the generation log file its deltas live in.
+/// Keeping both in one file makes the manifest rename the single atomic
+/// commit point of a checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Manifest {
+    /// Log file (relative to the backend directory) this base replays.
+    log: String,
+    /// The checkpointed base state.
+    state: RepositorySnapshot,
+}
+
+/// Append-only event-log backend: a generation log file (`events-<n>.jsonl`,
+/// one serialised [`RepoEvent`] per line) beside an optional
+/// `checkpoint.json` manifest. Recording appends (fsynced); checkpointing
+/// writes a new manifest pointing at a fresh empty log generation (one
+/// atomic rename of the fsynced manifest is the commit point, so a crash
+/// at any step leaves a state `restore` recovers exactly); recovery is
+/// snapshot + replay, tolerating a torn final line from an append cut
+/// short mid-write.
+///
+/// The backend assumes a single writer per directory (the current log
+/// generation is cached at `open` and only advanced by this instance's
+/// own `checkpoint`); concurrent readers are fine.
+#[derive(Debug, Clone)]
+pub struct EventLogBackend {
+    dir: PathBuf,
+    /// Current generation's log file name, relative to `dir`.
+    log: String,
+}
+
+impl EventLogBackend {
+    /// Open (creating the directory if needed) an event log under `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<EventLogBackend, RepoError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(io_err)?;
+        let log = match Self::read_manifest_in(&dir)? {
+            Some(manifest) => manifest.log,
+            None => "events-0.jsonl".to_string(),
+        };
+        Ok(EventLogBackend { dir, log })
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("checkpoint.json")
+    }
+
+    fn read_manifest_in(dir: &Path) -> Result<Option<Manifest>, RepoError> {
+        let path = dir.join("checkpoint.json");
+        if !path.exists() {
+            return Ok(None);
+        }
+        let json = std::fs::read_to_string(path).map_err(io_err)?;
+        serde_json::from_str(&json)
+            .map(Some)
+            .map_err(|e| RepoError::Persist(format!("corrupt checkpoint manifest: {e}")))
+    }
+
+    fn log_path(&self) -> PathBuf {
+        self.dir.join(&self.log)
+    }
+
+    /// The intact event lines of a generation log. A final line missing
+    /// its terminating newline is a torn append (the process died
+    /// mid-write) and is dropped; a complete line that fails to parse is
+    /// real corruption and surfaces as an error.
+    fn read_log_file(path: &Path) -> Result<Vec<RepoEvent>, RepoError> {
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let text = std::fs::read_to_string(path).map_err(io_err)?;
+        let mut events = Vec::new();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let torn_tail = !text.is_empty() && !text.ends_with('\n');
+        for (i, line) in lines.iter().enumerate() {
+            match serde_json::from_str::<RepoEvent>(line) {
+                Ok(event) => events.push(event),
+                Err(_) if torn_tail && i + 1 == lines.len() => break,
+                Err(e) => return Err(RepoError::Persist(format!("corrupt event log line: {e}"))),
+            }
+        }
+        Ok(events)
+    }
+
+    /// How many deltas sit in the log beyond the last checkpoint.
+    pub fn pending_events(&self) -> Result<usize, RepoError> {
+        Ok(Self::read_log_file(&self.log_path())?.len())
+    }
+}
+
+impl StorageBackend for EventLogBackend {
+    fn kind(&self) -> &'static str {
+        "event-log"
+    }
+
+    fn record(&mut self, events: &[RepoEvent]) -> Result<(), RepoError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut lines = String::new();
+        for event in events {
+            // Compact JSON keeps each event on one line (newlines inside
+            // strings are escaped by the serialiser).
+            lines.push_str(
+                &serde_json::to_string(event)
+                    .map_err(|e| RepoError::Persist(format!("cannot serialise event: {e}")))?,
+            );
+            lines.push('\n');
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.log_path())
+            .map_err(io_err)?;
+        file.write_all(lines.as_bytes()).map_err(io_err)?;
+        // "Durably append" means surviving power loss, not just a process
+        // crash: flush the page cache before reporting success.
+        file.sync_all().map_err(io_err)
+    }
+
+    /// Crash-safe compaction. The new manifest names a *fresh* log
+    /// generation, so the manifest rename is the single commit point:
+    /// dying before it leaves the old manifest + old log (the
+    /// pre-checkpoint state, fully replayable); dying after it leaves the
+    /// new manifest whose log is empty or absent (exactly the
+    /// checkpointed state). The superseded generation's log is removed
+    /// opportunistically afterwards.
+    fn checkpoint(&mut self, snapshot: &RepositorySnapshot) -> Result<(), RepoError> {
+        let old_log = self.log.clone();
+        let generation: u64 = old_log
+            .strip_prefix("events-")
+            .and_then(|s| s.strip_suffix(".jsonl"))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let new_log = format!("events-{}.jsonl", generation + 1);
+        let manifest = Manifest {
+            log: new_log.clone(),
+            state: snapshot.clone(),
+        };
+        let json = serde_json::to_string(&manifest)
+            .map_err(|e| RepoError::Persist(format!("cannot serialise manifest: {e}")))?;
+        let tmp = self.dir.join("checkpoint.json.tmp");
+        {
+            let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+            file.write_all(json.as_bytes()).map_err(io_err)?;
+            // The rename must not reach disk before the contents do, or a
+            // power loss could publish an empty/partial manifest.
+            file.sync_all().map_err(io_err)?;
+        }
+        std::fs::rename(&tmp, self.manifest_path()).map_err(io_err)?;
+        // Persist the rename itself (directory entry); best-effort since
+        // not every platform lets a directory be fsynced.
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            d.sync_all().ok();
+        }
+        self.log = new_log;
+        // Past the commit point: the old generation is garbage now.
+        std::fs::remove_file(self.dir.join(old_log)).ok();
+        Ok(())
+    }
+
+    /// Recover from the on-disk manifest, replaying the log generation
+    /// *the manifest names* — so reads are consistent even if a foreign
+    /// writer advanced the generation behind this instance's back.
+    fn restore(&self) -> Result<RepositorySnapshot, RepoError> {
+        let (base, log) = match Self::read_manifest_in(&self.dir)? {
+            Some(manifest) => (manifest.state, manifest.log),
+            None => (RepositorySnapshot::empty(""), self.log.clone()),
+        };
+        Ok(replay(base, &Self::read_log_file(&self.dir.join(log))?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principal::Principal;
+    use crate::repo::Repository;
+    use crate::template::{ExampleEntry, ExampleType};
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "bx-storage-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        // Pre-clean: a reused PID after an aborted run must not leak a
+        // stale state into the test.
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn entry(title: &str) -> ExampleEntry {
+        ExampleEntry::builder(title)
+            .of_type(ExampleType::Precise)
+            .overview("O.")
+            .models("M.")
+            .consistency("C.")
+            .restoration("F.", "B.")
+            .discussion("D.")
+            .author("alice")
+            .build()
+            .unwrap()
+    }
+
+    fn busy_repository() -> Repository {
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        r.register(Principal::member("bob")).unwrap();
+        r.grant_role("c", "bob", crate::principal::Role::Reviewer)
+            .unwrap();
+        let id = r.contribute("alice", entry("COMPOSERS")).unwrap();
+        r.comment("bob", &id, "2014-03-28", "Nice.").unwrap();
+        r.request_review("alice", &id).unwrap();
+        r.approve("bob", &id).unwrap();
+        r.contribute("alice", entry("DATES")).unwrap();
+        r
+    }
+
+    #[test]
+    fn memory_backend_replays_deltas() {
+        let r = busy_repository();
+        let mut backend = MemoryBackend::new();
+        backend.record(&r.drain_events()).unwrap();
+        assert_eq!(backend.kind(), "memory");
+        assert!(backend.pending_events() > 0);
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+        // Checkpoint compacts without changing the restored state.
+        backend.checkpoint(&r.snapshot()).unwrap();
+        assert_eq!(backend.pending_events(), 0);
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+    }
+
+    #[test]
+    fn json_file_backend_keeps_the_legacy_format() {
+        let dir = unique_dir("json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let r = busy_repository();
+        let mut backend = JsonFileBackend::new(dir.join("repo.json"));
+        backend.record(&r.drain_events()).unwrap();
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+        // The file is byte-identical to what persist has always written —
+        // and loads through the legacy loader.
+        let on_disk = std::fs::read_to_string(backend.path()).unwrap();
+        assert_eq!(on_disk, persist::to_json(&r.snapshot()).unwrap());
+        let legacy = persist::load_file(backend.path()).unwrap();
+        assert_eq!(legacy.snapshot(), r.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn event_log_backend_appends_and_recovers() {
+        let dir = unique_dir("log");
+        let r = busy_repository();
+        let mut backend = EventLogBackend::open(&dir).unwrap();
+
+        // Record in two batches, as a live system would.
+        let events = r.drain_events();
+        let (a, b) = events.split_at(events.len() / 2);
+        backend.record(a).unwrap();
+        backend.record(b).unwrap();
+        assert_eq!(backend.pending_events().unwrap(), events.len());
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+
+        // A reopened backend (fresh process) sees the same state.
+        let reopened = EventLogBackend::open(&dir).unwrap();
+        assert_eq!(reopened.restore().unwrap(), r.snapshot());
+
+        // Checkpointing compacts the log; recovery switches to
+        // snapshot + (empty) replay.
+        backend.checkpoint(&r.snapshot()).unwrap();
+        assert_eq!(backend.pending_events().unwrap(), 0);
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+
+        // Deltas after the checkpoint replay on top of it.
+        r.comment(
+            "alice",
+            &crate::repo::EntryId::from_title("DATES"),
+            "2014-05-01",
+            "post-checkpoint",
+        )
+        .unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        assert_eq!(backend.pending_events().unwrap(), 1);
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_log_lines_report_persist_errors() {
+        let dir = unique_dir("corrupt");
+        let backend = EventLogBackend::open(&dir).unwrap();
+        // A complete (newline-terminated) unparseable line is corruption.
+        std::fs::write(dir.join("events-0.jsonl"), "{ not an event\n").unwrap();
+        assert!(matches!(backend.restore(), Err(RepoError::Persist(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_final_append_recovers_the_intact_prefix() {
+        let dir = unique_dir("torn");
+        let r = busy_repository();
+        let mut backend = EventLogBackend::open(&dir).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        let expected = backend.restore().unwrap();
+        // Simulate a crash mid-append: a final line with no newline.
+        let log = dir.join("events-0.jsonl");
+        let mut text = std::fs::read_to_string(&log).unwrap();
+        text.push_str("{\"Commented\":{\"id\":\"co");
+        std::fs::write(&log, text).unwrap();
+        assert_eq!(
+            backend.restore().unwrap(),
+            expected,
+            "the torn tail is dropped, the intact prefix recovered"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_previous_generation_log_is_ignored_after_checkpoint() {
+        // Simulate dying in the checkpoint window after the manifest
+        // rename but before the old generation's log is unlinked: the
+        // manifest points at the new (absent) log, so the stale events
+        // must not be double-applied.
+        let dir = unique_dir("stale");
+        let r = busy_repository();
+        let mut backend = EventLogBackend::open(&dir).unwrap();
+        let events = r.drain_events();
+        backend.record(&events).unwrap();
+        backend.checkpoint(&r.snapshot()).unwrap();
+        // Resurrect the superseded generation file by hand.
+        let mut stale = String::new();
+        for e in &events {
+            stale.push_str(&serde_json::to_string(e).unwrap());
+            stale.push('\n');
+        }
+        std::fs::write(dir.join("events-0.jsonl"), stale).unwrap();
+        assert_eq!(backend.pending_events().unwrap(), 0);
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_json_file_reports_persist_error() {
+        let backend = JsonFileBackend::new("/nonexistent/definitely/missing.json");
+        assert!(matches!(backend.restore(), Err(RepoError::Persist(_))));
+    }
+}

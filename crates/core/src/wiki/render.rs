@@ -8,7 +8,22 @@
 //! — the repository's validation path never produces such entries, and
 //! [`render_entry`] asserts this in debug builds.
 
+use std::cell::Cell;
+
 use crate::template::ExampleEntry;
+
+thread_local! {
+    /// Test/bench instrumentation: how many entries this thread has
+    /// rendered. Lets tests assert that the dirty-tracked sync path really
+    /// does skip untouched pages.
+    static ENTRIES_RENDERED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of entries rendered by this thread so far. Instrumentation for
+/// tests and benches of [`crate::wiki_bx::WikiBx::sync_changed`].
+pub fn entries_rendered() -> u64 {
+    ENTRIES_RENDERED.with(Cell::get)
+}
 
 fn push_section(out: &mut String, heading: &str, body: &str) {
     out.push_str("+++ ");
@@ -24,6 +39,7 @@ fn push_section(out: &mut String, heading: &str, body: &str) {
 
 /// Render an entry to canonical wiki markup.
 pub fn render_entry(entry: &ExampleEntry) -> String {
+    ENTRIES_RENDERED.with(|c| c.set(c.get() + 1));
     let mut out = String::with_capacity(2048);
 
     out.push_str("++ ");

@@ -95,6 +95,33 @@ impl WikiBx {
 }
 
 impl WikiBx {
+    /// Dirty-tracked forward sync: bring only the pages of `dirty` entries
+    /// up to date, in place. Entries present in the snapshot are
+    /// re-rendered; dirty ids absent from the snapshot have their pages
+    /// deleted. Untouched pages are never re-rendered (or even looked at).
+    ///
+    /// When `dirty` covers every entry whose record changed since `site`
+    /// was last consistent with the repository, the result equals the
+    /// total [`Bx::fwd`] — the dirty set is exactly what
+    /// [`crate::event::dirty_set`] extracts from the event stream
+    /// ([`crate::repo::Repository::drain_events`]). The total `fwd`/`bwd`
+    /// remain the law-checked semantics; this is the scaling fast path.
+    pub fn sync_changed(
+        &self,
+        snapshot: &RepositorySnapshot,
+        site: &mut WikiSite,
+        dirty: &std::collections::BTreeSet<EntryId>,
+    ) {
+        for id in dirty {
+            match snapshot.records.get(id) {
+                Some(record) => site.set_page(&id.page_name(), render_entry(record.latest())),
+                None => {
+                    site.delete_page(&id.page_name());
+                }
+            }
+        }
+    }
+
     /// Full publication: forward-sync every entry page *and* regenerate
     /// the `examples:home` index and the `glossary` page. The extra pages
     /// live outside the bx's consistency relation (which governs entry
@@ -281,6 +308,65 @@ mod tests {
         let site2 = bx.publish(&snap, &site);
         assert_eq!(site2.revisions("examples:home").len(), 1);
         assert_eq!(site2, site);
+    }
+
+    #[test]
+    fn sync_changed_matches_fwd_on_event_dirty_sets() {
+        let bx = WikiBx::new();
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        for t in ["COMPOSERS", "UML2RDBMS", "DATES", "FAMILIES"] {
+            r.contribute("alice", entry(t, "O.")).unwrap();
+        }
+        let mut site = bx.fwd(&r.snapshot(), &WikiSite::new());
+        r.drain_events(); // site already reflects these
+
+        // One revise + one comment; the comment changes the rendered page
+        // too (comments are part of the markup), so both events dirty
+        // their entries.
+        let composers = EntryId::from_title("COMPOSERS");
+        let mut edited = r.latest(&composers).unwrap();
+        edited.overview = "Revised overview.".to_string();
+        r.revise("alice", &composers, edited).unwrap();
+        let dates = EntryId::from_title("DATES");
+        r.comment("alice", &dates, "2014-04-01", "A remark.")
+            .unwrap();
+
+        let dirty = crate::event::dirty_set(&r.drain_events());
+        let snap = r.snapshot();
+        assert_eq!(dirty.len(), 2);
+
+        let before = site.clone();
+        let rendered_before = crate::wiki::render::entries_rendered();
+        bx.sync_changed(&snap, &mut site, &dirty);
+        assert_eq!(
+            crate::wiki::render::entries_rendered() - rendered_before,
+            2,
+            "only the two dirty pages were re-rendered"
+        );
+        assert_eq!(site, bx.fwd(&snap, &before));
+        assert!(bx.consistent(&snap, &site));
+        assert_eq!(
+            site.revisions("examples:composers").len(),
+            2,
+            "the revised page gained exactly one revision"
+        );
+        assert_eq!(site.revisions("examples:uml2rdbms").len(), 1);
+    }
+
+    #[test]
+    fn sync_changed_deletes_pages_of_removed_entries() {
+        let bx = WikiBx::new();
+        let snap = snapshot_with(&[("COMPOSERS", "O."), ("UML2RDBMS", "O.")]);
+        let mut site = bx.fwd(&snap, &WikiSite::new());
+        let mut smaller = snap.clone();
+        let gone = EntryId::from_title("UML2RDBMS");
+        smaller.records.remove(&gone);
+        let dirty = [gone].into_iter().collect();
+        let before = site.clone();
+        bx.sync_changed(&smaller, &mut site, &dirty);
+        assert!(site.current("examples:uml2rdbms").is_none());
+        assert_eq!(site, bx.fwd(&smaller, &before));
     }
 
     #[test]

@@ -8,10 +8,14 @@
 //! * [`harness`] — glue turning generated models into
 //!   [`bx_theory::Samples`] and asserting law bundles;
 //! * [`faults`] — deliberately broken bx wrappers used to verify that the
-//!   law checkers actually catch violations (testing the testers).
+//!   law checkers actually catch violations (testing the testers);
+//! * [`ops`] — random repository mutation scripts, driving the delta
+//!   equivalence properties (incremental index ≡ rebuild, replay ≡
+//!   snapshot restore).
 
 pub mod faults;
 pub mod harness;
+pub mod ops;
 pub mod strategies;
 
 pub use faults::{BreakCorrectFwd, BreakHippocraticBwd, BreakHippocraticFwd};

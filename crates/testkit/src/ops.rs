@@ -1,0 +1,223 @@
+//! Random repository mutation scripts: the generator behind the delta
+//! equivalence property tests.
+//!
+//! A [`RepoOp`] is one intended curation action; [`apply_ops`] drives a
+//! live [`Repository`] through a script of them. Ops are *intent*, not
+//! guaranteed effects — a script may revise an entry that was never
+//! contributed or approve one that is not under review. Such ops fail the
+//! repository's permission/status checks, record no event, and are
+//! skipped; this is deliberate, so scripts also exercise the invariant
+//! that *failed* mutations leave the delta stream untouched.
+
+use proptest::prelude::*;
+
+use bx_core::{EntryId, ExampleEntry, ExampleType, Principal, Repository};
+
+/// The fixed cast a script plays with (all registered up front; "bob"
+/// holds the Reviewer role so approvals can succeed).
+pub const CURATOR: &str = "curator";
+/// The contributing member every entry is authored by.
+pub const AUTHOR: &str = "alice";
+/// The reviewer (approvals must come from a non-author).
+pub const REVIEWER: &str = "bob";
+
+/// The titles scripts draw entry targets from. Small on purpose: ops must
+/// collide on entries often enough to exercise revise-after-contribute,
+/// duplicate contributions and deep comment/version histories.
+pub const TITLES: &[&str] = &[
+    "COMPOSERS",
+    "UML2RDBMS",
+    "DATES",
+    "FAMILIES",
+    "SPREADSHEET VALUES",
+];
+
+/// One intended repository mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepoOp {
+    /// `contribute` entry `title` (fails if the slug already exists).
+    Contribute {
+        /// Target title from [`TITLES`].
+        title: String,
+        /// Discussion text, varied so versions differ.
+        discussion: String,
+    },
+    /// `revise` the entry (fails if absent).
+    Revise {
+        /// Target title.
+        title: String,
+        /// Replacement overview text.
+        overview: String,
+    },
+    /// `comment` on the entry's latest version (fails if absent).
+    Comment {
+        /// Target title.
+        title: String,
+        /// Comment body.
+        text: String,
+    },
+    /// `request_review` (fails unless provisional).
+    RequestReview {
+        /// Target title.
+        title: String,
+    },
+    /// `approve` as the reviewer (fails unless under review).
+    Approve {
+        /// Target title.
+        title: String,
+    },
+    /// `request_changes` as the reviewer (fails unless under review).
+    RequestChanges {
+        /// Target title.
+        title: String,
+    },
+}
+
+/// A fresh, pre-cleaned, per-process-and-call temp directory — the one
+/// `unique_dir` helper shared by the storage-backend tests (a reused PID
+/// after an aborted run must not leak stale state into a test).
+pub fn unique_temp_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bx-test-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir creates");
+    dir
+}
+
+/// A template-valid entry for `title`.
+pub fn valid_entry(title: &str, discussion: &str) -> ExampleEntry {
+    ExampleEntry::builder(title)
+        .of_type(ExampleType::Precise)
+        .overview("A generated overview.")
+        .models("Two generated model spaces.")
+        .consistency("A generated consistency relation.")
+        .restoration(
+            "Generated forward restoration.",
+            "Generated backward restoration.",
+        )
+        .discussion(discussion)
+        .author(AUTHOR)
+        .build()
+        .expect("generated entries are template-valid")
+}
+
+/// A repository with the script's cast registered, recording events from
+/// the very first (`Founded`) delta.
+pub fn scripted_repository() -> Repository {
+    let r = Repository::found("bx-prop", vec![Principal::curator(CURATOR)]);
+    r.register(Principal::member(AUTHOR)).expect("fresh cast");
+    r.register(Principal::member(REVIEWER)).expect("fresh cast");
+    r.grant_role(CURATOR, REVIEWER, bx_core::Role::Reviewer)
+        .expect("curator grants");
+    r
+}
+
+/// Apply one op, ignoring repository-level rejections (wrong status,
+/// duplicate, unknown entry): rejected ops record no event, which is part
+/// of what the equivalence properties check.
+pub fn apply_op(repo: &Repository, op: &RepoOp) {
+    match op {
+        RepoOp::Contribute { title, discussion } => {
+            let _ = repo.contribute(AUTHOR, valid_entry(title, discussion));
+        }
+        RepoOp::Revise { title, overview } => {
+            let id = EntryId::from_title(title);
+            if let Ok(mut entry) = repo.latest(&id) {
+                entry.overview = overview.clone();
+                let _ = repo.revise(AUTHOR, &id, entry);
+            }
+        }
+        RepoOp::Comment { title, text } => {
+            let _ = repo.comment(REVIEWER, &EntryId::from_title(title), "2014-03-28", text);
+        }
+        RepoOp::RequestReview { title } => {
+            let _ = repo.request_review(AUTHOR, &EntryId::from_title(title));
+        }
+        RepoOp::Approve { title } => {
+            let _ = repo.approve(REVIEWER, &EntryId::from_title(title));
+        }
+        RepoOp::RequestChanges { title } => {
+            let _ = repo.request_changes(REVIEWER, &EntryId::from_title(title));
+        }
+    }
+}
+
+/// Run a whole script.
+pub fn apply_ops(repo: &Repository, ops: &[RepoOp]) {
+    for op in ops {
+        apply_op(repo, op);
+    }
+}
+
+fn arb_title() -> impl Strategy<Value = String> {
+    prop::sample::select(TITLES.to_vec()).prop_map(str::to_string)
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    "[a-z]{4,12}".prop_map(|w| format!("Generated text about {w}."))
+}
+
+/// One random mutation op.
+pub fn arb_op() -> impl Strategy<Value = RepoOp> {
+    prop_oneof![
+        (arb_title(), arb_text())
+            .prop_map(|(title, discussion)| RepoOp::Contribute { title, discussion }),
+        (arb_title(), arb_text()).prop_map(|(title, overview)| RepoOp::Revise { title, overview }),
+        (arb_title(), arb_text()).prop_map(|(title, text)| RepoOp::Comment { title, text }),
+        arb_title().prop_map(|title| RepoOp::RequestReview { title }),
+        arb_title().prop_map(|title| RepoOp::Approve { title }),
+        arb_title().prop_map(|title| RepoOp::RequestChanges { title }),
+    ]
+}
+
+/// A random mutation script of up to `max` ops.
+pub fn arb_ops(max: usize) -> impl Strategy<Value = Vec<RepoOp>> {
+    prop::collection::vec(arb_op(), 0..=max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_drive_real_state() {
+        let repo = scripted_repository();
+        apply_ops(
+            &repo,
+            &[
+                RepoOp::Contribute {
+                    title: "COMPOSERS".into(),
+                    discussion: "First.".into(),
+                },
+                RepoOp::Revise {
+                    title: "COMPOSERS".into(),
+                    overview: "Second.".into(),
+                },
+                RepoOp::RequestReview {
+                    title: "COMPOSERS".into(),
+                },
+                RepoOp::Approve {
+                    title: "COMPOSERS".into(),
+                },
+                // Rejected: not under review any more.
+                RepoOp::Approve {
+                    title: "COMPOSERS".into(),
+                },
+                // Rejected: never contributed.
+                RepoOp::Comment {
+                    title: "DATES".into(),
+                    text: "Ghost.".into(),
+                },
+            ],
+        );
+        let id = EntryId::from_title("COMPOSERS");
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.versions(&id).unwrap().len(), 3);
+        assert_eq!(repo.status(&id).unwrap(), bx_core::EntryStatus::Approved);
+    }
+}

@@ -1,0 +1,61 @@
+//! The acceptance check for the delta-driven core at benchmark scale:
+//! after a single-entry revise of `scaled_repository(90)` (103 entries),
+//! the incremental paths touch exactly one entry — no untouched entry is
+//! re-tokenised, no untouched page is re-rendered — while landing on
+//! exactly the states the full rebuilds produce.
+
+use bx::core::event::dirty_set;
+use bx::core::index::{entries_tokenized, SearchIndex};
+use bx::core::wiki::render::entries_rendered;
+use bx::core::wiki_bx::WikiBx;
+use bx::core::{EntryId, WikiSite};
+use bx::theory::Bx;
+use bx_bench::scaled_repository;
+
+#[test]
+fn single_revise_touches_one_entry_at_scale_90() {
+    let repo = scaled_repository(90);
+    assert_eq!(repo.len(), 103);
+    let bx = WikiBx::new();
+    let mut index = SearchIndex::build(&repo.snapshot());
+    let mut site = bx.fwd(&repo.snapshot(), &WikiSite::new());
+    repo.drain_events(); // construction history is already materialized
+
+    let id = EntryId::from_title("SYNTH-00042");
+    let mut entry = repo.latest(&id).expect("synthetic entry exists");
+    entry.discussion = "Revised once, at scale.".to_string();
+    repo.revise("bench-bot", &id, entry)
+        .expect("author revises");
+
+    let events = repo.drain_events();
+    let snap = repo.snapshot();
+    let dirty = dirty_set(&events);
+    assert_eq!(dirty.len(), 1);
+
+    // Incremental index: exactly one entry re-tokenised out of 103.
+    let tokenized_before = entries_tokenized();
+    for event in &events {
+        index.apply(event);
+    }
+    assert_eq!(entries_tokenized() - tokenized_before, 1);
+    assert_eq!(index, SearchIndex::build(&snap), "apply ≡ build");
+
+    // Dirty-tracked wiki sync: exactly one page re-rendered out of 103.
+    let before_site = site.clone();
+    let rendered_before = entries_rendered();
+    bx.sync_changed(&snap, &mut site, &dirty);
+    assert_eq!(entries_rendered() - rendered_before, 1);
+    assert_eq!(site, bx.fwd(&snap, &before_site), "sync_changed ≡ fwd");
+    assert!(bx.consistent(&snap, &site));
+
+    // Revision counts: the touched page gained one revision; every
+    // untouched page kept its single original revision.
+    assert_eq!(site.revisions(&id.page_name()).len(), 2);
+    for other in snap.records.keys().filter(|k| **k != id) {
+        assert_eq!(
+            site.revisions(&other.page_name()).len(),
+            1,
+            "untouched page {other} must not gain revisions"
+        );
+    }
+}

@@ -17,7 +17,11 @@ fn full_repository_json_roundtrip() {
 
 #[test]
 fn file_roundtrip_preserves_everything() {
-    let dir = std::env::temp_dir().join("bx-workspace-persistence-test");
+    // Per-process path: parallel test runs must not collide.
+    let dir = std::env::temp_dir().join(format!(
+        "bx-workspace-persistence-test-{}",
+        std::process::id()
+    ));
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("repo.json");
 
@@ -31,7 +35,7 @@ fn file_roundtrip_preserves_everything() {
     reloaded
         .comment("James Cheney", &id, "2014-05-01", "post-reload comment")
         .expect("accounts survived the round trip");
-    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,0 +1,96 @@
+//! All three `StorageBackend` implementations round-trip the standard
+//! repository — via checkpoint, via pure delta recording, and mixed.
+
+use bx::core::storage::{EventLogBackend, JsonFileBackend, MemoryBackend, StorageBackend};
+use bx::core::{EntryId, Repository};
+use bx::examples::standard_repository;
+use bx_testkit::ops::unique_temp_dir;
+
+#[test]
+fn all_backends_roundtrip_the_standard_repository() {
+    let repo = standard_repository();
+    let events = repo.drain_events();
+    let snapshot = repo.snapshot();
+    assert!(
+        events.len() > snapshot.records.len(),
+        "the standard collection is built through the event-recording API"
+    );
+
+    let json_dir = unique_temp_dir("backends-json");
+    let log_dir = unique_temp_dir("backends-log");
+    let mut backends: Vec<Box<dyn StorageBackend>> = vec![
+        Box::new(MemoryBackend::new()),
+        Box::new(JsonFileBackend::new(json_dir.join("repo.json"))),
+        Box::new(EventLogBackend::open(&log_dir).unwrap()),
+    ];
+
+    for backend in &mut backends {
+        // Delta path: the standard collection's full construction history.
+        backend.record(&events).unwrap();
+        assert_eq!(
+            backend.restore().unwrap(),
+            snapshot,
+            "{} restores the recorded deltas",
+            backend.kind()
+        );
+        // Checkpoint path: compaction changes nothing observable.
+        backend.checkpoint(&snapshot).unwrap();
+        assert_eq!(
+            backend.restore().unwrap(),
+            snapshot,
+            "{} restores its checkpoint",
+            backend.kind()
+        );
+        // The restored state is a live repository again.
+        let revived = Repository::from_snapshot(backend.restore().unwrap());
+        assert_eq!(revived.len(), 13);
+        revived
+            .comment(
+                "James Cheney",
+                &EntryId::from_title("COMPOSERS"),
+                "2014-05-01",
+                "post-restore",
+            )
+            .unwrap();
+    }
+
+    std::fs::remove_dir_all(&json_dir).ok();
+    std::fs::remove_dir_all(&log_dir).ok();
+}
+
+#[test]
+fn event_log_survives_process_style_reopen_between_batches() {
+    let dir = unique_temp_dir("backends-reopen");
+    let repo = standard_repository();
+
+    // First "process": record the construction history and drop the backend.
+    {
+        let mut backend = EventLogBackend::open(&dir).unwrap();
+        backend.record(&repo.drain_events()).unwrap();
+    }
+    // Second "process": recover, keep curating, record the new deltas.
+    {
+        let mut backend = EventLogBackend::open(&dir).unwrap();
+        let recovered = Repository::from_snapshot(backend.restore().unwrap());
+        assert_eq!(recovered.snapshot(), repo.snapshot());
+        recovered
+            .comment(
+                "James Cheney",
+                &EntryId::from_title("DATES"),
+                "2014-05-02",
+                "second process",
+            )
+            .unwrap();
+        backend.record(&recovered.drain_events()).unwrap();
+    }
+    // Third "process": both generations of deltas are there.
+    let backend = EventLogBackend::open(&dir).unwrap();
+    let final_state = backend.restore().unwrap();
+    let dates = &final_state.records[&EntryId::from_title("DATES")];
+    assert!(dates
+        .latest()
+        .comments
+        .iter()
+        .any(|c| c.text == "second process"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -85,7 +85,7 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, shape }
 }
 
-fn ident_at<'a>(tokens: &'a [TokenTree], i: usize) -> Option<&'a str> {
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<&str> {
     // Ident has no accessor for its text; round-trip through Display.
     match tokens.get(i) {
         Some(TokenTree::Ident(id)) => Some(Box::leak(id.to_string().into_boxed_str())),
@@ -210,10 +210,10 @@ fn count_top_level_fields(body: &[TokenTree]) -> usize {
         match t {
             TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
             TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
-            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
-                if idx + 1 < body.len() {
-                    fields += 1;
-                }
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && idx + 1 < body.len() =>
+            {
+                fields += 1;
             }
             _ => {}
         }

@@ -111,7 +111,7 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
 fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     if let Some(width) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(width * depth));
+        out.extend(std::iter::repeat_n(' ', width * depth));
     }
 }
 
