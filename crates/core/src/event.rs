@@ -144,6 +144,33 @@ impl RepoEvent {
     }
 }
 
+/// A push-mode consumer of committed change events.
+///
+/// Sinks registered with [`crate::repo::Repository::subscribe`] receive
+/// every committed [`RepoEvent`] *at mutation time*, while the mutated
+/// shard's (or the account map's) write guard is still held — which is
+/// exactly what makes the delivery order agree with the per-entry
+/// application order. Two rules follow from that delivery point:
+///
+/// * **No re-entrancy.** A sink must not call back into the publishing
+///   `Repository` (it would deadlock on the lock it is being called
+///   under). Hand the event to another thread if repository state is
+///   needed — see [`crate::pipeline::BackgroundWriter`].
+/// * **Be quick or be buffered.** Delivery blocks the mutating caller, so
+///   a slow sink throttles writers on that shard. Sinks that do real work
+///   should enqueue and return (the background writer's bounded channel
+///   is the canonical shape; its backpressure is deliberate).
+///
+/// Events arriving at one sink are totally ordered per entry and per
+/// account; events touching distinct entries may interleave differently
+/// at different sinks, but all such interleavings [`replay`] to the same
+/// state (the events commute).
+pub trait EventSink: Send + Sync {
+    /// Deliver one committed event. Must not call back into the
+    /// publishing repository.
+    fn accept(&self, event: &RepoEvent);
+}
+
 /// Apply one event to snapshot state. Events are replayed in recording
 /// order; an event referring to a missing entry (possible only if a log
 /// was truncated by hand) is ignored rather than panicking.

@@ -114,6 +114,22 @@ impl SearchIndex {
         }
     }
 
+    /// Re-index one entry from its latest version directly, bypassing the
+    /// event stream — the re-base path of [`crate::replica::Replica`],
+    /// which after a primary checkpoint has a target *snapshot* but no
+    /// events for the gap. Equivalent to applying a revise event carrying
+    /// `entry`.
+    pub fn upsert_entry(&mut self, id: &EntryId, entry: &ExampleEntry) {
+        self.upsert(id, entry);
+    }
+
+    /// Retract one entry entirely (no-op if it was never indexed) — the
+    /// counterpart of [`SearchIndex::upsert_entry`] for entries a re-base
+    /// target no longer contains.
+    pub fn remove_entry(&mut self, id: &EntryId) {
+        self.remove(id);
+    }
+
     /// Replace (or first-index) one entry's postings.
     fn upsert(&mut self, id: &EntryId, entry: &ExampleEntry) {
         self.remove(id);

@@ -16,8 +16,15 @@
 //!   curators control the repository;
 //! * [`repo`] — the repository: stable identifiers, full version history,
 //!   permission-checked workflows over a lock-striped sharded store;
-//! * [`event`] — the typed change-event stream every mutation records;
+//! * [`event`] — the typed change-event stream every mutation records,
+//!   pushed at commit time to every subscribed [`event::EventSink`];
 //!   downstream layers consume these deltas instead of whole snapshots;
+//! * [`pipeline`] — the background durability pipeline: a writer thread
+//!   behind a bounded channel drains events into any storage backend,
+//!   with explicit flush and drop-shutdown semantics;
+//! * [`replica`] — read replicas that tail a shipped event-log directory
+//!   and incrementally maintain their own snapshot, search index and
+//!   wiki site;
 //! * [`cite`] — citation formats for entries and the repository (§5.2);
 //! * [`index`] — keyword search with type/property filters (§5.2
 //!   findability);
@@ -40,7 +47,9 @@ pub mod event;
 pub mod index;
 pub mod manuscript;
 pub mod persist;
+pub mod pipeline;
 pub mod principal;
+pub mod replica;
 pub mod repo;
 pub mod storage;
 pub mod template;
@@ -50,13 +59,41 @@ pub mod wiki_bx;
 
 pub use curation::EntryStatus;
 pub use error::RepoError;
-pub use event::RepoEvent;
+pub use event::{EventSink, RepoEvent};
+pub use pipeline::{BackgroundWriter, PipelineConfig, PipelineStats};
 pub use principal::{Principal, Role};
+pub use replica::Replica;
 pub use repo::{EntryId, Repository};
-pub use storage::{EventLogBackend, JsonFileBackend, MemoryBackend, StorageBackend};
+pub use storage::{
+    AutoCompactingEventLog, CompactionPolicy, EventLogBackend, JsonFileBackend, MemoryBackend,
+    StorageBackend,
+};
 pub use template::{
     Artefact, ArtefactKind, Comment, EntryBuilder, ExampleEntry, ExampleType, Reference,
     RestorationSpec, VariantPoint,
 };
 pub use version::Version;
 pub use wiki::WikiSite;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared helpers for bx-core's own unit tests.
+
+    use std::path::PathBuf;
+
+    /// A fresh, pre-cleaned, per-process-and-call temp directory (not
+    /// created — the backends under test create it themselves). Mirrors
+    /// `bx_testkit::ops::unique_temp_dir`, which unit tests here cannot
+    /// use because bx-testkit depends on bx-core.
+    pub(crate) fn unique_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "bx-core-test-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+}

@@ -1,0 +1,472 @@
+//! The background durability pipeline: a writer thread fed by a bounded
+//! channel, draining committed [`RepoEvent`]s into any
+//! [`StorageBackend`].
+//!
+//! [`BackgroundWriter`] is an [`EventSink`]: subscribe it to a
+//! [`crate::repo::Repository`] and persistence leaves the mutating
+//! caller's thread — `contribute`/`revise`/… return as soon as the event
+//! is *enqueued*; the writer thread batches queued events and calls
+//! `StorageBackend::record` off to the side. Three properties define the
+//! pipeline:
+//!
+//! * **Bounded, with backpressure.** The channel holds at most
+//!   [`PipelineConfig::channel_capacity`] events. When it is full,
+//!   `accept` blocks the mutating caller until the writer catches up —
+//!   durability lag is bounded by the channel, never unbounded memory.
+//!   Every such stall is counted ([`PipelineStats::backpressure_waits`]).
+//! * **Explicit flush.** [`BackgroundWriter::flush`] blocks until every
+//!   event enqueued before the call is durably recorded (or the writer
+//!   has failed), surfacing any backend error. Write errors are sticky:
+//!   after one, subsequent events are discarded (counted in
+//!   [`PipelineStats::dropped`]) rather than blocking writers forever,
+//!   and every later `flush`/`shutdown` keeps returning the error.
+//! * **Drop-shutdown.** Dropping the writer (or calling
+//!   [`BackgroundWriter::shutdown`]) drains the queue to the backend and
+//!   joins the thread, so a scope exit cannot lose acknowledged events.
+//!
+//! The backend is moved into the writer thread. For the scaling backend
+//! ([`crate::storage::EventLogBackend`]), wrap it in
+//! [`crate::storage::AutoCompactingEventLog`] first and the pipeline
+//! checkpoints/prunes as it writes.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::error::RepoError;
+use crate::event::{EventSink, RepoEvent};
+use crate::storage::StorageBackend;
+
+/// Default bound on the writer's input channel, in events.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
+
+/// Default maximum events handed to one `StorageBackend::record` call.
+pub const DEFAULT_WRITE_BATCH: usize = 256;
+
+/// Tuning knobs for a [`BackgroundWriter`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Channel bound: how many events may sit between the writers and the
+    /// backend before `accept` applies backpressure.
+    pub channel_capacity: usize,
+    /// Largest batch handed to a single `record` call (amortises per-call
+    /// fsync cost without starving flush waiters).
+    pub write_batch: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            write_batch: DEFAULT_WRITE_BATCH,
+        }
+    }
+}
+
+/// Backpressure and progress accounting, readable at any time via
+/// [`BackgroundWriter::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Events accepted into the channel.
+    pub enqueued: u64,
+    /// Events durably recorded by the backend.
+    pub durable: u64,
+    /// Events discarded because the writer had already failed.
+    pub dropped: u64,
+    /// How many times an `accept` blocked on a full channel.
+    pub backpressure_waits: u64,
+}
+
+/// Everything the producer side and the writer thread share.
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when queue space frees up.
+    not_full: Condvar,
+    /// Signalled when events arrive (or shutdown is requested).
+    not_empty: Condvar,
+    /// Signalled when `durable` advances or the writer fails.
+    progress: Condvar,
+}
+
+struct State {
+    queue: VecDeque<RepoEvent>,
+    capacity: usize,
+    shutdown: bool,
+    /// First backend error, stringified; sticky once set.
+    error: Option<String>,
+    stats: PipelineStats,
+}
+
+/// The background durability pipeline's front end; see the module docs.
+pub struct BackgroundWriter {
+    shared: Arc<Shared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for BackgroundWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("BackgroundWriter")
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+fn lock(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl BackgroundWriter {
+    /// Spawn a writer thread around `backend` with default tuning.
+    pub fn spawn<B: StorageBackend + Send + 'static>(backend: B) -> BackgroundWriter {
+        BackgroundWriter::with_config(backend, PipelineConfig::default())
+    }
+
+    /// Spawn a writer thread around `backend` with explicit tuning.
+    pub fn with_config<B: StorageBackend + Send + 'static>(
+        backend: B,
+        config: PipelineConfig,
+    ) -> BackgroundWriter {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                capacity: config.channel_capacity.max(1),
+                shutdown: false,
+                error: None,
+                stats: PipelineStats::default(),
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            progress: Condvar::new(),
+        });
+        let thread_shared = shared.clone();
+        let batch_max = config.write_batch.max(1);
+        let handle = std::thread::Builder::new()
+            .name("bx-durability".to_string())
+            .spawn(move || writer_loop(thread_shared, backend, batch_max))
+            .expect("the durability writer thread spawns");
+        BackgroundWriter {
+            shared,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Enqueue a batch directly — the backfill path for events that
+    /// happened *before* the writer was subscribed (e.g. the output of
+    /// [`crate::repo::Repository::drain_events`]). Same backpressure and
+    /// error semantics as sink delivery.
+    pub fn enqueue(&self, events: &[RepoEvent]) {
+        for event in events {
+            self.accept(event);
+        }
+    }
+
+    /// Block until every event enqueued before this call is durably
+    /// recorded, then report the writer's health. Any discarded event
+    /// fails the flush: a backend error and a post-shutdown delivery
+    /// both plant a sticky error, so `Ok(())` really means "everything
+    /// accepted so far is on the backend".
+    pub fn flush(&self) -> Result<(), RepoError> {
+        let mut state = lock(&self.shared);
+        let target = state.stats.enqueued;
+        while state.error.is_none() && state.stats.durable + state.stats.dropped < target {
+            state = self
+                .shared
+                .progress
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        match &state.error {
+            Some(e) => Err(RepoError::Persist(e.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Drain the queue, stop the writer thread and join it, returning the
+    /// writer's final health. Idempotent; also run (result ignored) by
+    /// `Drop`.
+    pub fn shutdown(&self) -> Result<(), RepoError> {
+        {
+            let mut state = lock(&self.shared);
+            state.shutdown = true;
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
+        let handle = self.handle.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        match &lock(&self.shared).error {
+            Some(e) => Err(RepoError::Persist(e.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Current progress/backpressure counters.
+    pub fn stats(&self) -> PipelineStats {
+        lock(&self.shared).stats
+    }
+
+    /// Events accepted but not yet durably recorded.
+    pub fn lag(&self) -> u64 {
+        let state = lock(&self.shared);
+        state.stats.enqueued - state.stats.durable - state.stats.dropped
+    }
+}
+
+impl EventSink for BackgroundWriter {
+    fn accept(&self, event: &RepoEvent) {
+        let mut state = lock(&self.shared);
+        // One stall = one count, however many condvar wake-ups it takes
+        // (notify_all wakes every blocked producer; most loop again).
+        if state.queue.len() >= state.capacity && state.error.is_none() && !state.shutdown {
+            state.stats.backpressure_waits += 1;
+        }
+        while state.queue.len() >= state.capacity && state.error.is_none() && !state.shutdown {
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        state.stats.enqueued += 1;
+        if state.error.is_some() || state.shutdown {
+            // A dead writer must not block its producers forever; the loss
+            // is counted, and flush()/shutdown() must report it — so a
+            // drop after a *clean* shutdown plants the sticky error too
+            // (a crashed writer already has one).
+            state.stats.dropped += 1;
+            if state.error.is_none() {
+                state.error = Some("event discarded: writer was already shut down".to_string());
+            }
+            self.shared.progress.notify_all();
+            return;
+        }
+        state.queue.push_back(event.clone());
+        self.shared.not_empty.notify_one();
+    }
+}
+
+impl Drop for BackgroundWriter {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// The writer thread: pop a batch, record it, account for it; on error,
+/// stash the error, discard the queue, and idle until shutdown.
+fn writer_loop<B: StorageBackend>(shared: Arc<Shared>, mut backend: B, batch_max: usize) {
+    loop {
+        let batch: Vec<RepoEvent> = {
+            let mut state = lock(&shared);
+            while state.queue.is_empty() && !state.shutdown {
+                state = shared
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            if state.queue.is_empty() {
+                return; // shutdown with an empty queue: orderly exit
+            }
+            let n = state.queue.len().min(batch_max);
+            let batch = state.queue.drain(..n).collect();
+            shared.not_full.notify_all();
+            batch
+        };
+        let outcome = backend.record(&batch);
+        let mut state = lock(&shared);
+        match outcome {
+            Ok(()) => state.stats.durable += batch.len() as u64,
+            Err(e) => {
+                // The failed batch and everything still queued are lost to
+                // the backend (a durable *prefix* of the batch may exist on
+                // disk; recovery reconciles via the primary's journal).
+                state.stats.dropped += batch.len() as u64;
+                state.stats.dropped += state.queue.len() as u64;
+                state.queue.clear();
+                if state.error.is_none() {
+                    state.error = Some(e.to_string());
+                }
+                shared.not_full.notify_all();
+            }
+        }
+        shared.progress.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principal::Principal;
+    use crate::repo::Repository;
+    use crate::storage::MemoryBackend;
+    use crate::template::{ExampleEntry, ExampleType};
+
+    /// A backend whose state outlives the writer thread, so tests can
+    /// inspect what was durably recorded.
+    #[derive(Clone, Default)]
+    struct SharedMemory(Arc<Mutex<MemoryBackend>>);
+
+    impl StorageBackend for SharedMemory {
+        fn kind(&self) -> &'static str {
+            "shared-memory"
+        }
+        fn record(&mut self, events: &[RepoEvent]) -> Result<(), RepoError> {
+            self.0.lock().unwrap().record(events)
+        }
+        fn checkpoint(
+            &mut self,
+            snapshot: &crate::repo::RepositorySnapshot,
+        ) -> Result<(), RepoError> {
+            self.0.lock().unwrap().checkpoint(snapshot)
+        }
+        fn restore(&self) -> Result<crate::repo::RepositorySnapshot, RepoError> {
+            self.0.lock().unwrap().restore()
+        }
+    }
+
+    /// A backend that fails every write, for sticky-error tests.
+    struct BrokenBackend;
+
+    impl StorageBackend for BrokenBackend {
+        fn kind(&self) -> &'static str {
+            "broken"
+        }
+        fn record(&mut self, _events: &[RepoEvent]) -> Result<(), RepoError> {
+            Err(RepoError::Persist("disk on fire".to_string()))
+        }
+        fn checkpoint(
+            &mut self,
+            _snapshot: &crate::repo::RepositorySnapshot,
+        ) -> Result<(), RepoError> {
+            Err(RepoError::Persist("disk on fire".to_string()))
+        }
+        fn restore(&self) -> Result<crate::repo::RepositorySnapshot, RepoError> {
+            Err(RepoError::Persist("disk on fire".to_string()))
+        }
+    }
+
+    fn entry(title: &str) -> ExampleEntry {
+        ExampleEntry::builder(title)
+            .of_type(ExampleType::Precise)
+            .overview("O.")
+            .models("M.")
+            .consistency("C.")
+            .restoration("F.", "B.")
+            .discussion("D.")
+            .author("alice")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn subscribed_writer_persists_the_live_state() {
+        let storage = SharedMemory::default();
+        let writer = Arc::new(BackgroundWriter::spawn(storage.clone()));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        // Backfill the founding event, then go push-mode.
+        writer.enqueue(&repo.drain_events());
+        repo.subscribe(writer.clone());
+        repo.register(Principal::member("alice")).unwrap();
+        let id = repo.contribute("alice", entry("COMPOSERS")).unwrap();
+        repo.comment("alice", &id, "2014-03-28", "bg").unwrap();
+
+        writer.flush().unwrap();
+        assert_eq!(
+            storage.0.lock().unwrap().restore().unwrap(),
+            repo.snapshot()
+        );
+        let stats = writer.stats();
+        assert_eq!(stats.enqueued, 4);
+        assert_eq!(stats.durable, 4);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(writer.lag(), 0);
+        writer.shutdown().unwrap();
+    }
+
+    #[test]
+    fn drop_drains_the_queue() {
+        let storage = SharedMemory::default();
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        repo.register(Principal::member("alice")).unwrap();
+        repo.contribute("alice", entry("COMPOSERS")).unwrap();
+        {
+            let writer = BackgroundWriter::with_config(
+                storage.clone(),
+                PipelineConfig {
+                    channel_capacity: 2, // force backpressure on the way in
+                    write_batch: 1,
+                },
+            );
+            writer.enqueue(&repo.drain_events());
+            // No flush: Drop must drain.
+        }
+        assert_eq!(
+            storage.0.lock().unwrap().restore().unwrap(),
+            repo.snapshot()
+        );
+    }
+
+    #[test]
+    fn backend_errors_are_sticky_and_do_not_block_producers() {
+        let writer = Arc::new(BackgroundWriter::with_config(
+            BrokenBackend,
+            PipelineConfig {
+                channel_capacity: 2,
+                write_batch: 8,
+            },
+        ));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        repo.subscribe(writer.clone());
+        repo.register(Principal::member("alice")).unwrap();
+        // Far more events than the channel holds: if the dead writer kept
+        // blocking, this loop would hang.
+        let id = repo.contribute("alice", entry("COMPOSERS")).unwrap();
+        for i in 0..16 {
+            repo.comment("alice", &id, "2014-03-28", &format!("c{i}"))
+                .unwrap();
+        }
+        let err = writer.flush().unwrap_err();
+        assert!(matches!(err, RepoError::Persist(ref m) if m.contains("disk on fire")));
+        let stats = writer.stats();
+        assert_eq!(stats.durable, 0);
+        assert!(stats.dropped > 0);
+        assert_eq!(stats.enqueued, stats.dropped);
+        assert!(writer.shutdown().is_err(), "the error stays sticky");
+    }
+
+    #[test]
+    fn events_after_shutdown_fail_the_next_flush() {
+        let storage = SharedMemory::default();
+        let writer = Arc::new(BackgroundWriter::spawn(storage.clone()));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        writer.enqueue(&repo.drain_events());
+        repo.subscribe(writer.clone());
+        writer.shutdown().unwrap();
+        // The repository still holds the sink; this event can no longer
+        // reach the backend and flush must say so rather than lie Ok.
+        repo.register(Principal::member("late")).unwrap();
+        let err = writer.flush().unwrap_err();
+        assert!(matches!(err, RepoError::Persist(ref m) if m.contains("shut down")));
+        assert_eq!(writer.stats().dropped, 1);
+    }
+
+    #[test]
+    fn flush_then_more_events_then_flush_again() {
+        let storage = SharedMemory::default();
+        let writer = Arc::new(BackgroundWriter::spawn(storage.clone()));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        writer.enqueue(&repo.drain_events());
+        repo.subscribe(writer.clone());
+        repo.register(Principal::member("alice")).unwrap();
+        writer.flush().unwrap();
+        let mid = storage.0.lock().unwrap().restore().unwrap();
+        assert_eq!(mid, repo.snapshot());
+        repo.contribute("alice", entry("DATES")).unwrap();
+        writer.flush().unwrap();
+        assert_eq!(
+            storage.0.lock().unwrap().restore().unwrap(),
+            repo.snapshot()
+        );
+    }
+}

@@ -1,0 +1,424 @@
+//! Read replicas: replication by shipping the event log.
+//!
+//! A [`Replica`] tails the directory an [`EventLogBackend`] writes —
+//! locally, over a network file system, or rsynced from the primary —
+//! and incrementally maintains three read-side materializations:
+//!
+//! * a [`RepositorySnapshot`] (the folded state, via
+//!   [`crate::event::apply_event`]),
+//! * a [`SearchIndex`] (via [`SearchIndex::apply`]), and
+//! * the entry pages of a [`WikiSite`] (via [`WikiBx::sync_changed`]
+//!   over the tailed events' dirty set),
+//!
+//! so a fleet of replicas can serve search and wiki reads while the
+//! primary alone takes writes. [`Replica::catch_up`] is cheap to call in
+//! a loop: within a log generation it applies only the events appended
+//! since the last call; when the primary has checkpointed (the manifest
+//! names a new generation), it *re-bases* — adopts the checkpoint state
+//! and patches the index and site for exactly the records that differ.
+//!
+//! The replica is read-only and crash-tolerant the same way recovery is:
+//! a torn final append in the tailed log is ignored until the primary's
+//! next durable write, and a replica that read the log mid-checkpoint
+//! simply re-bases on its next `catch_up`. Convergence with the primary
+//! (snapshot, search results, rendered pages) is property-tested in
+//! `tests/replica_convergence.rs` over random mutation scripts,
+//! including across a simulated writer crash.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use bx_theory::Bx;
+
+use crate::error::RepoError;
+use crate::event::{apply_event, RepoEvent};
+use crate::index::SearchIndex;
+use crate::repo::{EntryId, RepositorySnapshot};
+use crate::storage::EventLogBackend;
+use crate::wiki::WikiSite;
+use crate::wiki_bx::WikiBx;
+
+/// What one [`Replica::catch_up`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CatchUp {
+    /// Events applied from the tailed generation.
+    pub events_applied: usize,
+    /// Whether the replica re-based onto a new checkpoint generation.
+    pub rebased: bool,
+}
+
+/// A read replica of an event-log directory; see the module docs.
+pub struct Replica {
+    dir: PathBuf,
+    bx: WikiBx,
+    snapshot: RepositorySnapshot,
+    index: SearchIndex,
+    site: WikiSite,
+    /// The log generation currently being tailed.
+    generation: String,
+    /// Intact events of that generation already applied.
+    applied: usize,
+    /// Byte offset just past the last applied intact line — where the
+    /// next `catch_up` starts reading, so polling an unchanged log costs
+    /// a metadata check + empty read, not a re-parse of the whole file.
+    offset: u64,
+    /// (mtime, len) of `checkpoint.json` when it was last parsed — the
+    /// manifest embeds a whole snapshot, so polls skip re-parsing it
+    /// until this stamp moves.
+    manifest_stamp: Option<(std::time::SystemTime, u64)>,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("dir", &self.dir)
+            .field("generation", &self.generation)
+            .field("applied", &self.applied)
+            .field("entries", &self.snapshot.records.len())
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Open a replica over `dir` and catch up to the log's current end.
+    /// The directory may be empty (a primary that has not written yet).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Replica, RepoError> {
+        let dir = dir.into();
+        // Stamp before parse: a checkpoint racing this open makes the
+        // first catch_up conservatively re-parse, never go stale.
+        let manifest_stamp = Self::stat_manifest(&dir);
+        let (base, generation) = Self::read_base(&dir)?;
+        let bx = WikiBx::new();
+        let index = SearchIndex::build(&base);
+        let site = bx.fwd(&base, &WikiSite::new());
+        let mut replica = Replica {
+            dir,
+            bx,
+            snapshot: base,
+            index,
+            site,
+            generation,
+            applied: 0,
+            offset: 0,
+            manifest_stamp,
+        };
+        replica.catch_up()?;
+        Ok(replica)
+    }
+
+    fn read_base(dir: &Path) -> Result<(RepositorySnapshot, String), RepoError> {
+        Ok(match EventLogBackend::read_manifest_in(dir)? {
+            Some(manifest) => (manifest.state, manifest.log),
+            None => (RepositorySnapshot::empty(""), "events-0.jsonl".to_string()),
+        })
+    }
+
+    /// Cheap manifest change detector: `checkpoint.json`'s (mtime, len),
+    /// or `None` when it is absent or unstatable. Two checkpoints inside
+    /// one mtime tick with byte-identical length could in principle alias
+    /// — an fsynced write + rename per checkpoint makes that window
+    /// unrealistic, and the cost of a miss is one stale poll, repaired by
+    /// the next manifest change.
+    fn stat_manifest(dir: &Path) -> Option<(std::time::SystemTime, u64)> {
+        let meta = std::fs::metadata(dir.join("checkpoint.json")).ok()?;
+        Some((meta.modified().ok()?, meta.len()))
+    }
+
+    /// The intact events at or after byte `offset` in `path`, plus the
+    /// offset just past the last complete line consumed (a torn trailing
+    /// fragment stays unconsumed for a later call). `offset` always sits
+    /// on a line boundary because it only ever advances past complete
+    /// lines. `Ok(None)` means the file shrank below `offset` (foreign
+    /// truncation) and the caller must re-base.
+    fn read_tail(path: &Path, offset: u64) -> Result<Option<(Vec<RepoEvent>, u64)>, RepoError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let io = |e: std::io::Error| RepoError::Persist(e.to_string());
+        let mut file = match std::fs::File::open(path) {
+            Ok(file) => file,
+            // Absent file: an unwritten generation (fine at offset 0) or
+            // a truncation (if we had already read past 0).
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((offset == 0).then(|| (Vec::new(), 0)));
+            }
+            Err(e) => return Err(io(e)),
+        };
+        if file.metadata().map_err(io)?.len() < offset {
+            return Ok(None);
+        }
+        file.seek(SeekFrom::Start(offset)).map_err(io)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text).map_err(io)?;
+        let intact_end = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let mut events = Vec::new();
+        for line in text[..intact_end].lines().filter(|l| !l.trim().is_empty()) {
+            events.push(
+                serde_json::from_str::<RepoEvent>(line)
+                    .map_err(|e| RepoError::Persist(format!("corrupt event log line: {e}")))?,
+            );
+        }
+        Ok(Some((events, offset + intact_end as u64)))
+    }
+
+    /// Pull the replica up to the log's current durable end. Within a
+    /// generation this reads and applies only the bytes appended since
+    /// the last call (polling an unchanged log is a metadata check);
+    /// across a checkpoint it re-bases first. Safe to call at any
+    /// cadence.
+    pub fn catch_up(&mut self) -> Result<CatchUp, RepoError> {
+        let mut progress = CatchUp::default();
+        // Only re-parse the manifest (it embeds a whole snapshot) when
+        // its stamp moved; the stamp is taken before the parse so a
+        // racing checkpoint costs one conservative re-parse, never a
+        // stale skip.
+        let stamp = Self::stat_manifest(&self.dir);
+        if stamp != self.manifest_stamp {
+            let (base, generation) = Self::read_base(&self.dir)?;
+            self.manifest_stamp = stamp;
+            if generation != self.generation {
+                // The primary checkpointed: adopt the manifest state,
+                // patch the read-side materializations for what changed,
+                // and start tailing the new generation from its
+                // beginning.
+                self.rebase(base);
+                self.generation = generation;
+                self.applied = 0;
+                self.offset = 0;
+                progress.rebased = true;
+            }
+        }
+        let path = self.dir.join(&self.generation);
+        let (events, new_offset) = match Self::read_tail(&path, self.offset)? {
+            Some(tail) => tail,
+            None => {
+                // The tailed file shrank under us (a foreign truncation
+                // beyond torn-tail repair). Rolling individual events
+                // back is not possible; re-base onto what the directory
+                // actually holds.
+                let (all, end) = Self::read_tail(&path, 0)?.unwrap_or((Vec::new(), 0));
+                let (base, _) = Self::read_base(&self.dir)?;
+                self.applied = all.len();
+                self.offset = end;
+                self.rebase(crate::event::replay(base, &all));
+                progress.rebased = true;
+                return Ok(progress);
+            }
+        };
+        let mut dirty: BTreeSet<EntryId> = BTreeSet::new();
+        for event in &events {
+            apply_event(&mut self.snapshot, event);
+            self.index.apply(event);
+            if event.changes_rendered_page() {
+                if let Some(id) = event.touched() {
+                    dirty.insert(id.clone());
+                }
+            }
+            progress.events_applied += 1;
+        }
+        self.applied += events.len();
+        self.offset = new_offset;
+        if !dirty.is_empty() {
+            self.bx.sync_changed(&self.snapshot, &mut self.site, &dirty);
+        }
+        Ok(progress)
+    }
+
+    /// Adopt `target` as the replica state, updating the index and site
+    /// for exactly the records that differ from the current snapshot.
+    fn rebase(&mut self, target: RepositorySnapshot) {
+        let mut dirty: BTreeSet<EntryId> = BTreeSet::new();
+        for (id, record) in &target.records {
+            if self.snapshot.records.get(id) != Some(record) {
+                self.index.upsert_entry(id, record.latest());
+                dirty.insert(id.clone());
+            }
+        }
+        // Records the target no longer has (impossible through the
+        // curation API, which never deletes, but a foreign log might).
+        for id in self.snapshot.records.keys() {
+            if !target.records.contains_key(id) {
+                self.index.remove_entry(id);
+                dirty.insert(id.clone());
+            }
+        }
+        self.snapshot = target;
+        if !dirty.is_empty() {
+            self.bx.sync_changed(&self.snapshot, &mut self.site, &dirty);
+        }
+    }
+
+    /// The replicated state (equals the primary's snapshot after the
+    /// primary flushed and this replica caught up).
+    pub fn snapshot(&self) -> &RepositorySnapshot {
+        &self.snapshot
+    }
+
+    /// The incrementally maintained search index.
+    pub fn index(&self) -> &SearchIndex {
+        &self.index
+    }
+
+    /// Conjunctive keyword search served from the replica.
+    pub fn query(&self, terms: &[&str]) -> Vec<(EntryId, u32)> {
+        self.index.query(terms)
+    }
+
+    /// The incrementally maintained wiki site (entry pages).
+    pub fn site(&self) -> &WikiSite {
+        &self.site
+    }
+
+    /// The directory being tailed.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Tail position: (current generation file, events applied from it).
+    pub fn position(&self) -> (&str, usize) {
+        (&self.generation, self.applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principal::Principal;
+    use crate::repo::Repository;
+    use crate::storage::{AutoCompactingEventLog, CompactionPolicy, StorageBackend};
+    use crate::template::{ExampleEntry, ExampleType};
+    use bx_theory::Bx;
+
+    use crate::test_support::unique_dir;
+
+    fn entry(title: &str) -> ExampleEntry {
+        ExampleEntry::builder(title)
+            .of_type(ExampleType::Precise)
+            .overview("O.")
+            .models("M.")
+            .consistency("C.")
+            .restoration("F.", "B.")
+            .discussion("D.")
+            .author("alice")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn replica_tails_within_a_generation() {
+        let dir = unique_dir("tail");
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+
+        let mut replica = Replica::open(&dir).unwrap();
+        assert_eq!(replica.snapshot(), &r.snapshot());
+        assert!(replica.query(&["composers"]).is_empty());
+
+        let id = r.contribute("alice", entry("COMPOSERS")).unwrap();
+        r.comment("alice", &id, "2014-03-28", "tailed").unwrap();
+        backend.record(&r.drain_events()).unwrap();
+
+        let progress = replica.catch_up().unwrap();
+        assert_eq!(progress.events_applied, 2);
+        assert!(!progress.rebased);
+        assert_eq!(replica.snapshot(), &r.snapshot());
+        assert_eq!(replica.query(&["composers"]).len(), 1);
+        assert!(replica.bx.consistent(replica.snapshot(), replica.site()));
+        // Idempotent when nothing new arrived.
+        assert_eq!(replica.catch_up().unwrap(), CatchUp::default());
+    }
+
+    #[test]
+    fn replica_rebases_across_a_checkpoint() {
+        let dir = unique_dir("rebase");
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        let mut backend = AutoCompactingEventLog::open(
+            &dir,
+            CompactionPolicy {
+                checkpoint_every: 1_000_000, // manual checkpoints only
+            },
+        )
+        .unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        let mut replica = Replica::open(&dir).unwrap();
+
+        // Mutations + a checkpoint the replica has not seen yet.
+        let id = r.contribute("alice", entry("COMPOSERS")).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        backend.checkpoint(&r.snapshot()).unwrap();
+        r.comment("alice", &id, "2014-03-28", "post-checkpoint")
+            .unwrap();
+        backend.record(&r.drain_events()).unwrap();
+
+        let progress = replica.catch_up().unwrap();
+        assert!(progress.rebased, "the manifest moved to a new generation");
+        assert_eq!(progress.events_applied, 1, "only the post-checkpoint tail");
+        assert_eq!(replica.snapshot(), &r.snapshot());
+        assert_eq!(replica.index(), &SearchIndex::build(&r.snapshot()));
+        assert!(replica.bx.consistent(replica.snapshot(), replica.site()));
+    }
+
+    #[test]
+    fn replica_rebases_when_the_log_shrinks_under_it() {
+        let dir = unique_dir("shrink");
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        r.contribute("alice", entry("COMPOSERS")).unwrap();
+        r.contribute("alice", entry("DATES")).unwrap();
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        let events = r.drain_events();
+        backend.record(&events).unwrap();
+        let mut replica = Replica::open(&dir).unwrap();
+        assert_eq!(replica.snapshot(), &r.snapshot());
+
+        // A foreign hand truncates the log to its first three lines.
+        let log = dir.join("events-0.jsonl");
+        let text = std::fs::read_to_string(&log).unwrap();
+        let keep: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&log, &keep).unwrap();
+
+        let progress = replica.catch_up().unwrap();
+        assert!(progress.rebased, "a shrunken log forces a re-base");
+        let expected = crate::event::replay(RepositorySnapshot::empty(""), &events[..3]);
+        assert_eq!(replica.snapshot(), &expected);
+        assert_eq!(replica.index(), &SearchIndex::build(&expected));
+        assert!(replica.bx.consistent(replica.snapshot(), replica.site()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replica_ignores_a_torn_tail_until_it_heals() {
+        let dir = unique_dir("torn");
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        r.contribute("alice", entry("COMPOSERS")).unwrap();
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        let events = r.drain_events();
+        backend.record(&events).unwrap();
+        // A torn append lands after the intact events.
+        let log = dir.join("events-0.jsonl");
+        let mut text = std::fs::read_to_string(&log).unwrap();
+        text.push_str("{\"Commented\":{\"id\":\"co");
+        std::fs::write(&log, text).unwrap();
+
+        let mut replica = Replica::open(&dir).unwrap();
+        assert_eq!(replica.snapshot(), &r.snapshot());
+        let (_, applied) = replica.position();
+        assert_eq!(applied, events.len(), "the torn fragment was not counted");
+
+        // The writer reopens (repairing the tail) and appends for real.
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        r.comment(
+            "alice",
+            &EntryId::from_title("COMPOSERS"),
+            "2014-03-28",
+            "healed",
+        )
+        .unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        let progress = replica.catch_up().unwrap();
+        assert_eq!(progress.events_applied, 1);
+        assert_eq!(replica.snapshot(), &r.snapshot());
+    }
+}

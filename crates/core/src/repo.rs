@@ -5,20 +5,29 @@
 //! N shards by a hash of their [`EntryId`], each shard behind its own
 //! `RwLock`, with accounts behind a separate lock — so mutations of
 //! distinct entries proceed in parallel instead of serialising on one
-//! global lock. Every successful mutation additionally records a typed
-//! [`RepoEvent`] delta in an internal journal; [`Repository::drain_events`]
-//! hands the pending batch to downstream consumers (incremental index
-//! maintenance, dirty-tracked wiki sync, event-log persistence).
+//! global lock.
+//!
+//! Every successful mutation is additionally **pushed**, at commit time,
+//! to every subscribed [`EventSink`] — the event bus downstream
+//! materializations hang off (incremental index maintenance, dirty-tracked
+//! wiki sync, the background durability pipeline, read replicas). The
+//! legacy pull API survives as the built-in *journal sink*: a bounded
+//! buffer [`Repository::drain_events`] empties. See the
+//! "drain-or-subscribe contract" on [`Repository::drain_events`].
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use serde::{Deserialize, Serialize};
 
 use crate::curation::EntryStatus;
 use crate::error::RepoError;
-use crate::event::{Commented, EntryDelta, EntryRef, Founded, Registered, RepoEvent, RoleGranted};
+use crate::event::{
+    Commented, EntryDelta, EntryRef, EventSink, Founded, Registered, RepoEvent, RoleGranted,
+};
 use crate::principal::{Principal, Role};
 use crate::template::{Comment, ExampleEntry};
 use crate::version::Version;
@@ -121,15 +130,82 @@ fn shard_index(id: &EntryId, shard_count: usize) -> usize {
     (hash % shard_count as u64) as usize
 }
 
+/// Default capacity of the built-in journal sink: generous enough that a
+/// workload which drains at any reasonable cadence never hits it, small
+/// enough that a repository whose owner *never* drains stops accumulating
+/// memory (and starts counting overflow) instead of growing forever.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+/// The built-in bounded journal: the [`EventSink`] behind
+/// [`Repository::drain_events`]. When the buffer is full, incoming events
+/// are *discarded* (newest-dropped), a warning is printed once, and the
+/// overflow counter ticks — so an owner who forgot to drain loses tail
+/// events from the *journal* (never from the repository itself or from
+/// other sinks) and can detect it via [`Repository::journal_overflow`].
+struct JournalSink {
+    buf: Mutex<Vec<RepoEvent>>,
+    capacity: AtomicUsize,
+    /// Lifetime total of discarded events (diagnostic).
+    overflow: AtomicU64,
+    /// Discarded events since the last drain — what tells a drain
+    /// consumer whether *this* batch is gapped. Reset by the drain.
+    overflow_since_drain: AtomicU64,
+}
+
+impl JournalSink {
+    fn new(capacity: usize) -> JournalSink {
+        JournalSink {
+            buf: Mutex::new(Vec::new()),
+            capacity: AtomicUsize::new(capacity),
+            overflow: AtomicU64::new(0),
+            overflow_since_drain: AtomicU64::new(0),
+        }
+    }
+}
+
+impl EventSink for JournalSink {
+    fn accept(&self, event: &RepoEvent) {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        if capacity == 0 {
+            // Journal disabled (push-only deployment): no clone, no
+            // buffering, no overflow accounting, no warning.
+            return;
+        }
+        let mut buf = self.buf.lock();
+        if buf.len() < capacity {
+            buf.push(event.clone());
+        } else {
+            // Both counters tick under the buf lock, so a concurrent
+            // drain observes buffer and counters consistently.
+            let prior = self.overflow.fetch_add(1, Ordering::Relaxed);
+            self.overflow_since_drain.fetch_add(1, Ordering::Relaxed);
+            drop(buf);
+            if prior == 0 {
+                eprintln!(
+                    "bx-core: journal sink overflow — events are being dropped; \
+                     drain_events() more often, raise set_journal_capacity(), \
+                     or subscribe() a push sink (see Repository::drain_events)"
+                );
+            }
+        }
+    }
+}
+
 /// The curated repository. Thread-safe: entry records live in lock-striped
 /// shards keyed by [`EntryId`] hash, accounts behind their own lock.
-/// Lock order is always accounts → shard → journal, so the paths cannot
-/// deadlock.
+/// Lock order is always accounts → shard → sinks, so the paths cannot
+/// deadlock (sinks must not call back into the repository — see
+/// [`EventSink`]).
 pub struct Repository {
     name: String,
     accounts: RwLock<BTreeMap<String, Principal>>,
     shards: Box<[RwLock<Shard>]>,
-    journal: Mutex<Vec<RepoEvent>>,
+    /// The built-in bounded journal (also present in `sinks`); kept
+    /// separately so `drain_events` can reach it concretely.
+    journal: Arc<JournalSink>,
+    /// Every subscribed sink, the journal first. Events are delivered to
+    /// all of them at commit time, in subscription order.
+    sinks: RwLock<Vec<Arc<dyn EventSink>>>,
 }
 
 impl fmt::Debug for Repository {
@@ -177,12 +253,16 @@ impl Repository {
             name: name.to_string(),
             curators: accounts.values().cloned().collect(),
         });
-        Repository {
+        let journal = Arc::new(JournalSink::new(DEFAULT_JOURNAL_CAPACITY));
+        let repo = Repository {
             name: name.to_string(),
             accounts: RwLock::new(accounts),
             shards: empty_shards(shard_count),
-            journal: Mutex::new(vec![founded]),
-        }
+            journal: journal.clone(),
+            sinks: RwLock::new(vec![journal]),
+        };
+        repo.record(founded);
+        repo
     }
 
     /// The repository's name.
@@ -201,17 +281,78 @@ impl Repository {
         &self.shards[shard_index(id, self.shards.len())]
     }
 
-    /// Record a delta. Called while the mutated shard's (or the account
-    /// map's) write guard is still held, so the journal order agrees with
-    /// the per-entry application order.
+    /// Record a delta: push it to every subscribed sink. Called while the
+    /// mutated shard's (or the account map's) write guard is still held,
+    /// so each sink observes events in the per-entry (and per-account)
+    /// application order.
     fn record(&self, event: RepoEvent) {
-        self.journal.lock().push(event);
+        for sink in self.sinks.read().iter() {
+            sink.accept(&event);
+        }
     }
 
-    /// Take all pending change events, oldest first. Each event is
-    /// delivered exactly once; feed them to `SearchIndex::apply`,
-    /// `WikiBx::sync_changed` (via [`crate::event::dirty_set`]) or a
+    /// Subscribe a push-mode event sink: from this call on, every
+    /// committed mutation is delivered to `sink` at commit time (see
+    /// [`EventSink`] for the delivery contract — no re-entrancy, delivery
+    /// blocks the mutating caller).
+    ///
+    /// Subscription is *forward-only*: the sink sees no past events. To
+    /// also hand the sink the pending (not-yet-drained) history in one
+    /// race-free step, use [`Repository::subscribe_with_backfill`]; to
+    /// seed a durability sink with the *full* history instead, checkpoint
+    /// [`Repository::snapshot`] into its backend before subscribing.
+    pub fn subscribe(&self, sink: Arc<dyn EventSink>) {
+        self.sinks.write().push(sink);
+    }
+
+    /// Subscribe `sink` and, atomically with the subscription, deliver it
+    /// a copy of every event still pending in the journal — so no event
+    /// can fall between "backfill" and "first push". The handoff holds
+    /// the sink registry's write lock, which every committing mutation
+    /// takes for reading: a concurrent mutation either completes first
+    /// (its event is in the backfilled journal copy) or blocks until the
+    /// new sink is registered (its event is pushed). The journal itself
+    /// is *not* drained — its consumer keeps its own batch. Returns how
+    /// many events were backfilled.
+    ///
+    /// Caveat: the journal is bounded, so if [`Repository::journal_overflow`]
+    /// is non-zero the pending buffer is missing dropped events — seed
+    /// the sink from [`Repository::snapshot`] instead.
+    pub fn subscribe_with_backfill(&self, sink: Arc<dyn EventSink>) -> usize {
+        let mut sinks = self.sinks.write();
+        let pending = self.journal.buf.lock().clone();
+        for event in &pending {
+            sink.accept(event);
+        }
+        sinks.push(sink);
+        pending.len()
+    }
+
+    /// How many sinks are subscribed (the built-in journal included).
+    pub fn sink_count(&self) -> usize {
+        self.sinks.read().len()
+    }
+
+    /// Take all pending change events from the built-in journal sink,
+    /// oldest first. Each event is delivered exactly once; feed them to
+    /// `SearchIndex::apply`, `WikiBx::sync_changed` (via
+    /// [`crate::event::dirty_set`]) or a
     /// [`crate::storage::StorageBackend`].
+    ///
+    /// ## The drain-or-subscribe contract
+    ///
+    /// Every consumer must choose one of two modes. **Drain**: call this
+    /// at a reasonable cadence; the journal buffers at most
+    /// [`DEFAULT_JOURNAL_CAPACITY`] events (tune with
+    /// [`Repository::set_journal_capacity`]) and *discards* newer events
+    /// beyond that — so a forgotten drain costs bounded memory, not
+    /// unbounded growth. Use [`Repository::drain_events_with_overflow`]
+    /// to learn, per batch, whether anything was dropped since the last
+    /// drain; a batch with a non-zero drop count is gapped, and the
+    /// consumer must rebuild from [`Repository::snapshot`] instead of
+    /// applying it. **Subscribe**: register an [`EventSink`] and ignore
+    /// the journal entirely; push delivery never drops events
+    /// (backpressure blocks the writer instead).
     ///
     /// When pairing a batch with a [`Repository::snapshot`] under
     /// concurrent mutation, **drain first, snapshot second**: a mutation
@@ -221,7 +362,44 @@ impl Repository {
     /// a consumer like `sync_changed` would render the touched entry from
     /// the stale snapshot and leave it stale until it is next touched.
     pub fn drain_events(&self) -> Vec<RepoEvent> {
-        std::mem::take(&mut *self.journal.lock())
+        self.drain_events_with_overflow().0
+    }
+
+    /// [`Repository::drain_events`], plus how many events were discarded
+    /// to overflow **since the previous drain** — i.e. whether this batch
+    /// is gapped. The counter resets with each drain, so one historical
+    /// overflow does not condemn every future batch: after a gapped
+    /// batch, rebuild from [`Repository::snapshot`] once and resume
+    /// normal incremental consumption.
+    pub fn drain_events_with_overflow(&self) -> (Vec<RepoEvent>, u64) {
+        let mut buf = self.journal.buf.lock();
+        let events = std::mem::take(&mut *buf);
+        // Swapped under the buf lock, which `accept` holds while counting
+        // a drop — batch and counter stay consistent.
+        let dropped = self.journal.overflow_since_drain.swap(0, Ordering::Relaxed);
+        (events, dropped)
+    }
+
+    /// Lifetime total of events the bounded journal sink has *discarded*
+    /// because nobody drained it in time (a diagnostic; for the per-batch
+    /// gap signal use [`Repository::drain_events_with_overflow`]). Push
+    /// sinks ([`Repository::subscribe`]) are unaffected by overflow.
+    pub fn journal_overflow(&self) -> u64 {
+        self.journal.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Events currently buffered in the journal sink.
+    pub fn journal_len(&self) -> usize {
+        self.journal.buf.lock().len()
+    }
+
+    /// Change the journal sink's capacity (applies to future events; an
+    /// already-over-full buffer is not truncated). A capacity of **0
+    /// disables the journal entirely** — the right setting for push-only
+    /// deployments that subscribe sinks and never drain: no per-mutation
+    /// clone, no retained buffer, no overflow warning.
+    pub fn set_journal_capacity(&self, capacity: usize) {
+        self.journal.capacity.store(capacity, Ordering::Relaxed);
     }
 
     fn require_role(
@@ -588,11 +766,13 @@ impl Repository {
             let index = shard_index(&id, shards.len());
             shards[index].write().records.insert(id, record);
         }
+        let journal = Arc::new(JournalSink::new(DEFAULT_JOURNAL_CAPACITY));
         Repository {
             name: snapshot.name,
             accounts: RwLock::new(snapshot.accounts),
             shards,
-            journal: Mutex::new(Vec::new()),
+            journal: journal.clone(),
+            sinks: RwLock::new(vec![journal]),
         }
     }
 }
@@ -814,6 +994,112 @@ mod tests {
             assert_eq!(snap.records.len(), 20);
             assert!(snap.records.keys().zip(r.ids().iter()).all(|(a, b)| a == b));
         }
+    }
+
+    /// A sink that records everything it is pushed, for bus tests.
+    struct Tape(Mutex<Vec<RepoEvent>>);
+
+    impl EventSink for Tape {
+        fn accept(&self, event: &RepoEvent) {
+            self.0.lock().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn subscribed_sinks_receive_events_at_commit_time() {
+        let r = repo();
+        let before = r.drain_events();
+        assert!(before.len() >= 4, "founding + cast events were journaled");
+        let tape = Arc::new(Tape(Mutex::new(Vec::new())));
+        assert_eq!(r.sink_count(), 1, "journal only");
+        r.subscribe(tape.clone());
+        assert_eq!(r.sink_count(), 2);
+
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        r.comment("bob", &id, "2014-03-28", "pushed?").unwrap();
+        // Failed mutations must push nothing.
+        assert!(r.contribute("ghost", entry("X Y", "ghost")).is_err());
+
+        let pushed = tape.0.lock().clone();
+        let drained = r.drain_events();
+        assert_eq!(pushed.len(), 2, "subscription is forward-only");
+        assert_eq!(pushed, drained, "journal and push sink agree");
+    }
+
+    #[test]
+    fn journal_is_bounded_and_counts_overflow() {
+        let r = repo();
+        r.drain_events();
+        r.set_journal_capacity(3);
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        for i in 0..5 {
+            r.comment("bob", &id, "2014-03-28", &format!("c{i}"))
+                .unwrap();
+        }
+        assert_eq!(r.journal_len(), 3, "buffer capped");
+        assert_eq!(r.journal_overflow(), 3, "1 contribute + 5 comments, 3 kept");
+        // The repository itself lost nothing — only the journal tail.
+        assert_eq!(r.latest(&id).unwrap().comments.len(), 5);
+        // Push sinks are not subject to the journal cap.
+        let tape = Arc::new(Tape(Mutex::new(Vec::new())));
+        r.subscribe(tape.clone());
+        r.comment("bob", &id, "2014-03-28", "late").unwrap();
+        assert_eq!(tape.0.lock().len(), 1);
+        assert_eq!(r.journal_overflow(), 4);
+        // Draining surfaces the per-batch gap signal and resets it, while
+        // the lifetime diagnostic keeps counting.
+        let (batch, dropped) = r.drain_events_with_overflow();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(dropped, 4, "this batch is gapped");
+        assert_eq!(r.journal_len(), 0);
+        assert_eq!(r.journal_overflow(), 4, "lifetime total unaffected");
+        // The next batch is clean: one overflow does not condemn forever.
+        r.comment("bob", &id, "2014-03-29", "clean").unwrap();
+        let (batch, dropped) = r.drain_events_with_overflow();
+        assert_eq!((batch.len(), dropped), (1, 0));
+    }
+
+    #[test]
+    fn capacity_zero_disables_the_journal_for_push_only_use() {
+        let r = repo();
+        r.drain_events();
+        r.set_journal_capacity(0);
+        let tape = Arc::new(Tape(Mutex::new(Vec::new())));
+        r.subscribe(tape.clone());
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        r.comment("bob", &id, "2014-03-28", "push-only").unwrap();
+        // Push sinks get everything; the journal buffers nothing and a
+        // disabled journal is not "overflowing" — no spurious warning
+        // or gap accounting for a documented push-only deployment.
+        assert_eq!(tape.0.lock().len(), 2);
+        assert_eq!(r.journal_len(), 0);
+        assert_eq!(r.journal_overflow(), 0);
+        assert_eq!(r.drain_events_with_overflow(), (Vec::new(), 0));
+    }
+
+    #[test]
+    fn subscribe_with_backfill_delivers_pending_history_exactly_once() {
+        let r = repo();
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        let pending = r.journal_len();
+        assert!(pending >= 5, "founding + cast + contribute are pending");
+
+        let tape = Arc::new(Tape(Mutex::new(Vec::new())));
+        let backfilled = r.subscribe_with_backfill(tape.clone());
+        assert_eq!(backfilled, pending);
+        // The journal was copied, not drained: its consumer still gets
+        // the same batch.
+        assert_eq!(r.journal_len(), pending);
+
+        // Post-subscription events flow once; together with the backfill
+        // the tape holds exactly the full journal history.
+        r.comment("bob", &id, "2014-03-28", "after").unwrap();
+        let drained = r.drain_events();
+        assert_eq!(tape.0.lock().clone(), drained);
+        // Replaying the tape reconstructs the live state — nothing was
+        // missed or double-delivered.
+        let replayed = crate::event::replay(RepositorySnapshot::empty(""), &tape.0.lock());
+        assert_eq!(replayed, r.snapshot());
     }
 
     #[test]

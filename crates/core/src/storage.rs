@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 
 use crate::error::RepoError;
-use crate::event::{replay, RepoEvent};
+use crate::event::{apply_event, replay, RepoEvent};
 use crate::persist;
 use crate::repo::RepositorySnapshot;
 
@@ -141,11 +141,11 @@ impl StorageBackend for JsonFileBackend {
 /// Keeping both in one file makes the manifest rename the single atomic
 /// commit point of a checkpoint.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct Manifest {
+pub(crate) struct Manifest {
     /// Log file (relative to the backend directory) this base replays.
-    log: String,
+    pub(crate) log: String,
     /// The checkpointed base state.
-    state: RepositorySnapshot,
+    pub(crate) state: RepositorySnapshot,
 }
 
 /// Append-only event-log backend: a generation log file (`events-<n>.jsonl`,
@@ -169,6 +169,13 @@ pub struct EventLogBackend {
 
 impl EventLogBackend {
     /// Open (creating the directory if needed) an event log under `dir`.
+    ///
+    /// Opening also *repairs* a torn final append in the current
+    /// generation: a process killed mid-`write` leaves a partial last
+    /// line, and a fresh writer appending after it would concatenate the
+    /// next event into the fragment and corrupt the log. The fragment was
+    /// never durable (reads have always dropped it), so truncating it at
+    /// open loses nothing.
     pub fn open(dir: impl Into<PathBuf>) -> Result<EventLogBackend, RepoError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(io_err)?;
@@ -176,14 +183,74 @@ impl EventLogBackend {
             Some(manifest) => manifest.log,
             None => "events-0.jsonl".to_string(),
         };
-        Ok(EventLogBackend { dir, log })
+        let backend = EventLogBackend { dir, log };
+        backend.repair_torn_tail()?;
+        Ok(backend)
+    }
+
+    /// Truncate an unterminated final line (torn append) off the current
+    /// generation's log, if there is one.
+    fn repair_torn_tail(&self) -> Result<(), RepoError> {
+        let path = self.log_path();
+        if !path.exists() {
+            return Ok(());
+        }
+        let bytes = std::fs::read(&path).map_err(io_err)?;
+        if bytes.is_empty() || bytes.ends_with(b"\n") {
+            return Ok(());
+        }
+        let keep = bytes
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let file = OpenOptions::new().write(true).open(&path).map_err(io_err)?;
+        file.set_len(keep as u64).map_err(io_err)?;
+        file.sync_all().map_err(io_err)
+    }
+
+    /// The current generation's log file name (relative to the backend
+    /// directory).
+    pub fn current_generation(&self) -> &str {
+        &self.log
+    }
+
+    /// Every generation log file present in the directory, sorted. A
+    /// healthy, compacted directory holds at most one (the current
+    /// generation, which may also be absent right after a checkpoint).
+    pub fn generation_files(&self) -> Result<Vec<String>, RepoError> {
+        let mut files = Vec::new();
+        for entry in std::fs::read_dir(&self.dir).map_err(io_err)? {
+            let entry = entry.map_err(io_err)?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("events-") && name.ends_with(".jsonl") {
+                files.push(name);
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    /// Remove superseded generation logs: every `events-*.jsonl` other
+    /// than the current generation. `checkpoint` already unlinks the one
+    /// generation it supersedes; this sweeps up strays left by crashes in
+    /// the checkpoint window. Returns how many files were removed.
+    pub fn prune_stale_generations(&self) -> Result<usize, RepoError> {
+        let mut removed = 0;
+        for name in self.generation_files()? {
+            if name != self.log {
+                std::fs::remove_file(self.dir.join(&name)).map_err(io_err)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
     }
 
     fn manifest_path(&self) -> PathBuf {
         self.dir.join("checkpoint.json")
     }
 
-    fn read_manifest_in(dir: &Path) -> Result<Option<Manifest>, RepoError> {
+    pub(crate) fn read_manifest_in(dir: &Path) -> Result<Option<Manifest>, RepoError> {
         let path = dir.join("checkpoint.json");
         if !path.exists() {
             return Ok(None);
@@ -202,7 +269,7 @@ impl EventLogBackend {
     /// its terminating newline is a torn append (the process died
     /// mid-write) and is dropped; a complete line that fails to parse is
     /// real corruption and surfaces as an error.
-    fn read_log_file(path: &Path) -> Result<Vec<RepoEvent>, RepoError> {
+    pub(crate) fn read_log_file(path: &Path) -> Result<Vec<RepoEvent>, RepoError> {
         if !path.exists() {
             return Ok(Vec::new());
         }
@@ -223,6 +290,18 @@ impl EventLogBackend {
     /// How many deltas sit in the log beyond the last checkpoint.
     pub fn pending_events(&self) -> Result<usize, RepoError> {
         Ok(Self::read_log_file(&self.log_path())?.len())
+    }
+
+    /// `restore()` plus the replayed event count, off a single read of
+    /// the log file (the open path of [`AutoCompactingEventLog`] needs
+    /// both and should not parse the pending tail twice).
+    fn restore_with_pending(&self) -> Result<(RepositorySnapshot, usize), RepoError> {
+        let (base, log) = match Self::read_manifest_in(&self.dir)? {
+            Some(manifest) => (manifest.state, manifest.log),
+            None => (RepositorySnapshot::empty(""), self.log.clone()),
+        };
+        let events = Self::read_log_file(&self.dir.join(log))?;
+        Ok((replay(base, &events), events.len()))
     }
 }
 
@@ -309,6 +388,118 @@ impl StorageBackend for EventLogBackend {
     }
 }
 
+/// When an [`AutoCompactingEventLog`] checkpoints: after at least
+/// `checkpoint_every` events have been recorded since the last
+/// checkpoint. Restores therefore replay at most `checkpoint_every - 1 +
+/// write_batch` events, and the directory holds O(1) generations no
+/// matter how long the repository lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Checkpoint threshold, in events since the last checkpoint (≥ 1;
+    /// 0 is clamped to 1).
+    pub checkpoint_every: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            checkpoint_every: 256,
+        }
+    }
+}
+
+/// An [`EventLogBackend`] under an automatic compaction policy: the
+/// backend maintains the live folded state alongside the log (seeded by
+/// `restore` at open, advanced by [`crate::event::apply_event`] on every
+/// recorded batch) and checkpoints it every
+/// [`CompactionPolicy::checkpoint_every`] events — so checkpointing never
+/// needs the live [`crate::repo::Repository`], which is what lets the
+/// background durability pipeline compact off-thread. Superseded
+/// generations (including strays from crashes mid-checkpoint) are pruned
+/// after every checkpoint.
+#[derive(Debug)]
+pub struct AutoCompactingEventLog {
+    inner: EventLogBackend,
+    policy: CompactionPolicy,
+    /// The fold of everything durably recorded so far — exactly what
+    /// `restore` would return.
+    state: RepositorySnapshot,
+    since_checkpoint: usize,
+}
+
+impl AutoCompactingEventLog {
+    /// Open (or create) an event log under `dir` with `policy`. A
+    /// reopened log already past its checkpoint budget compacts
+    /// immediately.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        policy: CompactionPolicy,
+    ) -> Result<AutoCompactingEventLog, RepoError> {
+        let inner = EventLogBackend::open(dir)?;
+        let (state, since_checkpoint) = inner.restore_with_pending()?;
+        let mut backend = AutoCompactingEventLog {
+            inner,
+            policy,
+            state,
+            since_checkpoint,
+        };
+        backend.maybe_checkpoint()?;
+        Ok(backend)
+    }
+
+    /// The wrapped event-log backend.
+    pub fn inner(&self) -> &EventLogBackend {
+        &self.inner
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> CompactionPolicy {
+        self.policy
+    }
+
+    /// Events recorded since the last checkpoint (what a restore would
+    /// have to replay).
+    pub fn events_since_checkpoint(&self) -> usize {
+        self.since_checkpoint
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<(), RepoError> {
+        if self.since_checkpoint >= self.policy.checkpoint_every.max(1) {
+            self.inner.checkpoint(&self.state)?;
+            self.inner.prune_stale_generations()?;
+            self.since_checkpoint = 0;
+        }
+        Ok(())
+    }
+}
+
+impl StorageBackend for AutoCompactingEventLog {
+    fn kind(&self) -> &'static str {
+        "event-log+auto-compact"
+    }
+
+    fn record(&mut self, events: &[RepoEvent]) -> Result<(), RepoError> {
+        self.inner.record(events)?;
+        for event in events {
+            apply_event(&mut self.state, event);
+        }
+        self.since_checkpoint += events.len();
+        self.maybe_checkpoint()
+    }
+
+    fn checkpoint(&mut self, snapshot: &RepositorySnapshot) -> Result<(), RepoError> {
+        self.state = snapshot.clone();
+        self.inner.checkpoint(snapshot)?;
+        self.inner.prune_stale_generations()?;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+
+    fn restore(&self) -> Result<RepositorySnapshot, RepoError> {
+        self.inner.restore()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,19 +507,7 @@ mod tests {
     use crate::repo::Repository;
     use crate::template::{ExampleEntry, ExampleType};
 
-    fn unique_dir(tag: &str) -> PathBuf {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        static NEXT: AtomicU64 = AtomicU64::new(0);
-        let dir = std::env::temp_dir().join(format!(
-            "bx-storage-{tag}-{}-{}",
-            std::process::id(),
-            NEXT.fetch_add(1, Ordering::Relaxed)
-        ));
-        // Pre-clean: a reused PID after an aborted run must not leak a
-        // stale state into the test.
-        std::fs::remove_dir_all(&dir).ok();
-        dir
-    }
+    use crate::test_support::unique_dir;
 
     fn entry(title: &str) -> ExampleEntry {
         ExampleEntry::builder(title)
@@ -477,6 +656,94 @@ mod tests {
         std::fs::write(dir.join("events-0.jsonl"), stale).unwrap();
         assert_eq!(backend.pending_events().unwrap(), 0);
         assert_eq!(backend.restore().unwrap(), r.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_repairs_a_torn_tail_so_appends_stay_clean() {
+        let dir = unique_dir("repair");
+        let r = busy_repository();
+        let events = r.drain_events();
+        let (before, after) = events.split_at(events.len() - 2);
+        {
+            let mut backend = EventLogBackend::open(&dir).unwrap();
+            backend.record(before).unwrap();
+        }
+        // Crash mid-append: a partial final line with no newline.
+        let log = dir.join("events-0.jsonl");
+        let mut text = std::fs::read_to_string(&log).unwrap();
+        text.push_str("{\"Commented\":{\"id\":\"co");
+        std::fs::write(&log, text).unwrap();
+        // A fresh writer process appends the remaining events. Without the
+        // open-time repair, its first line would fuse with the fragment
+        // into a corrupt line.
+        let mut backend = EventLogBackend::open(&dir).unwrap();
+        backend.record(after).unwrap();
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+        assert_eq!(backend.pending_events().unwrap(), events.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_removes_only_superseded_generations() {
+        let dir = unique_dir("prune");
+        let r = busy_repository();
+        let mut backend = EventLogBackend::open(&dir).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        backend.checkpoint(&r.snapshot()).unwrap();
+        // Strand two stale generations, as a crash inside the checkpoint
+        // window would.
+        std::fs::write(dir.join("events-0.jsonl"), "junk\n").unwrap();
+        std::fs::write(dir.join("events-7.jsonl"), "junk\n").unwrap();
+        // The current generation has live post-checkpoint deltas.
+        r.comment(
+            "alice",
+            &crate::repo::EntryId::from_title("DATES"),
+            "2014-05-01",
+            "live",
+        )
+        .unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        assert_eq!(backend.prune_stale_generations().unwrap(), 2);
+        assert_eq!(
+            backend.generation_files().unwrap(),
+            vec![backend.current_generation().to_string()]
+        );
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_compaction_bounds_replay_and_generations() {
+        let dir = unique_dir("autocompact");
+        let r = busy_repository();
+        let mut backend = AutoCompactingEventLog::open(
+            &dir,
+            CompactionPolicy {
+                checkpoint_every: 4,
+            },
+        )
+        .unwrap();
+        let events = r.drain_events();
+        // Feed one event at a time: the policy must fire repeatedly.
+        for event in &events {
+            backend.record(std::slice::from_ref(event)).unwrap();
+        }
+        assert!(backend.events_since_checkpoint() < 4);
+        assert!(backend.inner().pending_events().unwrap() < 4);
+        assert!(backend.inner().generation_files().unwrap().len() <= 1);
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+        // A reopened instance with a tighter budget compacts immediately.
+        drop(backend);
+        let reopened = AutoCompactingEventLog::open(
+            &dir,
+            CompactionPolicy {
+                checkpoint_every: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(reopened.events_since_checkpoint(), 0);
+        assert_eq!(reopened.restore().unwrap(), r.snapshot());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -104,8 +104,11 @@ impl WikiBx {
     /// was last consistent with the repository, the result equals the
     /// total [`Bx::fwd`] — the dirty set is exactly what
     /// [`crate::event::dirty_set`] extracts from the event stream
-    /// ([`crate::repo::Repository::drain_events`]). The total `fwd`/`bwd`
-    /// remain the law-checked semantics; this is the scaling fast path.
+    /// ([`crate::repo::Repository::drain_events`], or the per-event
+    /// pushes a [`crate::event::EventSink`] receives — this is how a
+    /// [`crate::replica::Replica`] keeps its wiki converging with the
+    /// primary's). The total `fwd`/`bwd` remain the law-checked
+    /// semantics; this is the scaling fast path.
     pub fn sync_changed(
         &self,
         snapshot: &RepositorySnapshot,

@@ -1,8 +1,100 @@
 //! Fault injection: wrappers that deliberately break one law of an inner
-//! bx. Used to test the law checkers themselves — a checker that cannot
-//! catch a planted violation is worse than no checker.
+//! bx (testing the law checkers themselves — a checker that cannot catch
+//! a planted violation is worse than no checker), plus storage faults
+//! that kill a [`StorageBackend`] mid-stream to test durability-pipeline
+//! and replica recovery.
 
+use std::io::Write as _;
+use std::path::Path;
+
+use bx_core::repo::RepositorySnapshot;
+use bx_core::storage::StorageBackend;
+use bx_core::{RepoError, RepoEvent};
 use bx_theory::Bx;
+
+/// A storage backend that dies after a fuse of `fuse_events` recorded
+/// events — the injection used to kill a
+/// [`bx_core::pipeline::BackgroundWriter`] mid-stream. The batch that
+/// burns the fuse records its durable *prefix* to the inner backend
+/// before failing, so recovery faces a cut inside a batch, not a clean
+/// batch boundary. Once tripped, every call fails.
+pub struct CrashingBackend<B> {
+    inner: B,
+    fuse: usize,
+    tripped: bool,
+}
+
+impl<B: StorageBackend> CrashingBackend<B> {
+    /// Wrap `inner`; the crash fires while recording event number
+    /// `fuse_events + 1`.
+    pub fn new(inner: B, fuse_events: usize) -> CrashingBackend<B> {
+        CrashingBackend {
+            inner,
+            fuse: fuse_events,
+            tripped: false,
+        }
+    }
+
+    /// Has the injected crash fired yet?
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Unwrap the inner backend (e.g. to inspect what survived).
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    fn dead(&self) -> RepoError {
+        RepoError::Persist("injected crash: backend is dead".to_string())
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for CrashingBackend<B> {
+    fn kind(&self) -> &'static str {
+        "crashing"
+    }
+
+    fn record(&mut self, events: &[RepoEvent]) -> Result<(), RepoError> {
+        if self.tripped {
+            return Err(self.dead());
+        }
+        if events.len() <= self.fuse {
+            self.fuse -= events.len();
+            return self.inner.record(events);
+        }
+        let durable = self.fuse;
+        self.fuse = 0;
+        self.tripped = true;
+        self.inner.record(&events[..durable])?;
+        Err(RepoError::Persist(format!(
+            "injected crash after {durable} events of a {}-event batch",
+            events.len()
+        )))
+    }
+
+    fn checkpoint(&mut self, snapshot: &RepositorySnapshot) -> Result<(), RepoError> {
+        if self.tripped {
+            return Err(self.dead());
+        }
+        self.inner.checkpoint(snapshot)
+    }
+
+    fn restore(&self) -> Result<RepositorySnapshot, RepoError> {
+        self.inner.restore()
+    }
+}
+
+/// Append a torn half-line (no terminating newline) to `path` — the
+/// on-disk shape of a process killed mid-`write(2)`. Pair with
+/// [`CrashingBackend`] to simulate the final append being cut short.
+pub fn torn_append(path: &Path) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(b"{\"Commented\":{\"id\":\"torn-mid-wri")
+}
 
 /// Breaks CorrectFwd by corrupting the forward restoration with a caller-
 /// supplied perturbation (which must produce an inconsistent `n`).
@@ -210,6 +302,45 @@ mod tests {
         let samples = Samples::from_pairs(vec![(m, n)]);
         assert!(check_law(&faulty, Law::CorrectBwd, &samples).holds());
         assert!(check_law(&faulty, Law::HippocraticBwd, &samples).violated());
+    }
+
+    #[test]
+    fn crashing_backend_records_the_durable_prefix_then_dies() {
+        use bx_core::storage::MemoryBackend;
+        use bx_core::{Principal, Repository};
+
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        r.register(Principal::member("bob")).unwrap();
+        let events = r.drain_events();
+        assert_eq!(events.len(), 3);
+
+        let mut backend = CrashingBackend::new(MemoryBackend::new(), 2);
+        assert!(!backend.tripped());
+        let err = backend.record(&events).unwrap_err();
+        assert!(matches!(err, RepoError::Persist(ref m) if m.contains("injected crash")));
+        assert!(backend.tripped());
+        assert!(backend.record(&events).is_err(), "dead stays dead");
+        assert!(backend.checkpoint(&r.snapshot()).is_err());
+        // The durable prefix survived in the inner backend.
+        let restored = backend.restore().unwrap();
+        assert_eq!(
+            restored,
+            bx_core::event::replay(RepositorySnapshot::empty(""), &events[..2])
+        );
+        assert_eq!(backend.into_inner().pending_events(), 2);
+    }
+
+    #[test]
+    fn torn_append_leaves_an_unterminated_tail() {
+        let dir = crate::ops::unique_temp_dir("torn-append");
+        let path = dir.join("events-0.jsonl");
+        std::fs::write(&path, "{\"intact\":1}\n").unwrap();
+        torn_append(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.ends_with('\n'));
+        assert!(text.starts_with("{\"intact\":1}\n"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

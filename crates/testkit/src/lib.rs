@@ -8,7 +8,9 @@
 //! * [`harness`] — glue turning generated models into
 //!   [`bx_theory::Samples`] and asserting law bundles;
 //! * [`faults`] — deliberately broken bx wrappers used to verify that the
-//!   law checkers actually catch violations (testing the testers);
+//!   law checkers actually catch violations (testing the testers), and
+//!   storage faults (mid-stream crashes, torn appends) for durability
+//!   recovery tests;
 //! * [`ops`] — random repository mutation scripts, driving the delta
 //!   equivalence properties (incremental index ≡ rebuild, replay ≡
 //!   snapshot restore).
@@ -18,5 +20,7 @@ pub mod harness;
 pub mod ops;
 pub mod strategies;
 
-pub use faults::{BreakCorrectFwd, BreakHippocraticBwd, BreakHippocraticFwd};
+pub use faults::{
+    torn_append, BreakCorrectFwd, BreakHippocraticBwd, BreakHippocraticFwd, CrashingBackend,
+};
 pub use harness::{assert_well_behaved, samples_from_models};

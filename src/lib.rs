@@ -19,8 +19,9 @@
 //! ```
 //!
 //! See the `examples/` directory for runnable walkthroughs:
-//! `quickstart`, `composers_session`, `repository_tour`, `uml_sync`,
-//! `relational_views`.
+//! `quickstart`, `composers_session`, `repository_tour`,
+//! `replicated_wiki` (background durability + a converging read
+//! replica), `uml_sync`, `relational_views`.
 
 /// The curated repository (entry template, versioning, curation, wiki,
 /// citations, search, persistence).

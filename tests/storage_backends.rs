@@ -1,7 +1,12 @@
 //! All three `StorageBackend` implementations round-trip the standard
-//! repository — via checkpoint, via pure delta recording, and mixed.
+//! repository — via checkpoint, via pure delta recording, and mixed —
+//! and the auto-compaction policy keeps the event log O(1) generations
+//! deep without changing the restored state.
 
-use bx::core::storage::{EventLogBackend, JsonFileBackend, MemoryBackend, StorageBackend};
+use bx::core::storage::{
+    AutoCompactingEventLog, CompactionPolicy, EventLogBackend, JsonFileBackend, MemoryBackend,
+    StorageBackend,
+};
 use bx::core::{EntryId, Repository};
 use bx::examples::standard_repository;
 use bx_testkit::ops::unique_temp_dir;
@@ -56,6 +61,59 @@ fn all_backends_roundtrip_the_standard_repository() {
 
     std::fs::remove_dir_all(&json_dir).ok();
     std::fs::remove_dir_all(&log_dir).ok();
+}
+
+/// The compaction acceptance bar: M mutations, auto-checkpoint every
+/// N < M events → O(1) generations on disk, restore replays ≤ N events,
+/// and the restored state equals an uncompacted baseline fed the same
+/// stream.
+#[test]
+fn auto_compaction_matches_the_uncompacted_baseline() {
+    const M: usize = 120;
+    const N: usize = 16;
+    let auto_dir = unique_temp_dir("compact-auto");
+    let base_dir = unique_temp_dir("compact-baseline");
+    let mut compacting = AutoCompactingEventLog::open(
+        &auto_dir,
+        CompactionPolicy {
+            checkpoint_every: N,
+        },
+    )
+    .unwrap();
+    let mut baseline = EventLogBackend::open(&base_dir).unwrap();
+
+    let repo = standard_repository();
+    let seed = repo.drain_events();
+    compacting.record(&seed).unwrap();
+    baseline.record(&seed).unwrap();
+
+    let dates = EntryId::from_title("DATES");
+    for i in 0..M {
+        repo.comment("James Cheney", &dates, "2014-05-01", &format!("m{i}"))
+            .unwrap();
+        let events = repo.drain_events();
+        compacting.record(&events).unwrap();
+        baseline.record(&events).unwrap();
+    }
+
+    // O(1) generations: at most the current one (possibly none right
+    // after a checkpoint), never the full history of superseded logs.
+    assert!(compacting.inner().generation_files().unwrap().len() <= 1);
+    // Restore replays at most N events.
+    assert!(compacting.inner().pending_events().unwrap() <= N);
+    assert!(compacting.events_since_checkpoint() <= N);
+    // The baseline kept everything in one generation…
+    assert_eq!(
+        baseline.pending_events().unwrap(),
+        seed.len() + M,
+        "uncompacted baseline replays the full history"
+    );
+    // …and both restore the identical state, which is the live state.
+    assert_eq!(compacting.restore().unwrap(), baseline.restore().unwrap());
+    assert_eq!(compacting.restore().unwrap(), repo.snapshot());
+
+    std::fs::remove_dir_all(&auto_dir).ok();
+    std::fs::remove_dir_all(&base_dir).ok();
 }
 
 #[test]

@@ -4,18 +4,32 @@
 //! the slice of criterion's API its benches use: `Criterion`,
 //! `bench_function`, `benchmark_group` (+ `bench_with_input`, `throughput`,
 //! `sample_size`, `finish`), `BenchmarkId`, `Throughput`, `black_box`, and
-//! the `criterion_group!` / `criterion_main!` macros. Measurement is a
-//! simple mean over a fixed number of timed iterations after a short
-//! warm-up — enough to compare orders of magnitude locally, not a
-//! statistical benchmark.
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! ## Measurement model (the supported slice)
+//!
+//! Each benchmark runs `max(3, sample_size / 10)` untimed warm-up
+//! iterations (caches, allocator, branch predictors settle), then times
+//! `sample_size` iterations *individually*, sorts the samples, trims the
+//! top and bottom 20% (outliers: scheduler preemptions, page faults,
+//! one-off allocations), and reports the **median of the remaining middle
+//! 60%**. This is stable enough to compare two runs of the same bench —
+//! the bar the `concurrent` group needs — but it is still not real
+//! criterion: no bootstrapped confidence intervals, no regression
+//! detection, no per-iteration batching. Per-sample timing costs one
+//! `Instant::now` pair per iteration, so readings under ~100 ns are
+//! dominated by timer overhead and should be treated as upper bounds.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-const WARMUP_ITERS: u64 = 3;
+const WARMUP_ITERS_MIN: u64 = 3;
 const DEFAULT_SAMPLES: u64 = 30;
+/// Numerator over 10 of samples discarded at *each* end before taking
+/// the median (2/10 = 20% per side, keeping the middle 60%).
+const TRIM_PER_SIDE_TENTHS: usize = 2;
 
 /// Entry point handed to each bench target.
 pub struct Criterion {
@@ -111,43 +125,53 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-/// Runs the closure under test and records a mean per-iteration time.
+/// Runs the closure under test and records a trimmed-median
+/// per-iteration time (see the module docs for the measurement model).
 pub struct Bencher {
     samples: u64,
-    mean: Option<Duration>,
+    median: Option<Duration>,
 }
 
 impl Bencher {
     fn new(samples: u64) -> Self {
         Bencher {
             samples,
-            mean: None,
+            median: None,
         }
     }
 
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
-        for _ in 0..WARMUP_ITERS {
+        let warmup = WARMUP_ITERS_MIN.max(self.samples / 10);
+        for _ in 0..warmup {
             black_box(f());
         }
-        let start = Instant::now();
-        for _ in 0..self.samples {
+        let count = self.samples.max(1) as usize;
+        let mut times: Vec<Duration> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let start = Instant::now();
             black_box(f());
+            times.push(start.elapsed());
         }
-        self.mean = Some(start.elapsed() / self.samples.max(1) as u32);
+        times.sort_unstable();
+        // Trim 20% per side; for tiny sample counts the trim rounds to
+        // zero and this degenerates to a plain median.
+        let trim = times.len() * TRIM_PER_SIDE_TENTHS / 10;
+        let kept = &times[trim..times.len() - trim];
+        self.median = Some(kept[kept.len() / 2]);
     }
 
     fn report(&self, name: &str, throughput: Option<&Throughput>) {
-        let Some(mean) = self.mean else {
+        let Some(median) = self.median else {
             println!("{name:<50} (no measurement)");
             return;
         };
-        let mut line = format!("{name:<50} {:>12}", format_duration(mean));
+        let mut line = format!("{name:<50} {:>12}", format_duration(median));
         if let Some(tp) = throughput {
             let elems = match tp {
                 Throughput::Elements(n) | Throughput::Bytes(n) => *n,
             };
-            if mean.as_nanos() > 0 && elems > 0 {
-                let per_sec = elems as f64 / mean.as_secs_f64();
+            if median.as_nanos() > 0 && elems > 0 {
+                let per_sec = elems as f64 / median.as_secs_f64();
                 let unit = match tp {
                     Throughput::Elements(_) => "elem/s",
                     Throughput::Bytes(_) => "B/s",
@@ -271,5 +295,33 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn trimmed_median_shrugs_off_outliers() {
+        // One iteration in ten stalls hard; the 20%-per-side trim must
+        // discard the stalls so the reported figure tracks the fast path.
+        let mut bencher = Bencher::new(20);
+        let mut i = 0u32;
+        bencher.iter(|| {
+            i += 1;
+            if i.is_multiple_of(10) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let median = bencher.median.expect("iter measures");
+        assert!(
+            median < Duration::from_millis(1),
+            "stalls leaked into the median: {median:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_sample_counts_degenerate_to_plain_median() {
+        for n in 1..=4 {
+            let mut bencher = Bencher::new(n);
+            bencher.iter(|| black_box(17u64 * 23));
+            assert!(bencher.median.is_some(), "sample_size {n} still measures");
+        }
     }
 }
