@@ -1,0 +1,77 @@
+//! E12 — the federated serving tier: what a fan-in read node costs as
+//! sources multiply. Three rows per source count: the cold open (full
+//! per-source fold + index + site build), the steady-state idle poll
+//! (per-source metadata stats, no parsing), and federated vs
+//! source-scoped query over the merged index. The cold-open : idle-poll
+//! gap is the argument for the long-lived `ReplicaDaemon` over
+//! open-per-request serving.
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bx_bench::scaled_repository;
+use bx_core::replica::{Federation, SourceId};
+use bx_core::storage::{EventLogBackend, StorageBackend};
+
+/// Seed `n` source directories, each a scaled repository's event log
+/// (identical synthetic titles across sources — the collision the
+/// namespacing exists for).
+fn seed_sources(n: usize, entries_each: usize) -> Vec<(SourceId, PathBuf)> {
+    (0..n)
+        .map(|i| {
+            let dir = std::env::temp_dir().join(format!(
+                "bx-bench-federation-{}-{i}-{entries_each}",
+                std::process::id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let repo = scaled_repository(entries_each);
+            let mut backend = EventLogBackend::open(&dir).expect("event log opens");
+            backend.record(&repo.drain_events()).expect("seed records");
+            (SourceId::new(&format!("s{i}")), dir)
+        })
+        .collect()
+}
+
+fn bench_federation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("federation");
+    group.sample_size(10);
+    for &n_sources in &[2usize, 8] {
+        let sources = seed_sources(n_sources, 40);
+
+        group.bench_with_input(
+            BenchmarkId::new("cold_open", n_sources),
+            &sources,
+            |b, sources| b.iter(|| Federation::open("fed", sources.clone()).expect("opens")),
+        );
+
+        let mut federation = Federation::open("fed", sources.clone()).expect("opens");
+        group.bench_with_input(BenchmarkId::new("idle_poll", n_sources), &(), |b, ()| {
+            b.iter(|| {
+                let progress = federation.catch_up().expect("sources present");
+                assert_eq!(progress.events_applied, 0, "idle means idle");
+            })
+        });
+
+        let read_only = Federation::open("fed", sources.clone()).expect("opens");
+        group.bench_with_input(
+            BenchmarkId::new("query_federated", n_sources),
+            &read_only,
+            |b, federation| b.iter(|| federation.query(&["synthetic", "databases"])),
+        );
+        let scope = SourceId::new("s0");
+        group.bench_with_input(
+            BenchmarkId::new("query_one_source", n_sources),
+            &read_only,
+            |b, federation| b.iter(|| federation.query_source(&scope, &["synthetic", "databases"])),
+        );
+
+        for (_, dir) in &sources {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_federation);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! repository itself").
 
 use crate::error::RepoError;
-use crate::repo::{EntryId, Repository};
+use crate::repo::{EntryId, Repository, RepositorySnapshot};
 use crate::template::ExampleEntry;
 use crate::version::Version;
 
@@ -15,7 +15,14 @@ pub const REPOSITORY_URL: &str = "http://bx-community.wikidot.com/examples:home"
 /// `COMPOSERS, version 0.1. In: The Bx Examples Repository.
 /// http://bx-community.wikidot.com/examples:composers`
 pub fn cite_entry(repo_name: &str, entry: &ExampleEntry) -> String {
-    let id = EntryId::from_title(&entry.title);
+    cite_record(repo_name, &EntryId::from_title(&entry.title), entry)
+}
+
+/// [`cite_entry`] with the record id supplied explicitly rather than
+/// derived from the title — required when the id is not the title's slug,
+/// as for the source-namespaced records of a
+/// [`crate::replica::Federation`] (`eu/composers`).
+pub fn cite_record(repo_name: &str, id: &EntryId, entry: &ExampleEntry) -> String {
     format!(
         "{}, version {}. In: {}. http://bx-community.wikidot.com/{}",
         entry.title,
@@ -38,11 +45,55 @@ pub fn cite(
     Ok(cite_entry(repo.name(), &entry))
 }
 
+/// Citation for an entry in a *snapshot* — the replica/federation serving
+/// path, where no live [`Repository`] exists. Latest version by default,
+/// or a pinned one.
+pub fn cite_in(
+    snapshot: &RepositorySnapshot,
+    id: &EntryId,
+    version: Option<Version>,
+) -> Result<String, RepoError> {
+    let record = snapshot
+        .records
+        .get(id)
+        .ok_or_else(|| RepoError::UnknownEntry(id.to_string()))?;
+    let entry = match version {
+        None => record.latest(),
+        Some(v) => record
+            .history
+            .iter()
+            .find(|e| e.version == v)
+            .ok_or_else(|| RepoError::UnknownVersion {
+                entry: id.to_string(),
+                version: v.to_string(),
+            })?,
+    };
+    Ok(cite_record(&snapshot.name, id, entry))
+}
+
+/// The recommended citations for every entry's latest version, in id
+/// order — the "how to cite what this node serves" listing a replica or
+/// federation exposes.
+pub fn citations(snapshot: &RepositorySnapshot) -> Vec<String> {
+    snapshot
+        .records
+        .iter()
+        .map(|(id, record)| cite_record(&snapshot.name, id, record.latest()))
+        .collect()
+}
+
 /// A BibTeX record for an entry version (for the archival manuscript and
 /// for papers that prefer BibTeX).
 pub fn bibtex(repo_name: &str, entry: &ExampleEntry) -> String {
-    let id = EntryId::from_title(&entry.title);
-    let key = format!("bx-{}-{}", id.as_str(), entry.version).replace('.', "-");
+    bibtex_record(repo_name, &EntryId::from_title(&entry.title), entry)
+}
+
+/// [`bibtex`] with the record id supplied explicitly. The BibTeX key
+/// derives from the id, so two federated sources contributing entries
+/// with the same title still get distinct keys
+/// (`bx-eu-composers-0-1` vs `bx-us-composers-0-1`).
+pub fn bibtex_record(repo_name: &str, id: &EntryId, entry: &ExampleEntry) -> String {
+    let key = format!("bx-{}-{}", id.as_str(), entry.version).replace(['.', '/'], "-");
     let mut out = String::with_capacity(256);
     out.push_str(&format!("@misc{{{key},\n"));
     out.push_str(&format!(
@@ -131,6 +182,43 @@ mod tests {
         e.reviewers.push("Jeremy Gibbons".to_string());
         let b = bibtex("R", &e);
         assert!(b.contains("reviewed by Jeremy Gibbons"));
+    }
+
+    #[test]
+    fn snapshot_citations_serve_without_a_live_repository() {
+        let r = Repository::found("R", vec![Principal::curator("c")]);
+        r.register(Principal::member("Perdita Stevens")).unwrap();
+        let id = r.contribute("Perdita Stevens", entry()).unwrap();
+        let snap = r.snapshot();
+        assert_eq!(
+            cite_in(&snap, &id, None).unwrap(),
+            cite(&r, &id, None).unwrap()
+        );
+        assert_eq!(
+            cite_in(&snap, &id, Some(Version::new(0, 1))).unwrap(),
+            cite(&r, &id, None).unwrap()
+        );
+        assert!(matches!(
+            cite_in(&snap, &id, Some(Version::new(9, 9))),
+            Err(RepoError::UnknownVersion { .. })
+        ));
+        assert!(matches!(
+            cite_in(&snap, &EntryId("ghost".into()), None),
+            Err(RepoError::UnknownEntry(_))
+        ));
+        let all = citations(&snap);
+        assert_eq!(all, vec![cite(&r, &id, None).unwrap()]);
+    }
+
+    #[test]
+    fn record_citation_honours_a_namespaced_id() {
+        // A federated record's key is not its title slug: the citation
+        // URL and BibTeX key must follow the *record id*.
+        let id = EntryId("eu/composers".to_string());
+        let c = cite_record("Fed", &id, &entry());
+        assert!(c.contains("examples:eu/composers"));
+        let b = bibtex_record("Fed", &id, &entry());
+        assert!(b.starts_with("@misc{bx-eu-composers-0-1,"), "{b}");
     }
 
     #[test]

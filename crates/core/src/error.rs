@@ -41,6 +41,15 @@ pub enum RepoError {
     },
     /// Persistence failure (serialisation or I/O), stringified.
     Persist(String),
+    /// A replicated source that had been tailed is gone — the whole
+    /// directory, or its checkpoint manifest after one had been parsed
+    /// (not merely an empty or not-yet-written log). The typed signal a
+    /// replica/federation poll surfaces instead of silently adopting an
+    /// empty state.
+    SourceUnavailable {
+        /// The directory being tailed when the source vanished.
+        dir: String,
+    },
 }
 
 impl fmt::Display for RepoError {
@@ -67,6 +76,12 @@ impl fmt::Display for RepoError {
                 write!(f, "cannot parse wiki page `{page}`: {reason}")
             }
             RepoError::Persist(s) => write!(f, "persistence error: {s}"),
+            RepoError::SourceUnavailable { dir } => {
+                write!(
+                    f,
+                    "replicated source `{dir}` is gone (directory or checkpoint manifest missing)"
+                )
+            }
         }
     }
 }
@@ -99,6 +114,9 @@ mod tests {
                 reason: "r".into(),
             },
             RepoError::Persist("io".into()),
+            RepoError::SourceUnavailable {
+                dir: "/gone".into(),
+            },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

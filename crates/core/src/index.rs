@@ -174,6 +174,19 @@ impl SearchIndex {
     /// Intersects borrowed posting lists (driven from the smallest one)
     /// without cloning any posting map; only the result ids are cloned.
     pub fn query(&self, terms: &[&str]) -> Vec<(EntryId, u32)> {
+        self.query_filtered(terms, |_| true)
+    }
+
+    /// [`SearchIndex::query`] restricted to entries `keep` accepts — the
+    /// serving path for scoped search (e.g. a [`crate::replica::Federation`]
+    /// restricting hits to one source's namespace) without materializing
+    /// a per-scope index. The filter runs on candidate ids *before* the
+    /// full conjunction is scored, so rejected entries cost one check.
+    pub fn query_filtered(
+        &self,
+        terms: &[&str],
+        keep: impl Fn(&EntryId) -> bool,
+    ) -> Vec<(EntryId, u32)> {
         if terms.is_empty() {
             return Vec::new();
         }
@@ -189,6 +202,9 @@ impl SearchIndex {
         let (smallest, rest) = postings.split_first().expect("terms is non-empty");
         let mut out: Vec<(EntryId, u32)> = Vec::new();
         'candidates: for (id, tf) in *smallest {
+            if !keep(id) {
+                continue;
+            }
             let mut score = *tf;
             for posting in rest {
                 match posting.get(id) {
@@ -297,6 +313,24 @@ mod tests {
         assert_eq!(uml_only.len(), 1);
         assert_eq!(uml_only[0].0.as_str(), "uml2rdbms");
         let none = idx.query(&["tables", "composers"]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn filtered_query_scopes_candidates() {
+        let idx = SearchIndex::build(&snapshot());
+        // Both entries mention "composers"/"classes" disjointly; scope
+        // by id and check the unscoped query is the trivial filter.
+        let all = idx.query(&["correspond"]);
+        assert_eq!(
+            all,
+            idx.query_filtered(&["correspond"], |_| true),
+            "query is query_filtered with the trivial filter"
+        );
+        let scoped = idx.query_filtered(&["regenerate"], |id| id.as_str().starts_with("uml"));
+        assert_eq!(scoped.len(), 1);
+        assert_eq!(scoped[0].0.as_str(), "uml2rdbms");
+        let none = idx.query_filtered(&["regenerate"], |id| id.as_str().starts_with("zzz"));
         assert!(none.is_empty());
     }
 

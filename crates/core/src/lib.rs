@@ -24,7 +24,9 @@
 //!   with explicit flush and drop-shutdown semantics;
 //! * [`replica`] — read replicas that tail a shipped event-log directory
 //!   and incrementally maintain their own snapshot, search index and
-//!   wiki site;
+//!   wiki site; [`replica::Federation`] fans N independent primaries into
+//!   one namespaced merged node, and [`replica::ReplicaDaemon`] polls it
+//!   on a background thread with clean start/stop and lag stats;
 //! * [`cite`] — citation formats for entries and the repository (§5.2);
 //! * [`index`] — keyword search with type/property filters (§5.2
 //!   findability);
@@ -60,9 +62,12 @@ pub mod wiki_bx;
 pub use curation::EntryStatus;
 pub use error::RepoError;
 pub use event::{EventSink, RepoEvent};
+pub use manuscript::{export_manuscript, ManuscriptOptions};
 pub use pipeline::{BackgroundWriter, PipelineConfig, PipelineStats};
 pub use principal::{Principal, Role};
-pub use replica::Replica;
+pub use replica::{
+    federate_snapshots, DaemonConfig, DaemonStats, Federation, Replica, ReplicaDaemon, SourceId,
+};
 pub use repo::{EntryId, Repository};
 pub use storage::{
     AutoCompactingEventLog, CompactionPolicy, EventLogBackend, JsonFileBackend, MemoryBackend,

@@ -5,7 +5,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::cite::{bibtex, cite_repository};
+use crate::cite::{bibtex_record, cite_repository};
 use crate::repo::RepositorySnapshot;
 use crate::wiki::render_entry;
 
@@ -16,18 +16,21 @@ pub struct ManuscriptOptions {
     pub reviewed_only: bool,
 }
 
-/// Produce the archival technical report as plain text.
+/// Produce the archival technical report as plain text. Entries are
+/// keyed by their record id (not their title slug), so a federated
+/// snapshot whose sources contributed colliding titles exports distinct
+/// BibTeX keys per source.
 pub fn export_manuscript(snapshot: &RepositorySnapshot, options: ManuscriptOptions) -> String {
     let entries: Vec<_> = snapshot
         .records
-        .values()
-        .map(|r| r.latest())
-        .filter(|e| !options.reviewed_only || e.version.is_reviewed())
+        .iter()
+        .map(|(id, r)| (id, r.latest()))
+        .filter(|(_, e)| !options.reviewed_only || e.version.is_reviewed())
         .collect();
 
     let mut authors: BTreeSet<&str> = BTreeSet::new();
     let mut reviewers: BTreeSet<&str> = BTreeSet::new();
-    for e in &entries {
+    for (_, e) in &entries {
         authors.extend(e.authors.iter().map(String::as_str));
         reviewers.extend(e.reviewers.iter().map(String::as_str));
     }
@@ -55,19 +58,19 @@ pub fn export_manuscript(snapshot: &RepositorySnapshot, options: ManuscriptOptio
         cite_repository(&snapshot.name)
     ));
     out.push_str(&format!("\nContents ({} entries):\n", entries.len()));
-    for e in &entries {
+    for (_, e) in &entries {
         out.push_str(&format!("  - {} (version {})\n", e.title, e.version));
     }
     out.push_str("\n----\n\n");
 
-    for e in &entries {
+    for (_, e) in &entries {
         out.push_str(&render_entry(e));
         out.push_str("----\n\n");
     }
 
     out.push_str("Appendix: BibTeX records\n\n");
-    for e in &entries {
-        out.push_str(&bibtex(&snapshot.name, e));
+    for (id, e) in &entries {
+        out.push_str(&bibtex_record(&snapshot.name, id, e));
         out.push('\n');
     }
     out

@@ -1,4 +1,6 @@
-//! Read replicas: replication by shipping the event log.
+//! Read replicas and federation: replication by shipping the event log.
+//!
+//! ## Single-primary replicas
 //!
 //! A [`Replica`] tails the directory an [`EventLogBackend`] writes —
 //! locally, over a network file system, or rsynced from the primary —
@@ -10,31 +12,59 @@
 //! * the entry pages of a [`WikiSite`] (via [`WikiBx::sync_changed`]
 //!   over the tailed events' dirty set),
 //!
-//! so a fleet of replicas can serve search and wiki reads while the
-//! primary alone takes writes. [`Replica::catch_up`] is cheap to call in
-//! a loop: within a log generation it applies only the events appended
-//! since the last call; when the primary has checkpointed (the manifest
-//! names a new generation), it *re-bases* — adopts the checkpoint state
-//! and patches the index and site for exactly the records that differ.
+//! so a fleet of replicas can serve search, wiki, citation and manuscript
+//! reads while the primary alone takes writes. [`Replica::catch_up`] is
+//! cheap to call in a loop: within a log generation it applies only the
+//! events appended since the last call; when the primary has checkpointed
+//! (the manifest names a new generation), it *re-bases* — adopts the
+//! checkpoint state and patches the index and site for exactly the
+//! records that differ. The tailing state machine itself is [`LogTail`],
+//! shared with the federation below.
 //!
-//! The replica is read-only and crash-tolerant the same way recovery is:
-//! a torn final append in the tailed log is ignored until the primary's
-//! next durable write, and a replica that read the log mid-checkpoint
-//! simply re-bases on its next `catch_up`. Convergence with the primary
-//! (snapshot, search results, rendered pages) is property-tested in
-//! `tests/replica_convergence.rs` over random mutation scripts,
-//! including across a simulated writer crash.
+//! ## Multi-primary federation
+//!
+//! A [`Federation`] is one read node tailing **N independent primaries**
+//! (each its own event-log directory and [`LogTail`]) and folding them
+//! into a single merged snapshot, search index and wiki site. Every
+//! record and account is namespaced by its [`SourceId`]
+//! (`"<source>/<id>"`), so colliding entry ids from different primaries
+//! coexist instead of clobbering each other. Per source, the federation
+//! re-bases across checkpoint generations exactly as a single replica
+//! does. The merged state it converges to is specified by the pure
+//! [`federate_snapshots`] fold, which the convergence property tests
+//! (`tests/federation_convergence.rs`) pin it against under interleaved
+//! writes, compaction, killed writers and torn appends.
+//!
+//! [`ReplicaDaemon`] wraps a federation in a background polling thread
+//! ([`DaemonConfig`] sets the cadence) with clean start/stop,
+//! [`ReplicaDaemon::force_catch_up`], sticky error surfacing and
+//! [`DaemonStats`] (polls, events applied, rebases, per-source lag).
+//!
+//! The replica side is read-only and crash-tolerant the same way
+//! recovery is: a torn final append in a tailed log is ignored until the
+//! primary's next durable write, and a reader that observed a
+//! mid-checkpoint directory simply re-bases on its next poll. A source
+//! directory that disappears after it has been tailed surfaces as a
+//! typed [`RepoError::SourceUnavailable`], never a panic.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use bx_theory::Bx;
 
+use crate::cite;
 use crate::error::RepoError;
-use crate::event::{apply_event, RepoEvent};
+use crate::event::{apply_event, replay, RepoEvent};
 use crate::index::SearchIndex;
-use crate::repo::{EntryId, RepositorySnapshot};
+use crate::manuscript::{export_manuscript, ManuscriptOptions};
+use crate::principal::Principal;
+use crate::repo::{EntryId, EntryRecord, RepositorySnapshot};
 use crate::storage::EventLogBackend;
+use crate::template::slug_of;
+use crate::version::Version;
 use crate::wiki::WikiSite;
 use crate::wiki_bx::WikiBx;
 
@@ -47,20 +77,36 @@ pub struct CatchUp {
     pub rebased: bool,
 }
 
-/// A read replica of an event-log directory; see the module docs.
-pub struct Replica {
+/// What one [`LogTail::poll`] observed, for the caller to fold into its
+/// materializations: an optional new base to re-base onto, then events to
+/// apply incrementally on top.
+#[derive(Debug, Clone, Default)]
+pub struct TailProgress {
+    /// When present, the caller must adopt this state before applying
+    /// `events` (the primary checkpointed, or the log shrank under us).
+    pub new_base: Option<RepositorySnapshot>,
+    /// Intact events appended since the last poll, in log order.
+    pub events: Vec<RepoEvent>,
+    /// Whether this poll crossed a checkpoint generation (or recovered
+    /// from a foreign truncation).
+    pub rebased: bool,
+}
+
+/// The tailing state machine over one event-log directory: byte-offset
+/// incremental reads within a generation, manifest-stamp change detection,
+/// re-base across checkpoint generations, torn-tail tolerance, and a typed
+/// error when a directory that was being tailed disappears. [`Replica`]
+/// runs one of these; [`Federation`] runs one per source.
+#[derive(Debug)]
+pub struct LogTail {
     dir: PathBuf,
-    bx: WikiBx,
-    snapshot: RepositorySnapshot,
-    index: SearchIndex,
-    site: WikiSite,
     /// The log generation currently being tailed.
     generation: String,
     /// Intact events of that generation already applied.
     applied: usize,
     /// Byte offset just past the last applied intact line — where the
-    /// next `catch_up` starts reading, so polling an unchanged log costs
-    /// a metadata check + empty read, not a re-parse of the whole file.
+    /// next poll starts reading, so polling an unchanged log costs a
+    /// metadata check + empty read, not a re-parse of the whole file.
     offset: u64,
     /// (mtime, len) of `checkpoint.json` when it was last parsed — the
     /// manifest embeds a whole snapshot, so polls skip re-parsing it
@@ -68,49 +114,53 @@ pub struct Replica {
     manifest_stamp: Option<(std::time::SystemTime, u64)>,
 }
 
-impl std::fmt::Debug for Replica {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Replica")
-            .field("dir", &self.dir)
-            .field("generation", &self.generation)
-            .field("applied", &self.applied)
-            .field("entries", &self.snapshot.records.len())
-            .finish()
-    }
-}
-
-impl Replica {
-    /// Open a replica over `dir` and catch up to the log's current end.
-    /// The directory may be empty (a primary that has not written yet).
-    pub fn open(dir: impl Into<PathBuf>) -> Result<Replica, RepoError> {
+impl LogTail {
+    /// Open a tail over `dir` (which may not exist yet — a primary that
+    /// has not written) and return it with the base state the caller
+    /// should materialize before the first [`LogTail::poll`].
+    pub fn open(dir: impl Into<PathBuf>) -> Result<(LogTail, RepositorySnapshot), RepoError> {
         let dir = dir.into();
         // Stamp before parse: a checkpoint racing this open makes the
-        // first catch_up conservatively re-parse, never go stale.
+        // first poll conservatively re-parse, never go stale.
         let manifest_stamp = Self::stat_manifest(&dir);
-        let (base, generation) = Self::read_base(&dir)?;
-        let bx = WikiBx::new();
-        let index = SearchIndex::build(&base);
-        let site = bx.fwd(&base, &WikiSite::new());
-        let mut replica = Replica {
-            dir,
-            bx,
-            snapshot: base,
-            index,
-            site,
-            generation,
-            applied: 0,
-            offset: 0,
-            manifest_stamp,
-        };
-        replica.catch_up()?;
-        Ok(replica)
+        let (base, generation) = EventLogBackend::read_state_in(&dir)?;
+        Ok((
+            LogTail {
+                dir,
+                generation,
+                applied: 0,
+                offset: 0,
+                manifest_stamp,
+            },
+            base,
+        ))
     }
 
-    fn read_base(dir: &Path) -> Result<(RepositorySnapshot, String), RepoError> {
-        Ok(match EventLogBackend::read_manifest_in(dir)? {
-            Some(manifest) => (manifest.state, manifest.log),
-            None => (RepositorySnapshot::empty(""), "events-0.jsonl".to_string()),
-        })
+    /// The directory being tailed.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Tail position: (current generation file, events applied from it).
+    pub fn position(&self) -> (&str, usize) {
+        (&self.generation, self.applied)
+    }
+
+    /// Bytes sitting in the current generation log beyond what has been
+    /// applied — the replication lag in bytes (0 when fully caught up or
+    /// the log is absent). A torn trailing fragment counts as lag until
+    /// the writer's next durable append resolves it.
+    pub fn lag_bytes(&self) -> u64 {
+        std::fs::metadata(self.dir.join(&self.generation))
+            .map(|m| m.len().saturating_sub(self.offset))
+            .unwrap_or(0)
+    }
+
+    /// Has this tail ever observed primary state? (Distinguishes "the
+    /// primary has not created its directory yet" from "the directory we
+    /// were tailing is gone".)
+    fn observed(&self) -> bool {
+        self.manifest_stamp.is_some() || self.offset > 0 || self.applied > 0
     }
 
     /// Cheap manifest change detector: `checkpoint.json`'s (mtime, len),
@@ -159,52 +209,131 @@ impl Replica {
         Ok(Some((events, offset + intact_end as u64)))
     }
 
-    /// Pull the replica up to the log's current durable end. Within a
-    /// generation this reads and applies only the bytes appended since
-    /// the last call (polling an unchanged log is a metadata check);
-    /// across a checkpoint it re-bases first. Safe to call at any
-    /// cadence.
-    pub fn catch_up(&mut self) -> Result<CatchUp, RepoError> {
-        let mut progress = CatchUp::default();
+    /// Observe the log's current durable end. Within a generation this
+    /// reads only the bytes appended since the last poll (polling an
+    /// unchanged log is a metadata check); across a checkpoint it reports
+    /// the new base to re-base onto. Safe to call at any cadence.
+    pub fn poll(&mut self) -> Result<TailProgress, RepoError> {
+        let mut progress = TailProgress::default();
+        if !self.dir.exists() {
+            if self.observed() {
+                // We were tailing real state and the whole directory is
+                // gone — not a torn tail, not a slow primary. Surface it
+                // typed; the tail keeps its position so a restored
+                // directory can be polled again.
+                return Err(RepoError::SourceUnavailable {
+                    dir: self.dir.display().to_string(),
+                });
+            }
+            // The primary simply has not created its directory yet.
+            return Ok(progress);
+        }
         // Only re-parse the manifest (it embeds a whole snapshot) when
         // its stamp moved; the stamp is taken before the parse so a
         // racing checkpoint costs one conservative re-parse, never a
         // stale skip.
         let stamp = Self::stat_manifest(&self.dir);
+        if stamp.is_none() && self.manifest_stamp.is_some() {
+            // A manifest we had parsed is gone while the directory
+            // remains (mid-rsync, a crashed compaction, a stray delete).
+            // A healthy primary never removes its manifest, and falling
+            // through would re-base onto the no-manifest default — an
+            // empty snapshot. Surface it typed instead, keeping position
+            // and state so a restored manifest resumes cleanly.
+            return Err(RepoError::SourceUnavailable {
+                dir: self.dir.display().to_string(),
+            });
+        }
         if stamp != self.manifest_stamp {
-            let (base, generation) = Self::read_base(&self.dir)?;
+            let (base, generation) = EventLogBackend::read_state_in(&self.dir)?;
             self.manifest_stamp = stamp;
             if generation != self.generation {
-                // The primary checkpointed: adopt the manifest state,
-                // patch the read-side materializations for what changed,
-                // and start tailing the new generation from its
-                // beginning.
-                self.rebase(base);
+                // The primary checkpointed: the caller adopts the
+                // manifest state and we start tailing the new generation
+                // from its beginning.
                 self.generation = generation;
                 self.applied = 0;
                 self.offset = 0;
+                progress.new_base = Some(base);
                 progress.rebased = true;
             }
         }
         let path = self.dir.join(&self.generation);
-        let (events, new_offset) = match Self::read_tail(&path, self.offset)? {
-            Some(tail) => tail,
+        match Self::read_tail(&path, self.offset)? {
+            Some((events, new_offset)) => {
+                self.applied += events.len();
+                self.offset = new_offset;
+                progress.events = events;
+            }
             None => {
                 // The tailed file shrank under us (a foreign truncation
                 // beyond torn-tail repair). Rolling individual events
                 // back is not possible; re-base onto what the directory
                 // actually holds.
                 let (all, end) = Self::read_tail(&path, 0)?.unwrap_or((Vec::new(), 0));
-                let (base, _) = Self::read_base(&self.dir)?;
+                let (base, _) = EventLogBackend::read_state_in(&self.dir)?;
                 self.applied = all.len();
                 self.offset = end;
-                self.rebase(crate::event::replay(base, &all));
+                progress.new_base = Some(replay(base, &all));
+                progress.events = Vec::new();
                 progress.rebased = true;
-                return Ok(progress);
             }
+        }
+        Ok(progress)
+    }
+}
+
+/// A read replica of one event-log directory; see the module docs.
+pub struct Replica {
+    tail: LogTail,
+    bx: WikiBx,
+    snapshot: RepositorySnapshot,
+    index: SearchIndex,
+    site: WikiSite,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("dir", &self.tail.dir)
+            .field("generation", &self.tail.generation)
+            .field("applied", &self.tail.applied)
+            .field("entries", &self.snapshot.records.len())
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Open a replica over `dir` and catch up to the log's current end.
+    /// The directory may be empty or absent (a primary that has not
+    /// written yet).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Replica, RepoError> {
+        let (tail, base) = LogTail::open(dir)?;
+        let bx = WikiBx::new();
+        let index = SearchIndex::build(&base);
+        let site = bx.fwd(&base, &WikiSite::new());
+        let mut replica = Replica {
+            tail,
+            bx,
+            snapshot: base,
+            index,
+            site,
         };
+        replica.catch_up()?;
+        Ok(replica)
+    }
+
+    /// Pull the replica up to the log's current durable end. Within a
+    /// generation this applies only the events appended since the last
+    /// call; across a checkpoint it re-bases first. Safe to call at any
+    /// cadence.
+    pub fn catch_up(&mut self) -> Result<CatchUp, RepoError> {
+        let progress = self.tail.poll()?;
+        if let Some(base) = progress.new_base {
+            self.rebase(base);
+        }
         let mut dirty: BTreeSet<EntryId> = BTreeSet::new();
-        for event in &events {
+        for event in &progress.events {
             apply_event(&mut self.snapshot, event);
             self.index.apply(event);
             if event.changes_rendered_page() {
@@ -212,14 +341,14 @@ impl Replica {
                     dirty.insert(id.clone());
                 }
             }
-            progress.events_applied += 1;
         }
-        self.applied += events.len();
-        self.offset = new_offset;
         if !dirty.is_empty() {
             self.bx.sync_changed(&self.snapshot, &mut self.site, &dirty);
         }
-        Ok(progress)
+        Ok(CatchUp {
+            events_applied: progress.events.len(),
+            rebased: progress.rebased,
+        })
     }
 
     /// Adopt `target` as the replica state, updating the index and site
@@ -267,14 +396,641 @@ impl Replica {
         &self.site
     }
 
+    /// The recommended citation for one replicated entry (latest or
+    /// pinned version), served without touching the primary.
+    pub fn cite(&self, id: &EntryId, version: Option<Version>) -> Result<String, RepoError> {
+        cite::cite_in(&self.snapshot, id, version)
+    }
+
+    /// Citations for every replicated entry's latest version, in id
+    /// order.
+    pub fn citations(&self) -> Vec<String> {
+        cite::citations(&self.snapshot)
+    }
+
+    /// The archival manuscript export (§5.2) over the replicated state.
+    pub fn export_manuscript(&self, options: ManuscriptOptions) -> String {
+        export_manuscript(&self.snapshot, options)
+    }
+
     /// The directory being tailed.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.tail.dir()
     }
 
     /// Tail position: (current generation file, events applied from it).
     pub fn position(&self) -> (&str, usize) {
-        (&self.generation, self.applied)
+        self.tail.position()
+    }
+}
+
+/// A short, slug-shaped identifier for one primary feeding a
+/// [`Federation`]. Source ids namespace everything a source contributes
+/// to the merged state: entry `composers` from source `eu` becomes
+/// `eu/composers`, account `alice` becomes `eu/alice`. The separator can
+/// never appear inside a source id (construction slugifies), so distinct
+/// sources can never produce colliding namespaced keys.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceId(String);
+
+impl SourceId {
+    /// Build a source id from any label; the label is slugified
+    /// (lowercase alphanumerics and dashes), so `"EU mirror"` becomes
+    /// `eu-mirror`. An empty slug is rejected at [`Federation::open`].
+    pub fn new(label: &str) -> SourceId {
+        SourceId(slug_of(label))
+    }
+
+    /// The slug text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The namespaced form of one of this source's entry ids.
+    pub fn entry_id(&self, id: &EntryId) -> EntryId {
+        EntryId(format!("{}/{}", self.0, id.as_str()))
+    }
+
+    /// The namespaced form of one of this source's account names.
+    pub fn account(&self, name: &str) -> String {
+        format!("{}/{name}", self.0)
+    }
+
+    /// Does a namespaced entry id belong to this source?
+    pub fn owns(&self, id: &EntryId) -> bool {
+        id.as_str()
+            .strip_prefix(&self.0)
+            .is_some_and(|rest| rest.starts_with('/'))
+    }
+
+    /// The namespaced-key prefix of this source (`"<source>/"`).
+    fn prefix(&self) -> String {
+        format!("{}/", self.0)
+    }
+}
+
+impl std::fmt::Display for SourceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Rewrite one source event into the federation's namespace: entry ids
+/// and account names gain the `<source>/` prefix; entry payloads (titles,
+/// authors, comments) pass through untouched — they are display data, not
+/// keys. The result is what the merged snapshot, index and site consume.
+fn namespace_event(source: &SourceId, event: &RepoEvent) -> RepoEvent {
+    use crate::event::{Commented, EntryDelta, EntryRef, Founded, Registered, RoleGranted};
+    let ns_principal = |p: &Principal| Principal {
+        name: source.account(&p.name),
+        ..p.clone()
+    };
+    match event {
+        RepoEvent::Founded(f) => RepoEvent::Founded(Founded {
+            name: f.name.clone(),
+            curators: f.curators.iter().map(ns_principal).collect(),
+        }),
+        RepoEvent::Registered(r) => RepoEvent::Registered(Registered {
+            principal: ns_principal(&r.principal),
+        }),
+        RepoEvent::RoleGranted(g) => RepoEvent::RoleGranted(RoleGranted {
+            account: source.account(&g.account),
+            role: g.role,
+        }),
+        RepoEvent::Contributed(d) => RepoEvent::Contributed(EntryDelta {
+            id: source.entry_id(&d.id),
+            entry: d.entry.clone(),
+        }),
+        RepoEvent::Revised(d) => RepoEvent::Revised(EntryDelta {
+            id: source.entry_id(&d.id),
+            entry: d.entry.clone(),
+        }),
+        RepoEvent::Approved(d) => RepoEvent::Approved(EntryDelta {
+            id: source.entry_id(&d.id),
+            entry: d.entry.clone(),
+        }),
+        RepoEvent::Commented(c) => RepoEvent::Commented(Commented {
+            id: source.entry_id(&c.id),
+            comment: c.comment.clone(),
+        }),
+        RepoEvent::ReviewRequested(r) => RepoEvent::ReviewRequested(EntryRef {
+            id: source.entry_id(&r.id),
+        }),
+        RepoEvent::ChangesRequested(r) => RepoEvent::ChangesRequested(EntryRef {
+            id: source.entry_id(&r.id),
+        }),
+    }
+}
+
+/// The pure specification of federated state: namespace every source's
+/// records and accounts under its [`SourceId`] and merge them into one
+/// snapshot named `name`. A [`Federation`] that has caught up with all
+/// its sources holds exactly `federate_snapshots(name, per_source_folds)`
+/// — the invariant the convergence property tests assert.
+pub fn federate_snapshots(
+    name: &str,
+    sources: &[(SourceId, RepositorySnapshot)],
+) -> RepositorySnapshot {
+    let mut merged = RepositorySnapshot::empty(name);
+    for (source, snapshot) in sources {
+        for (id, record) in &snapshot.records {
+            merged.records.insert(source.entry_id(id), record.clone());
+        }
+        for (account_name, principal) in &snapshot.accounts {
+            let namespaced = source.account(account_name);
+            merged.accounts.insert(
+                namespaced.clone(),
+                Principal {
+                    name: namespaced,
+                    ..principal.clone()
+                },
+            );
+        }
+    }
+    merged
+}
+
+/// Apply one *namespaced* event to the merged snapshot. Identical to
+/// [`apply_event`] except for `Founded`, which must register the source's
+/// curators without adopting the source repository's name (the federation
+/// keeps its own).
+fn apply_federated(merged: &mut RepositorySnapshot, event: &RepoEvent) {
+    match event {
+        RepoEvent::Founded(f) => {
+            for c in &f.curators {
+                merged.accounts.insert(c.name.clone(), c.clone());
+            }
+        }
+        other => apply_event(merged, other),
+    }
+}
+
+/// What one [`Federation::catch_up`] call did, per source and in total.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FederationCatchUp {
+    /// Events applied across all sources.
+    pub events_applied: usize,
+    /// How many sources re-based (checkpoint crossed or truncation
+    /// recovered).
+    pub rebases: usize,
+    /// Per-source progress, in source order.
+    pub per_source: Vec<CatchUp>,
+}
+
+/// One read node tailing N independent primaries into a single merged
+/// snapshot, search index and wiki site; see the module docs.
+pub struct Federation {
+    name: String,
+    sources: Vec<(SourceId, LogTail)>,
+    bx: WikiBx,
+    snapshot: RepositorySnapshot,
+    index: SearchIndex,
+    site: WikiSite,
+}
+
+impl std::fmt::Debug for Federation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Federation")
+            .field("name", &self.name)
+            .field(
+                "sources",
+                &self.sources.iter().map(|(s, _)| s).collect::<Vec<_>>(),
+            )
+            .field("entries", &self.snapshot.records.len())
+            .finish()
+    }
+}
+
+impl Federation {
+    /// Open a federation named `name` over `(source, directory)` pairs
+    /// and catch up to every source's current durable end. Source ids
+    /// must be non-empty and pairwise distinct; directories may be empty
+    /// or absent (primaries that have not written yet).
+    pub fn open(name: &str, sources: Vec<(SourceId, PathBuf)>) -> Result<Federation, RepoError> {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for (source, _) in &sources {
+            if source.as_str().is_empty() {
+                return Err(RepoError::Persist(
+                    "federation source ids must be non-empty".to_string(),
+                ));
+            }
+            if !seen.insert(source.as_str()) {
+                return Err(RepoError::Persist(format!(
+                    "duplicate federation source id `{source}`"
+                )));
+            }
+        }
+        let mut federation = Federation {
+            name: name.to_string(),
+            sources: Vec::with_capacity(sources.len()),
+            bx: WikiBx::new(),
+            snapshot: RepositorySnapshot::empty(name),
+            index: SearchIndex::default(),
+            site: WikiSite::new(),
+        };
+        for (source, dir) in sources {
+            let (tail, base) = LogTail::open(dir)?;
+            federation.rebase_source(&source, base);
+            federation.sources.push((source, tail));
+        }
+        federation.catch_up()?;
+        Ok(federation)
+    }
+
+    /// The federation's own name (kept regardless of what the source
+    /// repositories are called).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The source ids, in tail order.
+    pub fn source_ids(&self) -> Vec<&SourceId> {
+        self.sources.iter().map(|(s, _)| s).collect()
+    }
+
+    /// Poll every source once, folding its progress into the merged
+    /// state. A source that fails (e.g. its directory disappeared)
+    /// surfaces the error immediately; progress already folded from
+    /// earlier sources is kept, and the next call resumes from the
+    /// failing source's last good position.
+    pub fn catch_up(&mut self) -> Result<FederationCatchUp, RepoError> {
+        let mut total = FederationCatchUp::default();
+        // The sources vector is disjointly borrowed: the tail advances
+        // while the merged materializations fold its output.
+        for i in 0..self.sources.len() {
+            let progress = self.sources[i].1.poll()?;
+            let source = self.sources[i].0.clone();
+            if let Some(base) = progress.new_base {
+                self.rebase_source(&source, base);
+            }
+            let mut dirty: BTreeSet<EntryId> = BTreeSet::new();
+            for event in &progress.events {
+                let event = namespace_event(&source, event);
+                apply_federated(&mut self.snapshot, &event);
+                self.index.apply(&event);
+                if event.changes_rendered_page() {
+                    if let Some(id) = event.touched() {
+                        dirty.insert(id.clone());
+                    }
+                }
+            }
+            if !dirty.is_empty() {
+                self.bx.sync_changed(&self.snapshot, &mut self.site, &dirty);
+            }
+            let step = CatchUp {
+                events_applied: progress.events.len(),
+                rebased: progress.rebased,
+            };
+            total.events_applied += step.events_applied;
+            total.rebases += usize::from(step.rebased);
+            total.per_source.push(step);
+        }
+        Ok(total)
+    }
+
+    /// Adopt `target` as source `source`'s contribution to the merged
+    /// state, patching the index and site for exactly the namespaced
+    /// records that differ — the per-source re-base path.
+    fn rebase_source(&mut self, source: &SourceId, target: RepositorySnapshot) {
+        let mut dirty: BTreeSet<EntryId> = BTreeSet::new();
+        let target_records: BTreeMap<EntryId, EntryRecord> = target
+            .records
+            .into_iter()
+            .map(|(id, record)| (source.entry_id(&id), record))
+            .collect();
+        // This source's records currently in the merged state but absent
+        // from the target are retracted (a foreign truncation can lose
+        // entries).
+        let stale: Vec<EntryId> = self
+            .records_of(source)
+            .filter(|(id, _)| !target_records.contains_key(id))
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in stale {
+            self.snapshot.records.remove(&id);
+            self.index.remove_entry(&id);
+            dirty.insert(id);
+        }
+        for (id, record) in target_records {
+            if self.snapshot.records.get(&id) != Some(&record) {
+                self.index.upsert_entry(&id, record.latest());
+                dirty.insert(id.clone());
+                self.snapshot.records.insert(id, record);
+            }
+        }
+        // Accounts: replace this source's namespace wholesale (accounts
+        // feed no index or page, so no diffing is needed).
+        let prefix = source.prefix();
+        self.snapshot
+            .accounts
+            .retain(|name, _| !name.starts_with(&prefix));
+        for (name, principal) in &target.accounts {
+            let namespaced = source.account(name);
+            self.snapshot.accounts.insert(
+                namespaced.clone(),
+                Principal {
+                    name: namespaced,
+                    ..principal.clone()
+                },
+            );
+        }
+        if !dirty.is_empty() {
+            self.bx.sync_changed(&self.snapshot, &mut self.site, &dirty);
+        }
+    }
+
+    /// The merged records belonging to `source` (keys carry the
+    /// `<source>/` prefix).
+    fn records_of<'a>(
+        &'a self,
+        source: &'a SourceId,
+    ) -> impl Iterator<Item = (&'a EntryId, &'a EntryRecord)> {
+        let start = EntryId(source.prefix());
+        self.snapshot
+            .records
+            .range(start..)
+            .take_while(|(id, _)| source.owns(id))
+    }
+
+    /// The merged, namespaced snapshot — exactly
+    /// [`federate_snapshots`] of the per-source durable folds once caught
+    /// up.
+    pub fn snapshot(&self) -> &RepositorySnapshot {
+        &self.snapshot
+    }
+
+    /// The merged search index.
+    pub fn index(&self) -> &SearchIndex {
+        &self.index
+    }
+
+    /// The merged wiki site (entry pages under namespaced slugs, e.g.
+    /// `examples:eu/composers`).
+    pub fn site(&self) -> &WikiSite {
+        &self.site
+    }
+
+    /// Conjunctive keyword search across every source.
+    pub fn query(&self, terms: &[&str]) -> Vec<(EntryId, u32)> {
+        self.index.query(terms)
+    }
+
+    /// Conjunctive keyword search restricted to one source's entries.
+    pub fn query_source(&self, source: &SourceId, terms: &[&str]) -> Vec<(EntryId, u32)> {
+        self.index.query_filtered(terms, |id| source.owns(id))
+    }
+
+    /// The recommended citation for one federated entry (namespaced id),
+    /// latest or pinned version.
+    pub fn cite(&self, id: &EntryId, version: Option<Version>) -> Result<String, RepoError> {
+        cite::cite_in(&self.snapshot, id, version)
+    }
+
+    /// Citations for every federated entry's latest version, in
+    /// namespaced-id order.
+    pub fn citations(&self) -> Vec<String> {
+        cite::citations(&self.snapshot)
+    }
+
+    /// The archival manuscript export over the merged state (BibTeX keys
+    /// derive from the namespaced ids, so colliding titles from different
+    /// sources stay distinct).
+    pub fn export_manuscript(&self, options: ManuscriptOptions) -> String {
+        export_manuscript(&self.snapshot, options)
+    }
+
+    /// Per-source replication lag, in bytes of unapplied log.
+    pub fn lag(&self) -> Vec<(SourceId, u64)> {
+        self.sources
+            .iter()
+            .map(|(source, tail)| (source.clone(), tail.lag_bytes()))
+            .collect()
+    }
+
+    /// Per-source tail positions: (source, generation file, events
+    /// applied from it).
+    pub fn positions(&self) -> Vec<(&SourceId, &str, usize)> {
+        self.sources
+            .iter()
+            .map(|(source, tail)| {
+                let (generation, applied) = tail.position();
+                (source, generation, applied)
+            })
+            .collect()
+    }
+}
+
+/// Tuning for a [`ReplicaDaemon`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// How long the polling thread sleeps between catch-up passes. A
+    /// stop request or [`ReplicaDaemon::force_catch_up`] interrupts the
+    /// sleep immediately.
+    pub poll_interval: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Progress accounting of a [`ReplicaDaemon`], readable at any time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Catch-up passes completed (scheduled and forced).
+    pub polls: u64,
+    /// Events applied across all sources since the daemon started.
+    pub events_applied: u64,
+    /// Source re-bases observed (checkpoints crossed, truncations
+    /// recovered).
+    pub rebases: u64,
+    /// Per-source lag in bytes, as of the last pass.
+    pub source_lag: Vec<(SourceId, u64)>,
+}
+
+struct DaemonShared {
+    federation: Mutex<Federation>,
+    stats: Mutex<DaemonStats>,
+    /// Latest poll error; sticky — it stays visible after later
+    /// successful polls until [`ReplicaDaemon::clear_error`].
+    error: Mutex<Option<RepoError>>,
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+fn daemon_lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl DaemonShared {
+    /// One catch-up pass over the federation, folding the outcome into
+    /// stats and the sticky error slot.
+    fn pass(&self) -> Result<FederationCatchUp, RepoError> {
+        let mut federation = daemon_lock(&self.federation);
+        let outcome = federation.catch_up();
+        let mut stats = daemon_lock(&self.stats);
+        match &outcome {
+            Ok(progress) => {
+                stats.polls += 1;
+                stats.events_applied += progress.events_applied as u64;
+                stats.rebases += progress.rebases as u64;
+                stats.source_lag = federation.lag();
+            }
+            Err(e) => {
+                stats.polls += 1;
+                *daemon_lock(&self.error) = Some(e.clone());
+            }
+        }
+        outcome
+    }
+}
+
+/// A background polling thread around a [`Federation`]: starts at
+/// [`ReplicaDaemon::spawn`], catches up every
+/// [`DaemonConfig::poll_interval`], and stops cleanly (thread joined, no
+/// orphan) on [`ReplicaDaemon::stop`] or drop. Poll errors are sticky —
+/// [`ReplicaDaemon::last_error`] keeps reporting the latest one until
+/// [`ReplicaDaemon::clear_error`] — while the daemon keeps polling, so a
+/// source directory that comes back is picked up again automatically.
+pub struct ReplicaDaemon {
+    shared: Arc<DaemonShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ReplicaDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaDaemon")
+            .field("running", &self.handle.is_some())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ReplicaDaemon {
+    /// Take ownership of `federation` and poll it on a background thread
+    /// every [`DaemonConfig::poll_interval`].
+    pub fn spawn(federation: Federation, config: DaemonConfig) -> ReplicaDaemon {
+        let shared = Arc::new(DaemonShared {
+            federation: Mutex::new(federation),
+            stats: Mutex::new(DaemonStats::default()),
+            error: Mutex::new(None),
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let thread_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("bx-replica-daemon".to_string())
+            .spawn(move || {
+                let shared = thread_shared;
+                let mut stopped = daemon_lock(&shared.stop);
+                while !*stopped {
+                    drop(stopped);
+                    // Poll errors are recorded (sticky) and polling
+                    // continues; a vanished source may come back.
+                    let _ = shared.pass();
+                    stopped = daemon_lock(&shared.stop);
+                    if *stopped {
+                        break;
+                    }
+                    let (guard, _) = shared
+                        .wake
+                        .wait_timeout(stopped, config.poll_interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    stopped = guard;
+                }
+            })
+            .expect("daemon thread spawns");
+        ReplicaDaemon {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Catch up right now on the caller's thread (in addition to the
+    /// scheduled polls), returning what the pass did. The federation and
+    /// stats are updated exactly as a scheduled poll would.
+    pub fn force_catch_up(&self) -> Result<FederationCatchUp, RepoError> {
+        self.shared.pass()
+    }
+
+    /// Run `read` against the federation under the daemon's lock — the
+    /// serving path (query, citations, manuscript, snapshot inspection)
+    /// while polling continues in the background.
+    pub fn with_federation<R>(&self, read: impl FnOnce(&Federation) -> R) -> R {
+        read(&daemon_lock(&self.shared.federation))
+    }
+
+    /// Conjunctive keyword search across every source.
+    pub fn query(&self, terms: &[&str]) -> Vec<(EntryId, u32)> {
+        self.with_federation(|f| f.query(terms))
+    }
+
+    /// Citations for every federated entry's latest version.
+    pub fn citations(&self) -> Vec<String> {
+        self.with_federation(|f| f.citations())
+    }
+
+    /// The archival manuscript export over the merged state.
+    pub fn export_manuscript(&self, options: ManuscriptOptions) -> String {
+        self.with_federation(|f| f.export_manuscript(options))
+    }
+
+    /// Progress accounting so far.
+    pub fn stats(&self) -> DaemonStats {
+        daemon_lock(&self.shared.stats).clone()
+    }
+
+    /// The latest poll error, if any — sticky until
+    /// [`ReplicaDaemon::clear_error`].
+    pub fn last_error(&self) -> Option<RepoError> {
+        daemon_lock(&self.shared.error).clone()
+    }
+
+    /// Clear the sticky error slot (e.g. after restoring a vanished
+    /// source directory).
+    pub fn clear_error(&self) {
+        *daemon_lock(&self.shared.error) = None;
+    }
+
+    /// Is the polling thread still running?
+    pub fn is_running(&self) -> bool {
+        self.handle.as_ref().is_some_and(|h| !h.is_finished())
+    }
+
+    /// Stop polling and join the thread (no orphan survives), returning
+    /// the federation's final stats. Idempotent: a second call returns
+    /// the same stats without touching any thread.
+    pub fn stop(&mut self) -> DaemonStats {
+        *daemon_lock(&self.shared.stop) = true;
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    /// Stop the daemon and hand the federation back for direct use.
+    pub fn into_federation(mut self) -> Federation {
+        self.stop();
+        let shared = self.shared.clone();
+        drop(self); // idempotent: the thread is already joined
+        match Arc::try_unwrap(shared) {
+            Ok(shared) => shared
+                .federation
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner()),
+            // stop() joined the only other holder of the Arc.
+            Err(_) => unreachable!("daemon thread joined but shared state still referenced"),
+        }
+    }
+}
+
+impl Drop for ReplicaDaemon {
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -420,5 +1176,361 @@ mod tests {
         let progress = replica.catch_up().unwrap();
         assert_eq!(progress.events_applied, 1);
         assert_eq!(replica.snapshot(), &r.snapshot());
+    }
+
+    #[test]
+    fn replica_serves_citations_and_manuscript() {
+        let dir = unique_dir("serve");
+        let r = Repository::found("The Bx Examples Repository", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        let id = r.contribute("alice", entry("COMPOSERS")).unwrap();
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+
+        let replica = Replica::open(&dir).unwrap();
+        let cites = replica.citations();
+        assert_eq!(cites.len(), 1);
+        assert!(cites[0].contains("COMPOSERS, version 0.1"));
+        assert_eq!(replica.cite(&id, None).unwrap(), cites[0]);
+        assert!(replica.cite(&id, Some(Version::new(9, 9))).is_err());
+        let manuscript = replica.export_manuscript(ManuscriptOptions::default());
+        assert!(manuscript.contains("++ COMPOSERS"));
+        assert!(manuscript.contains("@misc{bx-composers-0-1,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // == catch_up edge cases (satellite) ==
+
+    #[test]
+    fn replica_opens_over_an_empty_or_absent_directory() {
+        // Absent directory: the primary has not even created it yet.
+        let dir = unique_dir("absent");
+        let mut replica = Replica::open(&dir).unwrap();
+        assert!(replica.snapshot().records.is_empty());
+        assert_eq!(replica.catch_up().unwrap(), CatchUp::default());
+
+        // Present-but-empty directory: same story.
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(replica.catch_up().unwrap(), CatchUp::default());
+
+        // The first real write is then picked up normally.
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        let progress = replica.catch_up().unwrap();
+        assert!(progress.events_applied > 0);
+        assert_eq!(replica.snapshot(), &r.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replica_adopts_a_manifest_appearing_between_polls() {
+        let dir = unique_dir("late-manifest");
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        // The replica opens while no checkpoint manifest exists.
+        let mut replica = Replica::open(&dir).unwrap();
+        assert_eq!(replica.snapshot(), &r.snapshot());
+
+        // Between polls the primary writes its *first* checkpoint: the
+        // manifest appears and names a fresh generation.
+        r.contribute("alice", entry("COMPOSERS")).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        backend.checkpoint(&r.snapshot()).unwrap();
+
+        let progress = replica.catch_up().unwrap();
+        assert!(progress.rebased, "the appearing manifest forces a re-base");
+        assert_eq!(replica.snapshot(), &r.snapshot());
+        assert_eq!(replica.index(), &SearchIndex::build(&r.snapshot()));
+        assert!(replica.bx.consistent(replica.snapshot(), replica.site()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replica_surfaces_a_typed_error_when_the_source_dir_vanishes() {
+        let dir = unique_dir("vanish");
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        r.contribute("alice", entry("COMPOSERS")).unwrap();
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        let mut replica = Replica::open(&dir).unwrap();
+        assert_eq!(replica.snapshot(), &r.snapshot());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        let err = replica.catch_up().unwrap_err();
+        assert!(
+            matches!(err, RepoError::SourceUnavailable { ref dir } if dir.contains("vanish")),
+            "expected SourceUnavailable, got {err:?}"
+        );
+        // State is untouched — the replica keeps serving its last good
+        // view, and a restored directory resumes tailing.
+        assert_eq!(replica.snapshot(), &r.snapshot());
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        assert!(replica.catch_up().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replica_surfaces_a_typed_error_when_the_manifest_vanishes() {
+        let dir = unique_dir("manifest-vanish");
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        r.contribute("alice", entry("COMPOSERS")).unwrap();
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        backend.checkpoint(&r.snapshot()).unwrap();
+        let mut replica = Replica::open(&dir).unwrap();
+        assert_eq!(replica.snapshot(), &r.snapshot());
+
+        // The manifest alone disappears (mid-rsync, stray delete) while
+        // the directory remains: without the guard the tail would
+        // re-base onto the no-manifest default — an empty snapshot.
+        let manifest = dir.join("checkpoint.json");
+        let saved = std::fs::read(&manifest).unwrap();
+        std::fs::remove_file(&manifest).unwrap();
+        let err = replica.catch_up().unwrap_err();
+        assert!(matches!(err, RepoError::SourceUnavailable { .. }));
+        assert_eq!(
+            replica.snapshot(),
+            &r.snapshot(),
+            "the last good state keeps serving"
+        );
+
+        // A restored manifest resumes tailing where it left off.
+        std::fs::write(&manifest, saved).unwrap();
+        r.comment(
+            "alice",
+            &EntryId::from_title("COMPOSERS"),
+            "2014-03-28",
+            "healed",
+        )
+        .unwrap();
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        replica.catch_up().unwrap();
+        assert_eq!(replica.snapshot(), &r.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // == federation ==
+
+    fn primary(name: &str) -> Repository {
+        let r = Repository::found(name, vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        r
+    }
+
+    #[test]
+    fn source_ids_namespace_and_own() {
+        let eu = SourceId::new("EU mirror");
+        assert_eq!(eu.as_str(), "eu-mirror");
+        let id = EntryId::from_title("COMPOSERS");
+        let ns = eu.entry_id(&id);
+        assert_eq!(ns.as_str(), "eu-mirror/composers");
+        assert!(eu.owns(&ns));
+        assert!(!eu.owns(&id));
+        // A source whose slug is a prefix of another's does not own it.
+        let e = SourceId::new("eu");
+        assert!(!e.owns(&ns));
+        assert_eq!(eu.account("alice"), "eu-mirror/alice");
+    }
+
+    #[test]
+    fn federation_rejects_duplicate_or_empty_sources() {
+        let dir = unique_dir("fed-dup");
+        assert!(Federation::open(
+            "fed",
+            vec![
+                (SourceId::new("a"), dir.clone()),
+                (SourceId::new("a"), dir.clone()),
+            ],
+        )
+        .is_err());
+        assert!(Federation::open("fed", vec![(SourceId::new("!!"), dir)]).is_err());
+    }
+
+    #[test]
+    fn federation_merges_colliding_entry_ids() {
+        let dir_a = unique_dir("fed-a");
+        let dir_b = unique_dir("fed-b");
+        let a = primary("alpha");
+        let b = primary("beta");
+        // The *same* title on both primaries: in a single replica one
+        // would clobber the other; the federation namespaces them apart.
+        a.contribute("alice", entry("COMPOSERS")).unwrap();
+        b.contribute("alice", entry("COMPOSERS")).unwrap();
+        b.contribute("alice", entry("DATES")).unwrap();
+        let mut backend_a = crate::storage::EventLogBackend::open(&dir_a).unwrap();
+        backend_a.record(&a.drain_events()).unwrap();
+        let mut backend_b = crate::storage::EventLogBackend::open(&dir_b).unwrap();
+        backend_b.record(&b.drain_events()).unwrap();
+
+        let federation = Federation::open(
+            "fed",
+            vec![
+                (SourceId::new("a"), dir_a.clone()),
+                (SourceId::new("b"), dir_b.clone()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(federation.snapshot().records.len(), 3);
+        assert_eq!(
+            federation.snapshot(),
+            &federate_snapshots(
+                "fed",
+                &[
+                    (SourceId::new("a"), a.snapshot()),
+                    (SourceId::new("b"), b.snapshot()),
+                ]
+            )
+        );
+        // Both COMPOSERS entries are found, namespaced apart.
+        let hits = federation.query(&["composers"]);
+        assert_eq!(hits.len(), 2);
+        let ids: Vec<&str> = hits.iter().map(|(id, _)| id.as_str()).collect();
+        assert!(ids.contains(&"a/composers") && ids.contains(&"b/composers"));
+        // Source-restricted search sees only its own.
+        let a_hits = federation.query_source(&SourceId::new("a"), &["composers"]);
+        assert_eq!(a_hits.len(), 1);
+        assert_eq!(a_hits[0].0.as_str(), "a/composers");
+        // The merged wiki is consistent and serves namespaced pages.
+        assert!(federation.site().current("examples:a/composers").is_some());
+        assert!(WikiBx::new().consistent(federation.snapshot(), federation.site()));
+        // Citations and manuscript come straight off the merged state.
+        assert_eq!(federation.citations().len(), 3);
+        let manuscript = federation.export_manuscript(ManuscriptOptions::default());
+        assert!(manuscript.contains("@misc{bx-a-composers-0-1,"));
+        assert!(manuscript.contains("@misc{bx-b-composers-0-1,"));
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn federation_tails_and_rebases_per_source() {
+        let dir_a = unique_dir("fed-tail-a");
+        let dir_b = unique_dir("fed-tail-b");
+        let a = primary("alpha");
+        let b = primary("beta");
+        let mut backend_a = AutoCompactingEventLog::open(
+            &dir_a,
+            CompactionPolicy {
+                checkpoint_every: 1_000_000,
+            },
+        )
+        .unwrap();
+        backend_a.record(&a.drain_events()).unwrap();
+        let mut backend_b = crate::storage::EventLogBackend::open(&dir_b).unwrap();
+        backend_b.record(&b.drain_events()).unwrap();
+
+        let sa = SourceId::new("a");
+        let sb = SourceId::new("b");
+        let mut federation = Federation::open(
+            "fed",
+            vec![(sa.clone(), dir_a.clone()), (sb.clone(), dir_b.clone())],
+        )
+        .unwrap();
+
+        // Source a checkpoints (forcing a per-source re-base); source b
+        // just appends.
+        let id_a = a.contribute("alice", entry("COMPOSERS")).unwrap();
+        backend_a.record(&a.drain_events()).unwrap();
+        backend_a.checkpoint(&a.snapshot()).unwrap();
+        a.comment("alice", &id_a, "2014-03-28", "after checkpoint")
+            .unwrap();
+        backend_a.record(&a.drain_events()).unwrap();
+        b.contribute("alice", entry("DATES")).unwrap();
+        backend_b.record(&b.drain_events()).unwrap();
+
+        let progress = federation.catch_up().unwrap();
+        assert_eq!(progress.rebases, 1, "only source a crossed a checkpoint");
+        assert!(progress.per_source[0].rebased);
+        assert!(!progress.per_source[1].rebased);
+        let expected = federate_snapshots(
+            "fed",
+            &[(sa.clone(), a.snapshot()), (sb.clone(), b.snapshot())],
+        );
+        assert_eq!(federation.snapshot(), &expected);
+        assert_eq!(federation.index(), &SearchIndex::build(&expected));
+        assert!(WikiBx::new().consistent(federation.snapshot(), federation.site()));
+        // Caught up: zero lag everywhere.
+        assert!(federation.lag().iter().all(|(_, lag)| *lag == 0));
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn daemon_polls_surfaces_sticky_errors_and_stops_clean() {
+        let dir_a = unique_dir("daemon-a");
+        let dir_b = unique_dir("daemon-b");
+        let a = primary("alpha");
+        let b = primary("beta");
+        let mut backend_a = crate::storage::EventLogBackend::open(&dir_a).unwrap();
+        backend_a.record(&a.drain_events()).unwrap();
+        let mut backend_b = crate::storage::EventLogBackend::open(&dir_b).unwrap();
+        backend_b.record(&b.drain_events()).unwrap();
+
+        let federation = Federation::open(
+            "fed",
+            vec![
+                (SourceId::new("a"), dir_a.clone()),
+                (SourceId::new("b"), dir_b.clone()),
+            ],
+        )
+        .unwrap();
+        let mut daemon = ReplicaDaemon::spawn(
+            federation,
+            DaemonConfig {
+                poll_interval: Duration::from_millis(5),
+            },
+        );
+        assert!(daemon.is_running());
+
+        // New writes are served after a forced pass (no sleep needed; a
+        // scheduled poll may also have raced us to them, which is fine —
+        // the cumulative stats see them either way).
+        a.contribute("alice", entry("COMPOSERS")).unwrap();
+        backend_a.record(&a.drain_events()).unwrap();
+        daemon.force_catch_up().unwrap();
+        assert!(daemon.stats().events_applied >= 1);
+        assert_eq!(daemon.query(&["composers"]).len(), 1);
+        assert_eq!(daemon.citations().len(), 1);
+        assert!(daemon.last_error().is_none());
+
+        // A vanished source surfaces a sticky typed error; polling
+        // continues and healthy sources still serve.
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        let err = daemon.force_catch_up().unwrap_err();
+        assert!(matches!(err, RepoError::SourceUnavailable { .. }));
+        assert!(matches!(
+            daemon.last_error(),
+            Some(RepoError::SourceUnavailable { .. })
+        ));
+        daemon.clear_error();
+
+        let stats = daemon.stop();
+        assert!(stats.polls >= 2);
+        assert!(!daemon.is_running(), "no orphan thread after stop");
+        // Idempotent stop; the federation comes back out for direct use.
+        daemon.stop();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn daemon_hands_the_federation_back() {
+        let dir = unique_dir("daemon-back");
+        let a = primary("alpha");
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        backend.record(&a.drain_events()).unwrap();
+        let federation = Federation::open("fed", vec![(SourceId::new("a"), dir.clone())]).unwrap();
+        let daemon = ReplicaDaemon::spawn(federation, DaemonConfig::default());
+        let federation = daemon.into_federation();
+        assert_eq!(federation.name(), "fed");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

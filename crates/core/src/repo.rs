@@ -328,6 +328,26 @@ impl Repository {
         pending.len()
     }
 
+    /// Remove a previously subscribed sink, releasing the bus's `Arc` so
+    /// a dropped subscriber is actually freed (sinks otherwise live as
+    /// long as the repository). Identity is by `Arc` pointer — pass a
+    /// clone of the same `Arc` that was handed to
+    /// [`Repository::subscribe`]. Returns whether a sink was removed;
+    /// events committed after the call are no longer delivered to it.
+    /// The built-in journal sink cannot be unsubscribed this way (its
+    /// `Arc` is never exposed); disable it with
+    /// [`Repository::set_journal_capacity`]`(0)` instead.
+    pub fn unsubscribe(&self, sink: &Arc<dyn EventSink>) -> bool {
+        let mut sinks = self.sinks.write();
+        let before = sinks.len();
+        // Compare data-pointer identity (`Arc::ptr_eq` on `dyn` fat
+        // pointers also compares vtables, which can differ spuriously
+        // across codegen units).
+        let target = Arc::as_ptr(sink) as *const ();
+        sinks.retain(|s| Arc::as_ptr(s) as *const () != target);
+        before != sinks.len()
+    }
+
     /// How many sinks are subscribed (the built-in journal included).
     pub fn sink_count(&self) -> usize {
         self.sinks.read().len()
@@ -1024,6 +1044,38 @@ mod tests {
         let drained = r.drain_events();
         assert_eq!(pushed.len(), 2, "subscription is forward-only");
         assert_eq!(pushed, drained, "journal and push sink agree");
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery_and_releases_the_sink() {
+        let r = repo();
+        r.drain_events();
+        let tape = Arc::new(Tape(Mutex::new(Vec::new())));
+        let sink: Arc<dyn EventSink> = tape.clone();
+        r.subscribe(sink.clone());
+        assert_eq!(r.sink_count(), 2);
+        assert_eq!(Arc::strong_count(&tape), 3, "caller ×2 + bus");
+
+        let id = r.contribute("alice", entry("COMPOSERS", "alice")).unwrap();
+        assert_eq!(tape.0.lock().len(), 1);
+
+        assert!(r.unsubscribe(&sink), "the sink was subscribed");
+        assert_eq!(r.sink_count(), 1, "journal only");
+        assert_eq!(
+            Arc::strong_count(&tape),
+            2,
+            "the bus released its Arc — no leak"
+        );
+        // A dropped subscriber stops receiving events.
+        r.comment("bob", &id, "2014-03-28", "after unsubscribe")
+            .unwrap();
+        assert_eq!(tape.0.lock().len(), 1, "no delivery after unsubscribe");
+        // Unsubscribing again (or a never-subscribed sink) is a no-op.
+        assert!(!r.unsubscribe(&sink));
+        let stranger: Arc<dyn EventSink> = Arc::new(Tape(Mutex::new(Vec::new())));
+        assert!(!r.unsubscribe(&stranger));
+        drop(sink);
+        assert_eq!(Arc::strong_count(&tape), 1, "only the test holds it now");
     }
 
     #[test]

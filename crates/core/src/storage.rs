@@ -51,6 +51,27 @@ fn io_err(e: std::io::Error) -> RepoError {
     RepoError::Persist(e.to_string())
 }
 
+/// Boxed backends forward the contract, so heterogeneous backend
+/// configurations (a federation driver mixing compacting and plain logs,
+/// say) can be held behind one type.
+impl StorageBackend for Box<dyn StorageBackend> {
+    fn kind(&self) -> &'static str {
+        (**self).kind()
+    }
+
+    fn record(&mut self, events: &[RepoEvent]) -> Result<(), RepoError> {
+        (**self).record(events)
+    }
+
+    fn checkpoint(&mut self, snapshot: &RepositorySnapshot) -> Result<(), RepoError> {
+        (**self).checkpoint(snapshot)
+    }
+
+    fn restore(&self) -> Result<RepositorySnapshot, RepoError> {
+        (**self).restore()
+    }
+}
+
 /// In-memory backend: a base snapshot plus the deltas since.
 #[derive(Debug, Clone, Default)]
 pub struct MemoryBackend {
@@ -248,6 +269,30 @@ impl EventLogBackend {
 
     fn manifest_path(&self) -> PathBuf {
         self.dir.join("checkpoint.json")
+    }
+
+    /// The checkpointed base state and current generation log name of an
+    /// event-log directory, read without opening a writer (and therefore
+    /// without the open-time torn-tail repair): `(base, log)` from the
+    /// manifest, or the empty state and the initial generation when no
+    /// checkpoint exists yet. This is the read-side entry point replicas
+    /// tail from.
+    pub fn read_state_in(dir: &Path) -> Result<(RepositorySnapshot, String), RepoError> {
+        Ok(match Self::read_manifest_in(dir)? {
+            Some(manifest) => (manifest.state, manifest.log),
+            None => (RepositorySnapshot::empty(""), "events-0.jsonl".to_string()),
+        })
+    }
+
+    /// Recover the durable state of an event-log directory purely by
+    /// reading: manifest base + replay of the intact lines of the
+    /// generation it names. Unlike `EventLogBackend::open(dir)?.restore()`
+    /// this never mutates the directory (no torn-tail repair), so tests
+    /// and tooling can compute the expected fold of a directory that is
+    /// concurrently being tailed or deliberately left torn.
+    pub fn restore_dir(dir: &Path) -> Result<RepositorySnapshot, RepoError> {
+        let (base, log) = Self::read_state_in(dir)?;
+        Ok(replay(base, &Self::read_log_file(&dir.join(log))?))
     }
 
     pub(crate) fn read_manifest_in(dir: &Path) -> Result<Option<Manifest>, RepoError> {

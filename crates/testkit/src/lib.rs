@@ -13,14 +13,22 @@
 //!   recovery tests;
 //! * [`ops`] — random repository mutation scripts, driving the delta
 //!   equivalence properties (incremental index ≡ rebuild, replay ≡
-//!   snapshot restore).
+//!   snapshot restore);
+//! * [`federation`] — the multi-primary property harness: interleaved
+//!   scripts across N primaries with per-source fault plans (compaction,
+//!   writer kills, torn appends), returning the durable folds a
+//!   federation must converge to.
 
 pub mod faults;
+pub mod federation;
 pub mod harness;
 pub mod ops;
 pub mod strategies;
 
 pub use faults::{
     torn_append, BreakCorrectFwd, BreakHippocraticBwd, BreakHippocraticFwd, CrashingBackend,
+};
+pub use federation::{
+    arb_federation_script, arb_source_plan, drive_federation, FederationScript, SourcePlan,
 };
 pub use harness::{assert_well_behaved, samples_from_models};

@@ -21,7 +21,8 @@
 //! See the `examples/` directory for runnable walkthroughs:
 //! `quickstart`, `composers_session`, `repository_tour`,
 //! `replicated_wiki` (background durability + a converging read
-//! replica), `uml_sync`, `relational_views`.
+//! replica), `federated_wiki` (N primaries fanned into one federated
+//! serving node with a polling daemon), `uml_sync`, `relational_views`.
 
 /// The curated repository (entry template, versioning, curation, wiki,
 /// citations, search, persistence).

@@ -10,13 +10,17 @@
 //! Differences from real proptest, deliberately accepted:
 //! * cases are sampled from a deterministic per-test RNG (seeded by test
 //!   name), so runs are reproducible but not configurable via env vars;
-//! * there is **no shrinking** — a failing case panics with its inputs via
-//!   the ordinary assert message;
+//! * shrinking is **minimal** (see [`shrink`]): when the sampled input
+//!   tuple implements [`shrink::Shrink`] (integers halve toward zero,
+//!   strings/vectors truncate, tuples shrink componentwise), a failing
+//!   case is greedily descended to a local minimum and reported; other
+//!   input types panic with the raw sample;
 //! * `prop_assume!` discards the case without tracking rejection quotas.
 
 pub mod collection;
 mod macros;
 pub mod sample;
+pub mod shrink;
 pub mod strategy;
 pub mod string;
 pub mod test_runner;

@@ -2,9 +2,14 @@
 //!
 //! `proptest!` expands each `fn name(pat in strategy, ...) { body }` into a
 //! plain test fn that samples `config.cases` inputs from a deterministic
-//! RNG and runs the body per case. `prop_assert*` map to the std asserts
-//! (a failure panics with the sampled inputs unshrunk); `prop_assume!`
-//! discards the current case.
+//! RNG and runs the body per case, wrapped in the [`crate::shrink`] case
+//! runner: when the sampled input tuple implements
+//! [`crate::shrink::Shrink`] (integers, strings, vectors, tuples
+//! thereof), a failing case is greedily shrunk and reported at its local
+//! minimum; other input types fail with the raw sample, as before.
+//! `prop_assert*` map to the std asserts; `prop_assume!` discards the
+//! current case (the body runs inside a closure, so the discard is a
+//! `return`).
 
 #[macro_export]
 macro_rules! proptest {
@@ -27,6 +32,12 @@ macro_rules! __proptest_cases {
     ) => {
         $(#[$meta])*
         fn $name() {
+            // Auto-ref specialization: `run_case` resolves to the
+            // shrinking runner iff the sampled tuple implements Shrink
+            // (+ Debug), and to the pass-through runner otherwise (one
+            // of the two imports is necessarily unused per test).
+            #[allow(unused_imports)]
+            use $crate::shrink::{RunPlain as _, RunShrink as _};
             let __config = $cfg;
             let mut __rng = $crate::test_runner::TestRng::deterministic(
                 concat!(module_path!(), "::", stringify!($name)),
@@ -34,8 +45,8 @@ macro_rules! __proptest_cases {
             let mut __case: u32 = 0;
             while __case < __config.cases {
                 __case += 1;
-                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
-                $body
+                let __inputs = ($($crate::strategy::Strategy::sample(&($strat), &mut __rng),)+);
+                (&$crate::shrink::Case::new(__inputs)).run_case(&|($($pat,)+)| { $body });
             }
         }
         $crate::__proptest_cases! { ($cfg) $($rest)* }
@@ -57,12 +68,15 @@ macro_rules! prop_assert_ne {
     ($($args:tt)*) => { assert_ne!($($args)*) };
 }
 
-/// Discard the current case when its precondition does not hold.
+/// Discard the current case when its precondition does not hold. The
+/// property body runs inside the case runner's closure, so the discard
+/// returns from that closure (counting as a pass for the case — and for
+/// any shrink candidate that violates the assumption).
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr $(, $($fmt:tt)*)?) => {
         if !($cond) {
-            continue;
+            return;
         }
     };
 }
@@ -106,5 +120,35 @@ mod tests {
     fn generated_fns_run() {
         bindings_and_assume();
         oneof_and_just();
+    }
+
+    // No #[test] meta: a plain generated fn we can invoke (and catch)
+    // by hand. Every sample from 500..2000 violates `n < 10`, so the
+    // first case fails and must shrink to the exact boundary.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(1))]
+        fn deliberately_failing_property(n in 500u32..2000) {
+            prop_assert!(n < 10, "sampled {}", n);
+        }
+    }
+
+    /// End-to-end through the macro: a seeded failing property reports a
+    /// strictly smaller case than the raw sample (the ROADMAP shrinking
+    /// item, at the `proptest!` surface).
+    #[test]
+    fn failing_properties_report_a_shrunk_case() {
+        let payload = std::panic::catch_unwind(deliberately_failing_property)
+            .expect_err("the property must fail");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("the shrink runner panics with a formatted report");
+        assert!(
+            message.contains("minimal failing case"),
+            "report: {message}"
+        );
+        assert!(
+            message.contains("(10,)"),
+            "any raw sample in 500..2000 shrinks to the boundary 10: {message}"
+        );
     }
 }

@@ -1,0 +1,403 @@
+//! Minimal shrinking for the stand-in proptest.
+//!
+//! Real proptest threads shrink state through every strategy; this
+//! stand-in keeps strategies pure samplers and instead shrinks the
+//! *sampled values* after a failure, via the [`Shrink`] trait: integers
+//! halve toward zero, strings and vectors truncate (empty, first half,
+//! all-but-last), tuples shrink one component at a time. The descent is
+//! greedy — the first candidate that still fails becomes the new current
+//! case — and bounded by [`MAX_SHRINK_RUNS`] re-executions, so a failing
+//! property reports a (locally) minimal case instead of the raw sample.
+//!
+//! Types without a [`Shrink`] impl still work: the `proptest!` macro
+//! dispatches through auto-ref specialization ([`RunShrink`] on
+//! `Case<V>` beats [`RunPlain`] on `&Case<V>` exactly when
+//! `V: Shrink + Debug`), and non-shrinkable inputs simply fail with the
+//! original panic, as before. Vectors shrink by truncation only (their
+//! elements are not individually shrunk) — deliberate minimalism.
+//!
+//! Caveat: candidates are derived from *values*, not from the strategy
+//! that sampled them, so a shrunk case may lie outside the strategy's
+//! range (`500u32..2000` can shrink to `10`). For pure properties that
+//! only makes the report smaller; properties whose harness enforces a
+//! cross-input invariant (e.g. "these two collections have equal
+//! length") should bind such inputs as fixed-arity tuples rather than
+//! collections, or the shrinker may adopt a harness panic as the
+//! "failure" and report an out-of-contract case.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Upper bound on property re-executions spent shrinking one failure.
+pub const MAX_SHRINK_RUNS: usize = 512;
+
+/// A value that knows strictly "smaller" variants of itself. Candidates
+/// are tried in order, so put the most aggressive first (the greedy
+/// descent then converges in few runs). An empty vector means fully
+/// shrunk.
+pub trait Shrink: Sized + Clone {
+    /// Strictly smaller candidate values, most aggressive first.
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+macro_rules! shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    let half = *self / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                    if *self - 1 != half {
+                        out.push(*self - 1);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+shrink_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! shrink_signed {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    // `/ 2` and the ±1 step both move toward zero, so
+                    // the descent terminates for negatives too.
+                    let half = *self / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                    let step = *self - self.signum();
+                    if step != half && step != 0 {
+                        out.push(step);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+shrink_signed!(i8, i16, i32, i64, i128, isize);
+
+impl Shrink for bool {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for String {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = vec![String::new()];
+        if chars.len() >= 2 {
+            out.push(chars[..chars.len() / 2].iter().collect());
+            out.push(chars[..chars.len() - 1].iter().collect());
+        }
+        out
+    }
+}
+
+/// Vectors shrink by truncation toward the failing minimum; elements are
+/// not shrunk individually (minimalism — `T` need only be `Clone`).
+impl<T: Clone> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![Vec::new()];
+        if self.len() >= 2 {
+            out.push(self[..self.len() / 2].to_vec());
+            out.push(self[..self.len() - 1].to_vec());
+        }
+        out
+    }
+}
+
+impl<T: Shrink> Shrink for Option<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => std::iter::once(None)
+                .chain(v.shrink_candidates().into_iter().map(Some))
+                .collect(),
+        }
+    }
+}
+
+macro_rules! shrink_tuples {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Shrink),+> Shrink for ($($name,)+) {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink_candidates() {
+                        let mut next = self.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+shrink_tuples! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// One sampled case on its way into the property body. The `proptest!`
+/// macro wraps every sampled input tuple in a `Case` and calls
+/// `run_case` with both [`RunShrink`] and [`RunPlain`] in scope; method
+/// resolution picks the shrinking runner exactly when the tuple
+/// implements [`Shrink`] (+ `Debug`, to report the minimum), and the
+/// pass-through runner otherwise.
+pub struct Case<V>(RefCell<Option<V>>);
+
+impl<V> Case<V> {
+    /// Wrap one sampled input.
+    pub fn new(value: V) -> Case<V> {
+        Case(RefCell::new(Some(value)))
+    }
+
+    fn take(&self) -> V {
+        self.0
+            .borrow_mut()
+            .take()
+            .expect("a case runs exactly once")
+    }
+}
+
+/// Run `run(value)` catching a panic; `Some(message)` on failure.
+fn panics<V>(run: &dyn Fn(V), value: V) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(|| run(value))) {
+        Ok(()) => None,
+        Err(payload) => Some(
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string()),
+        ),
+    }
+}
+
+/// The process's real panic hook, parked while ≥ 1 shrink loops run.
+/// Reference-counted: only the transition 0→1 swaps the silent hook in
+/// and only 1→0 swaps the original back, so concurrently shrinking
+/// tests can never restore a stale hook and leave the process silenced
+/// forever (the naive take/set/restore pair races exactly that way).
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+static QUIET_WINDOWS: std::sync::Mutex<(usize, Option<PanicHook>)> =
+    std::sync::Mutex::new((0, None));
+
+/// Suppress the default "thread panicked" chatter while the shrink loop
+/// deliberately provokes panics. Global (process-wide) — a concurrently
+/// failing test in another thread keeps its failure, but may lose its
+/// message if it lands inside another test's (brief) shrink window; an
+/// accepted stand-in trade-off.
+fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    /// Closes the window on drop, so an unwind escaping `f` itself (a
+    /// panicking `Clone` or `Shrink` impl — only the property body's
+    /// panics are caught) cannot leave the process hook silenced.
+    struct Window;
+    impl Drop for Window {
+        fn drop(&mut self) {
+            let mut windows = QUIET_WINDOWS.lock().unwrap_or_else(|e| e.into_inner());
+            windows.0 -= 1;
+            if windows.0 == 0 {
+                if let Some(previous) = windows.1.take() {
+                    std::panic::set_hook(previous);
+                }
+            }
+        }
+    }
+    {
+        let mut windows = QUIET_WINDOWS.lock().unwrap_or_else(|e| e.into_inner());
+        if windows.0 == 0 {
+            windows.1 = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        windows.0 += 1;
+    }
+    let _window = Window;
+    f()
+}
+
+/// The shrinking case runner, selected when the input tuple implements
+/// [`Shrink`] and `Debug`.
+pub trait RunShrink<V> {
+    /// Run the property; on failure, shrink greedily and panic with the
+    /// minimal failing case.
+    fn run_case(&self, run: &dyn Fn(V));
+}
+
+impl<V: Shrink + std::fmt::Debug> RunShrink<V> for Case<V> {
+    fn run_case(&self, run: &dyn Fn(V)) {
+        let value = self.take();
+        // The original failure prints through the normal panic hook, so
+        // the raw assertion message is not lost.
+        let Some(first_panic) = panics(run, value.clone()) else {
+            return;
+        };
+        let (minimal, last_panic, runs) = with_quiet_panics(|| {
+            let mut minimal = value;
+            let mut last_panic = first_panic;
+            let mut runs = 0usize;
+            'descend: loop {
+                for candidate in minimal.shrink_candidates() {
+                    if runs >= MAX_SHRINK_RUNS {
+                        break 'descend;
+                    }
+                    runs += 1;
+                    if let Some(message) = panics(run, candidate.clone()) {
+                        minimal = candidate;
+                        last_panic = message;
+                        continue 'descend;
+                    }
+                }
+                break; // every candidate passed: locally minimal
+            }
+            (minimal, last_panic, runs)
+        });
+        panic!(
+            "proptest: property failed; minimal failing case after {runs} shrink run(s): \
+             {minimal:?}\n  case panic: {last_panic}"
+        );
+    }
+}
+
+/// The pass-through case runner for inputs with no [`Shrink`] impl: the
+/// body runs once and its panic propagates unshrunk (the pre-shrinking
+/// behavior).
+pub trait RunPlain<V> {
+    /// Run the property once, without shrinking.
+    fn run_case(&self, run: &dyn Fn(V));
+}
+
+impl<V> RunPlain<V> for &Case<V> {
+    fn run_case(&self, run: &dyn Fn(V)) {
+        run(self.take());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_of<V: 'static>(case: Case<V>, run: impl Fn(V) + 'static) -> String
+    where
+        Case<V>: RunShrink<V>,
+    {
+        let run: Box<dyn Fn(V)> = Box::new(run);
+        let payload = catch_unwind(AssertUnwindSafe(|| case.run_case(&run)))
+            .expect_err("the seeded property must fail");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("shrink runner panics with a formatted report")
+    }
+
+    #[test]
+    fn integer_candidates_move_toward_zero() {
+        assert_eq!(1000u32.shrink_candidates(), vec![0, 500, 999]);
+        assert_eq!(1u32.shrink_candidates(), vec![0]);
+        assert!(0u32.shrink_candidates().is_empty());
+        assert_eq!((-8i32).shrink_candidates(), vec![0, -4, -7]);
+    }
+
+    #[test]
+    fn string_and_vec_truncate() {
+        assert_eq!(
+            "abcd".to_string().shrink_candidates(),
+            vec!["".to_string(), "ab".to_string(), "abc".to_string()]
+        );
+        assert_eq!(
+            vec![1, 2, 3].shrink_candidates(),
+            vec![vec![], vec![1], vec![1, 2]]
+        );
+        assert!(Vec::<u8>::new().shrink_candidates().is_empty());
+    }
+
+    /// The ROADMAP regression: a seeded failing property must report a
+    /// strictly smaller case than the raw sample — here the raw sample is
+    /// 1000 and the true boundary is 10, which greedy halving + stepping
+    /// finds exactly.
+    #[test]
+    fn seeded_failure_reports_a_smaller_case_than_the_raw_sample() {
+        let report = report_of(Case::new((1000u32,)), |(n,)| {
+            assert!(n < 10, "sampled {n}");
+        });
+        assert!(report.contains("minimal failing case"), "report: {report}");
+        assert!(
+            report.contains("(10,)"),
+            "1000 shrinks to the exact boundary 10: {report}"
+        );
+        assert!(
+            report.contains("sampled 10"),
+            "the minimal case's own panic message is kept: {report}"
+        );
+    }
+
+    #[test]
+    fn vectors_shrink_to_the_failing_length() {
+        let report = report_of(Case::new((vec![7u8; 6],)), |(v,): (Vec<u8>,)| {
+            assert!(v.len() < 2, "length {}", v.len());
+        });
+        assert!(
+            report.contains("[7, 7]"),
+            "6 elements shrink to 2: {report}"
+        );
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        // Only the first component matters; the second must shrink to 0.
+        let report = report_of(Case::new((40u32, 9000u64)), |(a, _b)| {
+            assert!(a < 7, "a was {a}");
+        });
+        assert!(report.contains("(7, 0)"), "report: {report}");
+    }
+
+    #[test]
+    fn passing_cases_run_without_shrinking() {
+        let case = Case::new((3u32,));
+        case.run_case(&|(n,)| assert!(n < 10));
+    }
+
+    #[test]
+    fn plain_runner_propagates_the_original_panic() {
+        // A value type with no Shrink impl takes the pass-through path
+        // via auto-ref; the original message survives untouched.
+        #[derive(Debug)]
+        struct Opaque;
+        let case = Case::new((Opaque,));
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            (&case).run_case(&|(_o,): (Opaque,)| panic!("raw message"));
+        }))
+        .expect_err("fails");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"raw message"));
+    }
+}
