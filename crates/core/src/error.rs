@@ -86,6 +86,15 @@ impl fmt::Display for RepoError {
     }
 }
 
+impl RepoError {
+    /// A [`RepoError::Persist`] tagged with the operation that raised it,
+    /// so an fsync failure reads differently from a failed open by the
+    /// time it surfaces through a pipeline `flush` several layers up.
+    pub fn persist_io(op: &str, err: impl fmt::Display) -> RepoError {
+        RepoError::Persist(format!("{op}: {err}"))
+    }
+}
+
 impl std::error::Error for RepoError {}
 
 #[cfg(test)]
@@ -121,5 +130,14 @@ mod tests {
         for e in cases {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn persist_io_keeps_the_failing_operation() {
+        let e = RepoError::persist_io("fsync event log", "No space left on device");
+        assert_eq!(
+            e.to_string(),
+            "persistence error: fsync event log: No space left on device"
+        );
     }
 }

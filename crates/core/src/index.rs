@@ -11,6 +11,7 @@
 //! the touched entry, so its cost scales with the change, not the
 //! repository.
 
+use std::borrow::Cow;
 use std::cell::Cell;
 use std::collections::BTreeMap;
 
@@ -50,6 +51,17 @@ fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
     text.split(|c: char| !c.is_ascii_alphanumeric())
         .filter(|t| t.len() >= 2)
         .map(str::to_ascii_lowercase)
+}
+
+/// The query-side case fold. Most query terms arrive already lowercase
+/// (programmatic callers, repeated searches), so borrow in that common
+/// case and only allocate when an uppercase byte forces a rewrite.
+fn fold_term(term: &str) -> Cow<'_, str> {
+    if term.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(term.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(term)
+    }
 }
 
 fn entry_text(entry: &ExampleEntry) -> String {
@@ -192,7 +204,7 @@ impl SearchIndex {
         }
         let mut postings: Vec<&BTreeMap<EntryId, u32>> = Vec::with_capacity(terms.len());
         for term in terms {
-            match self.postings.get(&term.to_ascii_lowercase()) {
+            match self.postings.get(fold_term(term).as_ref()) {
                 Some(posting) => postings.push(posting),
                 // One absent term empties the conjunction.
                 None => return Vec::new(),
@@ -339,6 +351,29 @@ mod tests {
         let idx = SearchIndex::build(&snapshot());
         assert_eq!(idx.query(&["UML2RDBMS"]).len(), 1);
         assert_eq!(idx.query(&["CoMpOsErS"]).len(), 1);
+    }
+
+    #[test]
+    fn term_fold_borrows_when_already_lowercase() {
+        // The hot path — an already-lowercase term — must not allocate.
+        assert!(matches!(fold_term("composers"), Cow::Borrowed(_)));
+        assert!(matches!(fold_term("uml2rdbms"), Cow::Borrowed(_)));
+        assert!(matches!(fold_term(""), Cow::Borrowed(_)));
+        // Any uppercase byte forces the owned rewrite.
+        assert!(matches!(fold_term("Composers"), Cow::Owned(_)));
+        assert!(matches!(fold_term("uml2RDBMS"), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn mixed_case_and_lowercase_terms_agree() {
+        let idx = SearchIndex::build(&snapshot());
+        // Mixed-case, already-lowercase, and all-caps spellings of the
+        // same conjunction hit identical results through both the plain
+        // and the filtered query paths.
+        let lower = idx.query(&["tables", "classes"]);
+        assert_eq!(lower, idx.query(&["Tables", "CLASSES"]));
+        assert_eq!(lower, idx.query_filtered(&["tAbLeS", "classes"], |_| true));
+        assert!(!lower.is_empty());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! [`crate::repo::Repository`] and persistence leaves the mutating
 //! caller's thread — `contribute`/`revise`/… return as soon as the event
 //! is *enqueued*; the writer thread batches queued events and calls
-//! `StorageBackend::record` off to the side. Three properties define the
+//! `StorageBackend::record` off to the side. Four properties define the
 //! pipeline:
 //!
 //! * **Bounded, with backpressure.** The channel holds at most
@@ -20,9 +20,21 @@
 //!   after one, subsequent events are discarded (counted in
 //!   [`PipelineStats::dropped`]) rather than blocking writers forever,
 //!   and every later `flush`/`shutdown` keeps returning the error.
+//! * **Group commit.** With [`PipelineConfig::group_commit_window`] set,
+//!   the writer holds an fsync window open: it drains *everything*
+//!   concurrent producers queue, appends it through the backend's staged
+//!   (`DurabilityMode::GroupCommit`) path, and issues **one**
+//!   `flush_durable` when the window closes — on the window timer, at
+//!   [`PipelineConfig::max_group_events`], at shutdown, or early when a
+//!   `flush` caller is waiting. One fsync then acknowledges every
+//!   producer in the window ([`PipelineStats::fsyncs`] vs
+//!   [`PipelineStats::group_commits`] make the amortisation observable).
+//!   Without a window (the default), every `record` batch fsyncs on its
+//!   own, exactly as before.
 //! * **Drop-shutdown.** Dropping the writer (or calling
-//!   [`BackgroundWriter::shutdown`]) drains the queue to the backend and
-//!   joins the thread, so a scope exit cannot lose acknowledged events.
+//!   [`BackgroundWriter::shutdown`]) drains the queue to the backend —
+//!   closing any open group-commit window with its fsync — and joins the
+//!   thread, so a scope exit cannot lose acknowledged events.
 //!
 //! The backend is moved into the writer thread. For the scaling backend
 //! ([`crate::storage::EventLogBackend`]), wrap it in
@@ -32,10 +44,11 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::error::RepoError;
 use crate::event::{EventSink, RepoEvent};
-use crate::storage::StorageBackend;
+use crate::storage::{DurabilityMode, StorageBackend};
 
 /// Default bound on the writer's input channel, in events.
 pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
@@ -43,15 +56,39 @@ pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
 /// Default maximum events handed to one `StorageBackend::record` call.
 pub const DEFAULT_WRITE_BATCH: usize = 256;
 
+/// Default cap on how many events one group-commit window may cover
+/// before it is forced closed (bounds both ack latency and the clean
+/// suffix a crash inside the window can lose).
+pub const DEFAULT_MAX_GROUP_EVENTS: usize = 4096;
+
+/// How many periodic [`PipelineHealth`] reports the writer retains before
+/// dropping the oldest.
+const HEALTH_BACKLOG: usize = 64;
+
 /// Tuning knobs for a [`BackgroundWriter`].
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
     /// Channel bound: how many events may sit between the writers and the
     /// backend before `accept` applies backpressure.
     pub channel_capacity: usize,
-    /// Largest batch handed to a single `record` call (amortises per-call
-    /// fsync cost without starving flush waiters).
+    /// Largest batch handed to a single `record` call in per-batch mode
+    /// (amortises per-call fsync cost without starving flush waiters).
     pub write_batch: usize,
+    /// When `Some(window)`, the writer runs in group-commit mode: the
+    /// backend is switched to `DurabilityMode::GroupCommit` and one
+    /// fsync per window replaces one per batch. `None` (the default)
+    /// keeps the one-call-durable per-batch behaviour.
+    pub group_commit_window: Option<Duration>,
+    /// Most events one group-commit window may cover before its fsync is
+    /// forced (≥ 1; ignored in per-batch mode).
+    pub max_group_events: usize,
+    /// Every `health_every` successful commits (record batches in
+    /// per-batch mode, windows in group-commit mode) the writer thread
+    /// snapshots a [`PipelineHealth`] report, drainable via
+    /// [`BackgroundWriter::drain_health_reports`]. `0` (the default)
+    /// disables periodic reporting; [`BackgroundWriter::health`] always
+    /// works on demand.
+    pub health_every: usize,
 }
 
 impl Default for PipelineConfig {
@@ -59,6 +96,19 @@ impl Default for PipelineConfig {
         PipelineConfig {
             channel_capacity: DEFAULT_CHANNEL_CAPACITY,
             write_batch: DEFAULT_WRITE_BATCH,
+            group_commit_window: None,
+            max_group_events: DEFAULT_MAX_GROUP_EVENTS,
+            health_every: 0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The default configuration with a group-commit window of `window`.
+    pub fn group_commit(window: Duration) -> PipelineConfig {
+        PipelineConfig {
+            group_commit_window: Some(window),
+            ..PipelineConfig::default()
         }
     }
 }
@@ -69,12 +119,54 @@ impl Default for PipelineConfig {
 pub struct PipelineStats {
     /// Events accepted into the channel.
     pub enqueued: u64,
-    /// Events durably recorded by the backend.
+    /// Events durably recorded by the backend (past its fsync point).
     pub durable: u64,
     /// Events discarded because the writer had already failed.
     pub dropped: u64,
     /// How many times an `accept` blocked on a full channel.
     pub backpressure_waits: u64,
+    /// Durability commit points the writer has issued: one per `record`
+    /// batch in per-batch mode, one per window in group-commit mode.
+    /// (Real `sync_all` calls on file-backed backends; commit points on
+    /// memory ones.)
+    pub fsyncs: u64,
+    /// Group-commit windows closed. Always 0 in per-batch mode;
+    /// `durable / group_commits` is the realised amortisation factor.
+    pub group_commits: u64,
+}
+
+/// A point-in-time health snapshot of the pipeline: the counters plus the
+/// queue state and the sticky error, if any. Taken on demand by
+/// [`BackgroundWriter::health`] and periodically by the writer thread
+/// when [`PipelineConfig::health_every`] is non-zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineHealth {
+    /// The counters at snapshot time.
+    pub stats: PipelineStats,
+    /// Events sitting in the channel, not yet handed to the backend.
+    pub queue_depth: usize,
+    /// Events accepted but not yet durable (includes `queue_depth` and
+    /// any open group-commit window's staged events).
+    pub lag: u64,
+    /// The sticky writer error, if the pipeline has failed.
+    pub error: Option<String>,
+}
+
+impl PipelineHealth {
+    /// No sticky error: every accepted event has reached, or will reach,
+    /// the backend.
+    pub fn healthy(&self) -> bool {
+        self.error.is_none()
+    }
+
+    fn of(state: &State) -> PipelineHealth {
+        PipelineHealth {
+            stats: state.stats,
+            queue_depth: state.queue.len(),
+            lag: state.stats.enqueued - state.stats.durable - state.stats.dropped,
+            error: state.error.clone(),
+        }
+    }
 }
 
 /// Everything the producer side and the writer thread share.
@@ -82,7 +174,7 @@ struct Shared {
     state: Mutex<State>,
     /// Signalled when queue space frees up.
     not_full: Condvar,
-    /// Signalled when events arrive (or shutdown is requested).
+    /// Signalled when events arrive (or shutdown/flush is requested).
     not_empty: Condvar,
     /// Signalled when `durable` advances or the writer fails.
     progress: Condvar,
@@ -92,9 +184,35 @@ struct State {
     queue: VecDeque<RepoEvent>,
     capacity: usize,
     shutdown: bool,
+    /// A `flush` caller is waiting: an open group-commit window should
+    /// close at the next opportunity instead of running out its timer.
+    flush_requested: bool,
     /// First backend error, stringified; sticky once set.
     error: Option<String>,
     stats: PipelineStats,
+    /// Successful commits (record batches / windows), for the periodic
+    /// health cadence.
+    commits: u64,
+    /// [`PipelineConfig::health_every`]; 0 disables periodic reports.
+    health_every: usize,
+    /// Periodic health reports (bounded; oldest dropped first).
+    health: VecDeque<PipelineHealth>,
+}
+
+impl State {
+    /// Account a successful commit and, on the configured cadence, file a
+    /// health report — under the same lock that advanced `durable`, so a
+    /// flusher woken by this commit already sees its report.
+    fn committed(&mut self) {
+        self.commits += 1;
+        if self.health_every > 0 && self.commits.is_multiple_of(self.health_every as u64) {
+            if self.health.len() >= HEALTH_BACKLOG {
+                self.health.pop_front();
+            }
+            let report = PipelineHealth::of(self);
+            self.health.push_back(report);
+        }
+    }
 }
 
 /// The background durability pipeline's front end; see the module docs.
@@ -122,28 +240,42 @@ impl BackgroundWriter {
         BackgroundWriter::with_config(backend, PipelineConfig::default())
     }
 
-    /// Spawn a writer thread around `backend` with explicit tuning.
+    /// Spawn a writer thread around `backend` with explicit tuning. A
+    /// [`PipelineConfig::group_commit_window`] switches the backend to
+    /// `DurabilityMode::GroupCommit` before the thread starts, so staging
+    /// and the window's single fsync line up automatically.
     pub fn with_config<B: StorageBackend + Send + 'static>(
-        backend: B,
+        mut backend: B,
         config: PipelineConfig,
     ) -> BackgroundWriter {
+        if config.group_commit_window.is_some() {
+            backend.set_durability(DurabilityMode::GroupCommit);
+        }
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 capacity: config.channel_capacity.max(1),
                 shutdown: false,
+                flush_requested: false,
                 error: None,
                 stats: PipelineStats::default(),
+                commits: 0,
+                health_every: config.health_every,
+                health: VecDeque::new(),
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             progress: Condvar::new(),
         });
         let thread_shared = shared.clone();
-        let batch_max = config.write_batch.max(1);
+        let tuning = WriterTuning {
+            batch_max: config.write_batch.max(1),
+            window: config.group_commit_window,
+            group_max: config.max_group_events.max(1),
+        };
         let handle = std::thread::Builder::new()
             .name("bx-durability".to_string())
-            .spawn(move || writer_loop(thread_shared, backend, batch_max))
+            .spawn(move || writer_loop(thread_shared, backend, tuning))
             .expect("the durability writer thread spawns");
         BackgroundWriter {
             shared,
@@ -162,14 +294,23 @@ impl BackgroundWriter {
     }
 
     /// Block until every event enqueued before this call is durably
-    /// recorded, then report the writer's health. Any discarded event
-    /// fails the flush: a backend error and a post-shutdown delivery
-    /// both plant a sticky error, so `Ok(())` really means "everything
-    /// accepted so far is on the backend".
+    /// recorded, then report the writer's health. An open group-commit
+    /// window closes early for a waiting flush, so acknowledgement
+    /// latency is bounded by the in-flight fsync, not the window timer.
+    /// Any discarded event fails the flush: a backend error and a
+    /// post-shutdown delivery both plant a sticky error, so `Ok(())`
+    /// really means "everything accepted so far is on the backend".
     pub fn flush(&self) -> Result<(), RepoError> {
         let mut state = lock(&self.shared);
         let target = state.stats.enqueued;
         while state.error.is_none() && state.stats.durable + state.stats.dropped < target {
+            // Re-asserted on every wake-up, not just once: each window
+            // fsync clears the flag, and a window that closed on its
+            // group budget (or covered only events enqueued before ours)
+            // may leave this flusher unacknowledged — without re-arming,
+            // the next window would wait out its full timer.
+            state.flush_requested = true;
+            self.shared.not_empty.notify_all();
             state = self
                 .shared
                 .progress
@@ -205,6 +346,19 @@ impl BackgroundWriter {
     /// Current progress/backpressure counters.
     pub fn stats(&self) -> PipelineStats {
         lock(&self.shared).stats
+    }
+
+    /// A point-in-time [`PipelineHealth`] snapshot, on demand.
+    pub fn health(&self) -> PipelineHealth {
+        PipelineHealth::of(&lock(&self.shared))
+    }
+
+    /// Take the periodic health reports accumulated since the last drain
+    /// (oldest first). Empty unless [`PipelineConfig::health_every`] was
+    /// set. A bounded backlog (64 reports) is retained between drains;
+    /// older ones are dropped.
+    pub fn drain_health_reports(&self) -> Vec<PipelineHealth> {
+        lock(&self.shared).health.drain(..).collect()
     }
 
     /// Events accepted but not yet durably recorded.
@@ -253,11 +407,21 @@ impl Drop for BackgroundWriter {
     }
 }
 
-/// The writer thread: pop a batch, record it, account for it; on error,
-/// stash the error, discard the queue, and idle until shutdown.
-fn writer_loop<B: StorageBackend>(shared: Arc<Shared>, mut backend: B, batch_max: usize) {
+/// The writer thread's resolved knobs.
+#[derive(Clone, Copy)]
+struct WriterTuning {
+    batch_max: usize,
+    window: Option<Duration>,
+    group_max: usize,
+}
+
+/// The writer thread: wait for work, commit it (one fsynced batch in
+/// per-batch mode; one fsynced window in group-commit mode), account for
+/// it; on error, stash the error, discard the queue, and idle until
+/// shutdown.
+fn writer_loop<B: StorageBackend>(shared: Arc<Shared>, mut backend: B, tuning: WriterTuning) {
     loop {
-        let batch: Vec<RepoEvent> = {
+        {
             let mut state = lock(&shared);
             while state.queue.is_empty() && !state.shutdown {
                 state = shared
@@ -267,31 +431,128 @@ fn writer_loop<B: StorageBackend>(shared: Arc<Shared>, mut backend: B, batch_max
             }
             if state.queue.is_empty() {
                 return; // shutdown with an empty queue: orderly exit
-            }
-            let n = state.queue.len().min(batch_max);
-            let batch = state.queue.drain(..n).collect();
-            shared.not_full.notify_all();
-            batch
-        };
-        let outcome = backend.record(&batch);
-        let mut state = lock(&shared);
-        match outcome {
-            Ok(()) => state.stats.durable += batch.len() as u64,
-            Err(e) => {
-                // The failed batch and everything still queued are lost to
-                // the backend (a durable *prefix* of the batch may exist on
-                // disk; recovery reconciles via the primary's journal).
-                state.stats.dropped += batch.len() as u64;
-                state.stats.dropped += state.queue.len() as u64;
-                state.queue.clear();
-                if state.error.is_none() {
-                    state.error = Some(e.to_string());
-                }
-                shared.not_full.notify_all();
+                        // (every prior window already fsynced)
             }
         }
-        shared.progress.notify_all();
+        match tuning.window {
+            None => per_batch_step(&shared, &mut backend, tuning.batch_max),
+            Some(window) => group_commit_window(&shared, &mut backend, window, tuning.group_max),
+        };
     }
+}
+
+/// Per-batch mode: pop one bounded batch, record it (the backend fsyncs
+/// inside `record`), account for it.
+fn per_batch_step<B: StorageBackend>(shared: &Shared, backend: &mut B, batch_max: usize) {
+    let batch: Vec<RepoEvent> = {
+        let mut state = lock(shared);
+        let n = state.queue.len().min(batch_max);
+        let batch = state.queue.drain(..n).collect();
+        shared.not_full.notify_all();
+        batch
+    };
+    match backend.record(&batch) {
+        Ok(()) => {
+            let mut state = lock(shared);
+            state.stats.durable += batch.len() as u64;
+            state.stats.fsyncs += 1;
+            state.flush_requested = false;
+            state.committed();
+            shared.progress.notify_all();
+        }
+        Err(e) => fail(shared, batch.len(), e),
+    }
+}
+
+/// Group-commit mode: keep draining and staging whatever producers queue
+/// until the window closes (timer, `max_group_events`, shutdown, or a
+/// waiting flush), then issue the one `flush_durable` that makes every
+/// staged batch durable at once.
+fn group_commit_window<B: StorageBackend>(
+    shared: &Shared,
+    backend: &mut B,
+    window: Duration,
+    group_max: usize,
+) {
+    let deadline = Instant::now() + window;
+    let mut staged: usize = 0;
+    loop {
+        // Drain everything queued, bounded only by the group budget.
+        let batch: Vec<RepoEvent> = {
+            let mut state = lock(shared);
+            let room = group_max - staged;
+            let n = state.queue.len().min(room);
+            let batch: Vec<RepoEvent> = state.queue.drain(..n).collect();
+            if !batch.is_empty() {
+                shared.not_full.notify_all();
+            }
+            batch
+        };
+        if !batch.is_empty() {
+            // Staged, not yet durable: `durable` only advances at the
+            // fsync below, so flush waiters cannot be acknowledged early.
+            if let Err(e) = backend.record(&batch) {
+                fail(shared, staged + batch.len(), e);
+                return;
+            }
+            staged += batch.len();
+        }
+        let mut state = lock(shared);
+        if staged >= group_max || state.shutdown {
+            break;
+        }
+        if !state.queue.is_empty() {
+            continue; // producers are ahead of us: drain again first
+        }
+        // A waiting flush closes the window — but only once the queue is
+        // drained, or the fsync would acknowledge less than the flusher's
+        // target and strand it waiting out the *next* window's timer.
+        if state.flush_requested {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (next, _) = shared
+            .not_empty
+            .wait_timeout(state, deadline - now)
+            .unwrap_or_else(|e| e.into_inner());
+        state = next;
+        if state.queue.is_empty() && Instant::now() >= deadline {
+            break;
+        }
+    }
+    // The window's single fsync point, covering every staged batch.
+    match backend.flush_durable() {
+        Ok(()) => {
+            let mut state = lock(shared);
+            state.stats.durable += staged as u64;
+            state.stats.fsyncs += 1;
+            state.stats.group_commits += 1;
+            state.flush_requested = false;
+            state.committed();
+            shared.progress.notify_all();
+        }
+        Err(e) => fail(shared, staged, e),
+    }
+}
+
+/// The writer failed with `in_flight` events handed to the backend but
+/// not durable (a durable *prefix* of them may exist on disk; recovery
+/// reconciles via the primary's journal). They and everything still
+/// queued are lost and counted; the error turns sticky.
+fn fail(shared: &Shared, in_flight: usize, e: RepoError) {
+    let mut state = lock(shared);
+    state.stats.dropped += in_flight as u64;
+    state.stats.dropped += state.queue.len() as u64;
+    state.queue.clear();
+    if state.error.is_none() {
+        state.error = Some(e.to_string());
+    }
+    state.flush_requested = false;
+    shared.not_full.notify_all();
+    shared.progress.notify_all();
 }
 
 #[cfg(test)]
@@ -380,6 +641,9 @@ mod tests {
         assert_eq!(stats.enqueued, 4);
         assert_eq!(stats.durable, 4);
         assert_eq!(stats.dropped, 0);
+        // Per-batch mode: one commit point per record batch, no windows.
+        assert!(stats.fsyncs >= 1);
+        assert_eq!(stats.group_commits, 0);
         assert_eq!(writer.lag(), 0);
         writer.shutdown().unwrap();
     }
@@ -396,6 +660,7 @@ mod tests {
                 PipelineConfig {
                     channel_capacity: 2, // force backpressure on the way in
                     write_batch: 1,
+                    ..PipelineConfig::default()
                 },
             );
             writer.enqueue(&repo.drain_events());
@@ -414,6 +679,7 @@ mod tests {
             PipelineConfig {
                 channel_capacity: 2,
                 write_batch: 8,
+                ..PipelineConfig::default()
             },
         ));
         let repo = Repository::found("bx", vec![Principal::curator("c")]);
@@ -468,5 +734,174 @@ mod tests {
             storage.0.lock().unwrap().restore().unwrap(),
             repo.snapshot()
         );
+    }
+
+    #[test]
+    fn group_commit_coalesces_commit_points() {
+        let storage = SharedMemory::default();
+        let writer = Arc::new(BackgroundWriter::with_config(
+            storage.clone(),
+            PipelineConfig::group_commit(Duration::from_millis(5)),
+        ));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        writer.enqueue(&repo.drain_events());
+        repo.subscribe(writer.clone());
+        repo.register(Principal::member("alice")).unwrap();
+        let id = repo.contribute("alice", entry("COMPOSERS")).unwrap();
+        for i in 0..20 {
+            repo.comment("alice", &id, "2014-03-28", &format!("g{i}"))
+                .unwrap();
+        }
+        writer.flush().unwrap();
+        let stats = writer.stats();
+        assert_eq!(stats.durable, stats.enqueued);
+        assert!(stats.group_commits >= 1);
+        assert_eq!(stats.fsyncs, stats.group_commits);
+        assert!(
+            stats.fsyncs < stats.durable,
+            "windows amortise: {} fsyncs for {} events",
+            stats.fsyncs,
+            stats.durable
+        );
+        assert_eq!(
+            storage.0.lock().unwrap().restore().unwrap(),
+            repo.snapshot()
+        );
+        writer.shutdown().unwrap();
+    }
+
+    #[test]
+    fn flush_closes_an_open_window_early() {
+        let storage = SharedMemory::default();
+        // A window far longer than any test timeout: only the
+        // flush-requested path can acknowledge promptly.
+        let writer = Arc::new(BackgroundWriter::with_config(
+            storage.clone(),
+            PipelineConfig::group_commit(Duration::from_secs(600)),
+        ));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        writer.enqueue(&repo.drain_events());
+        let started = Instant::now();
+        writer.flush().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "flush must not wait out the window timer"
+        );
+        assert_eq!(
+            storage.0.lock().unwrap().restore().unwrap(),
+            repo.snapshot()
+        );
+        writer.shutdown().unwrap();
+    }
+
+    #[test]
+    fn flush_spanning_multiple_group_budgets_is_not_stranded() {
+        let storage = SharedMemory::default();
+        // A tiny group budget forces the flusher's events across several
+        // windows; each window fsync clears `flush_requested`, so the
+        // flusher must re-arm it or the last window waits out the 600 s
+        // timer and this test hangs.
+        let writer = Arc::new(BackgroundWriter::with_config(
+            storage.clone(),
+            PipelineConfig {
+                max_group_events: 4,
+                ..PipelineConfig::group_commit(Duration::from_secs(600))
+            },
+        ));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        repo.register(Principal::member("alice")).unwrap();
+        let id = repo.contribute("alice", entry("COMPOSERS")).unwrap();
+        for i in 0..7 {
+            repo.comment("alice", &id, "2014-03-28", &format!("s{i}"))
+                .unwrap();
+        }
+        writer.enqueue(&repo.drain_events()); // 10 events > 2 budgets
+        let started = Instant::now();
+        writer.flush().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "flush must not wait out any window timer"
+        );
+        let stats = writer.stats();
+        assert_eq!(stats.durable, 10);
+        assert!(
+            stats.group_commits >= 3,
+            "a 4-event budget splits 10 events over ≥ 3 windows, got {}",
+            stats.group_commits
+        );
+        assert_eq!(
+            storage.0.lock().unwrap().restore().unwrap(),
+            repo.snapshot()
+        );
+        writer.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_fsyncs_an_open_window() {
+        let storage = SharedMemory::default();
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        repo.register(Principal::member("alice")).unwrap();
+        {
+            let writer = BackgroundWriter::with_config(
+                storage.clone(),
+                PipelineConfig::group_commit(Duration::from_secs(600)),
+            );
+            writer.enqueue(&repo.drain_events());
+            // No flush: Drop's shutdown must close the window durably.
+        }
+        assert_eq!(
+            storage.0.lock().unwrap().restore().unwrap(),
+            repo.snapshot()
+        );
+    }
+
+    #[test]
+    fn periodic_health_reports_accumulate_and_drain() {
+        let storage = SharedMemory::default();
+        let writer = Arc::new(BackgroundWriter::with_config(
+            storage.clone(),
+            PipelineConfig {
+                health_every: 1,
+                ..PipelineConfig::group_commit(Duration::from_millis(2))
+            },
+        ));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        writer.enqueue(&repo.drain_events());
+        repo.subscribe(writer.clone());
+        repo.register(Principal::member("alice")).unwrap();
+        repo.contribute("alice", entry("COMPOSERS")).unwrap();
+        writer.flush().unwrap();
+
+        let reports = writer.drain_health_reports();
+        assert!(!reports.is_empty(), "health_every=1 reports every commit");
+        assert!(reports.iter().all(PipelineHealth::healthy));
+        // Reports are ordered: durable never regresses.
+        for pair in reports.windows(2) {
+            assert!(pair[0].stats.durable <= pair[1].stats.durable);
+        }
+        assert!(writer.drain_health_reports().is_empty(), "drain empties");
+
+        // The on-demand snapshot agrees with the counters.
+        let health = writer.health();
+        assert!(health.healthy());
+        assert_eq!(health.stats, writer.stats());
+        assert_eq!(health.lag, 0);
+        assert_eq!(health.queue_depth, 0);
+        writer.shutdown().unwrap();
+    }
+
+    #[test]
+    fn group_commit_surfaces_backend_errors_via_flush() {
+        let writer = Arc::new(BackgroundWriter::with_config(
+            BrokenBackend,
+            PipelineConfig::group_commit(Duration::from_millis(2)),
+        ));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        writer.enqueue(&repo.drain_events());
+        let err = writer.flush().unwrap_err();
+        assert!(matches!(err, RepoError::Persist(ref m) if m.contains("disk on fire")));
+        let health = writer.health();
+        assert!(!health.healthy());
+        assert!(writer.shutdown().is_err());
     }
 }

@@ -17,8 +17,21 @@
 //! `tests/delta_equivalence.rs`: after `record`ing a repository's drained
 //! events (or `checkpoint`ing its snapshot), `restore` returns exactly
 //! [`crate::repo::Repository::snapshot`].
+//!
+//! ## Durability modes
+//!
+//! Durability is two-phase: `record` appends, [`StorageBackend::flush_durable`]
+//! is the fsync point. In the default [`DurabilityMode::PerBatch`] the two
+//! are fused — `record` returns only after its own fsync, exactly the
+//! contract every pre-existing caller relies on, and `flush_durable` is a
+//! no-op. Switching a file-backed backend to
+//! [`DurabilityMode::GroupCommit`] decouples them: `record` stages bytes
+//! through a persistent appender (no open, no fsync), and one
+//! `flush_durable` makes *every* staged batch durable at once — which is
+//! what lets [`crate::pipeline::BackgroundWriter`] amortise one fsync
+//! over an entire group-commit window of concurrent producers.
 
-use std::fs::OpenOptions;
+use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -29,6 +42,19 @@ use crate::event::{apply_event, replay, RepoEvent};
 use crate::persist;
 use crate::repo::RepositorySnapshot;
 
+/// When a backend's `record` becomes durable; see the module docs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// `record` fsyncs before returning — one call, one durable batch.
+    /// The default, and the contract of every pre-group-commit caller.
+    #[default]
+    PerBatch,
+    /// `record` only stages (buffered append, no fsync);
+    /// [`StorageBackend::flush_durable`] is the explicit fsync point
+    /// covering everything staged since the last one.
+    GroupCommit,
+}
+
 /// Where a repository's state lives between processes (or merely between
 /// drops). Deltas arrive in batches via `record`; `checkpoint` compacts;
 /// `restore` recovers the latest state.
@@ -36,8 +62,11 @@ pub trait StorageBackend {
     /// A short human-readable backend name ("memory", "json-file", …).
     fn kind(&self) -> &'static str;
 
-    /// Durably append a batch of deltas (typically
-    /// [`crate::repo::Repository::drain_events`] output).
+    /// Append a batch of deltas (typically
+    /// [`crate::repo::Repository::drain_events`] output). In the default
+    /// [`DurabilityMode::PerBatch`] the batch is durable when this
+    /// returns; under [`DurabilityMode::GroupCommit`] it is merely staged
+    /// until the next [`StorageBackend::flush_durable`].
     fn record(&mut self, events: &[RepoEvent]) -> Result<(), RepoError>;
 
     /// Write a full checkpoint of `snapshot`, superseding recorded deltas.
@@ -45,6 +74,20 @@ pub trait StorageBackend {
 
     /// Recover the latest persisted state.
     fn restore(&self) -> Result<RepositorySnapshot, RepoError>;
+
+    /// The fsync point of the two-phase durability API: make every batch
+    /// staged since the last call durable. A no-op for backends whose
+    /// `record` is already durable (memory, or a file-backed backend in
+    /// [`DurabilityMode::PerBatch`] — the default implementation).
+    fn flush_durable(&mut self) -> Result<(), RepoError> {
+        Ok(())
+    }
+
+    /// Select when `record` becomes durable. Backends without a staging
+    /// buffer (memory; whole-file rewrites) ignore the request — their
+    /// `record` is as durable as it will ever be, and `flush_durable`
+    /// stays a no-op.
+    fn set_durability(&mut self, _mode: DurabilityMode) {}
 }
 
 fn io_err(e: std::io::Error) -> RepoError {
@@ -69,6 +112,14 @@ impl StorageBackend for Box<dyn StorageBackend> {
 
     fn restore(&self) -> Result<RepositorySnapshot, RepoError> {
         (**self).restore()
+    }
+
+    fn flush_durable(&mut self) -> Result<(), RepoError> {
+        (**self).flush_durable()
+    }
+
+    fn set_durability(&mut self, mode: DurabilityMode) {
+        (**self).set_durability(mode)
     }
 }
 
@@ -155,6 +206,22 @@ impl StorageBackend for JsonFileBackend {
         let json = std::fs::read_to_string(&self.path).map_err(io_err)?;
         persist::from_json(&json)
     }
+
+    /// The snapshot file is rewritten whole on every `record`, so there
+    /// is nothing staged to batch — but it is file-backed, so the fsync
+    /// point still pushes the latest rewrite past the page cache.
+    fn flush_durable(&mut self) -> Result<(), RepoError> {
+        match std::fs::File::open(&self.path) {
+            Ok(file) => file
+                .sync_all()
+                .map_err(|e| RepoError::persist_io("fsync json snapshot", e)),
+            // Nothing recorded yet: nothing to make durable. Any other
+            // open failure must surface — reporting Ok would acknowledge
+            // events as durable with no fsync having happened.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(RepoError::persist_io("open json snapshot for fsync", e)),
+        }
+    }
 }
 
 /// The checkpoint manifest an [`EventLogBackend`] persists: the base
@@ -171,21 +238,51 @@ pub(crate) struct Manifest {
 
 /// Append-only event-log backend: a generation log file (`events-<n>.jsonl`,
 /// one serialised [`RepoEvent`] per line) beside an optional
-/// `checkpoint.json` manifest. Recording appends (fsynced); checkpointing
-/// writes a new manifest pointing at a fresh empty log generation (one
-/// atomic rename of the fsynced manifest is the commit point, so a crash
-/// at any step leaves a state `restore` recovers exactly); recovery is
-/// snapshot + replay, tolerating a torn final line from an append cut
-/// short mid-write.
+/// `checkpoint.json` manifest. Recording appends through a persistent
+/// appender handle (opened once per generation, not per call);
+/// checkpointing writes a new manifest pointing at a fresh empty log
+/// generation (one atomic rename of the fsynced manifest is the commit
+/// point, so a crash at any step leaves a state `restore` recovers
+/// exactly); recovery is snapshot + replay, tolerating a torn final line
+/// from an append cut short mid-write.
+///
+/// Durability is two-phase (see the module docs): in the default
+/// [`DurabilityMode::PerBatch`], `record` fsyncs before returning; in
+/// [`DurabilityMode::GroupCommit`] it only stages, and
+/// [`StorageBackend::flush_durable`] issues the one `sync_all` covering
+/// every staged batch.
 ///
 /// The backend assumes a single writer per directory (the current log
 /// generation is cached at `open` and only advanced by this instance's
 /// own `checkpoint`); concurrent readers are fine.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EventLogBackend {
     dir: PathBuf,
     /// Current generation's log file name, relative to `dir`.
     log: String,
+    durability: DurabilityMode,
+    /// The persistent appender for the current generation, opened lazily
+    /// on first `record` and dropped when `checkpoint` rolls the
+    /// generation.
+    appender: Option<File>,
+    /// Bytes staged (written but not fsynced) since the last
+    /// `flush_durable` — only ever true in [`DurabilityMode::GroupCommit`].
+    dirty: bool,
+}
+
+/// A clone is a fresh writer over the same directory and generation: it
+/// opens its own appender on first use and owes no fsync for bytes the
+/// original staged (those remain the original's to flush).
+impl Clone for EventLogBackend {
+    fn clone(&self) -> EventLogBackend {
+        EventLogBackend {
+            dir: self.dir.clone(),
+            log: self.log.clone(),
+            durability: self.durability,
+            appender: None,
+            dirty: false,
+        }
+    }
 }
 
 impl EventLogBackend {
@@ -204,9 +301,35 @@ impl EventLogBackend {
             Some(manifest) => manifest.log,
             None => "events-0.jsonl".to_string(),
         };
-        let backend = EventLogBackend { dir, log };
+        let backend = EventLogBackend {
+            dir,
+            log,
+            durability: DurabilityMode::default(),
+            appender: None,
+            dirty: false,
+        };
         backend.repair_torn_tail()?;
         Ok(backend)
+    }
+
+    /// The active [`DurabilityMode`].
+    pub fn durability(&self) -> DurabilityMode {
+        self.durability
+    }
+
+    /// The persistent appender for the current generation, opened on
+    /// first use. `checkpoint` drops it when the generation rolls, so a
+    /// stale handle can never append to a superseded log.
+    fn appender(&mut self) -> Result<&mut File, RepoError> {
+        if self.appender.is_none() {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.log_path())
+                .map_err(|e| RepoError::persist_io("open event log appender", e))?;
+            self.appender = Some(file);
+        }
+        Ok(self.appender.as_mut().expect("appender was just opened"))
     }
 
     /// Truncate an unterminated final line (torn append) off the current
@@ -333,8 +456,31 @@ impl EventLogBackend {
     }
 
     /// How many deltas sit in the log beyond the last checkpoint.
+    ///
+    /// Counts intact (newline-terminated, non-empty) lines without
+    /// parsing any of them — the count is needed on hot open/monitoring
+    /// paths where deserialising every event just to discard it would
+    /// dominate. A torn final line (no terminating newline) is not
+    /// counted, exactly as [`Self::read_log_file`] would drop it; a
+    /// complete-but-corrupt line still counts here and surfaces as an
+    /// error at `restore` time instead.
     pub fn pending_events(&self) -> Result<usize, RepoError> {
-        Ok(Self::read_log_file(&self.log_path())?.len())
+        let path = self.log_path();
+        if !path.exists() {
+            return Ok(0);
+        }
+        let bytes = std::fs::read(&path).map_err(io_err)?;
+        let mut count = 0usize;
+        let mut start = 0usize;
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                if bytes[start..i].iter().any(|c| !c.is_ascii_whitespace()) {
+                    count += 1;
+                }
+                start = i + 1;
+            }
+        }
+        Ok(count)
     }
 
     /// `restore()` plus the replayed event count, off a single read of
@@ -369,15 +515,25 @@ impl StorageBackend for EventLogBackend {
             );
             lines.push('\n');
         }
-        let mut file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.log_path())
-            .map_err(io_err)?;
-        file.write_all(lines.as_bytes()).map_err(io_err)?;
-        // "Durably append" means surviving power loss, not just a process
-        // crash: flush the page cache before reporting success.
-        file.sync_all().map_err(io_err)
+        // One buffered write of the whole batch through the persistent
+        // appender — the open cost was paid once at the generation start.
+        let mode = self.durability;
+        {
+            let file = self.appender()?;
+            file.write_all(lines.as_bytes())
+                .map_err(|e| RepoError::persist_io("append event log", e))?;
+            if mode == DurabilityMode::PerBatch {
+                // "Durably append" means surviving power loss, not just a
+                // process crash: flush the page cache before reporting
+                // success.
+                file.sync_all()
+                    .map_err(|e| RepoError::persist_io("fsync event log", e))?;
+            }
+        }
+        if mode == DurabilityMode::GroupCommit {
+            self.dirty = true;
+        }
+        Ok(())
     }
 
     /// Crash-safe compaction. The new manifest names a *fresh* log
@@ -416,6 +572,12 @@ impl StorageBackend for EventLogBackend {
             d.sync_all().ok();
         }
         self.log = new_log;
+        // The generation rolled: drop the superseded appender (the next
+        // `record` opens one on the fresh log) and forget any staged
+        // bytes — the manifest's snapshot supersedes them, so they need
+        // no fsync of their own.
+        self.appender = None;
+        self.dirty = false;
         // Past the commit point: the old generation is garbage now.
         std::fs::remove_file(self.dir.join(old_log)).ok();
         Ok(())
@@ -430,6 +592,27 @@ impl StorageBackend for EventLogBackend {
             None => (RepositorySnapshot::empty(""), self.log.clone()),
         };
         Ok(replay(base, &Self::read_log_file(&self.dir.join(log))?))
+    }
+
+    /// One `sync_all` covering every batch staged since the last call.
+    /// A no-op when nothing is staged — including the whole
+    /// [`DurabilityMode::PerBatch`] regime, where `record` already synced.
+    fn flush_durable(&mut self) -> Result<(), RepoError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        self.appender()?
+            .sync_all()
+            .map_err(|e| RepoError::persist_io("fsync event log", e))?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Switching to [`DurabilityMode::PerBatch`] does not retroactively
+    /// sync staged bytes — call [`StorageBackend::flush_durable`] first
+    /// (the next per-batch `record`'s `sync_all` would cover them too).
+    fn set_durability(&mut self, mode: DurabilityMode) {
+        self.durability = mode;
     }
 }
 
@@ -542,6 +725,14 @@ impl StorageBackend for AutoCompactingEventLog {
 
     fn restore(&self) -> Result<RepositorySnapshot, RepoError> {
         self.inner.restore()
+    }
+
+    fn flush_durable(&mut self) -> Result<(), RepoError> {
+        self.inner.flush_durable()
+    }
+
+    fn set_durability(&mut self, mode: DurabilityMode) {
+        self.inner.set_durability(mode)
     }
 }
 
@@ -796,5 +987,108 @@ mod tests {
     fn missing_json_file_reports_persist_error() {
         let backend = JsonFileBackend::new("/nonexistent/definitely/missing.json");
         assert!(matches!(backend.restore(), Err(RepoError::Persist(_))));
+    }
+
+    #[test]
+    fn json_flush_durable_skips_only_a_missing_file() {
+        let dir = unique_dir("json-fsync");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Absent snapshot: nothing recorded yet, nothing to sync.
+        let mut absent = JsonFileBackend::new(dir.join("missing.json"));
+        absent.flush_durable().unwrap();
+        // Any other open failure must surface, not masquerade as durable:
+        // a path routed *through* a regular file fails with NotADirectory.
+        let blocking = dir.join("plain-file");
+        std::fs::write(&blocking, "x").unwrap();
+        let mut broken = JsonFileBackend::new(blocking.join("nested.json"));
+        assert!(matches!(broken.flush_durable(), Err(RepoError::Persist(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_stages_then_one_flush_makes_everything_durable() {
+        let dir = unique_dir("group-commit");
+        let r = busy_repository();
+        let mut backend = EventLogBackend::open(&dir).unwrap();
+        assert_eq!(backend.durability(), DurabilityMode::PerBatch);
+        backend.set_durability(DurabilityMode::GroupCommit);
+
+        let events = r.drain_events();
+        let (a, b) = events.split_at(events.len() / 2);
+        backend.record(a).unwrap();
+        backend.record(b).unwrap();
+        // Both batches are staged and visible to readers before the fsync
+        // point; one flush covers them all.
+        assert_eq!(backend.pending_events().unwrap(), events.len());
+        backend.flush_durable().unwrap();
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+        // Idempotent: nothing staged, nothing to sync.
+        backend.flush_durable().unwrap();
+
+        // A fresh process over the directory sees the flushed state.
+        let reopened = EventLogBackend::open(&dir).unwrap();
+        assert_eq!(reopened.restore().unwrap(), r.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_rolls_the_persistent_appender_to_the_new_generation() {
+        let dir = unique_dir("appender-roll");
+        let r = busy_repository();
+        let mut backend = EventLogBackend::open(&dir).unwrap();
+        backend.set_durability(DurabilityMode::GroupCommit);
+        backend.record(&r.drain_events()).unwrap();
+        // Checkpoint mid-stage: the manifest supersedes the staged bytes,
+        // the appender must re-open on the fresh generation.
+        backend.checkpoint(&r.snapshot()).unwrap();
+        r.comment(
+            "alice",
+            &crate::repo::EntryId::from_title("DATES"),
+            "2014-05-01",
+            "post-roll",
+        )
+        .unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        backend.flush_durable().unwrap();
+        assert_eq!(backend.pending_events().unwrap(), 1);
+        assert_eq!(backend.current_generation(), "events-1.jsonl");
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pending_events_counts_lines_without_parsing() {
+        let dir = unique_dir("pending-count");
+        let r = busy_repository();
+        let mut backend = EventLogBackend::open(&dir).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        // Tear the tail as a mid-write kill would, and pad with a blank
+        // line the parser has always skipped.
+        let log = dir.join("events-0.jsonl");
+        let mut text = std::fs::read_to_string(&log).unwrap();
+        text.push_str("   \n{\"Commented\":{\"id\":\"co");
+        std::fs::write(&log, text).unwrap();
+        // The intact-line count is pinned to what full parsing yields.
+        let parsed = EventLogBackend::read_log_file(&log).unwrap().len();
+        assert_eq!(backend.pending_events().unwrap(), parsed);
+        assert!(parsed > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_cloned_backend_owes_no_fsync_for_the_originals_staged_bytes() {
+        let dir = unique_dir("clone-dirty");
+        let r = busy_repository();
+        let mut backend = EventLogBackend::open(&dir).unwrap();
+        backend.set_durability(DurabilityMode::GroupCommit);
+        backend.record(&r.drain_events()).unwrap();
+        let mut clone = backend.clone();
+        // The clone starts clean (its flush is a no-op) but shares the
+        // directory, so reads agree; the original still flushes its own
+        // staged bytes.
+        clone.flush_durable().unwrap();
+        backend.flush_durable().unwrap();
+        assert_eq!(clone.restore().unwrap(), r.snapshot());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -18,9 +18,18 @@ use bx_theory::Bx;
 /// burns the fuse records its durable *prefix* to the inner backend
 /// before failing, so recovery faces a cut inside a batch, not a clean
 /// batch boundary. Once tripped, every call fails.
+///
+/// [`CrashingBackend::fail_at_flush`] arms the other fuse instead: every
+/// `record` passes through untouched and the crash fires at a
+/// `flush_durable` call — i.e. at the fsync point of an open group-commit
+/// window, after the window's appends reached the inner backend but
+/// before any of them were acknowledged durable.
 pub struct CrashingBackend<B> {
     inner: B,
     fuse: usize,
+    /// `Some(n)`: the next `n` `flush_durable` calls succeed, the one
+    /// after trips the crash.
+    flush_fuse: Option<usize>,
     tripped: bool,
 }
 
@@ -31,6 +40,20 @@ impl<B: StorageBackend> CrashingBackend<B> {
         CrashingBackend {
             inner,
             fuse: fuse_events,
+            flush_fuse: None,
+            tripped: false,
+        }
+    }
+
+    /// Wrap `inner` with the fsync-point fuse: records pass through
+    /// unlimited, the first `fuse_flushes` `flush_durable` calls succeed,
+    /// and the next one crashes — killing an open group-commit window at
+    /// exactly the moment its staged appends would have become durable.
+    pub fn fail_at_flush(inner: B, fuse_flushes: usize) -> CrashingBackend<B> {
+        CrashingBackend {
+            inner,
+            fuse: usize::MAX,
+            flush_fuse: Some(fuse_flushes),
             tripped: false,
         }
     }
@@ -82,6 +105,30 @@ impl<B: StorageBackend> StorageBackend for CrashingBackend<B> {
 
     fn restore(&self) -> Result<RepositorySnapshot, RepoError> {
         self.inner.restore()
+    }
+
+    fn flush_durable(&mut self) -> Result<(), RepoError> {
+        if self.tripped {
+            return Err(self.dead());
+        }
+        if let Some(remaining) = self.flush_fuse {
+            if remaining == 0 {
+                self.tripped = true;
+                // The staged window dies un-fsynced: the inner backend
+                // keeps whatever `record` wrote (a clean suffix of
+                // unacknowledged appends), exactly the on-disk shape a
+                // power cut at the fsync point can leave.
+                return Err(RepoError::Persist(
+                    "injected crash at the fsync point of an open group-commit window".to_string(),
+                ));
+            }
+            self.flush_fuse = Some(remaining - 1);
+        }
+        self.inner.flush_durable()
+    }
+
+    fn set_durability(&mut self, mode: bx_core::storage::DurabilityMode) {
+        self.inner.set_durability(mode)
     }
 }
 
@@ -329,6 +376,34 @@ mod tests {
             bx_core::event::replay(RepositorySnapshot::empty(""), &events[..2])
         );
         assert_eq!(backend.into_inner().pending_events(), 2);
+    }
+
+    #[test]
+    fn flush_fuse_passes_records_and_dies_at_the_fsync_point() {
+        use bx_core::storage::{DurabilityMode, MemoryBackend};
+        use bx_core::{Principal, Repository};
+
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        r.register(Principal::member("bob")).unwrap();
+        let events = r.drain_events();
+
+        let mut backend = CrashingBackend::fail_at_flush(MemoryBackend::new(), 1);
+        backend.set_durability(DurabilityMode::GroupCommit);
+        // Window 1: records pass, the first fsync point succeeds.
+        backend.record(&events[..2]).unwrap();
+        backend.flush_durable().unwrap();
+        assert!(!backend.tripped());
+        // Window 2: the append lands, the fsync point crashes.
+        backend.record(&events[2..]).unwrap();
+        let err = backend.flush_durable().unwrap_err();
+        assert!(matches!(err, RepoError::Persist(ref m) if m.contains("fsync point")));
+        assert!(backend.tripped());
+        assert!(backend.record(&events).is_err(), "dead stays dead");
+        assert!(backend.flush_durable().is_err());
+        // Everything recorded reached the inner backend as a clean
+        // suffix of unacknowledged appends.
+        assert_eq!(backend.into_inner().pending_events(), events.len());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! directory — must converge with the primary.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use bx::core::event::replay;
 use bx::core::index::SearchIndex;
@@ -59,6 +60,7 @@ fn killed_writer_and_torn_append_recover_to_the_primary() {
         PipelineConfig {
             channel_capacity: 4, // keep batches small so the crash lands mid-stream
             write_batch: 4,
+            ..PipelineConfig::default()
         },
     ));
     writer.enqueue(&all_events);
@@ -112,6 +114,86 @@ fn killed_writer_and_torn_append_recover_to_the_primary() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The group-commit crash contract: a kill *inside* an open window —
+/// after its appends, at its fsync point — must never lose a
+/// `flush()`-acknowledged event, and whatever the window does lose is a
+/// clean suffix (recovery always yields an exact event *prefix*, never a
+/// torn interleaving). The suffix cut is swept over every byte offset
+/// the un-fsynced region could have reached disk at.
+#[test]
+fn mid_window_kill_keeps_acknowledged_events_and_loses_a_clean_suffix() {
+    let dir = unique_temp_dir("group-commit-crash");
+    let repo = scripted_repository();
+    let mut all_events = repo.drain_events();
+
+    // Window timer far beyond the test: only flush/shutdown close
+    // windows, so the window boundaries are deterministic. The fsync
+    // fuse burns at the *second* window's commit point.
+    let backend = CrashingBackend::fail_at_flush(EventLogBackend::open(&dir).unwrap(), 1);
+    let writer = Arc::new(BackgroundWriter::with_config(
+        backend,
+        PipelineConfig::group_commit(Duration::from_secs(600)),
+    ));
+    writer.enqueue(&all_events);
+    repo.subscribe(writer.clone());
+
+    let ops = script();
+    let (first_half, second_half) = ops.split_at(ops.len() / 2);
+
+    // Window 1: half the script, closed by an acknowledged flush.
+    apply_ops(&repo, first_half);
+    all_events.extend(repo.drain_events());
+    writer.flush().unwrap();
+    let acknowledged = all_events.len();
+    let acked_bytes = std::fs::metadata(dir.join("events-0.jsonl")).unwrap().len() as usize;
+
+    // Window 2: the rest of the script; its fsync point crashes.
+    apply_ops(&repo, second_half);
+    all_events.extend(repo.drain_events());
+    let err = writer.flush().unwrap_err();
+    assert!(matches!(err, RepoError::Persist(ref m) if m.contains("fsync point")));
+    let stats = writer.stats();
+    assert_eq!(
+        stats.durable, acknowledged as u64,
+        "only window 1 was ever acknowledged"
+    );
+    assert_eq!(stats.dropped, (all_events.len() - acknowledged) as u64);
+    assert!(writer.shutdown().is_err());
+    drop(writer);
+
+    let full = std::fs::read(dir.join("events-0.jsonl")).unwrap();
+    assert!(
+        full.len() > acked_bytes,
+        "window 2 really appended before dying"
+    );
+
+    // Window 2's bytes were written but never fsynced: a power cut can
+    // leave any prefix of them (plus a torn partial line). Window 1's
+    // bytes were fsynced and must survive every cut. Sweep the cut
+    // across the whole unacknowledged region.
+    let case = unique_temp_dir("group-commit-crash-cut");
+    let mut cuts: Vec<usize> = (acked_bytes..full.len()).step_by(7).collect();
+    cuts.push(full.len()); // the everything-reached-disk case
+    for cut in cuts {
+        std::fs::create_dir_all(&case).unwrap();
+        std::fs::write(case.join("events-0.jsonl"), &full[..cut]).unwrap();
+        let recovered = EventLogBackend::open(&case).unwrap();
+        let survived = recovered.pending_events().unwrap();
+        assert!(
+            survived >= acknowledged,
+            "cut {cut}: an acknowledged event vanished ({survived} < {acknowledged})"
+        );
+        assert_eq!(
+            recovered.restore().unwrap(),
+            replay(RepositorySnapshot::empty(""), &all_events[..survived]),
+            "cut {cut}: recovery must be a clean event prefix"
+        );
+        std::fs::remove_dir_all(&case).ok();
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn replica_converges_while_the_writer_crashes_and_is_replaced() {
     let dir = unique_temp_dir("pipeline-replace");
@@ -125,6 +207,7 @@ fn replica_converges_while_the_writer_crashes_and_is_replaced() {
         PipelineConfig {
             channel_capacity: 2,
             write_batch: 2,
+            ..PipelineConfig::default()
         },
     ));
     writer.enqueue(&all_events);

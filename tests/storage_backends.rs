@@ -4,8 +4,8 @@
 //! deep without changing the restored state.
 
 use bx::core::storage::{
-    AutoCompactingEventLog, CompactionPolicy, EventLogBackend, JsonFileBackend, MemoryBackend,
-    StorageBackend,
+    AutoCompactingEventLog, CompactionPolicy, DurabilityMode, EventLogBackend, JsonFileBackend,
+    MemoryBackend, StorageBackend,
 };
 use bx::core::{EntryId, Repository};
 use bx::examples::standard_repository;
@@ -114,6 +114,65 @@ fn auto_compaction_matches_the_uncompacted_baseline() {
 
     std::fs::remove_dir_all(&auto_dir).ok();
     std::fs::remove_dir_all(&base_dir).ok();
+}
+
+/// The two-phase durability API holds behind `Box<dyn StorageBackend>`
+/// — the trait-object configuration the federation harness drives — for
+/// every backend: `set_durability` + staged `record`s + one
+/// `flush_durable` round-trips exactly like the fused default, and the
+/// no-staging backends treat the new calls as no-ops.
+#[test]
+fn two_phase_durability_roundtrips_through_trait_objects() {
+    let repo = standard_repository();
+    let events = repo.drain_events();
+    let snapshot = repo.snapshot();
+
+    let json_dir = unique_temp_dir("two-phase-json");
+    let log_dir = unique_temp_dir("two-phase-log");
+    let auto_dir = unique_temp_dir("two-phase-auto");
+    std::fs::create_dir_all(&json_dir).unwrap();
+    let mut backends: Vec<Box<dyn StorageBackend>> = vec![
+        Box::new(MemoryBackend::new()),
+        Box::new(JsonFileBackend::new(json_dir.join("repo.json"))),
+        Box::new(EventLogBackend::open(&log_dir).unwrap()),
+        Box::new(
+            AutoCompactingEventLog::open(
+                &auto_dir,
+                CompactionPolicy {
+                    checkpoint_every: 16,
+                },
+            )
+            .unwrap(),
+        ),
+    ];
+    for backend in &mut backends {
+        backend.set_durability(DurabilityMode::GroupCommit);
+        let (a, b) = events.split_at(events.len() / 2);
+        backend.record(a).unwrap();
+        backend.record(b).unwrap();
+        backend.flush_durable().unwrap();
+        assert_eq!(
+            backend.restore().unwrap(),
+            snapshot,
+            "{} diverged under two-phase durability",
+            backend.kind()
+        );
+        // Nothing staged: the fsync point is idempotent.
+        backend.flush_durable().unwrap();
+    }
+    drop(backends);
+    // The file-backed states survive a fresh process.
+    assert_eq!(
+        EventLogBackend::open(&log_dir).unwrap().restore().unwrap(),
+        snapshot
+    );
+    assert_eq!(
+        EventLogBackend::open(&auto_dir).unwrap().restore().unwrap(),
+        snapshot
+    );
+    std::fs::remove_dir_all(&json_dir).ok();
+    std::fs::remove_dir_all(&log_dir).ok();
+    std::fs::remove_dir_all(&auto_dir).ok();
 }
 
 #[test]
