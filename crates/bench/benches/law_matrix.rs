@@ -1,11 +1,18 @@
 //! E3 — the COMPOSERS law matrix: cost of machine-checking the paper's
 //! Properties field (Correct, Hippocratic, Not undoable) as the sample
-//! pool grows.
+//! pool grows — plus the lint engine at scale: a cold `full_check` over
+//! ~10k entries against one incremental re-check per event (the
+//! O(change) verification claim; the acceptance bar is ≥ 50×).
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use bx_bench::scaled_repository;
+use bx_core::EntryId;
 use bx_examples::benchmark::{generate_composers, pairs_of, perturb_pairs};
 use bx_examples::composers::composers_bx;
+use bx_lint::{full_check, standard_catalog, Linter};
 use bx_theory::{check_all_laws, Samples};
 
 fn bench_law_matrix(c: &mut Criterion) {
@@ -43,5 +50,48 @@ fn bench_law_matrix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_law_matrix);
+/// ~10k entries: one cold full check per iteration vs. one event folded
+/// incrementally per iteration. The incremental side re-checks only the
+/// affected set (one entry per revise), so the gap is the whole point —
+/// the ratio asserted at ≥ 50× by `tests/lint_equivalence.rs`'s release
+/// scale test.
+fn bench_lint_at_scale(c: &mut Criterion) {
+    const SCALE: usize = 10_000;
+    const STANDARD: usize = 13; // entries already in standard_repository()
+    let repo = scaled_repository(SCALE - STANDARD);
+    repo.drain_events(); // construction history is not under test
+    let snapshot = repo.snapshot();
+    let catalog = Arc::new(standard_catalog());
+
+    // A pool of single-entry revisions to cycle through incrementally.
+    for i in 0..64usize {
+        let id = EntryId::from_title(&format!("SYNTH-{:05}", (i * 97) % (SCALE - STANDARD)));
+        let mut entry = repo.latest(&id).expect("synthetic entry exists");
+        entry.discussion = format!("Revision {i} for the lint bench.");
+        repo.revise("bench-bot", &id, entry)
+            .expect("author revises");
+    }
+    let events = repo.drain_events();
+
+    let mut group = c.benchmark_group("law_matrix/lint_10k");
+    group.sample_size(10);
+    group.bench_function("full_check", |bench| {
+        bench.iter(|| {
+            let index = full_check(&snapshot, &catalog);
+            assert!(index.is_clean());
+            index
+        })
+    });
+    group.bench_function("incremental_per_event", |bench| {
+        let mut linter = Linter::new(snapshot.clone(), catalog.clone());
+        let mut i = 0usize;
+        bench.iter(|| {
+            linter.apply(&events[i % events.len()]);
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_law_matrix, bench_lint_at_scale);
 criterion_main!(benches);

@@ -169,6 +169,15 @@ pub trait EventSink: Send + Sync {
     /// Deliver one committed event. Must not call back into the
     /// publishing repository.
     fn accept(&self, event: &RepoEvent);
+
+    /// The publisher's state was *replaced* rather than advanced event by
+    /// event — a replica re-based across a checkpoint, a federation
+    /// re-read a source from scratch, or a sink was subscribed to an
+    /// already-populated store. Sinks maintaining a derived view should
+    /// rebuild from `base`; the default ignores the notification, which
+    /// is right for forward-only sinks like the durability pipeline
+    /// (their event stream is the truth, not the publisher's state).
+    fn rebased(&self, _base: &RepositorySnapshot) {}
 }
 
 /// Apply one event to snapshot state. Events are replayed in recording

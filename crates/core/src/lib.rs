@@ -63,15 +63,15 @@ pub use curation::EntryStatus;
 pub use error::RepoError;
 pub use event::{EventSink, RepoEvent};
 pub use manuscript::{export_manuscript, ManuscriptOptions};
-pub use pipeline::{BackgroundWriter, PipelineConfig, PipelineHealth, PipelineStats};
+pub use pipeline::{BackgroundWriter, HealthSink, PipelineConfig, PipelineHealth, PipelineStats};
 pub use principal::{Principal, Role};
 pub use replica::{
     federate_snapshots, DaemonConfig, DaemonStats, Federation, Replica, ReplicaDaemon, SourceId,
 };
 pub use repo::{EntryId, Repository};
 pub use storage::{
-    AutoCompactingEventLog, CompactionPolicy, DurabilityMode, EventLogBackend, JsonFileBackend,
-    MemoryBackend, StorageBackend,
+    AutoCompactingEventLog, CompactionPolicy, DurabilityMode, EventLogBackend, FsyncStats,
+    JsonFileBackend, MemoryBackend, StorageBackend,
 };
 pub use template::{
     Artefact, ArtefactKind, Comment, EntryBuilder, ExampleEntry, ExampleType, Reference,

@@ -169,6 +169,10 @@ impl PipelineHealth {
     }
 }
 
+/// A push target for [`PipelineHealth`] reports; see
+/// [`BackgroundWriter::set_health_sink`].
+pub type HealthSink = Arc<dyn Fn(PipelineHealth) + Send + Sync>;
+
 /// Everything the producer side and the writer thread share.
 struct Shared {
     state: Mutex<State>,
@@ -197,6 +201,9 @@ struct State {
     health_every: usize,
     /// Periodic health reports (bounded; oldest dropped first).
     health: VecDeque<PipelineHealth>,
+    /// Push target: called with a fresh report after every commit point
+    /// and on failure. Invoked strictly *outside* the state lock.
+    health_sink: Option<HealthSink>,
 }
 
 impl State {
@@ -212,6 +219,16 @@ impl State {
             let report = PipelineHealth::of(self);
             self.health.push_back(report);
         }
+    }
+
+    /// The push sink (if one is set) paired with a fresh report. The
+    /// caller invokes the sink only after releasing the state lock, so a
+    /// sink is free to call back into the writer (`stats`, `health`, …)
+    /// without deadlocking.
+    fn pending_push(&self) -> Option<(HealthSink, PipelineHealth)> {
+        self.health_sink
+            .as_ref()
+            .map(|sink| (sink.clone(), PipelineHealth::of(self)))
     }
 }
 
@@ -262,6 +279,7 @@ impl BackgroundWriter {
                 commits: 0,
                 health_every: config.health_every,
                 health: VecDeque::new(),
+                health_sink: None,
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
@@ -361,6 +379,18 @@ impl BackgroundWriter {
         lock(&self.shared).health.drain(..).collect()
     }
 
+    /// Push health reports instead of (only) pulling them: `sink` is
+    /// called with a fresh [`PipelineHealth`] after every commit point
+    /// (one `record` batch in per-batch mode, one window in group-commit
+    /// mode) and once when the writer fails. Reports arrive on the writer
+    /// thread, outside the pipeline's internal lock — a sink may call
+    /// back into the writer, but should return quickly since it delays
+    /// the next commit. Replaces any previously set sink; independent of
+    /// the pull-side [`PipelineConfig::health_every`] cadence.
+    pub fn set_health_sink(&self, sink: HealthSink) {
+        lock(&self.shared).health_sink = Some(sink);
+    }
+
     /// Events accepted but not yet durably recorded.
     pub fn lag(&self) -> u64 {
         let state = lock(&self.shared);
@@ -453,12 +483,18 @@ fn per_batch_step<B: StorageBackend>(shared: &Shared, backend: &mut B, batch_max
     };
     match backend.record(&batch) {
         Ok(()) => {
-            let mut state = lock(shared);
-            state.stats.durable += batch.len() as u64;
-            state.stats.fsyncs += 1;
-            state.flush_requested = false;
-            state.committed();
-            shared.progress.notify_all();
+            let push = {
+                let mut state = lock(shared);
+                state.stats.durable += batch.len() as u64;
+                state.stats.fsyncs += 1;
+                state.flush_requested = false;
+                state.committed();
+                shared.progress.notify_all();
+                state.pending_push()
+            };
+            if let Some((sink, report)) = push {
+                sink(report);
+            }
         }
         Err(e) => fail(shared, batch.len(), e),
     }
@@ -526,13 +562,19 @@ fn group_commit_window<B: StorageBackend>(
     // The window's single fsync point, covering every staged batch.
     match backend.flush_durable() {
         Ok(()) => {
-            let mut state = lock(shared);
-            state.stats.durable += staged as u64;
-            state.stats.fsyncs += 1;
-            state.stats.group_commits += 1;
-            state.flush_requested = false;
-            state.committed();
-            shared.progress.notify_all();
+            let push = {
+                let mut state = lock(shared);
+                state.stats.durable += staged as u64;
+                state.stats.fsyncs += 1;
+                state.stats.group_commits += 1;
+                state.flush_requested = false;
+                state.committed();
+                shared.progress.notify_all();
+                state.pending_push()
+            };
+            if let Some((sink, report)) = push {
+                sink(report);
+            }
         }
         Err(e) => fail(shared, staged, e),
     }
@@ -543,16 +585,23 @@ fn group_commit_window<B: StorageBackend>(
 /// reconciles via the primary's journal). They and everything still
 /// queued are lost and counted; the error turns sticky.
 fn fail(shared: &Shared, in_flight: usize, e: RepoError) {
-    let mut state = lock(shared);
-    state.stats.dropped += in_flight as u64;
-    state.stats.dropped += state.queue.len() as u64;
-    state.queue.clear();
-    if state.error.is_none() {
-        state.error = Some(e.to_string());
+    let push = {
+        let mut state = lock(shared);
+        state.stats.dropped += in_flight as u64;
+        state.stats.dropped += state.queue.len() as u64;
+        state.queue.clear();
+        if state.error.is_none() {
+            state.error = Some(e.to_string());
+        }
+        state.flush_requested = false;
+        shared.not_full.notify_all();
+        shared.progress.notify_all();
+        state.pending_push()
+    };
+    // The sink hears about the failure too — pushed outside the lock.
+    if let Some((sink, report)) = push {
+        sink(report);
     }
-    state.flush_requested = false;
-    shared.not_full.notify_all();
-    shared.progress.notify_all();
 }
 
 #[cfg(test)]
@@ -888,6 +937,51 @@ mod tests {
         assert_eq!(health.lag, 0);
         assert_eq!(health.queue_depth, 0);
         writer.shutdown().unwrap();
+    }
+
+    #[test]
+    fn health_sink_pushes_reports_per_commit_and_on_failure() {
+        let storage = SharedMemory::default();
+        let writer = Arc::new(BackgroundWriter::with_config(
+            storage.clone(),
+            PipelineConfig::group_commit(Duration::from_millis(2)),
+        ));
+        let seen: Arc<Mutex<Vec<PipelineHealth>>> = Arc::default();
+        let sink_seen = seen.clone();
+        writer.set_health_sink(Arc::new(move |report| {
+            sink_seen.lock().unwrap().push(report);
+        }));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        writer.enqueue(&repo.drain_events());
+        repo.subscribe(writer.clone());
+        repo.register(Principal::member("alice")).unwrap();
+        repo.contribute("alice", entry("COMPOSERS")).unwrap();
+        writer.flush().unwrap();
+        // Join the writer thread first: the push happens outside the
+        // pipeline lock, so it may trail the flush acknowledgement.
+        writer.shutdown().unwrap();
+        {
+            let reports = seen.lock().unwrap();
+            assert!(!reports.is_empty(), "each window pushes a report");
+            assert!(reports.iter().all(PipelineHealth::healthy));
+            for pair in reports.windows(2) {
+                assert!(pair[0].stats.durable <= pair[1].stats.durable);
+            }
+        }
+
+        // A failing backend pushes an unhealthy report.
+        let broken = Arc::new(BackgroundWriter::spawn(BrokenBackend));
+        let failures: Arc<Mutex<Vec<PipelineHealth>>> = Arc::default();
+        let sink_failures = failures.clone();
+        broken.set_health_sink(Arc::new(move |report| {
+            sink_failures.lock().unwrap().push(report);
+        }));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        broken.enqueue(&repo.drain_events());
+        assert!(broken.flush().is_err());
+        assert!(broken.shutdown().is_err(), "the error stays sticky");
+        let failures = failures.lock().unwrap();
+        assert!(failures.iter().any(|r| !r.healthy()));
     }
 
     #[test]

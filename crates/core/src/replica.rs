@@ -57,7 +57,7 @@ use bx_theory::Bx;
 
 use crate::cite;
 use crate::error::RepoError;
-use crate::event::{apply_event, replay, RepoEvent};
+use crate::event::{apply_event, replay, EventSink, RepoEvent};
 use crate::index::SearchIndex;
 use crate::manuscript::{export_manuscript, ManuscriptOptions};
 use crate::principal::Principal;
@@ -290,6 +290,10 @@ pub struct Replica {
     snapshot: RepositorySnapshot,
     index: SearchIndex,
     site: WikiSite,
+    /// Sinks observing the replicated stream (e.g. a lint engine): each
+    /// gets [`EventSink::rebased`] when the replica adopts a new base and
+    /// [`EventSink::accept`] for every event applied on top.
+    observers: Vec<Arc<dyn EventSink>>,
 }
 
 impl std::fmt::Debug for Replica {
@@ -318,9 +322,22 @@ impl Replica {
             snapshot: base,
             index,
             site,
+            observers: Vec::new(),
         };
         replica.catch_up()?;
         Ok(replica)
+    }
+
+    /// Subscribe a sink to the replicated stream. The sink is backfilled
+    /// immediately with [`EventSink::rebased`] over the current snapshot
+    /// (so a derived view starts from the state already tailed), then
+    /// receives [`EventSink::accept`] for every event each later
+    /// [`Replica::catch_up`] applies, and [`EventSink::rebased`] again
+    /// whenever the replica adopts a new base (checkpoint crossed or
+    /// truncation recovered). Sinks run on the catch-up caller's thread.
+    pub fn subscribe(&mut self, sink: Arc<dyn EventSink>) {
+        sink.rebased(&self.snapshot);
+        self.observers.push(sink);
     }
 
     /// Pull the replica up to the log's current durable end. Within a
@@ -331,11 +348,17 @@ impl Replica {
         let progress = self.tail.poll()?;
         if let Some(base) = progress.new_base {
             self.rebase(base);
+            for observer in &self.observers {
+                observer.rebased(&self.snapshot);
+            }
         }
         let mut dirty: BTreeSet<EntryId> = BTreeSet::new();
         for event in &progress.events {
             apply_event(&mut self.snapshot, event);
             self.index.apply(event);
+            for observer in &self.observers {
+                observer.accept(event);
+            }
             if event.changes_rendered_page() {
                 if let Some(id) = event.touched() {
                     dirty.insert(id.clone());
@@ -586,6 +609,10 @@ pub struct Federation {
     snapshot: RepositorySnapshot,
     index: SearchIndex,
     site: WikiSite,
+    /// Sinks observing the merged stream: each gets
+    /// [`EventSink::rebased`] when any source re-bases and
+    /// [`EventSink::accept`] for every *namespaced* event applied.
+    observers: Vec<Arc<dyn EventSink>>,
 }
 
 impl std::fmt::Debug for Federation {
@@ -627,6 +654,7 @@ impl Federation {
             snapshot: RepositorySnapshot::empty(name),
             index: SearchIndex::default(),
             site: WikiSite::new(),
+            observers: Vec::new(),
         };
         for (source, dir) in sources {
             let (tail, base) = LogTail::open(dir)?;
@@ -648,6 +676,17 @@ impl Federation {
         self.sources.iter().map(|(s, _)| s).collect()
     }
 
+    /// Subscribe a sink to the merged stream. The sink is backfilled
+    /// immediately with [`EventSink::rebased`] over the current merged
+    /// snapshot, then receives [`EventSink::accept`] for every
+    /// *namespaced* event each later [`Federation::catch_up`] applies,
+    /// and [`EventSink::rebased`] again whenever any source re-bases.
+    /// Sinks run on the catch-up caller's thread.
+    pub fn subscribe(&mut self, sink: Arc<dyn EventSink>) {
+        sink.rebased(&self.snapshot);
+        self.observers.push(sink);
+    }
+
     /// Poll every source once, folding its progress into the merged
     /// state. A source that fails (e.g. its directory disappeared)
     /// surfaces the error immediately; progress already folded from
@@ -662,12 +701,18 @@ impl Federation {
             let source = self.sources[i].0.clone();
             if let Some(base) = progress.new_base {
                 self.rebase_source(&source, base);
+                for observer in &self.observers {
+                    observer.rebased(&self.snapshot);
+                }
             }
             let mut dirty: BTreeSet<EntryId> = BTreeSet::new();
             for event in &progress.events {
                 let event = namespace_event(&source, event);
                 apply_federated(&mut self.snapshot, &event);
                 self.index.apply(&event);
+                for observer in &self.observers {
+                    observer.accept(&event);
+                }
                 if event.changes_rendered_page() {
                     if let Some(id) = event.touched() {
                         dirty.insert(id.clone());
@@ -1519,6 +1564,99 @@ mod tests {
         // Idempotent stop; the federation comes back out for direct use.
         daemon.stop();
         std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    /// A sink that records everything it is told, for observer tests.
+    #[derive(Default)]
+    struct RecordingSink {
+        accepted: Mutex<Vec<RepoEvent>>,
+        rebases: Mutex<Vec<usize>>, // record count of each base seen
+    }
+
+    impl crate::event::EventSink for RecordingSink {
+        fn accept(&self, event: &RepoEvent) {
+            self.accepted.lock().unwrap().push(event.clone());
+        }
+        fn rebased(&self, base: &RepositorySnapshot) {
+            self.rebases.lock().unwrap().push(base.records.len());
+        }
+    }
+
+    #[test]
+    fn replica_observers_see_backfill_events_and_rebases() {
+        let dir = unique_dir("observe");
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        let mut backend = AutoCompactingEventLog::open(
+            &dir,
+            CompactionPolicy {
+                checkpoint_every: 1_000_000,
+            },
+        )
+        .unwrap();
+        backend.record(&r.drain_events()).unwrap();
+
+        let mut replica = Replica::open(&dir).unwrap();
+        let sink = Arc::new(RecordingSink::default());
+        replica.subscribe(sink.clone());
+        assert_eq!(
+            sink.rebases.lock().unwrap().as_slice(),
+            &[0],
+            "subscription backfills with the current (empty-records) base"
+        );
+
+        // Tailed events reach the observer verbatim.
+        let id = r.contribute("alice", entry("COMPOSERS")).unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        replica.catch_up().unwrap();
+        assert_eq!(sink.accepted.lock().unwrap().len(), 1);
+
+        // A checkpoint crossing notifies rebased, then the tail events.
+        backend.checkpoint(&r.snapshot()).unwrap();
+        r.comment("alice", &id, "2014-03-28", "observed").unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        let progress = replica.catch_up().unwrap();
+        assert!(progress.rebased);
+        assert_eq!(sink.rebases.lock().unwrap().as_slice(), &[0, 1]);
+        assert_eq!(sink.accepted.lock().unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn federation_observers_see_namespaced_events() {
+        let dir = unique_dir("fed-observe");
+        let a = primary("alpha");
+        a.contribute("alice", entry("COMPOSERS")).unwrap();
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        backend.record(&a.drain_events()).unwrap();
+
+        let mut federation =
+            Federation::open("fed", vec![(SourceId::new("a"), dir.clone())]).unwrap();
+        let sink = Arc::new(RecordingSink::default());
+        federation.subscribe(sink.clone());
+        assert_eq!(
+            sink.rebases.lock().unwrap().as_slice(),
+            &[1],
+            "backfill delivers the already-merged base"
+        );
+
+        a.comment(
+            "alice",
+            &EntryId::from_title("COMPOSERS"),
+            "2014-03-28",
+            "federated",
+        )
+        .unwrap();
+        backend.record(&a.drain_events()).unwrap();
+        federation.catch_up().unwrap();
+        let accepted = sink.accepted.lock().unwrap();
+        assert_eq!(accepted.len(), 1);
+        assert_eq!(
+            accepted[0].touched().map(|id| id.as_str().to_string()),
+            Some("a/composers".to_string()),
+            "observers see the namespaced form"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -224,6 +224,26 @@ impl StorageBackend for JsonFileBackend {
     }
 }
 
+/// How an [`EventLogBackend`]'s fsyncs split between the full
+/// [`File::sync_all`] (data + all metadata, required whenever the segment
+/// grew since the last sync so the new length reaches disk) and the
+/// cheaper [`File::sync_data`] (data + only the metadata needed to read
+/// it back, sufficient when the segment length is unchanged).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsyncStats {
+    /// Full syncs: the segment length changed since the last fsync.
+    pub sync_all: u64,
+    /// Data-only syncs: the segment length was unchanged.
+    pub sync_data: u64,
+}
+
+impl FsyncStats {
+    /// Total fsyncs of either kind.
+    pub fn total(&self) -> u64 {
+        self.sync_all + self.sync_data
+    }
+}
+
 /// The checkpoint manifest an [`EventLogBackend`] persists: the base
 /// state plus the name of the generation log file its deltas live in.
 /// Keeping both in one file makes the manifest rename the single atomic
@@ -268,6 +288,12 @@ pub struct EventLogBackend {
     /// Bytes staged (written but not fsynced) since the last
     /// `flush_durable` — only ever true in [`DurabilityMode::GroupCommit`].
     dirty: bool,
+    /// Segment length at the last fsync of the current generation, if one
+    /// has happened — the length whose durability the next fsync may rely
+    /// on to downgrade `sync_all` to `sync_data`.
+    synced_len: Option<u64>,
+    /// How this instance's fsyncs split between full and data-only syncs.
+    fsync_stats: FsyncStats,
 }
 
 /// A clone is a fresh writer over the same directory and generation: it
@@ -281,6 +307,8 @@ impl Clone for EventLogBackend {
             durability: self.durability,
             appender: None,
             dirty: false,
+            synced_len: None,
+            fsync_stats: FsyncStats::default(),
         }
     }
 }
@@ -307,6 +335,8 @@ impl EventLogBackend {
             durability: DurabilityMode::default(),
             appender: None,
             dirty: false,
+            synced_len: None,
+            fsync_stats: FsyncStats::default(),
         };
         backend.repair_torn_tail()?;
         Ok(backend)
@@ -315,6 +345,12 @@ impl EventLogBackend {
     /// The active [`DurabilityMode`].
     pub fn durability(&self) -> DurabilityMode {
         self.durability
+    }
+
+    /// How this instance's fsyncs have split between [`File::sync_all`]
+    /// and [`File::sync_data`] (see [`FsyncStats`]).
+    pub fn fsync_stats(&self) -> FsyncStats {
+        self.fsync_stats
     }
 
     /// The persistent appender for the current generation, opened on
@@ -518,6 +554,7 @@ impl StorageBackend for EventLogBackend {
         // One buffered write of the whole batch through the persistent
         // appender — the open cost was paid once at the generation start.
         let mode = self.durability;
+        let mut synced = None;
         {
             let file = self.appender()?;
             file.write_all(lines.as_bytes())
@@ -525,10 +562,20 @@ impl StorageBackend for EventLogBackend {
             if mode == DurabilityMode::PerBatch {
                 // "Durably append" means surviving power loss, not just a
                 // process crash: flush the page cache before reporting
-                // success.
+                // success. The append grew the segment, so the full
+                // `sync_all` is required (the new length is metadata).
                 file.sync_all()
                     .map_err(|e| RepoError::persist_io("fsync event log", e))?;
+                synced = Some(
+                    file.metadata()
+                        .map_err(|e| RepoError::persist_io("stat event log", e))?
+                        .len(),
+                );
             }
+        }
+        if let Some(len) = synced {
+            self.fsync_stats.sync_all += 1;
+            self.synced_len = Some(len);
         }
         if mode == DurabilityMode::GroupCommit {
             self.dirty = true;
@@ -578,6 +625,8 @@ impl StorageBackend for EventLogBackend {
         // no fsync of their own.
         self.appender = None;
         self.dirty = false;
+        // The fresh generation has never been fsynced.
+        self.synced_len = None;
         // Past the commit point: the old generation is garbage now.
         std::fs::remove_file(self.dir.join(old_log)).ok();
         Ok(())
@@ -594,16 +643,41 @@ impl StorageBackend for EventLogBackend {
         Ok(replay(base, &Self::read_log_file(&self.dir.join(log))?))
     }
 
-    /// One `sync_all` covering every batch staged since the last call.
-    /// A no-op when nothing is staged — including the whole
+    /// One fsync covering every batch staged since the last call. A no-op
+    /// when nothing is staged — including the whole
     /// [`DurabilityMode::PerBatch`] regime, where `record` already synced.
+    ///
+    /// The fsync is the full `sync_all` when the segment grew since the
+    /// last fsync (the new length must reach disk), and the cheaper
+    /// `sync_data` when the length is unchanged — then the durable size
+    /// metadata is already correct and only data pages need flushing.
+    /// [`EventLogBackend::fsync_stats`] counts the split.
     fn flush_durable(&mut self) -> Result<(), RepoError> {
         if !self.dirty {
             return Ok(());
         }
-        self.appender()?
-            .sync_all()
-            .map_err(|e| RepoError::persist_io("fsync event log", e))?;
+        let last_synced = self.synced_len;
+        let (len, data_only) = {
+            let file = self.appender()?;
+            let len = file
+                .metadata()
+                .map_err(|e| RepoError::persist_io("stat event log", e))?
+                .len();
+            if last_synced == Some(len) {
+                file.sync_data()
+                    .map_err(|e| RepoError::persist_io("fdatasync event log", e))?;
+            } else {
+                file.sync_all()
+                    .map_err(|e| RepoError::persist_io("fsync event log", e))?;
+            }
+            (len, last_synced == Some(len))
+        };
+        if data_only {
+            self.fsync_stats.sync_data += 1;
+        } else {
+            self.fsync_stats.sync_all += 1;
+            self.synced_len = Some(len);
+        }
         self.dirty = false;
         Ok(())
     }
@@ -1072,6 +1146,76 @@ mod tests {
         let parsed = EventLogBackend::read_log_file(&log).unwrap().len();
         assert_eq!(backend.pending_events().unwrap(), parsed);
         assert!(parsed > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_split_counts_sync_all_for_growth_and_sync_data_otherwise() {
+        let dir = unique_dir("fsync-split");
+        let r = busy_repository();
+        let mut backend = EventLogBackend::open(&dir).unwrap();
+
+        // Per-batch appends grow the segment: every record is a sync_all.
+        let events = r.drain_events();
+        let (a, b) = events.split_at(events.len() / 2);
+        backend.record(a).unwrap();
+        assert_eq!(
+            backend.fsync_stats(),
+            FsyncStats {
+                sync_all: 1,
+                sync_data: 0
+            }
+        );
+
+        // Group commit: a staged batch grew the segment, so the flush is
+        // still a sync_all.
+        backend.set_durability(DurabilityMode::GroupCommit);
+        backend.record(b).unwrap();
+        backend.flush_durable().unwrap();
+        assert_eq!(
+            backend.fsync_stats(),
+            FsyncStats {
+                sync_all: 2,
+                sync_data: 0
+            }
+        );
+        // Clean flush: no fsync of either kind.
+        backend.flush_durable().unwrap();
+        assert_eq!(backend.fsync_stats().total(), 2);
+
+        // Dirty with the segment length unchanged since the last fsync
+        // (no append happened): the durable size metadata is already
+        // right, so the flush downgrades to sync_data.
+        backend.dirty = true;
+        backend.flush_durable().unwrap();
+        assert_eq!(
+            backend.fsync_stats(),
+            FsyncStats {
+                sync_all: 2,
+                sync_data: 1
+            }
+        );
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+
+        // A checkpoint rolls the generation: the first flush over the new
+        // segment must be a full sync again.
+        backend.checkpoint(&r.snapshot()).unwrap();
+        r.comment(
+            "alice",
+            &crate::repo::EntryId::from_title("DATES"),
+            "2014-05-01",
+            "post-roll",
+        )
+        .unwrap();
+        backend.record(&r.drain_events()).unwrap();
+        backend.flush_durable().unwrap();
+        assert_eq!(
+            backend.fsync_stats(),
+            FsyncStats {
+                sync_all: 3,
+                sync_data: 1
+            }
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

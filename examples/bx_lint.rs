@@ -1,0 +1,60 @@
+//! `bx lint` — the diagnostics CLI: run the full law check over an
+//! event-log directory and print the report.
+//!
+//! Run with: `cargo run --example bx_lint -- <event-log-dir>`
+//!
+//! Exit codes: `0` — no errors (warnings and infos allowed); `1` — at
+//! least one error diagnostic; `2` — usage or I/O problem. That makes it
+//! scriptable: CI points it at a log directory and fails the build when
+//! a law is violated.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use bx::core::storage::EventLogBackend;
+use bx::lint::{full_check, standard_catalog};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [dir] = args.as_slice() else {
+        eprintln!("usage: bx_lint <event-log-dir>");
+        return ExitCode::from(2);
+    };
+    let dir = Path::new(dir);
+    if !dir.is_dir() {
+        eprintln!("bx lint: `{}` is not a directory", dir.display());
+        return ExitCode::from(2);
+    }
+
+    // Recover the snapshot exactly as a restart would: checkpoint (if
+    // any) plus replay of the intact log tail — a torn final append is
+    // ignored, a corrupt interior line is a hard error.
+    let snapshot = match EventLogBackend::restore_dir(dir) {
+        Ok(snapshot) => snapshot,
+        Err(e) => {
+            eprintln!("bx lint: cannot restore `{}`: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let catalog = standard_catalog();
+    let index = full_check(&snapshot, &catalog);
+    println!(
+        "bx lint: {} entr{} checked in `{}` against {} registered artefact check(s)",
+        snapshot.records.len(),
+        if snapshot.records.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        dir.display(),
+        catalog.len(),
+    );
+    print!("{}", index.report());
+
+    if index.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -137,5 +137,13 @@ fn main() {
     );
 
     writer.shutdown().expect("orderly drain");
-    std::fs::remove_dir_all(&dir).ok();
+    // With BX_WIKI_KEEP_DIR set, the event-log directory is left on disk
+    // (its path printed on the last line) so a follow-up tool can read
+    // it — CI runs `bx_lint` over it to assert the example's log
+    // restores to a diagnostics-clean repository.
+    if std::env::var_os("BX_WIKI_KEEP_DIR").is_some() {
+        println!("event log kept at: {}", dir.display());
+    } else {
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -4,7 +4,8 @@
 //! & Gibbons, *"Towards a Repository of Bx Examples"* (BX 2014): the
 //! curated repository itself ([`core`]), the bx formalisms it rests on
 //! ([`theory`], [`lens`]), the substrates its examples need
-//! ([`relational`], [`mde`]), and the curated collection ([`examples`]).
+//! ([`relational`], [`mde`]), the curated collection ([`examples`]),
+//! and the incremental law-checking engine over it all ([`lint`]).
 //!
 //! ## Quickstart
 //!
@@ -22,7 +23,8 @@
 //! `quickstart`, `composers_session`, `repository_tour`,
 //! `replicated_wiki` (background durability + a converging read
 //! replica), `federated_wiki` (N primaries fanned into one federated
-//! serving node with a polling daemon), `uml_sync`, `relational_views`.
+//! serving node with a polling daemon), `bx_lint` (the diagnostics CLI
+//! over an event-log directory), `uml_sync`, `relational_views`.
 
 /// The curated repository (entry template, versioning, curation, wiki,
 /// citations, search, persistence).
@@ -31,6 +33,9 @@ pub use bx_core as core;
 pub use bx_examples as examples;
 /// Lens frameworks: asymmetric, symmetric, edit, and string lenses.
 pub use bx_lens as lens;
+/// Incremental law checking: the live diagnostics engine on the event
+/// bus, its check catalog, and the `bx lint` report format.
+pub use bx_lint as lint;
 /// The miniature MDE substrate.
 pub use bx_mde as mde;
 /// The relational engine and relational lenses.
