@@ -25,7 +25,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use bx_core::pipeline::{BackgroundWriter, PipelineConfig};
 use bx_core::storage::{EventLogBackend, StorageBackend};
-use bx_core::{Principal, RepoEvent, Repository};
+use bx_core::{BinaryLogBackend, Principal, RepoEvent, Repository};
 
 /// Events one producer hands over per enqueue call.
 const PRODUCER_BATCH: usize = 4;
@@ -34,6 +34,14 @@ const TOTAL_EVENTS: usize = 1024;
 
 fn bench_dir(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("bx-bench-durability-{}-{tag}", std::process::id()))
+}
+
+fn open_jsonl(dir: &Path) -> EventLogBackend {
+    EventLogBackend::open(dir).expect("event log opens")
+}
+
+fn open_binary(dir: &Path) -> BinaryLogBackend {
+    BinaryLogBackend::open(dir).expect("binary log opens")
 }
 
 /// A deterministic stream of `n` comment events.
@@ -56,13 +64,15 @@ fn workload(n: usize) -> Vec<RepoEvent> {
 
 /// One timed iteration: a fresh log directory, `producers` threads each
 /// enqueueing their share in `PRODUCER_BATCH`-sized slices, one final
-/// acknowledged flush, orderly shutdown.
-fn run(config: PipelineConfig, producers: usize, events: &[RepoEvent], dir: &Path) {
+/// acknowledged flush, orderly shutdown. Generic over the backend so
+/// the same workload measures both on-disk formats.
+fn run<B, F>(open: F, config: PipelineConfig, producers: usize, events: &[RepoEvent], dir: &Path)
+where
+    B: StorageBackend + Send + 'static,
+    F: Fn(&Path) -> B,
+{
     std::fs::remove_dir_all(dir).ok();
-    let writer = Arc::new(BackgroundWriter::with_config(
-        EventLogBackend::open(dir).expect("event log opens"),
-        config,
-    ));
+    let writer = Arc::new(BackgroundWriter::with_config(open(dir), config));
     let share = events.len() / producers;
     let threads: Vec<_> = (0..producers)
         .map(|p| {
@@ -97,7 +107,7 @@ fn bench_append(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("per-batch", producers),
             &producers,
-            |b, &producers| b.iter(|| run(per_batch, producers, &events, &dir)),
+            |b, &producers| b.iter(|| run(open_jsonl, per_batch, producers, &events, &dir)),
         );
         std::fs::remove_dir_all(&dir).ok();
 
@@ -106,7 +116,17 @@ fn bench_append(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("group-commit", producers),
             &producers,
-            |b, &producers| b.iter(|| run(grouped, producers, &events, &dir)),
+            |b, &producers| b.iter(|| run(open_jsonl, grouped, producers, &events, &dir)),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+
+        // The binary backend under the same group-commit schedule: the
+        // fsync count is identical, the gap is serialisation + append.
+        let dir = bench_dir(&format!("group-commit-binary-{producers}"));
+        group.bench_with_input(
+            BenchmarkId::new("group-commit-binary", producers),
+            &producers,
+            |b, &producers| b.iter(|| run(open_binary, grouped, producers, &events, &dir)),
         );
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -115,15 +135,13 @@ fn bench_append(c: &mut Criterion) {
 
 fn bench_restore(c: &mut Criterion) {
     // The read side: a cold process opening and replaying the log the
-    // staged appends produced.
+    // staged appends produced — in both on-disk formats.
     let events = workload(TOTAL_EVENTS);
     let dir = bench_dir("restore");
-    run(
-        PipelineConfig::group_commit(Duration::from_millis(1)),
-        4,
-        &events,
-        &dir,
-    );
+    let bin_dir = bench_dir("restore-binary");
+    let grouped = PipelineConfig::group_commit(Duration::from_millis(1));
+    run(open_jsonl, grouped, 4, &events, &dir);
+    run(open_binary, grouped, 4, &events, &bin_dir);
     let mut group = c.benchmark_group("durability/restore");
     group.sample_size(10);
     group.throughput(Throughput::Elements(TOTAL_EVENTS as u64));
@@ -133,8 +151,15 @@ fn bench_restore(c: &mut Criterion) {
             criterion::black_box(backend.restore().expect("restores"))
         })
     });
+    group.bench_function(BenchmarkId::new("cold-binary", TOTAL_EVENTS), |b| {
+        b.iter(|| {
+            let backend = BinaryLogBackend::open(&bin_dir).expect("binary log opens");
+            criterion::black_box(backend.restore().expect("restores"))
+        })
+    });
     group.finish();
     std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&bin_dir).ok();
 }
 
 criterion_group!(benches, bench_append, bench_restore);

@@ -41,6 +41,20 @@ pub enum RepoError {
     },
     /// Persistence failure (serialisation or I/O), stringified.
     Persist(String),
+    /// A binary-log frame failed an integrity check *inside* the log —
+    /// real corruption (bit rot, a foreign writer, a short copy), typed
+    /// separately from [`RepoError::Persist`] so callers can distinguish
+    /// it from plain I/O failure. A torn *tail* (a crash mid-append) is
+    /// not corruption and never raises this: readers drop it and the
+    /// writer truncates it at open.
+    CorruptFrame {
+        /// The segment file (relative name) holding the bad frame.
+        segment: String,
+        /// Byte offset of the frame within that segment.
+        offset: u64,
+        /// Which check failed (header, payload CRC, payload decode).
+        reason: String,
+    },
     /// A replicated source that had been tailed is gone — the whole
     /// directory, or its checkpoint manifest after one had been parsed
     /// (not merely an empty or not-yet-written log). The typed signal a
@@ -76,6 +90,16 @@ impl fmt::Display for RepoError {
                 write!(f, "cannot parse wiki page `{page}`: {reason}")
             }
             RepoError::Persist(s) => write!(f, "persistence error: {s}"),
+            RepoError::CorruptFrame {
+                segment,
+                offset,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "corrupt frame in segment `{segment}` at byte {offset}: {reason}"
+                )
+            }
             RepoError::SourceUnavailable { dir } => {
                 write!(
                     f,
@@ -123,6 +147,11 @@ mod tests {
                 reason: "r".into(),
             },
             RepoError::Persist("io".into()),
+            RepoError::CorruptFrame {
+                segment: "events-0.bin.000000".into(),
+                offset: 42,
+                reason: "payload CRC mismatch".into(),
+            },
             RepoError::SourceUnavailable {
                 dir: "/gone".into(),
             },

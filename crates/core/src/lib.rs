@@ -42,6 +42,7 @@
 //!   in-memory, legacy JSON file, and an append-only event log with
 //!   snapshot+replay recovery.
 
+pub mod binlog;
 pub mod cite;
 pub mod curation;
 pub mod error;
@@ -59,6 +60,7 @@ pub mod version;
 pub mod wiki;
 pub mod wiki_bx;
 
+pub use binlog::BinaryLogBackend;
 pub use curation::EntryStatus;
 pub use error::RepoError;
 pub use event::{EventSink, RepoEvent};
@@ -70,8 +72,8 @@ pub use replica::{
 };
 pub use repo::{EntryId, Repository};
 pub use storage::{
-    AutoCompactingEventLog, CompactionPolicy, DurabilityMode, EventLogBackend, FsyncStats,
-    JsonFileBackend, MemoryBackend, StorageBackend,
+    AutoCompactingBinaryLog, AutoCompactingEventLog, CompactionPolicy, DurabilityMode,
+    EventLogBackend, FsyncStats, GenerationLog, JsonFileBackend, MemoryBackend, StorageBackend,
 };
 pub use template::{
     Artefact, ArtefactKind, Comment, EntryBuilder, ExampleEntry, ExampleType, Reference,

@@ -82,6 +82,15 @@ pub struct PipelineConfig {
     /// Most events one group-commit window may cover before its fsync is
     /// forced (≥ 1; ignored in per-batch mode).
     pub max_group_events: usize,
+    /// When true (and a group-commit window is set), the window adapts to
+    /// load: [`PipelineConfig::group_commit_window`] becomes the *ceiling*
+    /// and the writer halves the window toward zero whenever a window
+    /// closes nearly empty (light load → per-event latency approaches a
+    /// bare fsync) and doubles it back toward the ceiling whenever a
+    /// window fills a quarter of [`PipelineConfig::max_group_events`]
+    /// (saturation → maximum fsync amortisation). The window currently in
+    /// force is observable as [`PipelineStats::window_micros`].
+    pub adaptive_window: bool,
     /// Every `health_every` successful commits (record batches in
     /// per-batch mode, windows in group-commit mode) the writer thread
     /// snapshots a [`PipelineHealth`] report, drainable via
@@ -99,6 +108,7 @@ impl Default for PipelineConfig {
             group_commit_window: None,
             max_group_events: DEFAULT_MAX_GROUP_EVENTS,
             health_every: 0,
+            adaptive_window: false,
         }
     }
 }
@@ -109,6 +119,18 @@ impl PipelineConfig {
         PipelineConfig {
             group_commit_window: Some(window),
             ..PipelineConfig::default()
+        }
+    }
+
+    /// Group commit with an adaptive window: `max_window` is the ceiling,
+    /// and the writer sizes the actual window to the observed load (see
+    /// [`PipelineConfig::adaptive_window`]). The first window opens at
+    /// the ceiling — the safe choice for throughput — and shrinks within
+    /// a few light windows.
+    pub fn adaptive_group_commit(max_window: Duration) -> PipelineConfig {
+        PipelineConfig {
+            adaptive_window: true,
+            ..PipelineConfig::group_commit(max_window)
         }
     }
 }
@@ -133,6 +155,11 @@ pub struct PipelineStats {
     /// Group-commit windows closed. Always 0 in per-batch mode;
     /// `durable / group_commits` is the realised amortisation factor.
     pub group_commits: u64,
+    /// The group-commit window in force after the most recent window
+    /// close, in microseconds: the configured window in fixed mode, the
+    /// load-adapted value under [`PipelineConfig::adaptive_window`], and
+    /// 0 in per-batch mode (or before the first window has closed).
+    pub window_micros: u64,
 }
 
 /// A point-in-time health snapshot of the pipeline: the counters plus the
@@ -290,6 +317,7 @@ impl BackgroundWriter {
             batch_max: config.write_batch.max(1),
             window: config.group_commit_window,
             group_max: config.max_group_events.max(1),
+            adaptive: config.adaptive_window,
         };
         let handle = std::thread::Builder::new()
             .name("bx-durability".to_string())
@@ -441,8 +469,10 @@ impl Drop for BackgroundWriter {
 #[derive(Clone, Copy)]
 struct WriterTuning {
     batch_max: usize,
+    /// The configured window — the fixed value, or the adaptive ceiling.
     window: Option<Duration>,
     group_max: usize,
+    adaptive: bool,
 }
 
 /// The writer thread: wait for work, commit it (one fsynced batch in
@@ -450,6 +480,9 @@ struct WriterTuning {
 /// it; on error, stash the error, discard the queue, and idle until
 /// shutdown.
 fn writer_loop<B: StorageBackend>(shared: Arc<Shared>, mut backend: B, tuning: WriterTuning) {
+    // The window currently in force: the configured value in fixed mode
+    // (never changes), the load-adapted value in adaptive mode.
+    let mut current_window = tuning.window;
     loop {
         {
             let mut state = lock(&shared);
@@ -464,9 +497,19 @@ fn writer_loop<B: StorageBackend>(shared: Arc<Shared>, mut backend: B, tuning: W
                         // (every prior window already fsynced)
             }
         }
-        match tuning.window {
-            None => per_batch_step(&shared, &mut backend, tuning.batch_max),
-            Some(window) => group_commit_window(&shared, &mut backend, window, tuning.group_max),
+        match (current_window, tuning.window) {
+            (None, _) | (_, None) => per_batch_step(&shared, &mut backend, tuning.batch_max),
+            (Some(window), Some(max_window)) => {
+                let next = group_commit_window(
+                    &shared,
+                    &mut backend,
+                    window,
+                    max_window,
+                    tuning.adaptive,
+                    tuning.group_max,
+                );
+                current_window = Some(next);
+            }
         };
     }
 }
@@ -500,16 +543,49 @@ fn per_batch_step<B: StorageBackend>(shared: &Shared, backend: &mut B, batch_max
     }
 }
 
+/// Size the next group-commit window from how the one that just closed
+/// went. `staged` near the group budget means producers are saturating
+/// the writer: double the window (more amortisation per fsync), up to the
+/// configured ceiling. A window that closed nearly empty means load is
+/// light: halve it (down to zero — drain-and-fsync immediately) so a lone
+/// producer's ack latency is one fsync, not one timer. The growth floor
+/// is a small quantum of the ceiling so recovery from zero is geometric,
+/// not stuck.
+fn adapt_window(
+    current: Duration,
+    max_window: Duration,
+    staged: usize,
+    group_max: usize,
+) -> Duration {
+    let quantum = (max_window / 16)
+        .max(Duration::from_micros(50))
+        .min(max_window);
+    if staged.saturating_mul(4) >= group_max {
+        return current.saturating_mul(2).clamp(quantum, max_window);
+    }
+    if staged <= 1 {
+        return if current <= quantum {
+            Duration::ZERO
+        } else {
+            current / 2
+        };
+    }
+    current
+}
+
 /// Group-commit mode: keep draining and staging whatever producers queue
 /// until the window closes (timer, `max_group_events`, shutdown, or a
 /// waiting flush), then issue the one `flush_durable` that makes every
-/// staged batch durable at once.
+/// staged batch durable at once. Returns the window the *next* group
+/// commit should hold open (`window` unchanged unless `adaptive`).
 fn group_commit_window<B: StorageBackend>(
     shared: &Shared,
     backend: &mut B,
     window: Duration,
+    max_window: Duration,
+    adaptive: bool,
     group_max: usize,
-) {
+) -> Duration {
     let deadline = Instant::now() + window;
     let mut staged: usize = 0;
     loop {
@@ -529,7 +605,7 @@ fn group_commit_window<B: StorageBackend>(
             // fsync below, so flush waiters cannot be acknowledged early.
             if let Err(e) = backend.record(&batch) {
                 fail(shared, staged + batch.len(), e);
-                return;
+                return window;
             }
             staged += batch.len();
         }
@@ -559,6 +635,13 @@ fn group_commit_window<B: StorageBackend>(
             break;
         }
     }
+    // Decide the next window before the commit lock so flush waiters see
+    // stats (including `window_micros`) fully settled when they wake.
+    let next_window = if adaptive {
+        adapt_window(window, max_window, staged, group_max)
+    } else {
+        window
+    };
     // The window's single fsync point, covering every staged batch.
     match backend.flush_durable() {
         Ok(()) => {
@@ -567,6 +650,7 @@ fn group_commit_window<B: StorageBackend>(
                 state.stats.durable += staged as u64;
                 state.stats.fsyncs += 1;
                 state.stats.group_commits += 1;
+                state.stats.window_micros = next_window.as_micros() as u64;
                 state.flush_requested = false;
                 state.committed();
                 shared.progress.notify_all();
@@ -578,6 +662,7 @@ fn group_commit_window<B: StorageBackend>(
         }
         Err(e) => fail(shared, staged, e),
     }
+    next_window
 }
 
 /// The writer failed with `in_flight` events handed to the backend but
@@ -816,6 +901,100 @@ mod tests {
             storage.0.lock().unwrap().restore().unwrap(),
             repo.snapshot()
         );
+        writer.shutdown().unwrap();
+    }
+
+    #[test]
+    fn adaptive_window_shrinks_to_zero_under_light_load() {
+        let storage = SharedMemory::default();
+        let writer = Arc::new(BackgroundWriter::with_config(
+            storage.clone(),
+            PipelineConfig::adaptive_group_commit(Duration::from_millis(4)),
+        ));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        writer.enqueue(&repo.drain_events());
+        repo.subscribe(writer.clone());
+        repo.register(Principal::member("alice")).unwrap();
+        let id = repo.contribute("alice", entry("COMPOSERS")).unwrap();
+        // One event per flush: every window closes with staged ≤ 1, so
+        // from the 4ms ceiling the window halves to the quantum and then
+        // to zero within a handful of rounds.
+        for i in 0..10 {
+            repo.comment("alice", &id, "2014-03-28", &format!("solo{i}"))
+                .unwrap();
+            writer.flush().unwrap();
+        }
+        let stats = writer.stats();
+        assert_eq!(stats.window_micros, 0, "light load shrinks to zero");
+        assert_eq!(stats.durable, stats.enqueued);
+        assert_eq!(
+            storage.0.lock().unwrap().restore().unwrap(),
+            repo.snapshot()
+        );
+        writer.shutdown().unwrap();
+    }
+
+    #[test]
+    fn adaptive_window_grows_back_under_saturation() {
+        let storage = SharedMemory::default();
+        let writer = Arc::new(BackgroundWriter::with_config(
+            storage.clone(),
+            PipelineConfig {
+                // A tiny group budget so a burst saturates many windows
+                // in a row (growth needs staged*4 >= group_max).
+                max_group_events: 8,
+                ..PipelineConfig::adaptive_group_commit(Duration::from_millis(4))
+            },
+        ));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        writer.enqueue(&repo.drain_events());
+        repo.subscribe(writer.clone());
+        repo.register(Principal::member("alice")).unwrap();
+        let id = repo.contribute("alice", entry("COMPOSERS")).unwrap();
+        // Shrink first: sparse singles take the window to zero.
+        for i in 0..10 {
+            repo.comment("alice", &id, "2014-03-28", &format!("s{i}"))
+                .unwrap();
+            writer.flush().unwrap();
+        }
+        assert_eq!(writer.stats().window_micros, 0);
+        // Then saturate: a 64-event burst fills windows to the 8-event
+        // budget back to back, doubling the window from the quantum.
+        for i in 0..64 {
+            repo.comment("alice", &id, "2014-03-28", &format!("burst{i}"))
+                .unwrap();
+        }
+        writer.flush().unwrap();
+        let stats = writer.stats();
+        assert!(
+            stats.window_micros > 0,
+            "saturation must grow the window back (got {} µs)",
+            stats.window_micros
+        );
+        assert!(
+            stats.window_micros <= 4_000,
+            "the configured ceiling caps growth (got {} µs)",
+            stats.window_micros
+        );
+        assert_eq!(stats.durable, stats.enqueued);
+        assert_eq!(
+            storage.0.lock().unwrap().restore().unwrap(),
+            repo.snapshot()
+        );
+        writer.shutdown().unwrap();
+    }
+
+    #[test]
+    fn fixed_window_reports_its_configured_size() {
+        let storage = SharedMemory::default();
+        let writer = Arc::new(BackgroundWriter::with_config(
+            storage.clone(),
+            PipelineConfig::group_commit(Duration::from_millis(2)),
+        ));
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        writer.enqueue(&repo.drain_events());
+        writer.flush().unwrap();
+        assert_eq!(writer.stats().window_micros, 2_000);
         writer.shutdown().unwrap();
     }
 

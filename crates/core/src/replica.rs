@@ -149,8 +149,15 @@ impl LogTail {
     /// Bytes sitting in the current generation log beyond what has been
     /// applied — the replication lag in bytes (0 when fully caught up or
     /// the log is absent). A torn trailing fragment counts as lag until
-    /// the writer's next durable append resolves it.
+    /// the writer's next durable append resolves it. For a binary
+    /// generation the log spans segment files, so the length is the sum
+    /// of segment sizes — still metadata-only.
     pub fn lag_bytes(&self) -> u64 {
+        if crate::binlog::is_binary_generation(&self.generation) {
+            return crate::binlog::generation_len(&self.dir, &self.generation)
+                .map(|len| len.saturating_sub(self.offset))
+                .unwrap_or(0);
+        }
         std::fs::metadata(self.dir.join(&self.generation))
             .map(|m| m.len().saturating_sub(self.offset))
             .unwrap_or(0)
@@ -209,6 +216,23 @@ impl LogTail {
         Ok(Some((events, offset + intact_end as u64)))
     }
 
+    /// [`Self::read_tail`] dispatched on the generation's on-disk format:
+    /// JSONL tails one line-oriented file, binary tails the generation's
+    /// segment run by global byte offset ([`crate::binlog::read_tail`]).
+    /// Both share the contract — events at/after `offset` plus the new
+    /// offset, `Ok(None)` on a shrink that demands a re-base, and an
+    /// unchanged log costing only metadata stats.
+    fn read_generation_tail(
+        &self,
+        offset: u64,
+    ) -> Result<Option<(Vec<RepoEvent>, u64)>, RepoError> {
+        if crate::binlog::is_binary_generation(&self.generation) {
+            crate::binlog::read_tail(&self.dir, &self.generation, offset)
+        } else {
+            Self::read_tail(&self.dir.join(&self.generation), offset)
+        }
+    }
+
     /// Observe the log's current durable end. Within a generation this
     /// reads only the bytes appended since the last poll (polling an
     /// unchanged log is a metadata check); across a checkpoint it reports
@@ -258,19 +282,18 @@ impl LogTail {
                 progress.rebased = true;
             }
         }
-        let path = self.dir.join(&self.generation);
-        match Self::read_tail(&path, self.offset)? {
+        match self.read_generation_tail(self.offset)? {
             Some((events, new_offset)) => {
                 self.applied += events.len();
                 self.offset = new_offset;
                 progress.events = events;
             }
             None => {
-                // The tailed file shrank under us (a foreign truncation
+                // The tailed log shrank under us (a foreign truncation
                 // beyond torn-tail repair). Rolling individual events
                 // back is not possible; re-base onto what the directory
                 // actually holds.
-                let (all, end) = Self::read_tail(&path, 0)?.unwrap_or((Vec::new(), 0));
+                let (all, end) = self.read_generation_tail(0)?.unwrap_or((Vec::new(), 0));
                 let (base, _) = EventLogBackend::read_state_in(&self.dir)?;
                 self.applied = all.len();
                 self.offset = end;

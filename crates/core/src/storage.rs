@@ -327,8 +327,14 @@ impl EventLogBackend {
         std::fs::create_dir_all(&dir).map_err(io_err)?;
         let log = match Self::read_manifest_in(&dir)? {
             Some(manifest) => manifest.log,
-            None => "events-0.jsonl".to_string(),
+            None => crate::binlog::unmanifested_generation(&dir),
         };
+        if crate::binlog::is_binary_generation(&log) {
+            return Err(RepoError::Persist(format!(
+                "directory holds a binary event log (generation `{log}`); \
+                 open it with BinaryLogBackend or convert it with bx_logconv"
+            )));
+        }
         let backend = EventLogBackend {
             dir,
             log,
@@ -434,24 +440,47 @@ impl EventLogBackend {
     /// event-log directory, read without opening a writer (and therefore
     /// without the open-time torn-tail repair): `(base, log)` from the
     /// manifest, or the empty state and the initial generation when no
-    /// checkpoint exists yet. This is the read-side entry point replicas
-    /// tail from.
+    /// checkpoint exists yet (binary if generation-0 binary segments are
+    /// present, the JSONL default otherwise). This is the read-side entry
+    /// point replicas tail from; the generation name's extension tells
+    /// the caller which format to read
+    /// ([`crate::binlog::is_binary_generation`]).
     pub fn read_state_in(dir: &Path) -> Result<(RepositorySnapshot, String), RepoError> {
         Ok(match Self::read_manifest_in(dir)? {
             Some(manifest) => (manifest.state, manifest.log),
-            None => (RepositorySnapshot::empty(""), "events-0.jsonl".to_string()),
+            None => (
+                RepositorySnapshot::empty(""),
+                crate::binlog::unmanifested_generation(dir),
+            ),
         })
     }
 
+    /// The events of one log generation in `dir`, whichever format the
+    /// generation name declares — JSONL lines or binary frames. A torn
+    /// tail is dropped in both formats; real corruption surfaces as
+    /// [`RepoError::Persist`] (JSONL) or the typed
+    /// [`RepoError::CorruptFrame`] (binary).
+    pub fn read_generation_events(
+        dir: &Path,
+        generation: &str,
+    ) -> Result<Vec<RepoEvent>, RepoError> {
+        if crate::binlog::is_binary_generation(generation) {
+            crate::binlog::read_generation(dir, generation)
+        } else {
+            Self::read_log_file(&dir.join(generation))
+        }
+    }
+
     /// Recover the durable state of an event-log directory purely by
-    /// reading: manifest base + replay of the intact lines of the
-    /// generation it names. Unlike `EventLogBackend::open(dir)?.restore()`
+    /// reading: manifest base + replay of the intact records of the
+    /// generation it names — transparently for either on-disk format.
+    /// Unlike `EventLogBackend::open(dir)?.restore()`
     /// this never mutates the directory (no torn-tail repair), so tests
     /// and tooling can compute the expected fold of a directory that is
     /// concurrently being tailed or deliberately left torn.
     pub fn restore_dir(dir: &Path) -> Result<RepositorySnapshot, RepoError> {
         let (base, log) = Self::read_state_in(dir)?;
-        Ok(replay(base, &Self::read_log_file(&dir.join(log))?))
+        Ok(replay(base, &Self::read_generation_events(dir, &log)?))
     }
 
     pub(crate) fn read_manifest_in(dir: &Path) -> Result<Option<Manifest>, RepoError> {
@@ -690,6 +719,64 @@ impl StorageBackend for EventLogBackend {
     }
 }
 
+/// A generation-rolling log backend [`AutoCompactingEventLog`] can
+/// wrap: both on-disk log formats (JSONL lines, binary frames) checkpoint
+/// by rolling to a fresh generation behind one manifest rename, so the
+/// compaction policy layer is format-agnostic.
+pub trait GenerationLog: StorageBackend + std::fmt::Debug + Sized {
+    /// Open (or create) a log of this format under `dir`.
+    fn open_dir(dir: &Path) -> Result<Self, RepoError>;
+
+    /// `restore()` plus the replayed event count, off a single read of
+    /// the log (the compacting wrapper's open path needs both and should
+    /// not parse the pending tail twice).
+    fn restore_with_pending(&self) -> Result<(RepositorySnapshot, usize), RepoError>;
+
+    /// Remove superseded generations (strays from crashes in the
+    /// checkpoint window). Returns how many files were removed.
+    fn prune_stale_generations(&self) -> Result<usize, RepoError>;
+
+    /// The [`StorageBackend::kind`] of the compacting wrapper around
+    /// this format.
+    fn compacted_kind() -> &'static str;
+}
+
+impl GenerationLog for EventLogBackend {
+    fn open_dir(dir: &Path) -> Result<EventLogBackend, RepoError> {
+        EventLogBackend::open(dir)
+    }
+
+    fn restore_with_pending(&self) -> Result<(RepositorySnapshot, usize), RepoError> {
+        EventLogBackend::restore_with_pending(self)
+    }
+
+    fn prune_stale_generations(&self) -> Result<usize, RepoError> {
+        EventLogBackend::prune_stale_generations(self)
+    }
+
+    fn compacted_kind() -> &'static str {
+        "event-log+auto-compact"
+    }
+}
+
+impl GenerationLog for crate::binlog::BinaryLogBackend {
+    fn open_dir(dir: &Path) -> Result<crate::binlog::BinaryLogBackend, RepoError> {
+        crate::binlog::BinaryLogBackend::open(dir)
+    }
+
+    fn restore_with_pending(&self) -> Result<(RepositorySnapshot, usize), RepoError> {
+        crate::binlog::BinaryLogBackend::restore_with_pending(self)
+    }
+
+    fn prune_stale_generations(&self) -> Result<usize, RepoError> {
+        crate::binlog::BinaryLogBackend::prune_stale_generations(self)
+    }
+
+    fn compacted_kind() -> &'static str {
+        "binary-log+auto-compact"
+    }
+}
+
 /// When an [`AutoCompactingEventLog`] checkpoints: after at least
 /// `checkpoint_every` events have been recorded since the last
 /// checkpoint. Restores therefore replay at most `checkpoint_every - 1 +
@@ -710,8 +797,8 @@ impl Default for CompactionPolicy {
     }
 }
 
-/// An [`EventLogBackend`] under an automatic compaction policy: the
-/// backend maintains the live folded state alongside the log (seeded by
+/// A generation log under an automatic compaction policy: the backend
+/// maintains the live folded state alongside the log (seeded by
 /// `restore` at open, advanced by [`crate::event::apply_event`] on every
 /// recorded batch) and checkpoints it every
 /// [`CompactionPolicy::checkpoint_every`] events — so checkpointing never
@@ -719,9 +806,13 @@ impl Default for CompactionPolicy {
 /// background durability pipeline compact off-thread. Superseded
 /// generations (including strays from crashes mid-checkpoint) are pruned
 /// after every checkpoint.
+///
+/// Generic over the log format (any [`GenerationLog`]): the default is
+/// the JSONL [`EventLogBackend`], and [`AutoCompactingBinaryLog`] names
+/// the [`crate::binlog::BinaryLogBackend`] instantiation.
 #[derive(Debug)]
-pub struct AutoCompactingEventLog {
-    inner: EventLogBackend,
+pub struct AutoCompactingEventLog<B: GenerationLog = EventLogBackend> {
+    inner: B,
     policy: CompactionPolicy,
     /// The fold of everything durably recorded so far — exactly what
     /// `restore` would return.
@@ -729,15 +820,32 @@ pub struct AutoCompactingEventLog {
     since_checkpoint: usize,
 }
 
+/// An auto-compacting binary segmented log
+/// ([`crate::binlog::BinaryLogBackend`] under a [`CompactionPolicy`]);
+/// open with [`AutoCompactingEventLog::open_with`].
+pub type AutoCompactingBinaryLog = AutoCompactingEventLog<crate::binlog::BinaryLogBackend>;
+
 impl AutoCompactingEventLog {
-    /// Open (or create) an event log under `dir` with `policy`. A
+    /// Open (or create) a JSONL event log under `dir` with `policy`. A
     /// reopened log already past its checkpoint budget compacts
-    /// immediately.
+    /// immediately. (Inherent on the default format so pre-existing call
+    /// sites need no turbofish; use [`Self::open_with`] for other
+    /// formats.)
     pub fn open(
         dir: impl Into<PathBuf>,
         policy: CompactionPolicy,
     ) -> Result<AutoCompactingEventLog, RepoError> {
-        let inner = EventLogBackend::open(dir)?;
+        Self::open_with(dir, policy)
+    }
+}
+
+impl<B: GenerationLog> AutoCompactingEventLog<B> {
+    /// Open (or create) a log of format `B` under `dir` with `policy`.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        policy: CompactionPolicy,
+    ) -> Result<AutoCompactingEventLog<B>, RepoError> {
+        let inner = B::open_dir(&dir.into())?;
         let (state, since_checkpoint) = inner.restore_with_pending()?;
         let mut backend = AutoCompactingEventLog {
             inner,
@@ -749,8 +857,8 @@ impl AutoCompactingEventLog {
         Ok(backend)
     }
 
-    /// The wrapped event-log backend.
-    pub fn inner(&self) -> &EventLogBackend {
+    /// The wrapped log backend.
+    pub fn inner(&self) -> &B {
         &self.inner
     }
 
@@ -775,9 +883,9 @@ impl AutoCompactingEventLog {
     }
 }
 
-impl StorageBackend for AutoCompactingEventLog {
+impl<B: GenerationLog> StorageBackend for AutoCompactingEventLog<B> {
     fn kind(&self) -> &'static str {
-        "event-log+auto-compact"
+        B::compacted_kind()
     }
 
     fn record(&mut self, events: &[RepoEvent]) -> Result<(), RepoError> {

@@ -143,6 +143,26 @@ pub fn torn_append(path: &Path) -> std::io::Result<()> {
     file.write_all(b"{\"Commented\":{\"id\":\"torn-mid-wri")
 }
 
+/// The binary-log analogue of [`torn_append`]: append a strict prefix of
+/// a valid frame to generation's live (last) segment in `dir` — the
+/// bytes a crash mid-`write(2)` leaves in the binary format. JSONL torn
+/// bytes would read as *corruption* on a binary log (the header check
+/// fails), so binary fault plans must tear with a valid frame prefix.
+pub fn torn_append_binary(dir: &Path, generation: &str) -> std::io::Result<()> {
+    let segments = bx_core::binlog::segment_files(dir, generation)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let last = segments
+        .last()
+        .map(|name| dir.join(name))
+        // An unwritten generation tears at its first segment.
+        .unwrap_or_else(|| dir.join(format!("{generation}.{:06}", 0)));
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(last)?;
+    file.write_all(&bx_core::binlog::torn_frame_bytes())
+}
+
 /// Breaks CorrectFwd by corrupting the forward restoration with a caller-
 /// supplied perturbation (which must produce an inconsistent `n`).
 pub struct BreakCorrectFwd<B, F> {

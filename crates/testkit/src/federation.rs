@@ -21,11 +21,15 @@ use std::path::{Path, PathBuf};
 
 use proptest::prelude::*;
 
+use bx_core::binlog::is_binary_generation;
 use bx_core::repo::RepositorySnapshot;
-use bx_core::storage::{AutoCompactingEventLog, CompactionPolicy, EventLogBackend, StorageBackend};
-use bx_core::Repository;
+use bx_core::storage::{
+    AutoCompactingBinaryLog, AutoCompactingEventLog, CompactionPolicy, EventLogBackend,
+    StorageBackend,
+};
+use bx_core::{BinaryLogBackend, Repository};
 
-use crate::faults::{torn_append, CrashingBackend};
+use crate::faults::{torn_append, torn_append_binary, CrashingBackend};
 use crate::ops::{apply_op, arb_ops, scripted_repository, RepoOp};
 
 /// One primary's script and fault plan.
@@ -46,6 +50,11 @@ pub struct SourcePlan {
     /// current generation once the script is done. Readers must ignore
     /// it.
     pub torn_tail: bool,
+    /// Write this source's directory in the binary segmented format
+    /// ([`bx_core::BinaryLogBackend`]) instead of JSONL — federations
+    /// must converge over mixed-format source sets, since every source
+    /// picks its own format independently.
+    pub binary: bool,
 }
 
 /// A whole multi-primary run: one plan per source plus the interleaving.
@@ -68,6 +77,7 @@ pub fn arb_source_plan(max_ops: usize) -> impl Strategy<Value = SourcePlan> {
         compaction: None,
         kill_after_events: None,
         torn_tail: false,
+        binary: false,
     })
 }
 
@@ -82,13 +92,15 @@ pub fn arb_federation_script(
         prop_oneof![Just(None), (1usize..8).prop_map(Some)],
         prop_oneof![Just(None), (0usize..16).prop_map(Some)],
         prop::bool::ANY,
+        prop::bool::ANY,
     )
         .prop_map(
-            |(ops, compaction, kill_after_events, torn_tail)| SourcePlan {
+            |(ops, compaction, kill_after_events, torn_tail, binary)| SourcePlan {
                 ops,
                 compaction,
                 kill_after_events,
                 torn_tail,
+                binary,
             },
         );
     (
@@ -98,13 +110,39 @@ pub fn arb_federation_script(
         .prop_map(|(sources, schedule)| FederationScript { sources, schedule })
 }
 
-fn open_backend(dir: &Path, compaction: Option<usize>) -> Box<dyn StorageBackend> {
-    match compaction {
-        Some(checkpoint_every) => Box::new(
+fn open_backend(dir: &Path, compaction: Option<usize>, binary: bool) -> Box<dyn StorageBackend> {
+    match (binary, compaction) {
+        (true, Some(checkpoint_every)) => Box::new(
+            AutoCompactingBinaryLog::open_with(dir, CompactionPolicy { checkpoint_every })
+                .expect("binary log opens"),
+        ),
+        (true, None) => Box::new(BinaryLogBackend::open(dir).expect("binary log opens")),
+        (false, Some(checkpoint_every)) => Box::new(
             AutoCompactingEventLog::open(dir, CompactionPolicy { checkpoint_every })
                 .expect("event log opens"),
         ),
-        None => Box::new(EventLogBackend::open(dir).expect("event log opens")),
+        (false, None) => Box::new(EventLogBackend::open(dir).expect("event log opens")),
+    }
+}
+
+/// The format this directory will actually be written in: a directory
+/// that already holds a log keeps its format (the backends refuse
+/// cross-format opens — a second driving round must not flip it); a
+/// fresh directory takes the plan's pick.
+fn effective_binary(dir: &Path, requested: bool) -> bool {
+    let Ok((_, generation)) = EventLogBackend::read_state_in(dir) else {
+        return requested;
+    };
+    if is_binary_generation(&generation) {
+        // `read_state_in` only names a binary generation when a manifest
+        // says so or binary segments are on disk — either way, content.
+        return true;
+    }
+    let existing = dir.join("checkpoint.json").exists() || dir.join(&generation).exists();
+    if existing {
+        false
+    } else {
+        requested
     }
 }
 
@@ -114,18 +152,23 @@ struct Driven {
     repo: Repository,
     writer: CrashingBackend<Box<dyn StorageBackend>>,
     next_op: usize,
+    /// The format the directory is actually in (existing content wins
+    /// over the plan's request).
+    binary: bool,
 }
 
 impl Driven {
     fn start(dir: &Path, plan: &SourcePlan) -> Driven {
+        let binary = effective_binary(dir, plan.binary);
         Driven {
             repo: scripted_repository(),
             // An unkillable writer gets an effectively infinite fuse.
             writer: CrashingBackend::new(
-                open_backend(dir, plan.compaction),
+                open_backend(dir, plan.compaction, binary),
                 plan.kill_after_events.unwrap_or(usize::MAX),
             ),
             next_op: 0,
+            binary,
         }
     }
 
@@ -137,7 +180,8 @@ impl Driven {
         self.next_op += 1;
         let events = self.repo.drain_events();
         if self.writer.record(&events).is_err() {
-            self.writer = CrashingBackend::new(open_backend(dir, plan.compaction), usize::MAX);
+            self.writer =
+                CrashingBackend::new(open_backend(dir, plan.compaction, self.binary), usize::MAX);
         }
     }
 
@@ -194,7 +238,14 @@ pub fn drive_federation(dirs: &[PathBuf], script: &FederationScript) -> Vec<Repo
             if plan.torn_tail {
                 let (_, generation) =
                     EventLogBackend::read_state_in(dir).expect("driven directory reads");
-                torn_append(&dir.join(generation)).expect("torn append lands");
+                // Tear in the directory's actual format: JSONL torn
+                // bytes on a binary segment would read as corruption,
+                // not a torn tail.
+                if is_binary_generation(&generation) {
+                    torn_append_binary(dir, &generation).expect("torn frame lands");
+                } else {
+                    torn_append(&dir.join(generation)).expect("torn append lands");
+                }
             }
             EventLogBackend::restore_dir(dir).expect("durable fold reads")
         })
@@ -219,6 +270,7 @@ mod tests {
             unique_temp_dir("fed-drive-a"),
             unique_temp_dir("fed-drive-b"),
             unique_temp_dir("fed-drive-c"),
+            unique_temp_dir("fed-drive-d"),
         ];
         let script = FederationScript {
             sources: vec![
@@ -227,6 +279,7 @@ mod tests {
                     compaction: Some(2),
                     kill_after_events: None,
                     torn_tail: false,
+                    binary: false,
                 },
                 SourcePlan {
                     // The kill fires inside the first record (founding +
@@ -237,18 +290,29 @@ mod tests {
                     compaction: None,
                     kill_after_events: Some(2),
                     torn_tail: false,
+                    binary: false,
                 },
                 SourcePlan {
                     ops: vec![contribute("FAMILIES")],
                     compaction: None,
                     kill_after_events: None,
                     torn_tail: true,
+                    binary: false,
+                },
+                SourcePlan {
+                    // A binary-format primary in the same federation,
+                    // with both compaction and a torn tail of its own.
+                    ops: vec![contribute("UML2RDBMS"), contribute("DISTANCE")],
+                    compaction: Some(2),
+                    kill_after_events: None,
+                    torn_tail: true,
+                    binary: true,
                 },
             ],
-            schedule: vec![2, 0, 1, 0],
+            schedule: vec![2, 0, 1, 0, 3],
         };
         let expected = drive_federation(&dirs, &script);
-        assert_eq!(expected.len(), 3);
+        assert_eq!(expected.len(), 4);
 
         // Source 0 compacted: a checkpoint manifest exists and the fold
         // holds both entries.
@@ -268,6 +332,20 @@ mod tests {
         assert!(!bytes.ends_with(b"\n"), "the torn tail is really there");
         assert_eq!(expected[2].records.len(), 1);
 
+        // Source 3 is binary: the manifest names a `.bin` generation,
+        // its live segment really ends in a torn frame prefix, and the
+        // fold still holds both entries.
+        let (_, generation) = EventLogBackend::read_state_in(&dirs[3]).unwrap();
+        assert!(is_binary_generation(&generation));
+        assert!(dirs[3].join("checkpoint.json").exists());
+        let segments = bx_core::binlog::segment_files(&dirs[3], &generation).unwrap();
+        let bytes = std::fs::read(dirs[3].join(segments.last().unwrap())).unwrap();
+        assert!(
+            bytes.ends_with(&bx_core::binlog::torn_frame_bytes()),
+            "the binary torn tail is really there"
+        );
+        assert_eq!(expected[3].records.len(), 2);
+
         // Driving is repair-free: a second read sees identical folds.
         for (dir, fold) in dirs.iter().zip(&expected) {
             assert_eq!(&EventLogBackend::restore_dir(dir).unwrap(), fold);
@@ -275,5 +353,27 @@ mod tests {
         for dir in &dirs {
             std::fs::remove_dir_all(dir).ok();
         }
+    }
+
+    #[test]
+    fn a_reused_directory_keeps_its_format_across_rounds() {
+        let dirs = vec![unique_temp_dir("fed-drive-sticky")];
+        let plan = |binary| FederationScript {
+            sources: vec![SourcePlan {
+                ops: vec![contribute("COMPOSERS")],
+                compaction: None,
+                kill_after_events: None,
+                torn_tail: false,
+                binary,
+            }],
+            schedule: Vec::new(),
+        };
+        drive_federation(&dirs, &plan(true));
+        // Round two asks for JSONL, but the backends refuse cross-format
+        // opens — the directory's established binary format wins.
+        drive_federation(&dirs, &plan(false));
+        let (_, generation) = EventLogBackend::read_state_in(&dirs[0]).unwrap();
+        assert!(is_binary_generation(&generation));
+        std::fs::remove_dir_all(&dirs[0]).ok();
     }
 }

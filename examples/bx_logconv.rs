@@ -1,0 +1,59 @@
+//! `bx logconv` — convert an event-log directory between the two
+//! on-disk formats: JSONL (debug/interchange) and the binary segmented
+//! log (fast replay, whole-log corruption detection).
+//!
+//! Run with: `cargo run --example bx_logconv -- <binary|jsonl> <src-dir> <dst-dir>`
+//!
+//! The destination mirrors the source's durable contents — checkpoint
+//! base plus the intact pending events — in the requested format, and
+//! must be empty or absent (a conversion is never merged into an
+//! existing log). A torn tail in the source is dropped, exactly as a
+//! restart would drop it; real corruption aborts the conversion.
+//!
+//! Exit codes: `0` — converted; `1` — conversion failed (corrupt
+//! source, unwritable destination); `2` — usage problem. Same contract
+//! as `bx_lint`, so CI can chain them: convert a kept log, lint the
+//! conversion, convert it back.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use bx::core::binlog::convert_log_dir;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [format, src, dst] = args.as_slice() else {
+        eprintln!("usage: bx_logconv <binary|jsonl> <src-dir> <dst-dir>");
+        return ExitCode::from(2);
+    };
+    let to_binary = match format.as_str() {
+        "binary" => true,
+        "jsonl" => false,
+        other => {
+            eprintln!("bx logconv: unknown target format `{other}` (want `binary` or `jsonl`)");
+            return ExitCode::from(2);
+        }
+    };
+    let (src, dst) = (Path::new(src), Path::new(dst));
+    if !src.is_dir() {
+        eprintln!("bx logconv: source `{}` is not a directory", src.display());
+        return ExitCode::from(2);
+    }
+
+    match convert_log_dir(src, dst, to_binary) {
+        Ok(events) => {
+            println!(
+                "bx logconv: wrote {} pending event(s) from `{}` to `{}` as {}",
+                events,
+                src.display(),
+                dst.display(),
+                format,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bx logconv: converting `{}` failed: {e}", src.display());
+            ExitCode::from(1)
+        }
+    }
+}

@@ -85,15 +85,19 @@ proptest! {
         let dirs = dirs("fed-conv");
         let round_one = [round_one.0, round_one.1, round_one.2];
         let round_two = [round_two.0, round_two.1, round_two.2];
-        let fault_free: Vec<SourcePlan> = round_one
+        let mut fault_free: Vec<SourcePlan> = round_one
             .iter()
             .map(|ops| SourcePlan {
                 ops: ops.clone(),
                 compaction: None,
                 kill_after_events: None,
                 torn_tail: false,
+                binary: false,
             })
             .collect();
+        // Source b writes the binary segmented format from round one on:
+        // the federation must converge over a mixed-format source set.
+        fault_free[1].binary = true;
         let expected_mid = drive_federation(
             &dirs,
             &FederationScript { sources: fault_free, schedule: schedule.clone() },
@@ -110,10 +114,12 @@ proptest! {
                 compaction: None,
                 kill_after_events: None,
                 torn_tail: false,
+                binary: false,
             })
             .collect();
         plans[0].compaction = Some(checkpoint_every);
         plans[1].kill_after_events = Some(kill_after);
+        plans[1].binary = true; // the binary source takes the kill fault
         plans[2].torn_tail = true;
         let expected = drive_federation(
             &dirs,
@@ -183,6 +189,7 @@ fn daemon_serves_and_stops_clean() {
             compaction: Some(2),
             kill_after_events: None,
             torn_tail: false,
+            binary: true, // the daemon polls a binary source alongside JSONL ones
         },
         SourcePlan {
             // Same title as source a: the namespaces keep them apart.
@@ -190,12 +197,14 @@ fn daemon_serves_and_stops_clean() {
             compaction: None,
             kill_after_events: None,
             torn_tail: false,
+            binary: false,
         },
         SourcePlan {
             ops: vec![contribute("FAMILIES")],
             compaction: None,
             kill_after_events: None,
             torn_tail: false,
+            binary: false,
         },
     ];
     let script = FederationScript {
@@ -262,18 +271,21 @@ fn driver_runs_every_op_exactly_once() {
                 compaction: None,
                 kill_after_events: None,
                 torn_tail: false,
+                binary: false,
             },
             SourcePlan {
                 ops: vec![contribute("FAMILIES")],
                 compaction: None,
                 kill_after_events: None,
                 torn_tail: false,
+                binary: true,
             },
             SourcePlan {
                 ops: Vec::new(),
                 compaction: None,
                 kill_after_events: None,
                 torn_tail: false,
+                binary: false,
             },
         ],
         // A schedule that keeps pointing at one source: the modulo over

@@ -1,0 +1,174 @@
+//! `bx_logconv` round trips, property-tested: for any random mutation
+//! script, converting the recorded JSONL log to the binary format and
+//! back restores exactly the same snapshot at every hop — the two
+//! on-disk formats are interchangeable carriers of the same event
+//! history. Deterministic cases pin the edges the property can't reach:
+//! checkpointed sources keep their checkpoint, torn tails are dropped
+//! (never carried), occupied destinations are refused, and a converted
+//! directory is a first-class log the native backend can keep appending
+//! to.
+
+use bx::core::binlog::{convert_log_dir, is_binary_generation, torn_frame_bytes, BinaryLogBackend};
+use bx::core::storage::{EventLogBackend, StorageBackend};
+use bx::core::{Principal, RepoError};
+use bx_testkit::ops::{apply_ops, arb_ops, scripted_repository, unique_temp_dir, valid_entry};
+use proptest::prelude::*;
+
+/// The format of the generation a directory's durable state names.
+fn generation_of(dir: &std::path::Path) -> String {
+    EventLogBackend::read_state_in(dir).unwrap().1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// JSONL → binary → JSONL: every hop restores the same snapshot,
+    /// and each hop really is in the format it claims.
+    #[test]
+    fn conversion_round_trips_any_script(ops in arb_ops(24)) {
+        let jsonl = unique_temp_dir("logconv-src");
+        let repo = scripted_repository();
+        apply_ops(&repo, &ops);
+        let mut backend = EventLogBackend::open(&jsonl).unwrap();
+        backend.record(&repo.drain_events()).unwrap();
+        let expected = repo.snapshot();
+
+        let binary = unique_temp_dir("logconv-bin");
+        let back = unique_temp_dir("logconv-back");
+        convert_log_dir(&jsonl, &binary, true).unwrap();
+        convert_log_dir(&binary, &back, false).unwrap();
+
+        prop_assert!(is_binary_generation(&generation_of(&binary)));
+        prop_assert!(!is_binary_generation(&generation_of(&back)));
+        prop_assert_eq!(EventLogBackend::restore_dir(&jsonl).unwrap(), expected.clone());
+        prop_assert_eq!(EventLogBackend::restore_dir(&binary).unwrap(), expected.clone());
+        prop_assert_eq!(EventLogBackend::restore_dir(&back).unwrap(), expected);
+    }
+
+    /// A checkpoint mid-script survives the round trip: the converted
+    /// directory carries a manifest whose base + pending replay equals
+    /// the source's, in both directions.
+    #[test]
+    fn checkpointed_sources_convert_with_their_manifest(
+        before in arb_ops(12),
+        after in arb_ops(12),
+    ) {
+        let jsonl = unique_temp_dir("logconv-ckpt-src");
+        let repo = scripted_repository();
+        apply_ops(&repo, &before);
+        let mut backend = EventLogBackend::open(&jsonl).unwrap();
+        backend.record(&repo.drain_events()).unwrap();
+        backend.checkpoint(&repo.snapshot()).unwrap();
+        apply_ops(&repo, &after);
+        backend.record(&repo.drain_events()).unwrap();
+        let expected = repo.snapshot();
+
+        let binary = unique_temp_dir("logconv-ckpt-bin");
+        let back = unique_temp_dir("logconv-ckpt-back");
+        convert_log_dir(&jsonl, &binary, true).unwrap();
+        convert_log_dir(&binary, &back, false).unwrap();
+
+        prop_assert!(binary.join("checkpoint.json").exists());
+        prop_assert!(back.join("checkpoint.json").exists());
+        prop_assert_eq!(EventLogBackend::restore_dir(&binary).unwrap(), expected.clone());
+        prop_assert_eq!(EventLogBackend::restore_dir(&back).unwrap(), expected);
+    }
+}
+
+/// A converted binary directory is not a dead export: the native
+/// backend opens it and keeps appending, and the result replays as one
+/// continuous history.
+#[test]
+fn converted_directory_accepts_further_appends() {
+    let jsonl = unique_temp_dir("logconv-append-src");
+    let repo = scripted_repository();
+    let mut backend = EventLogBackend::open(&jsonl).unwrap();
+    backend.record(&repo.drain_events()).unwrap();
+
+    let binary = unique_temp_dir("logconv-append-bin");
+    convert_log_dir(&jsonl, &binary, true).unwrap();
+
+    repo.register(Principal::member("nadia")).unwrap();
+    repo.contribute(
+        "nadia",
+        valid_entry("Converted Then Extended", "post-conversion append"),
+    )
+    .unwrap();
+    let mut bin_backend = BinaryLogBackend::open(&binary).unwrap();
+    bin_backend.record(&repo.drain_events()).unwrap();
+
+    assert_eq!(
+        EventLogBackend::restore_dir(&binary).unwrap(),
+        repo.snapshot()
+    );
+}
+
+/// A torn tail is crash debris, not history: conversion carries exactly
+/// the clean prefix a restart would restore, from either format.
+#[test]
+fn torn_tails_are_dropped_not_converted() {
+    let binary = unique_temp_dir("logconv-torn-src");
+    let repo = scripted_repository();
+    let mut backend = BinaryLogBackend::open(&binary).unwrap();
+    backend.record(&repo.drain_events()).unwrap();
+    let expected = backend.restore().unwrap();
+
+    // Tear the live segment the way a crash mid-write would.
+    let segments = backend.generation_files().unwrap();
+    let last = segments.last().expect("recorded events produce a segment");
+    let path = binary.join(last);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(&torn_frame_bytes());
+    std::fs::write(&path, bytes).unwrap();
+
+    let jsonl = unique_temp_dir("logconv-torn-dst");
+    convert_log_dir(&binary, &jsonl, false).unwrap();
+    assert_eq!(EventLogBackend::restore_dir(&jsonl).unwrap(), expected);
+}
+
+/// Conversions never merge: any contents at the destination — even a
+/// single unrelated file — refuse the conversion.
+#[test]
+fn occupied_destinations_are_refused() {
+    let jsonl = unique_temp_dir("logconv-refuse-src");
+    let repo = scripted_repository();
+    let mut backend = EventLogBackend::open(&jsonl).unwrap();
+    backend.record(&repo.drain_events()).unwrap();
+
+    let dst = unique_temp_dir("logconv-refuse-dst");
+    std::fs::create_dir_all(&dst).unwrap();
+    std::fs::write(dst.join("unrelated.txt"), "keep me").unwrap();
+
+    let err = convert_log_dir(&jsonl, &dst, true).unwrap_err();
+    match err {
+        RepoError::Persist(msg) => assert!(msg.contains("refusing to merge"), "got: {msg}"),
+        other => panic!("expected Persist refusal, got {other:?}"),
+    }
+    assert_eq!(
+        std::fs::read_to_string(dst.join("unrelated.txt")).unwrap(),
+        "keep me"
+    );
+}
+
+/// A corrupt source aborts the conversion with the typed frame error —
+/// corruption is never silently laundered into a clean-looking copy.
+#[test]
+fn corrupt_sources_abort_the_conversion() {
+    let binary = unique_temp_dir("logconv-corrupt-src");
+    let repo = scripted_repository();
+    let mut backend = BinaryLogBackend::open(&binary).unwrap();
+    backend.record(&repo.drain_events()).unwrap();
+
+    let segments = backend.generation_files().unwrap();
+    let path = binary.join(segments.last().unwrap());
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, bytes).unwrap();
+
+    let dst = unique_temp_dir("logconv-corrupt-dst");
+    match convert_log_dir(&binary, &dst, false) {
+        Err(RepoError::CorruptFrame { .. }) => {}
+        other => panic!("expected CorruptFrame, got {other:?}"),
+    }
+}

@@ -3,8 +3,9 @@
 //! The build environment has no registry access, so the workspace vendors
 //! the slice of criterion's API its benches use: `Criterion`,
 //! `bench_function`, `benchmark_group` (+ `bench_with_input`, `throughput`,
-//! `sample_size`, `finish`), `BenchmarkId`, `Throughput`, `black_box`, and
-//! the `criterion_group!` / `criterion_main!` macros.
+//! `sample_size`, `finish`), `BenchmarkId`, `Throughput`, `black_box`,
+//! `Bencher::iter` / `iter_with_large_drop`, and the `criterion_group!` /
+//! `criterion_main!` macros.
 //!
 //! ## Measurement model (the supported slice)
 //!
@@ -152,12 +153,33 @@ impl Bencher {
             black_box(f());
             times.push(start.elapsed());
         }
-        times.sort_unstable();
-        // Trim 20% per side; for tiny sample counts the trim rounds to
-        // zero and this degenerates to a plain median.
-        let trim = times.len() * TRIM_PER_SIDE_TENTHS / 10;
-        let kept = &times[trim..times.len() - trim];
-        self.median = Some(kept[kept.len() / 2]);
+        self.median = Some(trimmed_median(times));
+    }
+
+    /// Like [`Bencher::iter`], but the routine's return value is dropped
+    /// *outside* the timed window (real criterion's `iter_with_large_drop`).
+    /// `iter` drops each result at the end of its timed statement, so a
+    /// routine returning a large structure pays its deallocation inside
+    /// every sample — a constant that says nothing about the routine and
+    /// drowns out real differences between variants that build the same
+    /// result. Only one result is kept alive at a time: each sample
+    /// deallocates the previous one before its timer starts.
+    pub fn iter_with_large_drop<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warmup = WARMUP_ITERS_MIN.max(self.samples / 10);
+        for _ in 0..warmup {
+            black_box(f());
+        }
+        let count = self.samples.max(1) as usize;
+        let mut times: Vec<Duration> = Vec::with_capacity(count);
+        let mut held: Option<R> = None;
+        for _ in 0..count {
+            drop(held.take());
+            let start = Instant::now();
+            held = Some(black_box(f()));
+            times.push(start.elapsed());
+        }
+        drop(held);
+        self.median = Some(trimmed_median(times));
     }
 
     fn report(&self, name: &str, throughput: Option<&Throughput>) {
@@ -181,6 +203,16 @@ impl Bencher {
         }
         println!("{line}");
     }
+}
+
+/// Sort, trim 20% per side, take the median of the middle 60%. For tiny
+/// sample counts the trim rounds to zero and this degenerates to a plain
+/// median.
+fn trimmed_median(mut times: Vec<Duration>) -> Duration {
+    times.sort_unstable();
+    let trim = times.len() * TRIM_PER_SIDE_TENTHS / 10;
+    let kept = &times[trim..times.len() - trim];
+    kept[kept.len() / 2]
 }
 
 fn format_duration(d: Duration) -> String {
