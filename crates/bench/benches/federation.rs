@@ -45,6 +45,26 @@ fn bench_federation(c: &mut Criterion) {
             |b, sources| b.iter(|| Federation::open("fed", sources.clone()).expect("opens")),
         );
 
+        // The parallel cold open: every source tailed as one pool job,
+        // merged replay and derived rebuild sharded over the same pool.
+        // Acceptance bar on a multi-core host: the 8-source row ≥ 3× the
+        // sequential cold open. On a single-core host the two rows
+        // measure the same work plus pool overhead and stay ~equal.
+        group.bench_with_input(
+            BenchmarkId::new("cold_open_parallel_t8", n_sources),
+            &sources,
+            |b, sources| {
+                b.iter(|| {
+                    Federation::open_with(
+                        "fed",
+                        sources.clone(),
+                        bx_core::RestoreOptions::with_threads(8),
+                    )
+                    .expect("opens")
+                })
+            },
+        );
+
         let mut federation = Federation::open("fed", sources.clone()).expect("opens");
         group.bench_with_input(BenchmarkId::new("idle_poll", n_sources), &(), |b, ()| {
             b.iter(|| {

@@ -55,6 +55,19 @@ pub enum RepoError {
         /// Which check failed (header, payload CRC, payload decode).
         reason: String,
     },
+    /// The checkpoint manifest carries a `crc32` that does not match its
+    /// body — the manifest parsed as JSON but its contents are not what
+    /// the writer checksummed (bit rot, a partial copy, a hand edit).
+    /// Manifests written before the checksum existed carry no `crc32`
+    /// field and are accepted without this check.
+    CorruptManifest {
+        /// The event-log directory whose manifest failed the check.
+        dir: String,
+        /// The checksum stored in the manifest.
+        stored: u32,
+        /// The checksum computed over the manifest body as parsed.
+        computed: u32,
+    },
     /// A replicated source that had been tailed is gone — the whole
     /// directory, or its checkpoint manifest after one had been parsed
     /// (not merely an empty or not-yet-written log). The typed signal a
@@ -98,6 +111,17 @@ impl fmt::Display for RepoError {
                 write!(
                     f,
                     "corrupt frame in segment `{segment}` at byte {offset}: {reason}"
+                )
+            }
+            RepoError::CorruptManifest {
+                dir,
+                stored,
+                computed,
+            } => {
+                write!(
+                    f,
+                    "corrupt checkpoint manifest in `{dir}`: \
+                     crc32 mismatch (stored {stored:#010x}, computed {computed:#010x})"
                 )
             }
             RepoError::SourceUnavailable { dir } => {
@@ -151,6 +175,11 @@ mod tests {
                 segment: "events-0.bin.000000".into(),
                 offset: 42,
                 reason: "payload CRC mismatch".into(),
+            },
+            RepoError::CorruptManifest {
+                dir: "/logs".into(),
+                stored: 0xDEAD_BEEF,
+                computed: 0x1234_5678,
             },
             RepoError::SourceUnavailable {
                 dir: "/gone".into(),

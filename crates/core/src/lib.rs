@@ -27,6 +27,9 @@
 //!   wiki site; [`replica::Federation`] fans N independent primaries into
 //!   one namespaced merged node, and [`replica::ReplicaDaemon`] polls it
 //!   on a background thread with clean start/stop and lag stats;
+//! * [`runtime`] — the shared worker pool behind the parallel restore
+//!   pipeline (chunked decode, sharded replay, parallel derived-state
+//!   rebuild), sized by the machine's available parallelism;
 //! * [`cite`] — citation formats for entries and the repository (§5.2);
 //! * [`index`] — keyword search with type/property filters (§5.2
 //!   findability);
@@ -54,6 +57,7 @@ pub mod pipeline;
 pub mod principal;
 pub mod replica;
 pub mod repo;
+pub mod runtime;
 pub mod storage;
 pub mod template;
 pub mod version;
@@ -71,6 +75,7 @@ pub use replica::{
     federate_snapshots, DaemonConfig, DaemonStats, Federation, Replica, ReplicaDaemon, SourceId,
 };
 pub use repo::{EntryId, Repository};
+pub use runtime::{RestoreOptions, WorkerPool};
 pub use storage::{
     AutoCompactingBinaryLog, AutoCompactingEventLog, CompactionPolicy, DurabilityMode,
     EventLogBackend, FsyncStats, GenerationLog, JsonFileBackend, MemoryBackend, StorageBackend,

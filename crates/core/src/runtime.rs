@@ -1,0 +1,294 @@
+//! A small shared worker pool for CPU-bound background work.
+//!
+//! [`WorkerPool`] is the seed of ROADMAP direction 5 (one scheduler for
+//! all background work): a fixed set of named threads
+//! (`bx-worker-0` … `bx-worker-{n-1}`) draining a shared job queue. Its
+//! first tenant is the parallel restore pipeline — chunked log decode
+//! ([`crate::storage::EventLogBackend`]), sharded replay
+//! ([`crate::event::replay_parallel`]) and derived-state rebuild
+//! ([`crate::replica`]) — and its API is deliberately shaped so the
+//! durability pipeline's writer thread, the replica daemon and the lint
+//! engine's pool can migrate onto it later without reshaping their work.
+//!
+//! The pool runs `'static` jobs: callers share read-only inputs via
+//! [`std::sync::Arc`] and partition mutable state by *moving* disjoint
+//! pieces into each job (see `replay_parallel`, which moves each shard's
+//! `EntryRecord`s in and back out). [`WorkerPool::scatter`] is the
+//! scoped-job primitive — it blocks until every submitted job has
+//! finished, so by the time it returns no worker holds any job state.
+//! Results come back in **submission order** regardless of completion
+//! order; this is what makes error reporting from parallel decode
+//! deterministic (the first error *in log order* wins, not the first to
+//! be discovered).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Options for the parallel restore pipeline, accepted by
+/// [`crate::storage::EventLogBackend::restore_dir_with`],
+/// [`crate::replica::Replica::open_with`] and
+/// [`crate::replica::Federation::open_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreOptions {
+    /// Worker threads for decode, replay and derived-state rebuild.
+    /// `1` reproduces the sequential code path exactly (no pool is
+    /// created); the default is [`std::thread::available_parallelism`].
+    pub threads: usize,
+}
+
+impl Default for RestoreOptions {
+    fn default() -> RestoreOptions {
+        RestoreOptions {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl RestoreOptions {
+    /// The sequential pipeline: identical code path to the pre-pool
+    /// `restore_dir`/`open`, kept as the oracle the parallel pipeline is
+    /// property-tested against.
+    pub fn sequential() -> RestoreOptions {
+        RestoreOptions { threads: 1 }
+    }
+
+    /// A pipeline pinned to exactly `threads` workers (tests and benches
+    /// use this to compare thread counts on fixed inputs).
+    pub fn with_threads(threads: usize) -> RestoreOptions {
+        RestoreOptions {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Whether these options select the parallel pipeline at all.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+/// One queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers.
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is enqueued or shutdown begins.
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A fixed-size pool of named worker threads; see the module docs.
+///
+/// Dropping the pool signals shutdown and joins every worker: jobs
+/// already dequeued run to completion, queued-but-unstarted jobs are
+/// still drained (the queue is emptied before workers exit), so no
+/// submitted work is silently lost.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool of `threads` workers (clamped to at least 1), named
+    /// `bx-worker-0` … so they are identifiable in thread dumps.
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                Self::spawn_named(&format!("bx-worker-{i}"), move || Self::work(&shared))
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// A pool sized by [`std::thread::available_parallelism`].
+    pub fn with_available_parallelism() -> WorkerPool {
+        WorkerPool::new(RestoreOptions::default().threads)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Spawn one named OS thread (the naming discipline every bx-core
+    /// background thread follows; also used directly by one-shot helpers
+    /// that do not need pooling).
+    pub fn spawn_named<T: Send + 'static>(
+        name: &str,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> JoinHandle<T> {
+        std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(f)
+            .expect("spawning a worker thread succeeds")
+    }
+
+    /// Enqueue one fire-and-forget job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .expect("worker pool queue lock is never poisoned");
+        queue.push_back(Box::new(job));
+        drop(queue);
+        self.shared.available.notify_one();
+    }
+
+    /// Run a batch of jobs to completion and return their results **in
+    /// submission order** (independent of which worker finished first).
+    /// Blocks the calling thread until the whole batch is done — the
+    /// scoped-job discipline: after `scatter` returns, no worker holds
+    /// any state from this batch.
+    ///
+    /// Must only be called from *outside* the pool: a job that scatters
+    /// nested work onto its own pool can deadlock (every worker blocked
+    /// in `scatter`, none left to drain the nested jobs). Fan out across
+    /// coarser units instead, as [`crate::replica::Federation::open_with`]
+    /// does per source.
+    pub fn scatter<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = jobs.len();
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.execute(move || {
+                // A receiver dropped early (scatter unwound) is fine: the
+                // result is simply discarded.
+                let _ = tx.send((i, job()));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, result) in rx.iter().take(n) {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every scattered job reports exactly once"))
+            .collect()
+    }
+
+    /// The worker loop: drain jobs until shutdown *and* the queue is
+    /// empty (queued work is never dropped).
+    fn work(shared: &PoolShared) {
+        loop {
+            let job = {
+                let mut queue = shared
+                    .queue
+                    .lock()
+                    .expect("worker pool queue lock is never poisoned");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    queue = shared
+                        .available
+                        .wait(queue)
+                        .expect("worker pool queue lock is never poisoned");
+                }
+            };
+            job();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked already surfaced its panic to the
+            // test harness; joining its remains must not double-panic.
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scatter_returns_results_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64usize)
+            .map(|i| {
+                Box::new(move || {
+                    // Vary the work so completion order scrambles.
+                    std::thread::sleep(std::time::Duration::from_micros((64 - i) as u64 * 10));
+                    i * i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let results = pool.scatter(jobs);
+        assert_eq!(results, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..32 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn workers_are_named() {
+        let pool = WorkerPool::new(1);
+        let jobs: Vec<Box<dyn FnOnce() -> String + Send>> = vec![Box::new(|| {
+            std::thread::current().name().unwrap_or("").to_string()
+        })];
+        assert_eq!(pool.scatter(jobs), vec!["bx-worker-0".to_string()]);
+    }
+
+    #[test]
+    fn options_default_to_available_parallelism() {
+        let options = RestoreOptions::default();
+        assert!(options.threads >= 1);
+        assert!(RestoreOptions::sequential().threads == 1);
+        assert!(!RestoreOptions::sequential().is_parallel());
+        assert_eq!(RestoreOptions::with_threads(0).threads, 1);
+        assert!(RestoreOptions::with_threads(8).is_parallel());
+    }
+
+    #[test]
+    fn empty_scatter_is_fine() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        assert!(pool.scatter(jobs).is_empty());
+    }
+}

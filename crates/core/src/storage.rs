@@ -31,9 +31,11 @@
 //! what lets [`crate::pipeline::BackgroundWriter`] amortise one fsync
 //! over an entire group-commit window of concurrent producers.
 
+use std::cell::Cell;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -256,6 +258,70 @@ pub(crate) struct Manifest {
     pub(crate) state: RepositorySnapshot,
 }
 
+/// The on-disk shape of `checkpoint.json`: the [`Manifest`] body plus a
+/// trailing `crc32` of the body's canonical serialisation. The checksum
+/// field is optional on read — manifests written before it existed are
+/// accepted as-is (legacy tolerance); a *present but wrong* checksum is
+/// real corruption and surfaces as [`RepoError::CorruptManifest`].
+#[derive(Debug, Deserialize)]
+struct ManifestDisk {
+    log: String,
+    state: RepositorySnapshot,
+    crc32: Option<u32>,
+}
+
+thread_local! {
+    /// Test/bench instrumentation: how many checkpoint manifests this
+    /// thread has parsed (the manifest embeds a whole snapshot, so a
+    /// parse is the expensive path a poll's `(mtime, len)` stamp check
+    /// exists to avoid). Lets tests assert that polling an idle
+    /// replica/federation really is pure metadata stats.
+    static MANIFESTS_PARSED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of checkpoint manifests parsed by this thread so far.
+/// Instrumentation for tests and benches.
+pub fn manifests_parsed() -> u64 {
+    MANIFESTS_PARSED.with(Cell::get)
+}
+
+/// The exact `checkpoint.json` bytes for `manifest`: the canonical body
+/// JSON with a `crc32` field over the body bytes spliced in as the
+/// trailing key. Readers recompute the body from the parsed manifest
+/// (the serialiser is deterministic — fixed field order, sorted maps, no
+/// floats), so any flipped byte that survives JSON parsing fails the
+/// checksum comparison.
+pub(crate) fn manifest_json(manifest: &Manifest) -> Result<String, RepoError> {
+    let body = serde_json::to_string(manifest)
+        .map_err(|e| RepoError::Persist(format!("cannot serialise manifest: {e}")))?;
+    let crc = crate::binlog::crc32(body.as_bytes());
+    debug_assert!(body.ends_with('}'));
+    Ok(format!("{},\"crc32\":{crc}}}", &body[..body.len() - 1]))
+}
+
+/// Write `manifest` to `dir/checkpoint.json` with the atomic
+/// write-fsync-rename protocol both log backends share: the rename is
+/// the single commit point of a checkpoint, so a crash at any step
+/// leaves either the old manifest or the new one, never a torn mix.
+pub(crate) fn write_manifest_in(dir: &Path, manifest: &Manifest) -> Result<(), RepoError> {
+    let json = manifest_json(manifest)?;
+    let tmp = dir.join("checkpoint.json.tmp");
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+        file.write_all(json.as_bytes()).map_err(io_err)?;
+        // The rename must not reach disk before the contents do, or a
+        // power loss could publish an empty/partial manifest.
+        file.sync_all().map_err(io_err)?;
+    }
+    std::fs::rename(&tmp, dir.join("checkpoint.json")).map_err(io_err)?;
+    // Persist the rename itself (directory entry); best-effort since
+    // not every platform lets a directory be fsynced.
+    if let Ok(d) = std::fs::File::open(dir) {
+        d.sync_all().ok();
+    }
+    Ok(())
+}
+
 /// Append-only event-log backend: a generation log file (`events-<n>.jsonl`,
 /// one serialised [`RepoEvent`] per line) beside an optional
 /// `checkpoint.json` manifest. Recording appends through a persistent
@@ -432,10 +498,6 @@ impl EventLogBackend {
         Ok(removed)
     }
 
-    fn manifest_path(&self) -> PathBuf {
-        self.dir.join("checkpoint.json")
-    }
-
     /// The checkpointed base state and current generation log name of an
     /// event-log directory, read without opening a writer (and therefore
     /// without the open-time torn-tail repair): `(base, log)` from the
@@ -478,20 +540,186 @@ impl EventLogBackend {
     /// this never mutates the directory (no torn-tail repair), so tests
     /// and tooling can compute the expected fold of a directory that is
     /// concurrently being tailed or deliberately left torn.
+    ///
+    /// This sequential path is the oracle for
+    /// [`EventLogBackend::restore_dir_with`], which runs the same recovery
+    /// through the parallel pipeline.
     pub fn restore_dir(dir: &Path) -> Result<RepositorySnapshot, RepoError> {
         let (base, log) = Self::read_state_in(dir)?;
         Ok(replay(base, &Self::read_generation_events(dir, &log)?))
     }
 
+    /// [`EventLogBackend::restore_dir`] through the parallel restore
+    /// pipeline: chunked decode (newline-aligned JSONL chunks, or one
+    /// worker per binary segment), ordered splice, then the sharded
+    /// [`crate::event::replay_parallel`] fold — bit-identical to the
+    /// sequential path on every input, including which error a corrupt
+    /// log surfaces (first offending offset in log order, regardless of
+    /// worker completion order). `options.threads == 1` runs the
+    /// sequential code path exactly.
+    pub fn restore_dir_with(
+        dir: &Path,
+        options: crate::runtime::RestoreOptions,
+    ) -> Result<RepositorySnapshot, RepoError> {
+        if !options.is_parallel() {
+            return Self::restore_dir(dir);
+        }
+        let pool = crate::runtime::WorkerPool::new(options.threads);
+        let (base, log) = Self::read_state_in(dir)?;
+        let events = Self::read_generation_events_pooled(dir, &log, &pool)?;
+        Ok(crate::event::replay_parallel(base, events, &pool))
+    }
+
+    /// [`EventLogBackend::read_state_in`] with explicit
+    /// [`crate::runtime::RestoreOptions`], for call-site symmetry with
+    /// [`EventLogBackend::restore_dir_with`]. The manifest is one JSON
+    /// document parsed in a single pass, so there is nothing to fan out;
+    /// the options select behaviour only in the functions that go on to
+    /// read the generation's events.
+    pub fn read_state_in_with(
+        dir: &Path,
+        _options: crate::runtime::RestoreOptions,
+    ) -> Result<(RepositorySnapshot, String), RepoError> {
+        Self::read_state_in(dir)
+    }
+
+    /// [`EventLogBackend::read_generation_events`] with a thread budget:
+    /// parallel when `options.threads > 1`, the sequential oracle
+    /// otherwise.
+    pub fn read_generation_events_with(
+        dir: &Path,
+        generation: &str,
+        options: crate::runtime::RestoreOptions,
+    ) -> Result<Vec<RepoEvent>, RepoError> {
+        if !options.is_parallel() {
+            return Self::read_generation_events(dir, generation);
+        }
+        let pool = crate::runtime::WorkerPool::new(options.threads);
+        Self::read_generation_events_pooled(dir, generation, &pool)
+    }
+
+    /// Format-dispatched parallel generation read on an existing pool.
+    pub(crate) fn read_generation_events_pooled(
+        dir: &Path,
+        generation: &str,
+        pool: &crate::runtime::WorkerPool,
+    ) -> Result<Vec<RepoEvent>, RepoError> {
+        if crate::binlog::is_binary_generation(generation) {
+            crate::binlog::read_generation_parallel(dir, generation, pool).map(|(events, _)| events)
+        } else {
+            Self::read_log_file_parallel(&dir.join(generation), pool)
+        }
+    }
+
+    /// The intact complete lines of `text[..intact_end]` parsed as one
+    /// event per line across the pool: the region splits into
+    /// newline-aligned chunks, each worker parses its chunk's lines, and
+    /// the chunks splice back in file order. A parse failure surfaces as
+    /// the error of the **first** corrupt line in file order (ordered
+    /// gather; within a chunk the scan stops at its first failure), so
+    /// corruption reporting is deterministic regardless of worker timing
+    /// — and byte-identical to what the sequential line loop raises.
+    pub(crate) fn parse_jsonl_parallel(
+        text: &Arc<String>,
+        intact_end: usize,
+        pool: &crate::runtime::WorkerPool,
+    ) -> Result<Vec<RepoEvent>, RepoError> {
+        // Aim for a few chunks per worker so one dense chunk cannot
+        // serialise the whole decode, with a floor that keeps tiny logs
+        // from paying scatter overhead per line.
+        const MIN_CHUNK_BYTES: usize = 64 * 1024;
+        let target_chunks = pool.threads() * 4;
+        let chunk_bytes = (intact_end / target_chunks.max(1)).max(MIN_CHUNK_BYTES);
+        let bytes = text.as_bytes();
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        while start < intact_end {
+            let mut end = (start + chunk_bytes).min(intact_end);
+            // Advance to the next newline so every chunk holds whole
+            // lines (the region ends on one by construction).
+            while end < intact_end && bytes[end - 1] != b'\n' {
+                end += 1;
+            }
+            ranges.push((start, end));
+            start = end;
+        }
+        type ChunkParse = Result<Vec<RepoEvent>, RepoError>;
+        let jobs: Vec<Box<dyn FnOnce() -> ChunkParse + Send>> = ranges
+            .into_iter()
+            .map(|(start, end)| {
+                let text = Arc::clone(text);
+                Box::new(move || -> ChunkParse {
+                    let mut events = Vec::new();
+                    for line in text[start..end].lines().filter(|l| !l.trim().is_empty()) {
+                        events.push(serde_json::from_str::<RepoEvent>(line).map_err(|e| {
+                            RepoError::Persist(format!("corrupt event log line: {e}"))
+                        })?);
+                    }
+                    Ok(events)
+                }) as Box<dyn FnOnce() -> ChunkParse + Send>
+            })
+            .collect();
+        let mut events = Vec::new();
+        for chunk in pool.scatter(jobs) {
+            events.append(&mut chunk?);
+        }
+        Ok(events)
+    }
+
+    /// [`EventLogBackend::read_log_file`] across a pool: the complete
+    /// lines decode chunked and spliced via
+    /// [`EventLogBackend::parse_jsonl_parallel`]; the torn final line (no
+    /// terminating newline) is then handled exactly as the sequential
+    /// reader does — included if it parses, silently dropped if not.
+    pub(crate) fn read_log_file_parallel(
+        path: &Path,
+        pool: &crate::runtime::WorkerPool,
+    ) -> Result<Vec<RepoEvent>, RepoError> {
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let text = Arc::new(std::fs::read_to_string(path).map_err(io_err)?);
+        let intact_end = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let mut events = Self::parse_jsonl_parallel(&text, intact_end, pool)?;
+        let fragment = &text[intact_end..];
+        if !fragment.trim().is_empty() {
+            if let Ok(event) = serde_json::from_str::<RepoEvent>(fragment) {
+                events.push(event);
+            }
+        }
+        Ok(events)
+    }
+
+    /// Parse (and integrity-check) `dir/checkpoint.json`. `Ok(None)` when
+    /// no checkpoint exists yet; [`RepoError::CorruptManifest`] when the
+    /// manifest carries a `crc32` that does not match its body (a
+    /// checksum-less manifest from an older writer is accepted as-is).
     pub(crate) fn read_manifest_in(dir: &Path) -> Result<Option<Manifest>, RepoError> {
         let path = dir.join("checkpoint.json");
         if !path.exists() {
             return Ok(None);
         }
         let json = std::fs::read_to_string(path).map_err(io_err)?;
-        serde_json::from_str(&json)
-            .map(Some)
-            .map_err(|e| RepoError::Persist(format!("corrupt checkpoint manifest: {e}")))
+        let disk: ManifestDisk = serde_json::from_str(&json)
+            .map_err(|e| RepoError::Persist(format!("corrupt checkpoint manifest: {e}")))?;
+        MANIFESTS_PARSED.with(|c| c.set(c.get() + 1));
+        let manifest = Manifest {
+            log: disk.log,
+            state: disk.state,
+        };
+        if let Some(stored) = disk.crc32 {
+            let body = serde_json::to_string(&manifest)
+                .map_err(|e| RepoError::Persist(format!("cannot serialise manifest: {e}")))?;
+            let computed = crate::binlog::crc32(body.as_bytes());
+            if computed != stored {
+                return Err(RepoError::CorruptManifest {
+                    dir: dir.display().to_string(),
+                    stored,
+                    computed,
+                });
+            }
+        }
+        Ok(Some(manifest))
     }
 
     fn log_path(&self) -> PathBuf {
@@ -631,22 +859,7 @@ impl StorageBackend for EventLogBackend {
             log: new_log.clone(),
             state: snapshot.clone(),
         };
-        let json = serde_json::to_string(&manifest)
-            .map_err(|e| RepoError::Persist(format!("cannot serialise manifest: {e}")))?;
-        let tmp = self.dir.join("checkpoint.json.tmp");
-        {
-            let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
-            file.write_all(json.as_bytes()).map_err(io_err)?;
-            // The rename must not reach disk before the contents do, or a
-            // power loss could publish an empty/partial manifest.
-            file.sync_all().map_err(io_err)?;
-        }
-        std::fs::rename(&tmp, self.manifest_path()).map_err(io_err)?;
-        // Persist the rename itself (directory entry); best-effort since
-        // not every platform lets a directory be fsynced.
-        if let Ok(d) = std::fs::File::open(&self.dir) {
-            d.sync_all().ok();
-        }
+        write_manifest_in(&self.dir, &manifest)?;
         self.log = new_log;
         // The generation rolled: drop the superseded appender (the next
         // `record` opens one on the fresh log) and forget any staged
