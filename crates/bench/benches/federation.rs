@@ -5,13 +5,23 @@
 //! source-scoped query over the merged index. The cold-open : idle-poll
 //! gap is the argument for the long-lived `ReplicaDaemon` over
 //! open-per-request serving.
+//!
+//! The `shared_runtime` rows push the fan-in to 64+ sources on ONE
+//! bounded [`Runtime`] pool — cold open plus a full daemon catch-up
+//! cycle with per-source durability writers reporting through the
+//! unified health channel — the deployment shape the runtime tier
+//! exists for (dozens of tenants, thread count = pool width).
 
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bx_bench::scaled_repository;
-use bx_core::replica::{Federation, SourceId};
+use bx_core::pipeline::{BackgroundWriter, PipelineConfig};
+use bx_core::replica::{DaemonConfig, Federation, ReplicaDaemon, SourceId};
+use bx_core::runtime::Runtime;
 use bx_core::storage::{EventLogBackend, StorageBackend};
 
 /// Seed `n` source directories, each a scaled repository's event log
@@ -86,6 +96,75 @@ fn bench_federation(c: &mut Criterion) {
             |b, federation| b.iter(|| federation.query_source(&scope, &["synthetic", "databases"])),
         );
 
+        for (_, dir) in &sources {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    // 64 sources, one shared 8-worker runtime: the node shape the
+    // runtime tier targets. Thread count stays at the pool width no
+    // matter how many tenants ride it.
+    for &n_sources in &[64usize] {
+        let sources = seed_sources(n_sources, 4);
+        let runtime = Runtime::named("bx-bench-fed", 8);
+
+        group.bench_with_input(
+            BenchmarkId::new("shared_runtime_cold_open", n_sources),
+            &sources,
+            |b, sources| {
+                b.iter(|| Federation::open_on("fed", sources.clone(), &runtime).expect("opens"))
+            },
+        );
+
+        // One daemon catch-up cycle per iteration, with every source
+        // also hosting a durability writer tenant on the same pool —
+        // each reporting per-source health ("writer:s<i>", "daemon")
+        // through the one channel.
+        let writers: Vec<Arc<BackgroundWriter>> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, (_, dir))| {
+                Arc::new(BackgroundWriter::on_runtime(
+                    EventLogBackend::open(dir).expect("reopens"),
+                    PipelineConfig::default(),
+                    &runtime,
+                    &format!("writer:s{i}"),
+                ))
+            })
+            .collect();
+        let federation = Federation::open_on("fed", sources.clone(), &runtime).expect("opens");
+        let daemon = ReplicaDaemon::spawn_on(
+            federation,
+            DaemonConfig {
+                // Long interval: the bench forces passes itself.
+                poll_interval: Duration::from_secs(60),
+            },
+            &runtime,
+            "daemon",
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shared_runtime_poll_cycle", n_sources),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let progress = daemon.force_catch_up().expect("sources present");
+                    assert_eq!(progress.events_applied, 0, "idle means idle");
+                })
+            },
+        );
+        assert_eq!(
+            runtime.pool_stats().threads,
+            8,
+            "64 sources + 64 writers + 1 daemon on 8 bounded workers"
+        );
+        assert!(
+            runtime.health().latest("daemon").is_some(),
+            "per-component health flows through the unified channel"
+        );
+        drop(daemon);
+        for writer in writers {
+            writer.shutdown().expect("idle writers close clean");
+        }
         for (_, dir) in &sources {
             std::fs::remove_dir_all(dir).ok();
         }

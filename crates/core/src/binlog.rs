@@ -863,6 +863,31 @@ pub fn convert_log_dir_with(
     to_binary: bool,
     options: crate::runtime::RestoreOptions,
 ) -> Result<usize, RepoError> {
+    if !options.is_parallel() {
+        return convert_log_dir_pooled(src, dst, to_binary, None);
+    }
+    let pool = crate::runtime::WorkerPool::new(options.threads);
+    convert_log_dir_pooled(src, dst, to_binary, Some(&pool))
+}
+
+/// [`convert_log_dir_with`] on a shared [`Runtime`](crate::runtime::Runtime)'s
+/// pool instead of a pool of its own — batch conversions become one more
+/// tenant of a node's bounded worker set.
+pub fn convert_log_dir_on(
+    src: &Path,
+    dst: &Path,
+    to_binary: bool,
+    runtime: &std::sync::Arc<crate::runtime::Runtime>,
+) -> Result<usize, RepoError> {
+    convert_log_dir_pooled(src, dst, to_binary, Some(runtime.pool()))
+}
+
+fn convert_log_dir_pooled(
+    src: &Path,
+    dst: &Path,
+    to_binary: bool,
+    pool: Option<&crate::runtime::WorkerPool>,
+) -> Result<usize, RepoError> {
     if dst.exists() {
         let occupied = std::fs::read_dir(dst)
             .map_err(|e| RepoError::Persist(e.to_string()))?
@@ -876,7 +901,10 @@ pub fn convert_log_dir_with(
         }
     }
     let (base, generation) = EventLogBackend::read_state_in(src)?;
-    let events = EventLogBackend::read_generation_events_with(src, &generation, options)?;
+    let events = match pool {
+        Some(pool) => EventLogBackend::read_generation_events_pooled(src, &generation, pool)?,
+        None => EventLogBackend::read_generation_events(src, &generation)?,
+    };
     let mut target: Box<dyn StorageBackend> = if to_binary {
         Box::new(BinaryLogBackend::open(dst)?)
     } else {

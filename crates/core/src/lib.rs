@@ -75,7 +75,10 @@ pub use replica::{
     federate_snapshots, DaemonConfig, DaemonStats, Federation, Replica, ReplicaDaemon, SourceId,
 };
 pub use repo::{EntryId, Repository};
-pub use runtime::{RestoreOptions, WorkerPool};
+pub use runtime::{
+    ComponentHealth, HealthReport, HealthSink as RuntimeHealthSink, PoolStats, RestoreOptions,
+    Runtime, RuntimeHealth, SerialTask, TimerTask, WeakSerialTask, WorkerPool,
+};
 pub use storage::{
     AutoCompactingBinaryLog, AutoCompactingEventLog, CompactionPolicy, DurabilityMode,
     EventLogBackend, FsyncStats, GenerationLog, JsonFileBackend, MemoryBackend, StorageBackend,

@@ -1,13 +1,21 @@
-//! The background durability pipeline: a writer thread fed by a bounded
+//! The background durability pipeline: a writer task fed by a bounded
 //! channel, draining committed [`RepoEvent`]s into any
 //! [`StorageBackend`].
 //!
 //! [`BackgroundWriter`] is an [`EventSink`]: subscribe it to a
 //! [`crate::repo::Repository`] and persistence leaves the mutating
 //! caller's thread — `contribute`/`revise`/… return as soon as the event
-//! is *enqueued*; the writer thread batches queued events and calls
-//! `StorageBackend::record` off to the side. Four properties define the
-//! pipeline:
+//! is *enqueued*; the writer batches queued events and calls
+//! `StorageBackend::record` off to the side. The writer is a
+//! [`crate::runtime::SerialTask`] tenant on a [`Runtime`]:
+//! [`BackgroundWriter::spawn`]/[`BackgroundWriter::with_config`] give it
+//! a private single-worker runtime (`bx-durability-0`, the drop-in
+//! equivalent of the old dedicated thread), while
+//! [`BackgroundWriter::on_runtime`] lets many writers share one bounded
+//! pool — a federation's per-source writers run as N serialized tasks
+//! on a handful of threads, with group-commit window closes arriving as
+//! timer-wheel one-shots instead of per-writer sleeps. Four properties
+//! define the pipeline:
 //!
 //! * **Bounded, with backpressure.** The channel holds at most
 //!   [`PipelineConfig::channel_capacity`] events. When it is full,
@@ -33,21 +41,22 @@
 //!   own, exactly as before.
 //! * **Drop-shutdown.** Dropping the writer (or calling
 //!   [`BackgroundWriter::shutdown`]) drains the queue to the backend —
-//!   closing any open group-commit window with its fsync — and joins the
-//!   thread, so a scope exit cannot lose acknowledged events.
+//!   closing any open group-commit window with its fsync — and waits for
+//!   the writer task to confirm, so a scope exit cannot lose
+//!   acknowledged events.
 //!
-//! The backend is moved into the writer thread. For the scaling backend
+//! The backend is moved into the writer task. For the scaling backend
 //! ([`crate::storage::EventLogBackend`]), wrap it in
 //! [`crate::storage::AutoCompactingEventLog`] first and the pipeline
 //! checkpoints/prunes as it writes.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 use crate::error::RepoError;
 use crate::event::{EventSink, RepoEvent};
+use crate::runtime::{HealthReport, Runtime, RuntimeHealth, SerialTask, WeakSerialTask};
 use crate::storage::{DurabilityMode, StorageBackend};
 
 /// Default bound on the writer's input channel, in events.
@@ -200,24 +209,41 @@ impl PipelineHealth {
 /// [`BackgroundWriter::set_health_sink`].
 pub type HealthSink = Arc<dyn Fn(PipelineHealth) + Send + Sync>;
 
-/// Everything the producer side and the writer thread share.
+/// Everything the producer side and the writer task share.
 struct Shared {
     state: Mutex<State>,
     /// Signalled when queue space frees up.
     not_full: Condvar,
-    /// Signalled when events arrive (or shutdown/flush is requested).
-    not_empty: Condvar,
-    /// Signalled when `durable` advances or the writer fails.
+    /// Signalled when `durable` advances, the writer fails, or the
+    /// shutdown drain completes (`State::closed`).
     progress: Condvar,
+    /// When the writer was placed on a shared runtime via
+    /// [`BackgroundWriter::on_runtime`], every commit point and failure
+    /// also publishes a [`HealthReport::Pipeline`] on the runtime's
+    /// unified channel under this component name.
+    runtime_channel: Option<(Arc<RuntimeHealth>, String)>,
 }
 
 struct State {
     queue: VecDeque<RepoEvent>,
     capacity: usize,
     shutdown: bool,
+    /// The shutdown drain has completed: every accepted event is durable
+    /// (or the error is sticky) and the writer task will do no more work.
+    closed: bool,
     /// A `flush` caller is waiting: an open group-commit window should
     /// close at the next opportunity instead of running out its timer.
     flush_requested: bool,
+    /// Events staged on the backend (recorded in `GroupCommit` mode) but
+    /// not yet covered by a `flush_durable`. Always 0 in per-batch mode.
+    staged: usize,
+    /// When the open group-commit window times out; `None` when no
+    /// window is open. The close is driven by a timer-wheel one-shot
+    /// re-notifying the writer task, not by a sleeping thread.
+    window_deadline: Option<Instant>,
+    /// The group-commit window currently in force: the configured value
+    /// in fixed mode, the load-adapted value in adaptive mode.
+    current_window: Duration,
     /// First backend error, stringified; sticky once set.
     error: Option<String>,
     stats: PipelineStats,
@@ -249,20 +275,57 @@ impl State {
     }
 
     /// The push sink (if one is set) paired with a fresh report. The
-    /// caller invokes the sink only after releasing the state lock, so a
-    /// sink is free to call back into the writer (`stats`, `health`, …)
-    /// without deadlocking.
-    fn pending_push(&self) -> Option<(HealthSink, PipelineHealth)> {
-        self.health_sink
-            .as_ref()
-            .map(|sink| (sink.clone(), PipelineHealth::of(self)))
+    /// caller hands both to [`publish`] only after releasing the state
+    /// lock, so a sink is free to call back into the writer (`stats`,
+    /// `health`, …) without deadlocking.
+    fn pending_push(&self) -> (Option<HealthSink>, PipelineHealth) {
+        (self.health_sink.clone(), PipelineHealth::of(self))
+    }
+}
+
+/// Deliver one commit-point (or failure) report to the per-writer push
+/// sink and, for writers on a shared runtime, to the unified
+/// [`RuntimeHealth`] channel. Called strictly outside the state lock.
+fn publish(shared: &Shared, sink: Option<HealthSink>, report: PipelineHealth) {
+    if let Some((health, component)) = &shared.runtime_channel {
+        health.report(
+            component,
+            HealthReport::Pipeline {
+                enqueued: report.stats.enqueued,
+                durable: report.stats.durable,
+                dropped: report.stats.dropped,
+                backpressure_waits: report.stats.backpressure_waits,
+                fsyncs: report.stats.fsyncs,
+                group_commits: report.stats.group_commits,
+                window_micros: report.stats.window_micros,
+                queue_len: report.queue_depth,
+                error: report.error.clone(),
+            },
+        );
+    }
+    if let Some(sink) = sink {
+        sink(report);
+    }
+}
+
+/// The writer task's self-handle, filled in after the task exists so
+/// the drive closure (and its window-close timers) can re-notify it.
+type TaskSlot = Arc<Mutex<Option<WeakSerialTask>>>;
+
+/// Schedule another writer pass, if the task is still alive.
+fn poke(slot: &TaskSlot) {
+    if let Some(task) = slot.lock().unwrap_or_else(|e| e.into_inner()).as_ref() {
+        task.notify();
     }
 }
 
 /// The background durability pipeline's front end; see the module docs.
 pub struct BackgroundWriter {
     shared: Arc<Shared>,
-    handle: Mutex<Option<JoinHandle<()>>>,
+    task: SerialTask,
+    /// The private runtime backing `spawn`/`with_config` writers; `None`
+    /// for tenants of a shared runtime ([`BackgroundWriter::on_runtime`]).
+    _runtime: Option<Arc<Runtime>>,
 }
 
 impl std::fmt::Debug for BackgroundWriter {
@@ -279,18 +342,47 @@ fn lock(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
 }
 
 impl BackgroundWriter {
-    /// Spawn a writer thread around `backend` with default tuning.
+    /// Spawn a writer around `backend` with default tuning, on a private
+    /// single-worker runtime (`bx-durability-0`).
     pub fn spawn<B: StorageBackend + Send + 'static>(backend: B) -> BackgroundWriter {
         BackgroundWriter::with_config(backend, PipelineConfig::default())
     }
 
-    /// Spawn a writer thread around `backend` with explicit tuning. A
+    /// Spawn a writer around `backend` with explicit tuning, on a
+    /// private single-worker runtime. A
     /// [`PipelineConfig::group_commit_window`] switches the backend to
-    /// `DurabilityMode::GroupCommit` before the thread starts, so staging
+    /// `DurabilityMode::GroupCommit` before the task starts, so staging
     /// and the window's single fsync line up automatically.
     pub fn with_config<B: StorageBackend + Send + 'static>(
+        backend: B,
+        config: PipelineConfig,
+    ) -> BackgroundWriter {
+        let runtime = Runtime::named("bx-durability", 1);
+        let mut writer = BackgroundWriter::build(backend, config, &runtime, None);
+        writer._runtime = Some(runtime);
+        writer
+    }
+
+    /// Place a writer on a *shared* [`Runtime`]: the writer becomes one
+    /// serialized task among the runtime's tenants instead of owning a
+    /// thread, and every commit point (and failure) publishes a
+    /// [`HealthReport::Pipeline`] under `component` on the runtime's
+    /// unified health channel. The runtime must outlive the writer's
+    /// shutdown (callers keep their own `Arc`).
+    pub fn on_runtime<B: StorageBackend + Send + 'static>(
+        backend: B,
+        config: PipelineConfig,
+        runtime: &Arc<Runtime>,
+        component: &str,
+    ) -> BackgroundWriter {
+        BackgroundWriter::build(backend, config, runtime, Some(component))
+    }
+
+    fn build<B: StorageBackend + Send + 'static>(
         mut backend: B,
         config: PipelineConfig,
+        runtime: &Arc<Runtime>,
+        component: Option<&str>,
     ) -> BackgroundWriter {
         if config.group_commit_window.is_some() {
             backend.set_durability(DurabilityMode::GroupCommit);
@@ -300,7 +392,11 @@ impl BackgroundWriter {
                 queue: VecDeque::new(),
                 capacity: config.channel_capacity.max(1),
                 shutdown: false,
+                closed: false,
                 flush_requested: false,
+                staged: 0,
+                window_deadline: None,
+                current_window: config.group_commit_window.unwrap_or(Duration::ZERO),
                 error: None,
                 stats: PipelineStats::default(),
                 commits: 0,
@@ -309,23 +405,33 @@ impl BackgroundWriter {
                 health_sink: None,
             }),
             not_full: Condvar::new(),
-            not_empty: Condvar::new(),
             progress: Condvar::new(),
+            runtime_channel: component.map(|name| (Arc::clone(runtime.health()), name.to_string())),
         });
-        let thread_shared = shared.clone();
         let tuning = WriterTuning {
             batch_max: config.write_batch.max(1),
             window: config.group_commit_window,
             group_max: config.max_group_events.max(1),
             adaptive: config.adaptive_window,
         };
-        let handle = std::thread::Builder::new()
-            .name("bx-durability".to_string())
-            .spawn(move || writer_loop(thread_shared, backend, tuning))
-            .expect("the durability writer thread spawns");
+        let slot: TaskSlot = Arc::default();
+        let drive_shared = Arc::clone(&shared);
+        let drive_slot = Arc::clone(&slot);
+        let drive_runtime = Arc::downgrade(runtime);
+        let task = runtime.serial_task(move || {
+            drive(
+                &drive_shared,
+                &mut backend,
+                tuning,
+                &drive_runtime,
+                &drive_slot,
+            )
+        });
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(task.downgrade());
         BackgroundWriter {
             shared,
-            handle: Mutex::new(Some(handle)),
+            task,
+            _runtime: None,
         }
     }
 
@@ -347,8 +453,8 @@ impl BackgroundWriter {
     /// post-shutdown delivery both plant a sticky error, so `Ok(())`
     /// really means "everything accepted so far is on the backend".
     pub fn flush(&self) -> Result<(), RepoError> {
+        let target = lock(&self.shared).stats.enqueued;
         let mut state = lock(&self.shared);
-        let target = state.stats.enqueued;
         while state.error.is_none() && state.stats.durable + state.stats.dropped < target {
             // Re-asserted on every wake-up, not just once: each window
             // fsync clears the flag, and a window that closed on its
@@ -356,7 +462,12 @@ impl BackgroundWriter {
             // may leave this flusher unacknowledged — without re-arming,
             // the next window would wait out its full timer.
             state.flush_requested = true;
-            self.shared.not_empty.notify_all();
+            drop(state);
+            self.task.notify();
+            state = lock(&self.shared);
+            if !(state.error.is_none() && state.stats.durable + state.stats.dropped < target) {
+                break;
+            }
             state = self
                 .shared
                 .progress
@@ -369,24 +480,41 @@ impl BackgroundWriter {
         }
     }
 
-    /// Drain the queue, stop the writer thread and join it, returning the
-    /// writer's final health. Idempotent; also run (result ignored) by
-    /// `Drop`.
+    /// Drain the queue, close any open window with its fsync, and wait
+    /// for the writer task to confirm it is done, returning the writer's
+    /// final health. Idempotent; also run (result ignored) by `Drop`.
     pub fn shutdown(&self) -> Result<(), RepoError> {
         {
             let mut state = lock(&self.shared);
             state.shutdown = true;
-            self.shared.not_empty.notify_all();
             self.shared.not_full.notify_all();
         }
-        let handle = self.handle.lock().unwrap_or_else(|e| e.into_inner()).take();
-        if let Some(handle) = handle {
-            let _ = handle.join();
+        self.task.notify();
+        let mut state = lock(&self.shared);
+        while !state.closed && state.error.is_none() {
+            state = self
+                .shared
+                .progress
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+            if !state.closed && state.error.is_none() {
+                // A pass may have gone idle between our notify and the
+                // shutdown flag landing; make sure another one runs.
+                drop(state);
+                self.task.notify();
+                state = lock(&self.shared);
+            }
         }
-        match &lock(&self.shared).error {
+        let result = match &state.error {
             Some(e) => Err(RepoError::Persist(e.clone())),
             None => Ok(()),
-        }
+        };
+        drop(state);
+        // Wait out any in-flight pass so its health pushes (including a
+        // failure report) have landed — the task-world equivalent of
+        // joining the old writer thread.
+        self.task.wait_idle();
+        result
     }
 
     /// Current progress/backpressure counters.
@@ -428,34 +556,37 @@ impl BackgroundWriter {
 
 impl EventSink for BackgroundWriter {
     fn accept(&self, event: &RepoEvent) {
-        let mut state = lock(&self.shared);
-        // One stall = one count, however many condvar wake-ups it takes
-        // (notify_all wakes every blocked producer; most loop again).
-        if state.queue.len() >= state.capacity && state.error.is_none() && !state.shutdown {
-            state.stats.backpressure_waits += 1;
-        }
-        while state.queue.len() >= state.capacity && state.error.is_none() && !state.shutdown {
-            state = self
-                .shared
-                .not_full
-                .wait(state)
-                .unwrap_or_else(|e| e.into_inner());
-        }
-        state.stats.enqueued += 1;
-        if state.error.is_some() || state.shutdown {
-            // A dead writer must not block its producers forever; the loss
-            // is counted, and flush()/shutdown() must report it — so a
-            // drop after a *clean* shutdown plants the sticky error too
-            // (a crashed writer already has one).
-            state.stats.dropped += 1;
-            if state.error.is_none() {
-                state.error = Some("event discarded: writer was already shut down".to_string());
+        {
+            let mut state = lock(&self.shared);
+            // One stall = one count, however many condvar wake-ups it
+            // takes (notify_all wakes every blocked producer; most loop
+            // again).
+            if state.queue.len() >= state.capacity && state.error.is_none() && !state.shutdown {
+                state.stats.backpressure_waits += 1;
             }
-            self.shared.progress.notify_all();
-            return;
+            while state.queue.len() >= state.capacity && state.error.is_none() && !state.shutdown {
+                state = self
+                    .shared
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            state.stats.enqueued += 1;
+            if state.error.is_some() || state.shutdown {
+                // A dead writer must not block its producers forever; the
+                // loss is counted, and flush()/shutdown() must report it —
+                // so a drop after a *clean* shutdown plants the sticky
+                // error too (a crashed writer already has one).
+                state.stats.dropped += 1;
+                if state.error.is_none() {
+                    state.error = Some("event discarded: writer was already shut down".to_string());
+                }
+                self.shared.progress.notify_all();
+                return;
+            }
+            state.queue.push_back(event.clone());
         }
-        state.queue.push_back(event.clone());
-        self.shared.not_empty.notify_one();
+        self.task.notify();
     }
 }
 
@@ -465,7 +596,7 @@ impl Drop for BackgroundWriter {
     }
 }
 
-/// The writer thread's resolved knobs.
+/// The writer task's resolved knobs.
 #[derive(Clone, Copy)]
 struct WriterTuning {
     batch_max: usize,
@@ -475,50 +606,49 @@ struct WriterTuning {
     adaptive: bool,
 }
 
-/// The writer thread: wait for work, commit it (one fsynced batch in
-/// per-batch mode; one fsynced window in group-commit mode), account for
-/// it; on error, stash the error, discard the queue, and idle until
-/// shutdown.
-fn writer_loop<B: StorageBackend>(shared: Arc<Shared>, mut backend: B, tuning: WriterTuning) {
-    // The window currently in force: the configured value in fixed mode
-    // (never changes), the load-adapted value in adaptive mode.
-    let mut current_window = tuning.window;
-    loop {
-        {
-            let mut state = lock(&shared);
-            while state.queue.is_empty() && !state.shutdown {
-                state = shared
-                    .not_empty
-                    .wait(state)
-                    .unwrap_or_else(|e| e.into_inner());
-            }
-            if state.queue.is_empty() {
-                return; // shutdown with an empty queue: orderly exit
-                        // (every prior window already fsynced)
-            }
-        }
-        match (current_window, tuning.window) {
-            (None, _) | (_, None) => per_batch_step(&shared, &mut backend, tuning.batch_max),
-            (Some(window), Some(max_window)) => {
-                let next = group_commit_window(
-                    &shared,
-                    &mut backend,
-                    window,
-                    max_window,
-                    tuning.adaptive,
-                    tuning.group_max,
-                );
-                current_window = Some(next);
-            }
-        };
+/// One pass of the writer task. Never blocks waiting for work or for a
+/// window timer — producers (`accept`), flush/shutdown callers and
+/// window-close one-shots all re-notify the task instead — and does one
+/// bounded step per pass (one record batch, or one stage-and-maybe-
+/// close round), re-notifying itself while work remains so sibling
+/// tenants on a shared runtime are never starved.
+fn drive<B: StorageBackend>(
+    shared: &Arc<Shared>,
+    backend: &mut B,
+    tuning: WriterTuning,
+    runtime: &Weak<Runtime>,
+    slot: &TaskSlot,
+) {
+    if tuning.window.is_none() {
+        drive_batch(shared, backend, tuning.batch_max, slot);
+    } else {
+        drive_group(shared, backend, tuning, runtime, slot);
+    }
+}
+
+/// Mark the shutdown drain complete (nothing queued, nothing staged)
+/// and wake shutdown waiters. Caller holds the state lock.
+fn confirm_closed(shared: &Shared, state: &mut State) {
+    if state.shutdown && !state.closed {
+        state.closed = true;
+        shared.progress.notify_all();
     }
 }
 
 /// Per-batch mode: pop one bounded batch, record it (the backend fsyncs
-/// inside `record`), account for it.
-fn per_batch_step<B: StorageBackend>(shared: &Shared, backend: &mut B, batch_max: usize) {
+/// inside `record`), account for it; re-notify while events remain.
+fn drive_batch<B: StorageBackend>(
+    shared: &Arc<Shared>,
+    backend: &mut B,
+    batch_max: usize,
+    slot: &TaskSlot,
+) {
     let batch: Vec<RepoEvent> = {
         let mut state = lock(shared);
+        if state.error.is_some() || state.queue.is_empty() {
+            confirm_closed(shared, &mut state);
+            return;
+        }
         let n = state.queue.len().min(batch_max);
         let batch = state.queue.drain(..n).collect();
         shared.not_full.notify_all();
@@ -526,7 +656,7 @@ fn per_batch_step<B: StorageBackend>(shared: &Shared, backend: &mut B, batch_max
     };
     match backend.record(&batch) {
         Ok(()) => {
-            let push = {
+            let (sink, report) = {
                 let mut state = lock(shared);
                 state.stats.durable += batch.len() as u64;
                 state.stats.fsyncs += 1;
@@ -535,11 +665,131 @@ fn per_batch_step<B: StorageBackend>(shared: &Shared, backend: &mut B, batch_max
                 shared.progress.notify_all();
                 state.pending_push()
             };
-            if let Some((sink, report)) = push {
-                sink(report);
+            publish(shared, sink, report);
+        }
+        Err(e) => {
+            fail(shared, batch.len(), e);
+            return;
+        }
+    }
+    let more = {
+        let state = lock(shared);
+        !state.queue.is_empty() || (state.shutdown && !state.closed)
+    };
+    if more {
+        poke(slot);
+    }
+}
+
+/// Group-commit mode: stage whatever is queued (up to the group
+/// budget), open a window (arming a timer-wheel one-shot for its
+/// deadline) and close it — with the one `flush_durable` that makes
+/// every staged batch durable at once — when the budget fills, the
+/// deadline passes, shutdown begins, or a flush caller is waiting on a
+/// drained queue.
+fn drive_group<B: StorageBackend>(
+    shared: &Arc<Shared>,
+    backend: &mut B,
+    tuning: WriterTuning,
+    runtime: &Weak<Runtime>,
+    slot: &TaskSlot,
+) {
+    let max_window = tuning.window.expect("group mode has a window");
+    let (batch, staged_before) = {
+        let mut state = lock(shared);
+        if state.error.is_some() {
+            confirm_closed(shared, &mut state);
+            return;
+        }
+        if state.queue.is_empty() && state.staged == 0 {
+            confirm_closed(shared, &mut state);
+            return;
+        }
+        let room = tuning.group_max - state.staged;
+        let n = state.queue.len().min(room);
+        let batch: Vec<RepoEvent> = state.queue.drain(..n).collect();
+        if n > 0 {
+            shared.not_full.notify_all();
+        }
+        (batch, state.staged)
+    };
+    if !batch.is_empty() {
+        // Staged, not yet durable: `durable` only advances at the fsync
+        // below, so flush waiters cannot be acknowledged early.
+        if let Err(e) = backend.record(&batch) {
+            fail(shared, staged_before + batch.len(), e);
+            return;
+        }
+    }
+    let mut state = lock(shared);
+    state.staged += batch.len();
+    if state.staged > 0 && state.window_deadline.is_none() && !state.current_window.is_zero() {
+        // Open the window: deadline first, then the timer — the wheel
+        // measures its own delay from *after* the deadline was fixed,
+        // so the one-shot can never fire before the deadline check
+        // passes and strand the window open.
+        let delay = state.current_window;
+        state.window_deadline = Some(Instant::now() + delay);
+        drop(state);
+        let timer_slot = Arc::clone(slot);
+        if let Some(runtime) = runtime.upgrade() {
+            runtime.schedule_once(delay, move || poke(&timer_slot));
+        }
+        state = lock(shared);
+    }
+    let deadline_passed = state
+        .window_deadline
+        .is_some_and(|deadline| Instant::now() >= deadline);
+    let close = state.staged > 0
+        && (state.staged >= tuning.group_max
+            || state.shutdown
+            || (state.flush_requested && state.queue.is_empty())
+            || deadline_passed
+            || state.current_window.is_zero());
+    if close {
+        let staged = state.staged;
+        // Decide the next window before the commit lock so flush
+        // waiters see stats (including `window_micros`) fully settled
+        // when they wake.
+        let next_window = if tuning.adaptive {
+            adapt_window(state.current_window, max_window, staged, tuning.group_max)
+        } else {
+            state.current_window
+        };
+        drop(state);
+        // The window's single fsync point, covering every staged batch.
+        match backend.flush_durable() {
+            Ok(()) => {
+                let (sink, report) = {
+                    let mut state = lock(shared);
+                    state.stats.durable += staged as u64;
+                    state.stats.fsyncs += 1;
+                    state.stats.group_commits += 1;
+                    state.stats.window_micros = next_window.as_micros() as u64;
+                    state.staged = 0;
+                    state.window_deadline = None;
+                    state.current_window = next_window;
+                    state.flush_requested = false;
+                    state.committed();
+                    shared.progress.notify_all();
+                    state.pending_push()
+                };
+                publish(shared, sink, report);
+            }
+            Err(e) => {
+                fail(shared, staged, e);
+                return;
             }
         }
-        Err(e) => fail(shared, batch.len(), e),
+    } else {
+        drop(state);
+    }
+    let more = {
+        let state = lock(shared);
+        state.error.is_none() && (!state.queue.is_empty() || (state.shutdown && !state.closed))
+    };
+    if more {
+        poke(slot);
     }
 }
 
@@ -573,104 +823,12 @@ fn adapt_window(
     current
 }
 
-/// Group-commit mode: keep draining and staging whatever producers queue
-/// until the window closes (timer, `max_group_events`, shutdown, or a
-/// waiting flush), then issue the one `flush_durable` that makes every
-/// staged batch durable at once. Returns the window the *next* group
-/// commit should hold open (`window` unchanged unless `adaptive`).
-fn group_commit_window<B: StorageBackend>(
-    shared: &Shared,
-    backend: &mut B,
-    window: Duration,
-    max_window: Duration,
-    adaptive: bool,
-    group_max: usize,
-) -> Duration {
-    let deadline = Instant::now() + window;
-    let mut staged: usize = 0;
-    loop {
-        // Drain everything queued, bounded only by the group budget.
-        let batch: Vec<RepoEvent> = {
-            let mut state = lock(shared);
-            let room = group_max - staged;
-            let n = state.queue.len().min(room);
-            let batch: Vec<RepoEvent> = state.queue.drain(..n).collect();
-            if !batch.is_empty() {
-                shared.not_full.notify_all();
-            }
-            batch
-        };
-        if !batch.is_empty() {
-            // Staged, not yet durable: `durable` only advances at the
-            // fsync below, so flush waiters cannot be acknowledged early.
-            if let Err(e) = backend.record(&batch) {
-                fail(shared, staged + batch.len(), e);
-                return window;
-            }
-            staged += batch.len();
-        }
-        let mut state = lock(shared);
-        if staged >= group_max || state.shutdown {
-            break;
-        }
-        if !state.queue.is_empty() {
-            continue; // producers are ahead of us: drain again first
-        }
-        // A waiting flush closes the window — but only once the queue is
-        // drained, or the fsync would acknowledge less than the flusher's
-        // target and strand it waiting out the *next* window's timer.
-        if state.flush_requested {
-            break;
-        }
-        let now = Instant::now();
-        if now >= deadline {
-            break;
-        }
-        let (next, _) = shared
-            .not_empty
-            .wait_timeout(state, deadline - now)
-            .unwrap_or_else(|e| e.into_inner());
-        state = next;
-        if state.queue.is_empty() && Instant::now() >= deadline {
-            break;
-        }
-    }
-    // Decide the next window before the commit lock so flush waiters see
-    // stats (including `window_micros`) fully settled when they wake.
-    let next_window = if adaptive {
-        adapt_window(window, max_window, staged, group_max)
-    } else {
-        window
-    };
-    // The window's single fsync point, covering every staged batch.
-    match backend.flush_durable() {
-        Ok(()) => {
-            let push = {
-                let mut state = lock(shared);
-                state.stats.durable += staged as u64;
-                state.stats.fsyncs += 1;
-                state.stats.group_commits += 1;
-                state.stats.window_micros = next_window.as_micros() as u64;
-                state.flush_requested = false;
-                state.committed();
-                shared.progress.notify_all();
-                state.pending_push()
-            };
-            if let Some((sink, report)) = push {
-                sink(report);
-            }
-        }
-        Err(e) => fail(shared, staged, e),
-    }
-    next_window
-}
-
 /// The writer failed with `in_flight` events handed to the backend but
 /// not durable (a durable *prefix* of them may exist on disk; recovery
 /// reconciles via the primary's journal). They and everything still
 /// queued are lost and counted; the error turns sticky.
 fn fail(shared: &Shared, in_flight: usize, e: RepoError) {
-    let push = {
+    let (sink, report) = {
         let mut state = lock(shared);
         state.stats.dropped += in_flight as u64;
         state.stats.dropped += state.queue.len() as u64;
@@ -679,14 +837,14 @@ fn fail(shared: &Shared, in_flight: usize, e: RepoError) {
             state.error = Some(e.to_string());
         }
         state.flush_requested = false;
+        state.staged = 0;
+        state.window_deadline = None;
         shared.not_full.notify_all();
         shared.progress.notify_all();
         state.pending_push()
     };
-    // The sink hears about the failure too — pushed outside the lock.
-    if let Some((sink, report)) = push {
-        sink(report);
-    }
+    // The sinks hear about the failure too — pushed outside the lock.
+    publish(shared, sink, report);
 }
 
 #[cfg(test)]
@@ -1161,6 +1319,54 @@ mod tests {
         assert!(broken.shutdown().is_err(), "the error stays sticky");
         let failures = failures.lock().unwrap();
         assert!(failures.iter().any(|r| !r.healthy()));
+    }
+
+    #[test]
+    fn writers_on_a_shared_runtime_report_into_the_unified_channel() {
+        let runtime = Runtime::new(2);
+        let storages: Vec<SharedMemory> = (0..4).map(|_| SharedMemory::default()).collect();
+        let writers: Vec<BackgroundWriter> = storages
+            .iter()
+            .enumerate()
+            .map(|(i, storage)| {
+                BackgroundWriter::on_runtime(
+                    storage.clone(),
+                    PipelineConfig::group_commit(Duration::from_millis(2)),
+                    &runtime,
+                    &format!("writer:s{i}"),
+                )
+            })
+            .collect();
+        let repo = Repository::found("bx", vec![Principal::curator("c")]);
+        let events = repo.drain_events();
+        for writer in &writers {
+            writer.enqueue(&events);
+            writer.flush().unwrap();
+        }
+        for (writer, storage) in writers.iter().zip(&storages) {
+            assert_eq!(
+                storage.0.lock().unwrap().restore().unwrap(),
+                repo.snapshot()
+            );
+            writer.shutdown().unwrap();
+        }
+        // Every writer reported per-component on the one channel.
+        for i in 0..4 {
+            let latest = runtime
+                .health()
+                .latest(&format!("writer:s{i}"))
+                .expect("each writer reported");
+            match latest.report {
+                HealthReport::Pipeline { durable, error, .. } => {
+                    assert_eq!(durable, events.len() as u64);
+                    assert_eq!(error, None);
+                }
+                ref other => panic!("unexpected report {other:?}"),
+            }
+        }
+        // And the shared pool stayed at its configured width the whole
+        // time: tasks, not threads, per writer.
+        assert_eq!(runtime.pool_stats().threads, 2);
     }
 
     #[test]

@@ -49,8 +49,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use bx_theory::Bx;
@@ -62,7 +61,7 @@ use crate::index::SearchIndex;
 use crate::manuscript::{export_manuscript, ManuscriptOptions};
 use crate::principal::Principal;
 use crate::repo::{EntryId, EntryRecord, RepositorySnapshot};
-use crate::runtime::{RestoreOptions, WorkerPool};
+use crate::runtime::{HealthReport, RestoreOptions, Runtime, RuntimeHealth, TimerTask, WorkerPool};
 use crate::storage::EventLogBackend;
 use crate::template::slug_of;
 use crate::version::Version;
@@ -539,17 +538,28 @@ impl Replica {
             return Self::open(dir);
         }
         let pool = WorkerPool::new(options.threads);
+        Self::open_pooled(dir, &pool)
+    }
+
+    /// [`Replica::open_with`] on a shared [`Runtime`]'s pool instead of
+    /// a pool of its own — the cold-open path for nodes that host many
+    /// replicas on one bounded set of workers.
+    pub fn open_on(dir: impl Into<PathBuf>, runtime: &Arc<Runtime>) -> Result<Replica, RepoError> {
+        Self::open_pooled(dir.into(), runtime.pool())
+    }
+
+    fn open_pooled(dir: PathBuf, pool: &WorkerPool) -> Result<Replica, RepoError> {
         let (mut tail, base) = LogTail::open(dir)?;
-        let mut progress = tail.poll_with(Some(&pool))?;
+        let mut progress = tail.poll_with(Some(pool))?;
         // A checkpoint racing the open lands as a new base on the first
         // poll, exactly as in the sequential open's first catch-up.
         let base = Arc::new(progress.new_base.take().unwrap_or(base));
         let events = std::mem::take(&mut progress.events);
         let dirty = dirty_set(&events);
         let base_ids: Vec<EntryId> = base.records.keys().cloned().collect();
-        let base_pages = render_pages_parallel(&base, base_ids, &pool);
-        let snapshot = Arc::new(crate::event::replay_parallel(unshare(base), events, &pool));
-        let (index, site) = derived_parallel(base_pages, &snapshot, dirty, &pool);
+        let base_pages = render_pages_parallel(&base, base_ids, pool);
+        let snapshot = Arc::new(crate::event::replay_parallel(unshare(base), events, pool));
+        let (index, site) = derived_parallel(base_pages, &snapshot, dirty, pool);
         Ok(Replica {
             tail,
             bx: WikiBx::new(),
@@ -905,9 +915,9 @@ impl Federation {
 
     /// [`Federation::open`] with the N sources tailed **concurrently**:
     /// each source's open-and-decode runs as one pool job (source-level
-    /// parallelism — a pool job must never scatter nested work, so
-    /// per-source decode stays sequential inside its job), then the
-    /// merged replay and derived-state rebuild fan out over the same
+    /// parallelism — a nested scatter from inside a job would run
+    /// inline, so per-source decode stays a single sequential job), then
+    /// the merged replay and derived-state rebuild fan out over the same
     /// pool. With `threads: 1` this *is* [`Federation::open`]. On
     /// quiescent directories the merged snapshot, index and site are
     /// byte-for-byte the sequential open's; a failing source surfaces
@@ -922,8 +932,28 @@ impl Federation {
         if !options.is_parallel() {
             return Self::open(name, sources);
         }
-        Self::validate_sources(&sources)?;
         let pool = WorkerPool::new(options.threads);
+        Self::open_pooled(name, sources, &pool)
+    }
+
+    /// [`Federation::open_with`] on a shared [`Runtime`]'s pool instead
+    /// of a pool of its own — the cold-open path for nodes that host
+    /// many federations (or federations of many sources) on one bounded
+    /// set of workers.
+    pub fn open_on(
+        name: &str,
+        sources: Vec<(SourceId, PathBuf)>,
+        runtime: &Arc<Runtime>,
+    ) -> Result<Federation, RepoError> {
+        Self::open_pooled(name, sources, runtime.pool())
+    }
+
+    fn open_pooled(
+        name: &str,
+        sources: Vec<(SourceId, PathBuf)>,
+        pool: &WorkerPool,
+    ) -> Result<Federation, RepoError> {
+        Self::validate_sources(&sources)?;
         type Opened = Result<(LogTail, RepositorySnapshot, Vec<RepoEvent>), RepoError>;
         let jobs: Vec<Box<dyn FnOnce() -> Opened + Send>> = sources
             .iter()
@@ -952,17 +982,17 @@ impl Federation {
         drop(bases);
         let dirty = dirty_set(&events);
         let base_ids: Vec<EntryId> = base.records.keys().cloned().collect();
-        let base_pages = render_pages_parallel(&base, base_ids, &pool);
+        let base_pages = render_pages_parallel(&base, base_ids, pool);
         // The federated replay keeps the federation's own name: `Founded`
         // barriers register a source's curators without adopting its
         // repository name.
         let snapshot = Arc::new(replay_parallel_with(
             unshare(base),
             events,
-            &pool,
+            pool,
             apply_federated,
         ));
-        let (index, site) = derived_parallel(base_pages, &snapshot, dirty, &pool);
+        let (index, site) = derived_parallel(base_pages, &snapshot, dirty, pool);
         Ok(Federation {
             name: name.to_string(),
             sources: tails,
@@ -1177,9 +1207,10 @@ impl Federation {
 /// Tuning for a [`ReplicaDaemon`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DaemonConfig {
-    /// How long the polling thread sleeps between catch-up passes. A
-    /// stop request or [`ReplicaDaemon::force_catch_up`] interrupts the
-    /// sleep immediately.
+    /// How long the timer wheel waits between catch-up passes. A stop
+    /// request cancels the tick immediately (it never waits out the
+    /// interval), and [`ReplicaDaemon::force_catch_up`] runs a pass on
+    /// the caller's thread at any time.
     pub poll_interval: Duration,
 }
 
@@ -1211,8 +1242,9 @@ struct DaemonShared {
     /// Latest poll error; sticky — it stays visible after later
     /// successful polls until [`ReplicaDaemon::clear_error`].
     error: Mutex<Option<RepoError>>,
-    stop: Mutex<bool>,
-    wake: Condvar,
+    /// When the daemon is a tenant of a shared [`Runtime`], every pass
+    /// publishes a [`HealthReport::Daemon`] under this component name.
+    runtime_channel: Option<(Arc<RuntimeHealth>, String)>,
 }
 
 fn daemon_lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -1223,83 +1255,124 @@ impl DaemonShared {
     /// One catch-up pass over the federation, folding the outcome into
     /// stats and the sticky error slot.
     fn pass(&self) -> Result<FederationCatchUp, RepoError> {
-        let mut federation = daemon_lock(&self.federation);
-        let outcome = federation.catch_up();
-        let mut stats = daemon_lock(&self.stats);
-        match &outcome {
-            Ok(progress) => {
-                stats.polls += 1;
-                stats.events_applied += progress.events_applied as u64;
-                stats.rebases += progress.rebases as u64;
-                stats.source_lag = federation.lag();
+        let outcome = {
+            let mut federation = daemon_lock(&self.federation);
+            let outcome = federation.catch_up();
+            let mut stats = daemon_lock(&self.stats);
+            match &outcome {
+                Ok(progress) => {
+                    stats.polls += 1;
+                    stats.events_applied += progress.events_applied as u64;
+                    stats.rebases += progress.rebases as u64;
+                    stats.source_lag = federation.lag();
+                }
+                Err(e) => {
+                    stats.polls += 1;
+                    *daemon_lock(&self.error) = Some(e.clone());
+                }
             }
-            Err(e) => {
-                stats.polls += 1;
-                *daemon_lock(&self.error) = Some(e.clone());
-            }
+            outcome
+        };
+        // Publish after the daemon locks are released: a health sink is
+        // arbitrary user code and must not nest inside them.
+        if let Some((health, component)) = &self.runtime_channel {
+            let (polls, events_applied, rebases) = {
+                let stats = daemon_lock(&self.stats);
+                (stats.polls, stats.events_applied, stats.rebases)
+            };
+            let error = daemon_lock(&self.error).as_ref().map(|e| e.to_string());
+            health.report(
+                component,
+                HealthReport::Daemon {
+                    polls,
+                    events_applied,
+                    rebases_detected: rebases,
+                    error,
+                },
+            );
         }
         outcome
     }
 }
 
-/// A background polling thread around a [`Federation`]: starts at
-/// [`ReplicaDaemon::spawn`], catches up every
-/// [`DaemonConfig::poll_interval`], and stops cleanly (thread joined, no
-/// orphan) on [`ReplicaDaemon::stop`] or drop. Poll errors are sticky —
-/// [`ReplicaDaemon::last_error`] keeps reporting the latest one until
-/// [`ReplicaDaemon::clear_error`] — while the daemon keeps polling, so a
-/// source directory that comes back is picked up again automatically.
+/// A background polling tenant around a [`Federation`]: starts at
+/// [`ReplicaDaemon::spawn`] (private [`Runtime`]) or
+/// [`ReplicaDaemon::spawn_on`] (tenant of a shared one), catches up
+/// every [`DaemonConfig::poll_interval`] via the runtime's timer wheel,
+/// and stops cleanly (tick cancelled, in-flight pass waited out) on
+/// [`ReplicaDaemon::stop`] or drop — stop is prompt even mid-interval.
+/// Poll errors are sticky — [`ReplicaDaemon::last_error`] keeps
+/// reporting the latest one until [`ReplicaDaemon::clear_error`] —
+/// while the daemon keeps polling, so a source directory that comes
+/// back is picked up again automatically.
 pub struct ReplicaDaemon {
     shared: Arc<DaemonShared>,
-    handle: Option<JoinHandle<()>>,
+    tick: Option<TimerTask>,
+    /// Present only for [`ReplicaDaemon::spawn`]: the private runtime
+    /// whose sole tenant this daemon is. Dropped (threads joined) after
+    /// the tick is cancelled.
+    _runtime: Option<Arc<Runtime>>,
 }
 
 impl std::fmt::Debug for ReplicaDaemon {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicaDaemon")
-            .field("running", &self.handle.is_some())
+            .field("running", &self.tick.is_some())
             .field("stats", &self.stats())
             .finish()
     }
 }
 
 impl ReplicaDaemon {
-    /// Take ownership of `federation` and poll it on a background thread
-    /// every [`DaemonConfig::poll_interval`].
+    /// Take ownership of `federation` and poll it every
+    /// [`DaemonConfig::poll_interval`] on a private single-worker
+    /// [`Runtime`] — the standalone deployment shape.
     pub fn spawn(federation: Federation, config: DaemonConfig) -> ReplicaDaemon {
+        let runtime = Runtime::named("bx-replica-daemon", 1);
+        let mut daemon = Self::build(federation, config, &runtime, None);
+        daemon._runtime = Some(runtime);
+        daemon
+    }
+
+    /// [`ReplicaDaemon::spawn`] as a tenant of an existing shared
+    /// [`Runtime`]: poll ticks fire on the shared pool, and every pass
+    /// publishes [`HealthReport::Daemon`] on the runtime's unified
+    /// health channel under `component`.
+    pub fn spawn_on(
+        federation: Federation,
+        config: DaemonConfig,
+        runtime: &Arc<Runtime>,
+        component: &str,
+    ) -> ReplicaDaemon {
+        Self::build(federation, config, runtime, Some(component))
+    }
+
+    fn build(
+        federation: Federation,
+        config: DaemonConfig,
+        runtime: &Arc<Runtime>,
+        component: Option<&str>,
+    ) -> ReplicaDaemon {
         let shared = Arc::new(DaemonShared {
             federation: Mutex::new(federation),
             stats: Mutex::new(DaemonStats::default()),
             error: Mutex::new(None),
-            stop: Mutex::new(false),
-            wake: Condvar::new(),
+            runtime_channel: component
+                .map(|component| (Arc::clone(runtime.health()), component.to_string())),
         });
-        let thread_shared = shared.clone();
-        let handle = std::thread::Builder::new()
-            .name("bx-replica-daemon".to_string())
-            .spawn(move || {
-                let shared = thread_shared;
-                let mut stopped = daemon_lock(&shared.stop);
-                while !*stopped {
-                    drop(stopped);
-                    // Poll errors are recorded (sticky) and polling
-                    // continues; a vanished source may come back.
-                    let _ = shared.pass();
-                    stopped = daemon_lock(&shared.stop);
-                    if *stopped {
-                        break;
-                    }
-                    let (guard, _) = shared
-                        .wake
-                        .wait_timeout(stopped, config.poll_interval)
-                        .unwrap_or_else(|e| e.into_inner());
-                    stopped = guard;
-                }
-            })
-            .expect("daemon thread spawns");
+        let tick_shared = shared.clone();
+        let tick = runtime.schedule_periodic(config.poll_interval, move || {
+            // Poll errors are recorded (sticky) and polling continues;
+            // a vanished source may come back.
+            let _ = tick_shared.pass();
+        });
+        // The dedicated-thread daemon polled once immediately on start;
+        // keep that, so a fresh daemon isn't blind for a full interval.
+        tick.fire_now();
         ReplicaDaemon {
             shared,
-            handle: Some(handle),
+            tick: Some(tick),
+            _runtime: None,
         }
     }
 
@@ -1349,19 +1422,18 @@ impl ReplicaDaemon {
         *daemon_lock(&self.shared.error) = None;
     }
 
-    /// Is the polling thread still running?
+    /// Is the daemon still scheduled on its runtime?
     pub fn is_running(&self) -> bool {
-        self.handle.as_ref().is_some_and(|h| !h.is_finished())
+        self.tick.is_some()
     }
 
-    /// Stop polling and join the thread (no orphan survives), returning
-    /// the federation's final stats. Idempotent: a second call returns
-    /// the same stats without touching any thread.
+    /// Stop polling, returning the federation's final stats. Prompt —
+    /// cancelling the tick never waits out [`DaemonConfig::poll_interval`],
+    /// only an already-running pass — and idempotent: a second call
+    /// returns the same stats without touching the runtime.
     pub fn stop(&mut self) -> DaemonStats {
-        *daemon_lock(&self.shared.stop) = true;
-        self.shared.wake.notify_all();
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+        if let Some(tick) = self.tick.take() {
+            tick.cancel();
         }
         self.stats()
     }
@@ -1369,15 +1441,25 @@ impl ReplicaDaemon {
     /// Stop the daemon and hand the federation back for direct use.
     pub fn into_federation(mut self) -> Federation {
         self.stop();
-        let shared = self.shared.clone();
-        drop(self); // idempotent: the thread is already joined
-        match Arc::try_unwrap(shared) {
-            Ok(shared) => shared
-                .federation
-                .into_inner()
-                .unwrap_or_else(|e| e.into_inner()),
-            // stop() joined the only other holder of the Arc.
-            Err(_) => unreachable!("daemon thread joined but shared state still referenced"),
+        let mut shared = self.shared.clone();
+        drop(self); // idempotent: the tick is already cancelled
+        loop {
+            match Arc::try_unwrap(shared) {
+                Ok(shared) => {
+                    return shared
+                        .federation
+                        .into_inner()
+                        .unwrap_or_else(|e| e.into_inner())
+                }
+                // cancel() guarantees no pass is running or scheduled,
+                // but on a shared runtime the worker that ran the last
+                // tick can hold the fired job's environment (and its
+                // Arc) for an instant after the pass returns.
+                Err(again) => {
+                    shared = again;
+                    std::thread::yield_now();
+                }
+            }
         }
     }
 }
@@ -2129,5 +2211,94 @@ mod tests {
         let federation = daemon.into_federation();
         assert_eq!(federation.name(), "fed");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn daemon_stop_is_prompt_even_mid_interval() {
+        let dir = unique_dir("daemon-prompt");
+        let a = primary("alpha");
+        let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        backend.record(&a.drain_events()).unwrap();
+        let federation = Federation::open("fed", vec![(SourceId::new("a"), dir.clone())]).unwrap();
+        let mut daemon = ReplicaDaemon::spawn(
+            federation,
+            DaemonConfig {
+                poll_interval: Duration::from_secs(5),
+            },
+        );
+        // Let the immediate first pass land so stop() isn't racing it.
+        let settle = std::time::Instant::now();
+        while daemon.stats().polls == 0 && settle.elapsed() < Duration::from_secs(5) {
+            std::thread::yield_now();
+        }
+        assert!(daemon.stats().polls >= 1, "the spawn-time pass ran");
+        // The next tick is ~5 s out; stop must not wait for it.
+        let begin = std::time::Instant::now();
+        daemon.stop();
+        assert!(
+            begin.elapsed() < Duration::from_millis(100),
+            "stop waited {:?} of a 5 s poll interval",
+            begin.elapsed()
+        );
+        assert!(!daemon.is_running());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn daemon_on_a_shared_runtime_reports_on_the_unified_channel() {
+        let dir_a = unique_dir("daemon-shared-a");
+        let dir_b = unique_dir("daemon-shared-b");
+        let a = primary("alpha");
+        let b = primary("beta");
+        a.contribute("alice", entry("COMPOSERS")).unwrap();
+        let mut backend_a = crate::storage::EventLogBackend::open(&dir_a).unwrap();
+        backend_a.record(&a.drain_events()).unwrap();
+        let mut backend_b = crate::storage::EventLogBackend::open(&dir_b).unwrap();
+        backend_b.record(&b.drain_events()).unwrap();
+        let sources = vec![
+            (SourceId::new("a"), dir_a.clone()),
+            (SourceId::new("b"), dir_b.clone()),
+        ];
+
+        let runtime = crate::runtime::Runtime::new(2);
+        // The shared-pool cold open matches the per-pool one exactly.
+        let sequential = Federation::open("fed", sources.clone()).unwrap();
+        let federation = Federation::open_on("fed", sources, &runtime).unwrap();
+        assert_eq!(federation.snapshot(), sequential.snapshot());
+        assert_eq!(federation.index(), sequential.index());
+
+        let mut daemon = ReplicaDaemon::spawn_on(
+            federation,
+            DaemonConfig {
+                poll_interval: Duration::from_millis(5),
+            },
+            &runtime,
+            "daemon",
+        );
+        b.contribute("alice", entry("UML2RDBMS")).unwrap();
+        backend_b.record(&b.drain_events()).unwrap();
+        daemon.force_catch_up().unwrap();
+        assert_eq!(daemon.query(&["uml2rdbms"]).len(), 1);
+
+        let report = runtime
+            .health()
+            .latest("daemon")
+            .expect("every pass publishes on the unified channel");
+        match report.report {
+            HealthReport::Daemon {
+                polls,
+                events_applied,
+                error,
+                ..
+            } => {
+                assert!(polls >= 1);
+                assert!(events_applied >= 1);
+                assert!(error.is_none());
+            }
+            other => panic!("expected a daemon report, got {other:?}"),
+        }
+        daemon.stop();
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
     }
 }

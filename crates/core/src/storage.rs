@@ -43,6 +43,7 @@ use crate::error::RepoError;
 use crate::event::{apply_event, replay, RepoEvent};
 use crate::persist;
 use crate::repo::RepositorySnapshot;
+use crate::runtime::{HealthReport, RuntimeHealth};
 
 /// When a backend's `record` becomes durable; see the module docs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -1031,6 +1032,12 @@ pub struct AutoCompactingEventLog<B: GenerationLog = EventLogBackend> {
     /// `restore` would return.
     state: RepositorySnapshot,
     since_checkpoint: usize,
+    /// Cumulative compaction accounting since open.
+    checkpoints: u64,
+    pruned_files: u64,
+    /// When set, every compaction pass (automatic or explicit) publishes
+    /// [`HealthReport::Compaction`] under this component name.
+    observer: Option<(Arc<RuntimeHealth>, String)>,
 }
 
 /// An auto-compacting binary segmented log
@@ -1065,9 +1072,25 @@ impl<B: GenerationLog> AutoCompactingEventLog<B> {
             policy,
             state,
             since_checkpoint,
+            checkpoints: 0,
+            pruned_files: 0,
+            observer: None,
         };
         backend.maybe_checkpoint()?;
         Ok(backend)
+    }
+
+    /// Publish every compaction pass (automatic threshold crossings and
+    /// explicit [`StorageBackend::checkpoint`] calls) as
+    /// [`HealthReport::Compaction`] on a [`Runtime`](crate::runtime::Runtime)'s
+    /// unified health channel, under `component`.
+    pub fn set_observer(&mut self, health: &Arc<RuntimeHealth>, component: &str) {
+        self.observer = Some((Arc::clone(health), component.to_string()));
+    }
+
+    /// Compaction passes completed since open (automatic + explicit).
+    pub fn compactions(&self) -> u64 {
+        self.checkpoints
     }
 
     /// The wrapped log backend.
@@ -1088,9 +1111,28 @@ impl<B: GenerationLog> AutoCompactingEventLog<B> {
 
     fn maybe_checkpoint(&mut self) -> Result<(), RepoError> {
         if self.since_checkpoint >= self.policy.checkpoint_every.max(1) {
-            self.inner.checkpoint(&self.state)?;
-            self.inner.prune_stale_generations()?;
-            self.since_checkpoint = 0;
+            self.compact_now()?;
+        }
+        Ok(())
+    }
+
+    /// One compaction pass: checkpoint the folded state, prune stale
+    /// generations, publish to the observer if one is installed.
+    fn compact_now(&mut self) -> Result<(), RepoError> {
+        self.inner.checkpoint(&self.state)?;
+        let pruned = self.inner.prune_stale_generations()?;
+        self.since_checkpoint = 0;
+        self.checkpoints += 1;
+        self.pruned_files += pruned as u64;
+        if let Some((health, component)) = &self.observer {
+            health.report(
+                component,
+                HealthReport::Compaction {
+                    kind: B::compacted_kind().to_string(),
+                    checkpoints: self.checkpoints,
+                    pruned_files: self.pruned_files,
+                },
+            );
         }
         Ok(())
     }
@@ -1112,10 +1154,7 @@ impl<B: GenerationLog> StorageBackend for AutoCompactingEventLog<B> {
 
     fn checkpoint(&mut self, snapshot: &RepositorySnapshot) -> Result<(), RepoError> {
         self.state = snapshot.clone();
-        self.inner.checkpoint(snapshot)?;
-        self.inner.prune_stale_generations()?;
-        self.since_checkpoint = 0;
-        Ok(())
+        self.compact_now()
     }
 
     fn restore(&self) -> Result<RepositorySnapshot, RepoError> {
@@ -1376,6 +1415,62 @@ mod tests {
         assert_eq!(reopened.events_since_checkpoint(), 0);
         assert_eq!(reopened.restore().unwrap(), r.snapshot());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_observer_publishes_on_the_unified_channel() {
+        let dir = unique_dir("compact-observe");
+        let r = busy_repository();
+        let health = Arc::new(RuntimeHealth::new());
+        let mut backend = AutoCompactingEventLog::open(
+            &dir,
+            CompactionPolicy {
+                checkpoint_every: 4,
+            },
+        )
+        .unwrap();
+        backend.set_observer(&health, "compaction:jsonl");
+        let events = r.drain_events();
+        for event in &events {
+            backend.record(std::slice::from_ref(event)).unwrap();
+        }
+        // Explicit checkpoints publish too.
+        backend.checkpoint(&r.snapshot()).unwrap();
+        let report = health
+            .latest("compaction:jsonl")
+            .expect("every compaction pass publishes");
+        match report.report {
+            HealthReport::Compaction {
+                ref kind,
+                checkpoints,
+                ..
+            } => {
+                assert_eq!(kind, "event-log+auto-compact");
+                assert!(checkpoints >= 2, "auto passes plus the explicit one");
+                assert_eq!(checkpoints, backend.compactions());
+            }
+            ref other => panic!("expected a compaction report, got {other:?}"),
+        }
+
+        // The binary instantiation reports its own kind.
+        let bin_dir = unique_dir("compact-observe-bin");
+        let mut binary: AutoCompactingBinaryLog = AutoCompactingEventLog::open_with(
+            &bin_dir,
+            CompactionPolicy {
+                checkpoint_every: 1,
+            },
+        )
+        .unwrap();
+        binary.set_observer(&health, "compaction:bin");
+        binary.record(&events).unwrap();
+        match health.latest("compaction:bin").unwrap().report {
+            HealthReport::Compaction { ref kind, .. } => {
+                assert_eq!(kind, "binary-log+auto-compact")
+            }
+            ref other => panic!("expected a compaction report, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&bin_dir).ok();
     }
 
     #[test]

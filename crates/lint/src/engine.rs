@@ -10,18 +10,20 @@
 //! [`EventSink`] whose `accept` does only O(affected-set) bookkeeping
 //! under the publisher's lock — fold the event into a mirrored snapshot,
 //! consult the dependency map, enqueue the affected entries — while a
-//! small worker pool runs the actual checks off-thread and folds results
-//! into a shared index with last-write-wins version stamps. Subscribe it
-//! to a [`bx_core::Repository`], a [`bx_core::Replica`] or a
+//! [`bx_core::Runtime`] pool (a private one by default, or a node's
+//! shared one via [`LawChecker::on_runtime`]) runs the actual checks
+//! off-thread and folds results into a shared index with
+//! last-write-wins version stamps. Subscribe it to a
+//! [`bx_core::Repository`], a [`bx_core::Replica`] or a
 //! [`bx_core::Federation`] and query diagnostics next to search.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
 
 use bx_core::event::{apply_event, EventSink, RepoEvent};
 use bx_core::repo::{EntryId, RepositorySnapshot};
+use bx_core::runtime::{HealthReport, Runtime, RuntimeHealth};
 
 use crate::catalog::CheckCatalog;
 use crate::check::{check_entry, full_check};
@@ -118,65 +120,81 @@ struct Fold {
 
 struct Inner {
     state: Mutex<EngineState>,
-    queue: Mutex<VecDeque<EntryId>>,
-    work: Condvar,
     fold: Mutex<Fold>,
-    /// Entries enqueued but not yet folded; `idle` fires at zero.
+    /// Entries scheduled but not yet folded; `idle` fires at zero.
     pending: Mutex<usize>,
     idle: Condvar,
+    /// Set on drop: still-queued check jobs become no-ops (they only
+    /// release their pending slot), so a shared runtime is handed back
+    /// promptly.
     shutdown: AtomicBool,
+    /// Checks completed (panicking checks don't count).
+    checks_run: AtomicU64,
     catalog: Arc<CheckCatalog>,
     delta_sink: Mutex<Option<DeltaSink>>,
+    /// When the checker is a tenant of a shared [`Runtime`], every
+    /// folded check publishes [`HealthReport::Lint`] under this name.
+    runtime_channel: Option<(Arc<RuntimeHealth>, String)>,
+}
+
+/// Releases one pending slot when the check job ends — **including by
+/// panic**. The pool catches the unwind and keeps its worker; this guard
+/// keeps `wait_idle` from hanging on the slot the panicked check never
+/// folded.
+struct PendingGuard<'a>(&'a Inner);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let mut pending = lock(&self.0.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            self.0.idle.notify_all();
+        }
+    }
 }
 
 impl Inner {
-    fn worker(self: &Arc<Inner>) {
-        loop {
-            let id = {
-                let mut queue = lock(&self.queue);
-                loop {
-                    if self.shutdown.load(Ordering::Acquire) {
-                        return;
-                    }
-                    if let Some(id) = queue.pop_front() {
-                        break id;
-                    }
-                    queue = self.work.wait(queue).unwrap_or_else(|e| e.into_inner());
-                }
-            };
-            // Check against the freshest state (≥ the version that
-            // enqueued this entry) without holding any engine lock.
-            let (snapshot, version) = {
-                let state = lock(&self.state);
-                (state.snapshot.clone(), state.version)
-            };
-            let diagnostics = snapshot
-                .records
-                .get(&id)
-                .map(|record| check_entry(&snapshot, &id, record, &self.catalog))
-                .unwrap_or_default();
-            let folded = {
-                let mut fold = lock(&self.fold);
-                let stamp = fold.stamps.get(&id).copied().unwrap_or(0);
-                if version >= stamp {
-                    fold.stamps.insert(id.clone(), version);
-                    fold.index.set_entry(&id, diagnostics.clone());
-                    true
-                } else {
-                    false // a newer check already landed
-                }
-            };
-            if folded {
-                let sink = lock(&self.delta_sink).clone();
-                if let Some(sink) = sink {
-                    sink(&id, &diagnostics);
-                }
+    /// One scheduled check, run as a pool job.
+    fn run_one(&self, id: EntryId) {
+        let _slot = PendingGuard(self);
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Check against the freshest state (≥ the version that
+        // scheduled this entry) without holding any engine lock.
+        let (snapshot, version) = {
+            let state = lock(&self.state);
+            (state.snapshot.clone(), state.version)
+        };
+        let diagnostics = snapshot
+            .records
+            .get(&id)
+            .map(|record| check_entry(&snapshot, &id, record, &self.catalog))
+            .unwrap_or_default();
+        let (folded, entries_with_diagnostics) = {
+            let mut fold = lock(&self.fold);
+            let stamp = fold.stamps.get(&id).copied().unwrap_or(0);
+            if version >= stamp {
+                fold.stamps.insert(id.clone(), version);
+                fold.index.set_entry(&id, diagnostics.clone());
             }
-            let mut pending = lock(&self.pending);
-            *pending -= 1;
-            if *pending == 0 {
-                self.idle.notify_all();
+            (version >= stamp, fold.index.entries().count())
+        };
+        self.checks_run.fetch_add(1, Ordering::Relaxed);
+        if folded {
+            let sink = lock(&self.delta_sink).clone();
+            if let Some(sink) = sink {
+                sink(&id, &diagnostics);
             }
+        }
+        if let Some((health, component)) = &self.runtime_channel {
+            health.report(
+                component,
+                HealthReport::Lint {
+                    checks_run: self.checks_run.load(Ordering::Relaxed),
+                    entries_with_diagnostics,
+                },
+            );
         }
     }
 }
@@ -188,34 +206,53 @@ impl Inner {
 /// backfill) triggers a full re-check.
 pub struct LawChecker {
     inner: Arc<Inner>,
-    workers: Vec<JoinHandle<()>>,
+    runtime: Arc<Runtime>,
 }
 
 impl std::fmt::Debug for LawChecker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LawChecker")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.runtime.pool_stats().threads)
             .field("pending", &*lock(&self.inner.pending))
             .finish()
     }
 }
 
 impl LawChecker {
-    /// A checker over an initially empty state with two workers.
+    /// A checker over an initially empty state with two workers (on a
+    /// private `bx-lint` [`Runtime`]).
     pub fn new(catalog: Arc<CheckCatalog>) -> LawChecker {
         LawChecker::with_workers(catalog, 2)
     }
 
-    /// A checker with an explicit worker-pool size (at least one).
+    /// A checker with an explicit private worker-pool size (at least
+    /// one).
     pub fn with_workers(catalog: Arc<CheckCatalog>, workers: usize) -> LawChecker {
+        LawChecker::build(catalog, Runtime::named("bx-lint", workers), None)
+    }
+
+    /// A checker that runs its checks as a tenant of an existing shared
+    /// [`Runtime`], publishing [`HealthReport::Lint`] on the runtime's
+    /// unified health channel under `component` after every check.
+    pub fn on_runtime(
+        catalog: Arc<CheckCatalog>,
+        runtime: &Arc<Runtime>,
+        component: &str,
+    ) -> LawChecker {
+        LawChecker::build(catalog, Arc::clone(runtime), Some(component))
+    }
+
+    fn build(
+        catalog: Arc<CheckCatalog>,
+        runtime: Arc<Runtime>,
+        component: Option<&str>,
+    ) -> LawChecker {
         let inner = Arc::new(Inner {
             state: Mutex::new(EngineState {
                 snapshot: Arc::new(RepositorySnapshot::empty("")),
                 deps: DepMap::default(),
                 version: 0,
             }),
-            queue: Mutex::new(VecDeque::new()),
-            work: Condvar::new(),
             fold: Mutex::new(Fold {
                 index: DiagnosticsIndex::default(),
                 stamps: BTreeMap::new(),
@@ -223,22 +260,13 @@ impl LawChecker {
             pending: Mutex::new(0),
             idle: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            checks_run: AtomicU64::new(0),
             catalog,
             delta_sink: Mutex::new(None),
+            runtime_channel: component
+                .map(|component| (Arc::clone(runtime.health()), component.to_string())),
         });
-        let handles = (0..workers.max(1))
-            .map(|i| {
-                let inner = inner.clone();
-                std::thread::Builder::new()
-                    .name(format!("bx-lint-{i}"))
-                    .spawn(move || inner.worker())
-                    .expect("lint worker spawns")
-            })
-            .collect();
-        LawChecker {
-            inner,
-            workers: handles,
-        }
+        LawChecker { inner, runtime }
     }
 
     /// Push `(entry, findings)` deltas to `sink` as checks fold in (the
@@ -252,12 +280,20 @@ impl LawChecker {
         if affected.is_empty() {
             return;
         }
-        // Pending is raised before the queue sees the work, so a
+        // Pending is raised before the pool sees the work, so a
         // `wait_idle` racing this call can never observe zero between
         // enqueue and check.
         *lock(&self.inner.pending) += affected.len();
-        lock(&self.inner.queue).extend(affected);
-        self.inner.work.notify_all();
+        for id in affected {
+            let inner = self.inner.clone();
+            self.runtime.execute(move || inner.run_one(id));
+        }
+    }
+
+    /// Checks completed since construction (pool jobs that panicked
+    /// don't count — the pool catches them and the worker survives).
+    pub fn checks_run(&self) -> u64 {
+        self.inner.checks_run.load(Ordering::Relaxed)
     }
 
     /// Block until every scheduled check has folded into the index.
@@ -322,11 +358,10 @@ impl EventSink for LawChecker {
 
 impl Drop for LawChecker {
     fn drop(&mut self) {
+        // Still-queued checks become no-ops. A private runtime then
+        // joins its workers when its Arc drops with this struct; a
+        // shared one just gets its slots back.
         self.inner.shutdown.store(true, Ordering::Release);
-        self.inner.work.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
     }
 }
 
