@@ -46,7 +46,9 @@ use std::path::{Path, PathBuf};
 use crate::error::RepoError;
 use crate::event::{replay, RepoEvent};
 use crate::repo::RepositorySnapshot;
-use crate::storage::{DurabilityMode, EventLogBackend, FsyncStats, Manifest, StorageBackend};
+use crate::storage::{
+    DurabilityMode, EventLogBackend, FsyncStats, Manifest, StorageBackend, TailRepaired,
+};
 use crate::template::{
     Artefact, ArtefactKind, Comment, ExampleEntry, ExampleType, Reference, RestorationSpec,
     VariantPoint,
@@ -825,6 +827,23 @@ pub fn torn_frame_bytes() -> Vec<u8> {
     out
 }
 
+/// A *complete* frame whose payload CRC is wrong — real corruption, not
+/// a torn tail: the header is self-consistent and the payload is all
+/// present, so readers raise [`RepoError::CorruptFrame`] at its offset
+/// instead of dropping it (test/fault-injection support; the salvage
+/// path truncates exactly here).
+pub fn corrupt_frame_bytes() -> Vec<u8> {
+    let payload = b"rotted!";
+    let len = payload.len() as u32;
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&(len ^ LEN_MASK).to_le_bytes());
+    // Deliberately not crc32(payload).
+    out.extend_from_slice(&(!crc32(payload)).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
 /// Convert an event-log directory between the two on-disk formats.
 ///
 /// Reads the durable contents of `src` — checkpoint base plus the intact
@@ -946,6 +965,8 @@ pub struct BinaryLogBackend {
     /// `sync_data`-when-unchanged downgrade.
     synced_len: Option<u64>,
     fsync_stats: FsyncStats,
+    /// The torn-tail truncation `open` performed, if any.
+    tail_repaired: Option<TailRepaired>,
 }
 
 /// A clone is a fresh writer over the same directory and generation — it
@@ -964,6 +985,7 @@ impl Clone for BinaryLogBackend {
             dirty: false,
             synced_len: None,
             fsync_stats: FsyncStats::default(),
+            tail_repaired: None,
         }
     }
 }
@@ -1006,7 +1028,7 @@ impl BinaryLogBackend {
             .and_then(|name| name.rsplit('.').next())
             .and_then(|idx| idx.parse().ok())
             .unwrap_or(0);
-        let backend = BinaryLogBackend {
+        let mut backend = BinaryLogBackend {
             dir,
             generation,
             segment_index,
@@ -1017,8 +1039,9 @@ impl BinaryLogBackend {
             dirty: false,
             synced_len: None,
             fsync_stats: FsyncStats::default(),
+            tail_repaired: None,
         };
-        backend.repair_torn_tail()?;
+        backend.tail_repaired = backend.repair_torn_tail()?;
         Ok(backend)
     }
 
@@ -1052,13 +1075,14 @@ impl BinaryLogBackend {
         format!("{}.{:06}", self.generation, self.segment_index)
     }
 
-    /// Truncate a torn final frame off the last segment, if any. Walks
-    /// headers only (mask + bounds): a CRC or decode failure is real
-    /// corruption and is deliberately left in place to surface at
-    /// `restore`, not silently amputated here.
-    fn repair_torn_tail(&self) -> Result<(), RepoError> {
+    /// Truncate a torn final frame off the last segment, if any,
+    /// returning a note of what was dropped. Walks headers only (mask +
+    /// bounds): a CRC or decode failure is real corruption and is
+    /// deliberately left in place to surface at `restore`, not silently
+    /// amputated here.
+    fn repair_torn_tail(&self) -> Result<Option<TailRepaired>, RepoError> {
         let Some(last) = self.generation_files()?.into_iter().next_back() else {
-            return Ok(());
+            return Ok(None);
         };
         let path = self.dir.join(&last);
         let buf = std::fs::read(&path).map_err(io_err)?;
@@ -1066,7 +1090,7 @@ impl BinaryLogBackend {
         loop {
             let remaining = buf.len() - pos;
             if remaining == 0 {
-                return Ok(());
+                return Ok(None);
             }
             if remaining >= FRAME_HEADER {
                 let word = |at: usize| {
@@ -1075,7 +1099,7 @@ impl BinaryLogBackend {
                 let len = word(pos);
                 if word(pos + 4) != len ^ LEN_MASK {
                     // Corrupt header: not a torn tail; leave for restore.
-                    return Ok(());
+                    return Ok(None);
                 }
                 if remaining >= FRAME_HEADER + len as usize {
                     pos += FRAME_HEADER + len as usize;
@@ -1085,7 +1109,11 @@ impl BinaryLogBackend {
             // Fewer bytes than the frame promises: torn — truncate.
             let file = OpenOptions::new().write(true).open(&path).map_err(io_err)?;
             file.set_len(pos as u64).map_err(io_err)?;
-            return file.sync_all().map_err(io_err);
+            file.sync_all().map_err(io_err)?;
+            return Ok(Some(TailRepaired {
+                file: last,
+                bytes_dropped: (buf.len() - pos) as u64,
+            }));
         }
     }
 
@@ -1308,6 +1336,10 @@ impl StorageBackend for BinaryLogBackend {
 
     fn set_durability(&mut self, mode: DurabilityMode) {
         self.durability = mode;
+    }
+
+    fn tail_repaired(&self) -> Option<TailRepaired> {
+        self.tail_repaired.clone()
     }
 }
 

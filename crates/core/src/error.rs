@@ -41,18 +41,23 @@ pub enum RepoError {
     },
     /// Persistence failure (serialisation or I/O), stringified.
     Persist(String),
-    /// A binary-log frame failed an integrity check *inside* the log —
+    /// An event-log frame failed an integrity check *inside* the log —
     /// real corruption (bit rot, a foreign writer, a short copy), typed
     /// separately from [`RepoError::Persist`] so callers can distinguish
-    /// it from plain I/O failure. A torn *tail* (a crash mid-append) is
-    /// not corruption and never raises this: readers drop it and the
-    /// writer truncates it at open.
+    /// it from plain I/O failure. Raised by the binary log when a frame
+    /// header or payload CRC fails, and by the JSONL log when a
+    /// newline-terminated line does not parse; `offset` is always the
+    /// first byte the reader could not trust, which is exactly where a
+    /// `SalvagePrefix` recovery truncates. A torn *tail* (a crash
+    /// mid-append) is not corruption and never raises this: readers drop
+    /// it and the writer truncates it at open.
     CorruptFrame {
-        /// The segment file (relative name) holding the bad frame.
+        /// The log file (relative name) holding the bad frame or line.
         segment: String,
-        /// Byte offset of the frame within that segment.
+        /// Byte offset of the frame (or line) within that file.
         offset: u64,
-        /// Which check failed (header, payload CRC, payload decode).
+        /// Which check failed (header, payload CRC, payload decode,
+        /// JSONL parse).
         reason: String,
     },
     /// The checkpoint manifest carries a `crc32` that does not match its
@@ -141,6 +146,18 @@ impl RepoError {
     pub fn persist_io(op: &str, err: impl fmt::Display) -> RepoError {
         RepoError::Persist(format!("{op}: {err}"))
     }
+
+    /// Is this error *corruption* — bytes on disk failing an integrity
+    /// check — as opposed to unavailability or plain I/O failure? Only
+    /// corruption is eligible for `RecoveryPolicy::SalvagePrefix`:
+    /// it comes with an exact boundary (the frame offset, or the whole
+    /// manifest) below which the data is still trustworthy.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            RepoError::CorruptFrame { .. } | RepoError::CorruptManifest { .. }
+        )
+    }
 }
 
 impl std::error::Error for RepoError {}
@@ -188,6 +205,24 @@ mod tests {
         for e in cases {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn only_integrity_failures_count_as_corruption() {
+        assert!(RepoError::CorruptFrame {
+            segment: "events-0.jsonl".into(),
+            offset: 0,
+            reason: "r".into(),
+        }
+        .is_corruption());
+        assert!(RepoError::CorruptManifest {
+            dir: "d".into(),
+            stored: 1,
+            computed: 2,
+        }
+        .is_corruption());
+        assert!(!RepoError::SourceUnavailable { dir: "d".into() }.is_corruption());
+        assert!(!RepoError::Persist("disk on fire".into()).is_corruption());
     }
 
     #[test]

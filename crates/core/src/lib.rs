@@ -43,7 +43,10 @@
 //! * [`persist`] — the wiki-markup-independent persistent form (JSON);
 //! * [`storage`] — pluggable persistence behind [`storage::StorageBackend`]:
 //!   in-memory, legacy JSON file, and an append-only event log with
-//!   snapshot+replay recovery.
+//!   snapshot+replay recovery;
+//! * [`supervise`] — per-source fault supervision for the federation:
+//!   circuit-breaker health states, deterministic retry/backoff, and
+//!   quarantine-and-salvage recovery from corruption.
 
 pub mod binlog;
 pub mod cite;
@@ -59,6 +62,7 @@ pub mod replica;
 pub mod repo;
 pub mod runtime;
 pub mod storage;
+pub mod supervise;
 pub mod template;
 pub mod version;
 pub mod wiki;
@@ -82,7 +86,9 @@ pub use runtime::{
 pub use storage::{
     AutoCompactingBinaryLog, AutoCompactingEventLog, CompactionPolicy, DurabilityMode,
     EventLogBackend, FsyncStats, GenerationLog, JsonFileBackend, MemoryBackend, StorageBackend,
+    TailRepaired,
 };
+pub use supervise::{RecoveryPolicy, RetryPolicy, SalvageReport, SourceHealth, SourceStatus};
 pub use template::{
     Artefact, ArtefactKind, Comment, EntryBuilder, ExampleEntry, ExampleType, Reference,
     RestorationSpec, VariantPoint,

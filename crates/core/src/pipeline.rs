@@ -387,6 +387,18 @@ impl BackgroundWriter {
         if config.group_commit_window.is_some() {
             backend.set_durability(DurabilityMode::GroupCommit);
         }
+        // A backend that repaired a torn tail when it opened says so on
+        // the unified channel — the repair predates this writer, but this
+        // is the first observer that can publish it.
+        if let (Some(component), Some(repair)) = (component, backend.tail_repaired()) {
+            runtime.health().report(
+                component,
+                HealthReport::TailRepaired {
+                    file: repair.file,
+                    bytes_dropped: repair.bytes_dropped,
+                },
+            );
+        }
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -1367,6 +1379,40 @@ mod tests {
         // And the shared pool stayed at its configured width the whole
         // time: tasks, not threads, per writer.
         assert_eq!(runtime.pool_stats().threads, 2);
+    }
+
+    #[test]
+    fn a_tail_repair_at_open_is_published_on_the_unified_channel() {
+        use std::io::Write as _;
+        let dir = crate::test_support::unique_dir("pipe-torn");
+        {
+            let mut backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+            let repo = Repository::found("bx", vec![Principal::curator("c")]);
+            backend.record(&repo.drain_events()).unwrap();
+        }
+        let torn = b"{\"Commented\":{\"id\":\"co";
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("events-0.jsonl"))
+            .unwrap();
+        file.write_all(torn).unwrap();
+        drop(file);
+
+        let runtime = Runtime::new(2);
+        let backend = crate::storage::EventLogBackend::open(&dir).unwrap();
+        let writer =
+            BackgroundWriter::on_runtime(backend, PipelineConfig::default(), &runtime, "writer");
+        let repaired = runtime.health().drain().into_iter().any(|entry| {
+            entry.component == "writer"
+                && matches!(
+                    entry.report,
+                    HealthReport::TailRepaired { ref file, bytes_dropped }
+                        if file == "events-0.jsonl" && bytes_dropped == torn.len() as u64
+                )
+        });
+        assert!(repaired, "the open-time repair reaches the unified channel");
+        writer.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -40,6 +40,22 @@
 //! [`ReplicaDaemon::force_catch_up`], sticky error surfacing and
 //! [`DaemonStats`] (polls, events applied, rebases, per-source lag).
 //!
+//! ## Fault supervision
+//!
+//! Every federated source is watched by a circuit breaker
+//! ([`crate::supervise`]): a failing source degrades, backs off under
+//! the federation's [`RetryPolicy`], and is quarantined after repeated
+//! failures, while [`Federation::catch_up`] **continues past it** —
+//! healthy sources keep converging and the outcome carries the sick
+//! sources' typed errors ([`FederationCatchUp::errors`]) instead of
+//! aborting. Serving APIs keep answering from the last good merged
+//! state; [`DaemonStats::source_health`] exposes per-source staleness.
+//! Opting in to [`RecoveryPolicy::SalvagePrefix`] lets a quarantined
+//! source that failed with a corruption error reopen from its intact
+//! prefix, reporting exactly what was dropped as a [`SalvageReport`] —
+//! never a silent skip. The default remains fail-stop: corruption keeps
+//! the source quarantined until an operator intervenes.
+//!
 //! The replica side is read-only and crash-tolerant the same way
 //! recovery is: a torn final append in a tailed log is ignored until the
 //! primary's next durable write, and a reader that observed a
@@ -49,8 +65,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
+use std::time::{Duration, Instant};
 
 use bx_theory::Bx;
 
@@ -63,6 +80,9 @@ use crate::principal::Principal;
 use crate::repo::{EntryId, EntryRecord, RepositorySnapshot};
 use crate::runtime::{HealthReport, RestoreOptions, Runtime, RuntimeHealth, TimerTask, WorkerPool};
 use crate::storage::EventLogBackend;
+use crate::supervise::{
+    RecoveryPolicy, RetryPolicy, SalvageReport, SourceHealth, SourceStatus, SourceSupervisor,
+};
 use crate::template::slug_of;
 use crate::version::Version;
 use crate::wiki::{render_entry, WikiSite};
@@ -206,12 +226,21 @@ impl LogTail {
         let mut text = String::new();
         file.read_to_string(&mut text).map_err(io)?;
         let intact_end = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let segment = crate::storage::segment_name(path);
         let mut events = Vec::new();
-        for line in text[..intact_end].lines().filter(|l| !l.trim().is_empty()) {
-            events.push(
-                serde_json::from_str::<RepoEvent>(line)
-                    .map_err(|e| RepoError::Persist(format!("corrupt event log line: {e}")))?,
-            );
+        let mut pos = 0usize;
+        for line in text[..intact_end].split_inclusive('\n') {
+            let at = pos;
+            pos += line.len();
+            let body = line.trim_end_matches(['\n', '\r']);
+            if body.trim().is_empty() {
+                continue;
+            }
+            events.push(serde_json::from_str::<RepoEvent>(body).map_err(|e| {
+                // Offset within the *file*, not the tail read: exactly
+                // where a SalvagePrefix recovery truncates.
+                crate::storage::corrupt_jsonl_line(&segment, offset + at as u64, &e)
+            })?);
         }
         Ok(Some((events, offset + intact_end as u64)))
     }
@@ -234,7 +263,12 @@ impl LogTail {
         };
         let text = Arc::new(text);
         let intact_end = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
-        let events = EventLogBackend::parse_jsonl_parallel(&text, intact_end, pool)?;
+        let events = EventLogBackend::parse_jsonl_parallel(
+            &text,
+            intact_end,
+            &crate::storage::segment_name(path),
+            pool,
+        )?;
         Ok((events, intact_end as u64))
     }
 
@@ -831,15 +865,30 @@ fn apply_federated(merged: &mut RepositorySnapshot, event: &RepoEvent) {
 }
 
 /// What one [`Federation::catch_up`] call did, per source and in total.
+///
+/// A pass never aborts on a sick source: healthy peers always make
+/// their progress, failing sources land in [`FederationCatchUp::errors`]
+/// with their typed error, and backed-off sources are counted in
+/// [`FederationCatchUp::skipped`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FederationCatchUp {
     /// Events applied across all sources.
     pub events_applied: usize,
-    /// How many sources re-based (checkpoint crossed or truncation
-    /// recovered).
+    /// How many sources re-based (checkpoint crossed, truncation
+    /// recovered, or prefix-salvaged).
     pub rebases: usize,
-    /// Per-source progress, in source order.
+    /// Per-source progress, in source order (a failed or skipped source
+    /// contributes an all-zero [`CatchUp`]).
     pub per_source: Vec<CatchUp>,
+    /// Sources whose poll failed this pass, with their typed errors, in
+    /// source order. The merged state keeps serving their last good
+    /// contribution.
+    pub errors: Vec<(SourceId, RepoError)>,
+    /// Sources not polled because their retry deadline has not arrived.
+    pub skipped: usize,
+    /// `SalvagePrefix` recoveries performed this pass — exactly what
+    /// each one dropped, never silent.
+    pub salvaged: Vec<(SourceId, SalvageReport)>,
 }
 
 /// One read node tailing N independent primaries into a single merged
@@ -847,6 +896,15 @@ pub struct FederationCatchUp {
 pub struct Federation {
     name: String,
     sources: Vec<(SourceId, LogTail)>,
+    /// One supervision state machine per source, index-aligned with
+    /// `sources`.
+    supervisors: Vec<SourceSupervisor>,
+    retry: RetryPolicy,
+    recovery: RecoveryPolicy,
+    /// When set, every supervision transition (failure, recovery,
+    /// quarantine, salvage) publishes [`HealthReport::Source`] under
+    /// this component name.
+    health: Option<(Arc<RuntimeHealth>, String)>,
     bx: WikiBx,
     snapshot: RepositorySnapshot,
     index: SearchIndex,
@@ -880,6 +938,10 @@ impl Federation {
         let mut federation = Federation {
             name: name.to_string(),
             sources: Vec::with_capacity(sources.len()),
+            supervisors: Vec::with_capacity(sources.len()),
+            retry: RetryPolicy::default(),
+            recovery: RecoveryPolicy::default(),
+            health: None,
             bx: WikiBx::new(),
             snapshot: RepositorySnapshot::empty(name),
             index: SearchIndex::default(),
@@ -890,8 +952,16 @@ impl Federation {
             let (tail, base) = LogTail::open(dir)?;
             federation.rebase_source(&source, base);
             federation.sources.push((source, tail));
+            federation.supervisors.push(SourceSupervisor::default());
         }
-        federation.catch_up()?;
+        // Opening is fail-fast: a federation must start from N readable
+        // sources (supervised degradation is for a *running* node), so
+        // the first source error of the initial pass aborts the open —
+        // the same error, for the same input, as before supervision.
+        let outcome = federation.catch_up()?;
+        if let Some((_, error)) = outcome.errors.into_iter().next() {
+            return Err(error);
+        }
         Ok(federation)
     }
 
@@ -993,9 +1063,14 @@ impl Federation {
             apply_federated,
         ));
         let (index, site) = derived_parallel(base_pages, &snapshot, dirty, pool);
+        let supervisors = tails.iter().map(|_| SourceSupervisor::default()).collect();
         Ok(Federation {
             name: name.to_string(),
             sources: tails,
+            supervisors,
+            retry: RetryPolicy::default(),
+            recovery: RecoveryPolicy::default(),
+            health: None,
             bx: WikiBx::new(),
             snapshot: unshare(snapshot),
             index,
@@ -1026,18 +1101,78 @@ impl Federation {
         self.observers.push(sink);
     }
 
-    /// Poll every source once, folding its progress into the merged
-    /// state. A source that fails (e.g. its directory disappeared)
-    /// surfaces the error immediately; progress already folded from
-    /// earlier sources is kept, and the next call resumes from the
-    /// failing source's last good position.
+    /// Poll every due source once, folding its progress into the merged
+    /// state. **A sick source never starves its peers**: a failing poll
+    /// records the typed error in [`FederationCatchUp::errors`], advances
+    /// that source's health state machine (arming its retry backoff),
+    /// and the pass continues — the merged state keeps serving the
+    /// failing source's last good contribution. A source inside its
+    /// backoff window is skipped (counted, not polled); a quarantined
+    /// source whose error is corruption is prefix-salvaged first when
+    /// [`RecoveryPolicy::SalvagePrefix`] is active. Every supervision
+    /// transition publishes [`HealthReport::Source`] on an attached
+    /// runtime health channel.
     pub fn catch_up(&mut self) -> Result<FederationCatchUp, RepoError> {
+        let now = Instant::now();
+        let policy = self.retry;
         let mut total = FederationCatchUp::default();
+        let mut reports: Vec<HealthReport> = Vec::new();
         // The sources vector is disjointly borrowed: the tail advances
         // while the merged materializations fold its output.
         for i in 0..self.sources.len() {
-            let progress = self.sources[i].1.poll()?;
+            if !self.supervisors[i].should_poll(now) {
+                total.skipped += 1;
+                total.per_source.push(CatchUp::default());
+                continue;
+            }
             let source = self.sources[i].0.clone();
+            // A quarantined source whose sticky error is corruption gets
+            // an opt-in prefix salvage before the poll that may revive it.
+            let mut salvaged_bytes = None;
+            let mut salvage_rebased = false;
+            if self.recovery == RecoveryPolicy::SalvagePrefix
+                && self.supervisors[i].health() == SourceHealth::Quarantined
+            {
+                let sick = self.supervisors[i]
+                    .last_error()
+                    .cloned()
+                    .filter(crate::supervise::is_salvageable);
+                if let Some(err) = sick {
+                    match self.salvage_source(i, &err) {
+                        Ok(report) => {
+                            salvaged_bytes = Some(report.bytes_dropped);
+                            salvage_rebased = true;
+                            total.salvaged.push((source.clone(), report));
+                        }
+                        Err(e) => {
+                            self.supervisors[i].record_failure(
+                                &policy,
+                                source.as_str(),
+                                e.clone(),
+                                now,
+                            );
+                            reports.push(self.source_report(i, None, now));
+                            total.errors.push((source, e));
+                            total.per_source.push(CatchUp::default());
+                            continue;
+                        }
+                    }
+                }
+            }
+            let progress = match self.sources[i].1.poll() {
+                Ok(progress) => progress,
+                Err(e) => {
+                    self.supervisors[i].record_failure(&policy, source.as_str(), e.clone(), now);
+                    reports.push(self.source_report(i, salvaged_bytes, now));
+                    total.errors.push((source, e));
+                    total.per_source.push(CatchUp::default());
+                    continue;
+                }
+            };
+            if self.supervisors[i].record_success(now) || salvaged_bytes.is_some() {
+                // Only transitions report: a recovery, or a salvage.
+                reports.push(self.source_report(i, salvaged_bytes, now));
+            }
             if let Some(base) = progress.new_base {
                 self.rebase_source(&source, base);
                 for observer in &self.observers {
@@ -1063,13 +1198,119 @@ impl Federation {
             }
             let step = CatchUp {
                 events_applied: progress.events.len(),
-                rebased: progress.rebased,
+                rebased: progress.rebased || salvage_rebased,
             };
             total.events_applied += step.events_applied;
             total.rebases += usize::from(step.rebased);
             total.per_source.push(step);
         }
+        if let Some((health, component)) = &self.health {
+            for report in reports {
+                health.report(component, report);
+            }
+        }
         Ok(total)
+    }
+
+    /// Truncate source `i`'s log at its corruption boundary
+    /// ([`crate::supervise::salvage_prefix`]), reopen the tail fresh,
+    /// and re-base the merged state onto what survives. The supervisor
+    /// keeps its failure history — the poll that follows decides whether
+    /// the source is healthy again.
+    fn salvage_source(&mut self, i: usize, err: &RepoError) -> Result<SalvageReport, RepoError> {
+        let dir = self.sources[i].1.dir().to_path_buf();
+        let report = crate::supervise::salvage_prefix(&dir, err)?;
+        let (tail, base) = LogTail::open(&dir)?;
+        let source = self.sources[i].0.clone();
+        self.sources[i].1 = tail;
+        self.rebase_source(&source, base);
+        for observer in &self.observers {
+            observer.rebased(&self.snapshot);
+        }
+        self.supervisors[i].note_salvage(report.clone());
+        Ok(report)
+    }
+
+    /// One source's [`HealthReport::Source`] at its current supervision
+    /// state.
+    fn source_report(&self, i: usize, salvaged_bytes: Option<u64>, now: Instant) -> HealthReport {
+        let status = self.supervisors[i].status(now);
+        HealthReport::Source {
+            source: self.sources[i].0.to_string(),
+            state: status.health.label().to_string(),
+            consecutive_failures: status.consecutive_failures,
+            error: status.last_error.map(|e| e.to_string()),
+            retry_in_ms: status.retry_in.map(|d| d.as_millis() as u64),
+            salvaged_bytes,
+        }
+    }
+
+    /// The active per-source retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replace the retry policy (takes effect from the next failure —
+    /// already-armed deadlines keep their schedule).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active corruption recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// Opt a federation into (or back out of)
+    /// [`RecoveryPolicy::SalvagePrefix`]. The default is fail-stop.
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    /// Publish every supervision transition (failures, recoveries,
+    /// quarantines, salvages) as [`HealthReport::Source`] on `health`
+    /// under `component`. Reports fire on the catch-up caller's thread,
+    /// after the pass's folding is done.
+    pub fn attach_runtime_health(&mut self, health: &Arc<RuntimeHealth>, component: &str) {
+        self.health = Some((Arc::clone(health), component.to_string()));
+    }
+
+    /// Every source's supervision status — health state, failure
+    /// counters, sticky error, time to next retry, and staleness (time
+    /// since the source last polled clean, i.e. how old its contribution
+    /// to the merged state may be).
+    pub fn source_status(&self) -> Vec<(SourceId, SourceStatus)> {
+        let now = Instant::now();
+        self.sources
+            .iter()
+            .zip(&self.supervisors)
+            .map(|((source, _), supervisor)| (source.clone(), supervisor.status(now)))
+            .collect()
+    }
+
+    /// The soonest retry deadline across all backed-off sources, as seen
+    /// from now (`None` when every source is either healthy or already
+    /// due). [`ReplicaDaemon`] uses this to schedule a timer-wheel
+    /// wake-up instead of blind-polling a backed-off source.
+    pub fn next_retry_in(&self) -> Option<Duration> {
+        let now = Instant::now();
+        self.supervisors
+            .iter()
+            .filter_map(|supervisor| supervisor.retry_in(now))
+            .min()
+    }
+
+    /// Clear `source`'s backoff deadline so the next catch-up polls it
+    /// immediately (an operator repaired it and wants it back now).
+    /// Returns `false` when the source id is unknown.
+    pub fn retry_source_now(&mut self, source: &SourceId) -> bool {
+        match self.sources.iter().position(|(s, _)| s == source) {
+            Some(i) => {
+                self.supervisors[i].force_retry();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Adopt `target` as source `source`'s contribution to the merged
@@ -1234,17 +1475,33 @@ pub struct DaemonStats {
     pub rebases: u64,
     /// Per-source lag in bytes, as of the last pass.
     pub source_lag: Vec<(SourceId, u64)>,
+    /// Per-source supervision status as of the last pass — health state,
+    /// retry deadline, and staleness, the metadata degraded serving
+    /// hands out alongside answers from the last good merged state.
+    pub source_health: Vec<(SourceId, SourceStatus)>,
 }
 
 struct DaemonShared {
     federation: Mutex<Federation>,
     stats: Mutex<DaemonStats>,
-    /// Latest poll error; sticky — it stays visible after later
+    /// Most recent poll error; sticky — it stays visible after later
     /// successful polls until [`ReplicaDaemon::clear_error`].
     error: Mutex<Option<RepoError>>,
+    /// Per-source sticky errors: two failing sources no longer overwrite
+    /// each other's slot. Cleared per source on
+    /// [`ReplicaDaemon::clear_source_error`] (or wholesale on
+    /// [`ReplicaDaemon::clear_error`]).
+    errors: Mutex<BTreeMap<SourceId, RepoError>>,
     /// When the daemon is a tenant of a shared [`Runtime`], every pass
     /// publishes a [`HealthReport::Daemon`] under this component name.
     runtime_channel: Option<(Arc<RuntimeHealth>, String)>,
+    /// The runtime whose timer wheel schedules backoff retries. Weak:
+    /// a pending retry one-shot must not keep the runtime (or, via the
+    /// closure, this shared state) alive past the daemon.
+    runtime: Weak<Runtime>,
+    poll_interval: Duration,
+    /// Collapses retry wake-ups: at most one one-shot is in flight.
+    retry_scheduled: AtomicBool,
 }
 
 fn daemon_lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -1253,9 +1510,11 @@ fn daemon_lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 
 impl DaemonShared {
     /// One catch-up pass over the federation, folding the outcome into
-    /// stats and the sticky error slot.
-    fn pass(&self) -> Result<FederationCatchUp, RepoError> {
-        let outcome = {
+    /// stats and the sticky error slots, then scheduling a timer-wheel
+    /// retry if a backed-off source's deadline falls beyond the next
+    /// periodic tick.
+    fn pass(self: &Arc<Self>) -> Result<FederationCatchUp, RepoError> {
+        let (outcome, retry_in) = {
             let mut federation = daemon_lock(&self.federation);
             let outcome = federation.catch_up();
             let mut stats = daemon_lock(&self.stats);
@@ -1265,14 +1524,26 @@ impl DaemonShared {
                     stats.events_applied += progress.events_applied as u64;
                     stats.rebases += progress.rebases as u64;
                     stats.source_lag = federation.lag();
+                    stats.source_health = federation.source_status();
+                    if !progress.errors.is_empty() {
+                        let mut errors = daemon_lock(&self.errors);
+                        for (source, error) in &progress.errors {
+                            errors.insert(source.clone(), error.clone());
+                        }
+                        // The "most recent" slot keeps its pre-existing
+                        // meaning: the last error any source raised.
+                        *daemon_lock(&self.error) = progress.errors.last().map(|(_, e)| e.clone());
+                    }
                 }
                 Err(e) => {
                     stats.polls += 1;
                     *daemon_lock(&self.error) = Some(e.clone());
                 }
             }
-            outcome
+            let retry_in = federation.next_retry_in();
+            (outcome, retry_in)
         };
+        self.schedule_retry(retry_in);
         // Publish after the daemon locks are released: a health sink is
         // arbitrary user code and must not nest inside them.
         if let Some((health, component)) = &self.runtime_channel {
@@ -1293,6 +1564,32 @@ impl DaemonShared {
         }
         outcome
     }
+
+    /// Arm a one-shot timer-wheel wake-up for the soonest backed-off
+    /// source whose deadline falls beyond the periodic tick — the tick
+    /// itself covers deadlines inside the next interval. At most one
+    /// wake-up is in flight; it holds only a weak reference, so a
+    /// stopped daemon (or a dropped runtime) simply lets it lapse.
+    fn schedule_retry(self: &Arc<Self>, retry_in: Option<Duration>) {
+        let Some(delay) = retry_in else { return };
+        if delay <= self.poll_interval {
+            return;
+        }
+        if self.retry_scheduled.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let Some(runtime) = self.runtime.upgrade() else {
+            self.retry_scheduled.store(false, Ordering::Release);
+            return;
+        };
+        let weak = Arc::downgrade(self);
+        runtime.schedule_once(delay, move || {
+            if let Some(shared) = weak.upgrade() {
+                shared.retry_scheduled.store(false, Ordering::Release);
+                let _ = shared.pass();
+            }
+        });
+    }
 }
 
 /// A background polling tenant around a [`Federation`]: starts at
@@ -1301,10 +1598,14 @@ impl DaemonShared {
 /// every [`DaemonConfig::poll_interval`] via the runtime's timer wheel,
 /// and stops cleanly (tick cancelled, in-flight pass waited out) on
 /// [`ReplicaDaemon::stop`] or drop — stop is prompt even mid-interval.
-/// Poll errors are sticky — [`ReplicaDaemon::last_error`] keeps
-/// reporting the latest one until [`ReplicaDaemon::clear_error`] —
-/// while the daemon keeps polling, so a source directory that comes
-/// back is picked up again automatically.
+/// Poll errors are sticky — per source in
+/// [`ReplicaDaemon::last_errors`], with [`ReplicaDaemon::last_error`]
+/// keeping the most recent across sources, until
+/// [`ReplicaDaemon::clear_error`] — while the daemon keeps serving from
+/// the last good merged state and polling the healthy sources, so a
+/// source directory that comes back is picked up again automatically.
+/// Backed-off sources beyond the poll interval get a dedicated one-shot
+/// wake-up on the runtime's timer wheel instead of blind polling.
 pub struct ReplicaDaemon {
     shared: Arc<DaemonShared>,
     tick: Option<TimerTask>,
@@ -1348,17 +1649,27 @@ impl ReplicaDaemon {
     }
 
     fn build(
-        federation: Federation,
+        mut federation: Federation,
         config: DaemonConfig,
         runtime: &Arc<Runtime>,
         component: Option<&str>,
     ) -> ReplicaDaemon {
+        if let Some(component) = component {
+            // Supervision transitions (degraded, quarantined, recovered,
+            // salvaged) publish on the same unified channel as the
+            // daemon's own pass reports.
+            federation.attach_runtime_health(runtime.health(), component);
+        }
         let shared = Arc::new(DaemonShared {
             federation: Mutex::new(federation),
             stats: Mutex::new(DaemonStats::default()),
             error: Mutex::new(None),
+            errors: Mutex::new(BTreeMap::new()),
             runtime_channel: component
                 .map(|component| (Arc::clone(runtime.health()), component.to_string())),
+            runtime: Arc::downgrade(runtime),
+            poll_interval: config.poll_interval,
+            retry_scheduled: AtomicBool::new(false),
         });
         let tick_shared = shared.clone();
         let tick = runtime.schedule_periodic(config.poll_interval, move || {
@@ -1410,16 +1721,35 @@ impl ReplicaDaemon {
         daemon_lock(&self.shared.stats).clone()
     }
 
-    /// The latest poll error, if any — sticky until
-    /// [`ReplicaDaemon::clear_error`].
+    /// The most recent poll error any source raised — sticky until
+    /// [`ReplicaDaemon::clear_error`]. For attribution when several
+    /// sources are failing, use [`ReplicaDaemon::last_errors`].
     pub fn last_error(&self) -> Option<RepoError> {
         daemon_lock(&self.shared.error).clone()
     }
 
-    /// Clear the sticky error slot (e.g. after restoring a vanished
-    /// source directory).
+    /// Per-source sticky errors: each failing source keeps its own slot,
+    /// so a flaky peer no longer masks a corrupt one. Entries persist
+    /// across later successful polls of *other* sources until cleared
+    /// ([`ReplicaDaemon::clear_source_error`] /
+    /// [`ReplicaDaemon::clear_error`]).
+    pub fn last_errors(&self) -> BTreeMap<SourceId, RepoError> {
+        daemon_lock(&self.shared.errors).clone()
+    }
+
+    /// Clear one source's sticky error (e.g. after repairing it).
+    /// Returns whether an entry was present. The "most recent" slot is
+    /// left alone — it is cross-source by definition.
+    pub fn clear_source_error(&self, source: &SourceId) -> bool {
+        daemon_lock(&self.shared.errors).remove(source).is_some()
+    }
+
+    /// Clear every sticky error — the most-recent slot and the whole
+    /// per-source map (e.g. after restoring a vanished source
+    /// directory).
     pub fn clear_error(&self) {
         *daemon_lock(&self.shared.error) = None;
+        daemon_lock(&self.shared.errors).clear();
     }
 
     /// Is the daemon still scheduled on its runtime?
@@ -2088,23 +2418,233 @@ mod tests {
         assert_eq!(daemon.citations().len(), 1);
         assert!(daemon.last_error().is_none());
 
-        // A vanished source surfaces a sticky typed error; polling
-        // continues and healthy sources still serve.
+        // A vanished source surfaces a sticky typed error — per source
+        // and in the most-recent slot — while the pass itself succeeds
+        // with partial progress and healthy sources still serve.
         std::fs::remove_dir_all(&dir_a).unwrap();
-        let err = daemon.force_catch_up().unwrap_err();
-        assert!(matches!(err, RepoError::SourceUnavailable { .. }));
+        let outcome = daemon.force_catch_up().unwrap();
+        assert_eq!(outcome.errors.len(), 1);
+        assert_eq!(outcome.errors[0].0, SourceId::new("a"));
+        assert!(matches!(
+            outcome.errors[0].1,
+            RepoError::SourceUnavailable { .. }
+        ));
         assert!(matches!(
             daemon.last_error(),
             Some(RepoError::SourceUnavailable { .. })
         ));
+        let errors = daemon.last_errors();
+        assert!(matches!(
+            errors.get(&SourceId::new("a")),
+            Some(RepoError::SourceUnavailable { .. })
+        ));
+        assert!(!errors.contains_key(&SourceId::new("b")));
+        assert_eq!(daemon.query(&["composers"]).len(), 1, "degraded serving");
+        assert!(daemon.clear_source_error(&SourceId::new("a")));
+        assert!(!daemon.clear_source_error(&SourceId::new("a")));
         daemon.clear_error();
 
         let stats = daemon.stop();
         assert!(stats.polls >= 2);
+        assert!(
+            stats
+                .source_health
+                .iter()
+                .any(|(s, status)| s == &SourceId::new("a")
+                    && status.health != SourceHealth::Healthy),
+            "per-source staleness metadata reflects the sick source"
+        );
         assert!(!daemon.is_running(), "no orphan thread after stop");
         // Idempotent stop; the federation comes back out for direct use.
         daemon.stop();
         std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn backed_off_sources_are_skipped_while_healthy_peers_progress() {
+        let dir_a = unique_dir("backoff-a");
+        let dir_b = unique_dir("backoff-b");
+        let a = primary("alpha");
+        let b = primary("beta");
+        let mut backend_a = crate::storage::EventLogBackend::open(&dir_a).unwrap();
+        backend_a.record(&a.drain_events()).unwrap();
+        let mut backend_b = crate::storage::EventLogBackend::open(&dir_b).unwrap();
+        backend_b.record(&b.drain_events()).unwrap();
+        let mut federation = Federation::open(
+            "fed",
+            vec![
+                (SourceId::new("a"), dir_a.clone()),
+                (SourceId::new("b"), dir_b.clone()),
+            ],
+        )
+        .unwrap();
+        federation.set_retry_policy(RetryPolicy {
+            base: Duration::from_secs(3600),
+            max: Duration::from_secs(3600),
+            multiplier: 1,
+            jitter_percent: 0,
+            quarantine_after: 5,
+            seed: 0,
+        });
+
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        let outcome = federation.catch_up().unwrap();
+        assert_eq!(outcome.errors.len(), 1);
+        assert_eq!(outcome.skipped, 0);
+
+        // Inside the hour-long backoff window the sick source is skipped
+        // (not polled), while the healthy peer keeps folding.
+        b.contribute("alice", entry("COMPOSERS")).unwrap();
+        backend_b.record(&b.drain_events()).unwrap();
+        let outcome = federation.catch_up().unwrap();
+        assert!(outcome.errors.is_empty());
+        assert_eq!(outcome.skipped, 1);
+        assert_eq!(outcome.events_applied, 1);
+        assert_eq!(
+            outcome.per_source.len(),
+            2,
+            "skipped sources keep their slot"
+        );
+
+        let status = federation.source_status();
+        assert_eq!(status[0].0, SourceId::new("a"));
+        assert_eq!(
+            status[0].1.health,
+            SourceHealth::Degraded {
+                consecutive_failures: 1
+            }
+        );
+        assert!(status[0].1.retry_in.is_some());
+        assert_eq!(status[1].1.health, SourceHealth::Healthy);
+        assert!(
+            federation.next_retry_in().unwrap() > Duration::from_secs(3000),
+            "the daemon would schedule a distant timer-wheel wake-up, not blind-poll"
+        );
+
+        // Operator override: clear the deadline and the next pass polls
+        // the source again immediately.
+        assert!(federation.retry_source_now(&SourceId::new("a")));
+        assert!(!federation.retry_source_now(&SourceId::new("nonesuch")));
+        let outcome = federation.catch_up().unwrap();
+        assert_eq!(outcome.errors.len(), 1);
+        assert_eq!(outcome.skipped, 0);
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn quarantined_corrupt_source_salvages_its_intact_prefix() {
+        use std::io::Write as _;
+        let dir_a = unique_dir("salvage-a");
+        let dir_b = unique_dir("salvage-b");
+        let a = primary("alpha");
+        let b = primary("beta");
+        a.contribute("alice", entry("COMPOSERS")).unwrap();
+        b.contribute("alice", entry("UML2RDBMS")).unwrap();
+        let mut backend_a = crate::storage::EventLogBackend::open(&dir_a).unwrap();
+        backend_a.record(&a.drain_events()).unwrap();
+        let mut backend_b = crate::storage::EventLogBackend::open(&dir_b).unwrap();
+        backend_b.record(&b.drain_events()).unwrap();
+        let mut federation = Federation::open(
+            "fed",
+            vec![
+                (SourceId::new("a"), dir_a.clone()),
+                (SourceId::new("b"), dir_b.clone()),
+            ],
+        )
+        .unwrap();
+        let clean = federation.snapshot().clone();
+        federation.set_retry_policy(RetryPolicy {
+            quarantine_after: 1,
+            ..RetryPolicy::immediate()
+        });
+
+        // Corruption lands beyond the already-tailed prefix.
+        let log = dir_a.join("events-0.jsonl");
+        let boundary = std::fs::metadata(&log).unwrap().len();
+        let rot = b"{ rotted beyond repair\n";
+        let mut file = std::fs::OpenOptions::new().append(true).open(&log).unwrap();
+        file.write_all(rot).unwrap();
+        drop(file);
+
+        // Fail-stop (the default): the source quarantines and stays sick
+        // across passes — corruption is never silently skipped.
+        let outcome = federation.catch_up().unwrap();
+        assert!(matches!(
+            outcome.errors[0].1,
+            RepoError::CorruptFrame { offset, .. } if offset == boundary
+        ));
+        assert_eq!(
+            federation.source_status()[0].1.health,
+            SourceHealth::Quarantined
+        );
+        let outcome = federation.catch_up().unwrap();
+        assert!(outcome.salvaged.is_empty());
+        assert_eq!(outcome.errors.len(), 1);
+
+        // Opt in: the next pass truncates at the corruption boundary,
+        // reopens the tail from the intact prefix, and reports exactly
+        // what was dropped.
+        federation.set_recovery_policy(RecoveryPolicy::SalvagePrefix);
+        let outcome = federation.catch_up().unwrap();
+        assert!(outcome.errors.is_empty());
+        assert_eq!(outcome.salvaged.len(), 1);
+        let (source, report) = &outcome.salvaged[0];
+        assert_eq!(source, &SourceId::new("a"));
+        assert_eq!(report.truncated_at, Some(boundary));
+        assert_eq!(report.bytes_dropped, rot.len() as u64);
+        assert_eq!(federation.snapshot(), &clean, "intact prefix survives");
+
+        let status = federation.source_status();
+        assert_eq!(status[0].1.health, SourceHealth::Healthy, "revived");
+        assert!(status[0].1.salvage.is_some(), "the drop stays on record");
+
+        // The salvaged source tails new durable writes as before.
+        a.contribute("alice", entry("TRIPLEGRAPH")).unwrap();
+        let mut backend_a = crate::storage::EventLogBackend::open(&dir_a).unwrap();
+        backend_a.record(&a.drain_events()).unwrap();
+        let outcome = federation.catch_up().unwrap();
+        assert_eq!(outcome.events_applied, 1);
+        assert_eq!(federation.query(&["triplegraph"]).len(), 1);
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn supervision_transitions_publish_on_an_attached_health_channel() {
+        let dir_a = unique_dir("transitions-a");
+        let hidden = unique_dir("transitions-hidden");
+        let a = primary("alpha");
+        let mut backend_a = crate::storage::EventLogBackend::open(&dir_a).unwrap();
+        backend_a.record(&a.drain_events()).unwrap();
+        let mut federation =
+            Federation::open("fed", vec![(SourceId::new("a"), dir_a.clone())]).unwrap();
+        let health = Arc::new(RuntimeHealth::new());
+        federation.attach_runtime_health(&health, "fed");
+
+        // Steady healthy state publishes nothing.
+        federation.catch_up().unwrap();
+        assert!(health.drain().is_empty(), "no news is good news");
+
+        // Failure → degraded transition publishes; recovery publishes.
+        std::fs::rename(&dir_a, &hidden).unwrap();
+        federation.catch_up().unwrap();
+        std::fs::rename(&hidden, &dir_a).unwrap();
+        federation.retry_source_now(&SourceId::new("a"));
+        federation.catch_up().unwrap();
+
+        let states: Vec<String> = health
+            .drain()
+            .into_iter()
+            .map(|entry| match entry.report {
+                HealthReport::Source { source, state, .. } => {
+                    assert_eq!(source, "a");
+                    state
+                }
+                other => panic!("expected source reports, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(states, ["degraded", "healthy"]);
+        std::fs::remove_dir_all(&dir_a).ok();
     }
 
     /// A sink that records everything it is told, for observer tests.

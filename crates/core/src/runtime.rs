@@ -395,6 +395,35 @@ pub enum HealthReport {
         checks_run: u64,
         entries_with_diagnostics: usize,
     },
+    /// A federated source's supervision state changed: a failure moved
+    /// it along `healthy → degraded → quarantined`, a successful poll
+    /// recovered it, or a `SalvagePrefix` recovery ran. Published by
+    /// `Federation::catch_up` for every transition, never for steady
+    /// state — absence of reports means nothing changed.
+    Source {
+        /// The `SourceId` of the affected source.
+        source: String,
+        /// New state label: `"healthy"`, `"degraded"`, `"quarantined"`.
+        state: String,
+        /// Consecutive failures so far (0 after a recovery).
+        consecutive_failures: u32,
+        /// The poll error that drove a failure transition.
+        error: Option<String>,
+        /// Milliseconds until the next retry is due, if backed off.
+        retry_in_ms: Option<u64>,
+        /// Bytes dropped by the `SalvagePrefix` recovery this report
+        /// announces (`None` when no salvage happened).
+        salvaged_bytes: Option<u64>,
+    },
+    /// A torn tail (crash fragment) was truncated while opening an
+    /// event-log backend — previously a silent repair, now on the
+    /// record.
+    TailRepaired {
+        /// The repaired log file (relative name).
+        file: String,
+        /// How many torn bytes were dropped.
+        bytes_dropped: u64,
+    },
     /// The pool's own counters.
     Pool(PoolStats),
 }

@@ -91,10 +91,56 @@ pub trait StorageBackend {
     /// `record` is as durable as it will ever be, and `flush_durable`
     /// stays a no-op.
     fn set_durability(&mut self, _mode: DurabilityMode) {}
+
+    /// The torn-tail repair this backend performed when it was opened,
+    /// if any. File-backed log backends truncate a crash fragment at
+    /// `open` (it was never durable — reads have always dropped it), but
+    /// dropping bytes should be on the record, not silent. `None` for
+    /// backends without an open-time repair.
+    fn tail_repaired(&self) -> Option<TailRepaired> {
+        None
+    }
+}
+
+/// Record of a torn-tail truncation performed while opening a log
+/// backend: a process killed mid-append left a partial final frame or
+/// line, and the opener cut it off. The fragment was never durable, so
+/// no acknowledged data is lost — but the repair is observable via
+/// [`StorageBackend::tail_repaired`] (and `HealthReport::TailRepaired`
+/// when the backend is opened on a runtime) instead of silent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailRepaired {
+    /// The repaired log file (relative name).
+    pub file: String,
+    /// How many torn bytes were dropped.
+    pub bytes_dropped: u64,
 }
 
 fn io_err(e: std::io::Error) -> RepoError {
     RepoError::Persist(e.to_string())
+}
+
+/// The typed error for a complete-but-unparseable JSONL line: a
+/// [`RepoError::CorruptFrame`] whose offset is the line's first byte —
+/// the boundary a `SalvagePrefix` recovery truncates at. `segment` is
+/// the log file's relative name, mirroring the binary log's frames.
+pub(crate) fn corrupt_jsonl_line(
+    segment: &str,
+    offset: u64,
+    err: &dyn std::fmt::Display,
+) -> RepoError {
+    RepoError::CorruptFrame {
+        segment: segment.to_string(),
+        offset,
+        reason: format!("corrupt event log line: {err}"),
+    }
+}
+
+/// A path's file name for corruption reports (lossy; logs are ASCII).
+pub(crate) fn segment_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
 }
 
 /// Boxed backends forward the contract, so heterogeneous backend
@@ -123,6 +169,10 @@ impl StorageBackend for Box<dyn StorageBackend> {
 
     fn set_durability(&mut self, mode: DurabilityMode) {
         (**self).set_durability(mode)
+    }
+
+    fn tail_repaired(&self) -> Option<TailRepaired> {
+        (**self).tail_repaired()
     }
 }
 
@@ -361,11 +411,14 @@ pub struct EventLogBackend {
     synced_len: Option<u64>,
     /// How this instance's fsyncs split between full and data-only syncs.
     fsync_stats: FsyncStats,
+    /// The torn-tail truncation `open` performed, if any.
+    tail_repaired: Option<TailRepaired>,
 }
 
 /// A clone is a fresh writer over the same directory and generation: it
 /// opens its own appender on first use and owes no fsync for bytes the
-/// original staged (those remain the original's to flush).
+/// original staged (those remain the original's to flush). It performed
+/// no open-time repair, so it carries no `tail_repaired` note.
 impl Clone for EventLogBackend {
     fn clone(&self) -> EventLogBackend {
         EventLogBackend {
@@ -376,6 +429,7 @@ impl Clone for EventLogBackend {
             dirty: false,
             synced_len: None,
             fsync_stats: FsyncStats::default(),
+            tail_repaired: None,
         }
     }
 }
@@ -402,7 +456,7 @@ impl EventLogBackend {
                  open it with BinaryLogBackend or convert it with bx_logconv"
             )));
         }
-        let backend = EventLogBackend {
+        let mut backend = EventLogBackend {
             dir,
             log,
             durability: DurabilityMode::default(),
@@ -410,8 +464,9 @@ impl EventLogBackend {
             dirty: false,
             synced_len: None,
             fsync_stats: FsyncStats::default(),
+            tail_repaired: None,
         };
-        backend.repair_torn_tail()?;
+        backend.tail_repaired = backend.repair_torn_tail()?;
         Ok(backend)
     }
 
@@ -442,15 +497,16 @@ impl EventLogBackend {
     }
 
     /// Truncate an unterminated final line (torn append) off the current
-    /// generation's log, if there is one.
-    fn repair_torn_tail(&self) -> Result<(), RepoError> {
+    /// generation's log, if there is one, returning a note of what was
+    /// dropped.
+    fn repair_torn_tail(&self) -> Result<Option<TailRepaired>, RepoError> {
         let path = self.log_path();
         if !path.exists() {
-            return Ok(());
+            return Ok(None);
         }
         let bytes = std::fs::read(&path).map_err(io_err)?;
         if bytes.is_empty() || bytes.ends_with(b"\n") {
-            return Ok(());
+            return Ok(None);
         }
         let keep = bytes
             .iter()
@@ -459,7 +515,11 @@ impl EventLogBackend {
             .unwrap_or(0);
         let file = OpenOptions::new().write(true).open(&path).map_err(io_err)?;
         file.set_len(keep as u64).map_err(io_err)?;
-        file.sync_all().map_err(io_err)
+        file.sync_all().map_err(io_err)?;
+        Ok(Some(TailRepaired {
+            file: self.log.clone(),
+            bytes_dropped: (bytes.len() - keep) as u64,
+        }))
     }
 
     /// The current generation's log file name (relative to the backend
@@ -520,9 +580,9 @@ impl EventLogBackend {
 
     /// The events of one log generation in `dir`, whichever format the
     /// generation name declares — JSONL lines or binary frames. A torn
-    /// tail is dropped in both formats; real corruption surfaces as
-    /// [`RepoError::Persist`] (JSONL) or the typed
-    /// [`RepoError::CorruptFrame`] (binary).
+    /// tail is dropped in both formats; real corruption surfaces as the
+    /// typed [`RepoError::CorruptFrame`] in both, with the offset of the
+    /// first byte the reader could not trust.
     pub fn read_generation_events(
         dir: &Path,
         generation: &str,
@@ -623,6 +683,7 @@ impl EventLogBackend {
     pub(crate) fn parse_jsonl_parallel(
         text: &Arc<String>,
         intact_end: usize,
+        segment: &str,
         pool: &crate::runtime::WorkerPool,
     ) -> Result<Vec<RepoEvent>, RepoError> {
         // Aim for a few chunks per worker so one dense chunk cannot
@@ -645,16 +706,26 @@ impl EventLogBackend {
             start = end;
         }
         type ChunkParse = Result<Vec<RepoEvent>, RepoError>;
+        let segment: Arc<str> = Arc::from(segment);
         let jobs: Vec<Box<dyn FnOnce() -> ChunkParse + Send>> = ranges
             .into_iter()
             .map(|(start, end)| {
                 let text = Arc::clone(text);
+                let segment = Arc::clone(&segment);
                 Box::new(move || -> ChunkParse {
                     let mut events = Vec::new();
-                    for line in text[start..end].lines().filter(|l| !l.trim().is_empty()) {
-                        events.push(serde_json::from_str::<RepoEvent>(line).map_err(|e| {
-                            RepoError::Persist(format!("corrupt event log line: {e}"))
-                        })?);
+                    let mut pos = start;
+                    for line in text[start..end].split_inclusive('\n') {
+                        let at = pos;
+                        pos += line.len();
+                        let body = line.trim_end_matches(['\n', '\r']);
+                        if body.trim().is_empty() {
+                            continue;
+                        }
+                        events.push(
+                            serde_json::from_str::<RepoEvent>(body)
+                                .map_err(|e| corrupt_jsonl_line(&segment, at as u64, &e))?,
+                        );
                     }
                     Ok(events)
                 }) as Box<dyn FnOnce() -> ChunkParse + Send>
@@ -681,7 +752,7 @@ impl EventLogBackend {
         }
         let text = Arc::new(std::fs::read_to_string(path).map_err(io_err)?);
         let intact_end = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
-        let mut events = Self::parse_jsonl_parallel(&text, intact_end, pool)?;
+        let mut events = Self::parse_jsonl_parallel(&text, intact_end, &segment_name(path), pool)?;
         let fragment = &text[intact_end..];
         if !fragment.trim().is_empty() {
             if let Ok(event) = serde_json::from_str::<RepoEvent>(fragment) {
@@ -730,20 +801,30 @@ impl EventLogBackend {
     /// The intact event lines of a generation log. A final line missing
     /// its terminating newline is a torn append (the process died
     /// mid-write) and is dropped; a complete line that fails to parse is
-    /// real corruption and surfaces as an error.
+    /// real corruption and surfaces as [`RepoError::CorruptFrame`] with
+    /// the byte offset of the offending line's start.
     pub(crate) fn read_log_file(path: &Path) -> Result<Vec<RepoEvent>, RepoError> {
         if !path.exists() {
             return Ok(Vec::new());
         }
         let text = std::fs::read_to_string(path).map_err(io_err)?;
+        let segment = segment_name(path);
         let mut events = Vec::new();
-        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
-        let torn_tail = !text.is_empty() && !text.ends_with('\n');
-        for (i, line) in lines.iter().enumerate() {
-            match serde_json::from_str::<RepoEvent>(line) {
+        let mut pos = 0usize;
+        for line in text.split_inclusive('\n') {
+            let at = pos;
+            pos += line.len();
+            let terminated = line.ends_with('\n');
+            let body = line.trim_end_matches(['\n', '\r']);
+            if body.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<RepoEvent>(body) {
                 Ok(event) => events.push(event),
-                Err(_) if torn_tail && i + 1 == lines.len() => break,
-                Err(e) => return Err(RepoError::Persist(format!("corrupt event log line: {e}"))),
+                // An unterminated final line is a torn append, never
+                // durable: drop it.
+                Err(_) if !terminated => break,
+                Err(e) => return Err(corrupt_jsonl_line(&segment, at as u64, &e)),
             }
         }
         Ok(events)
@@ -930,6 +1011,10 @@ impl StorageBackend for EventLogBackend {
     /// (the next per-batch `record`'s `sync_all` would cover them too).
     fn set_durability(&mut self, mode: DurabilityMode) {
         self.durability = mode;
+    }
+
+    fn tail_repaired(&self) -> Option<TailRepaired> {
+        self.tail_repaired.clone()
     }
 }
 
@@ -1168,6 +1253,10 @@ impl<B: GenerationLog> StorageBackend for AutoCompactingEventLog<B> {
     fn set_durability(&mut self, mode: DurabilityMode) {
         self.inner.set_durability(mode)
     }
+
+    fn tail_repaired(&self) -> Option<TailRepaired> {
+        self.inner.tail_repaired()
+    }
 }
 
 #[cfg(test)]
@@ -1276,12 +1365,22 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_log_lines_report_persist_errors() {
+    fn corrupt_log_lines_report_typed_corrupt_frames() {
         let dir = unique_dir("corrupt");
         let backend = EventLogBackend::open(&dir).unwrap();
-        // A complete (newline-terminated) unparseable line is corruption.
+        // A complete (newline-terminated) unparseable line is corruption,
+        // typed with the byte offset of the offending line so salvage can
+        // truncate exactly there.
         std::fs::write(dir.join("events-0.jsonl"), "{ not an event\n").unwrap();
-        assert!(matches!(backend.restore(), Err(RepoError::Persist(_))));
+        match backend.restore() {
+            Err(RepoError::CorruptFrame {
+                segment, offset, ..
+            }) => {
+                assert_eq!(segment, "events-0.jsonl");
+                assert_eq!(offset, 0);
+            }
+            other => panic!("expected CorruptFrame, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1348,6 +1447,14 @@ mod tests {
         // open-time repair, its first line would fuse with the fragment
         // into a corrupt line.
         let mut backend = EventLogBackend::open(&dir).unwrap();
+        let repair = backend
+            .tail_repaired()
+            .expect("the open-time repair is observable, never silent");
+        assert_eq!(repair.file, "events-0.jsonl");
+        assert_eq!(
+            repair.bytes_dropped,
+            "{\"Commented\":{\"id\":\"co".len() as u64
+        );
         backend.record(after).unwrap();
         assert_eq!(backend.restore().unwrap(), r.snapshot());
         assert_eq!(backend.pending_events().unwrap(), events.len());

@@ -5,10 +5,10 @@
 //! and replica recovery.
 
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bx_core::repo::RepositorySnapshot;
-use bx_core::storage::StorageBackend;
+use bx_core::storage::{StorageBackend, TailRepaired};
 use bx_core::{RepoError, RepoEvent};
 use bx_theory::Bx;
 
@@ -130,6 +130,160 @@ impl<B: StorageBackend> StorageBackend for CrashingBackend<B> {
     fn set_durability(&mut self, mode: bx_core::storage::DurabilityMode) {
         self.inner.set_durability(mode)
     }
+
+    fn tail_repaired(&self) -> Option<TailRepaired> {
+        self.inner.tail_repaired()
+    }
+}
+
+/// A storage backend with a *transient* fault window:
+/// [`FlakyBackend::fail_next`] arms the next `n` fallible calls
+/// (`record`, `checkpoint`, `flush_durable`) to fail with an injected IO
+/// error, after which the backend recovers on its own — the flaky-writer
+/// shape (NFS hiccup, disk-full blip, network partition) as opposed to
+/// [`CrashingBackend`]'s permanent death. A failed write is dropped
+/// whole: nothing reaches the inner backend, so a recovered writer
+/// resumes cleanly from the last durable state and its readers see a
+/// source that merely stalled.
+pub struct FlakyBackend<B> {
+    inner: B,
+    remaining: usize,
+    injected: u64,
+}
+
+impl<B: StorageBackend> FlakyBackend<B> {
+    /// Wrap `inner`, healthy until the first [`FlakyBackend::fail_next`].
+    pub fn new(inner: B) -> FlakyBackend<B> {
+        FlakyBackend {
+            inner,
+            remaining: 0,
+            injected: 0,
+        }
+    }
+
+    /// Arm the fault window: the next `calls` fallible calls fail, then
+    /// the backend is healthy again. Re-arming resets the window.
+    pub fn fail_next(&mut self, calls: usize) {
+        self.remaining = calls;
+    }
+
+    /// Fallible calls still doomed to fail.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Total failures injected over this backend's lifetime.
+    pub fn failures_injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Unwrap the inner backend (e.g. to inspect what survived).
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    fn trip(&mut self, op: &str) -> Option<RepoError> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.injected += 1;
+        Some(RepoError::Persist(format!(
+            "injected flaky IO at {op} ({} more to come)",
+            self.remaining
+        )))
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for FlakyBackend<B> {
+    fn kind(&self) -> &'static str {
+        "flaky"
+    }
+
+    fn record(&mut self, events: &[RepoEvent]) -> Result<(), RepoError> {
+        match self.trip("record") {
+            Some(err) => Err(err),
+            None => self.inner.record(events),
+        }
+    }
+
+    fn checkpoint(&mut self, snapshot: &RepositorySnapshot) -> Result<(), RepoError> {
+        match self.trip("checkpoint") {
+            Some(err) => Err(err),
+            None => self.inner.checkpoint(snapshot),
+        }
+    }
+
+    fn restore(&self) -> Result<RepositorySnapshot, RepoError> {
+        self.inner.restore()
+    }
+
+    fn flush_durable(&mut self) -> Result<(), RepoError> {
+        match self.trip("flush_durable") {
+            Some(err) => Err(err),
+            None => self.inner.flush_durable(),
+        }
+    }
+
+    fn set_durability(&mut self, mode: bx_core::storage::DurabilityMode) {
+        self.inner.set_durability(mode)
+    }
+
+    fn tail_repaired(&self) -> Option<TailRepaired> {
+        self.inner.tail_repaired()
+    }
+}
+
+/// Rename `dir` aside, simulating a source directory that vanished
+/// (unmounted share, deleted replica, network partition). Readers see
+/// `SourceUnavailable`; [`restore_dir`] brings it back with its contents
+/// intact. Returns the hiding place.
+pub fn vanish_dir(dir: &Path) -> std::io::Result<PathBuf> {
+    let hidden = dir.with_extension("vanished");
+    std::fs::rename(dir, &hidden)?;
+    Ok(hidden)
+}
+
+/// Undo [`vanish_dir`]: the directory reappears exactly as it was.
+pub fn restore_dir(hidden: &Path, dir: &Path) -> std::io::Result<()> {
+    std::fs::rename(hidden, dir)
+}
+
+/// Append a *complete* (newline-terminated) but unparseable line to
+/// `path` — real corruption, as opposed to [`torn_append`]'s benign
+/// crash fragment. Readers surface it as a typed `CorruptFrame` whose
+/// offset is this line's start — returned here so tests can pin the
+/// salvage truncation point.
+pub fn corrupt_append(path: &Path) -> std::io::Result<u64> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let offset = file.metadata()?.len();
+    let mut file = file;
+    file.write_all(b"{ rotted bits, not an event }\n")?;
+    Ok(offset)
+}
+
+/// The binary-log analogue of [`corrupt_append`]: append a complete
+/// frame whose CRC does not match its payload to the generation's live
+/// (last) segment in `dir`. Returns the frame's byte offset within that
+/// segment.
+pub fn corrupt_append_binary(dir: &Path, generation: &str) -> std::io::Result<u64> {
+    let segments = bx_core::binlog::segment_files(dir, generation)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let last = segments
+        .last()
+        .map(|name| dir.join(name))
+        .unwrap_or_else(|| dir.join(format!("{generation}.{:06}", 0)));
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(last)?;
+    let offset = file.metadata()?.len();
+    let mut file = file;
+    file.write_all(&bx_core::binlog::corrupt_frame_bytes())?;
+    Ok(offset)
 }
 
 /// Append a torn half-line (no terminating newline) to `path` — the
@@ -424,6 +578,62 @@ mod tests {
         // Everything recorded reached the inner backend as a clean
         // suffix of unacknowledged appends.
         assert_eq!(backend.into_inner().pending_events(), events.len());
+    }
+
+    #[test]
+    fn flaky_backend_fails_exactly_its_window_then_recovers() {
+        use bx_core::storage::MemoryBackend;
+        use bx_core::{Principal, Repository};
+
+        let r = Repository::found("bx", vec![Principal::curator("c")]);
+        r.register(Principal::member("alice")).unwrap();
+        r.register(Principal::member("bob")).unwrap();
+        let events = r.drain_events();
+
+        let mut backend = FlakyBackend::new(MemoryBackend::new());
+        // Healthy until armed.
+        backend.record(&events[..1]).unwrap();
+        assert_eq!(backend.failures_injected(), 0);
+
+        backend.fail_next(2);
+        assert_eq!(backend.remaining(), 2);
+        let err = backend.record(&events[1..]).unwrap_err();
+        assert!(matches!(err, RepoError::Persist(ref m) if m.contains("injected flaky IO")));
+        assert!(backend.flush_durable().is_err());
+        assert_eq!(backend.remaining(), 0);
+        assert_eq!(backend.failures_injected(), 2);
+
+        // Recovered on its own: the retried batch lands whole, and the
+        // failed attempts left nothing behind in the inner backend.
+        backend.record(&events[1..]).unwrap();
+        backend.flush_durable().unwrap();
+        assert_eq!(backend.restore().unwrap(), r.snapshot());
+        assert_eq!(backend.into_inner().pending_events(), events.len());
+    }
+
+    #[test]
+    fn corrupt_append_reports_the_exact_truncation_offset() {
+        let dir = crate::ops::unique_temp_dir("corrupt-append");
+        let path = dir.join("events-0.jsonl");
+        std::fs::write(&path, "{\"intact\":1}\n").unwrap();
+        let offset = corrupt_append(&path).unwrap();
+        assert_eq!(offset, "{\"intact\":1}\n".len() as u64);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'), "corruption is a complete line");
+        assert!(text[offset as usize..].starts_with("{ rotted"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn vanish_and_restore_round_trip_a_directory() {
+        let dir = crate::ops::unique_temp_dir("vanish");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("marker"), "x").unwrap();
+        let hidden = vanish_dir(&dir).unwrap();
+        assert!(!dir.exists());
+        restore_dir(&hidden, &dir).unwrap();
+        assert_eq!(std::fs::read_to_string(dir.join("marker")).unwrap(), "x");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -2,11 +2,22 @@
 //! event-log directory and print the report.
 //!
 //! Run with: `cargo run --example bx_lint -- <event-log-dir>`
+//! or, for a whole federation's source set:
+//! `cargo run --example bx_lint -- --federation <src-root>`
+//!
+//! In `--federation` mode every immediate subdirectory of `<src-root>`
+//! is one source log (the layout a [`bx::core::replica::Federation`]
+//! tails), linted independently with a per-source summary line. A source
+//! that fails to restore — or lints dirty — does not stop the others,
+//! mirroring the federation's own supervision: one sick source never
+//! starves its peers.
 //!
 //! Exit codes: `0` — no errors (warnings and infos allowed); `1` — at
-//! least one error diagnostic; `2` — usage or I/O problem. That makes it
-//! scriptable: CI points it at a log directory and fails the build when
-//! a law is violated.
+//! least one error diagnostic (in `--federation` mode: in any source,
+//! counting an unrestorable source as an error); `2` — usage or I/O
+//! problem. That makes it scriptable: CI points it at a log directory
+//! and fails the build when a law is violated. Same contract as
+//! `bx_logconv --federation`, so the two chain.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -16,11 +27,20 @@ use bx::lint::{full_check, standard_catalog};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [dir] = args.as_slice() else {
-        eprintln!("usage: bx_lint <event-log-dir>");
-        return ExitCode::from(2);
-    };
-    let dir = Path::new(dir);
+    match args.as_slice() {
+        [dir] => lint_single(Path::new(dir)),
+        [flag, root] if flag == "--federation" => lint_federation(Path::new(root)),
+        _ => {
+            eprintln!(
+                "usage: bx_lint <event-log-dir>\n\
+                        bx_lint --federation <src-root>"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint_single(dir: &Path) -> ExitCode {
     if !dir.is_dir() {
         eprintln!("bx lint: `{}` is not a directory", dir.display());
         return ExitCode::from(2);
@@ -56,5 +76,69 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    }
+}
+
+/// Lint every source subdirectory of `src_root`, reporting each outcome
+/// and failing the run (exit 1) if any source has errors — while still
+/// linting the rest.
+fn lint_federation(src_root: &Path) -> ExitCode {
+    let mut sources: Vec<(String, std::path::PathBuf)> = match std::fs::read_dir(src_root) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .filter(|e| e.path().is_dir())
+            .map(|e| (e.file_name().to_string_lossy().into_owned(), e.path()))
+            .collect(),
+        Err(e) => {
+            eprintln!("bx lint: reading `{}` failed: {e}", src_root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if sources.is_empty() {
+        eprintln!(
+            "bx lint: `{}` has no source subdirectories to lint",
+            src_root.display()
+        );
+        return ExitCode::from(2);
+    }
+    sources.sort();
+    let catalog = standard_catalog();
+    let mut clean = 0usize;
+    let mut failed = 0usize;
+    for (name, src) in &sources {
+        let snapshot = match EventLogBackend::restore_dir(src) {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                failed += 1;
+                eprintln!("bx lint: source `{name}`: FAILED to restore: {e}");
+                continue;
+            }
+        };
+        let index = full_check(&snapshot, &catalog);
+        if index.is_clean() {
+            clean += 1;
+            println!(
+                "bx lint: source `{name}`: {} entr{} clean",
+                snapshot.records.len(),
+                if snapshot.records.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+            );
+        } else {
+            failed += 1;
+            println!("bx lint: source `{name}`: errors found");
+            print!("{}", index.report());
+        }
+    }
+    println!(
+        "bx lint: federation `{}`: {clean} clean, {failed} with errors",
+        src_root.display()
+    );
+    if failed > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -185,7 +185,13 @@ fn corrupt_jsonl_line_reports_identically_at_every_thread_count() {
     std::fs::write(&log, vandalised.join("\n") + "\n").unwrap();
 
     let baseline = EventLogBackend::restore_dir(&dir).unwrap_err();
-    assert!(matches!(baseline, RepoError::Persist(_)));
+    assert!(
+        matches!(
+            baseline,
+            RepoError::CorruptFrame { ref segment, .. } if segment == "events-0.jsonl"
+        ),
+        "corrupt JSONL is typed with its segment and offset: {baseline:?}"
+    );
     for threads in [2usize, 8] {
         let err = EventLogBackend::restore_dir_with(&dir, RestoreOptions::with_threads(threads))
             .unwrap_err();
